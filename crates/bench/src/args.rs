@@ -1,0 +1,81 @@
+//! Minimal CLI argument handling shared by the experiment binaries.
+
+use crate::context::ExperimentScale;
+
+/// Parsed common arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Experiment scale preset.
+    pub scale: ExperimentScale,
+    /// Master seed.
+    pub seed: u64,
+    /// Optional dataset-count override (ranking experiments).
+    pub datasets: Option<usize>,
+}
+
+impl Args {
+    /// Parses `--scale quick|full`, `--seed N`, `--datasets N` from the
+    /// process arguments; unknown arguments abort with a usage message.
+    pub fn parse() -> Args {
+        Self::parse_from(std::env::args().skip(1))
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Args {
+        let mut out = Args { scale: ExperimentScale::quick(), seed: 0x11C5, datasets: None };
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--scale" => match it.next().as_deref() {
+                    Some("quick") => out.scale = ExperimentScale::quick(),
+                    Some("full") => out.scale = ExperimentScale::full(),
+                    other => usage(&format!("--scale expects quick|full, got {other:?}")),
+                },
+                "--seed" => match it.next().and_then(|s| s.parse().ok()) {
+                    Some(s) => out.seed = s,
+                    None => usage("--seed expects an integer"),
+                },
+                "--datasets" => match it.next().and_then(|s| s.parse().ok()) {
+                    Some(n) => out.datasets = Some(n),
+                    None => usage("--datasets expects an integer"),
+                },
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown argument {other}")),
+            }
+        }
+        out
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <experiment> [--scale quick|full] [--seed N] [--datasets N]");
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let a = Args::parse_from(Vec::<String>::new());
+        assert_eq!(a.seed, 0x11C5);
+        assert!(a.datasets.is_none());
+        assert_eq!(a.scale.name, "quick");
+    }
+
+    #[test]
+    fn parses_flags() {
+        let a = Args::parse_from(
+            ["--scale", "full", "--seed", "7", "--datasets", "12"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(a.scale.name, "full");
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.datasets, Some(12));
+    }
+}

@@ -1,0 +1,47 @@
+//! Ablation: the AED bi-level schedule knobs.
+//!
+//! Not a paper artifact — this sweeps the design choices DESIGN.md calls
+//! out: the outer-update period `v` ("multiple inner-level steps for each
+//! outer-level one to have a stable training", Section 3.2.1) and the outer
+//! λ learning rate. `v` equal to the epoch budget means the outer level
+//! never fires (λ stays uniform — AED degenerates toward Classic KD with
+//! per-teacher terms), isolating the value of the bi-level optimization.
+
+use lightts::prelude::*;
+use lightts_bench::args::Args;
+use lightts_bench::context::{prepare, test_metrics};
+use lightts_bench::report::{banner, f3};
+use lightts_data::archive;
+use lightts_distill::aed::run_aed;
+
+fn main() {
+    let args = Args::parse();
+    let spec = archive::table1("Adiac").expect("Adiac spec exists");
+    let ctx = prepare(&spec, BaseModelKind::InceptionTime, &args.scale, args.seed)
+        .expect("context preparation failed");
+    let cfg = args.scale.student_config(&ctx.splits, 4);
+    let base = args.scale.distill_opts(args.seed ^ 0xAB);
+
+    banner("Ablation A: outer-update period v (Adiac, 4-bit, AED)");
+    println!("v\tval_accuracy\ttest_accuracy");
+    for v in [1usize, 2, 4, 8, usize::MAX] {
+        let mut opts = base;
+        opts.aed.v = v.min(opts.aed.train.epochs); // epochs ⇒ outer never fires
+        let res = run_aed(&ctx.splits, &ctx.teachers, &cfg, &opts.aed).expect("AED run");
+        let (test_acc, _) = test_metrics(&res.student, &ctx.splits).expect("eval");
+        let label = if v == usize::MAX { "never".to_string() } else { v.to_string() };
+        println!("{label}\t{}\t{}", f3(res.val_accuracy), f3(test_acc));
+        eprintln!("  v={label}: val {:.3} test {test_acc:.3}", res.val_accuracy);
+    }
+
+    banner("Ablation B: outer learning rate for lambda (Adiac, 4-bit, AED)");
+    println!("lambda_lr\tval_accuracy\ttest_accuracy");
+    for lr in [0.25f32, 1.0, 2.0, 8.0] {
+        let mut opts = base;
+        opts.aed.lambda_lr = lr;
+        let res = run_aed(&ctx.splits, &ctx.teachers, &cfg, &opts.aed).expect("AED run");
+        let (test_acc, _) = test_metrics(&res.student, &ctx.splits).expect("eval");
+        println!("{lr}\t{}\t{}", f3(res.val_accuracy), f3(test_acc));
+        eprintln!("  lr={lr}: val {:.3} test {test_acc:.3}", res.val_accuracy);
+    }
+}

@@ -1,0 +1,64 @@
+//! Paper Figures 13–16: accuracy ranking over the archive with the
+//! Friedman test and Wilcoxon–Holm critical-difference groups.
+//!
+//! Prints the overall ranking (Figure 13) and the per-bit-width rankings
+//! (Figures 14–16). The archive is the synthetic analogue: the nine Table 1
+//! datasets plus generated archive members up to `--datasets` (default 9
+//! quick / 24 full; the paper uses all 128 UCR sets).
+//!
+//! Expected shape: LightTS and AED-LOO share the top group, ahead of
+//! FP-Ensem; Reinforced mid-field; Classic KD / AE-KD / CAWPE / AED-One in
+//! the trailing cluster.
+
+use lightts_bench::args::Args;
+use lightts_bench::report::banner;
+use lightts_bench::runner::{run_ranking, RankingData};
+use lightts_data::archive;
+use lightts_models::ensemble::BaseModelKind;
+use lightts_stats::{cd_cliques, friedman_test, render_cd_diagram};
+
+fn print_ranking(section: &str, data: &RankingData) {
+    banner(section);
+    if data.cells.is_empty() {
+        println!("(no cells)");
+        return;
+    }
+    let fr = friedman_test(&data.scores).expect("well-formed score matrix");
+    println!(
+        "Friedman chi2 = {:.3}, df = {}, p = {:.2e} over {} cells",
+        fr.statistic,
+        fr.df,
+        fr.p_value,
+        data.cells.len()
+    );
+    let (avg, cliques) = cd_cliques(&data.scores, 0.05).expect("well-formed score matrix");
+    let names: Vec<&str> = data.names.iter().map(|s| s.as_str()).collect();
+    print!("{}", render_cd_diagram(&names, &avg, &cliques));
+}
+
+fn main() {
+    let args = Args::parse();
+    let n_datasets = args.datasets.unwrap_or(if args.scale.name == "quick" { 9 } else { 24 });
+    let mut specs = archive::table1_specs();
+    if n_datasets > specs.len() {
+        specs.extend(archive::full_archive_specs(n_datasets - specs.len()));
+    } else {
+        specs.truncate(n_datasets);
+    }
+    eprintln!(
+        "fig13-16: {} datasets, scale {}, seed {}",
+        specs.len(),
+        args.scale.name,
+        args.seed
+    );
+    let data = run_ranking(&specs, BaseModelKind::InceptionTime, &args.scale, args.seed, &[4, 8, 16])
+        .expect("ranking run failed");
+
+    print_ranking("Figure 13: overall accuracy ranking (all bit-widths)", &data);
+    for (bits, fig) in [(4u8, 14), (8, 15), (16, 16)] {
+        print_ranking(
+            &format!("Figure {fig}: {bits}-bit accuracy ranking"),
+            &data.filter_bits(bits),
+        );
+    }
+}

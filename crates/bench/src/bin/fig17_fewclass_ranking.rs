@@ -1,0 +1,38 @@
+//! Paper Figure 17: accuracy ranking restricted to datasets with 2 or 3
+//! classes (46% of the UCR archive).
+//!
+//! Expected shape: the same ordering as Figure 13, with methods closer
+//! together — few-class problems produce many tied comparisons.
+
+use lightts_bench::args::Args;
+use lightts_bench::report::banner;
+use lightts_bench::runner::run_ranking;
+use lightts_data::archive;
+use lightts_models::ensemble::BaseModelKind;
+use lightts_stats::{cd_cliques, friedman_test, render_cd_diagram};
+
+fn main() {
+    let args = Args::parse();
+    let n_datasets = args.datasets.unwrap_or(if args.scale.name == "quick" { 6 } else { 16 });
+    // draw few-class specs from the archive analogue (paper: 59 of 128)
+    let pool = archive::full_archive_specs(256);
+    let mut specs = archive::few_class_subset(&pool);
+    specs.truncate(n_datasets);
+    eprintln!("fig17: {} few-class datasets, scale {}", specs.len(), args.scale.name);
+
+    let data = run_ranking(&specs, BaseModelKind::InceptionTime, &args.scale, args.seed, &[4, 8, 16])
+        .expect("ranking run failed");
+
+    banner("Figure 17: accuracy ranking, 2-3-class datasets");
+    let fr = friedman_test(&data.scores).expect("well-formed matrix");
+    println!(
+        "Friedman chi2 = {:.3}, df = {}, p = {:.2e} over {} cells",
+        fr.statistic,
+        fr.df,
+        fr.p_value,
+        data.cells.len()
+    );
+    let (avg, cliques) = cd_cliques(&data.scores, 0.05).expect("well-formed matrix");
+    let names: Vec<&str> = data.names.iter().map(|s| s.as_str()).collect();
+    print!("{}", render_cd_diagram(&names, &avg, &cliques));
+}

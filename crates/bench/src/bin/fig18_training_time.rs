@@ -1,0 +1,51 @@
+//! Paper Figure 18: total training time — (a) ranking of methods by
+//! training time (lower is better) and (b) box-plot statistics.
+//!
+//! Expected shape: Classic KD and AED-One fastest (single distillation),
+//! Reinforced and LightTS next, CAWPE/AE-KD similar, AED-LOO slowest (its
+//! leave-one-out search multiplies AED runs).
+
+use lightts_bench::args::Args;
+use lightts_bench::report::{banner, box_stats, f2};
+use lightts_bench::runner::run_ranking;
+use lightts_data::archive;
+use lightts_models::ensemble::BaseModelKind;
+use lightts_stats::{cd_cliques, friedman_test, render_cd_diagram};
+
+fn main() {
+    let args = Args::parse();
+    let n_datasets = args.datasets.unwrap_or(if args.scale.name == "quick" { 4 } else { 12 });
+    let mut specs = archive::table1_specs();
+    specs.truncate(n_datasets);
+    eprintln!("fig18: {} datasets, scale {}", specs.len(), args.scale.name);
+
+    let data = run_ranking(&specs, BaseModelKind::InceptionTime, &args.scale, args.seed, &[4, 8, 16])
+        .expect("ranking run failed");
+
+    // drop the FP-Ensem row: it has no training time
+    let k = data.names.len() - 1;
+    let names: Vec<&str> = data.names[..k].iter().map(|s| s.as_str()).collect();
+    // rank on negated time so "higher is better" = faster
+    let neg_times: Vec<Vec<f64>> =
+        data.times[..k].iter().map(|row| row.iter().map(|&t| -t).collect()).collect();
+
+    banner("Figure 18(a): training-time ranking (1 = fastest)");
+    let fr = friedman_test(&neg_times).expect("well-formed matrix");
+    println!("Friedman chi2 = {:.3}, p = {:.2e}", fr.statistic, fr.p_value);
+    let (avg, cliques) = cd_cliques(&neg_times, 0.05).expect("well-formed matrix");
+    print!("{}", render_cd_diagram(&names, &avg, &cliques));
+
+    banner("Figure 18(b): training-time distribution per method (seconds)");
+    println!("method\tmin\tq1\tmedian\tq3\tmax");
+    for (mi, name) in names.iter().enumerate() {
+        let s = box_stats(&data.times[mi]).expect("non-empty sample");
+        println!(
+            "{name}\t{}\t{}\t{}\t{}\t{}",
+            f2(s.min),
+            f2(s.q1),
+            f2(s.median),
+            f2(s.q3),
+            f2(s.max)
+        );
+    }
+}

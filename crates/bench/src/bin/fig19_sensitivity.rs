@@ -1,0 +1,56 @@
+//! Paper Figure 19: sensitivity of LightTS to the loss mix α and the
+//! Gumbel temperature τ (Adiac, 4-bit students).
+//!
+//! Expected shape: accuracy is flat around α = 0.5 (balanced losses) and
+//! moves more sharply with τ (it changes which teachers get removed);
+//! α = τ = 0.5 sits among the best settings.
+
+use lightts::prelude::*;
+use lightts_bench::args::Args;
+use lightts_bench::context::prepare;
+use lightts_bench::report::{banner, f3};
+use lightts_data::archive;
+use lightts_distill::removal::{lightts_removal, RemovalStrategy};
+use lightts_distill::weights::WeightTransform;
+use lightts_models::metrics::accuracy;
+
+fn main() {
+    let args = Args::parse();
+    let spec = archive::table1("Adiac").expect("Adiac spec exists");
+    let ctx = prepare(&spec, BaseModelKind::InceptionTime, &args.scale, args.seed)
+        .expect("context preparation failed");
+    let cfg = args.scale.student_config(&ctx.splits, 4);
+
+    let run = |alpha: f32, tau: f32| -> f64 {
+        let mut opts = args.scale.distill_opts(args.seed ^ 0x19);
+        opts.aed.train.alpha = alpha;
+        opts.aed.transform = WeightTransform::GumbelConfident { tau };
+        let res = lightts_removal(
+            &ctx.splits,
+            &ctx.teachers,
+            &cfg,
+            &opts.aed,
+            RemovalStrategy::GumbelConfident,
+        )
+        .expect("LightTS run");
+        let probs =
+            res.student.predict_proba_dataset(&ctx.splits.test).expect("prediction");
+        accuracy(&probs, ctx.splits.test.labels()).expect("accuracy")
+    };
+
+    banner("Figure 19(a): alpha sensitivity (tau = 0.5), Adiac 4-bit");
+    println!("alpha\taccuracy");
+    for alpha in [0.1f32, 0.3, 0.5, 0.7, 0.9] {
+        let acc = run(alpha, 0.5);
+        println!("{alpha}\t{}", f3(acc));
+        eprintln!("  alpha {alpha}: {acc:.3}");
+    }
+
+    banner("Figure 19(b): tau sensitivity (alpha = 0.5), Adiac 4-bit");
+    println!("tau\taccuracy");
+    for tau in [0.1f32, 0.3, 0.5, 1.0, 2.0] {
+        let acc = run(0.5, tau);
+        println!("{tau}\t{}", f3(acc));
+        eprintln!("  tau {tau}: {acc:.3}");
+    }
+}

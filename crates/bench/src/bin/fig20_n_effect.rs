@@ -1,0 +1,41 @@
+//! Paper Figure 20: effect of the number of base models N on LightTS
+//! accuracy and total training time (Adiac, PigAirway, NonInvECG2).
+//!
+//! Expected shape: accuracy suffers for very small N (few teachers to choose
+//! from), stabilizes as N grows, and can dip slightly at large N (removal
+//! gets noisier); training time grows linearly in N, matching the
+//! O(N·E·BP_w) complexity analysis.
+
+use lightts::prelude::*;
+use lightts_bench::args::Args;
+use lightts_bench::context::prepare;
+use lightts_bench::report::{banner, f2, f3};
+use lightts_data::archive;
+use lightts_models::metrics::accuracy;
+use lightts_models::Classifier;
+
+fn main() {
+    let args = Args::parse();
+    let ns: &[usize] =
+        if args.scale.name == "quick" { &[2, 4, 6, 10] } else { &[5, 10, 15, 20, 25, 30] };
+    for name in ["Adiac", "PigAirway", "NonInvECG2"] {
+        let spec = archive::table1(name).expect("known dataset");
+        banner(&format!("Figure 20: {name}"));
+        println!("n_teachers\taccuracy\ttrain_seconds");
+        for &n in ns {
+            let mut scale = args.scale;
+            scale.n_teachers = n;
+            let ctx = prepare(&spec, BaseModelKind::InceptionTime, &scale, args.seed)
+                .expect("context preparation failed");
+            let cfg = scale.student_config(&ctx.splits, 8);
+            let opts = scale.distill_opts(args.seed ^ n as u64);
+            let out = run_method(Method::LightTs, &ctx.splits, &ctx.teachers, &cfg, &opts)
+                .expect("LightTS run");
+            let probs =
+                out.student.predict_proba_dataset(&ctx.splits.test).expect("prediction");
+            let acc = accuracy(&probs, ctx.splits.test.labels()).expect("accuracy");
+            println!("{n}\t{}\t{}", f3(acc), f2(out.train_seconds));
+            eprintln!("  {name} N={n}: acc {acc:.3}, {:.1}s", out.train_seconds);
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Paper Figure 21: improving the fixed "base settings" of Problem
+//! Scenario 1 with search — first varying only the bit-widths ("Fixed
+//! layers"), then the complete search space ("Encoded MOBO"), on Adiac.
+//!
+//! Expected shape: both searches find settings above-left of the base
+//! settings (better accuracy at smaller size); the full space finds the
+//! larger improvements.
+
+use lightts::prelude::*;
+use lightts_bench::args::Args;
+use lightts_bench::context::prepare;
+use lightts_bench::report::{banner, f3, render_scatter, ScatterPoint};
+use lightts_data::archive;
+use lightts_distill::aed::run_aed;
+
+fn oracle_for<'a>(
+    ctx: &'a lightts_bench::context::DatasetContext,
+    space: &'a SearchSpace,
+    opts: &'a DistillOpts,
+) -> impl FnMut(&StudentSetting) -> Result<f64, String> + 'a {
+    move |s: &StudentSetting| {
+        let cfg = s.to_config(space);
+        run_aed(&ctx.splits, &ctx.teachers, &cfg, &opts.aed)
+            .map(|r| r.val_accuracy)
+            .map_err(|e| e.to_string())
+    }
+}
+
+fn main() {
+    let mut scatter: Vec<ScatterPoint> = Vec::new();
+    let args = Args::parse();
+    let spec = archive::table1("Adiac").expect("Adiac spec exists");
+    let ctx = prepare(&spec, BaseModelKind::InceptionTime, &args.scale, args.seed)
+        .expect("context preparation failed");
+    let opts = args.scale.distill_opts(args.seed ^ 0x21);
+
+    // base settings: the Scenario-1 students at 4/8/16 bits
+    banner("Figure 21: base settings (3 blocks x 3 layers, filter 40), Adiac");
+    println!("label\tbits\taccuracy\tsize_kb");
+    let full_space = SearchSpace::paper_default(
+        ctx.splits.train.dims(),
+        ctx.splits.train.series_len(),
+        ctx.splits.num_classes(),
+        args.scale.student_filters,
+    );
+    for bits in [4u8, 8, 16] {
+        let setting = StudentSetting(vec![(3, 40, bits); 3]);
+        let cfg = setting.to_config(&full_space);
+        let res = run_aed(&ctx.splits, &ctx.teachers, &cfg, &opts.aed).expect("AED");
+        println!(
+            "base\t{bits}\t{}\t{:.2}",
+            f3(res.val_accuracy),
+            cfg.size_kb()
+        );
+        scatter.push(ScatterPoint { x: cfg.size_kb(), y: res.val_accuracy, marker: 'B' });
+        eprintln!("  base {bits}-bit: {:.3} @ {:.1}KB", res.val_accuracy, cfg.size_kb());
+    }
+
+    // fixed-layers search: only the bit-widths vary
+    let mut fixed_space = full_space.clone();
+    fixed_space.layer_choices = vec![3];
+    fixed_space.filter_choices = vec![40];
+    let mobo_fixed = args.scale.mobo_config(SpaceRepr::TwoPhaseEncoder, args.seed ^ 0x22);
+    banner("Figure 21: Fixed layers (bit-width-only search)");
+    println!("label\tsetting\taccuracy\tsize_kb");
+    let out = lightts_search::mobo::run_mobo(
+        &fixed_space,
+        oracle_for(&ctx, &fixed_space, &opts),
+        &mobo_fixed,
+    )
+    .expect("fixed-layer search");
+    for p in &out.frontier {
+        println!(
+            "fixed-layers\t{}\t{}\t{:.2}",
+            p.setting.display(),
+            f3(p.accuracy),
+            lightts_nn::size::bits_to_kb(p.size_bits)
+        );
+        scatter.push(ScatterPoint {
+            x: lightts_nn::size::bits_to_kb(p.size_bits),
+            y: p.accuracy,
+            marker: 'F',
+        });
+    }
+
+    // full encoded MOBO
+    let mobo_full = args.scale.mobo_config(SpaceRepr::TwoPhaseEncoder, args.seed ^ 0x23);
+    banner("Figure 21: Encoded MOBO (full search space)");
+    println!("label\tsetting\taccuracy\tsize_kb");
+    let out = lightts_search::mobo::run_mobo(
+        &full_space,
+        oracle_for(&ctx, &full_space, &opts),
+        &mobo_full,
+    )
+    .expect("full search");
+    for p in &out.frontier {
+        println!(
+            "encoded-mobo\t{}\t{}\t{:.2}",
+            p.setting.display(),
+            f3(p.accuracy),
+            lightts_nn::size::bits_to_kb(p.size_bits)
+        );
+        scatter.push(ScatterPoint {
+            x: lightts_nn::size::bits_to_kb(p.size_bits),
+            y: p.accuracy,
+            marker: 'E',
+        });
+    }
+
+    banner("Figure 21 scatter (B = base, F = fixed-layers, E = encoded MOBO)");
+    print!("{}", render_scatter(&scatter, 64, 16));
+}

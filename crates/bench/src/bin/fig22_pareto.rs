@@ -1,0 +1,98 @@
+//! Paper Figure 22: Pareto frontiers from Random search, classic MOBO
+//! (original space), and Encoded MOBO (two-phase latent), on Adiac.
+//!
+//! Expected shape: Encoded MOBO's frontier dominates (closer to the
+//! upper-left corner); the hypervolume numbers quantify the visual
+//! comparison.
+
+use lightts::prelude::*;
+use lightts_bench::args::Args;
+use lightts_bench::context::prepare;
+use lightts_bench::report::{banner, f3, render_scatter, ScatterPoint};
+use lightts_data::archive;
+use lightts_distill::aed::run_aed;
+use lightts_search::mobo::{random_search, run_mobo, MoboOutcome};
+use lightts_search::pareto::hypervolume;
+
+fn main() {
+    let args = Args::parse();
+    let spec = archive::table1("Adiac").expect("Adiac spec exists");
+    let ctx = prepare(&spec, BaseModelKind::InceptionTime, &args.scale, args.seed)
+        .expect("context preparation failed");
+    let space = SearchSpace::paper_default(
+        ctx.splits.train.dims(),
+        ctx.splits.train.series_len(),
+        ctx.splits.num_classes(),
+        args.scale.student_filters,
+    );
+    let opts = args.scale.distill_opts(args.seed ^ 0x22);
+    let oracle = |s: &StudentSetting| -> Result<f64, String> {
+        let cfg = s.to_config(&space);
+        run_aed(&ctx.splits, &ctx.teachers, &cfg, &opts.aed)
+            .map(|r| r.val_accuracy)
+            .map_err(|e| e.to_string())
+    };
+
+    let q = args.scale.mobo_q;
+    let runs: Vec<(&str, MoboOutcome)> = vec![
+        (
+            "Random",
+            random_search(&space, oracle, q, args.seed ^ 0x31).expect("random search"),
+        ),
+        (
+            "MOBO",
+            run_mobo(
+                &space,
+                oracle,
+                &args.scale.mobo_config(SpaceRepr::Original, args.seed ^ 0x32),
+            )
+            .expect("MOBO"),
+        ),
+        (
+            "Encoded MOBO",
+            run_mobo(
+                &space,
+                oracle,
+                &args.scale.mobo_config(SpaceRepr::TwoPhaseEncoder, args.seed ^ 0x33),
+            )
+            .expect("Encoded MOBO"),
+        ),
+    ];
+    let ref_size = space.max_size_bits();
+    banner("Figure 22: Pareto frontiers, Adiac");
+    println!("method\tsetting\taccuracy\tsize_kb");
+    for (name, out) in &runs {
+        for p in &out.frontier {
+            println!(
+                "{name}\t{}\t{}\t{:.2}",
+                p.setting.display(),
+                f3(p.accuracy),
+                lightts_nn::size::bits_to_kb(p.size_bits)
+            );
+        }
+    }
+    banner("Figure 22 scatter (R = Random, M = MOBO, E = Encoded MOBO; acc vs KB)");
+    let mut pts = Vec::new();
+    for (name, out) in &runs {
+        let marker = name.chars().next().unwrap_or('?');
+        for p in &out.frontier {
+            pts.push(ScatterPoint {
+                x: lightts_nn::size::bits_to_kb(p.size_bits),
+                y: p.accuracy,
+                marker,
+            });
+        }
+    }
+    print!("{}", render_scatter(&pts, 64, 16));
+
+    banner("Figure 22 summary: hypervolume (bigger = better frontier) and time");
+    println!("method\thypervolume\tseconds\tevaluations");
+    for (name, out) in &runs {
+        println!(
+            "{name}\t{:.3e}\t{:.1}\t{}",
+            hypervolume(&out.frontier, ref_size),
+            out.seconds,
+            out.evaluated.len()
+        );
+    }
+}

@@ -1,0 +1,73 @@
+//! Paper Figure 23: effect of the number of initial random evaluations P on
+//! the Encoded MOBO frontier (Adiac, fixed Q).
+//!
+//! Expected shape: a very small P misleads the GP (frontier concentrated on
+//! large models); moderate P values produce similar frontiers, so the
+//! paper's P = 10 default is already enough.
+
+use lightts::prelude::*;
+use lightts_bench::args::Args;
+use lightts_bench::context::prepare;
+use lightts_bench::report::{banner, f3, render_scatter, ScatterPoint};
+use lightts_data::archive;
+use lightts_distill::aed::run_aed;
+use lightts_search::mobo::run_mobo;
+use lightts_search::pareto::hypervolume;
+
+fn main() {
+    let args = Args::parse();
+    let spec = archive::table1("Adiac").expect("Adiac spec exists");
+    let ctx = prepare(&spec, BaseModelKind::InceptionTime, &args.scale, args.seed)
+        .expect("context preparation failed");
+    let space = SearchSpace::paper_default(
+        ctx.splits.train.dims(),
+        ctx.splits.train.series_len(),
+        ctx.splits.num_classes(),
+        args.scale.student_filters,
+    );
+    let opts = args.scale.distill_opts(args.seed ^ 0x23);
+    let oracle = |s: &StudentSetting| -> Result<f64, String> {
+        let cfg = s.to_config(&space);
+        run_aed(&ctx.splits, &ctx.teachers, &cfg, &opts.aed)
+            .map(|r| r.val_accuracy)
+            .map_err(|e| e.to_string())
+    };
+
+    let ps: &[usize] =
+        if args.scale.name == "quick" { &[2, 5, 8, 12] } else { &[5, 10, 20, 30, 40] };
+    banner("Figure 23: varying P (Encoded MOBO, Adiac)");
+    println!("p_init\tsetting\taccuracy\tsize_kb");
+    let mut summary = Vec::new();
+    let mut scatter: Vec<ScatterPoint> = Vec::new();
+    for &p in ps {
+        let mut cfg = args.scale.mobo_config(SpaceRepr::TwoPhaseEncoder, args.seed ^ p as u64);
+        cfg.p_init = p;
+        let out = run_mobo(&space, oracle, &cfg).expect("Encoded MOBO");
+        for pt in &out.frontier {
+            println!(
+                "{p}\t{}\t{}\t{:.2}",
+                pt.setting.display(),
+                f3(pt.accuracy),
+                lightts_nn::size::bits_to_kb(pt.size_bits)
+            );
+        }
+        let marker = char::from_digit((p % 36) as u32, 36).unwrap_or('?');
+        for pt in &out.frontier {
+            scatter.push(ScatterPoint {
+                x: lightts_nn::size::bits_to_kb(pt.size_bits),
+                y: pt.accuracy,
+                marker,
+            });
+        }
+        summary.push((p, hypervolume(&out.frontier, space.max_size_bits())));
+        eprintln!("  P={p}: frontier size {}", out.frontier.len());
+    }
+    banner("Figure 23 scatter (marker = P, base-36)");
+    print!("{}", render_scatter(&scatter, 64, 16));
+
+    banner("Figure 23 summary: hypervolume by P");
+    println!("p_init\thypervolume");
+    for (p, hv) in summary {
+        println!("{p}\t{hv:.3e}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Paper Table 2: accuracy and top-5 accuracy of lightweight students
+//! distilled from an ensemble of InceptionTime base models, on the nine
+//! Table 1 datasets at 4/8/16-bit quantization, plus the FP-Ensem and
+//! FP-Stud reference rows.
+//!
+//! Expected shape: LightTS and AED-LOO lead on every dataset and sit close
+//! to FP-Ensem; the single-teacher baselines trail, most severely at 4 bits;
+//! FP-Stud (a 32-bit AED student) upper-bounds the quantized students;
+//! UWave's 8 classes saturate top-5 accuracy for everyone.
+
+use lightts_bench::args::Args;
+use lightts_bench::context::{prepare, test_metrics};
+use lightts_bench::report::{banner, f2};
+use lightts_bench::runner::run_methods_on;
+use lightts_data::archive;
+use lightts_models::ensemble::BaseModelKind;
+use lightts::prelude::*;
+
+fn main() {
+    let args = Args::parse();
+    let bits = [4u8, 8, 16];
+    let methods = [
+        Method::ClassicKd,
+        Method::AeKd,
+        Method::Reinforced,
+        Method::Cawpe,
+        Method::AedLoo,
+        Method::LightTs,
+    ];
+    for spec in archive::table1_specs() {
+        eprintln!("table2: {}", spec.name);
+        let ctx = prepare(&spec, BaseModelKind::InceptionTime, &args.scale, args.seed)
+            .expect("context preparation failed");
+        let (ens_acc, ens_top5) = test_metrics(&ctx.ensemble, &ctx.splits).expect("ensemble eval");
+
+        // FP-Stud: 32-bit student distilled with full LightTS
+        let opts = args.scale.distill_opts(args.seed ^ 0xF5);
+        let cfg32 = args.scale.student_config(&ctx.splits, 32);
+        let fp_stud = run_method(Method::LightTs, &ctx.splits, &ctx.teachers, &cfg32, &opts)
+            .expect("FP-Stud distillation");
+        let (stud_acc, stud_top5) =
+            test_metrics(&fp_stud.student, &ctx.splits).expect("FP-Stud eval");
+
+        banner(&format!("Table 2: {}", spec.name));
+        println!(
+            "FP-Ensem/FP-Stud\tAccuracy {} / {}\tTop-5 {} / {}",
+            f2(ens_acc),
+            f2(stud_acc),
+            f2(ens_top5),
+            f2(stud_top5)
+        );
+        println!("method\tacc4\tacc8\tacc16\ttop5_4\ttop5_8\ttop5_16");
+
+        // collect per method across bit-widths
+        let mut acc = vec![[0.0f64; 3]; methods.len()];
+        let mut top5 = vec![[0.0f64; 3]; methods.len()];
+        for (bi, &b) in bits.iter().enumerate() {
+            let results = run_methods_on(&ctx, &args.scale, &methods, b, args.seed ^ u64::from(b))
+                .expect("method run");
+            for (mi, &(a, t, _)) in results.iter().enumerate() {
+                acc[mi][bi] = a;
+                top5[mi][bi] = t;
+            }
+        }
+        for (mi, m) in methods.iter().enumerate() {
+            println!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                m.as_str(),
+                f2(acc[mi][0]),
+                f2(acc[mi][1]),
+                f2(acc[mi][2]),
+                f2(top5[mi][0]),
+                f2(top5[mi][1]),
+                f2(top5[mi][2])
+            );
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Paper Table 3: teacher-removal strategy ablation on Adiac — no removal
+//! vs. softmax-argmin removal vs. the confident Gumbel-softmax removal
+//! LightTS uses, at 4/8/16 bits.
+//!
+//! Expected shape: Gumbel removal clearly ahead of both ablations on
+//! accuracy and top-5 accuracy.
+
+use lightts::prelude::*;
+use lightts_bench::args::Args;
+use lightts_bench::context::prepare;
+use lightts_bench::report::{banner, f2};
+use lightts_data::archive;
+use lightts_distill::removal::{lightts_removal, RemovalStrategy};
+use lightts_models::metrics::{accuracy, top_k_accuracy};
+
+fn main() {
+    let args = Args::parse();
+    let spec = archive::table1("Adiac").expect("Adiac spec exists");
+    eprintln!("table3: {} scale {}", spec.name, args.scale.name);
+    let ctx = prepare(&spec, BaseModelKind::InceptionTime, &args.scale, args.seed)
+        .expect("context preparation failed");
+
+    let strategies = [
+        ("No removal", RemovalStrategy::None),
+        ("Softmax", RemovalStrategy::Softmax),
+        ("Gumbel", RemovalStrategy::GumbelConfident),
+    ];
+    let bits = [4u8, 8, 16];
+
+    banner("Table 3: teacher-removal strategies, Adiac");
+    println!("strategy\tacc4\tacc8\tacc16\ttop5_4\ttop5_8\ttop5_16");
+    for (name, strategy) in strategies {
+        let mut acc = [0.0f64; 3];
+        let mut top5 = [0.0f64; 3];
+        for (bi, &b) in bits.iter().enumerate() {
+            let cfg = args.scale.student_config(&ctx.splits, b);
+            let opts = args.scale.distill_opts(args.seed ^ u64::from(b));
+            let res = lightts_removal(&ctx.splits, &ctx.teachers, &cfg, &opts.aed, strategy)
+                .expect("removal run");
+            let probs = res
+                .student
+                .predict_proba_dataset(&ctx.splits.test)
+                .expect("prediction");
+            acc[bi] = accuracy(&probs, ctx.splits.test.labels()).expect("accuracy");
+            top5[bi] = top_k_accuracy(&probs, ctx.splits.test.labels(), 5).expect("top5");
+            eprintln!("  {name} {b}-bit: acc {:.3} (kept {:?})", acc[bi], res.kept);
+        }
+        println!(
+            "{name}\t{}\t{}\t{}\t{}\t{}\t{}",
+            f2(acc[0]),
+            f2(acc[1]),
+            f2(acc[2]),
+            f2(top5[0]),
+            f2(top5[1]),
+            f2(top5[2])
+        );
+    }
+}

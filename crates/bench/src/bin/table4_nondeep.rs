@@ -1,0 +1,79 @@
+//! Paper Table 4: distillation from non-deep teacher ensembles (TDE, CIF,
+//! Time Series Forest) on Adiac and PigAirway.
+//!
+//! Expected shape: LightTS beats the single-teacher baselines by a large
+//! factor (the paper reports ≈ 3×) because it can select the teachers whose
+//! knowledge transfers across the architecture gap, while FP-Ensem is not
+//! reached (teacher/student architecture mismatch costs accuracy).
+
+use lightts::prelude::*;
+use lightts_bench::args::Args;
+use lightts_bench::context::{prepare, test_metrics};
+use lightts_bench::report::{banner, f2};
+use lightts_bench::runner::run_methods_on;
+use lightts_data::archive;
+
+fn main() {
+    let args = Args::parse();
+    let kinds = [BaseModelKind::Tde, BaseModelKind::Cif, BaseModelKind::Forest];
+    let datasets = ["Adiac", "PigAirway"];
+    let methods = [
+        Method::ClassicKd,
+        Method::AeKd,
+        Method::Reinforced,
+        Method::Cawpe,
+        Method::LightTs,
+    ];
+    let bits = [4u8, 8, 16];
+
+    for name in datasets {
+        let spec = archive::table1(name).expect("known dataset");
+        for kind in kinds {
+            eprintln!("table4: {} × {}", name, kind.as_str());
+            let ctx = prepare(&spec, kind, &args.scale, args.seed)
+                .expect("context preparation failed");
+            let (ens_acc, ens_top5) =
+                test_metrics(&ctx.ensemble, &ctx.splits).expect("ensemble eval");
+
+            // FP-Stud: 32-bit LightTS student from the same teachers
+            let opts = args.scale.distill_opts(args.seed ^ 0xF5);
+            let cfg32 = args.scale.student_config(&ctx.splits, 32);
+            let fp = run_method(Method::LightTs, &ctx.splits, &ctx.teachers, &cfg32, &opts)
+                .expect("FP-Stud run");
+            let (stud_acc, stud_top5) = test_metrics(&fp.student, &ctx.splits).expect("eval");
+
+            banner(&format!("Table 4: {} teachers on {}", kind.as_str(), name));
+            println!(
+                "FP-Ensem/FP-Stud\tAccuracy {} / {}\tTop-5 {} / {}",
+                f2(ens_acc),
+                f2(stud_acc),
+                f2(ens_top5),
+                f2(stud_top5)
+            );
+            println!("method\tacc4\tacc8\tacc16\ttop5_4\ttop5_8\ttop5_16");
+            let mut acc = vec![[0.0f64; 3]; methods.len()];
+            let mut top5 = vec![[0.0f64; 3]; methods.len()];
+            for (bi, &b) in bits.iter().enumerate() {
+                let results =
+                    run_methods_on(&ctx, &args.scale, &methods, b, args.seed ^ u64::from(b))
+                        .expect("method run");
+                for (mi, &(a, t, _)) in results.iter().enumerate() {
+                    acc[mi][bi] = a;
+                    top5[mi][bi] = t;
+                }
+            }
+            for (mi, m) in methods.iter().enumerate() {
+                println!(
+                    "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    m.as_str(),
+                    f2(acc[mi][0]),
+                    f2(acc[mi][1]),
+                    f2(acc[mi][2]),
+                    f2(top5[mi][0]),
+                    f2(top5[mi][1]),
+                    f2(top5[mi][2])
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Paper Table 5: quality of the GP accuracy estimator under different
+//! setting representations — Original, Normalized, Single (autoencoder)
+//! Encoder, Two-phase Encoder — on Adiac, PigAirway, and NonInvECG2.
+//!
+//! Protocol: sample settings, obtain their ground-truth accuracies with
+//! AED, fit a GP per representation on half, and report MAE/MAPE of the
+//! GP's predictions on the held-out half.
+//!
+//! Expected shape: the two-phase encoder gives the lowest errors; plain
+//! normalization does not help by itself.
+
+use lightts::prelude::*;
+use lightts_bench::args::Args;
+use lightts_bench::context::prepare;
+use lightts_bench::report::{banner, f2};
+use lightts_data::archive;
+use lightts_distill::aed::run_aed;
+use lightts_search::encoder::train_encoder;
+use lightts_search::gp::GaussianProcess;
+use lightts_tensor::rng::seeded;
+
+fn main() {
+    let args = Args::parse();
+    let n_settings = if args.scale.name == "quick" { 28 } else { 50 };
+    let reprs = [
+        SpaceRepr::Original,
+        SpaceRepr::Normalized,
+        SpaceRepr::SingleEncoder,
+        SpaceRepr::TwoPhaseEncoder,
+    ];
+
+    banner("Table 5: GP accuracy-estimation error");
+    println!("dataset\trepresentation\tMAE\tMAPE");
+    for name in ["Adiac", "PigAirway", "NonInvECG2"] {
+        let spec = archive::table1(name).expect("known dataset");
+        eprintln!("table5: {name}: preparing + evaluating {n_settings} settings");
+        let ctx = prepare(&spec, BaseModelKind::InceptionTime, &args.scale, args.seed)
+            .expect("context preparation failed");
+        let space = SearchSpace::paper_default(
+            ctx.splits.train.dims(),
+            ctx.splits.train.series_len(),
+            ctx.splits.num_classes(),
+            args.scale.student_filters,
+        );
+        let mut rng = seeded(args.seed ^ 0x55);
+        let settings = space.sample_distinct(&mut rng, n_settings);
+        let opts = args.scale.distill_opts(args.seed ^ 0x56);
+        let truths: Vec<f64> = settings
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let cfg = s.to_config(&space);
+                let acc = run_aed(&ctx.splits, &ctx.teachers, &cfg, &opts.aed)
+                    .expect("AED evaluation")
+                    .val_accuracy;
+                eprintln!("  [{}/{}] {} -> {:.3}", i + 1, n_settings, s.display(), acc);
+                acc
+            })
+            .collect();
+
+        // fit on even indices, evaluate on odd
+        let fit_idx: Vec<usize> = (0..n_settings).step_by(2).collect();
+        let eval_idx: Vec<usize> = (1..n_settings).step_by(2).collect();
+        let fit_pairs: Vec<(StudentSetting, f64)> =
+            fit_idx.iter().map(|&i| (settings[i].clone(), truths[i])).collect();
+
+        for repr in reprs {
+            let encoder = match repr {
+                SpaceRepr::SingleEncoder => Some(
+                    train_encoder(&space, &fit_pairs, &Default::default(), false)
+                        .expect("encoder"),
+                ),
+                SpaceRepr::TwoPhaseEncoder => Some(
+                    train_encoder(&space, &fit_pairs, &Default::default(), true)
+                        .expect("encoder"),
+                ),
+                _ => None,
+            };
+            let encode = |s: &StudentSetting| -> Vec<f32> {
+                match repr {
+                    SpaceRepr::Original => space.encode_raw(s),
+                    SpaceRepr::Normalized => space.encode_normalized(s),
+                    _ => encoder
+                        .as_ref()
+                        .expect("encoder present")
+                        .encode(&space, s)
+                        .expect("encode"),
+                }
+            };
+            let xs: Vec<Vec<f32>> = fit_idx.iter().map(|&i| encode(&settings[i])).collect();
+            let ys: Vec<f32> = fit_idx.iter().map(|&i| truths[i] as f32).collect();
+            let gp = GaussianProcess::fit(xs, &ys).expect("GP fit");
+            let mut mae = 0.0f64;
+            let mut mape = 0.0f64;
+            for &i in &eval_idx {
+                let (mu, _) = gp.predict(&encode(&settings[i])).expect("GP predict");
+                let err = (f64::from(mu) - truths[i]).abs();
+                mae += err;
+                mape += err / truths[i].max(0.05);
+            }
+            mae /= eval_idx.len() as f64;
+            mape /= eval_idx.len() as f64;
+            println!("{name}\t{}\t{}\t{}", repr.as_str(), f2(mae), f2(mape));
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! Paper Table 6: optimization running time of Random search, MOBO, and
+//! Encoded MOBO on Adiac, PigAirway, and NonInvECG2.
+//!
+//! Expected shape: Random is fastest (no model fitting); Encoded MOBO costs
+//! only slightly more than MOBO (the encoder is cheap next to the AED
+//! evaluations), mirroring the paper's near-identical MOBO columns.
+
+use lightts::prelude::*;
+use lightts_bench::args::Args;
+use lightts_bench::context::prepare;
+use lightts_bench::report::banner;
+use lightts_data::archive;
+use lightts_distill::aed::run_aed;
+use lightts_search::mobo::{random_search, run_mobo};
+
+fn main() {
+    let args = Args::parse();
+    banner("Table 6: optimization running time (seconds)");
+    println!("dataset\tRandom\tMOBO\tEncoded MOBO");
+    for name in ["Adiac", "PigAirway", "NonInvECG2"] {
+        let spec = archive::table1(name).expect("known dataset");
+        eprintln!("table6: {name}");
+        let ctx = prepare(&spec, BaseModelKind::InceptionTime, &args.scale, args.seed)
+            .expect("context preparation failed");
+        let space = SearchSpace::paper_default(
+            ctx.splits.train.dims(),
+            ctx.splits.train.series_len(),
+            ctx.splits.num_classes(),
+            args.scale.student_filters,
+        );
+        let opts = args.scale.distill_opts(args.seed ^ 0x66);
+        let oracle = |s: &StudentSetting| -> Result<f64, String> {
+            let cfg = s.to_config(&space);
+            run_aed(&ctx.splits, &ctx.teachers, &cfg, &opts.aed)
+                .map(|r| r.val_accuracy)
+                .map_err(|e| e.to_string())
+        };
+        let q = args.scale.mobo_q;
+        let t_rand = random_search(&space, oracle, q, args.seed ^ 0x41)
+            .expect("random search")
+            .seconds;
+        let t_mobo = run_mobo(
+            &space,
+            oracle,
+            &args.scale.mobo_config(SpaceRepr::Original, args.seed ^ 0x42),
+        )
+        .expect("MOBO")
+        .seconds;
+        let t_enc = run_mobo(
+            &space,
+            oracle,
+            &args.scale.mobo_config(SpaceRepr::TwoPhaseEncoder, args.seed ^ 0x43),
+        )
+        .expect("Encoded MOBO")
+        .seconds;
+        println!("{name}\t{t_rand:.1}\t{t_mobo:.1}\t{t_enc:.1}");
+    }
+}

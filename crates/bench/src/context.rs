@@ -1,0 +1,207 @@
+//! Shared experiment setup: scale presets and dataset/teacher preparation.
+
+use lightts::prelude::*;
+use lightts::LightTsError;
+use lightts_data::archive::DatasetSpec;
+use lightts_distill::aed::AedConfig;
+use lightts_distill::weights::WeightTransform;
+use lightts_search::encoder::EncoderConfig;
+use lightts_tensor::rng::derive_seed;
+
+/// Result alias for harness code.
+pub type Result<T> = std::result::Result<T, LightTsError>;
+
+/// A scale preset: every knob that trades fidelity for wall-clock.
+///
+/// `quick` finishes each experiment in minutes on a laptop; `full` runs the
+/// same code at larger data/epoch budgets. Both preserve the paper's
+/// *relative* comparisons (who beats whom) — see DESIGN.md.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentScale {
+    /// Preset name (`"quick"` / `"full"`).
+    pub name: &'static str,
+    /// Dataset generation scale.
+    pub data: Scale,
+    /// Ensemble size `N` (paper: 10).
+    pub n_teachers: usize,
+    /// Teacher width (conv filters per layer).
+    pub teacher_filters: usize,
+    /// Teacher training epochs.
+    pub teacher_epochs: usize,
+    /// Student width.
+    pub student_filters: usize,
+    /// Student (distillation) epochs.
+    pub student_epochs: usize,
+    /// AED outer update period `v`.
+    pub v: usize,
+    /// AED-LOO evaluation budget.
+    pub loo_max_evals: usize,
+    /// MOBO total evaluations `Q` (paper: 50).
+    pub mobo_q: usize,
+    /// MOBO initial random evaluations `P` (paper: 10).
+    pub mobo_p: usize,
+}
+
+impl ExperimentScale {
+    /// Laptop preset.
+    pub fn quick() -> Self {
+        ExperimentScale {
+            name: "quick",
+            data: Scale::quick(),
+            n_teachers: 5,
+            teacher_filters: 6,
+            teacher_epochs: 16,
+            student_filters: 6,
+            student_epochs: 16,
+            v: 4,
+            loo_max_evals: 6,
+            mobo_q: 16,
+            mobo_p: 5,
+        }
+    }
+
+    /// Paper-shaped preset (still CPU-feasible).
+    pub fn full() -> Self {
+        ExperimentScale {
+            name: "full",
+            data: Scale::full(),
+            n_teachers: 10,
+            teacher_filters: 8,
+            teacher_epochs: 50,
+            student_filters: 8,
+            student_epochs: 40,
+            v: 6,
+            loo_max_evals: 15,
+            mobo_q: 50,
+            mobo_p: 10,
+        }
+    }
+
+    /// The distillation options this scale implies.
+    pub fn distill_opts(&self, seed: u64) -> DistillOpts {
+        DistillOpts {
+            aed: AedConfig {
+                train: StudentTrainOpts {
+                    alpha: 0.5,
+                    epochs: self.student_epochs,
+                    batch_size: 32,
+                    lr: 0.01,
+                    adam: true,
+                    seed,
+                },
+                v: self.v,
+                lambda_lr: 2.0,
+                transform: WeightTransform::GumbelConfident { tau: 0.5 },
+            },
+            loo_max_evals: self.loo_max_evals,
+            reinforced_episodes: 3,
+            reinforced_lr: 4.0,
+        }
+    }
+
+    /// The MOBO configuration this scale implies.
+    pub fn mobo_config(&self, repr: SpaceRepr, seed: u64) -> MoboConfig {
+        MoboConfig {
+            q: self.mobo_q,
+            p_init: self.mobo_p,
+            candidates: 192,
+            repr,
+            encoder: EncoderConfig { epochs: 60, r_samples: 512, ..Default::default() },
+            encoder_refresh: 10,
+            seed,
+        }
+    }
+
+    /// The Scenario-1 student configuration (3 blocks × 3 layers, filter 40)
+    /// at a uniform bit-width.
+    pub fn student_config(&self, splits: &Splits, bits: u8) -> InceptionConfig {
+        InceptionConfig::student(
+            splits.train.dims(),
+            splits.train.series_len(),
+            splits.num_classes(),
+            self.student_filters,
+            bits,
+        )
+    }
+}
+
+/// Everything one experiment needs for one dataset: data, a trained teacher
+/// ensemble, and the teachers' pre-computed class distributions.
+pub struct DatasetContext {
+    /// The generating spec.
+    pub spec: DatasetSpec,
+    /// Train/validation/test splits.
+    pub splits: Splits,
+    /// The trained `N`-member ensemble.
+    pub ensemble: Ensemble,
+    /// Per-teacher probabilities on train/validation.
+    pub teachers: TeacherProbs,
+}
+
+/// Generates the dataset and trains the teacher ensemble for `spec`.
+pub fn prepare(
+    spec: &DatasetSpec,
+    kind: BaseModelKind,
+    scale: &ExperimentScale,
+    seed: u64,
+) -> Result<DatasetContext> {
+    let splits = spec.try_generate(scale.data)?;
+    let cfg = EnsembleTrainConfig {
+        n_members: scale.n_teachers,
+        seed: derive_seed(seed, 0xEE),
+        filters: scale.teacher_filters,
+        inception: TrainConfig {
+            epochs: scale.teacher_epochs,
+            batch_size: 64,
+            lr: 0.01,
+            adam: true,
+            seed: derive_seed(seed, 0xEF),
+        },
+        ..EnsembleTrainConfig::default()
+    };
+    let ensemble = train_ensemble(kind, &splits.train, &cfg)?;
+    let teachers = TeacherProbs::compute(&ensemble, &splits)?;
+    Ok(DatasetContext { spec: spec.clone(), splits, ensemble, teachers })
+}
+
+/// Evaluates a classifier's accuracy and top-5 accuracy on the test split.
+pub fn test_metrics(
+    clf: &dyn Classifier,
+    splits: &Splits,
+) -> Result<(f64, f64)> {
+    let probs = clf.predict_proba_dataset(&splits.test)?;
+    let acc = accuracy(&probs, splits.test.labels())?;
+    let top5 = top_k_accuracy(&probs, splits.test.labels(), 5)?;
+    Ok((acc, top5))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_data::archive;
+
+    #[test]
+    fn scales_are_ordered() {
+        let q = ExperimentScale::quick();
+        let f = ExperimentScale::full();
+        assert!(q.n_teachers <= f.n_teachers);
+        assert!(q.student_epochs <= f.student_epochs);
+        assert!(q.mobo_q <= f.mobo_q);
+    }
+
+    #[test]
+    fn prepare_builds_consistent_context() {
+        let mut spec = archive::table1("UWave").unwrap();
+        spec.difficulty = 0.2;
+        let mut scale = ExperimentScale::quick();
+        scale.n_teachers = 2;
+        scale.teacher_epochs = 4;
+        let ctx = prepare(&spec, BaseModelKind::Forest, &scale, 1).unwrap();
+        assert_eq!(ctx.ensemble.len(), 2);
+        assert_eq!(ctx.teachers.len(), 2);
+        assert_eq!(ctx.splits.num_classes(), 8);
+        let (acc, top5) = test_metrics(&ctx.ensemble, &ctx.splits).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(top5 >= acc);
+    }
+}

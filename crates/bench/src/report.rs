@@ -1,0 +1,165 @@
+//! TSV/report helpers shared by the experiment binaries.
+
+/// Prints a TSV header row.
+pub fn header(columns: &[&str]) {
+    println!("{}", columns.join("\t"));
+}
+
+/// Formats a float for tables (2 decimals, paper style).
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Formats a float with 3 decimals.
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Prints one TSV row.
+pub fn row(cells: &[String]) {
+    println!("{}", cells.join("\t"));
+}
+
+/// Prints a section banner to separate logical blocks in the output.
+pub fn banner(title: &str) {
+    println!("\n# {title}");
+}
+
+/// A labeled point for [`render_scatter`].
+#[derive(Debug, Clone, Copy)]
+pub struct ScatterPoint {
+    /// Horizontal value (e.g. model size in KB).
+    pub x: f64,
+    /// Vertical value (e.g. accuracy).
+    pub y: f64,
+    /// Single-character series marker.
+    pub marker: char,
+}
+
+/// Renders points as an ASCII scatter plot (the experiment binaries' stand-in
+/// for the paper's accuracy-vs-size figures). The y axis grows upward; later
+/// points overwrite earlier ones on collisions.
+pub fn render_scatter(points: &[ScatterPoint], width: usize, height: usize) -> String {
+    if points.is_empty() || width < 2 || height < 2 {
+        return String::from("(no points)\n");
+    }
+    let (mut x_lo, mut x_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut y_lo, mut y_hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in points {
+        x_lo = x_lo.min(p.x);
+        x_hi = x_hi.max(p.x);
+        y_lo = y_lo.min(p.y);
+        y_hi = y_hi.max(p.y);
+    }
+    if x_hi <= x_lo {
+        x_hi = x_lo + 1.0;
+    }
+    if y_hi <= y_lo {
+        y_hi = y_lo + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for p in points {
+        let cx = ((p.x - x_lo) / (x_hi - x_lo) * (width - 1) as f64).round() as usize;
+        let cy = ((p.y - y_lo) / (y_hi - y_lo) * (height - 1) as f64).round() as usize;
+        grid[height - 1 - cy][cx] = p.marker;
+    }
+    let mut out = String::new();
+    out.push_str(&format!("y: {y_lo:.3} .. {y_hi:.3} (up)\n"));
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.extend(std::iter::repeat_n('-', width));
+    out.push('\n');
+    out.push_str(&format!("x: {x_lo:.1} .. {x_hi:.1}\n"));
+    out
+}
+
+/// Summary statistics of a sample (for the Figure 18(b) box plots).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxStats {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+/// Computes box-plot statistics; returns `None` for an empty sample.
+pub fn box_stats(values: &[f64]) -> Option<BoxStats> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.total_cmp(b));
+    let q = |p: f64| -> f64 {
+        let pos = p * (v.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        if lo == hi {
+            v[lo]
+        } else {
+            v[lo] + (v[hi] - v[lo]) * (pos - lo as f64)
+        }
+    };
+    Some(BoxStats { min: v[0], q1: q(0.25), median: q(0.5), q3: q(0.75), max: v[v.len() - 1] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(f2(0.456), "0.46");
+        assert_eq!(f3(0.4567), "0.457");
+    }
+
+    #[test]
+    fn box_stats_of_known_sample() {
+        let s = box_stats(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+        assert_eq!(s.max, 5.0);
+        assert!(box_stats(&[]).is_none());
+    }
+
+    #[test]
+    fn scatter_places_extremes_at_corners() {
+        let pts = vec![
+            ScatterPoint { x: 0.0, y: 0.0, marker: 'a' },
+            ScatterPoint { x: 10.0, y: 1.0, marker: 'b' },
+        ];
+        let s = render_scatter(&pts, 20, 5);
+        let rows: Vec<&str> = s.lines().collect();
+        // first grid row (top) holds the max-y point at the right edge
+        assert!(rows[1].ends_with('b'), "{s}");
+        // last grid row holds the min point at the left edge
+        assert!(rows[5].starts_with("|a"), "{s}");
+        assert!(s.contains("x: 0.0 .. 10.0"));
+    }
+
+    #[test]
+    fn scatter_handles_degenerate_input() {
+        assert_eq!(render_scatter(&[], 10, 5), "(no points)\n");
+        let one = vec![ScatterPoint { x: 3.0, y: 0.5, marker: '*' }];
+        let s = render_scatter(&one, 10, 5);
+        assert!(s.contains('*'));
+    }
+
+    #[test]
+    fn box_stats_interpolates() {
+        let s = box_stats(&[0.0, 1.0]).unwrap();
+        assert_eq!(s.median, 0.5);
+        assert_eq!(s.q1, 0.25);
+    }
+}

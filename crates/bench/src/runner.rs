@@ -1,0 +1,161 @@
+//! The ranking engine: runs every distillation method over a set of
+//! datasets and bit-widths, collecting test accuracies (for the Friedman /
+//! Wilcoxon–Holm ranking figures) and training times (Figure 18).
+
+use crate::context::{prepare, test_metrics, DatasetContext, ExperimentScale, Result};
+use lightts::prelude::*;
+use lightts_data::archive::DatasetSpec;
+use lightts_tensor::rng::derive_seed;
+
+/// One evaluated cell: a method's student on one dataset at one bit-width.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Dataset name.
+    pub dataset: String,
+    /// Student bit-width.
+    pub bits: u8,
+}
+
+/// The complete ranking data: a `methods × cells` score matrix plus
+/// training times.
+#[derive(Debug, Clone)]
+pub struct RankingData {
+    /// Row names: the seven methods plus `FP-Ensem`.
+    pub names: Vec<String>,
+    /// Test accuracy per method per cell.
+    pub scores: Vec<Vec<f64>>,
+    /// Training seconds per method per cell (0 for `FP-Ensem`, which is
+    /// already trained).
+    pub times: Vec<Vec<f64>>,
+    /// Cell descriptors, aligned with the score columns.
+    pub cells: Vec<Cell>,
+}
+
+impl RankingData {
+    /// Restricts the data to cells with the given bit-width.
+    pub fn filter_bits(&self, bits: u8) -> RankingData {
+        let keep: Vec<usize> = self
+            .cells
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.bits == bits)
+            .map(|(i, _)| i)
+            .collect();
+        RankingData {
+            names: self.names.clone(),
+            scores: self
+                .scores
+                .iter()
+                .map(|row| keep.iter().map(|&i| row[i]).collect())
+                .collect(),
+            times: self
+                .times
+                .iter()
+                .map(|row| keep.iter().map(|&i| row[i]).collect())
+                .collect(),
+            cells: keep.iter().map(|&i| self.cells[i].clone()).collect(),
+        }
+    }
+}
+
+/// The methods compared in the ranking figures, in table order.
+pub fn ranking_methods() -> Vec<Method> {
+    Method::all().to_vec()
+}
+
+/// Runs all methods over `specs × bits`, using `kind` base models.
+///
+/// Progress goes to stderr; the caller owns stdout for the TSV artifact.
+pub fn run_ranking(
+    specs: &[DatasetSpec],
+    kind: BaseModelKind,
+    scale: &ExperimentScale,
+    seed: u64,
+    bits: &[u8],
+) -> Result<RankingData> {
+    let methods = ranking_methods();
+    let mut names: Vec<String> = methods.iter().map(|m| m.as_str().to_string()).collect();
+    names.push("FP-Ensem".to_string());
+    let rows = names.len();
+    let mut scores: Vec<Vec<f64>> = vec![Vec::new(); rows];
+    let mut times: Vec<Vec<f64>> = vec![Vec::new(); rows];
+    let mut cells = Vec::new();
+
+    for (di, spec) in specs.iter().enumerate() {
+        eprintln!("[{}/{}] {}: preparing teachers…", di + 1, specs.len(), spec.name);
+        let ctx = prepare(spec, kind, scale, derive_seed(seed, di as u64))?;
+        let (ens_acc, _) = test_metrics(&ctx.ensemble, &ctx.splits)?;
+        for &b in bits {
+            let cfg = scale.student_config(&ctx.splits, b);
+            let opts = scale.distill_opts(derive_seed(seed, 1000 + di as u64));
+            for (mi, &m) in methods.iter().enumerate() {
+                let out = run_method(m, &ctx.splits, &ctx.teachers, &cfg, &opts)?;
+                let (acc, _) = test_metrics(&out.student, &ctx.splits)?;
+                scores[mi].push(acc);
+                times[mi].push(out.train_seconds);
+                eprintln!(
+                    "  {} {}-bit {}: test acc {:.3} ({:.1}s)",
+                    spec.name,
+                    b,
+                    m.as_str(),
+                    acc,
+                    out.train_seconds
+                );
+            }
+            // FP-Ensem appears once per cell so ranks are comparable
+            scores[rows - 1].push(ens_acc);
+            times[rows - 1].push(0.0);
+            cells.push(Cell { dataset: spec.name.clone(), bits: b });
+        }
+    }
+    Ok(RankingData { names, scores, times, cells })
+}
+
+/// Runs one dataset context through all methods at one bit-width, returning
+/// `(accuracy, top5, seconds)` per method — the Table 2/4 inner loop.
+pub fn run_methods_on(
+    ctx: &DatasetContext,
+    scale: &ExperimentScale,
+    methods: &[Method],
+    bits: u8,
+    seed: u64,
+) -> Result<Vec<(f64, f64, f64)>> {
+    let cfg = scale.student_config(&ctx.splits, bits);
+    let opts = scale.distill_opts(seed);
+    let mut out = Vec::with_capacity(methods.len());
+    for &m in methods {
+        let res = run_method(m, &ctx.splits, &ctx.teachers, &cfg, &opts)?;
+        let (acc, top5) = test_metrics(&res.student, &ctx.splits)?;
+        eprintln!("  {} {}-bit {}: acc {:.3} top5 {:.3}", ctx.spec.name, bits, m.as_str(), acc, top5);
+        out.push((acc, top5, res.train_seconds));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filter_bits_selects_columns() {
+        let data = RankingData {
+            names: vec!["A".into(), "B".into()],
+            scores: vec![vec![0.1, 0.2, 0.3], vec![0.4, 0.5, 0.6]],
+            times: vec![vec![1.0, 2.0, 3.0], vec![4.0, 5.0, 6.0]],
+            cells: vec![
+                Cell { dataset: "x".into(), bits: 4 },
+                Cell { dataset: "x".into(), bits: 8 },
+                Cell { dataset: "y".into(), bits: 4 },
+            ],
+        };
+        let f = data.filter_bits(4);
+        assert_eq!(f.scores[0], vec![0.1, 0.3]);
+        assert_eq!(f.times[1], vec![4.0, 6.0]);
+        assert_eq!(f.cells.len(), 2);
+    }
+
+    #[test]
+    fn ranking_methods_cover_all_seven() {
+        assert_eq!(ranking_methods().len(), 7);
+    }
+}

@@ -1,0 +1,89 @@
+//! Top-level error type aggregating every subsystem.
+
+use lightts_data::DataError;
+use lightts_distill::DistillError;
+use lightts_models::ModelError;
+use lightts_search::SearchError;
+use lightts_stats::StatsError;
+use lightts_tensor::TensorError;
+use std::fmt;
+
+/// Errors surfaced by the high-level LightTS pipeline.
+#[derive(Debug)]
+pub enum LightTsError {
+    /// Tensor/autodiff failure.
+    Tensor(TensorError),
+    /// Dataset failure.
+    Data(DataError),
+    /// Classifier failure.
+    Model(ModelError),
+    /// Distillation failure.
+    Distill(DistillError),
+    /// Search failure.
+    Search(SearchError),
+    /// Statistics failure.
+    Stats(StatsError),
+    /// Pipeline-level misconfiguration.
+    BadConfig {
+        /// Description of the violated constraint.
+        what: String,
+    },
+}
+
+impl fmt::Display for LightTsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Tensor(e) => write!(f, "tensor: {e}"),
+            Self::Data(e) => write!(f, "data: {e}"),
+            Self::Model(e) => write!(f, "model: {e}"),
+            Self::Distill(e) => write!(f, "distill: {e}"),
+            Self::Search(e) => write!(f, "search: {e}"),
+            Self::Stats(e) => write!(f, "stats: {e}"),
+            Self::BadConfig { what } => write!(f, "bad configuration: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LightTsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Tensor(e) => Some(e),
+            Self::Data(e) => Some(e),
+            Self::Model(e) => Some(e),
+            Self::Distill(e) => Some(e),
+            Self::Search(e) => Some(e),
+            Self::Stats(e) => Some(e),
+            Self::BadConfig { .. } => None,
+        }
+    }
+}
+
+macro_rules! from_impl {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for LightTsError {
+            fn from(e: $ty) -> Self {
+                LightTsError::$variant(e)
+            }
+        }
+    };
+}
+
+from_impl!(Tensor, TensorError);
+from_impl!(Data, DataError);
+from_impl!(Model, ModelError);
+from_impl!(Distill, DistillError);
+from_impl!(Search, SearchError);
+from_impl!(Stats, StatsError);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: LightTsError = TensorError::Empty { op: "x" }.into();
+        assert!(e.to_string().starts_with("tensor:"));
+        let e: LightTsError = StatsError::BadInput { what: "w".into() }.into();
+        assert!(e.to_string().starts_with("stats:"));
+    }
+}

@@ -1,0 +1,311 @@
+//! The high-level LightTS pipeline: the two problem scenarios of paper
+//! Figure 6 behind one ergonomic type.
+
+use crate::{LightTsError, Result};
+use lightts_data::Splits;
+use lightts_distill::method::{run_method, DistillOpts};
+use lightts_distill::removal::RemovalStrategy;
+use lightts_distill::{DistillOutcome, Method, TeacherProbs};
+use lightts_models::ensemble::Ensemble;
+use lightts_models::inception::InceptionConfig;
+use lightts_search::mobo::{run_mobo, MoboConfig, MoboOutcome};
+use lightts_search::pareto::best_under_budget;
+use lightts_search::{Evaluated, SearchSpace, StudentSetting};
+use std::cell::RefCell;
+
+/// Configuration of the high-level pipeline.
+#[derive(Debug, Clone)]
+pub struct LightTsConfig {
+    /// Student width (convolution filters per layer).
+    pub filters: usize,
+    /// Distillation options (AED schedule, baselines' knobs).
+    pub distill: DistillOpts,
+    /// MOBO options for Problem Scenario 2.
+    pub mobo: MoboConfig,
+    /// Use the full removal loop inside the Scenario-2 accuracy oracle.
+    ///
+    /// The paper's complexity analysis runs AED *with* teacher removal for
+    /// each of the `Q` evaluations (`O(Q·N·E·BP_w)`); that is faithful but
+    /// expensive, so the default uses a single AED run per setting and
+    /// reserves the removal loop for the final chosen setting.
+    pub oracle_with_removal: bool,
+}
+
+impl Default for LightTsConfig {
+    fn default() -> Self {
+        LightTsConfig {
+            filters: 8,
+            distill: DistillOpts::default(),
+            mobo: MoboConfig::default(),
+            oracle_with_removal: false,
+        }
+    }
+}
+
+/// Book-keeping from a Scenario-2 run.
+#[derive(Debug, Clone, Default)]
+pub struct OracleStats {
+    /// Number of AED evaluations performed.
+    pub evaluations: usize,
+    /// Total seconds spent inside the accuracy oracle.
+    pub oracle_seconds: f64,
+}
+
+/// The result of a Pareto-frontier search.
+#[derive(Debug)]
+pub struct ParetoRun {
+    /// The underlying search outcome (all evaluations + frontier).
+    pub outcome: MoboOutcome,
+    /// Oracle accounting.
+    pub stats: OracleStats,
+}
+
+impl ParetoRun {
+    /// The frontier points.
+    pub fn frontier(&self) -> &[Evaluated] {
+        &self.outcome.frontier
+    }
+}
+
+/// The LightTS framework object.
+///
+/// Holds the configuration; all state (data, teachers) is passed per call so
+/// one `LightTs` can serve many datasets.
+#[derive(Debug, Clone, Default)]
+pub struct LightTs {
+    config: LightTsConfig,
+}
+
+impl LightTs {
+    /// Creates a pipeline with the given configuration.
+    pub fn new(config: LightTsConfig) -> Self {
+        LightTs { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &LightTsConfig {
+        &self.config
+    }
+
+    /// **Problem Scenario 1**: distill the ensemble into a student with the
+    /// paper's fixed setting (3 blocks × 3 layers, filter length 40) at the
+    /// given uniform bit-width, using full LightTS (AED + confident Gumbel
+    /// removal).
+    pub fn distill(
+        &self,
+        splits: &Splits,
+        ensemble: &Ensemble,
+        bits: u8,
+    ) -> Result<DistillOutcome> {
+        let teachers = TeacherProbs::compute(ensemble, splits)?;
+        let config = InceptionConfig::student(
+            splits.train.dims(),
+            splits.train.series_len(),
+            splits.num_classes(),
+            self.config.filters,
+            bits,
+        );
+        self.distill_with_config(splits, &teachers, &config)
+    }
+
+    /// Scenario 1 with an explicit student configuration and pre-computed
+    /// teacher probabilities.
+    pub fn distill_with_config(
+        &self,
+        splits: &Splits,
+        teachers: &TeacherProbs,
+        config: &InceptionConfig,
+    ) -> Result<DistillOutcome> {
+        Ok(run_method(Method::LightTs, splits, teachers, config, &self.config.distill)?)
+    }
+
+    /// The paper's default search space for this data shape.
+    pub fn default_space(&self, splits: &Splits) -> SearchSpace {
+        SearchSpace::paper_default(
+            splits.train.dims(),
+            splits.train.series_len(),
+            splits.num_classes(),
+            self.config.filters,
+        )
+    }
+
+    /// **Problem Scenario 2**: explore `space` with encoded MOBO, using AED
+    /// as the accuracy oracle, and return the Pareto frontier.
+    pub fn pareto_frontier(
+        &self,
+        splits: &Splits,
+        teachers: &TeacherProbs,
+        space: &SearchSpace,
+    ) -> Result<ParetoRun> {
+        if teachers.is_empty() {
+            return Err(LightTsError::BadConfig { what: "no teachers".into() });
+        }
+        let stats = RefCell::new(OracleStats::default());
+        let oracle = |setting: &StudentSetting| -> std::result::Result<f64, String> {
+            let t0 = std::time::Instant::now();
+            let config = setting.to_config(space);
+            let res = if self.config.oracle_with_removal {
+                lightts_distill::removal::lightts_removal(
+                    splits,
+                    teachers,
+                    &config,
+                    &self.config.distill.aed,
+                    RemovalStrategy::GumbelConfident,
+                )
+                .map(|r| r.val_accuracy)
+            } else {
+                lightts_distill::aed::run_aed(splits, teachers, &config, &self.config.distill.aed)
+                    .map(|r| r.val_accuracy)
+            };
+            let mut s = stats.borrow_mut();
+            s.evaluations += 1;
+            s.oracle_seconds += t0.elapsed().as_secs_f64();
+            res.map_err(|e| e.to_string())
+        };
+        let outcome = run_mobo(space, oracle, &self.config.mobo)?;
+        Ok(ParetoRun { outcome, stats: stats.into_inner() })
+    }
+
+    /// Picks the most accurate frontier setting whose size fits `budget`
+    /// bytes (the paper's device-selection query, Figure 2).
+    pub fn select_for_budget<'a>(
+        &self,
+        frontier: &'a [Evaluated],
+        budget_bytes: u64,
+    ) -> Option<&'a Evaluated> {
+        best_under_budget(frontier, budget_bytes.saturating_mul(8))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_data::synth::{Generator, SynthConfig};
+    use lightts_distill::aed::AedConfig;
+    use lightts_distill::trainer::StudentTrainOpts;
+    use lightts_distill::weights::WeightTransform;
+    use lightts_models::ensemble::{train_ensemble, BaseModelKind, EnsembleTrainConfig};
+    use lightts_search::encoder::EncoderConfig;
+    use lightts_search::mobo::SpaceRepr;
+
+    fn splits(seed: u64) -> Splits {
+        let gen = Generator::new(
+            SynthConfig { classes: 2, dims: 1, length: 24, difficulty: 0.2, waveforms: 3 },
+            seed,
+        );
+        gen.splits("pipeline-test", 40, 20, 20, seed + 1).unwrap()
+    }
+
+    fn quick() -> LightTs {
+        LightTs::new(LightTsConfig {
+            filters: 4,
+            distill: DistillOpts {
+                aed: AedConfig {
+                    train: StudentTrainOpts { epochs: 6, batch_size: 16, ..Default::default() },
+                    v: 3,
+                    lambda_lr: 2.0,
+                    transform: WeightTransform::GumbelConfident { tau: 0.5 },
+                },
+                ..Default::default()
+            },
+            mobo: MoboConfig {
+                q: 6,
+                p_init: 3,
+                candidates: 16,
+                repr: SpaceRepr::Normalized,
+                encoder: EncoderConfig { epochs: 5, r_samples: 32, ..Default::default() },
+                encoder_refresh: 8,
+                seed: 1,
+            },
+            oracle_with_removal: false,
+        })
+    }
+
+    #[test]
+    fn scenario1_end_to_end() {
+        let s = splits(200);
+        let cfg = EnsembleTrainConfig {
+            n_members: 2,
+            filters: 4,
+            inception: lightts_models::inception::TrainConfig {
+                epochs: 8,
+                batch_size: 16,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let ens = train_ensemble(BaseModelKind::Forest, &s.train, &cfg).unwrap();
+        let out = quick().distill(&s, &ens, 8).unwrap();
+        assert!(out.val_accuracy > 0.4, "val acc {}", out.val_accuracy);
+        assert!(!out.kept_teachers.is_empty());
+        // student really is 8-bit sized: smaller than its 32-bit twin
+        let cfg32 = InceptionConfig::student(1, 24, 2, 4, 32);
+        assert!(out.student.size_bits() < cfg32.size_bits());
+    }
+
+    #[test]
+    fn scenario2_small_search() {
+        let s = splits(201);
+        let cfg = EnsembleTrainConfig {
+            n_members: 2,
+            filters: 4,
+            ..EnsembleTrainConfig::default()
+        };
+        let ens = train_ensemble(BaseModelKind::Forest, &s.train, &cfg).unwrap();
+        let teachers = TeacherProbs::compute(&ens, &s).unwrap();
+        let lt = quick();
+        // a tiny space so the test is fast
+        let mut space = lt.default_space(&s);
+        space.layer_choices = vec![1, 2];
+        space.filter_choices = vec![8];
+        space.bit_choices = vec![4, 8];
+        space.blocks = 2;
+        let run = lt.pareto_frontier(&s, &teachers, &space).unwrap();
+        assert_eq!(run.stats.evaluations, 6);
+        assert!(!run.frontier().is_empty());
+        assert!(run.stats.oracle_seconds > 0.0);
+        // frontier points carry consistent sizes
+        for p in run.frontier() {
+            assert_eq!(p.size_bits, space.size_bits(&p.setting));
+        }
+        // budget selection returns the best point that fits
+        let largest = run.frontier().iter().map(|p| p.size_bits).max().unwrap();
+        let pick = lt.select_for_budget(run.frontier(), largest.div_ceil(8)).unwrap();
+        let best_acc =
+            run.frontier().iter().map(|p| p.accuracy).fold(f64::NEG_INFINITY, f64::max);
+        assert!((pick.accuracy - best_acc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn oracle_with_removal_runs_the_full_loop_per_setting() {
+        let s = splits(203);
+        let cfg = EnsembleTrainConfig {
+            n_members: 2,
+            filters: 4,
+            ..EnsembleTrainConfig::default()
+        };
+        let ens = train_ensemble(BaseModelKind::Forest, &s.train, &cfg).unwrap();
+        let teachers = TeacherProbs::compute(&ens, &s).unwrap();
+        let mut lt = quick();
+        lt.config.oracle_with_removal = true;
+        lt.config.mobo.q = 3;
+        lt.config.mobo.p_init = 2;
+        let mut space = lt.default_space(&s);
+        space.blocks = 1;
+        space.layer_choices = vec![1];
+        space.filter_choices = vec![8];
+        space.bit_choices = vec![4, 8, 16, 32];
+        let run = lt.pareto_frontier(&s, &teachers, &space).unwrap();
+        assert_eq!(run.stats.evaluations, 3);
+        assert!(!run.frontier().is_empty());
+    }
+
+    #[test]
+    fn empty_teachers_rejected() {
+        let s = splits(202);
+        let lt = quick();
+        let empty = TeacherProbs { train: vec![], val: vec![], val_accuracy: vec![], num_classes: 2 };
+        let space = lt.default_space(&s);
+        assert!(lt.pareto_frontier(&s, &empty, &space).is_err());
+    }
+}

@@ -1,0 +1,234 @@
+//! The synthetic archive: named analogues of the paper's Table 1 datasets
+//! and a 128-dataset analogue of the full UCR archive.
+//!
+//! Every spec regenerates deterministically from a fixed per-name seed, so
+//! every distillation method in every experiment sees byte-identical data —
+//! the property the paper's comparisons rely on.
+
+use crate::synth::{Generator, SynthConfig};
+use crate::{Result, Scale, Splits};
+use lightts_tensor::rng::{derive_seed, seeded};
+use rand::Rng;
+
+/// Application domain of a dataset (Table 1's "Domain" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Domain {
+    /// Image-outline derived series.
+    Images,
+    /// Electrocardiograms.
+    Ecg,
+    /// Audio-derived series.
+    Sound,
+    /// Hemodynamics.
+    BloodFlow,
+    /// Motion capture / accelerometry.
+    Motion,
+    /// Generic sensor data (used by the full-archive analogue).
+    Sensor,
+}
+
+impl Domain {
+    /// Human-readable name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Domain::Images => "Images",
+            Domain::Ecg => "ECG",
+            Domain::Sound => "Sound",
+            Domain::BloodFlow => "Blood flow",
+            Domain::Motion => "Motion",
+            Domain::Sensor => "Sensor",
+        }
+    }
+}
+
+/// A dataset specification: the paper-reported metadata plus the synthesis
+/// difficulty calibrated to reproduce the dataset's observed hardness.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    /// Dataset name (Table 1).
+    pub name: String,
+    /// Number of classes.
+    pub classes: usize,
+    /// Paper train/validation/test sizes.
+    pub paper_sizes: (usize, usize, usize),
+    /// Observation dimensionality (`UWave` is 3-D; the rest univariate).
+    pub dims: usize,
+    /// Paper average series length.
+    pub paper_length: usize,
+    /// Application domain.
+    pub domain: Domain,
+    /// Synthesis hardness in `[0, 1]`.
+    pub difficulty: f32,
+    /// Deterministic generation seed.
+    pub seed: u64,
+}
+
+impl DatasetSpec {
+    /// Generates the dataset's splits at the given scale.
+    ///
+    /// Split sizes are floored at twice the class count (train) and the
+    /// class count (validation/test) so that every class is represented even
+    /// under aggressive down-scaling.
+    pub fn generate(&self, scale: Scale) -> Splits {
+        self.try_generate(scale)
+            .expect("synthetic generation cannot fail for a valid spec")
+    }
+
+    /// Fallible variant of [`DatasetSpec::generate`].
+    pub fn try_generate(&self, scale: Scale) -> Result<Splits> {
+        let cfg = SynthConfig {
+            classes: self.classes,
+            dims: self.dims,
+            length: scale.length(self.paper_length),
+            difficulty: self.difficulty,
+            waveforms: 4,
+        };
+        let gen = Generator::new(cfg, self.seed);
+        let (tr, va, te) = self.paper_sizes;
+        let train = scale.split_size(tr).max(2 * self.classes);
+        let val = scale.split_size(va).max(self.classes);
+        let test = scale.split_size(te).max(self.classes);
+        gen.splits(&self.name, train, val, test, derive_seed(self.seed, 9))
+    }
+}
+
+/// The nine named datasets of the paper's Table 1, with difficulty
+/// calibrated to their observed hardness (Phoneme hardest, PigArt/UWave
+/// easiest).
+pub fn table1_specs() -> Vec<DatasetSpec> {
+    let spec = |name: &str,
+                classes: usize,
+                sizes: (usize, usize, usize),
+                dims: usize,
+                len: usize,
+                domain: Domain,
+                difficulty: f32,
+                seed: u64| DatasetSpec {
+        name: name.to_string(),
+        classes,
+        paper_sizes: sizes,
+        dims,
+        paper_length: len,
+        domain,
+        difficulty,
+        seed,
+    };
+    vec![
+        spec("Adiac", 37, (312, 78, 391), 1, 176, Domain::Images, 0.50, 0xA01),
+        spec("Crop", 27, (5720, 1440, 16800), 1, 46, Domain::Images, 0.45, 0xA02),
+        spec("FaceAll", 14, (448, 112, 1690), 1, 131, Domain::Images, 0.42, 0xA03),
+        spec("NonInvECG1", 42, (1440, 360, 1965), 1, 750, Domain::Ecg, 0.25, 0xA04),
+        spec("NonInvECG2", 42, (1440, 360, 1965), 1, 750, Domain::Ecg, 0.27, 0xA05),
+        spec("Phoneme", 39, (171, 43, 1896), 1, 1024, Domain::Sound, 0.92, 0xA06),
+        spec("PigAirway", 52, (83, 19, 208), 1, 2000, Domain::BloodFlow, 0.68, 0xA07),
+        spec("PigArt", 52, (83, 19, 208), 1, 2000, Domain::BloodFlow, 0.15, 0xA08),
+        spec("UWave", 8, (1680, 560, 2241), 3, 315, Domain::Motion, 0.20, 0xA09),
+    ]
+}
+
+/// Finds a Table 1 spec by name.
+pub fn table1(name: &str) -> Option<DatasetSpec> {
+    table1_specs().into_iter().find(|s| s.name == name)
+}
+
+/// A deterministic analogue of the full 128-dataset UCR archive: class
+/// counts, lengths, and difficulties drawn from ranges matching the
+/// archive's composition — 46% of datasets have 2–3 classes, as the paper
+/// notes for Figure 17.
+pub fn full_archive_specs(n: usize) -> Vec<DatasetSpec> {
+    let mut rng = seeded(0xCAFE);
+    let domains = [Domain::Images, Domain::Ecg, Domain::Sound, Domain::Motion, Domain::Sensor];
+    (0..n)
+        .map(|i| {
+            let few_class = rng.gen_bool(0.46);
+            let classes = if few_class { rng.gen_range(2..=3) } else { rng.gen_range(4..=52) };
+            let length = rng.gen_range(40..=1200usize);
+            let train = rng.gen_range(60..=2000usize);
+            DatasetSpec {
+                name: format!("Synth{i:03}"),
+                classes,
+                paper_sizes: (train, train / 4, train),
+                dims: 1,
+                paper_length: length,
+                domain: domains[rng.gen_range(0..domains.len())],
+                difficulty: rng.gen_range(0.1..0.9),
+                seed: derive_seed(0xBEEF, i as u64),
+            }
+        })
+        .collect()
+}
+
+/// The subset of an archive with 2 or 3 classes (paper Figure 17).
+pub fn few_class_subset(specs: &[DatasetSpec]) -> Vec<DatasetSpec> {
+    specs.iter().filter(|s| s.classes <= 3).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_metadata() {
+        let specs = table1_specs();
+        assert_eq!(specs.len(), 9);
+        let adiac = table1("Adiac").unwrap();
+        assert_eq!(adiac.classes, 37);
+        assert_eq!(adiac.paper_sizes, (312, 78, 391));
+        let uwave = table1("UWave").unwrap();
+        assert_eq!(uwave.dims, 3, "UWave is multivariate in the paper");
+        let pig = table1("PigAirway").unwrap();
+        assert_eq!(pig.classes, 52);
+    }
+
+    #[test]
+    fn generation_covers_all_classes() {
+        let spec = table1("PigAirway").unwrap(); // 52 classes, tiny paper splits
+        let splits = spec.generate(Scale::quick());
+        assert_eq!(splits.num_classes(), 52);
+        assert!(splits.train.class_counts().iter().all(|&c| c >= 1));
+        assert!(splits.test.class_counts().iter().all(|&c| c >= 1));
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let spec = table1("Adiac").unwrap();
+        let a = spec.generate(Scale::quick());
+        let b = spec.generate(Scale::quick());
+        assert_eq!(a.train.series(0).unwrap(), b.train.series(0).unwrap());
+        assert_eq!(a.test.labels(), b.test.labels());
+    }
+
+    #[test]
+    fn splits_are_disjoint_in_content() {
+        // different split seeds ⇒ different perturbations; the first train
+        // and test series of the same class must not be identical
+        let spec = table1("FaceAll").unwrap();
+        let s = spec.generate(Scale::quick());
+        assert_ne!(s.train.series(0).unwrap(), s.test.series(0).unwrap());
+    }
+
+    #[test]
+    fn full_archive_composition() {
+        let specs = full_archive_specs(128);
+        assert_eq!(specs.len(), 128);
+        let few = few_class_subset(&specs);
+        // paper: 46% of UCR datasets have 2–3 classes
+        let frac = few.len() as f64 / 128.0;
+        assert!((0.3..0.6).contains(&frac), "few-class fraction {frac}");
+        // deterministic
+        let again = full_archive_specs(128);
+        assert_eq!(again[7].classes, specs[7].classes);
+        assert_eq!(again[7].seed, specs[7].seed);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> =
+            full_archive_specs(50).into_iter().map(|s| s.name).collect();
+        names.extend(table1_specs().into_iter().map(|s| s.name));
+        let len = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), len);
+    }
+}

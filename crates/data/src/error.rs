@@ -1,0 +1,67 @@
+//! Error type for dataset construction and manipulation.
+
+use lightts_tensor::TensorError;
+use std::fmt;
+
+/// Errors produced by dataset construction, splitting, and batching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// An underlying tensor operation failed.
+    Tensor(TensorError),
+    /// Labels and series counts disagree, or a label exceeds the class count.
+    Inconsistent {
+        /// Description of the inconsistency.
+        what: String,
+    },
+    /// A requested index was out of range.
+    OutOfRange {
+        /// The offending index.
+        index: usize,
+        /// The collection length.
+        len: usize,
+    },
+    /// A dataset or batch was unexpectedly empty.
+    Empty {
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Tensor(e) => write!(f, "tensor error: {e}"),
+            Self::Inconsistent { what } => write!(f, "inconsistent dataset: {what}"),
+            Self::OutOfRange { index, len } => {
+                write!(f, "index {index} out of range for length {len}")
+            }
+            Self::Empty { op } => write!(f, "empty input to {op}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for DataError {
+    fn from(e: TensorError) -> Self {
+        DataError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = DataError::OutOfRange { index: 5, len: 3 };
+        assert!(e.to_string().contains('5'));
+    }
+}

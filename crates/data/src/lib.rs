@@ -1,0 +1,104 @@
+//! # lightts-data
+//!
+//! Time-series dataset infrastructure for the LightTS reproduction: the
+//! labeled-dataset model of paper Section 2.1, train/validation/test
+//! splits, batching into `[batch, dims, length]` tensors, z-normalization,
+//! and — because the UCR archive is not redistributable here — a
+//! deterministic synthetic archive that regenerates every dataset of the
+//! paper's Table 1 (classes, split sizes, lengths, dimensionality) plus a
+//! 128-dataset analogue of the full UCR archive for the ranking experiments
+//! (paper Figures 13–17).
+//!
+//! The synthesis model builds per-class prototypes from localized waveforms
+//! (bumps, sine bursts, sawtooth and square segments) and perturbs them with
+//! time warping, amplitude jitter, and additive noise controlled by a
+//! per-dataset difficulty knob. What the LightTS experiments need from data
+//! is (i) many classes, (ii) controllable hardness, (iii) fixed splits shared
+//! by every compared method — all of which this generator provides.
+//!
+//! ```
+//! use lightts_data::{archive, Scale};
+//!
+//! let spec = archive::table1_specs().into_iter().find(|s| s.name == "Adiac").unwrap();
+//! let splits = spec.generate(Scale::quick());
+//! assert_eq!(splits.train.num_classes(), 37);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod dataset;
+mod error;
+mod series;
+
+pub mod archive;
+pub mod forecast;
+pub mod synth;
+pub mod ucr;
+
+pub use dataset::{Batch, LabeledDataset, Splits};
+pub use error::DataError;
+pub use series::TimeSeries;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DataError>;
+
+/// Controls the scale of generated datasets so experiments run on a laptop
+/// while preserving the paper's relative comparisons.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Scale {
+    /// Fraction of the paper's split sizes to generate (`1.0` = paper scale).
+    pub size_frac: f64,
+    /// Hard cap on per-split sizes (after `size_frac`).
+    pub max_per_split: usize,
+    /// Minimum series per split (so tiny datasets stay usable).
+    pub min_per_split: usize,
+    /// Cap on series length (paper lengths up to 2000 are truncated to this).
+    pub max_length: usize,
+}
+
+impl Scale {
+    /// Laptop-scale: small splits, short series. The default for tests and
+    /// `--scale quick` experiment runs.
+    pub fn quick() -> Self {
+        Scale { size_frac: 0.05, max_per_split: 160, min_per_split: 48, max_length: 64 }
+    }
+
+    /// Medium scale for `--scale full` experiment runs (still CPU-feasible).
+    pub fn full() -> Self {
+        Scale { size_frac: 0.25, max_per_split: 640, min_per_split: 64, max_length: 128 }
+    }
+
+    /// Applies the scale to a paper split size.
+    pub fn split_size(&self, paper_size: usize) -> usize {
+        ((paper_size as f64 * self.size_frac) as usize)
+            .clamp(self.min_per_split, self.max_per_split)
+    }
+
+    /// Applies the scale to a paper series length.
+    pub fn length(&self, paper_length: usize) -> usize {
+        paper_length.min(self.max_length).max(16)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_scale_clamps() {
+        let s = Scale::quick();
+        assert_eq!(s.split_size(16_800), 160);
+        assert_eq!(s.split_size(10), 48);
+        assert_eq!(s.length(2000), 64);
+        assert_eq!(s.length(8), 16);
+    }
+
+    #[test]
+    fn full_scale_is_larger_than_quick() {
+        let q = Scale::quick();
+        let f = Scale::full();
+        assert!(f.split_size(5000) >= q.split_size(5000));
+        assert!(f.length(1024) >= q.length(1024));
+    }
+}

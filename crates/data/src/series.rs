@@ -1,0 +1,121 @@
+//! The multivariate time-series type (paper Section 2.1.1).
+
+use crate::{DataError, Result};
+use lightts_tensor::Tensor;
+
+/// A time series `T = ⟨t₁ … t_C⟩` with `t_j ∈ ℝ^M`, stored as a
+/// `[dims, length]` tensor (dimension-major, matching the `[channels,
+/// length]` layout the convolutional classifiers consume).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    values: Tensor,
+}
+
+impl TimeSeries {
+    /// Wraps a `[dims, length]` tensor as a time series.
+    pub fn new(values: Tensor) -> Result<Self> {
+        if values.rank() != 2 {
+            return Err(DataError::Inconsistent {
+                what: format!("time series must be [dims, length], got {:?}", values.dims()),
+            });
+        }
+        if values.is_empty() {
+            return Err(DataError::Empty { op: "TimeSeries::new" });
+        }
+        Ok(TimeSeries { values })
+    }
+
+    /// Builds a univariate series from raw observations.
+    pub fn univariate(values: Vec<f32>) -> Result<Self> {
+        let len = values.len();
+        Ok(TimeSeries { values: Tensor::from_vec(values, &[1, len])? })
+    }
+
+    /// Number of observation dimensions `M`.
+    pub fn dims(&self) -> usize {
+        self.values.dims()[0]
+    }
+
+    /// Number of observations `C`.
+    pub fn len(&self) -> usize {
+        self.values.dims()[1]
+    }
+
+    /// Whether the series has no observations (never true for a constructed
+    /// series; kept for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The underlying `[dims, length]` tensor.
+    pub fn values(&self) -> &Tensor {
+        &self.values
+    }
+
+    /// Observation `j` of dimension `m`.
+    pub fn get(&self, m: usize, j: usize) -> Result<f32> {
+        Ok(self.values.get(&[m, j])?)
+    }
+
+    /// Per-dimension z-normalization: each dimension is shifted to zero mean
+    /// and scaled to unit variance (constant dimensions are left at zero).
+    ///
+    /// Z-normalization is the standard preprocessing for UCR-style
+    /// classification and is applied by the archive generator.
+    pub fn z_normalized(&self) -> Self {
+        let (m, l) = (self.dims(), self.len());
+        let mut out = self.values.clone();
+        for mi in 0..m {
+            let row = &self.values.data()[mi * l..(mi + 1) * l];
+            let mean = row.iter().sum::<f32>() / l as f32;
+            let var = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / l as f32;
+            let inv = if var > 1e-12 { 1.0 / var.sqrt() } else { 0.0 };
+            for (o, &v) in out.data_mut()[mi * l..(mi + 1) * l].iter_mut().zip(row.iter()) {
+                *o = (v - mean) * inv;
+            }
+        }
+        TimeSeries { values: out }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn univariate_shape() {
+        let ts = TimeSeries::univariate(vec![1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(ts.dims(), 1);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.get(0, 1).unwrap(), 2.0);
+    }
+
+    #[test]
+    fn multivariate_shape() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        let ts = TimeSeries::new(t).unwrap();
+        assert_eq!(ts.dims(), 2);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.get(1, 0).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn rejects_wrong_rank() {
+        assert!(TimeSeries::new(Tensor::zeros(&[3])).is_err());
+        assert!(TimeSeries::new(Tensor::zeros(&[2, 3, 4])).is_err());
+    }
+
+    #[test]
+    fn z_normalization_standardizes_each_dim() {
+        let t = Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0, 1.0, 1.0, 1.0, 1.0], &[2, 4])
+            .unwrap();
+        let z = TimeSeries::new(t).unwrap().z_normalized();
+        let row0: Vec<f32> = z.values().data()[0..4].to_vec();
+        let mean: f32 = row0.iter().sum::<f32>() / 4.0;
+        let var: f32 = row0.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-4);
+        // constant dimension maps to zeros, not NaN
+        assert!(z.values().data()[4..8].iter().all(|&v| v == 0.0));
+    }
+}

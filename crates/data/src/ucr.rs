@@ -1,0 +1,245 @@
+//! Loading real UCR-archive files.
+//!
+//! The reproduction ships a synthetic archive (the real one is not
+//! redistributable), but the library is meant to be usable on the genuine
+//! data: this module parses the UCR text format — one series per line,
+//! `label` followed by the observations, separated by tabs, commas, or
+//! whitespace — into [`LabeledDataset`]s, and carves the paper's validation
+//! split (20% of train, Section 4.1.5) deterministically.
+//!
+//! ```no_run
+//! use lightts_data::ucr;
+//! let splits = ucr::load_ucr_pair(
+//!     "UCRArchive_2018/Adiac/Adiac_TRAIN.tsv",
+//!     "UCRArchive_2018/Adiac/Adiac_TEST.tsv",
+//!     0.2,
+//!     42,
+//! ).unwrap();
+//! ```
+
+use crate::{DataError, LabeledDataset, Result, Splits, TimeSeries};
+use rand::seq::SliceRandom;
+use std::collections::BTreeMap;
+use std::io::BufRead;
+use std::path::Path;
+
+/// Parses UCR-format text from any reader into a dataset.
+///
+/// Labels are remapped to contiguous `0..K` in sorted order of their
+/// original values (the UCR archive uses arbitrary integer labels, some
+/// negative). Every series must have the same length; missing values are
+/// rejected.
+pub fn parse_ucr<R: BufRead>(reader: R, name: &str) -> Result<LabeledDataset> {
+    let mut raw_labels: Vec<i64> = Vec::new();
+    let mut series: Vec<Vec<f32>> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| DataError::Inconsistent {
+            what: format!("{name}:{}: read error: {e}", lineno + 1),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed
+            .split(|c: char| c == '\t' || c == ',' || c.is_whitespace())
+            .filter(|f| !f.is_empty())
+            .collect();
+        if fields.len() < 2 {
+            return Err(DataError::Inconsistent {
+                what: format!("{name}:{}: need a label and observations", lineno + 1),
+            });
+        }
+        let label: i64 = parse_label(fields[0]).ok_or_else(|| DataError::Inconsistent {
+            what: format!("{name}:{}: bad label {:?}", lineno + 1, fields[0]),
+        })?;
+        let mut values = Vec::with_capacity(fields.len() - 1);
+        for f in &fields[1..] {
+            let v: f32 = f.parse().map_err(|_| DataError::Inconsistent {
+                what: format!("{name}:{}: bad value {f:?}", lineno + 1),
+            })?;
+            if !v.is_finite() {
+                return Err(DataError::Inconsistent {
+                    what: format!("{name}:{}: non-finite value (variable-length or missing data are not supported)", lineno + 1),
+                });
+            }
+            values.push(v);
+        }
+        raw_labels.push(label);
+        series.push(values);
+    }
+    if series.is_empty() {
+        return Err(DataError::Empty { op: "parse_ucr" });
+    }
+    let len0 = series[0].len();
+    if series.iter().any(|s| s.len() != len0) {
+        return Err(DataError::Inconsistent {
+            what: format!("{name}: variable-length series are not supported"),
+        });
+    }
+    // remap labels to 0..K in sorted order of the original values
+    let mut uniq: Vec<i64> = raw_labels.clone();
+    uniq.sort_unstable();
+    uniq.dedup();
+    let mapping: BTreeMap<i64, usize> =
+        uniq.into_iter().enumerate().map(|(i, l)| (l, i)).collect();
+    let labels: Vec<usize> = raw_labels.iter().map(|l| mapping[l]).collect();
+    let ts: Vec<TimeSeries> = series
+        .into_iter()
+        .map(TimeSeries::univariate)
+        .collect::<Result<_>>()?;
+    LabeledDataset::new(name, ts, labels, mapping.len())
+}
+
+fn parse_label(field: &str) -> Option<i64> {
+    // UCR labels are integers, but occasionally formatted as "1.0"
+    field
+        .parse::<i64>()
+        .ok()
+        .or_else(|| field.parse::<f64>().ok().map(|f| f.round() as i64))
+}
+
+/// Loads a UCR-format file from disk.
+pub fn load_ucr_file(path: impl AsRef<Path>) -> Result<LabeledDataset> {
+    let path = path.as_ref();
+    let name = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("ucr")
+        .to_string();
+    let file = std::fs::File::open(path).map_err(|e| DataError::Inconsistent {
+        what: format!("{}: {e}", path.display()),
+    })?;
+    parse_ucr(std::io::BufReader::new(file), &name)
+}
+
+/// Splits a training set into train/validation, stratified-free but
+/// deterministic, holding out `val_frac` of the rows.
+pub fn carve_validation(
+    train: &LabeledDataset,
+    val_frac: f64,
+    seed: u64,
+) -> Result<(LabeledDataset, LabeledDataset)> {
+    if !(0.0..1.0).contains(&val_frac) {
+        return Err(DataError::Inconsistent { what: "val_frac must be in [0, 1)".into() });
+    }
+    let n = train.len();
+    let n_val = ((n as f64 * val_frac) as usize).clamp(1, n - 1);
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = lightts_tensor::rng::seeded(seed);
+    idx.shuffle(&mut rng);
+    let (val_idx, train_idx) = idx.split_at(n_val);
+    let pick = |ids: &[usize], name: &str| -> Result<LabeledDataset> {
+        let series = ids
+            .iter()
+            .map(|&i| train.series(i).cloned())
+            .collect::<Result<Vec<_>>>()?;
+        let labels = ids.iter().map(|&i| train.label(i)).collect::<Result<Vec<_>>>()?;
+        LabeledDataset::new(name, series, labels, train.num_classes())
+    };
+    Ok((pick(train_idx, train.name())?, pick(val_idx, &format!("{}-val", train.name()))?))
+}
+
+/// Loads a UCR `_TRAIN`/`_TEST` file pair, z-normalizes, and carves the
+/// validation split — everything the LightTS pipeline needs.
+pub fn load_ucr_pair(
+    train_path: impl AsRef<Path>,
+    test_path: impl AsRef<Path>,
+    val_frac: f64,
+    seed: u64,
+) -> Result<Splits> {
+    let train_full = load_ucr_file(train_path)?.z_normalized();
+    let test = load_ucr_file(test_path)?.z_normalized();
+    if test.num_classes() > train_full.num_classes() {
+        return Err(DataError::Inconsistent {
+            what: "test set has labels unseen in training".into(),
+        });
+    }
+    let (train, validation) = carve_validation(&train_full, val_frac, seed)?;
+    Ok(Splits { train, validation, test })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE_TSV: &str = "1\t0.1\t0.2\t0.3\n2\t1.0\t1.1\t1.2\n1\t0.0\t0.1\t0.2\n";
+
+    #[test]
+    fn parses_tab_separated() {
+        let ds = parse_ucr(Cursor::new(SAMPLE_TSV), "sample").unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.num_classes(), 2);
+        assert_eq!(ds.series_len(), 3);
+        assert_eq!(ds.labels(), &[0, 1, 0]);
+        assert_eq!(ds.series(1).unwrap().get(0, 2).unwrap(), 1.2);
+    }
+
+    #[test]
+    fn parses_comma_and_space_separated() {
+        let csv = "3,0.5,0.6\n-1,0.7,0.8\n";
+        let ds = parse_ucr(Cursor::new(csv), "csv").unwrap();
+        assert_eq!(ds.num_classes(), 2);
+        // labels sorted: -1 → 0, 3 → 1
+        assert_eq!(ds.labels(), &[1, 0]);
+
+        let ssv = "1.0 0.5 0.6\n2.0 0.7 0.8\n";
+        let ds = parse_ucr(Cursor::new(ssv), "ssv").unwrap();
+        assert_eq!(ds.labels(), &[0, 1]);
+    }
+
+    #[test]
+    fn skips_blank_lines() {
+        let txt = "1\t0.1\t0.2\n\n2\t0.3\t0.4\n\n";
+        let ds = parse_ucr(Cursor::new(txt), "blank").unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(parse_ucr(Cursor::new(""), "empty").is_err());
+        assert!(parse_ucr(Cursor::new("1\n"), "no-values").is_err());
+        assert!(parse_ucr(Cursor::new("x\t1.0\t2.0\n"), "bad-label").is_err());
+        assert!(parse_ucr(Cursor::new("1\t1.0\tzzz\n"), "bad-value").is_err());
+        assert!(parse_ucr(Cursor::new("1\t1.0\tNaN\n"), "nan").is_err());
+        assert!(parse_ucr(Cursor::new("1\t1.0\t2.0\n2\t1.0\n"), "ragged").is_err());
+    }
+
+    #[test]
+    fn carve_validation_is_deterministic_and_disjoint() {
+        let ds = parse_ucr(
+            Cursor::new("1\t0.0\t1.0\n2\t2.0\t3.0\n1\t4.0\t5.0\n2\t6.0\t7.0\n1\t8.0\t9.0\n"),
+            "carve",
+        )
+        .unwrap();
+        let (t1, v1) = carve_validation(&ds, 0.2, 9).unwrap();
+        let (t2, v2) = carve_validation(&ds, 0.2, 9).unwrap();
+        assert_eq!(t1.len() + v1.len(), ds.len());
+        assert_eq!(v1.len(), 1);
+        assert_eq!(t1.labels(), t2.labels());
+        assert_eq!(v1.labels(), v2.labels());
+        assert!(carve_validation(&ds, 1.5, 0).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_via_tempdir() {
+        let dir = std::env::temp_dir().join("lightts-ucr-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let train_p = dir.join("Toy_TRAIN.tsv");
+        let test_p = dir.join("Toy_TEST.tsv");
+        std::fs::write(&train_p, "1\t0.1\t0.2\t0.9\n2\t5.0\t6.0\t7.0\n1\t0.0\t0.3\t0.8\n2\t5.5\t6.5\t7.5\n1\t0.2\t0.1\t1.0\n").unwrap();
+        std::fs::write(&test_p, "1\t0.15\t0.25\t0.95\n2\t5.2\t6.2\t7.2\n").unwrap();
+        let splits = load_ucr_pair(&train_p, &test_p, 0.2, 1).unwrap();
+        assert_eq!(splits.num_classes(), 2);
+        assert_eq!(splits.test.len(), 2);
+        assert_eq!(splits.train.len() + splits.validation.len(), 5);
+        // z-normalized: per-series mean ≈ 0
+        assert!(splits.test.series(0).unwrap().values().mean().abs() < 1e-5);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        assert!(load_ucr_file("/nonexistent/path/X_TRAIN.tsv").is_err());
+    }
+}

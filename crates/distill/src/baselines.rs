@@ -1,0 +1,224 @@
+//! The four single-teacher baselines (paper Section 4.1.3).
+//!
+//! All four reduce the ensemble to **one** combined teacher `q̄ = Σ w_i q_i`
+//! and distill with the classic loss (Eq. 1); they differ only in the
+//! weights `w`:
+//!
+//! * **Classic KD** (\[25, 52\]) — uniform `1/N`.
+//! * **CAWPE** (\[31\]) — validation accuracy raised to the 4th power.
+//! * **AE-KD** (\[17\]) — the minimum-norm point over per-teacher distillation
+//!   gradients (gradient-space diversity), found by Frank–Wolfe.
+//! * **Reinforced** (\[54\]) — REINFORCE over weight logits with the student's
+//!   validation reward.
+//!
+//! As the paper argues, folding all teachers into one distribution before
+//! distilling is what limits these methods on heavily quantized students.
+
+use crate::teacher::TeacherProbs;
+use crate::trainer::{eval_student, train_student, StudentTrainOpts};
+use crate::{DistillError, Result};
+use lightts_data::Splits;
+use lightts_models::inception::{InceptionConfig, InceptionTime};
+use lightts_models::Classifier;
+use lightts_nn::loss::softmax_slice;
+use lightts_tensor::rng::seeded;
+use rand::Rng;
+
+/// Uniform weights `1/N` (Classic KD).
+pub fn classic_weights(n: usize) -> Vec<f32> {
+    vec![1.0 / n.max(1) as f32; n]
+}
+
+/// CAWPE weights: validation accuracy to the 4th power, normalized.
+pub fn cawpe_weights(val_accuracy: &[f64]) -> Vec<f32> {
+    let pow: Vec<f64> = val_accuracy.iter().map(|&a| a.max(1e-6).powi(4)).collect();
+    let sum: f64 = pow.iter().sum();
+    pow.into_iter().map(|p| (p / sum) as f32).collect()
+}
+
+/// The minimum-norm point of the convex hull of `vectors`, via Frank–Wolfe.
+///
+/// This is the MGDA-style objective AE-KD optimizes to balance teacher
+/// diversity in gradient space: find `w ∈ Δ` minimizing `‖Σ w_i g_i‖²`.
+pub fn min_norm_weights(vectors: &[Vec<f32>], iters: usize) -> Vec<f32> {
+    let n = vectors.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Gram matrix G[i][j] = ⟨g_i, g_j⟩
+    let mut gram = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in i..n {
+            let dot: f64 = vectors[i]
+                .iter()
+                .zip(vectors[j].iter())
+                .map(|(&a, &b)| f64::from(a) * f64::from(b))
+                .sum();
+            gram[i][j] = dot;
+            gram[j][i] = dot;
+        }
+    }
+    let mut w = vec![1.0f64 / n as f64; n];
+    for _ in 0..iters {
+        // gradient of ‖Gw‖-style objective: (Gw)
+        let gw: Vec<f64> =
+            (0..n).map(|i| (0..n).map(|j| gram[i][j] * w[j]).sum()).collect();
+        let t = (0..n)
+            .min_by(|&a, &b| gw[a].total_cmp(&gw[b]))
+            .expect("n > 0");
+        // line search between w and e_t
+        let mut d = vec![0.0f64; n];
+        for (i, di) in d.iter_mut().enumerate() {
+            *di = (if i == t { 1.0 } else { 0.0 }) - w[i];
+        }
+        let gd: Vec<f64> = (0..n).map(|i| (0..n).map(|j| gram[i][j] * d[j]).sum()).collect();
+        let num: f64 = -(0..n).map(|i| d[i] * gw[i]).sum::<f64>();
+        let den: f64 = (0..n).map(|i| d[i] * gd[i]).sum();
+        let gamma = if den > 1e-12 { (num / den).clamp(0.0, 1.0) } else { 1.0 };
+        for (wi, di) in w.iter_mut().zip(d.iter()) {
+            *wi += gamma * di;
+        }
+    }
+    w.into_iter().map(|v| v as f32).collect()
+}
+
+/// AE-KD weights: the min-norm combination of the per-teacher distillation
+/// gradients `∂KL(q_i ‖ p)/∂logits = p − q_i`, evaluated at the untrained
+/// student's validation distribution `p₀`.
+pub fn aekd_weights(
+    teachers: &TeacherProbs,
+    splits: &Splits,
+    config: &InceptionConfig,
+    seed: u64,
+) -> Result<Vec<f32>> {
+    let mut rng = seeded(seed);
+    let p0 = InceptionTime::new(config.clone(), &mut rng)?
+        .predict_proba_dataset(&splits.validation)?;
+    let grads: Vec<Vec<f32>> = teachers
+        .val
+        .iter()
+        .map(|q| {
+            p0.data()
+                .iter()
+                .zip(q.data().iter())
+                .map(|(&p, &qi)| p - qi)
+                .collect()
+        })
+        .collect();
+    Ok(min_norm_weights(&grads, 64))
+}
+
+/// Reinforced weights (\[54\]): Gaussian-perturbation REINFORCE on weight
+/// logits. Each episode samples logits `θ + ε`, trains a short student with
+/// `softmax(θ + ε)` weights, and reinforces `ε` by the validation-accuracy
+/// advantage.
+#[allow(clippy::too_many_arguments)]
+pub fn reinforced_weights(
+    splits: &Splits,
+    teachers: &TeacherProbs,
+    config: &InceptionConfig,
+    opts: &StudentTrainOpts,
+    episodes: usize,
+    episode_epochs: usize,
+    rl_lr: f32,
+    seed: u64,
+) -> Result<Vec<f32>> {
+    let n = teachers.len();
+    let mut theta = vec![0.0f32; n];
+    let sigma = 0.5f32;
+    let mut rng = seeded(seed);
+    let mut baseline = 0.0f64;
+    for ep in 0..episodes {
+        let eps: Vec<f32> = (0..n)
+            .map(|_| {
+                let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+                let u2: f32 = rng.gen_range(0.0..1.0);
+                (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos() * sigma
+            })
+            .collect();
+        let logits: Vec<f32> = theta.iter().zip(eps.iter()).map(|(&t, &e)| t + e).collect();
+        let w = softmax_slice(&logits);
+        let q_bar = teachers.combined_train(&w)?;
+        let mut ep_opts = *opts;
+        ep_opts.epochs = episode_epochs.max(1);
+        ep_opts.seed = seed.wrapping_add(ep as u64 + 1);
+        let student = train_student(config, &splits.train, &[q_bar], &[1.0], &ep_opts)?;
+        let (reward, _) = eval_student(&student, &splits.validation)?;
+        let advantage = reward - baseline;
+        baseline = if ep == 0 { reward } else { 0.7 * baseline + 0.3 * reward };
+        for (t, &e) in theta.iter_mut().zip(eps.iter()) {
+            *t += rl_lr * advantage as f32 * e / (sigma * sigma);
+        }
+    }
+    Ok(softmax_slice(&theta))
+}
+
+/// Distills a student from the single combined teacher `q̄ = Σ w_i q_i`
+/// (Eq. 1 with the given weights).
+pub fn distill_combined(
+    splits: &Splits,
+    teachers: &TeacherProbs,
+    weights: &[f32],
+    config: &InceptionConfig,
+    opts: &StudentTrainOpts,
+) -> Result<InceptionTime> {
+    if weights.len() != teachers.len() {
+        return Err(DistillError::BadInput {
+            what: format!("{} weights for {} teachers", weights.len(), teachers.len()),
+        });
+    }
+    let q_bar = teachers.combined_train(weights)?;
+    train_student(config, &splits.train, &[q_bar], &[1.0], opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classic_weights_uniform() {
+        let w = classic_weights(4);
+        assert_eq!(w, vec![0.25; 4]);
+        assert_eq!(classic_weights(0).len(), 0);
+    }
+
+    #[test]
+    fn cawpe_prefers_accurate_teachers() {
+        let w = cawpe_weights(&[0.9, 0.3, 0.6]);
+        assert!(w[0] > w[2] && w[2] > w[1]);
+        let s: f32 = w.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        // 4th power amplifies: 0.9^4/0.3^4 = 81
+        assert!(w[0] / w[1] > 50.0);
+    }
+
+    #[test]
+    fn min_norm_of_opposing_vectors_balances() {
+        // g0 = (1, 0), g1 = (−1, 0): min-norm point is 0 at w = (0.5, 0.5)
+        let w = min_norm_weights(&[vec![1.0, 0.0], vec![-1.0, 0.0]], 100);
+        assert!((w[0] - 0.5).abs() < 1e-3, "{w:?}");
+        assert!((w[1] - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    fn min_norm_prefers_small_vectors() {
+        // one tiny gradient, one huge: weight concentrates on the tiny one
+        let w = min_norm_weights(&[vec![0.1, 0.0], vec![10.0, 0.0]], 100);
+        assert!(w[0] > 0.9, "{w:?}");
+        let s: f32 = w.iter().sum();
+        assert!((s - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn min_norm_weights_stay_on_simplex() {
+        let vecs = vec![vec![0.3, -0.2, 0.5], vec![-0.1, 0.4, 0.2], vec![0.0, 0.1, -0.3]];
+        let w = min_norm_weights(&vecs, 50);
+        assert!((w.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+        assert!(w.iter().all(|&x| (-1e-6..=1.0 + 1e-6).contains(&x)));
+    }
+
+    #[test]
+    fn min_norm_empty_input() {
+        assert!(min_norm_weights(&[], 10).is_empty());
+    }
+}

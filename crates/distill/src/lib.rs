@@ -1,0 +1,42 @@
+//! # lightts-distill
+//!
+//! Knowledge distillation for LightTS: the paper's core contribution —
+//! **adaptive ensemble distillation (AED)** with bi-level optimization of
+//! teacher weights (Algorithm 1) and confident Gumbel-softmax teacher
+//! removal (Section 3.2.2) — plus every baseline of the evaluation:
+//!
+//! | Method | Module | Teacher weighting |
+//! |---|---|---|
+//! | Classic KD | [`baselines`] | uniform `1/N`, single combined teacher |
+//! | AE-KD | [`baselines`] | min-norm point over per-teacher gradients |
+//! | Reinforced | [`baselines`] | REINFORCE with validation reward |
+//! | CAWPE | [`baselines`] | validation accuracy to the 4th power |
+//! | AED-One | [`aed`] | one bi-level AED run, no removal |
+//! | AED-LOO | [`loo`] | AED + leave-one-out removal |
+//! | LightTS | [`removal`] | AED + confident Gumbel removal loop |
+//!
+//! All methods train the same quantized InceptionTime student through the
+//! shared [`trainer`], so accuracy differences come from the weighting
+//! strategy alone — the comparison the paper's Tables 2–4 make.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+
+pub mod aed;
+pub mod baselines;
+pub mod forecast;
+pub mod loo;
+pub mod method;
+pub mod removal;
+pub mod teacher;
+pub mod trainer;
+pub mod weights;
+
+pub use error::DistillError;
+pub use method::{run_method, DistillOutcome, Method};
+pub use teacher::TeacherProbs;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DistillError>;

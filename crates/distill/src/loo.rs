@@ -1,0 +1,180 @@
+//! AED-LOO: leave-one-out teacher removal (paper Section 3.2.2, Figure 8).
+//!
+//! The baseline variant that removes teachers by *trying* every single
+//! removal: from the current subset, each leave-one-out candidate is
+//! evaluated with a full AED run; if the best candidate improves validation
+//! accuracy the search descends into it, otherwise it stops. The paper notes
+//! this grows factorially in the worst case — `max_evals` bounds the budget,
+//! and the experiment harness reports the evaluation count so the Figure 18
+//! training-time ranking (AED-LOO slowest) reproduces.
+
+use crate::aed::{run_aed, AedConfig};
+use crate::removal::{RemovalResult, RemovalRound};
+use crate::teacher::TeacherProbs;
+use crate::weights::WeightTransform;
+use crate::{DistillError, Result};
+use lightts_data::Splits;
+use lightts_models::inception::InceptionConfig;
+
+/// Runs AED with leave-one-out removal, bounded by `max_evals` AED runs.
+pub fn aed_loo(
+    splits: &Splits,
+    teachers: &TeacherProbs,
+    config: &InceptionConfig,
+    aed_cfg: &AedConfig,
+    max_evals: usize,
+) -> Result<RemovalResult> {
+    if teachers.is_empty() {
+        return Err(DistillError::BadInput { what: "no teachers".into() });
+    }
+    let mut cfg = *aed_cfg;
+    cfg.transform = WeightTransform::Softmax; // LOO does not need λ̂ sharpening
+    let max_evals = max_evals.max(1);
+
+    let mut kept: Vec<usize> = (0..teachers.len()).collect();
+    let mut history = Vec::new();
+    let mut aed_runs = 0usize;
+
+    // evaluate the full ensemble first
+    let sub = teachers.subset(&kept)?;
+    let first = run_aed(splits, &sub, config, &cfg)?;
+    aed_runs += 1;
+    history.push(RemovalRound {
+        kept: kept.clone(),
+        val_accuracy: first.val_accuracy,
+        weights: first.weights.clone(),
+    });
+    let mut best = RemovalResult {
+        student: first.student,
+        kept: kept.clone(),
+        val_accuracy: first.val_accuracy,
+        val_top5: first.val_top5,
+        history: Vec::new(),
+        aed_runs: 0,
+    };
+
+    // greedy leave-one-out descent
+    'outer: while kept.len() > 1 && aed_runs < max_evals {
+        let mut round_best: Option<(Vec<usize>, crate::aed::AedResult)> = None;
+        for drop_pos in 0..kept.len() {
+            if aed_runs >= max_evals {
+                break;
+            }
+            let mut candidate = kept.clone();
+            candidate.remove(drop_pos);
+            let sub = teachers.subset(&candidate)?;
+            let res = run_aed(splits, &sub, config, &cfg)?;
+            aed_runs += 1;
+            history.push(RemovalRound {
+                kept: candidate.clone(),
+                val_accuracy: res.val_accuracy,
+                weights: res.weights.clone(),
+            });
+            let better = round_best
+                .as_ref()
+                .is_none_or(|(_, b)| res.val_accuracy > b.val_accuracy);
+            if better {
+                round_best = Some((candidate, res));
+            }
+        }
+        match round_best {
+            Some((candidate, res)) if res.val_accuracy > best.val_accuracy => {
+                best = RemovalResult {
+                    student: res.student,
+                    kept: candidate.clone(),
+                    val_accuracy: res.val_accuracy,
+                    val_top5: res.val_top5,
+                    history: Vec::new(),
+                    aed_runs: 0,
+                };
+                kept = candidate;
+            }
+            _ => break 'outer, // no improvement ⇒ stop removing
+        }
+    }
+
+    best.history = history;
+    best.aed_runs = aed_runs;
+    Ok(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::StudentTrainOpts;
+    use lightts_data::synth::{Generator, SynthConfig};
+    use lightts_data::Splits;
+    use lightts_models::inception::BlockSpec;
+    use lightts_tensor::Tensor;
+
+    fn splits(seed: u64) -> Splits {
+        let gen = Generator::new(
+            SynthConfig { classes: 2, dims: 1, length: 24, difficulty: 0.2, waveforms: 3 },
+            seed,
+        );
+        gen.splits("loo-test", 40, 20, 20, seed + 1).unwrap()
+    }
+
+    fn student_cfg() -> InceptionConfig {
+        InceptionConfig {
+            blocks: vec![BlockSpec { layers: 2, filter_len: 8, bits: 8 }; 2],
+            filters: 4,
+            in_dims: 1,
+            in_len: 24,
+            num_classes: 2,
+        }
+    }
+
+    fn teachers(s: &Splits) -> TeacherProbs {
+        let mk = |ds: &lightts_data::LabeledDataset, invert: bool| {
+            let k = ds.num_classes();
+            let sharp = 0.9f32;
+            let mut t = Tensor::full(&[ds.len(), k], (1.0 - sharp) / (k as f32 - 1.0));
+            for (i, &l) in ds.labels().iter().enumerate() {
+                let target = if invert { (l + 1) % k } else { l };
+                t.set(&[i, target], sharp).unwrap();
+            }
+            t
+        };
+        TeacherProbs::from_raw(
+            vec![mk(&s.train, false), mk(&s.train, true)],
+            vec![mk(&s.validation, false), mk(&s.validation, true)],
+            s.validation.labels(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn loo_respects_eval_budget() {
+        let s = splits(120);
+        let t = teachers(&s);
+        let cfg = AedConfig {
+            train: StudentTrainOpts { epochs: 6, batch_size: 16, ..Default::default() },
+            v: 3,
+            lambda_lr: 2.0,
+            transform: WeightTransform::Softmax,
+        };
+        let res = aed_loo(&s, &t, &student_cfg(), &cfg, 3).unwrap();
+        assert!(res.aed_runs <= 3);
+        assert!(!res.history.is_empty());
+        assert!(!res.kept.is_empty());
+    }
+
+    #[test]
+    fn loo_evaluates_full_set_first() {
+        let s = splits(121);
+        let t = teachers(&s);
+        let cfg = AedConfig {
+            train: StudentTrainOpts { epochs: 6, batch_size: 16, ..Default::default() },
+            v: 3,
+            lambda_lr: 2.0,
+            transform: WeightTransform::Softmax,
+        };
+        let res = aed_loo(&s, &t, &student_cfg(), &cfg, 8).unwrap();
+        assert_eq!(res.history[0].kept, vec![0, 1]);
+        // later rounds are strict subsets
+        for r in res.history.iter().skip(1) {
+            assert!(r.kept.len() < 2);
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Uniform dispatch over every distillation method of the evaluation.
+//!
+//! The experiment harness compares seven methods on identical students,
+//! teachers, and data (paper Section 4.1.3). [`run_method`] runs any of them
+//! and returns a [`DistillOutcome`] carrying the trained student, the
+//! validation metrics used for selection, the teacher provenance, and the
+//! wall-clock training time (for the Figure 18 / Table 6 timings).
+
+use crate::aed::{run_aed, AedConfig};
+use crate::baselines::{
+    aekd_weights, cawpe_weights, classic_weights, distill_combined, reinforced_weights,
+};
+use crate::loo::aed_loo;
+use crate::removal::{lightts_removal, RemovalStrategy};
+use crate::teacher::TeacherProbs;
+use crate::trainer::eval_student;
+use crate::weights::WeightTransform;
+use crate::Result;
+use lightts_data::Splits;
+use lightts_models::inception::{InceptionConfig, InceptionTime};
+use std::time::Instant;
+
+/// The distillation methods compared in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Classic knowledge distillation from the uniform-average ensemble.
+    ClassicKd,
+    /// Adaptive ensemble KD via gradient-space min-norm weights.
+    AeKd,
+    /// Reinforced multi-teacher selection.
+    Reinforced,
+    /// Cross-validation-accuracy weighted probabilistic ensemble.
+    Cawpe,
+    /// AED without teacher removal (Algorithm 1 once).
+    AedOne,
+    /// AED with leave-one-out removal.
+    AedLoo,
+    /// Full LightTS: AED with confident Gumbel teacher removal.
+    LightTs,
+}
+
+impl Method {
+    /// All methods, in the paper's table order.
+    pub fn all() -> [Method; 7] {
+        [
+            Method::ClassicKd,
+            Method::AeKd,
+            Method::Reinforced,
+            Method::Cawpe,
+            Method::AedOne,
+            Method::AedLoo,
+            Method::LightTs,
+        ]
+    }
+
+    /// Display name matching the paper's tables.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Method::ClassicKd => "Classic KD",
+            Method::AeKd => "AE-KD",
+            Method::Reinforced => "Reinforced",
+            Method::Cawpe => "CAWPE",
+            Method::AedOne => "AED-One",
+            Method::AedLoo => "AED-LOO",
+            Method::LightTs => "LightTS",
+        }
+    }
+}
+
+/// Knobs shared by [`run_method`] across methods.
+#[derive(Debug, Clone, Copy)]
+pub struct DistillOpts {
+    /// AED configuration (also supplies the student-training options every
+    /// baseline uses).
+    pub aed: AedConfig,
+    /// Evaluation budget for AED-LOO.
+    pub loo_max_evals: usize,
+    /// Episodes for the Reinforced baseline.
+    pub reinforced_episodes: usize,
+    /// Learning rate of the Reinforced policy update.
+    pub reinforced_lr: f32,
+}
+
+impl Default for DistillOpts {
+    fn default() -> Self {
+        DistillOpts {
+            aed: AedConfig::default(),
+            loo_max_evals: 12,
+            reinforced_episodes: 3,
+            reinforced_lr: 4.0,
+        }
+    }
+}
+
+/// The result of running one distillation method.
+#[derive(Debug)]
+pub struct DistillOutcome {
+    /// The trained quantized student.
+    pub student: InceptionTime,
+    /// Validation accuracy (model-selection metric).
+    pub val_accuracy: f64,
+    /// Validation top-5 accuracy.
+    pub val_top5: f64,
+    /// Teacher weights over the *original* ensemble indices (zero for
+    /// removed teachers).
+    pub teacher_weights: Vec<f32>,
+    /// Indices of the teachers the final student was distilled from.
+    pub kept_teachers: Vec<usize>,
+    /// Wall-clock training time in seconds.
+    pub train_seconds: f64,
+    /// Number of AED runs executed (1 for single-shot methods).
+    pub aed_runs: usize,
+}
+
+fn expand_weights(n: usize, kept: &[usize], weights: &[f32]) -> Vec<f32> {
+    let mut full = vec![0.0f32; n];
+    for (&k, &w) in kept.iter().zip(weights.iter()) {
+        full[k] = w;
+    }
+    full
+}
+
+/// Runs `method` and reports the trained student plus provenance/timing.
+pub fn run_method(
+    method: Method,
+    splits: &Splits,
+    teachers: &TeacherProbs,
+    student_config: &InceptionConfig,
+    opts: &DistillOpts,
+) -> Result<DistillOutcome> {
+    let n = teachers.len();
+    let start = Instant::now();
+    let outcome = match method {
+        Method::ClassicKd | Method::Cawpe | Method::AeKd | Method::Reinforced => {
+            let weights = match method {
+                Method::ClassicKd => classic_weights(n),
+                Method::Cawpe => cawpe_weights(&teachers.val_accuracy),
+                Method::AeKd => {
+                    aekd_weights(teachers, splits, student_config, opts.aed.train.seed)?
+                }
+                Method::Reinforced => reinforced_weights(
+                    splits,
+                    teachers,
+                    student_config,
+                    &opts.aed.train,
+                    opts.reinforced_episodes,
+                    (opts.aed.train.epochs / 4).max(2),
+                    opts.reinforced_lr,
+                    opts.aed.train.seed,
+                )?,
+                _ => unreachable!(),
+            };
+            let student =
+                distill_combined(splits, teachers, &weights, student_config, &opts.aed.train)?;
+            let (val_accuracy, val_top5) = eval_student(&student, &splits.validation)?;
+            DistillOutcome {
+                student,
+                val_accuracy,
+                val_top5,
+                teacher_weights: weights,
+                kept_teachers: (0..n).collect(),
+                train_seconds: 0.0,
+                aed_runs: 1,
+            }
+        }
+        Method::AedOne => {
+            let mut cfg = opts.aed;
+            cfg.transform = WeightTransform::Softmax;
+            let res = run_aed(splits, teachers, student_config, &cfg)?;
+            DistillOutcome {
+                teacher_weights: res.weights.clone(),
+                kept_teachers: (0..n).collect(),
+                student: res.student,
+                val_accuracy: res.val_accuracy,
+                val_top5: res.val_top5,
+                train_seconds: 0.0,
+                aed_runs: 1,
+            }
+        }
+        Method::AedLoo => {
+            let res = aed_loo(splits, teachers, student_config, &opts.aed, opts.loo_max_evals)?;
+            let last_weights = res
+                .history
+                .iter()
+                .rev()
+                .find(|r| r.kept == res.kept)
+                .map(|r| r.weights.clone())
+                .unwrap_or_else(|| classic_weights(res.kept.len()));
+            DistillOutcome {
+                teacher_weights: expand_weights(n, &res.kept, &last_weights),
+                kept_teachers: res.kept.clone(),
+                student: res.student,
+                val_accuracy: res.val_accuracy,
+                val_top5: res.val_top5,
+                train_seconds: 0.0,
+                aed_runs: res.aed_runs,
+            }
+        }
+        Method::LightTs => {
+            let res = lightts_removal(
+                splits,
+                teachers,
+                student_config,
+                &opts.aed,
+                RemovalStrategy::GumbelConfident,
+            )?;
+            let last_weights = res
+                .history
+                .iter()
+                .rev()
+                .find(|r| r.kept == res.kept)
+                .map(|r| r.weights.clone())
+                .unwrap_or_else(|| classic_weights(res.kept.len()));
+            DistillOutcome {
+                teacher_weights: expand_weights(n, &res.kept, &last_weights),
+                kept_teachers: res.kept.clone(),
+                student: res.student,
+                val_accuracy: res.val_accuracy,
+                val_top5: res.val_top5,
+                train_seconds: 0.0,
+                aed_runs: res.aed_runs,
+            }
+        }
+    };
+    Ok(DistillOutcome { train_seconds: start.elapsed().as_secs_f64(), ..outcome })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trainer::StudentTrainOpts;
+    use lightts_data::synth::{Generator, SynthConfig};
+    use lightts_models::inception::BlockSpec;
+    use lightts_tensor::Tensor;
+
+    fn splits(seed: u64) -> Splits {
+        let gen = Generator::new(
+            SynthConfig { classes: 2, dims: 1, length: 24, difficulty: 0.2, waveforms: 3 },
+            seed,
+        );
+        gen.splits("method-test", 40, 20, 20, seed + 1).unwrap()
+    }
+
+    fn student_cfg() -> InceptionConfig {
+        InceptionConfig {
+            blocks: vec![BlockSpec { layers: 2, filter_len: 8, bits: 8 }; 2],
+            filters: 4,
+            in_dims: 1,
+            in_len: 24,
+            num_classes: 2,
+        }
+    }
+
+    fn teachers(s: &Splits) -> TeacherProbs {
+        let mk = |ds: &lightts_data::LabeledDataset, invert: bool| {
+            let k = ds.num_classes();
+            let sharp = 0.9f32;
+            let mut t = Tensor::full(&[ds.len(), k], (1.0 - sharp) / (k as f32 - 1.0));
+            for (i, &l) in ds.labels().iter().enumerate() {
+                let target = if invert { (l + 1) % k } else { l };
+                t.set(&[i, target], sharp).unwrap();
+            }
+            t
+        };
+        TeacherProbs::from_raw(
+            vec![mk(&s.train, false), mk(&s.train, false), mk(&s.train, true)],
+            vec![mk(&s.validation, false), mk(&s.validation, false), mk(&s.validation, true)],
+            s.validation.labels(),
+        )
+        .unwrap()
+    }
+
+    fn quick_opts(epochs: usize) -> DistillOpts {
+        DistillOpts {
+            aed: AedConfig {
+                train: StudentTrainOpts { epochs, batch_size: 16, ..Default::default() },
+                v: 3,
+                lambda_lr: 2.0,
+                transform: WeightTransform::GumbelConfident { tau: 0.5 },
+            },
+            loo_max_evals: 4,
+            reinforced_episodes: 2,
+            reinforced_lr: 4.0,
+        }
+    }
+
+    #[test]
+    fn every_method_produces_a_student() {
+        let s = splits(130);
+        let t = teachers(&s);
+        let opts = quick_opts(6);
+        for method in Method::all() {
+            let out = run_method(method, &s, &t, &student_cfg(), &opts).unwrap();
+            assert_eq!(out.teacher_weights.len(), 3, "{}", method.as_str());
+            assert!(out.train_seconds > 0.0);
+            assert!(out.aed_runs >= 1);
+            assert!(!out.kept_teachers.is_empty());
+            assert!(
+                (0.0..=1.0).contains(&out.val_accuracy),
+                "{}: acc {}",
+                method.as_str(),
+                out.val_accuracy
+            );
+        }
+    }
+
+    #[test]
+    fn lightts_weights_cover_removed_teachers_with_zero() {
+        let s = splits(131);
+        let t = teachers(&s);
+        let out = run_method(Method::LightTs, &s, &t, &student_cfg(), &quick_opts(6)).unwrap();
+        for (i, w) in out.teacher_weights.iter().enumerate() {
+            if out.kept_teachers.contains(&i) {
+                assert!(*w >= 0.0);
+            } else {
+                assert_eq!(*w, 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn method_names_match_paper() {
+        let names: Vec<&str> = Method::all().iter().map(|m| m.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["Classic KD", "AE-KD", "Reinforced", "CAWPE", "AED-One", "AED-LOO", "LightTS"]
+        );
+    }
+}

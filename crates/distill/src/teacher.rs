@@ -1,0 +1,162 @@
+//! Pre-computed teacher knowledge.
+//!
+//! Teachers are *already trained* when LightTS starts (paper Figure 6), so
+//! their class distributions over the training and validation sets are
+//! constants throughout distillation. [`TeacherProbs`] computes them once
+//! and hands aligned rows to the student trainer, which is what makes the
+//! repeated AED runs of the removal loop affordable.
+
+use crate::{DistillError, Result};
+use lightts_data::Splits;
+use lightts_models::ensemble::Ensemble;
+use lightts_models::metrics::accuracy;
+use lightts_tensor::Tensor;
+
+/// Per-teacher class distributions over the train and validation splits,
+/// plus each teacher's validation accuracy (used by CAWPE).
+#[derive(Debug, Clone)]
+pub struct TeacherProbs {
+    /// `q_i` on the training split: per teacher `[n_train, classes]`.
+    pub train: Vec<Tensor>,
+    /// `q_i` on the validation split: per teacher `[n_val, classes]`.
+    pub val: Vec<Tensor>,
+    /// Validation accuracy per teacher.
+    pub val_accuracy: Vec<f64>,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl TeacherProbs {
+    /// Evaluates every ensemble member on the train and validation splits.
+    pub fn compute(ensemble: &Ensemble, splits: &Splits) -> Result<Self> {
+        let train = ensemble.member_probs_dataset(&splits.train)?;
+        let val = ensemble.member_probs_dataset(&splits.validation)?;
+        let val_labels = splits.validation.labels();
+        let val_accuracy = val
+            .iter()
+            .map(|p| accuracy(p, val_labels).map_err(DistillError::from))
+            .collect::<Result<Vec<_>>>()?;
+        let num_classes = splits.num_classes();
+        Ok(TeacherProbs { train, val, val_accuracy, num_classes })
+    }
+
+    /// Builds teacher probabilities from raw per-teacher tensors (useful for
+    /// tests and synthetic teachers).
+    pub fn from_raw(train: Vec<Tensor>, val: Vec<Tensor>, val_labels: &[usize]) -> Result<Self> {
+        if train.is_empty() || train.len() != val.len() {
+            return Err(DistillError::BadInput {
+                what: format!("{} train vs {} val teachers", train.len(), val.len()),
+            });
+        }
+        let num_classes = train[0].dims()[1];
+        for t in train.iter().chain(val.iter()) {
+            if t.rank() != 2 || t.dims()[1] != num_classes {
+                return Err(DistillError::BadInput {
+                    what: "teacher tensors must be [n, classes] with equal classes".into(),
+                });
+            }
+        }
+        let val_accuracy = val
+            .iter()
+            .map(|p| accuracy(p, val_labels).map_err(DistillError::from))
+            .collect::<Result<Vec<_>>>()?;
+        Ok(TeacherProbs { train, val, val_accuracy, num_classes })
+    }
+
+    /// Number of teachers `N`.
+    pub fn len(&self) -> usize {
+        self.train.len()
+    }
+
+    /// Whether there are no teachers (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.train.is_empty()
+    }
+
+    /// Restriction to the teachers at `keep` (removal loop support).
+    pub fn subset(&self, keep: &[usize]) -> Result<Self> {
+        if keep.is_empty() {
+            return Err(DistillError::BadInput { what: "empty teacher subset".into() });
+        }
+        let pick = |v: &[Tensor]| -> Result<Vec<Tensor>> {
+            keep.iter()
+                .map(|&i| {
+                    v.get(i).cloned().ok_or(DistillError::BadInput {
+                        what: format!("teacher index {i} out of {}", v.len()),
+                    })
+                })
+                .collect()
+        };
+        Ok(TeacherProbs {
+            train: pick(&self.train)?,
+            val: pick(&self.val)?,
+            val_accuracy: keep.iter().map(|&i| self.val_accuracy[i]).collect(),
+            num_classes: self.num_classes,
+        })
+    }
+
+    /// The uniform-average combined teacher `q̄ = 1/N Σ q_i` on the training
+    /// split (Classic KD's knowledge source).
+    pub fn combined_train(&self, weights: &[f32]) -> Result<Tensor> {
+        if weights.len() != self.len() {
+            return Err(DistillError::BadInput {
+                what: format!("{} weights for {} teachers", weights.len(), self.len()),
+            });
+        }
+        let mut acc = Tensor::zeros(self.train[0].dims());
+        for (q, &w) in self.train.iter().zip(weights.iter()) {
+            acc.axpy(q, w)?;
+        }
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probs(v: &[f32], n: usize, k: usize) -> Tensor {
+        Tensor::from_vec(v.to_vec(), &[n, k]).unwrap()
+    }
+
+    fn toy() -> TeacherProbs {
+        // 2 teachers, 2 validation rows, 2 classes
+        let t0 = probs(&[0.9, 0.1, 0.2, 0.8], 2, 2);
+        let t1 = probs(&[0.6, 0.4, 0.7, 0.3], 2, 2);
+        TeacherProbs::from_raw(vec![t0.clone(), t1.clone()], vec![t0, t1], &[0, 1]).unwrap()
+    }
+
+    #[test]
+    fn val_accuracy_per_teacher() {
+        let tp = toy();
+        assert_eq!(tp.len(), 2);
+        assert!((tp.val_accuracy[0] - 1.0).abs() < 1e-12); // teacher 0 right on both
+        assert!((tp.val_accuracy[1] - 0.5).abs() < 1e-12); // teacher 1 right on row 0 only
+    }
+
+    #[test]
+    fn subset_keeps_selected() {
+        let tp = toy();
+        let sub = tp.subset(&[1]).unwrap();
+        assert_eq!(sub.len(), 1);
+        assert!((sub.val_accuracy[0] - 0.5).abs() < 1e-12);
+        assert!(tp.subset(&[]).is_err());
+        assert!(tp.subset(&[7]).is_err());
+    }
+
+    #[test]
+    fn combined_train_weights() {
+        let tp = toy();
+        let c = tp.combined_train(&[0.5, 0.5]).unwrap();
+        assert!((c.get(&[0, 0]).unwrap() - 0.75).abs() < 1e-6);
+        assert!(tp.combined_train(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn from_raw_validates() {
+        let t = probs(&[1.0, 0.0], 1, 2);
+        assert!(TeacherProbs::from_raw(vec![t.clone()], vec![], &[]).is_err());
+        let bad = probs(&[1.0, 0.0, 0.0], 1, 3);
+        assert!(TeacherProbs::from_raw(vec![t.clone()], vec![bad], &[0]).is_err());
+    }
+}

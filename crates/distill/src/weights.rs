@@ -1,0 +1,254 @@
+//! Teacher-weight parameterizations and their gradients.
+//!
+//! AED maintains raw teacher logits `λ ∈ ℝ^N` and derives the simplex
+//! weights that multiply the per-teacher distillation distances in Eq. 2.
+//! Two parameterizations are used:
+//!
+//! * **Softmax** — `σ(λ)`, the plain normalization of Algorithm 1.
+//! * **Gumbel-confident** (Section 3.2.2) — the "unimportance"
+//!   `γ = softmax((−λ + g)/τ)` with Gumbel noise `g` and temperature `τ`,
+//!   re-parameterized back to importance `λ̂ = softmax(−γ)`. As `τ → 0` the
+//!   unimportance approaches a one-hot argmin of `λ`, making the weakest
+//!   teacher *confidently identifiable* (paper Figure 10) while keeping the
+//!   whole chain differentiable.
+//!
+//! The outer-level λ update (Eq. 3) needs `∂/∂λ Σ_i w_i d_i` for fixed
+//! distances `d`. Both transforms provide that gradient in closed form
+//! (softmax Jacobians composed by the chain rule), verified against finite
+//! differences in the tests.
+
+use lightts_nn::loss::softmax_slice;
+use lightts_tensor::rng::gumbel_vec;
+use rand::Rng;
+
+/// How raw teacher logits `λ` map to simplex weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WeightTransform {
+    /// `w = softmax(λ)`.
+    Softmax,
+    /// The confident Gumbel chain `λ̂ = softmax(−softmax((−λ + g)/τ))`.
+    GumbelConfident {
+        /// Temperature `τ` controlling the sharpness of the unimportance.
+        tau: f32,
+    },
+}
+
+/// The weights produced by a transform plus the auxiliary state needed to
+/// differentiate through it (the sampled noise and intermediate softmaxes).
+#[derive(Debug, Clone)]
+pub struct WeightState {
+    /// The simplex weights `w` applied to the distillation distances.
+    pub weights: Vec<f32>,
+    /// The unimportance `γ` (Gumbel chain only).
+    gamma: Option<Vec<f32>>,
+    /// The noise `g` used (Gumbel chain only).
+    noise: Option<Vec<f32>>,
+}
+
+impl WeightTransform {
+    /// Computes weights from logits, sampling fresh Gumbel noise if needed.
+    pub fn weights<R: Rng>(&self, lambda: &[f32], rng: &mut R) -> WeightState {
+        match *self {
+            WeightTransform::Softmax => WeightState {
+                weights: softmax_slice(lambda),
+                gamma: None,
+                noise: None,
+            },
+            WeightTransform::GumbelConfident { tau } => {
+                let g = gumbel_vec(rng, lambda.len());
+                let u: Vec<f32> = lambda
+                    .iter()
+                    .zip(g.iter())
+                    .map(|(&l, &gi)| (-l + gi) / tau)
+                    .collect();
+                let gamma = softmax_slice(&u);
+                let z: Vec<f32> = gamma.iter().map(|&x| -x).collect();
+                let weights = softmax_slice(&z);
+                WeightState { weights, gamma: Some(gamma), noise: Some(g) }
+            }
+        }
+    }
+
+    /// Gradient of `L(λ) = Σ_i w_i(λ) · d_i` with respect to `λ`, holding
+    /// the distances `d` (and, for Gumbel, the sampled noise) fixed.
+    pub fn grad(&self, state: &WeightState, d: &[f32]) -> Vec<f32> {
+        let w = &state.weights;
+        // dL/dz for w = softmax(z): w_j (d_j − Σ_i w_i d_i)
+        let wd: f32 = w.iter().zip(d.iter()).map(|(&a, &b)| a * b).sum();
+        let dl_dz: Vec<f32> = w.iter().zip(d.iter()).map(|(&wj, &dj)| wj * (dj - wd)).collect();
+        match *self {
+            WeightTransform::Softmax => dl_dz,
+            WeightTransform::GumbelConfident { tau } => {
+                // z = −γ ⇒ dL/dγ_k = −dL/dz_k
+                let dl_dgamma: Vec<f32> = dl_dz.iter().map(|&v| -v).collect();
+                // γ = softmax(u) ⇒ dL/du_j = γ_j (dL/dγ_j − Σ_k γ_k dL/dγ_k)
+                let gamma = state.gamma.as_ref().expect("gumbel state carries gamma");
+                let gdot: f32 =
+                    gamma.iter().zip(dl_dgamma.iter()).map(|(&a, &b)| a * b).sum();
+                let dl_du: Vec<f32> = gamma
+                    .iter()
+                    .zip(dl_dgamma.iter())
+                    .map(|(&gj, &dj)| gj * (dj - gdot))
+                    .collect();
+                // u_j = (−λ_j + g_j)/τ ⇒ dL/dλ_j = −dL/du_j / τ
+                dl_du.into_iter().map(|v| -v / tau).collect()
+            }
+        }
+    }
+
+    /// Recomputes weights for given logits *reusing* the noise in `state`
+    /// (used by the finite-difference tests and by deterministic replay).
+    pub fn weights_with_noise(&self, lambda: &[f32], state: &WeightState) -> Vec<f32> {
+        match *self {
+            WeightTransform::Softmax => softmax_slice(lambda),
+            WeightTransform::GumbelConfident { tau } => {
+                let g = state.noise.as_ref().expect("gumbel state carries noise");
+                let u: Vec<f32> = lambda
+                    .iter()
+                    .zip(g.iter())
+                    .map(|(&l, &gi)| (-l + gi) / tau)
+                    .collect();
+                let gamma = softmax_slice(&u);
+                let z: Vec<f32> = gamma.iter().map(|&x| -x).collect();
+                softmax_slice(&z)
+            }
+        }
+    }
+}
+
+/// Index of the minimum weight — the teacher LightTS removes next.
+pub fn argmin_weight(weights: &[f32]) -> Option<usize> {
+    if weights.is_empty() {
+        return None;
+    }
+    let mut best = 0usize;
+    for (i, &w) in weights.iter().enumerate() {
+        if w < weights[best] {
+            best = i;
+        }
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_tensor::rng::seeded;
+
+    #[test]
+    fn softmax_weights_form_simplex() {
+        let mut rng = seeded(1);
+        let lam = [0.3f32, -1.0, 2.0, 0.0];
+        let st = WeightTransform::Softmax.weights(&lam, &mut rng);
+        let s: f32 = st.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(st.weights[2] > st.weights[1]);
+    }
+
+    #[test]
+    fn gumbel_weights_form_simplex() {
+        let mut rng = seeded(2);
+        let lam = [0.5f32, 0.1, -0.4];
+        let st = WeightTransform::GumbelConfident { tau: 0.5 }.weights(&lam, &mut rng);
+        let s: f32 = st.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-5);
+        assert!(st.weights.iter().all(|&w| w > 0.0));
+    }
+
+    #[test]
+    fn low_tau_suppresses_the_weakest_teacher() {
+        // With τ → 0, γ ≈ one-hot at argmin λ, so λ̂ is smallest there.
+        // Average over noise draws to wash out the stochastic part.
+        let lam = [1.0f32, 0.9, -2.0, 1.1, 0.95];
+        let tf = WeightTransform::GumbelConfident { tau: 0.1 };
+        let mut rng = seeded(3);
+        let mut acc = vec![0.0f32; lam.len()];
+        let reps = 200;
+        for _ in 0..reps {
+            let st = tf.weights(&lam, &mut rng);
+            for (a, &w) in acc.iter_mut().zip(st.weights.iter()) {
+                *a += w / reps as f32;
+            }
+        }
+        let victim = argmin_weight(&acc).unwrap();
+        assert_eq!(victim, 2, "average weights {acc:?}");
+    }
+
+    #[test]
+    fn softmax_grad_matches_finite_difference() {
+        let lam = [0.2f32, -0.7, 1.1];
+        let d = [0.4f32, 1.5, 0.2];
+        let mut rng = seeded(4);
+        let tf = WeightTransform::Softmax;
+        let st = tf.weights(&lam, &mut rng);
+        let grad = tf.grad(&st, &d);
+        let eps = 1e-3f32;
+        for j in 0..lam.len() {
+            let mut lp = lam;
+            lp[j] += eps;
+            let mut lm = lam;
+            lm[j] -= eps;
+            let f = |l: &[f32]| -> f32 {
+                tf.weights_with_noise(l, &st)
+                    .iter()
+                    .zip(d.iter())
+                    .map(|(&w, &di)| w * di)
+                    .sum()
+            };
+            let fd = (f(&lp) - f(&lm)) / (2.0 * eps);
+            assert!((grad[j] - fd).abs() < 1e-3, "j={j}: {} vs {fd}", grad[j]);
+        }
+    }
+
+    #[test]
+    fn gumbel_grad_matches_finite_difference() {
+        let lam = [0.2f32, -0.7, 1.1, 0.3];
+        let d = [0.4f32, 1.5, 0.2, 0.9];
+        let mut rng = seeded(5);
+        let tf = WeightTransform::GumbelConfident { tau: 0.7 };
+        let st = tf.weights(&lam, &mut rng);
+        let grad = tf.grad(&st, &d);
+        let eps = 1e-3f32;
+        for j in 0..lam.len() {
+            let mut lp = lam;
+            lp[j] += eps;
+            let mut lm = lam;
+            lm[j] -= eps;
+            let f = |l: &[f32]| -> f32 {
+                tf.weights_with_noise(l, &st)
+                    .iter()
+                    .zip(d.iter())
+                    .map(|(&w, &di)| w * di)
+                    .sum()
+            };
+            let fd = (f(&lp) - f(&lm)) / (2.0 * eps);
+            assert!((grad[j] - fd).abs() < 2e-3, "j={j}: {} vs {fd}", grad[j]);
+        }
+    }
+
+    #[test]
+    fn gradient_descent_on_lambda_downweights_distant_teachers() {
+        // Teacher 1 has a much larger distance; descending L(λ) should
+        // shrink its softmax weight.
+        let mut lam = vec![0.0f32; 3];
+        let d = [0.1f32, 2.0, 0.3];
+        let tf = WeightTransform::Softmax;
+        let mut rng = seeded(6);
+        for _ in 0..50 {
+            let st = tf.weights(&lam, &mut rng);
+            let g = tf.grad(&st, &d);
+            for (l, gi) in lam.iter_mut().zip(g.iter()) {
+                *l -= 0.5 * gi;
+            }
+        }
+        let final_w = softmax_slice(&lam);
+        assert!(final_w[1] < 0.1, "distant teacher weight {:?}", final_w);
+        assert!(final_w[0] > final_w[2]);
+    }
+
+    #[test]
+    fn argmin_weight_basics() {
+        assert_eq!(argmin_weight(&[0.3, 0.1, 0.6]), Some(1));
+        assert_eq!(argmin_weight(&[]), None);
+    }
+}

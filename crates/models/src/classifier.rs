@@ -1,0 +1,105 @@
+//! The classifier abstraction: anything that maps series to class
+//! distributions.
+
+use crate::Result;
+use lightts_data::LabeledDataset;
+use lightts_tensor::Tensor;
+
+/// A trained time-series classifier.
+///
+/// LightTS is model-agnostic: "It is only required that the base models
+/// output class distributions" (paper Section 3.1). This trait is that
+/// requirement. Implementations must be `Send + Sync` so ensembles can be
+/// queried from worker threads.
+pub trait Classifier: Send + Sync {
+    /// A short human-readable name (`"InceptionTime"`, `"TDE"`, …).
+    fn name(&self) -> &str;
+
+    /// Number of classes the classifier outputs.
+    fn num_classes(&self) -> usize;
+
+    /// Class distributions for a batch of inputs `[batch, dims, length]`,
+    /// returned as `[batch, classes]` rows summing to one.
+    fn predict_proba(&self, inputs: &Tensor) -> Result<Tensor>;
+
+    /// Class distributions for a whole dataset, evaluated in chunks to bound
+    /// peak memory.
+    fn predict_proba_dataset(&self, ds: &LabeledDataset) -> Result<Tensor> {
+        let chunk = 256usize;
+        let mut rows: Vec<Tensor> = Vec::with_capacity(ds.len());
+        let mut i = 0;
+        while i < ds.len() {
+            let hi = (i + chunk).min(ds.len());
+            let idx: Vec<usize> = (i..hi).collect();
+            let batch = ds.batch(&idx)?;
+            let probs = self.predict_proba(&batch.inputs)?;
+            for r in 0..probs.dims()[0] {
+                rows.push(probs.row(r)?);
+            }
+            i = hi;
+        }
+        Ok(Tensor::stack_rows(&rows)?)
+    }
+
+    /// Predicted label per row of `inputs`.
+    fn predict(&self, inputs: &Tensor) -> Result<Vec<usize>> {
+        let probs = self.predict_proba(inputs)?;
+        (0..probs.dims()[0])
+            .map(|r| Ok(probs.row(r)?.argmax()?))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_data::TimeSeries;
+
+    /// A classifier that predicts class (first observation rounded) mod K.
+    struct FirstValueClassifier {
+        k: usize,
+    }
+
+    impl Classifier for FirstValueClassifier {
+        fn name(&self) -> &str {
+            "FirstValue"
+        }
+
+        fn num_classes(&self) -> usize {
+            self.k
+        }
+
+        fn predict_proba(&self, inputs: &Tensor) -> Result<Tensor> {
+            let (b, _m, l) = (inputs.dims()[0], inputs.dims()[1], inputs.dims()[2]);
+            let mut out = Tensor::zeros(&[b, self.k]);
+            for bi in 0..b {
+                let v = inputs.data()[bi * inputs.dims()[1] * l];
+                let cls = (v.round().abs() as usize) % self.k;
+                out.set(&[bi, cls], 1.0)?;
+            }
+            Ok(out)
+        }
+    }
+
+    #[test]
+    fn default_predict_uses_argmax() {
+        let c = FirstValueClassifier { k: 3 };
+        let x = Tensor::from_vec(vec![0.0, 0.0, 1.0, 0.0, 2.0, 0.0], &[3, 1, 2]).unwrap();
+        assert_eq!(c.predict(&x).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dataset_prediction_is_chunked_consistently() {
+        let c = FirstValueClassifier { k: 2 };
+        let series: Vec<TimeSeries> = (0..300)
+            .map(|i| TimeSeries::univariate(vec![(i % 2) as f32, 0.0]).unwrap())
+            .collect();
+        let labels: Vec<usize> = (0..300).map(|i| i % 2).collect();
+        let ds = LabeledDataset::new("t", series, labels.clone(), 2).unwrap();
+        let probs = c.predict_proba_dataset(&ds).unwrap();
+        assert_eq!(probs.dims(), &[300, 2]);
+        for (i, &l) in labels.iter().enumerate() {
+            assert_eq!(probs.row(i).unwrap().argmax().unwrap(), l);
+        }
+    }
+}

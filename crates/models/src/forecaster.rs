@@ -1,0 +1,386 @@
+//! A quantizable convolutional forecaster — the regression sibling of
+//! [`InceptionTime`](crate::inception::InceptionTime).
+//!
+//! The paper (Section 3.2.1) claims AED "can be applied to forecasting by
+//! replacing the cross entropy term in Equation 2 by a forecasting error
+//! term, e.g., mean square error"; this model is the student/teacher family
+//! for that extension. It reuses the same block structure (parallel convs
+//! with halving filter lengths → batch-norm → ReLU) but ends in a linear
+//! regression head over the global-average-pooled features.
+
+use crate::inception::InceptionConfig;
+use crate::{ModelError, Result};
+use lightts_data::forecast::ForecastDataset;
+use lightts_nn::layers::{BatchNorm1d, Conv1d, Linear};
+use lightts_nn::optim::{Adam, Optimizer};
+use lightts_nn::{Bindings, Mode, ParamStore};
+use lightts_tensor::rng::seeded;
+use lightts_tensor::tape::{Tape, Var};
+use lightts_tensor::Tensor;
+use rand::Rng;
+
+/// Configuration of a convolutional forecaster: an InceptionTime-style
+/// backbone plus the forecast head size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ForecastConfig {
+    /// Backbone blocks (layers/filter-length/bits per block, as in the
+    /// classification search space).
+    pub backbone: InceptionConfig,
+    /// Output values per window: `dims × horizon`.
+    pub out_len: usize,
+}
+
+impl ForecastConfig {
+    /// A small default forecaster for the given task shape.
+    pub fn for_task(ds: &ForecastDataset, filters: usize, bits: u8) -> Self {
+        let mut backbone = InceptionConfig::student(
+            ds.dims(),
+            ds.history(),
+            // num_classes is unused by the backbone body; keep it valid
+            1,
+            filters,
+            bits,
+        );
+        // forecasting favours shorter filters than classification
+        for b in &mut backbone.blocks {
+            b.filter_len = b.filter_len.min(ds.history());
+        }
+        ForecastConfig { backbone, out_len: ds.dims() * ds.horizon() }
+    }
+}
+
+struct FBlock {
+    convs: Vec<Conv1d>,
+    bn: BatchNorm1d,
+}
+
+/// A trainable, quantizable convolutional forecaster.
+pub struct Forecaster {
+    config: ForecastConfig,
+    store: ParamStore,
+    blocks: Vec<FBlock>,
+    head: Linear,
+}
+
+impl Forecaster {
+    /// Builds a randomly initialized forecaster.
+    pub fn new<R: Rng>(config: ForecastConfig, rng: &mut R) -> Result<Self> {
+        if config.out_len == 0 {
+            return Err(ModelError::BadConfig { what: "forecaster: zero outputs".into() });
+        }
+        let bc = &config.backbone;
+        let mut store = ParamStore::new();
+        let mut blocks = Vec::with_capacity(bc.blocks.len());
+        let mut cin = bc.in_dims;
+        for (i, spec) in bc.blocks.iter().enumerate() {
+            let mut convs = Vec::with_capacity(spec.layers);
+            for j in 0..spec.layers {
+                let k = spec.kernel(j, bc.in_len);
+                convs.push(Conv1d::new(
+                    &mut store,
+                    rng,
+                    &format!("fblock{i}.conv{j}"),
+                    cin,
+                    bc.filters,
+                    k,
+                    spec.bits,
+                )?);
+            }
+            let bn =
+                BatchNorm1d::new(&mut store, &format!("fblock{i}.bn"), spec.layers * bc.filters)?;
+            blocks.push(FBlock { convs, bn });
+            cin = spec.layers * bc.filters;
+        }
+        let head_bits = bc.blocks.last().map_or(32, |b| b.bits);
+        let head = Linear::with_name(&mut store, rng, "head", cin, config.out_len, head_bits)?;
+        Ok(Forecaster { config, store, blocks, head })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ForecastConfig {
+        &self.config
+    }
+
+    /// Model size in bits (quantized accounting).
+    pub fn size_bits(&self) -> u64 {
+        self.store.size_bits()
+    }
+
+    /// Mutable parameter store (for optimizers).
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Training forward: predictions `[batch, out_len]` on the tape.
+    pub fn forward_train(
+        &mut self,
+        tape: &mut Tape,
+        bind: &mut Bindings,
+        inputs: &Tensor,
+        mode: Mode,
+    ) -> Result<Var> {
+        let mut x = tape.constant(inputs.clone());
+        let store = &self.store;
+        for block in &mut self.blocks {
+            let mut outs = Vec::with_capacity(block.convs.len());
+            for conv in &block.convs {
+                outs.push(conv.forward(tape, bind, store, x)?);
+            }
+            let cat = tape.concat_channels(&outs)?;
+            let normed = block.bn.forward(tape, bind, store, cat, mode)?;
+            x = tape.relu(normed)?;
+        }
+        let pooled = tape.gap(x)?;
+        Ok(self.head.forward(tape, bind, store, pooled)?)
+    }
+
+    /// Inference predictions on plain tensors.
+    pub fn predict(&self, inputs: &Tensor) -> Result<Tensor> {
+        let mut x = inputs.clone();
+        for block in &self.blocks {
+            let mut outs = Vec::with_capacity(block.convs.len());
+            for conv in &block.convs {
+                outs.push(conv.eval_forward(&self.store, &x)?);
+            }
+            let cat = crate::inception::concat_channels_plain(&outs)?;
+            let normed = block.bn.eval_forward(&self.store, &cat)?;
+            x = normed.map(|v| v.max(0.0));
+        }
+        let pooled = crate::inception::gap_plain(&x)?;
+        Ok(self.head.eval_forward(&self.store, &pooled)?)
+    }
+
+    /// Supervised MSE training (teacher forecasters).
+    ///
+    /// Returns the final-epoch training loss.
+    pub fn fit(&mut self, train: &ForecastDataset, epochs: usize, lr: f32, seed: u64) -> Result<f32> {
+        let mut rng = seeded(seed);
+        let mut opt = Adam::new(lr);
+        let mut last = f32::INFINITY;
+        let n = train.len();
+        let all: Vec<usize> = (0..n).collect();
+        for _ in 0..epochs {
+            use rand::seq::SliceRandom;
+            let mut order = all.clone();
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0;
+            let mut batches = 0;
+            for chunk in order.chunks(32) {
+                let (x, y) = train.batch(chunk)?;
+                let mut tape = Tape::new();
+                let mut bind = Bindings::new();
+                let pred = self.forward_train(&mut tape, &mut bind, &x, Mode::Train)?;
+                let loss = tape.mse_to_target(pred, &y)?;
+                loss_sum += tape.value(loss)?.item()?;
+                batches += 1;
+                let grads = tape.backward(loss)?;
+                let pairs = bind.collect_grads(grads);
+                opt.step(&mut self.store, &pairs)?;
+            }
+            last = loss_sum / batches.max(1) as f32;
+        }
+        Ok(last)
+    }
+
+    /// Mean squared forecast error on a dataset.
+    pub fn mse_on(&self, ds: &ForecastDataset) -> Result<f32> {
+        let pred = self.predict(ds.inputs())?;
+        Ok(lightts_nn::loss::mse(&pred, ds.targets())?)
+    }
+
+    /// Serializes the forecaster (backbone config, output head size,
+    /// batch-norm running statistics, bit-packed parameters).
+    pub fn save_bytes(&self) -> Result<Vec<u8>> {
+        use bytes::BufMut;
+        let bc = &self.config.backbone;
+        let mut buf = Vec::new();
+        buf.put_slice(b"LTFC");
+        buf.put_u16_le(1);
+        buf.put_u32_le(bc.blocks.len() as u32);
+        for b in &bc.blocks {
+            buf.put_u32_le(b.layers as u32);
+            buf.put_u32_le(b.filter_len as u32);
+            buf.put_u8(b.bits);
+        }
+        buf.put_u32_le(bc.filters as u32);
+        buf.put_u32_le(bc.in_dims as u32);
+        buf.put_u32_le(bc.in_len as u32);
+        buf.put_u32_le(bc.num_classes as u32);
+        buf.put_u32_le(self.config.out_len as u32);
+        for block in &self.blocks {
+            let (mean, var) = block.bn.running_stats();
+            for &m in mean {
+                buf.put_f32_le(m);
+            }
+            for &v in var {
+                buf.put_f32_le(v);
+            }
+        }
+        let store_bytes = lightts_nn::serialize::serialize_store(&self.store)?;
+        buf.put_u64_le(store_bytes.len() as u64);
+        buf.put_slice(&store_bytes);
+        Ok(buf)
+    }
+
+    /// Loads a forecaster saved by [`Forecaster::save_bytes`].
+    pub fn load_bytes(bytes: &[u8]) -> Result<Self> {
+        use bytes::Buf;
+        use crate::inception::BlockSpec;
+        let mut buf = bytes;
+        let err = |what: &str| ModelError::BadConfig { what: format!("forecaster load: {what}") };
+        if buf.remaining() < 10 {
+            return Err(err("truncated header"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != b"LTFC" {
+            return Err(err("bad magic"));
+        }
+        if buf.get_u16_le() != 1 {
+            return Err(err("unsupported version"));
+        }
+        let n_blocks = buf.get_u32_le() as usize;
+        if n_blocks > 64 || buf.remaining() < n_blocks * 9 {
+            return Err(err("bad block table"));
+        }
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let layers = buf.get_u32_le() as usize;
+            let filter_len = buf.get_u32_le() as usize;
+            let bits = buf.get_u8();
+            blocks.push(BlockSpec { layers, filter_len, bits });
+        }
+        if buf.remaining() < 20 {
+            return Err(err("truncated config"));
+        }
+        let backbone = InceptionConfig {
+            blocks,
+            filters: buf.get_u32_le() as usize,
+            in_dims: buf.get_u32_le() as usize,
+            in_len: buf.get_u32_le() as usize,
+            num_classes: buf.get_u32_le() as usize,
+        };
+        let out_len = buf.get_u32_le() as usize;
+        let config = ForecastConfig { backbone, out_len };
+        let mut rng = seeded(0);
+        let mut model = Forecaster::new(config.clone(), &mut rng)?;
+        for (bi, block) in model.blocks.iter_mut().enumerate() {
+            let c = config.backbone.blocks[bi].layers * config.backbone.filters;
+            if buf.remaining() < c * 8 {
+                return Err(err("truncated batch-norm statistics"));
+            }
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for m in &mut mean {
+                *m = buf.get_f32_le();
+            }
+            for v in &mut var {
+                *v = buf.get_f32_le();
+            }
+            block.bn.set_running_stats(&mean, &var)?;
+        }
+        if buf.remaining() < 8 {
+            return Err(err("truncated store length"));
+        }
+        let store_len = buf.get_u64_le() as usize;
+        if buf.remaining() != store_len {
+            return Err(err("store length mismatch"));
+        }
+        let store = lightts_nn::serialize::deserialize_store(buf)?;
+        if store.len() != model.store.len() {
+            return Err(err("parameter count mismatch"));
+        }
+        for ((_, a), (_, b)) in model.store.iter().zip(store.iter()) {
+            if a.name != b.name || a.value.dims() != b.value.dims() || a.bits != b.bits {
+                return Err(err("parameter layout mismatch"));
+            }
+        }
+        model.store = store;
+        Ok(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_data::forecast::{synthetic_series, windows_from_series};
+
+    fn task(seed: u64) -> lightts_data::forecast::ForecastSplits {
+        let series = synthetic_series(1, 220, 0.05, seed);
+        windows_from_series("f", &series, 16, 4, 2, 0.15, 0.15).unwrap()
+    }
+
+    #[test]
+    fn forecaster_shapes() {
+        let s = task(1);
+        let cfg = ForecastConfig::for_task(&s.train, 4, 32);
+        let mut rng = seeded(2);
+        let f = Forecaster::new(cfg, &mut rng).unwrap();
+        let pred = f.predict(s.train.inputs()).unwrap();
+        assert_eq!(pred.dims(), &[s.train.len(), 4]);
+    }
+
+    #[test]
+    fn training_beats_predicting_the_mean() {
+        let s = task(3);
+        let cfg = ForecastConfig::for_task(&s.train, 4, 32);
+        let mut rng = seeded(4);
+        let mut f = Forecaster::new(cfg, &mut rng).unwrap();
+        f.fit(&s.train, 30, 0.01, 5).unwrap();
+        let model_mse = f.mse_on(&s.test).unwrap();
+        // baseline: predict the global mean of training targets
+        let mean = s.train.targets().mean();
+        let mut base = 0.0f32;
+        for &v in s.test.targets().data() {
+            base += (v - mean) * (v - mean);
+        }
+        base /= s.test.targets().len() as f32;
+        assert!(
+            model_mse < 0.7 * base,
+            "forecaster MSE {model_mse} vs mean-baseline {base}"
+        );
+    }
+
+    #[test]
+    fn quantized_forecaster_is_smaller_and_still_works() {
+        let s = task(5);
+        let mut rng = seeded(6);
+        let f32bit =
+            Forecaster::new(ForecastConfig::for_task(&s.train, 4, 32), &mut rng).unwrap();
+        let f8bit =
+            Forecaster::new(ForecastConfig::for_task(&s.train, 4, 8), &mut rng).unwrap();
+        assert!(f8bit.size_bits() < f32bit.size_bits());
+        let pred = f8bit.predict(s.test.inputs()).unwrap();
+        assert!(pred.data().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let s = task(9);
+        let cfg = ForecastConfig::for_task(&s.train, 4, 8);
+        let mut rng = seeded(10);
+        let mut f = Forecaster::new(cfg, &mut rng).unwrap();
+        f.fit(&s.train, 5, 0.01, 11).unwrap();
+        let bytes = f.save_bytes().unwrap();
+        let loaded = Forecaster::load_bytes(&bytes).unwrap();
+        let p1 = f.predict(s.test.inputs()).unwrap();
+        let p2 = loaded.predict(s.test.inputs()).unwrap();
+        for (a, b) in p1.data().iter().zip(p2.data().iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        // corruption is rejected
+        assert!(Forecaster::load_bytes(&bytes[..12]).is_err());
+        let mut bad = bytes;
+        bad[0] = b'X';
+        assert!(Forecaster::load_bytes(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_outputs() {
+        let s = task(7);
+        let mut cfg = ForecastConfig::for_task(&s.train, 4, 32);
+        cfg.out_len = 0;
+        let mut rng = seeded(8);
+        assert!(Forecaster::new(cfg, &mut rng).is_err());
+    }
+}

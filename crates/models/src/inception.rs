@@ -1,0 +1,675 @@
+//! The InceptionTime classifier (paper Section 2.2).
+//!
+//! An InceptionTime model is a stack of *blocks*; each block applies several
+//! same-padded 1-D convolutions **in parallel** to the block input — the
+//! filter length halving from layer to layer (e.g. 40, 20, 10) so patterns of
+//! different time spans are captured — and concatenates their outputs
+//! channel-wise (`T^(i) = ∥_k T^(i-1) * F_k`). Batch-norm + ReLU follow each
+//! block; global average pooling and a fully-connected softmax head produce
+//! the class distribution.
+//!
+//! The same type serves as the full-precision teacher (32-bit everywhere)
+//! and the quantized student: every block carries its own bit-width, exactly
+//! the `(L_j, F_j, W_j)` per-block search space of Section 3.3.1.
+
+use crate::{Classifier, ModelError, Result};
+use lightts_data::LabeledDataset;
+use lightts_nn::layers::{BatchNorm1d, Conv1d, Linear};
+use lightts_nn::optim::{Adam, Optimizer, Sgd};
+use lightts_nn::{size, Bindings, Mode, ParamStore};
+use lightts_tensor::rng::seeded;
+use lightts_tensor::tape::{Tape, Var};
+use lightts_tensor::Tensor;
+use rand::Rng;
+
+/// Configuration of one InceptionTime block: the `(L_j, F_j, W_j)` tuple of
+/// the paper's student-setting encoding (Eq. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockSpec {
+    /// Number of parallel convolution layers `L_j`.
+    pub layers: usize,
+    /// Filter length of the first layer `F_j`; subsequent layers halve it.
+    pub filter_len: usize,
+    /// Storage bit-width `W_j` of this block's parameters.
+    pub bits: u8,
+}
+
+impl BlockSpec {
+    /// The kernel length of layer `j` within the block: `max(1, F >> j)`,
+    /// additionally capped at the series length so degenerate kernels are
+    /// never built.
+    pub fn kernel(&self, layer: usize, series_len: usize) -> usize {
+        (self.filter_len >> layer).max(1).min(series_len.max(1))
+    }
+}
+
+/// Full configuration of an InceptionTime model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InceptionConfig {
+    /// Per-block specs.
+    pub blocks: Vec<BlockSpec>,
+    /// Convolution filters (output channels) per layer.
+    pub filters: usize,
+    /// Input dimensionality `M` of the series.
+    pub in_dims: usize,
+    /// Series length (used to cap kernels).
+    pub in_len: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl InceptionConfig {
+    /// The paper's default full-precision teacher: 3 blocks of 3 layers,
+    /// first-layer filter length 40, 32-bit parameters.
+    pub fn teacher(in_dims: usize, in_len: usize, num_classes: usize, filters: usize) -> Self {
+        InceptionConfig {
+            blocks: vec![BlockSpec { layers: 3, filter_len: 40, bits: 32 }; 3],
+            filters,
+            in_dims,
+            in_len,
+            num_classes,
+        }
+    }
+
+    /// The Problem-Scenario-1 student: 3 blocks × 3 layers, a uniform
+    /// bit-width, filter length 40 (paper Section 4.2.1).
+    pub fn student(
+        in_dims: usize,
+        in_len: usize,
+        num_classes: usize,
+        filters: usize,
+        bits: u8,
+    ) -> Self {
+        InceptionConfig {
+            blocks: vec![BlockSpec { layers: 3, filter_len: 40, bits }; 3],
+            filters,
+            in_dims,
+            in_len,
+            num_classes,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if self.blocks.is_empty() {
+            return Err(ModelError::BadConfig { what: "no blocks".into() });
+        }
+        if self.filters == 0 || self.in_dims == 0 || self.num_classes == 0 || self.in_len == 0 {
+            return Err(ModelError::BadConfig { what: "zero-sized dimension".into() });
+        }
+        for (i, b) in self.blocks.iter().enumerate() {
+            if b.layers == 0 || b.filter_len == 0 {
+                return Err(ModelError::BadConfig { what: format!("block {i} empty") });
+            }
+            if b.bits == 0 || b.bits > 32 {
+                return Err(ModelError::BadConfig {
+                    what: format!("block {i}: bits {} out of 1..=32", b.bits),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Input channels of block `i`.
+    fn block_in_channels(&self, i: usize) -> usize {
+        if i == 0 {
+            self.in_dims
+        } else {
+            self.blocks[i - 1].layers * self.filters
+        }
+    }
+
+    /// Analytic model size in bits, matching
+    /// [`ParamStore::size_bits`](lightts_nn::ParamStore::size_bits) of the
+    /// instantiated model (verified by test). Batch-norm parameters are
+    /// counted at 32 bits; the FC head uses the last block's bit-width.
+    pub fn size_bits(&self) -> u64 {
+        let mut bits = 0u64;
+        for (i, b) in self.blocks.iter().enumerate() {
+            let cin = self.block_in_channels(i);
+            for j in 0..b.layers {
+                let k = b.kernel(j, self.in_len);
+                bits += size::conv1d_params(cin, self.filters, k) as u64 * u64::from(b.bits);
+            }
+            bits += size::batchnorm_params(b.layers * self.filters) as u64 * 32;
+        }
+        let last_c = self.blocks.last().map_or(0, |b| b.layers * self.filters);
+        let fc_bits = self.blocks.last().map_or(32, |b| b.bits);
+        bits += size::linear_params(last_c, self.num_classes) as u64 * u64::from(fc_bits);
+        bits
+    }
+
+    /// Analytic size in kilobytes.
+    pub fn size_kb(&self) -> f64 {
+        size::bits_to_kb(self.size_bits())
+    }
+}
+
+/// Hyper-parameters for supervised training (used for teachers; students are
+/// trained by the distillation crate with composite losses).
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size (paper: 64).
+    pub batch_size: usize,
+    /// Learning rate (paper: 0.01 for teachers).
+    pub lr: f32,
+    /// Use Adam (teachers) rather than SGD.
+    pub adam: bool,
+    /// RNG seed for shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig { epochs: 60, batch_size: 64, lr: 0.01, adam: true, seed: 7 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Block {
+    convs: Vec<Conv1d>,
+    bn: BatchNorm1d,
+}
+
+/// An InceptionTime classifier instance.
+#[derive(Debug, Clone)]
+pub struct InceptionTime {
+    config: InceptionConfig,
+    store: ParamStore,
+    blocks: Vec<Block>,
+    fc: Linear,
+    name: String,
+}
+
+impl InceptionTime {
+    /// Builds a randomly initialized model.
+    pub fn new<R: Rng>(config: InceptionConfig, rng: &mut R) -> Result<Self> {
+        config.validate()?;
+        let mut store = ParamStore::new();
+        let mut blocks = Vec::with_capacity(config.blocks.len());
+        for (i, spec) in config.blocks.iter().enumerate() {
+            let cin = config.block_in_channels(i);
+            let mut convs = Vec::with_capacity(spec.layers);
+            for j in 0..spec.layers {
+                let k = spec.kernel(j, config.in_len);
+                convs.push(Conv1d::new(
+                    &mut store,
+                    rng,
+                    &format!("block{i}.conv{j}"),
+                    cin,
+                    config.filters,
+                    k,
+                    spec.bits,
+                )?);
+            }
+            let bn = BatchNorm1d::new(&mut store, &format!("block{i}.bn"), spec.layers * config.filters)?;
+            blocks.push(Block { convs, bn });
+        }
+        let last_c = config.blocks.last().map_or(0, |b| b.layers * config.filters);
+        let fc_bits = config.blocks.last().map_or(32, |b| b.bits);
+        let fc = Linear::with_name(&mut store, rng, "fc", last_c, config.num_classes, fc_bits)?;
+        Ok(InceptionTime { config, store, blocks, fc, name: "InceptionTime".to_string() })
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &InceptionConfig {
+        &self.config
+    }
+
+    /// The parameter store (for optimizers and size accounting).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable parameter store.
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// Instantiated model size in bits.
+    pub fn size_bits(&self) -> u64 {
+        self.store.size_bits()
+    }
+
+    /// Training-path forward pass producing logits `[batch, classes]` on the
+    /// tape. `mode` selects batch vs. running statistics for batch norm.
+    pub fn forward_train(
+        &mut self,
+        tape: &mut Tape,
+        bind: &mut Bindings,
+        inputs: &Tensor,
+        mode: Mode,
+    ) -> Result<Var> {
+        let mut x = tape.constant(inputs.clone());
+        // Split borrows: blocks need &mut for BN running stats, store is read.
+        let store = &self.store;
+        for block in &mut self.blocks {
+            let mut outs = Vec::with_capacity(block.convs.len());
+            for conv in &block.convs {
+                outs.push(conv.forward(tape, bind, store, x)?);
+            }
+            let cat = tape.concat_channels(&outs)?;
+            let normed = block.bn.forward(tape, bind, store, cat, mode)?;
+            x = tape.relu(normed)?;
+        }
+        let pooled = tape.gap(x)?;
+        Ok(self.fc.forward(tape, bind, store, pooled)?)
+    }
+
+    /// Inference logits on plain tensors (running statistics, quantized
+    /// weights).
+    pub fn logits(&self, inputs: &Tensor) -> Result<Tensor> {
+        let mut x = inputs.clone();
+        for block in &self.blocks {
+            let mut outs = Vec::with_capacity(block.convs.len());
+            for conv in &block.convs {
+                outs.push(conv.eval_forward(&self.store, &x)?);
+            }
+            let cat = concat_channels_plain(&outs)?;
+            let normed = block.bn.eval_forward(&self.store, &cat)?;
+            x = normed.map(|v| v.max(0.0));
+        }
+        let pooled = gap_plain(&x)?;
+        Ok(self.fc.eval_forward(&self.store, &pooled)?)
+    }
+
+    /// Supervised training with cross-entropy (used for teachers).
+    ///
+    /// Returns the mean training loss of the final epoch.
+    pub fn fit(&mut self, train: &LabeledDataset, cfg: &TrainConfig) -> Result<f32> {
+        let mut rng = seeded(cfg.seed);
+        let mut adam = Adam::new(cfg.lr);
+        let mut sgd = Sgd::new(cfg.lr, 0.9);
+        let mut last_loss = f32::INFINITY;
+        for _epoch in 0..cfg.epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for batch in train.minibatches(&mut rng, cfg.batch_size)? {
+                let mut tape = Tape::new();
+                let mut bind = Bindings::new();
+                let logits = self.forward_train(&mut tape, &mut bind, &batch.inputs, Mode::Train)?;
+                let logp = tape.log_softmax(logits)?;
+                let loss = tape.nll_mean(logp, &batch.labels)?;
+                epoch_loss += tape.value(loss)?.item()?;
+                batches += 1;
+                let grads = tape.backward(loss)?;
+                let pairs = bind.collect_grads(grads);
+                if cfg.adam {
+                    adam.step(&mut self.store, &pairs)?;
+                } else {
+                    sgd.step(&mut self.store, &pairs)?;
+                }
+            }
+            last_loss = epoch_loss / batches.max(1) as f32;
+        }
+        Ok(last_loss)
+    }
+
+    /// Overrides the display name (e.g. `"teacher-3"`).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Serializes the model — configuration, batch-norm running statistics,
+    /// and bit-packed quantized parameters — into a deployable byte buffer.
+    ///
+    /// A 4-bit student really occupies ≈ 4 bits per parameter on the wire
+    /// (see [`lightts_nn::serialize`]); the loaded model's inference path is
+    /// bit-identical to the saved one.
+    pub fn save_bytes(&self) -> Result<Vec<u8>> {
+        use bytes::BufMut;
+        let mut buf = Vec::new();
+        buf.put_slice(b"LTIM");
+        buf.put_u16_le(1); // model-format version
+        // config
+        buf.put_u32_le(self.config.blocks.len() as u32);
+        for b in &self.config.blocks {
+            buf.put_u32_le(b.layers as u32);
+            buf.put_u32_le(b.filter_len as u32);
+            buf.put_u8(b.bits);
+        }
+        buf.put_u32_le(self.config.filters as u32);
+        buf.put_u32_le(self.config.in_dims as u32);
+        buf.put_u32_le(self.config.in_len as u32);
+        buf.put_u32_le(self.config.num_classes as u32);
+        // batch-norm running statistics, block order
+        for block in &self.blocks {
+            let (mean, var) = block.bn.running_stats();
+            for &m in mean {
+                buf.put_f32_le(m);
+            }
+            for &v in var {
+                buf.put_f32_le(v);
+            }
+        }
+        // packed parameter store
+        let store_bytes = lightts_nn::serialize::serialize_store(&self.store)?;
+        buf.put_u64_le(store_bytes.len() as u64);
+        buf.put_slice(&store_bytes);
+        Ok(buf)
+    }
+
+    /// Loads a model saved by [`InceptionTime::save_bytes`].
+    pub fn load_bytes(bytes: &[u8]) -> Result<Self> {
+        use bytes::Buf;
+        let mut buf = bytes;
+        let err = |what: &str| ModelError::BadConfig { what: format!("load: {what}") };
+        if buf.remaining() < 10 {
+            return Err(err("truncated header"));
+        }
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != b"LTIM" {
+            return Err(err("bad magic"));
+        }
+        if buf.get_u16_le() != 1 {
+            return Err(err("unsupported version"));
+        }
+        let n_blocks = buf.get_u32_le() as usize;
+        if n_blocks > 64 || buf.remaining() < n_blocks * 9 {
+            return Err(err("bad block table"));
+        }
+        let mut blocks = Vec::with_capacity(n_blocks);
+        for _ in 0..n_blocks {
+            let layers = buf.get_u32_le() as usize;
+            let filter_len = buf.get_u32_le() as usize;
+            let bits = buf.get_u8();
+            blocks.push(BlockSpec { layers, filter_len, bits });
+        }
+        if buf.remaining() < 16 {
+            return Err(err("truncated config"));
+        }
+        let config = InceptionConfig {
+            blocks,
+            filters: buf.get_u32_le() as usize,
+            in_dims: buf.get_u32_le() as usize,
+            in_len: buf.get_u32_le() as usize,
+            num_classes: buf.get_u32_le() as usize,
+        };
+        // rebuild the structure deterministically, then overwrite its state
+        let mut rng = seeded(0);
+        let mut model = InceptionTime::new(config.clone(), &mut rng)?;
+        for (bi, block) in model.blocks.iter_mut().enumerate() {
+            let c = config.blocks[bi].layers * config.filters;
+            if buf.remaining() < c * 8 {
+                return Err(err("truncated batch-norm statistics"));
+            }
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for m in &mut mean {
+                *m = buf.get_f32_le();
+            }
+            for v in &mut var {
+                *v = buf.get_f32_le();
+            }
+            block.bn.set_running_stats(&mean, &var)?;
+        }
+        if buf.remaining() < 8 {
+            return Err(err("truncated store length"));
+        }
+        let store_len = buf.get_u64_le() as usize;
+        if buf.remaining() != store_len {
+            return Err(err("store length mismatch"));
+        }
+        let store = lightts_nn::serialize::deserialize_store(buf)?;
+        // the rebuilt model must agree with the stored parameters
+        if store.len() != model.store.len() {
+            return Err(err("parameter count mismatch"));
+        }
+        for ((_, a), (_, b)) in model.store.iter().zip(store.iter()) {
+            if a.name != b.name || a.value.dims() != b.value.dims() || a.bits != b.bits {
+                return Err(ModelError::BadConfig {
+                    what: format!("load: parameter mismatch at {} vs {}", a.name, b.name),
+                });
+            }
+        }
+        model.store = store;
+        Ok(model)
+    }
+}
+
+impl Classifier for InceptionTime {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn num_classes(&self) -> usize {
+        self.config.num_classes
+    }
+
+    fn predict_proba(&self, inputs: &Tensor) -> Result<Tensor> {
+        Ok(self.logits(inputs)?.softmax_rows()?)
+    }
+}
+
+/// Channel-wise concatenation of `[b, c_i, l]` tensors (inference path).
+pub(crate) fn concat_channels_plain(parts: &[Tensor]) -> Result<Tensor> {
+    let first = parts
+        .first()
+        .ok_or_else(|| ModelError::BadConfig { what: "concat of nothing".into() })?;
+    let (b, l) = (first.dims()[0], first.dims()[2]);
+    let c_total: usize = parts.iter().map(|p| p.dims()[1]).sum();
+    let mut out = vec![0.0f32; b * c_total * l];
+    for bi in 0..b {
+        let mut c_off = 0usize;
+        for p in parts {
+            let ci = p.dims()[1];
+            let src = &p.data()[bi * ci * l..(bi + 1) * ci * l];
+            let dst = (bi * c_total + c_off) * l;
+            out[dst..dst + ci * l].copy_from_slice(src);
+            c_off += ci;
+        }
+    }
+    Ok(Tensor::from_vec(out, &[b, c_total, l])?)
+}
+
+/// Global average pooling `[b,c,l] → [b,c]` (inference path).
+pub(crate) fn gap_plain(x: &Tensor) -> Result<Tensor> {
+    let (b, c, l) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    let mut out = vec![0.0f32; b * c];
+    for bi in 0..b {
+        for ci in 0..c {
+            let off = (bi * c + ci) * l;
+            out[bi * c + ci] = x.data()[off..off + l].iter().sum::<f32>() / l as f32;
+        }
+    }
+    Ok(Tensor::from_vec(out, &[b, c])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_data::synth::{Generator, SynthConfig};
+
+    fn tiny_config(classes: usize) -> InceptionConfig {
+        InceptionConfig {
+            blocks: vec![
+                BlockSpec { layers: 2, filter_len: 8, bits: 32 },
+                BlockSpec { layers: 2, filter_len: 4, bits: 32 },
+            ],
+            filters: 4,
+            in_dims: 1,
+            in_len: 24,
+            num_classes: classes,
+        }
+    }
+
+    fn tiny_data(classes: usize, n: usize, seed: u64) -> LabeledDataset {
+        let gen = Generator::new(
+            SynthConfig { classes, dims: 1, length: 24, difficulty: 0.1, waveforms: 3 },
+            seed,
+        );
+        gen.split("tiny", n, seed + 1).unwrap()
+    }
+
+    #[test]
+    fn analytic_size_matches_instantiated_store() {
+        let mut rng = seeded(1);
+        for bits in [4u8, 8, 16, 32] {
+            let mut cfg = tiny_config(5);
+            for b in &mut cfg.blocks {
+                b.bits = bits;
+            }
+            let model = InceptionTime::new(cfg.clone(), &mut rng).unwrap();
+            assert_eq!(cfg.size_bits(), model.size_bits(), "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn lower_bits_give_smaller_models() {
+        let cfg4 = {
+            let mut c = tiny_config(5);
+            c.blocks.iter_mut().for_each(|b| b.bits = 4);
+            c
+        };
+        let cfg16 = {
+            let mut c = tiny_config(5);
+            c.blocks.iter_mut().for_each(|b| b.bits = 16);
+            c
+        };
+        assert!(cfg4.size_bits() < cfg16.size_bits());
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = seeded(2);
+        let model = InceptionTime::new(tiny_config(5), &mut rng).unwrap();
+        let x = Tensor::ones(&[3, 1, 24]);
+        let logits = model.logits(&x).unwrap();
+        assert_eq!(logits.dims(), &[3, 5]);
+        let probs = model.predict_proba(&x).unwrap();
+        for r in 0..3 {
+            let s: f32 = probs.row(r).unwrap().data().iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn kernels_are_capped_at_series_length() {
+        let spec = BlockSpec { layers: 2, filter_len: 160, bits: 32 };
+        assert_eq!(spec.kernel(0, 24), 24);
+        assert_eq!(spec.kernel(1, 24), 24); // 80 capped
+        assert_eq!(spec.kernel(5, 24), 5); // 160>>5 = 5
+        assert_eq!(spec.kernel(30, 24), 1); // floor at 1
+    }
+
+    #[test]
+    fn training_reduces_loss_and_beats_chance() {
+        let mut rng = seeded(3);
+        let mut model = InceptionTime::new(tiny_config(3), &mut rng).unwrap();
+        let train = tiny_data(3, 48, 10);
+        let cfg = TrainConfig { epochs: 25, batch_size: 16, lr: 0.01, adam: true, seed: 5 };
+
+        // untrained accuracy ≈ chance
+        let batch = train.full_batch().unwrap();
+        let probs0 = model.predict_proba(&batch.inputs).unwrap();
+        let acc0 = crate::metrics::accuracy(&probs0, &batch.labels).unwrap();
+
+        let loss = model.fit(&train, &cfg).unwrap();
+        assert!(loss < 1.0f32, "final loss {loss}");
+
+        let probs1 = model.predict_proba(&batch.inputs).unwrap();
+        let acc1 = crate::metrics::accuracy(&probs1, &batch.labels).unwrap();
+        assert!(acc1 > acc0.max(0.5), "training did not help: {acc0} -> {acc1}");
+    }
+
+    #[test]
+    fn quantized_student_still_learns() {
+        let mut rng = seeded(4);
+        let mut cfg = tiny_config(2);
+        cfg.blocks.iter_mut().for_each(|b| b.bits = 8);
+        let mut model = InceptionTime::new(cfg, &mut rng).unwrap();
+        let train = tiny_data(2, 32, 20);
+        let tc = TrainConfig { epochs: 20, batch_size: 16, lr: 0.01, adam: true, seed: 6 };
+        model.fit(&train, &tc).unwrap();
+        let batch = train.full_batch().unwrap();
+        let probs = model.predict_proba(&batch.inputs).unwrap();
+        let acc = crate::metrics::accuracy(&probs, &batch.labels).unwrap();
+        assert!(acc > 0.7, "8-bit student training accuracy {acc}");
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut rng = seeded(5);
+        let mut cfg = tiny_config(3);
+        cfg.blocks.clear();
+        assert!(InceptionTime::new(cfg, &mut rng).is_err());
+        let mut cfg = tiny_config(3);
+        cfg.blocks[0].bits = 0;
+        assert!(InceptionTime::new(cfg, &mut rng).is_err());
+        let mut cfg = tiny_config(3);
+        cfg.filters = 0;
+        assert!(InceptionTime::new(cfg, &mut rng).is_err());
+    }
+
+    #[test]
+    fn teacher_config_matches_paper_defaults() {
+        let cfg = InceptionConfig::teacher(1, 100, 10, 8);
+        assert_eq!(cfg.blocks.len(), 3);
+        assert!(cfg.blocks.iter().all(|b| b.layers == 3 && b.filter_len == 40 && b.bits == 32));
+        let student = InceptionConfig::student(1, 100, 10, 8, 4);
+        assert!(student.blocks.iter().all(|b| b.bits == 4));
+        assert!(student.size_bits() < cfg.size_bits());
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_inference() {
+        let mut rng = seeded(8);
+        let mut cfg = tiny_config(3);
+        cfg.blocks.iter_mut().for_each(|b| b.bits = 4);
+        let mut model = InceptionTime::new(cfg, &mut rng).unwrap();
+        // train briefly so BN running stats are non-trivial
+        let train = tiny_data(3, 24, 40);
+        let tc = TrainConfig { epochs: 4, batch_size: 12, lr: 0.01, adam: true, seed: 9 };
+        model.fit(&train, &tc).unwrap();
+
+        let bytes = model.save_bytes().unwrap();
+        let loaded = InceptionTime::load_bytes(&bytes).unwrap();
+        let x = train.full_batch().unwrap().inputs;
+        let p1 = model.predict_proba(&x).unwrap();
+        let p2 = loaded.predict_proba(&x).unwrap();
+        for (a, b) in p1.data().iter().zip(p2.data().iter()) {
+            assert!((a - b).abs() < 1e-5, "inference differs after reload");
+        }
+        assert_eq!(loaded.size_bits(), model.size_bits());
+    }
+
+    #[test]
+    fn save_bytes_reflect_bit_width() {
+        let mut rng = seeded(9);
+        let mut size_of = |bits: u8| {
+            let mut cfg = tiny_config(3);
+            cfg.blocks.iter_mut().for_each(|b| b.bits = bits);
+            let model = InceptionTime::new(cfg, &mut rng).unwrap();
+            model.save_bytes().unwrap().len()
+        };
+        let s4 = size_of(4);
+        let s32 = size_of(32);
+        assert!(s4 * 2 < s32, "4-bit export {s4}B should be well below 32-bit {s32}B");
+    }
+
+    #[test]
+    fn load_rejects_corruption() {
+        let mut rng = seeded(10);
+        let model = InceptionTime::new(tiny_config(2), &mut rng).unwrap();
+        let bytes = model.save_bytes().unwrap();
+        assert!(InceptionTime::load_bytes(&bytes[..10]).is_err());
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(InceptionTime::load_bytes(&bad).is_err());
+        let mut extra = bytes;
+        extra.push(7);
+        assert!(InceptionTime::load_bytes(&extra).is_err());
+    }
+
+    #[test]
+    fn multivariate_input_works() {
+        let mut rng = seeded(6);
+        let mut cfg = tiny_config(4);
+        cfg.in_dims = 3;
+        let model = InceptionTime::new(cfg, &mut rng).unwrap();
+        let x = Tensor::ones(&[2, 3, 24]);
+        assert_eq!(model.logits(&x).unwrap().dims(), &[2, 4]);
+    }
+}

@@ -1,0 +1,21 @@
+//! Non-deep base-model families (paper Section 4.1.4).
+//!
+//! LightTS is a generic framework: the teacher ensemble may consist of
+//! non-deep classifiers as long as they output class distributions. The
+//! paper evaluates three such families (Table 4), all reimplemented here on
+//! a from-scratch decision-tree substrate:
+//!
+//! * [`forest::TimeSeriesForest`] — Time Series Forest (\[14\]): random
+//!   intervals summarized by mean/std/slope, a randomized tree per feature
+//!   set, forest-averaged class distributions.
+//! * [`cif::CanonicalIntervalForest`] — CIF (\[36\]): like TSF but with a
+//!   richer, catch22-inspired feature catalogue per interval.
+//! * [`tde::TemporalDictionaryEnsemble`] — TDE (\[38\]): windows discretized
+//!   into words (PAA + quantile alphabet), word histograms classified by
+//!   weighted k-NN.
+
+pub mod cif;
+pub mod forest;
+pub mod intervals;
+pub mod tde;
+pub mod tree;

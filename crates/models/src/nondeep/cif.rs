@@ -1,0 +1,79 @@
+//! The Canonical Interval Forest classifier (CIF, \[36\]).
+//!
+//! CIF augments the Time Series Forest recipe with a richer per-interval
+//! feature catalogue (our catch22-inspired set in
+//! [`canonical_stats`](crate::nondeep::intervals::canonical_stats)): interval
+//! location and summary statistics feed randomized trees whose class
+//! distributions are forest-averaged.
+
+use crate::nondeep::forest::{ForestConfig, IntervalForest};
+use crate::{Classifier, Result};
+use lightts_data::LabeledDataset;
+use lightts_tensor::Tensor;
+
+/// The Canonical Interval Forest classifier.
+#[derive(Debug, Clone)]
+pub struct CanonicalIntervalForest {
+    inner: IntervalForest,
+}
+
+impl CanonicalIntervalForest {
+    /// Trains a CIF on `train` using the canonical feature catalogue.
+    pub fn fit(train: &LabeledDataset, cfg: &ForestConfig, seed: u64) -> Result<Self> {
+        Ok(CanonicalIntervalForest { inner: IntervalForest::fit("CIF", train, cfg, true, seed)? })
+    }
+
+    /// Number of trees in the forest.
+    pub fn num_trees(&self) -> usize {
+        self.inner.num_trees()
+    }
+}
+
+impl Classifier for CanonicalIntervalForest {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn predict_proba(&self, inputs: &Tensor) -> Result<Tensor> {
+        self.inner.predict_proba_impl(inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use lightts_data::synth::{Generator, SynthConfig};
+
+    fn data(classes: usize, n: usize, difficulty: f32, seed: u64) -> LabeledDataset {
+        let gen = Generator::new(
+            SynthConfig { classes, dims: 1, length: 40, difficulty, waveforms: 3 },
+            seed,
+        );
+        gen.split("cif-test", n, seed + 1).unwrap()
+    }
+
+    #[test]
+    fn cif_learns_easy_data() {
+        let train = data(3, 90, 0.1, 40);
+        let test = data(3, 45, 0.1, 40);
+        let cif = CanonicalIntervalForest::fit(&train, &ForestConfig::default(), 7).unwrap();
+        let batch = test.full_batch().unwrap();
+        let probs = cif.predict_proba(&batch.inputs).unwrap();
+        let acc = accuracy(&probs, &batch.labels).unwrap();
+        assert!(acc > 0.6, "CIF accuracy {acc}");
+    }
+
+    #[test]
+    fn cif_name_and_classes() {
+        let train = data(4, 24, 0.3, 41);
+        let cif = CanonicalIntervalForest::fit(&train, &ForestConfig::default(), 1).unwrap();
+        assert_eq!(cif.name(), "CIF");
+        assert_eq!(cif.num_classes(), 4);
+        assert_eq!(cif.num_trees(), ForestConfig::default().n_trees);
+    }
+}

@@ -1,0 +1,228 @@
+//! Interval forests: Time Series Forest (TSF, \[14\]) and the shared machinery
+//! reused by the Canonical Interval Forest.
+
+use crate::nondeep::intervals::{extract_features, random_intervals, Interval};
+use crate::nondeep::tree::{DecisionTree, TreeConfig};
+use crate::{Classifier, ModelError, Result};
+use lightts_data::{LabeledDataset, TimeSeries};
+use lightts_tensor::rng::{derive_seed, seeded};
+use lightts_tensor::Tensor;
+
+/// Hyper-parameters of an interval forest.
+#[derive(Debug, Clone, Copy)]
+pub struct ForestConfig {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Random intervals per tree.
+    pub intervals_per_tree: usize,
+    /// Minimum interval length.
+    pub min_interval_len: usize,
+    /// Tree growth parameters.
+    pub tree: TreeConfig,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        ForestConfig {
+            n_trees: 16,
+            intervals_per_tree: 8,
+            min_interval_len: 3,
+            tree: TreeConfig {
+                max_depth: 8,
+                min_split: 4,
+                feature_subset: Some(8),
+                thresholds_per_feature: 4,
+            },
+        }
+    }
+}
+
+/// One forest member: its sampled intervals and the tree grown on their
+/// features.
+#[derive(Debug, Clone)]
+struct Member {
+    intervals: Vec<Interval>,
+    tree: DecisionTree,
+}
+
+/// The generic interval forest underlying TSF and CIF.
+#[derive(Debug, Clone)]
+pub(crate) struct IntervalForest {
+    members: Vec<Member>,
+    num_classes: usize,
+    canonical: bool,
+    name: String,
+}
+
+/// Converts batch row `bi` of `[batch, dims, length]` into a `TimeSeries`.
+pub(crate) fn batch_row_to_series(inputs: &Tensor, bi: usize) -> Result<TimeSeries> {
+    let (m, l) = (inputs.dims()[1], inputs.dims()[2]);
+    let off = bi * m * l;
+    let values = Tensor::from_vec(inputs.data()[off..off + m * l].to_vec(), &[m, l])?;
+    Ok(TimeSeries::new(values)?)
+}
+
+impl IntervalForest {
+    pub(crate) fn fit(
+        name: &str,
+        train: &LabeledDataset,
+        cfg: &ForestConfig,
+        canonical: bool,
+        seed: u64,
+    ) -> Result<Self> {
+        if cfg.n_trees == 0 || cfg.intervals_per_tree == 0 {
+            return Err(ModelError::BadConfig { what: "forest: zero trees or intervals".into() });
+        }
+        let labels: Vec<usize> = train.labels().to_vec();
+        let mut members = Vec::with_capacity(cfg.n_trees);
+        for t in 0..cfg.n_trees {
+            let mut rng = seeded(derive_seed(seed, t as u64));
+            let intervals = random_intervals(
+                &mut rng,
+                train.series_len(),
+                cfg.intervals_per_tree,
+                cfg.min_interval_len,
+            );
+            let mut feats = Vec::with_capacity(train.len());
+            for i in 0..train.len() {
+                feats.push(extract_features(train.series(i)?, &intervals, canonical)?);
+            }
+            let tree = DecisionTree::fit(&feats, &labels, train.num_classes(), &cfg.tree, &mut rng)?;
+            members.push(Member { intervals, tree });
+        }
+        Ok(IntervalForest {
+            members,
+            num_classes: train.num_classes(),
+            canonical,
+            name: name.to_string(),
+        })
+    }
+
+    fn predict_series(&self, series: &TimeSeries) -> Result<Vec<f32>> {
+        let mut acc = vec![0.0f32; self.num_classes];
+        for member in &self.members {
+            let feats = extract_features(series, &member.intervals, self.canonical)?;
+            let dist = member.tree.predict_dist(&feats)?;
+            for (a, d) in acc.iter_mut().zip(dist.iter()) {
+                *a += d;
+            }
+        }
+        let n = self.members.len() as f32;
+        for a in &mut acc {
+            *a /= n;
+        }
+        Ok(acc)
+    }
+
+    pub(crate) fn predict_proba_impl(&self, inputs: &Tensor) -> Result<Tensor> {
+        let b = inputs.dims()[0];
+        let mut out = Vec::with_capacity(b * self.num_classes);
+        for bi in 0..b {
+            let series = batch_row_to_series(inputs, bi)?;
+            out.extend(self.predict_series(&series)?);
+        }
+        Ok(Tensor::from_vec(out, &[b, self.num_classes])?)
+    }
+
+    pub(crate) fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub(crate) fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    pub(crate) fn num_trees(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// The Time Series Forest classifier (\[14\]): random intervals summarized by
+/// mean, standard deviation, and slope; one randomized tree per interval
+/// set; forest-averaged class distributions.
+#[derive(Debug, Clone)]
+pub struct TimeSeriesForest {
+    inner: IntervalForest,
+}
+
+impl TimeSeriesForest {
+    /// Trains a forest on `train`.
+    pub fn fit(train: &LabeledDataset, cfg: &ForestConfig, seed: u64) -> Result<Self> {
+        Ok(TimeSeriesForest { inner: IntervalForest::fit("Forest", train, cfg, false, seed)? })
+    }
+
+    /// Number of trees in the forest.
+    pub fn num_trees(&self) -> usize {
+        self.inner.num_trees()
+    }
+}
+
+impl Classifier for TimeSeriesForest {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.inner.num_classes()
+    }
+
+    fn predict_proba(&self, inputs: &Tensor) -> Result<Tensor> {
+        self.inner.predict_proba_impl(inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use lightts_data::synth::{Generator, SynthConfig};
+
+    fn data(classes: usize, n: usize, difficulty: f32, seed: u64) -> LabeledDataset {
+        let gen = Generator::new(
+            SynthConfig { classes, dims: 1, length: 40, difficulty, waveforms: 3 },
+            seed,
+        );
+        gen.split("forest-test", n, seed + 1).unwrap()
+    }
+
+    #[test]
+    fn forest_learns_easy_data() {
+        let train = data(3, 90, 0.1, 30);
+        let test = data(3, 45, 0.1, 30); // same generator seed ⇒ same prototypes
+        let forest = TimeSeriesForest::fit(&train, &ForestConfig::default(), 7).unwrap();
+        let batch = test.full_batch().unwrap();
+        let probs = forest.predict_proba(&batch.inputs).unwrap();
+        let acc = accuracy(&probs, &batch.labels).unwrap();
+        assert!(acc > 0.6, "forest accuracy {acc}");
+    }
+
+    #[test]
+    fn distributions_are_normalized() {
+        let train = data(4, 40, 0.3, 31);
+        let forest = TimeSeriesForest::fit(&train, &ForestConfig::default(), 8).unwrap();
+        let batch = train.full_batch().unwrap();
+        let probs = forest.predict_proba(&batch.inputs).unwrap();
+        for r in 0..probs.dims()[0] {
+            let s: f32 = probs.row(r).unwrap().data().iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn seeds_change_the_forest() {
+        let train = data(3, 30, 0.4, 32);
+        let f1 = TimeSeriesForest::fit(&train, &ForestConfig::default(), 1).unwrap();
+        let f2 = TimeSeriesForest::fit(&train, &ForestConfig::default(), 2).unwrap();
+        let batch = train.full_batch().unwrap();
+        let p1 = f1.predict_proba(&batch.inputs).unwrap();
+        let p2 = f2.predict_proba(&batch.inputs).unwrap();
+        assert_ne!(p1, p2, "different seeds should give diverse members");
+    }
+
+    #[test]
+    fn zero_trees_rejected() {
+        let train = data(2, 10, 0.2, 33);
+        let cfg = ForestConfig { n_trees: 0, ..ForestConfig::default() };
+        assert!(TimeSeriesForest::fit(&train, &cfg, 1).is_err());
+    }
+}

@@ -1,0 +1,201 @@
+//! Random intervals and per-interval summary features.
+//!
+//! The interval-forest family (TSF \[14\], CIF \[36\]) summarizes random
+//! sub-windows of a series with scalar statistics and classifies the
+//! resulting feature vectors with trees. TSF uses the classic
+//! mean/std/slope triple; CIF extends it with a catch22-inspired catalogue.
+
+use crate::{ModelError, Result};
+use lightts_data::TimeSeries;
+use rand::Rng;
+
+/// A sub-window `[start, start + len)` of a series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interval {
+    /// First index (inclusive).
+    pub start: usize,
+    /// Window length.
+    pub len: usize,
+}
+
+impl Interval {
+    /// Samples a random interval of length at least `min_len` inside a
+    /// series of length `series_len`.
+    pub fn random<R: Rng>(rng: &mut R, series_len: usize, min_len: usize) -> Self {
+        let min_len = min_len.min(series_len).max(1);
+        let len = if series_len > min_len {
+            rng.gen_range(min_len..=series_len)
+        } else {
+            series_len
+        };
+        let start = if series_len > len { rng.gen_range(0..=series_len - len) } else { 0 };
+        Interval { start, len }
+    }
+}
+
+/// Samples `count` random intervals for a series of length `series_len`.
+pub fn random_intervals<R: Rng>(
+    rng: &mut R,
+    series_len: usize,
+    count: usize,
+    min_len: usize,
+) -> Vec<Interval> {
+    (0..count).map(|_| Interval::random(rng, series_len, min_len)).collect()
+}
+
+/// The three classic TSF statistics of one window: mean, standard deviation,
+/// and least-squares slope.
+pub fn basic_stats(window: &[f32]) -> [f32; 3] {
+    let n = window.len() as f32;
+    if window.is_empty() {
+        return [0.0; 3];
+    }
+    let mean = window.iter().sum::<f32>() / n;
+    let var = window.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / n;
+    // least-squares slope over t = 0..n-1
+    let t_mean = (n - 1.0) / 2.0;
+    let mut cov = 0.0f32;
+    let mut t_var = 0.0f32;
+    for (t, &v) in window.iter().enumerate() {
+        let dt = t as f32 - t_mean;
+        cov += dt * (v - mean);
+        t_var += dt * dt;
+    }
+    let slope = if t_var > 0.0 { cov / t_var } else { 0.0 };
+    [mean, var.sqrt(), slope]
+}
+
+/// The extended, catch22-inspired CIF statistics of one window:
+/// mean, std, slope, min, max, inter-quartile range, mean-crossing count
+/// (normalized), and lag-1 autocorrelation.
+pub fn canonical_stats(window: &[f32]) -> [f32; 8] {
+    let [mean, std, slope] = basic_stats(window);
+    if window.is_empty() {
+        return [0.0; 8];
+    }
+    let mut sorted: Vec<f32> = window.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let q = |p: f64| -> f32 {
+        let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+        sorted[idx]
+    };
+    let iqr = q(0.75) - q(0.25);
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    let crossings = window
+        .windows(2)
+        .filter(|w| (w[0] - mean).signum() != (w[1] - mean).signum())
+        .count() as f32
+        / window.len().max(1) as f32;
+    let acf1 = {
+        let denom: f32 = window.iter().map(|&v| (v - mean) * (v - mean)).sum();
+        if denom > 1e-12 && window.len() > 1 {
+            let num: f32 =
+                window.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
+            num / denom
+        } else {
+            0.0
+        }
+    };
+    [mean, std, slope, min, max, iqr, crossings, acf1]
+}
+
+/// Extracts interval features from every dimension of a series.
+///
+/// For each `(dimension, interval)` pair the chosen statistic set is
+/// appended, producing a fixed-length feature vector usable by trees.
+pub fn extract_features(
+    series: &TimeSeries,
+    intervals: &[Interval],
+    canonical: bool,
+) -> Result<Vec<f32>> {
+    let l = series.len();
+    let stats_len = if canonical { 8 } else { 3 };
+    let mut out = Vec::with_capacity(series.dims() * intervals.len() * stats_len);
+    for m in 0..series.dims() {
+        let row = &series.values().data()[m * l..(m + 1) * l];
+        for iv in intervals {
+            if iv.start + iv.len > l {
+                return Err(ModelError::BadConfig {
+                    what: format!(
+                        "interval [{}, {}) out of series length {l}",
+                        iv.start,
+                        iv.start + iv.len
+                    ),
+                });
+            }
+            let window = &row[iv.start..iv.start + iv.len];
+            if canonical {
+                out.extend_from_slice(&canonical_stats(window));
+            } else {
+                out.extend_from_slice(&basic_stats(window));
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_tensor::rng::seeded;
+
+    #[test]
+    fn random_interval_fits_series() {
+        let mut rng = seeded(1);
+        for _ in 0..200 {
+            let iv = Interval::random(&mut rng, 30, 3);
+            assert!(iv.len >= 3 && iv.start + iv.len <= 30);
+        }
+    }
+
+    #[test]
+    fn degenerate_series_length() {
+        let mut rng = seeded(2);
+        let iv = Interval::random(&mut rng, 1, 3);
+        assert_eq!(iv, Interval { start: 0, len: 1 });
+    }
+
+    #[test]
+    fn basic_stats_of_linear_ramp() {
+        let window: Vec<f32> = (0..10).map(|i| i as f32).collect();
+        let [mean, std, slope] = basic_stats(&window);
+        assert!((mean - 4.5).abs() < 1e-5);
+        assert!((slope - 1.0).abs() < 1e-5);
+        assert!(std > 0.0);
+    }
+
+    #[test]
+    fn basic_stats_of_constant() {
+        let [mean, std, slope] = basic_stats(&[2.0; 8]);
+        assert_eq!(mean, 2.0);
+        assert_eq!(std, 0.0);
+        assert_eq!(slope, 0.0);
+    }
+
+    #[test]
+    fn canonical_stats_capture_oscillation() {
+        let slow: Vec<f32> = (0..32).map(|i| (i as f32 * 0.1).sin()).collect();
+        let fast: Vec<f32> = (0..32).map(|i| (i as f32 * 2.0).sin()).collect();
+        let s = canonical_stats(&slow);
+        let f = canonical_stats(&fast);
+        // fast oscillation: more crossings, lower lag-1 autocorrelation
+        assert!(f[6] > s[6], "crossings {} !> {}", f[6], s[6]);
+        assert!(f[7] < s[7], "acf1 {} !< {}", f[7], s[7]);
+    }
+
+    #[test]
+    fn extract_features_shape() {
+        let ts = TimeSeries::univariate((0..20).map(|i| i as f32).collect()).unwrap();
+        let ivs = vec![Interval { start: 0, len: 10 }, Interval { start: 5, len: 5 }];
+        assert_eq!(extract_features(&ts, &ivs, false).unwrap().len(), 6);
+        assert_eq!(extract_features(&ts, &ivs, true).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn extract_rejects_out_of_range() {
+        let ts = TimeSeries::univariate(vec![0.0; 8]).unwrap();
+        let ivs = vec![Interval { start: 5, len: 5 }];
+        assert!(extract_features(&ts, &ivs, false).is_err());
+    }
+}

@@ -1,0 +1,312 @@
+//! The Temporal Dictionary Ensemble classifier (TDE, \[38\]).
+//!
+//! TDE "transforms a time series into a bag of segments of a given size and
+//! discretizes them as words. Then, it draws a histogram for the word
+//! counting and applies a nearest neighbor algorithm to classify the
+//! transformed series" (paper Section 4.1.4). We implement that pipeline:
+//! sliding windows → piecewise-aggregate approximation (PAA) → per-segment
+//! quantile alphabets learned from the training data → word histograms →
+//! weighted k-NN over histograms, producing class distributions.
+//!
+//! Randomized window size and alphabet parameters (per member seed) provide
+//! the diversity an N-member TDE teacher ensemble needs.
+
+use crate::nondeep::forest::batch_row_to_series;
+use crate::{Classifier, ModelError, Result};
+use lightts_data::{LabeledDataset, TimeSeries};
+use lightts_tensor::rng::seeded;
+use lightts_tensor::Tensor;
+use rand::Rng;
+
+/// TDE hyper-parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TdeConfig {
+    /// Sliding-window length (`None` = randomized from the series length).
+    pub window: Option<usize>,
+    /// PAA segments per window (word length).
+    pub segments: usize,
+    /// Alphabet size per segment.
+    pub alphabet: usize,
+    /// Neighbors for the k-NN vote.
+    pub k: usize,
+}
+
+impl Default for TdeConfig {
+    fn default() -> Self {
+        TdeConfig { window: None, segments: 4, alphabet: 4, k: 5 }
+    }
+}
+
+/// A trained Temporal Dictionary Ensemble member.
+#[derive(Debug, Clone)]
+pub struct TemporalDictionaryEnsemble {
+    window: usize,
+    segments: usize,
+    alphabet: usize,
+    k: usize,
+    /// Per-(dim, segment) quantile boundaries: `alphabet − 1` thresholds.
+    bins: Vec<Vec<f32>>,
+    dims: usize,
+    train_hists: Vec<Vec<f32>>,
+    train_labels: Vec<usize>,
+    num_classes: usize,
+}
+
+impl TemporalDictionaryEnsemble {
+    /// Trains a TDE member on `train`. `seed` randomizes the window length
+    /// when the config leaves it unspecified.
+    pub fn fit(train: &LabeledDataset, cfg: &TdeConfig, seed: u64) -> Result<Self> {
+        if cfg.segments == 0 || cfg.alphabet < 2 || cfg.k == 0 {
+            return Err(ModelError::BadConfig { what: "TDE: bad segments/alphabet/k".into() });
+        }
+        let l = train.series_len();
+        let mut rng = seeded(seed);
+        let window = cfg
+            .window
+            .unwrap_or_else(|| {
+                let lo = (l / 6).max(cfg.segments).max(4);
+                let hi = (l / 2).max(lo + 1);
+                rng.gen_range(lo..hi)
+            })
+            .clamp(cfg.segments, l);
+        let dims = train.dims();
+
+        // Learn per-(dim, segment) alphabets from the pooled training PAA
+        // values (quantile binning).
+        let mut pooled: Vec<Vec<f32>> = vec![Vec::new(); dims * cfg.segments];
+        for i in 0..train.len() {
+            let s = train.series(i)?;
+            for_each_window_paa(s, window, cfg.segments, |dim, seg, v| {
+                pooled[dim * cfg.segments + seg].push(v);
+            });
+        }
+        let mut bins = Vec::with_capacity(pooled.len());
+        for values in &mut pooled {
+            values.sort_by(|a, b| a.total_cmp(b));
+            let mut b = Vec::with_capacity(cfg.alphabet - 1);
+            for q in 1..cfg.alphabet {
+                if values.is_empty() {
+                    b.push(0.0);
+                } else {
+                    let idx = (values.len() - 1) * q / cfg.alphabet;
+                    b.push(values[idx]);
+                }
+            }
+            bins.push(b);
+        }
+
+        let mut me = TemporalDictionaryEnsemble {
+            window,
+            segments: cfg.segments,
+            alphabet: cfg.alphabet,
+            k: cfg.k,
+            bins,
+            dims,
+            train_hists: Vec::new(),
+            train_labels: train.labels().to_vec(),
+            num_classes: train.num_classes(),
+        };
+        me.train_hists = (0..train.len())
+            .map(|i| me.histogram(train.series(i).expect("index in range")))
+            .collect();
+        Ok(me)
+    }
+
+    /// The (possibly randomized) window length in use.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// The word-histogram dimensionality: `dims × alphabet^segments`.
+    pub fn histogram_len(&self) -> usize {
+        self.dims * self.alphabet.pow(self.segments as u32)
+    }
+
+    /// Computes the normalized word histogram of a series.
+    fn histogram(&self, series: &TimeSeries) -> Vec<f32> {
+        let words_per_dim = self.alphabet.pow(self.segments as u32);
+        let mut hist = vec![0.0f32; self.dims * words_per_dim];
+        let mut digits = vec![0usize; self.dims * self.segments];
+        for_each_window_paa(series, self.window, self.segments, |dim, seg, v| {
+            let b = &self.bins[dim * self.segments + seg];
+            let digit = b.iter().filter(|&&thr| v > thr).count();
+            digits[dim * self.segments + seg] = digit;
+            if seg == self.segments - 1 {
+                // window complete for this dim: commit the word
+                let mut word = 0usize;
+                for s in 0..self.segments {
+                    word = word * self.alphabet + digits[dim * self.segments + s];
+                }
+                hist[dim * words_per_dim + word] += 1.0;
+            }
+        });
+        let total: f32 = hist.iter().sum();
+        if total > 0.0 {
+            for h in &mut hist {
+                *h /= total;
+            }
+        }
+        hist
+    }
+
+    fn predict_series(&self, series: &TimeSeries) -> Vec<f32> {
+        let h = self.histogram(series);
+        // histogram-intersection similarity to every training series
+        let mut sims: Vec<(f32, usize)> = self
+            .train_hists
+            .iter()
+            .zip(self.train_labels.iter())
+            .map(|(th, &l)| {
+                let sim: f32 = th.iter().zip(h.iter()).map(|(&a, &b)| a.min(b)).sum();
+                (sim, l)
+            })
+            .collect();
+        sims.sort_by(|a, b| b.0.total_cmp(&a.0));
+        let mut dist = vec![0.0f32; self.num_classes];
+        let mut weight_sum = 0.0f32;
+        for &(sim, label) in sims.iter().take(self.k) {
+            let w = sim + 1e-6;
+            dist[label] += w;
+            weight_sum += w;
+        }
+        if weight_sum > 0.0 {
+            for d in &mut dist {
+                *d /= weight_sum;
+            }
+        } else {
+            dist.fill(1.0 / self.num_classes as f32);
+        }
+        dist
+    }
+}
+
+/// Iterates over all sliding windows (stride `window / 2`, minimum 1) of all
+/// dimensions, reporting the PAA value of every segment.
+///
+/// The callback receives `(dim, segment, paa_value)` in segment order per
+/// window, so callers can assemble words when `segment == segments − 1`.
+fn for_each_window_paa(
+    series: &TimeSeries,
+    window: usize,
+    segments: usize,
+    mut f: impl FnMut(usize, usize, f32),
+) {
+    let l = series.len();
+    let window = window.min(l);
+    let stride = (window / 2).max(1);
+    for m in 0..series.dims() {
+        let row = &series.values().data()[m * l..(m + 1) * l];
+        let mut start = 0usize;
+        loop {
+            let win = &row[start..start + window];
+            for seg in 0..segments {
+                let lo = seg * window / segments;
+                let hi = ((seg + 1) * window / segments).max(lo + 1).min(window);
+                let v = win[lo..hi].iter().sum::<f32>() / (hi - lo) as f32;
+                f(m, seg, v);
+            }
+            if start + window >= l {
+                break;
+            }
+            start = (start + stride).min(l - window);
+        }
+    }
+}
+
+impl Classifier for TemporalDictionaryEnsemble {
+    fn name(&self) -> &str {
+        "TDE"
+    }
+
+    fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    fn predict_proba(&self, inputs: &Tensor) -> Result<Tensor> {
+        let b = inputs.dims()[0];
+        let mut out = Vec::with_capacity(b * self.num_classes);
+        for bi in 0..b {
+            let series = batch_row_to_series(inputs, bi)?;
+            out.extend(self.predict_series(&series));
+        }
+        Ok(Tensor::from_vec(out, &[b, self.num_classes])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::accuracy;
+    use lightts_data::synth::{Generator, SynthConfig};
+
+    fn data(classes: usize, n: usize, difficulty: f32, seed: u64) -> LabeledDataset {
+        let gen = Generator::new(
+            SynthConfig { classes, dims: 1, length: 48, difficulty, waveforms: 3 },
+            seed,
+        );
+        gen.split("tde-test", n, seed + 1).unwrap()
+    }
+
+    #[test]
+    fn tde_learns_easy_data() {
+        let train = data(3, 90, 0.1, 50);
+        let test = data(3, 45, 0.1, 50);
+        let tde = TemporalDictionaryEnsemble::fit(&train, &TdeConfig::default(), 3).unwrap();
+        let batch = test.full_batch().unwrap();
+        let probs = tde.predict_proba(&batch.inputs).unwrap();
+        let acc = accuracy(&probs, &batch.labels).unwrap();
+        assert!(acc > 0.55, "TDE accuracy {acc}");
+    }
+
+    #[test]
+    fn histograms_are_normalized() {
+        let train = data(2, 20, 0.3, 51);
+        let tde = TemporalDictionaryEnsemble::fit(&train, &TdeConfig::default(), 4).unwrap();
+        for h in &tde.train_hists {
+            let s: f32 = h.iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+            assert_eq!(h.len(), tde.histogram_len());
+        }
+    }
+
+    #[test]
+    fn predictions_are_distributions() {
+        let train = data(4, 40, 0.4, 52);
+        let tde = TemporalDictionaryEnsemble::fit(&train, &TdeConfig::default(), 5).unwrap();
+        let batch = train.full_batch().unwrap();
+        let probs = tde.predict_proba(&batch.inputs).unwrap();
+        for r in 0..probs.dims()[0] {
+            let s: f32 = probs.row(r).unwrap().data().iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn random_windows_differ_across_seeds() {
+        let train = data(2, 20, 0.3, 53);
+        let t1 = TemporalDictionaryEnsemble::fit(&train, &TdeConfig::default(), 10).unwrap();
+        let t2 = TemporalDictionaryEnsemble::fit(&train, &TdeConfig::default(), 11).unwrap();
+        // With randomized windows, members usually differ (diversity source).
+        assert!(
+            t1.window() != t2.window() || t1.train_hists != t2.train_hists,
+            "TDE members with different seeds should differ"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let train = data(2, 10, 0.3, 54);
+        let cfg = TdeConfig { segments: 0, ..TdeConfig::default() };
+        assert!(TemporalDictionaryEnsemble::fit(&train, &cfg, 1).is_err());
+        let cfg = TdeConfig { alphabet: 1, ..TdeConfig::default() };
+        assert!(TemporalDictionaryEnsemble::fit(&train, &cfg, 1).is_err());
+    }
+
+    #[test]
+    fn fixed_window_is_respected() {
+        let train = data(2, 16, 0.3, 55);
+        let cfg = TdeConfig { window: Some(12), ..TdeConfig::default() };
+        let tde = TemporalDictionaryEnsemble::fit(&train, &cfg, 1).unwrap();
+        assert_eq!(tde.window(), 12);
+    }
+}

@@ -1,0 +1,290 @@
+//! A randomized decision tree over dense feature vectors.
+//!
+//! The split search follows the Extra-Trees recipe: at each node a random
+//! subset of features is considered and, per candidate feature, a random
+//! threshold between the observed min and max; the candidate with the lowest
+//! weighted Gini impurity wins. This is the standard randomization used by
+//! interval forests for time series, is fast, and yields the diversity the
+//! forest ensembles need.
+
+use crate::{ModelError, Result};
+use rand::Rng;
+
+/// Hyper-parameters of a randomized decision tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    /// Maximum tree depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node further.
+    pub min_split: usize,
+    /// Number of random features considered per split (`None` = all).
+    pub feature_subset: Option<usize>,
+    /// Random thresholds tried per candidate feature.
+    pub thresholds_per_feature: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig { max_depth: 10, min_split: 4, feature_subset: None, thresholds_per_feature: 4 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        dist: Vec<f32>,
+    },
+    Split {
+        feature: usize,
+        threshold: f32,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A trained decision tree producing class distributions at its leaves.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    num_classes: usize,
+    num_features: usize,
+}
+
+fn gini(counts: &[usize]) -> f64 {
+    let total: usize = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let t = total as f64;
+    1.0 - counts.iter().map(|&c| (c as f64 / t).powi(2)).sum::<f64>()
+}
+
+fn class_counts(rows: &[usize], labels: &[usize], k: usize) -> Vec<usize> {
+    let mut counts = vec![0usize; k];
+    for &r in rows {
+        counts[labels[r]] += 1;
+    }
+    counts
+}
+
+impl DecisionTree {
+    /// Fits a tree on `features` (row-major `n × f`) and `labels`.
+    pub fn fit<R: Rng>(
+        features: &[Vec<f32>],
+        labels: &[usize],
+        num_classes: usize,
+        cfg: &TreeConfig,
+        rng: &mut R,
+    ) -> Result<Self> {
+        if features.is_empty() || features.len() != labels.len() {
+            return Err(ModelError::BadConfig {
+                what: format!("tree fit: {} rows, {} labels", features.len(), labels.len()),
+            });
+        }
+        let num_features = features[0].len();
+        if num_features == 0 {
+            return Err(ModelError::BadConfig { what: "tree fit: zero features".into() });
+        }
+        let mut tree = DecisionTree { nodes: Vec::new(), num_classes, num_features };
+        let rows: Vec<usize> = (0..features.len()).collect();
+        tree.grow(features, labels, rows, 0, cfg, rng);
+        Ok(tree)
+    }
+
+    fn leaf(&mut self, counts: &[usize]) -> usize {
+        let total: usize = counts.iter().sum();
+        let dist = if total == 0 {
+            vec![1.0 / self.num_classes as f32; self.num_classes]
+        } else {
+            counts.iter().map(|&c| c as f32 / total as f32).collect()
+        };
+        self.nodes.push(Node::Leaf { dist });
+        self.nodes.len() - 1
+    }
+
+    fn grow<R: Rng>(
+        &mut self,
+        features: &[Vec<f32>],
+        labels: &[usize],
+        rows: Vec<usize>,
+        depth: usize,
+        cfg: &TreeConfig,
+        rng: &mut R,
+    ) -> usize {
+        let counts = class_counts(&rows, labels, self.num_classes);
+        let impurity = gini(&counts);
+        if depth >= cfg.max_depth || rows.len() < cfg.min_split || impurity < 1e-9 {
+            return self.leaf(&counts);
+        }
+
+        let subset = cfg.feature_subset.unwrap_or(self.num_features).min(self.num_features);
+        let mut best: Option<(usize, f32, f64)> = None;
+        for _ in 0..subset {
+            let f = rng.gen_range(0..self.num_features);
+            let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
+            for &r in &rows {
+                lo = lo.min(features[r][f]);
+                hi = hi.max(features[r][f]);
+            }
+            if hi <= lo {
+                continue;
+            }
+            for _ in 0..cfg.thresholds_per_feature {
+                let thr = rng.gen_range(lo..hi);
+                let mut lc = vec![0usize; self.num_classes];
+                let mut rc = vec![0usize; self.num_classes];
+                for &r in &rows {
+                    if features[r][f] <= thr {
+                        lc[labels[r]] += 1;
+                    } else {
+                        rc[labels[r]] += 1;
+                    }
+                }
+                let ln: usize = lc.iter().sum();
+                let rn: usize = rc.iter().sum();
+                if ln == 0 || rn == 0 {
+                    continue;
+                }
+                let n = rows.len() as f64;
+                let w = (ln as f64 / n) * gini(&lc) + (rn as f64 / n) * gini(&rc);
+                if best.is_none_or(|(_, _, bw)| w < bw) {
+                    best = Some((f, thr, w));
+                }
+            }
+        }
+
+        let Some((feature, threshold, w)) = best else {
+            return self.leaf(&counts);
+        };
+        if w >= impurity - 1e-12 {
+            return self.leaf(&counts);
+        }
+        let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
+            rows.into_iter().partition(|&r| features[r][feature] <= threshold);
+        let left = self.grow(features, labels, left_rows, depth + 1, cfg, rng);
+        let right = self.grow(features, labels, right_rows, depth + 1, cfg, rng);
+        self.nodes.push(Node::Split { feature, threshold, left, right });
+        self.nodes.len() - 1
+    }
+
+    /// The root node is always the last node pushed.
+    fn root(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// The class distribution for one feature vector.
+    pub fn predict_dist(&self, row: &[f32]) -> Result<Vec<f32>> {
+        if row.len() != self.num_features {
+            return Err(ModelError::BadConfig {
+                what: format!("expected {} features, got {}", self.num_features, row.len()),
+            });
+        }
+        let mut id = self.root();
+        loop {
+            match &self.nodes[id] {
+                Node::Leaf { dist } => return Ok(dist.clone()),
+                Node::Split { feature, threshold, left, right } => {
+                    id = if row[*feature] <= *threshold { *left } else { *right };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (leaves + splits).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree feature dimensionality.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_tensor::rng::seeded;
+
+    fn xor_data() -> (Vec<Vec<f32>>, Vec<usize>) {
+        // XOR-ish: class = (x > 0) ⊕ (y > 0); needs depth ≥ 2
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        let mut rng = seeded(1);
+        for _ in 0..200 {
+            let x: f32 = rng.gen_range(-1.0..1.0);
+            let y: f32 = rng.gen_range(-1.0..1.0);
+            feats.push(vec![x, y]);
+            labels.push(usize::from((x > 0.0) ^ (y > 0.0)));
+        }
+        (feats, labels)
+    }
+
+    #[test]
+    fn gini_extremes() {
+        assert!(gini(&[10, 0]).abs() < 1e-12);
+        assert!((gini(&[5, 5]) - 0.5).abs() < 1e-12);
+        assert!(gini(&[]) == 0.0);
+    }
+
+    #[test]
+    fn fits_xor_with_enough_depth() {
+        let (feats, labels) = xor_data();
+        let mut rng = seeded(2);
+        let cfg = TreeConfig { max_depth: 8, min_split: 2, feature_subset: None, thresholds_per_feature: 12 };
+        let tree = DecisionTree::fit(&feats, &labels, 2, &cfg, &mut rng).unwrap();
+        let mut correct = 0;
+        for (f, &l) in feats.iter().zip(labels.iter()) {
+            let d = tree.predict_dist(f).unwrap();
+            if (d[1] > d[0]) == (l == 1) {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / feats.len() as f64;
+        assert!(acc > 0.9, "xor accuracy {acc}");
+    }
+
+    #[test]
+    fn depth_zero_gives_prior() {
+        let (feats, labels) = xor_data();
+        let mut rng = seeded(3);
+        let cfg = TreeConfig { max_depth: 0, ..TreeConfig::default() };
+        let tree = DecisionTree::fit(&feats, &labels, 2, &cfg, &mut rng).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+        let d = tree.predict_dist(&[0.0, 0.0]).unwrap();
+        assert!((d[0] + d[1] - 1.0).abs() < 1e-6);
+        assert!((d[0] - 0.5).abs() < 0.15, "xor prior is near uniform");
+    }
+
+    #[test]
+    fn pure_node_stops_early() {
+        let feats = vec![vec![0.0f32], vec![1.0], vec![2.0]];
+        let labels = vec![1usize, 1, 1];
+        let mut rng = seeded(4);
+        let tree = DecisionTree::fit(&feats, &labels, 2, &TreeConfig::default(), &mut rng).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict_dist(&[5.0]).unwrap(), vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn dist_sums_to_one() {
+        let (feats, labels) = xor_data();
+        let mut rng = seeded(5);
+        let tree =
+            DecisionTree::fit(&feats, &labels, 2, &TreeConfig::default(), &mut rng).unwrap();
+        for f in feats.iter().take(20) {
+            let d = tree.predict_dist(f).unwrap();
+            assert!((d.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_input() {
+        let mut rng = seeded(6);
+        assert!(DecisionTree::fit(&[], &[], 2, &TreeConfig::default(), &mut rng).is_err());
+        let feats = vec![vec![1.0f32]];
+        assert!(DecisionTree::fit(&feats, &[0, 1], 2, &TreeConfig::default(), &mut rng).is_err());
+        let tree = DecisionTree::fit(&feats, &[0], 1, &TreeConfig::default(), &mut rng).unwrap();
+        assert!(tree.predict_dist(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,473 @@
+//! Neural-network layers: quantizable 1-D convolution, quantizable linear,
+//! and batch normalization with running statistics.
+//!
+//! Each layer owns [`ParamRef`]s into a [`ParamStore`] and offers two paths:
+//!
+//! * `forward` — records onto an autodiff [`Tape`] for training; quantized
+//!   layers wrap their parameters in fake-quantization nodes (QAT).
+//! * `eval_forward` — plain tensor math for inference, using running
+//!   statistics for batch norm and the same fake-quantized weights, so the
+//!   deployed (quantized) model is exactly what was trained.
+
+use crate::init::he_normal;
+use crate::{Bindings, Mode, NnError, ParamRef, ParamStore, Result};
+use lightts_tensor::conv::conv1d_forward;
+use lightts_tensor::quant::fake_quantize;
+use lightts_tensor::tape::{Tape, Var};
+use lightts_tensor::Tensor;
+use rand::Rng;
+
+/// A "same"-padded 1-D convolution with bias and a storage bit-width.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    weight: ParamRef,
+    bias: ParamRef,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    bits: u8,
+}
+
+impl Conv1d {
+    /// Creates a convolution layer, registering its parameters in `store`.
+    ///
+    /// `bits` is the storage bit-width (32 = full precision), the paper's
+    /// per-layer `W_j` dimension of the search space.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        bits: u8,
+    ) -> Result<Self> {
+        if in_channels == 0 || out_channels == 0 || kernel == 0 {
+            return Err(NnError::BadConfig {
+                what: format!("Conv1d {name}: zero-sized dimension"),
+            });
+        }
+        if bits == 0 || bits > 32 {
+            return Err(NnError::BadConfig {
+                what: format!("Conv1d {name}: bits must be 1..=32, got {bits}"),
+            });
+        }
+        let fan_in = in_channels * kernel;
+        let w = he_normal(rng, &[out_channels, in_channels, kernel], fan_in);
+        let weight = store.register(format!("{name}.weight"), w, bits);
+        let bias = store.register(format!("{name}.bias"), Tensor::zeros(&[out_channels]), bits);
+        Ok(Conv1d { weight, bias, in_channels, out_channels, kernel, bits })
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Kernel (filter) length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Storage bit-width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of scalar parameters (weights + biases).
+    pub fn num_params(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel + self.out_channels
+    }
+
+    /// Training forward: records conv + bias onto the tape.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        bind: &mut Bindings,
+        store: &ParamStore,
+        x: Var,
+    ) -> Result<Var> {
+        let w = bind.bind(tape, store, self.weight)?;
+        let b = bind.bind(tape, store, self.bias)?;
+        let y = tape.conv1d(x, w)?;
+        Ok(tape.add_bias(y, b)?)
+    }
+
+    /// Inference forward on plain tensors with (fake-)quantized weights.
+    pub fn eval_forward(&self, store: &ParamStore, x: &Tensor) -> Result<Tensor> {
+        let w = fake_quantize(&store.get(self.weight)?.value, self.bits)?;
+        let b = fake_quantize(&store.get(self.bias)?.value, self.bits)?;
+        let y = conv1d_forward(x, &w)?;
+        let (batch, c, l) = (y.dims()[0], y.dims()[1], y.dims()[2]);
+        let mut out = y.into_vec();
+        for bi in 0..batch {
+            for ci in 0..c {
+                let off = (bi * c + ci) * l;
+                let bias_v = b.data()[ci];
+                for v in &mut out[off..off + l] {
+                    *v += bias_v;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, &[batch, c, l])?)
+    }
+}
+
+/// A fully-connected layer `y = x W + b` with a storage bit-width.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: ParamRef,
+    bias: ParamRef,
+    in_features: usize,
+    out_features: usize,
+    bits: u8,
+}
+
+impl Linear {
+    /// Creates a linear layer, registering parameters in `store`.
+    pub fn new<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        in_features: usize,
+        out_features: usize,
+        bits: u8,
+    ) -> Result<Self> {
+        Self::with_name(store, rng, "linear", in_features, out_features, bits)
+    }
+
+    /// Creates a named linear layer.
+    pub fn with_name<R: Rng>(
+        store: &mut ParamStore,
+        rng: &mut R,
+        name: &str,
+        in_features: usize,
+        out_features: usize,
+        bits: u8,
+    ) -> Result<Self> {
+        if in_features == 0 || out_features == 0 {
+            return Err(NnError::BadConfig {
+                what: format!("Linear {name}: zero-sized dimension"),
+            });
+        }
+        if bits == 0 || bits > 32 {
+            return Err(NnError::BadConfig {
+                what: format!("Linear {name}: bits must be 1..=32, got {bits}"),
+            });
+        }
+        let w = he_normal(rng, &[in_features, out_features], in_features);
+        let weight = store.register(format!("{name}.weight"), w, bits);
+        let bias = store.register(format!("{name}.bias"), Tensor::zeros(&[out_features]), bits);
+        Ok(Linear { weight, bias, in_features, out_features, bits })
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Storage bit-width.
+    pub fn bits(&self) -> u8 {
+        self.bits
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.in_features * self.out_features + self.out_features
+    }
+
+    /// Training forward: `x[b,in] @ W[in,out] + bias`.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        bind: &mut Bindings,
+        store: &ParamStore,
+        x: Var,
+    ) -> Result<Var> {
+        let w = bind.bind(tape, store, self.weight)?;
+        let b = bind.bind(tape, store, self.bias)?;
+        let y = tape.matmul(x, w)?;
+        Ok(tape.add_bias(y, b)?)
+    }
+
+    /// Inference forward on plain tensors with (fake-)quantized weights.
+    pub fn eval_forward(&self, store: &ParamStore, x: &Tensor) -> Result<Tensor> {
+        let w = fake_quantize(&store.get(self.weight)?.value, self.bits)?;
+        let b = fake_quantize(&store.get(self.bias)?.value, self.bits)?;
+        let y = x.matmul(&w)?;
+        let (batch, k) = (y.dims()[0], y.dims()[1]);
+        let mut out = y.into_vec();
+        for bi in 0..batch {
+            for ci in 0..k {
+                out[bi * k + ci] += b.data()[ci];
+            }
+        }
+        Ok(Tensor::from_vec(out, &[batch, k])?)
+    }
+}
+
+/// Batch normalization over `[batch, channels, length]` with running
+/// statistics for inference.
+///
+/// γ/β are kept at full precision (standard practice — they are a negligible
+/// fraction of model size and quantizing them destabilizes training).
+#[derive(Debug, Clone)]
+pub struct BatchNorm1d {
+    gamma: ParamRef,
+    beta: ParamRef,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+}
+
+impl BatchNorm1d {
+    /// Creates a batch-norm layer for `channels` channels.
+    pub fn new(store: &mut ParamStore, name: &str, channels: usize) -> Result<Self> {
+        if channels == 0 {
+            return Err(NnError::BadConfig { what: format!("BatchNorm1d {name}: zero channels") });
+        }
+        let gamma = store.register(format!("{name}.gamma"), Tensor::ones(&[channels]), 32);
+        let beta = store.register(format!("{name}.beta"), Tensor::zeros(&[channels]), 32);
+        Ok(BatchNorm1d {
+            gamma,
+            beta,
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+        })
+    }
+
+    /// Channel count.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Number of scalar parameters (γ and β).
+    pub fn num_params(&self) -> usize {
+        2 * self.channels
+    }
+
+    /// The running `(mean, variance)` statistics used at inference.
+    pub fn running_stats(&self) -> (&[f32], &[f32]) {
+        (&self.running_mean, &self.running_var)
+    }
+
+    /// Overwrites the running statistics (model loading).
+    pub fn set_running_stats(&mut self, mean: &[f32], var: &[f32]) -> Result<()> {
+        if mean.len() != self.channels || var.len() != self.channels {
+            return Err(NnError::BadConfig {
+                what: format!(
+                    "running stats length {}/{} != channels {}",
+                    mean.len(),
+                    var.len(),
+                    self.channels
+                ),
+            });
+        }
+        self.running_mean.copy_from_slice(mean);
+        self.running_var.copy_from_slice(var);
+        Ok(())
+    }
+
+    /// Training/eval forward on the tape.
+    ///
+    /// In [`Mode::Train`] the layer uses batch statistics and updates its
+    /// running averages (hence `&mut self`); in [`Mode::Eval`] it applies the
+    /// running statistics as a per-channel affine transform.
+    pub fn forward(
+        &mut self,
+        tape: &mut Tape,
+        bind: &mut Bindings,
+        store: &ParamStore,
+        x: Var,
+        mode: Mode,
+    ) -> Result<Var> {
+        match mode {
+            Mode::Train => {
+                let g = bind.bind(tape, store, self.gamma)?;
+                let b = bind.bind(tape, store, self.beta)?;
+                let (y, mean, var) = tape.batch_norm(x, g, b, self.eps)?;
+                for c in 0..self.channels {
+                    self.running_mean[c] =
+                        (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+                    self.running_var[c] =
+                        (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+                }
+                Ok(y)
+            }
+            Mode::Eval => {
+                // Affine transform with frozen statistics; recorded on the
+                // tape as constant scale/shift so this path is also usable
+                // mid-training for validation losses.
+                let xv = tape.value(x)?.clone();
+                let y = self.eval_transform(store, &xv)?;
+                Ok(tape.constant(y))
+            }
+        }
+    }
+
+    /// Inference forward on plain tensors using running statistics.
+    pub fn eval_forward(&self, store: &ParamStore, x: &Tensor) -> Result<Tensor> {
+        self.eval_transform(store, x)
+    }
+
+    fn eval_transform(&self, store: &ParamStore, x: &Tensor) -> Result<Tensor> {
+        let g = &store.get(self.gamma)?.value;
+        let be = &store.get(self.beta)?.value;
+        let (b, c, l) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        let mut out = vec![0.0f32; b * c * l];
+        for bi in 0..b {
+            for ci in 0..c {
+                let inv = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+                let scale = g.data()[ci] * inv;
+                let shift = be.data()[ci] - self.running_mean[ci] * scale;
+                let off = (bi * c + ci) * l;
+                for (o, &v) in out[off..off + l].iter_mut().zip(&x.data()[off..off + l]) {
+                    *o = v * scale + shift;
+                }
+            }
+        }
+        Ok(Tensor::from_vec(out, &[b, c, l])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_tensor::rng::seeded;
+
+    #[test]
+    fn conv_layer_shapes_and_params() {
+        let mut rng = seeded(1);
+        let mut store = ParamStore::new();
+        let conv = Conv1d::new(&mut store, &mut rng, "c", 2, 4, 5, 8).unwrap();
+        assert_eq!(conv.num_params(), 4 * 2 * 5 + 4);
+        assert_eq!(store.size_bits(), (4 * 2 * 5 + 4) * 8);
+
+        let x = Tensor::ones(&[3, 2, 7]);
+        let y = conv.eval_forward(&store, &x).unwrap();
+        assert_eq!(y.dims(), &[3, 4, 7]);
+    }
+
+    #[test]
+    fn conv_rejects_bad_config() {
+        let mut rng = seeded(1);
+        let mut store = ParamStore::new();
+        assert!(Conv1d::new(&mut store, &mut rng, "c", 0, 4, 5, 8).is_err());
+        assert!(Conv1d::new(&mut store, &mut rng, "c", 2, 4, 5, 0).is_err());
+        assert!(Conv1d::new(&mut store, &mut rng, "c", 2, 4, 5, 33).is_err());
+    }
+
+    #[test]
+    fn conv_train_and_eval_agree_at_32_bits() {
+        let mut rng = seeded(2);
+        let mut store = ParamStore::new();
+        let conv = Conv1d::new(&mut store, &mut rng, "c", 1, 2, 3, 32).unwrap();
+        let x = Tensor::randn(&mut rng, &[2, 1, 6], 1.0);
+
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
+        let xv = tape.constant(x.clone());
+        let yv = conv.forward(&mut tape, &mut bind, &store, xv).unwrap();
+        let y_train = tape.value(yv).unwrap().clone();
+        let y_eval = conv.eval_forward(&store, &x).unwrap();
+        for (a, b) in y_train.data().iter().zip(y_eval.data().iter()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn quantized_conv_uses_quantized_weights_in_both_paths() {
+        let mut rng = seeded(3);
+        let mut store = ParamStore::new();
+        let conv = Conv1d::new(&mut store, &mut rng, "c", 1, 2, 3, 4).unwrap();
+        let x = Tensor::randn(&mut rng, &[1, 1, 5], 1.0);
+
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
+        let xv = tape.constant(x.clone());
+        let yv = conv.forward(&mut tape, &mut bind, &store, xv).unwrap();
+        let y_train = tape.value(yv).unwrap().clone();
+        let y_eval = conv.eval_forward(&store, &x).unwrap();
+        for (a, b) in y_train.data().iter().zip(y_eval.data().iter()) {
+            assert!((a - b).abs() < 1e-5, "train/eval quantized paths diverge");
+        }
+    }
+
+    #[test]
+    fn linear_forward_matches_manual() {
+        let mut rng = seeded(4);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, &mut rng, 3, 2, 32).unwrap();
+        let x = Tensor::ones(&[1, 3]);
+        let y = lin.eval_forward(&store, &x).unwrap();
+        // y = Σ_i W[i, j] + b[j]
+        let w = &store.get(lin.weight).unwrap().value;
+        for j in 0..2 {
+            let expect: f32 = (0..3).map(|i| w.get(&[i, j]).unwrap()).sum();
+            assert!((y.get(&[0, j]).unwrap() - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn batchnorm_train_updates_running_stats() {
+        let mut rng = seeded(5);
+        let mut store = ParamStore::new();
+        let mut bn = BatchNorm1d::new(&mut store, "bn", 2).unwrap();
+        let x = Tensor::randn(&mut rng, &[4, 2, 8], 2.0).add_scalar(3.0);
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
+        let xv = tape.constant(x);
+        let before = bn.running_mean.clone();
+        let _ = bn.forward(&mut tape, &mut bind, &store, xv, Mode::Train).unwrap();
+        assert_ne!(bn.running_mean, before);
+        assert!(bn.running_mean[0] > 0.0, "running mean should drift toward 3");
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut rng = seeded(6);
+        let mut store = ParamStore::new();
+        let mut bn = BatchNorm1d::new(&mut store, "bn", 1).unwrap();
+        // train several steps on shifted data so running stats converge
+        for _ in 0..50 {
+            let x = Tensor::randn(&mut rng, &[8, 1, 16], 1.0).add_scalar(5.0);
+            let mut tape = Tape::new();
+            let mut bind = Bindings::new();
+            let xv = tape.constant(x);
+            let _ = bn.forward(&mut tape, &mut bind, &store, xv, Mode::Train).unwrap();
+        }
+        // eval on data with the same distribution: output mean ≈ 0
+        let x = Tensor::randn(&mut rng, &[8, 1, 16], 1.0).add_scalar(5.0);
+        let y = bn.eval_forward(&store, &x).unwrap();
+        assert!(y.mean().abs() < 0.5, "eval mean was {}", y.mean());
+    }
+
+    #[test]
+    fn linear_train_path_produces_grads_for_both_params() {
+        let mut rng = seeded(7);
+        let mut store = ParamStore::new();
+        let lin = Linear::new(&mut store, &mut rng, 3, 2, 8).unwrap();
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
+        let xv = tape.constant(Tensor::ones(&[4, 3]));
+        let y = lin.forward(&mut tape, &mut bind, &store, xv).unwrap();
+        let loss = tape.mean(y).unwrap();
+        let grads = tape.backward(loss).unwrap();
+        let collected = bind.collect_grads(grads);
+        assert_eq!(collected.len(), 2);
+    }
+}

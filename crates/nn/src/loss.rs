@@ -1,0 +1,131 @@
+//! Plain-tensor loss helpers.
+//!
+//! The autodiff tape has its own loss *ops* (for training); these free
+//! functions compute the same quantities on plain tensors for evaluation and
+//! for the closed-form outer-level λ update of AED (paper Eq. 3), where the
+//! per-teacher distances `Dist(q_i, p_w)` are fixed numbers.
+
+use crate::{NnError, Result};
+use lightts_tensor::Tensor;
+
+/// Mean cross-entropy of `targets` under class probability rows `probs`.
+///
+/// Probabilities are clamped away from zero for numerical robustness.
+pub fn cross_entropy_mean(probs: &Tensor, targets: &[usize]) -> Result<f32> {
+    if probs.rank() != 2 {
+        return Err(NnError::BadConfig { what: "cross_entropy_mean expects [batch, k]".into() });
+    }
+    let (b, k) = (probs.dims()[0], probs.dims()[1]);
+    if targets.len() != b {
+        return Err(NnError::BadConfig {
+            what: format!("targets length {} != batch {b}", targets.len()),
+        });
+    }
+    let mut acc = 0.0f32;
+    for (bi, &t) in targets.iter().enumerate() {
+        if t >= k {
+            return Err(NnError::BadConfig { what: format!("target {t} out of {k} classes") });
+        }
+        acc -= probs.data()[bi * k + t].max(1e-12).ln();
+    }
+    Ok(acc / b as f32)
+}
+
+/// Mean Kullback–Leibler divergence `KL(q ‖ p)` between row distributions.
+///
+/// This is the distillation distance `Dist(q_i, p_w)` of paper Eq. 2.
+pub fn kl_mean(q: &Tensor, p: &Tensor) -> Result<f32> {
+    if q.dims() != p.dims() || q.rank() != 2 {
+        return Err(NnError::BadConfig {
+            what: format!("kl_mean shape mismatch: {:?} vs {:?}", q.dims(), p.dims()),
+        });
+    }
+    let b = q.dims()[0];
+    let mut acc = 0.0f32;
+    for (&qv, &pv) in q.data().iter().zip(p.data().iter()) {
+        if qv > 0.0 {
+            acc += qv * (qv.ln() - pv.max(1e-12).ln());
+        }
+    }
+    Ok(acc / b as f32)
+}
+
+/// Mean squared error between two tensors of the same shape.
+pub fn mse(a: &Tensor, b: &Tensor) -> Result<f32> {
+    if a.dims() != b.dims() {
+        return Err(NnError::BadConfig {
+            what: format!("mse shape mismatch: {:?} vs {:?}", a.dims(), b.dims()),
+        });
+    }
+    let n = a.len().max(1) as f32;
+    let mut acc = 0.0f32;
+    for (&x, &y) in a.data().iter().zip(b.data().iter()) {
+        acc += (x - y) * (x - y);
+    }
+    Ok(acc / n)
+}
+
+/// Softmax over a plain slice, returned as a fresh vector.
+pub fn softmax_slice(x: &[f32]) -> Vec<f32> {
+    let mx = x.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = x.iter().map(|&v| (v - mx).exp()).collect();
+    let z: f32 = exps.iter().sum();
+    exps.into_iter().map(|e| e / z).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ce_of_perfect_prediction_is_zero() {
+        let probs = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], &[2, 2]).unwrap();
+        let ce = cross_entropy_mean(&probs, &[0, 1]).unwrap();
+        assert!(ce.abs() < 1e-5);
+    }
+
+    #[test]
+    fn ce_of_uniform_is_log_k() {
+        let probs = Tensor::full(&[3, 4], 0.25);
+        let ce = cross_entropy_mean(&probs, &[0, 1, 2]).unwrap();
+        assert!((ce - 4.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ce_rejects_bad_targets() {
+        let probs = Tensor::full(&[1, 2], 0.5);
+        assert!(cross_entropy_mean(&probs, &[2]).is_err());
+        assert!(cross_entropy_mean(&probs, &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn kl_zero_iff_equal() {
+        let q = Tensor::from_vec(vec![0.3, 0.7], &[1, 2]).unwrap();
+        assert!(kl_mean(&q, &q).unwrap().abs() < 1e-6);
+        let p = Tensor::from_vec(vec![0.7, 0.3], &[1, 2]).unwrap();
+        assert!(kl_mean(&q, &p).unwrap() > 0.0);
+    }
+
+    #[test]
+    fn kl_is_asymmetric() {
+        let q = Tensor::from_vec(vec![0.9, 0.1], &[1, 2]).unwrap();
+        let p = Tensor::from_vec(vec![0.5, 0.5], &[1, 2]).unwrap();
+        let kqp = kl_mean(&q, &p).unwrap();
+        let kpq = kl_mean(&p, &q).unwrap();
+        assert!((kqp - kpq).abs() > 1e-3);
+    }
+
+    #[test]
+    fn softmax_slice_is_simplex() {
+        let s = softmax_slice(&[1.0, 2.0, 3.0]);
+        assert!((s.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(s[2] > s[1] && s[1] > s[0]);
+    }
+
+    #[test]
+    fn mse_basic() {
+        let a = Tensor::from_vec(vec![1.0, 2.0], &[2]).unwrap();
+        let b = Tensor::from_vec(vec![0.0, 0.0], &[2]).unwrap();
+        assert!((mse(&a, &b).unwrap() - 2.5).abs() < 1e-6);
+    }
+}

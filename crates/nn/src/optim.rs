@@ -1,0 +1,181 @@
+//! Optimizers: stochastic gradient descent (with momentum) and Adam.
+//!
+//! The paper trains teacher ensembles with Adam and distills students with
+//! SGD (Section 4.1.5); both are provided. Optimizers mutate the
+//! full-precision shadow parameters in a [`ParamStore`]; quantization is
+//! re-applied on the next forward bind (standard QAT).
+
+use crate::{ParamRef, ParamStore, Result};
+use lightts_tensor::Tensor;
+use std::collections::HashMap;
+
+/// A gradient-descent parameter updater.
+pub trait Optimizer {
+    /// Applies one update step given `(parameter, gradient)` pairs.
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamRef, Tensor)]) -> Result<()>;
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (e.g. for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// SGD with classical momentum: `v ← μv + g`, `θ ← θ − lr·v`.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: HashMap<usize, Tensor>,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer. `momentum = 0` gives plain SGD.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Sgd { lr, momentum, velocity: HashMap::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamRef, Tensor)]) -> Result<()> {
+        for (r, g) in grads {
+            let update = if self.momentum > 0.0 {
+                let v = self
+                    .velocity
+                    .entry(r.index())
+                    .or_insert_with(|| Tensor::zeros(g.dims()));
+                *v = v.scale(self.momentum).add(g)?;
+                v.clone()
+            } else {
+                g.clone()
+            };
+            let p = store.get_mut(*r)?;
+            p.value.axpy(&update, -self.lr)?;
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam with bias correction (Kingma & Ba).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: HashMap<usize, Tensor>,
+    v: HashMap<usize, Tensor>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer with the standard β₁=0.9, β₂=0.999.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: HashMap::new(), v: HashMap::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamRef, Tensor)]) -> Result<()> {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (r, g) in grads {
+            let m = self.m.entry(r.index()).or_insert_with(|| Tensor::zeros(g.dims()));
+            let v = self.v.entry(r.index()).or_insert_with(|| Tensor::zeros(g.dims()));
+            *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1))?;
+            *v = v
+                .scale(self.beta2)
+                .add(&g.mul(g)?.scale(1.0 - self.beta2))?;
+            let p = store.get_mut(*r)?;
+            let (lr, eps) = (self.lr, self.eps);
+            let update = m.zip_map(v, |mi, vi| {
+                let m_hat = mi / bc1;
+                let v_hat = vi / bc2;
+                m_hat / (v_hat.sqrt() + eps)
+            })?;
+            p.value.axpy(&update, -lr)?;
+        }
+        Ok(())
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_tensor::rng::seeded;
+    use lightts_tensor::tape::Tape;
+    use lightts_tensor::Tensor;
+
+    /// Minimizes f(θ) = ‖θ − c‖² with the given optimizer; returns final θ.
+    fn run_quadratic<O: Optimizer>(opt: &mut O, steps: usize) -> Tensor {
+        let mut rng = seeded(11);
+        let mut store = ParamStore::new();
+        let target = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]).unwrap();
+        let theta = store.register("theta", Tensor::randn(&mut rng, &[3], 1.0), 32);
+        for _ in 0..steps {
+            let mut tape = Tape::new();
+            let mut bind = crate::Bindings::new();
+            let tv = bind.bind(&mut tape, &store, theta).unwrap();
+            let loss = tape.mse_to_target(tv, &target).unwrap();
+            let grads = tape.backward(loss).unwrap();
+            opt.step(&mut store, &bind.collect_grads(grads)).unwrap();
+        }
+        store.get(theta).unwrap().value.clone()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.5, 0.0);
+        let theta = run_quadratic(&mut opt, 200);
+        assert!((theta.data()[0] - 1.0).abs() < 1e-2);
+        assert!((theta.data()[1] + 2.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut opt = Sgd::new(0.2, 0.9);
+        let theta = run_quadratic(&mut opt, 300);
+        assert!((theta.data()[2] - 0.5).abs() < 5e-2);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let theta = run_quadratic(&mut opt, 300);
+        assert!((theta.data()[0] - 1.0).abs() < 2e-2);
+        assert!((theta.data()[1] + 2.0).abs() < 2e-2);
+    }
+
+    #[test]
+    fn learning_rate_is_adjustable() {
+        let mut opt = Sgd::new(0.1, 0.0);
+        assert_eq!(opt.learning_rate(), 0.1);
+        opt.set_learning_rate(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    #[test]
+    fn step_with_no_grads_is_noop() {
+        let mut store = ParamStore::new();
+        store.register("w", Tensor::ones(&[2]), 32);
+        let mut opt = Adam::new(0.1);
+        opt.step(&mut store, &[]).unwrap();
+    }
+}

@@ -1,0 +1,223 @@
+//! Parameter storage and tape bindings.
+
+use crate::{NnError, Result};
+use lightts_tensor::tape::{Grads, Tape, Var};
+use lightts_tensor::Tensor;
+
+/// A handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamRef(pub(crate) usize);
+
+impl ParamRef {
+    /// The raw index of the parameter in its store.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// A named, trainable tensor plus its storage bit-width.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current full-precision ("shadow") value.
+    pub value: Tensor,
+    /// Human-readable name for diagnostics (`"block0.conv1.weight"`).
+    pub name: String,
+    /// Bit-width this parameter is *stored* at on the target device
+    /// (32 = full precision). Affects model-size accounting and the
+    /// fake-quantization applied when binding to a tape.
+    pub bits: u8,
+}
+
+/// Flat storage for all parameters of a model.
+///
+/// Layers allocate parameters at construction time and keep [`ParamRef`]s;
+/// optimizers mutate the store through those refs after each backward pass.
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn register(&mut self, name: impl Into<String>, value: Tensor, bits: u8) -> ParamRef {
+        self.params.push(Param { value, name: name.into(), bits });
+        ParamRef(self.params.len() - 1)
+    }
+
+    /// Read access to a parameter.
+    pub fn get(&self, r: ParamRef) -> Result<&Param> {
+        self.params
+            .get(r.0)
+            .ok_or(NnError::InvalidParam { index: r.0, len: self.params.len() })
+    }
+
+    /// Write access to a parameter.
+    pub fn get_mut(&mut self, r: ParamRef) -> Result<&mut Param> {
+        let len = self.params.len();
+        self.params
+            .get_mut(r.0)
+            .ok_or(NnError::InvalidParam { index: r.0, len })
+    }
+
+    /// Number of parameters tensors.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store holds no parameters.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Iterates over all parameters.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamRef, &Param)> {
+        self.params.iter().enumerate().map(|(i, p)| (ParamRef(i), p))
+    }
+
+    /// Total number of scalar parameters.
+    pub fn num_scalars(&self) -> usize {
+        self.params.iter().map(|p| p.value.len()).sum()
+    }
+
+    /// Model size in bits: `Σ len(param) × bits(param)`.
+    ///
+    /// This is the paper's model-size metric ("counting the total bits",
+    /// Section 3.3.2).
+    pub fn size_bits(&self) -> u64 {
+        self.params
+            .iter()
+            .map(|p| p.value.len() as u64 * u64::from(p.bits))
+            .sum()
+    }
+
+    /// Model size in bytes (rounded up).
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bits().div_ceil(8)
+    }
+}
+
+/// Records which tape variables correspond to which store parameters during
+/// one forward pass.
+#[derive(Debug, Default)]
+pub struct Bindings {
+    entries: Vec<(Var, ParamRef)>,
+}
+
+impl Bindings {
+    /// An empty binding set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds parameter `r` onto `tape` as a trainable leaf; if the parameter
+    /// is stored quantized (bits < 32), wraps it in a fake-quantization node
+    /// so the forward pass sees quantized weights while gradients flow
+    /// straight through to the full-precision shadow (QAT).
+    ///
+    /// Returns the tape variable to use in the layer's computation.
+    pub fn bind(&mut self, tape: &mut Tape, store: &ParamStore, r: ParamRef) -> Result<Var> {
+        let p = store.get(r)?;
+        let leaf = tape.leaf(p.value.clone(), true);
+        self.entries.push((leaf, r));
+        if p.bits < 32 {
+            Ok(tape.fake_quant(leaf, p.bits)?)
+        } else {
+            Ok(leaf)
+        }
+    }
+
+    /// Number of bound parameters.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no parameters are bound.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Extracts `(param, gradient)` pairs after a backward pass.
+    ///
+    /// Parameters that did not receive a gradient (e.g. not an ancestor of
+    /// the loss) are silently skipped — this is correct for optimizers since
+    /// a missing gradient is a zero gradient.
+    pub fn collect_grads(&self, mut grads: Grads) -> Vec<(ParamRef, Tensor)> {
+        self.entries
+            .iter()
+            .filter_map(|&(var, r)| grads.take(var).map(|g| (r, g)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_tensor::rng::seeded;
+
+    #[test]
+    fn register_and_access() {
+        let mut store = ParamStore::new();
+        let r = store.register("w", Tensor::ones(&[2, 3]), 8);
+        assert_eq!(store.get(r).unwrap().name, "w");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.num_scalars(), 6);
+    }
+
+    #[test]
+    fn size_accounting_respects_bits() {
+        let mut store = ParamStore::new();
+        store.register("a", Tensor::ones(&[10]), 4);
+        store.register("b", Tensor::ones(&[10]), 32);
+        assert_eq!(store.size_bits(), 10 * 4 + 10 * 32);
+        assert_eq!(store.size_bytes(), 45);
+    }
+
+    #[test]
+    fn invalid_ref_is_error() {
+        let store = ParamStore::new();
+        assert!(store.get(ParamRef(0)).is_err());
+    }
+
+    #[test]
+    fn bind_applies_fake_quant_only_below_32_bits() {
+        let mut rng = seeded(1);
+        let mut store = ParamStore::new();
+        let w32 = store.register("w32", Tensor::randn(&mut rng, &[8], 1.0), 32);
+        let w4 = store.register("w4", Tensor::randn(&mut rng, &[8], 1.0), 4);
+
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
+        let v32 = bind.bind(&mut tape, &store, w32).unwrap();
+        let v4 = bind.bind(&mut tape, &store, w4).unwrap();
+
+        // 32-bit: tape value identical to stored value
+        assert_eq!(tape.value(v32).unwrap(), &store.get(w32).unwrap().value);
+        // 4-bit: tape value is quantized (generally different)
+        let quantized = tape.value(v4).unwrap();
+        assert_ne!(quantized, &store.get(w4).unwrap().value);
+        assert_eq!(bind.len(), 2);
+    }
+
+    #[test]
+    fn collect_grads_skips_unused_params() {
+        let mut store = ParamStore::new();
+        let used = store.register("used", Tensor::ones(&[3]), 32);
+        let unused = store.register("unused", Tensor::ones(&[3]), 32);
+
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
+        let uv = bind.bind(&mut tape, &store, used).unwrap();
+        let _nv = bind.bind(&mut tape, &store, unused).unwrap();
+        let loss = tape.sum(uv).unwrap();
+        let grads = tape.backward(loss).unwrap();
+        let collected = bind.collect_grads(grads);
+        assert_eq!(collected.len(), 1);
+        assert_eq!(collected[0].0, used);
+        assert_eq!(collected[0].1.data(), &[1.0, 1.0, 1.0]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Model-size accounting helpers.
+//!
+//! LightTS treats model size as a first-class objective: the Pareto frontier
+//! (paper Section 3.3.2) trades accuracy against "the total bits" of the
+//! parameters. [`ParamStore::size_bits`](crate::ParamStore::size_bits)
+//! computes the size of an *instantiated* model; this module adds the
+//! analytic formulas the search space uses to cost a student *setting
+//! without building it*, plus unit conversions for reporting.
+
+/// Bits in one kilobyte, for reporting sizes the way the paper's figures do
+/// (e.g. "Model U … 100K").
+pub const BITS_PER_KB: u64 = 8 * 1024;
+
+/// Converts a size in bits to kilobytes (binary).
+pub fn bits_to_kb(bits: u64) -> f64 {
+    bits as f64 / BITS_PER_KB as f64
+}
+
+/// Parameter count of a "same"-padded [`Conv1d`](crate::layers::Conv1d):
+/// `out·in·kernel` weights plus `out` biases.
+pub fn conv1d_params(in_channels: usize, out_channels: usize, kernel: usize) -> usize {
+    out_channels * in_channels * kernel + out_channels
+}
+
+/// Parameter count of a [`Linear`](crate::layers::Linear) layer.
+pub fn linear_params(in_features: usize, out_features: usize) -> usize {
+    in_features * out_features + out_features
+}
+
+/// Parameter count of a [`BatchNorm1d`](crate::layers::BatchNorm1d) layer
+/// (γ and β).
+pub fn batchnorm_params(channels: usize) -> usize {
+    2 * channels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BatchNorm1d, Conv1d, Linear};
+    use crate::ParamStore;
+    use lightts_tensor::rng::seeded;
+
+    #[test]
+    fn analytic_counts_match_instantiated_layers() {
+        let mut rng = seeded(1);
+        let mut store = ParamStore::new();
+        let conv = Conv1d::new(&mut store, &mut rng, "c", 3, 8, 5, 8).unwrap();
+        let lin = Linear::new(&mut store, &mut rng, 8, 4, 16).unwrap();
+        let bn = BatchNorm1d::new(&mut store, "bn", 8).unwrap();
+
+        assert_eq!(conv.num_params(), conv1d_params(3, 8, 5));
+        assert_eq!(lin.num_params(), linear_params(8, 4));
+        assert_eq!(bn.num_params(), batchnorm_params(8));
+
+        let expected_bits = conv1d_params(3, 8, 5) as u64 * 8
+            + linear_params(8, 4) as u64 * 16
+            + batchnorm_params(8) as u64 * 32;
+        assert_eq!(store.size_bits(), expected_bits);
+    }
+
+    #[test]
+    fn kb_conversion() {
+        assert!((bits_to_kb(BITS_PER_KB) - 1.0).abs() < 1e-12);
+        assert!((bits_to_kb(BITS_PER_KB * 100) - 100.0).abs() < 1e-9);
+    }
+}

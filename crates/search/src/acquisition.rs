@@ -1,0 +1,92 @@
+//! The Expected Improvement acquisition function (\[10, 11\] in the paper).
+//!
+//! Given the GP's posterior `N(μ, σ²)` for the scalarized joint objective
+//! `g(x) = β·f(x) − (1−β)·Size(x)` and the best objective value observed so
+//! far, EI scores how much improvement a candidate is expected to deliver:
+//!
+//! ```text
+//! EI(x) = (μ − g⁺)·Φ(z) + σ·φ(z),   z = (μ − g⁺)/σ
+//! ```
+//!
+//! where `Φ`/`φ` are the standard normal CDF/PDF (implemented via an `erf`
+//! approximation — no external special-function crate).
+
+/// Abramowitz–Stegun 7.1.26 approximation of the error function
+/// (|error| < 1.5e-7).
+pub fn erf(x: f32) -> f32 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_6
+            + t * (-0.284_496_72 + t * (1.421_413_8 + t * (-1.453_152_1 + t * 1.061_405_4))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+/// Standard normal cumulative distribution function.
+#[inline]
+pub fn normal_cdf(z: f32) -> f32 {
+    0.5 * (1.0 + erf(z / std::f32::consts::SQRT_2))
+}
+
+/// Standard normal probability density function.
+#[inline]
+pub fn normal_pdf(z: f32) -> f32 {
+    (-0.5 * z * z).exp() / (2.0 * std::f32::consts::PI).sqrt()
+}
+
+/// Expected improvement of a Gaussian `N(mean, var)` over the incumbent
+/// `best`. Returns 0 for a degenerate (zero-variance) posterior that cannot
+/// improve.
+pub fn expected_improvement(mean: f32, var: f32, best: f32) -> f32 {
+    let sigma = var.max(0.0).sqrt();
+    if sigma < 1e-9 {
+        return (mean - best).max(0.0);
+    }
+    let z = (mean - best) / sigma;
+    ((mean - best) * normal_cdf(z) + sigma * normal_pdf(z)).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-7);
+        assert!((erf(1.0) - 0.842_700_8).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.842_700_8).abs() < 1e-5);
+        assert!((erf(3.0) - 0.999_977_9).abs() < 1e-5);
+    }
+
+    #[test]
+    fn normal_cdf_symmetry() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-6);
+        for z in [-2.0f32, -0.5, 0.7, 1.5] {
+            assert!((normal_cdf(z) + normal_cdf(-z) - 1.0).abs() < 1e-5);
+        }
+        assert!((normal_cdf(1.96) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn ei_is_positive_and_monotone_in_mean() {
+        let e1 = expected_improvement(0.5, 0.04, 0.6);
+        let e2 = expected_improvement(0.7, 0.04, 0.6);
+        assert!(e2 > e1, "{e2} !> {e1}");
+        assert!(e1 > 0.0, "EI is positive whenever σ > 0");
+    }
+
+    #[test]
+    fn ei_grows_with_uncertainty_below_incumbent() {
+        // when mean < best, more variance ⇒ more expected improvement
+        let low = expected_improvement(0.4, 0.01, 0.6);
+        let high = expected_improvement(0.4, 0.25, 0.6);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn degenerate_variance_falls_back_to_relu() {
+        assert!((expected_improvement(0.7, 0.0, 0.6) - 0.1).abs() < 1e-6);
+        assert_eq!(expected_improvement(0.5, 0.0, 0.6), 0.0);
+    }
+}

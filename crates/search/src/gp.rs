@@ -1,0 +1,206 @@
+//! Gaussian-process regression (paper Eqs. 8–9).
+//!
+//! The GP estimates the AED accuracy of unevaluated settings from the `P`
+//! (growing to `Q`) evaluated ones, with the squared-exponential kernel
+//! `κ(x_i, x_j) = θ_f · exp(−‖x_i − x_j‖² / 2Θ²)`. Hyper-parameters use the
+//! standard heuristics: `Θ` = median pairwise distance of the inputs (the
+//! "median trick"), `θ_f` = variance of the observations; a diagonal jitter
+//! keeps the Cholesky factorization stable. The posterior mean/variance
+//! formulas are exactly the paper's Eq. 9.
+
+use crate::{Result, SearchError};
+use lightts_tensor::linalg::{dist_sq, Cholesky};
+use lightts_tensor::Tensor;
+
+/// A fitted Gaussian process mapping feature vectors to a scalar.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    x: Vec<Vec<f32>>,
+    y_mean: f32,
+    theta_f: f32,
+    length_scale: f32,
+    chol: Cholesky,
+    alpha: Vec<f32>,
+}
+
+impl GaussianProcess {
+    /// Fits a GP on inputs `x` and targets `y`.
+    pub fn fit(x: Vec<Vec<f32>>, y: &[f32]) -> Result<Self> {
+        if x.is_empty() || x.len() != y.len() {
+            return Err(SearchError::BadConfig {
+                what: format!("GP fit: {} inputs vs {} targets", x.len(), y.len()),
+            });
+        }
+        let d = x[0].len();
+        if d == 0 || x.iter().any(|xi| xi.len() != d) {
+            return Err(SearchError::BadConfig { what: "GP fit: ragged inputs".into() });
+        }
+        let n = x.len();
+        let y_mean = y.iter().sum::<f32>() / n as f32;
+        let y_var = y.iter().map(|&v| (v - y_mean) * (v - y_mean)).sum::<f32>() / n as f32;
+        let theta_f = y_var.max(1e-4);
+
+        // median pairwise distance heuristic for the length scale
+        let mut dists: Vec<f32> = Vec::with_capacity(n * (n - 1) / 2);
+        for i in 0..n {
+            for j in (i + 1)..n {
+                dists.push(dist_sq(&x[i], &x[j]).sqrt());
+            }
+        }
+        dists.sort_by(|a, b| a.total_cmp(b));
+        let length_scale = if dists.is_empty() {
+            1.0
+        } else {
+            dists[dists.len() / 2].max(1e-3)
+        };
+
+        let kernel = |a: &[f32], b: &[f32]| -> f32 {
+            theta_f * (-dist_sq(a, b) / (2.0 * length_scale * length_scale)).exp()
+        };
+        let jitter = 1e-4 * theta_f;
+        let mut k = Tensor::zeros(&[n, n]);
+        for i in 0..n {
+            for j in 0..n {
+                let mut v = kernel(&x[i], &x[j]);
+                if i == j {
+                    v += jitter;
+                }
+                k.set(&[i, j], v)?;
+            }
+        }
+        let chol = cholesky_with_growing_jitter(&k, n, jitter)?;
+        let yc: Vec<f32> = y.iter().map(|&v| v - y_mean).collect();
+        let alpha = chol.solve(&yc)?;
+        Ok(GaussianProcess { x, y_mean, theta_f, length_scale, chol, alpha })
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// Whether the GP has no training points (never true after `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    #[inline]
+    fn kernel(&self, a: &[f32], b: &[f32]) -> f32 {
+        self.theta_f
+            * (-dist_sq(a, b) / (2.0 * self.length_scale * self.length_scale)).exp()
+    }
+
+    /// Posterior predictive mean and variance at `x_star` (paper Eq. 9).
+    pub fn predict(&self, x_star: &[f32]) -> Result<(f32, f32)> {
+        if x_star.len() != self.x[0].len() {
+            return Err(SearchError::BadConfig {
+                what: format!(
+                    "GP predict: input dim {} != trained dim {}",
+                    x_star.len(),
+                    self.x[0].len()
+                ),
+            });
+        }
+        let k_star: Vec<f32> = self.x.iter().map(|xi| self.kernel(x_star, xi)).collect();
+        let mean = self.y_mean
+            + k_star.iter().zip(self.alpha.iter()).map(|(&a, &b)| a * b).sum::<f32>();
+        // σ² = κ(x*,x*) − vᵀv with v = L⁻¹ k*
+        let v = self.chol.solve_lower(&k_star)?;
+        let var = (self.kernel(x_star, x_star) - v.iter().map(|&x| x * x).sum::<f32>())
+            .max(1e-9);
+        Ok((mean, var))
+    }
+}
+
+fn cholesky_with_growing_jitter(k: &Tensor, n: usize, base: f32) -> Result<Cholesky> {
+    let mut extra = 0.0f32;
+    for _ in 0..6 {
+        let mut kj = k.clone();
+        if extra > 0.0 {
+            for i in 0..n {
+                let v = kj.data()[i * n + i] + extra;
+                kj.data_mut()[i * n + i] = v;
+            }
+        }
+        match Cholesky::new(&kj) {
+            Ok(c) => return Ok(c),
+            Err(_) => extra = if extra == 0.0 { base.max(1e-6) } else { extra * 10.0 },
+        }
+    }
+    Err(SearchError::BadConfig { what: "GP kernel matrix is not factorizable".into() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_tensor::rng::seeded;
+    use rand::Rng;
+
+    #[test]
+    fn interpolates_training_points() {
+        let x = vec![vec![0.0f32], vec![1.0], vec![2.0], vec![3.0]];
+        let y = [0.0f32, 1.0, 0.0, -1.0];
+        let gp = GaussianProcess::fit(x.clone(), &y).unwrap();
+        for (xi, &yi) in x.iter().zip(y.iter()) {
+            let (m, v) = gp.predict(xi).unwrap();
+            assert!((m - yi).abs() < 0.05, "mean {m} vs {yi}");
+            assert!(v < 0.05, "variance at a training point should be small: {v}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let x = vec![vec![0.0f32], vec![1.0]];
+        let y = [0.5f32, 0.7];
+        let gp = GaussianProcess::fit(x, &y).unwrap();
+        let (_, v_near) = gp.predict(&[0.5]).unwrap();
+        let (_, v_far) = gp.predict(&[10.0]).unwrap();
+        assert!(v_far > v_near, "{v_far} !> {v_near}");
+    }
+
+    #[test]
+    fn far_prediction_reverts_to_mean() {
+        let x = vec![vec![0.0f32], vec![1.0]];
+        let y = [0.2f32, 0.8];
+        let gp = GaussianProcess::fit(x, &y).unwrap();
+        let (m, _) = gp.predict(&[100.0]).unwrap();
+        assert!((m - 0.5).abs() < 1e-3, "far mean {m} should be the prior mean");
+    }
+
+    #[test]
+    fn learns_smooth_function_better_than_mean_baseline() {
+        let mut rng = seeded(5);
+        let f = |x: f32| (x * 1.7).sin() * 0.4 + 0.5;
+        let xs: Vec<Vec<f32>> = (0..30).map(|_| vec![rng.gen_range(0.0f32..3.0)]).collect();
+        let ys: Vec<f32> = xs.iter().map(|x| f(x[0])).collect();
+        let gp = GaussianProcess::fit(xs, &ys).unwrap();
+        let mean = ys.iter().sum::<f32>() / ys.len() as f32;
+        let mut gp_err = 0.0f32;
+        let mut mean_err = 0.0f32;
+        for i in 0..50 {
+            let x = i as f32 * 3.0 / 50.0;
+            let (m, _) = gp.predict(&[x]).unwrap();
+            gp_err += (m - f(x)).abs();
+            mean_err += (mean - f(x)).abs();
+        }
+        assert!(gp_err < 0.5 * mean_err, "GP {gp_err} vs mean baseline {mean_err}");
+    }
+
+    #[test]
+    fn duplicate_points_do_not_break_factorization() {
+        let x = vec![vec![1.0f32, 2.0]; 5];
+        let y = [0.3f32; 5];
+        let gp = GaussianProcess::fit(x, &y).unwrap();
+        let (m, _) = gp.predict(&[1.0, 2.0]).unwrap();
+        assert!((m - 0.3).abs() < 0.05);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(GaussianProcess::fit(vec![], &[]).is_err());
+        assert!(GaussianProcess::fit(vec![vec![1.0]], &[1.0, 2.0]).is_err());
+        assert!(GaussianProcess::fit(vec![vec![1.0], vec![1.0, 2.0]], &[1.0, 2.0]).is_err());
+        let gp = GaussianProcess::fit(vec![vec![1.0]], &[0.5]).unwrap();
+        assert!(gp.predict(&[1.0, 2.0]).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! # lightts-search
+//!
+//! Problem Scenario 2 of LightTS (paper Section 3.3): given a search space
+//! of quantized student settings, identify the **Pareto frontier** of
+//! accuracy vs. model size by evaluating only a small number `Q` of
+//! settings with the expensive AED procedure.
+//!
+//! * [`space`] — the `(L_j, F_j, W_j)^B` search space of Eq. 5, setting
+//!   enumeration/sampling, and analytic model-size computation.
+//! * [`pareto`] — domination (Eq. 7), skyline computation (sort-scan and
+//!   block-nested-loop, after the cited skyline operator \[5\]), and
+//!   hypervolume for frontier comparison.
+//! * [`gp`] — Gaussian-process regression with the squared-exponential
+//!   kernel (Eqs. 8–9) on Cholesky solves.
+//! * [`acquisition`] — Expected Improvement over the β-scalarized joint
+//!   objective `g(x) = β·f(x) − (1−β)·Size(x)`.
+//! * [`encoder`] — the two-phase encoder of Algorithm 2: an autoencoder
+//!   trained on `R` unevaluated settings, fine-tuned with an accuracy
+//!   predictor on the `P` evaluated ones.
+//! * [`mobo`] — the full loop (Figure 11) in four variants: Random, MOBO on
+//!   the original/normalized space, and Encoded MOBO (single- or two-phase).
+//!
+//! The accuracy oracle is injected as a closure, so this crate stays
+//! independent of the distillation machinery; `lightts` (core) wires AED in.
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+
+pub mod acquisition;
+pub mod encoder;
+pub mod gp;
+pub mod mobo;
+pub mod pareto;
+pub mod space;
+
+pub use error::SearchError;
+pub use pareto::Evaluated;
+pub use space::{SearchSpace, StudentSetting};
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, SearchError>;

@@ -1,0 +1,352 @@
+//! Multi-objective Bayesian optimization (paper Section 3.3.3, Figure 11).
+//!
+//! The loop: evaluate `P` random settings with the (expensive) accuracy
+//! oracle, then repeat until `Q` evaluations — fit a GP on the evaluated
+//! settings' representations, draw a random scalarization weight `β`
+//! (\[29\]'s random-trade-off strategy), score a candidate pool with Expected
+//! Improvement on the joint objective `g(x) = β·f(x) − (1−β)·Size(x)`, and
+//! evaluate the winner. Four search variants reproduce the paper's
+//! comparisons:
+//!
+//! * [`SpaceRepr::Original`] — GP on raw `(L, F, W)` values (classic MOBO).
+//! * [`SpaceRepr::Normalized`] — GP on min-max-scaled values.
+//! * [`SpaceRepr::SingleEncoder`] — GP on an autoencoder latent (ablation).
+//! * [`SpaceRepr::TwoPhaseEncoder`] — GP on the accuracy-aligned latent
+//!   (the full Encoded MOBO).
+//!
+//! Plus [`random_search`], the no-model baseline of Figure 22/Table 6.
+
+use crate::acquisition::expected_improvement;
+use crate::encoder::{train_encoder, EncoderConfig, TwoPhaseEncoder};
+use crate::gp::GaussianProcess;
+use crate::pareto::{pareto_frontier, Evaluated};
+use crate::space::{SearchSpace, StudentSetting};
+use crate::{Result, SearchError};
+use lightts_tensor::rng::seeded;
+use rand::Rng;
+use std::collections::HashSet;
+use std::time::Instant;
+
+/// The setting representation the GP operates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpaceRepr {
+    /// Raw discrete values (the paper's problematic "original space").
+    Original,
+    /// Min-max normalized values.
+    Normalized,
+    /// Autoencoder latent without accuracy alignment (single phase).
+    SingleEncoder,
+    /// The full two-phase encoder latent (Encoded MOBO).
+    TwoPhaseEncoder,
+}
+
+impl SpaceRepr {
+    /// Display name matching the paper's Table 5 rows.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SpaceRepr::Original => "Original",
+            SpaceRepr::Normalized => "Normalized",
+            SpaceRepr::SingleEncoder => "Single Encoder",
+            SpaceRepr::TwoPhaseEncoder => "Two-phase Encoder",
+        }
+    }
+}
+
+/// MOBO configuration (paper: `P = 10`, `Q = 50`).
+#[derive(Debug, Clone, Copy)]
+pub struct MoboConfig {
+    /// Total accuracy evaluations `Q`.
+    pub q: usize,
+    /// Random initial evaluations `P`.
+    pub p_init: usize,
+    /// Candidate pool size scored per iteration.
+    pub candidates: usize,
+    /// Setting representation for the GP.
+    pub repr: SpaceRepr,
+    /// Encoder hyper-parameters (encoder representations only).
+    pub encoder: EncoderConfig,
+    /// Refresh (retrain) the encoder after this many new evaluations.
+    pub encoder_refresh: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MoboConfig {
+    fn default() -> Self {
+        MoboConfig {
+            q: 50,
+            p_init: 10,
+            candidates: 256,
+            repr: SpaceRepr::TwoPhaseEncoder,
+            encoder: EncoderConfig::default(),
+            encoder_refresh: 10,
+            seed: 0x30B0,
+        }
+    }
+}
+
+/// Result of a search run.
+#[derive(Debug, Clone)]
+pub struct MoboOutcome {
+    /// Every evaluated setting with accuracy and size, in evaluation order.
+    pub evaluated: Vec<Evaluated>,
+    /// The Pareto frontier of the evaluated set.
+    pub frontier: Vec<Evaluated>,
+    /// Wall-clock seconds spent (dominated by oracle calls).
+    pub seconds: f64,
+}
+
+fn call_oracle<F>(oracle: &mut F, setting: &StudentSetting) -> Result<f64>
+where
+    F: FnMut(&StudentSetting) -> std::result::Result<f64, String>,
+{
+    oracle(setting).map_err(|what| SearchError::Evaluator { what })
+}
+
+/// Pure random search: evaluate `q` distinct random settings.
+pub fn random_search<F>(space: &SearchSpace, mut oracle: F, q: usize, seed: u64) -> Result<MoboOutcome>
+where
+    F: FnMut(&StudentSetting) -> std::result::Result<f64, String>,
+{
+    space.validate()?;
+    let start = Instant::now();
+    let mut rng = seeded(seed);
+    let settings = space.sample_distinct(&mut rng, q);
+    let mut evaluated = Vec::with_capacity(settings.len());
+    for s in settings {
+        let accuracy = call_oracle(&mut oracle, &s)?;
+        let size_bits = space.size_bits(&s);
+        evaluated.push(Evaluated { setting: s, accuracy, size_bits });
+    }
+    let frontier = pareto_frontier(&evaluated);
+    Ok(MoboOutcome { evaluated, frontier, seconds: start.elapsed().as_secs_f64() })
+}
+
+struct ReprBuilder<'a> {
+    space: &'a SearchSpace,
+    repr: SpaceRepr,
+    encoder: Option<TwoPhaseEncoder>,
+}
+
+impl<'a> ReprBuilder<'a> {
+    fn needs_encoder(repr: SpaceRepr) -> bool {
+        matches!(repr, SpaceRepr::SingleEncoder | SpaceRepr::TwoPhaseEncoder)
+    }
+
+    fn refresh(
+        &mut self,
+        evaluated: &[Evaluated],
+        cfg: &MoboConfig,
+    ) -> Result<()> {
+        if !Self::needs_encoder(self.repr) {
+            return Ok(());
+        }
+        let pairs: Vec<(StudentSetting, f64)> =
+            evaluated.iter().map(|e| (e.setting.clone(), e.accuracy)).collect();
+        let with_predictor = self.repr == SpaceRepr::TwoPhaseEncoder;
+        self.encoder =
+            Some(train_encoder(self.space, &pairs, &cfg.encoder, with_predictor)?);
+        Ok(())
+    }
+
+    fn encode(&self, setting: &StudentSetting) -> Result<Vec<f32>> {
+        match self.repr {
+            SpaceRepr::Original => Ok(self.space.encode_raw(setting)),
+            SpaceRepr::Normalized => Ok(self.space.encode_normalized(setting)),
+            SpaceRepr::SingleEncoder | SpaceRepr::TwoPhaseEncoder => self
+                .encoder
+                .as_ref()
+                .ok_or_else(|| SearchError::BadConfig { what: "encoder not trained".into() })?
+                .encode(self.space, setting),
+        }
+    }
+}
+
+/// Runs (encoded) multi-objective Bayesian optimization.
+///
+/// The oracle returns the AED accuracy of a setting; errors are surfaced as
+/// [`SearchError::Evaluator`]. Returns all `Q` evaluations and their Pareto
+/// frontier.
+pub fn run_mobo<F>(space: &SearchSpace, mut oracle: F, cfg: &MoboConfig) -> Result<MoboOutcome>
+where
+    F: FnMut(&StudentSetting) -> std::result::Result<f64, String>,
+{
+    space.validate()?;
+    if cfg.p_init == 0 || cfg.q < cfg.p_init {
+        return Err(SearchError::BadConfig {
+            what: format!("need 0 < P ≤ Q, got P={} Q={}", cfg.p_init, cfg.q),
+        });
+    }
+    let start = Instant::now();
+    let mut rng = seeded(cfg.seed);
+    let max_size = space.max_size_bits() as f64;
+
+    // ----- initialization: P random evaluations -----
+    let mut evaluated: Vec<Evaluated> = Vec::with_capacity(cfg.q);
+    let mut seen: HashSet<StudentSetting> = HashSet::new();
+    for s in space.sample_distinct(&mut rng, cfg.p_init) {
+        let accuracy = call_oracle(&mut oracle, &s)?;
+        let size_bits = space.size_bits(&s);
+        seen.insert(s.clone());
+        evaluated.push(Evaluated { setting: s, accuracy, size_bits });
+    }
+
+    let mut reprs = ReprBuilder { space, repr: cfg.repr, encoder: None };
+    reprs.refresh(&evaluated, cfg)?;
+    let mut since_refresh = 0usize;
+
+    // ----- BO iterations -----
+    while evaluated.len() < cfg.q {
+        let xs: Vec<Vec<f32>> = evaluated
+            .iter()
+            .map(|e| reprs.encode(&e.setting))
+            .collect::<Result<_>>()?;
+        let ys: Vec<f32> = evaluated.iter().map(|e| e.accuracy as f32).collect();
+        let gp = GaussianProcess::fit(xs, &ys)?;
+
+        // random scalarization trade-off (PACE-style)
+        let beta: f32 = rng.gen_range(0.0..1.0);
+        let g_of = |acc: f32, size_bits: u64| -> f32 {
+            beta * acc - (1.0 - beta) * (size_bits as f64 / max_size) as f32
+        };
+        let best_g = evaluated
+            .iter()
+            .map(|e| g_of(e.accuracy as f32, e.size_bits))
+            .fold(f32::NEG_INFINITY, f32::max);
+
+        // candidate pool: unevaluated settings
+        let mut best_candidate: Option<(StudentSetting, f32)> = None;
+        let mut tried = 0usize;
+        while tried < cfg.candidates {
+            let s = space.random_setting(&mut rng);
+            tried += 1;
+            if seen.contains(&s) {
+                continue;
+            }
+            let z = reprs.encode(&s)?;
+            let (mu, var) = gp.predict(&z)?;
+            let g_mean = g_of(mu, space.size_bits(&s));
+            let g_var = beta * beta * var;
+            let ei = expected_improvement(g_mean, g_var, best_g);
+            if best_candidate.as_ref().is_none_or(|(_, b)| ei > *b) {
+                best_candidate = Some((s, ei));
+            }
+        }
+        let Some((chosen, _)) = best_candidate else {
+            break; // space exhausted
+        };
+
+        let accuracy = call_oracle(&mut oracle, &chosen)?;
+        let size_bits = space.size_bits(&chosen);
+        seen.insert(chosen.clone());
+        evaluated.push(Evaluated { setting: chosen, accuracy, size_bits });
+
+        since_refresh += 1;
+        if since_refresh >= cfg.encoder_refresh.max(1)
+            && ReprBuilder::needs_encoder(cfg.repr)
+        {
+            reprs.refresh(&evaluated, cfg)?;
+            since_refresh = 0;
+        }
+    }
+
+    let frontier = pareto_frontier(&evaluated);
+    Ok(MoboOutcome { evaluated, frontier, seconds: start.elapsed().as_secs_f64() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pareto::hypervolume;
+
+    fn space() -> SearchSpace {
+        SearchSpace::paper_default(1, 32, 5, 4)
+    }
+
+    /// Cheap synthetic oracle: accuracy rises with layers and bits with
+    /// diminishing returns — qualitatively like real students.
+    fn oracle(s: &StudentSetting) -> std::result::Result<f64, String> {
+        let layers: usize = s.0.iter().map(|b| b.0).sum();
+        let bits: u32 = s.0.iter().map(|b| u32::from(b.2)).sum();
+        let filt: usize = s.0.iter().map(|b| b.1).sum();
+        let acc = 1.0
+            - (-0.25 * layers as f64).exp() * 0.5
+            - (-0.05 * f64::from(bits)).exp() * 0.3
+            - (filt as f64 / 480.0 - 0.3).powi(2) * 0.2;
+        Ok(acc.clamp(0.0, 1.0))
+    }
+
+    fn quick_cfg(repr: SpaceRepr) -> MoboConfig {
+        MoboConfig {
+            q: 18,
+            p_init: 6,
+            candidates: 64,
+            repr,
+            encoder: EncoderConfig { epochs: 15, r_samples: 64, ..Default::default() },
+            encoder_refresh: 8,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn random_search_evaluates_q_settings() {
+        let sp = space();
+        let out = random_search(&sp, oracle, 12, 3).unwrap();
+        assert_eq!(out.evaluated.len(), 12);
+        assert!(!out.frontier.is_empty());
+        // frontier points must come from the evaluated set
+        for f in &out.frontier {
+            assert!(out.evaluated.iter().any(|e| e.setting == f.setting));
+        }
+    }
+
+    #[test]
+    fn mobo_runs_to_q_with_original_repr() {
+        let sp = space();
+        let out = run_mobo(&sp, oracle, &quick_cfg(SpaceRepr::Original)).unwrap();
+        assert_eq!(out.evaluated.len(), 18);
+        // no duplicate evaluations
+        let set: HashSet<_> = out.evaluated.iter().map(|e| e.setting.clone()).collect();
+        assert_eq!(set.len(), 18);
+    }
+
+    #[test]
+    fn encoded_mobo_runs_and_beats_or_matches_random_on_average() {
+        let sp = space();
+        let mobo = run_mobo(&sp, oracle, &quick_cfg(SpaceRepr::TwoPhaseEncoder)).unwrap();
+        let rand = random_search(&sp, oracle, 18, 5).unwrap();
+        let ref_size = sp.max_size_bits();
+        let hv_m = hypervolume(&mobo.frontier, ref_size);
+        let hv_r = hypervolume(&rand.frontier, ref_size);
+        // with a smooth oracle, guided search should not be much worse
+        assert!(hv_m > 0.6 * hv_r, "MOBO hv {hv_m} vs random hv {hv_r}");
+    }
+
+    #[test]
+    fn oracle_errors_propagate() {
+        let sp = space();
+        let failing = |_: &StudentSetting| Err::<f64, String>("boom".into());
+        let err = random_search(&sp, failing, 4, 1).unwrap_err();
+        assert!(matches!(err, SearchError::Evaluator { .. }));
+    }
+
+    #[test]
+    fn config_validation() {
+        let sp = space();
+        let mut cfg = quick_cfg(SpaceRepr::Original);
+        cfg.p_init = 0;
+        assert!(run_mobo(&sp, oracle, &cfg).is_err());
+        let mut cfg = quick_cfg(SpaceRepr::Original);
+        cfg.q = 2;
+        cfg.p_init = 6;
+        assert!(run_mobo(&sp, oracle, &cfg).is_err());
+    }
+
+    #[test]
+    fn repr_names_match_table5() {
+        assert_eq!(SpaceRepr::Original.as_str(), "Original");
+        assert_eq!(SpaceRepr::Normalized.as_str(), "Normalized");
+        assert_eq!(SpaceRepr::SingleEncoder.as_str(), "Single Encoder");
+        assert_eq!(SpaceRepr::TwoPhaseEncoder.as_str(), "Two-phase Encoder");
+    }
+}

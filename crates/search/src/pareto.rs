@@ -1,0 +1,204 @@
+//! Pareto domination and skyline computation (paper Section 3.3.2, Eq. 7).
+//!
+//! A setting dominates another when it is at least as good on both
+//! objectives (higher accuracy, smaller size) and strictly better on one.
+//! Two skyline algorithms are provided: the `O(n log n)` sort-scan used
+//! throughout the library, and the classic block-nested-loop operator of
+//! the cited skyline paper \[5\] — both must agree (property-tested), and the
+//! micro-benchmarks compare them.
+
+use crate::StudentSetting;
+
+/// A setting with its measured accuracy and computed size — the tuple `s`
+/// of paper Eq. 6.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluated {
+    /// The student setting `x`.
+    pub setting: StudentSetting,
+    /// AED-measured accuracy (validation).
+    pub accuracy: f64,
+    /// Model size in bits.
+    pub size_bits: u64,
+}
+
+/// Whether `a` dominates `b`: better or equal on both objectives and
+/// strictly better on at least one.
+pub fn dominates(a: &Evaluated, b: &Evaluated) -> bool {
+    let no_worse = a.accuracy >= b.accuracy && a.size_bits <= b.size_bits;
+    let strictly_better = a.accuracy > b.accuracy || a.size_bits < b.size_bits;
+    no_worse && strictly_better
+}
+
+/// Pareto frontier via sort-scan: sort by size ascending (accuracy
+/// descending as tie-break), then keep points that beat the running maximum
+/// accuracy. `O(n log n)`.
+pub fn pareto_frontier(points: &[Evaluated]) -> Vec<Evaluated> {
+    let mut sorted: Vec<&Evaluated> = points.iter().collect();
+    sorted.sort_by(|a, b| {
+        a.size_bits
+            .cmp(&b.size_bits)
+            .then(b.accuracy.total_cmp(&a.accuracy))
+    });
+    let mut out: Vec<Evaluated> = Vec::new();
+    let mut best_acc = f64::NEG_INFINITY;
+    for p in sorted {
+        if p.accuracy > best_acc {
+            out.push(p.clone());
+            best_acc = p.accuracy;
+        }
+    }
+    out
+}
+
+/// Pareto frontier via the block-nested-loop skyline operator (\[5\]): keep a
+/// window of incomparable points, evicting dominated ones. `O(n²)` worst
+/// case but cache-friendly and simple; used as the reference implementation.
+pub fn skyline_bnl(points: &[Evaluated]) -> Vec<Evaluated> {
+    let mut window: Vec<Evaluated> = Vec::new();
+    'outer: for p in points {
+        let mut i = 0;
+        while i < window.len() {
+            if dominates(&window[i], p) {
+                continue 'outer; // p is dominated: discard
+            }
+            if dominates(p, &window[i]) {
+                window.swap_remove(i); // p evicts a dominated point
+            } else {
+                i += 1;
+            }
+        }
+        // drop exact duplicates on both objectives
+        if !window
+            .iter()
+            .any(|w| w.accuracy == p.accuracy && w.size_bits == p.size_bits)
+        {
+            window.push(p.clone());
+        }
+    }
+    window.sort_by_key(|a| a.size_bits);
+    window
+}
+
+/// The best (highest-accuracy) frontier point within a size budget — the
+/// paper's device-selection query ("Device #1 with a memory constraint of
+/// 100K ⇒ Model U").
+pub fn best_under_budget(frontier: &[Evaluated], max_size_bits: u64) -> Option<&Evaluated> {
+    frontier
+        .iter()
+        .filter(|p| p.size_bits <= max_size_bits)
+        .max_by(|a, b| a.accuracy.total_cmp(&b.accuracy))
+}
+
+/// 2-D hypervolume of a frontier against a reference point
+/// `(ref_size_bits, ref_accuracy = 0)`: the area dominated by the frontier.
+/// Larger is better; used to compare Random vs. MOBO vs. Encoded MOBO
+/// frontiers quantitatively (paper Figure 22's visual comparison).
+pub fn hypervolume(frontier: &[Evaluated], ref_size_bits: u64) -> f64 {
+    let mut pts: Vec<&Evaluated> =
+        frontier.iter().filter(|p| p.size_bits <= ref_size_bits).collect();
+    pts.sort_by_key(|a| a.size_bits);
+    let mut hv = 0.0f64;
+    let mut prev_acc = 0.0f64;
+    let mut covered = 0u64;
+    for p in pts {
+        // area contributed right of this point at its accuracy level
+        let width = (ref_size_bits - p.size_bits) as f64;
+        let height = (p.accuracy - prev_acc).max(0.0);
+        hv += width * height;
+        prev_acc = prev_acc.max(p.accuracy);
+        covered = covered.max(p.size_bits);
+    }
+    let _ = covered;
+    hv
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(acc: f64, size: u64) -> Evaluated {
+        Evaluated { setting: StudentSetting(vec![(1, 10, 4)]), accuracy: acc, size_bits: size }
+    }
+
+    #[test]
+    fn domination_cases() {
+        assert!(dominates(&pt(0.9, 100), &pt(0.8, 100))); // more accurate, same size
+        assert!(dominates(&pt(0.8, 50), &pt(0.8, 100))); // same accuracy, smaller
+        assert!(dominates(&pt(0.9, 50), &pt(0.8, 100))); // better on both
+        assert!(!dominates(&pt(0.9, 200), &pt(0.8, 100))); // trade-off
+        assert!(!dominates(&pt(0.8, 100), &pt(0.8, 100))); // equal: no strict edge
+    }
+
+    #[test]
+    fn frontier_of_figure2_shape() {
+        // circles (frontier) and crosses (dominated), as in paper Figure 2
+        let pts = vec![
+            pt(0.60, 40),
+            pt(0.75, 80),  // "Model U"
+            pt(0.85, 130), // "Model V"
+            pt(0.70, 100), // dominated by U
+            pt(0.55, 60),  // dominated by the 40-size point? no: bigger & worse than U
+            pt(0.90, 200),
+        ];
+        let f = pareto_frontier(&pts);
+        let accs: Vec<f64> = f.iter().map(|p| p.accuracy).collect();
+        assert_eq!(accs, vec![0.60, 0.75, 0.85, 0.90]);
+    }
+
+    #[test]
+    fn frontier_is_sorted_and_monotone() {
+        let pts: Vec<Evaluated> =
+            (0..50).map(|i| pt((i as f64 * 7.3) % 1.0, (i * 13 % 97) as u64)).collect();
+        let f = pareto_frontier(&pts);
+        for w in f.windows(2) {
+            assert!(w[0].size_bits < w[1].size_bits);
+            assert!(w[0].accuracy < w[1].accuracy);
+        }
+    }
+
+    #[test]
+    fn bnl_agrees_with_sort_scan() {
+        let pts: Vec<Evaluated> = (0..200)
+            .map(|i| {
+                let x = (i * 37 % 101) as f64 / 101.0;
+                let s = (i * 53 % 89 + 1) as u64;
+                pt(x, s)
+            })
+            .collect();
+        let a = pareto_frontier(&pts);
+        let b = skyline_bnl(&pts);
+        let key = |v: &[Evaluated]| -> Vec<(u64, u64)> {
+            v.iter().map(|p| (p.size_bits, (p.accuracy * 1e9) as u64)).collect()
+        };
+        assert_eq!(key(&a), key(&b));
+    }
+
+    #[test]
+    fn budget_query_picks_best_fitting_model() {
+        let f = pareto_frontier(&[pt(0.6, 40), pt(0.75, 80), pt(0.85, 130)]);
+        // Device #1: budget 100 ⇒ the 80-size model ("Model U")
+        let u = best_under_budget(&f, 100).unwrap();
+        assert_eq!(u.size_bits, 80);
+        // Device #2: budget 140 ⇒ the 130-size model ("Model V")
+        let v = best_under_budget(&f, 140).unwrap();
+        assert_eq!(v.size_bits, 130);
+        // budget smaller than everything ⇒ none
+        assert!(best_under_budget(&f, 10).is_none());
+    }
+
+    #[test]
+    fn hypervolume_rewards_better_frontiers() {
+        let weak = pareto_frontier(&[pt(0.5, 100), pt(0.6, 200)]);
+        let strong = pareto_frontier(&[pt(0.7, 80), pt(0.8, 150)]);
+        let hv_w = hypervolume(&weak, 300);
+        let hv_s = hypervolume(&strong, 300);
+        assert!(hv_s > hv_w, "{hv_s} !> {hv_w}");
+        assert_eq!(hypervolume(&[], 300), 0.0);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_frontier() {
+        assert!(pareto_frontier(&[]).is_empty());
+        assert!(skyline_bnl(&[]).is_empty());
+    }
+}

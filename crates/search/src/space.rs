@@ -1,0 +1,348 @@
+//! The student-setting search space (paper Section 3.3.1, Eq. 5).
+//!
+//! A student setting assigns each of `B` blocks a tuple `(L_j, F_j, W_j)`:
+//! layers per block, first-layer filter length, and parameter bit-width. The
+//! full space has `(|L|·|F|·|W|)^B` settings (paper defaults: `(5·5·4)³ =
+//! 10⁶`), far too many to evaluate with AED — which is why the encoded MOBO
+//! of [`crate::mobo`] exists.
+
+use crate::{Result, SearchError};
+use lightts_models::inception::{BlockSpec, InceptionConfig};
+use rand::Rng;
+
+/// One point of the search space: per-block `(layers, filter_len, bits)`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StudentSetting(pub Vec<(usize, usize, u8)>);
+
+impl StudentSetting {
+    /// Number of blocks.
+    pub fn blocks(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Converts to the model configuration it denotes.
+    pub fn to_config(&self, space: &SearchSpace) -> InceptionConfig {
+        InceptionConfig {
+            blocks: self
+                .0
+                .iter()
+                .map(|&(l, f, w)| BlockSpec { layers: l, filter_len: f, bits: w })
+                .collect(),
+            filters: space.filters,
+            in_dims: space.in_dims,
+            in_len: space.in_len,
+            num_classes: space.num_classes,
+        }
+    }
+
+    /// Human-readable form, e.g. `(3,20,8)|(4,40,4)`.
+    pub fn display(&self) -> String {
+        self.0
+            .iter()
+            .map(|(l, f, w)| format!("({l},{f},{w})"))
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+}
+
+/// The search space: per-block choices plus the fixed student skeleton
+/// (filter count, input shape, classes) needed to cost a setting.
+#[derive(Debug, Clone)]
+pub struct SearchSpace {
+    /// Number of blocks `B` (fixed, per the paper).
+    pub blocks: usize,
+    /// Choices for layers per block `L` (paper: {1..5}).
+    pub layer_choices: Vec<usize>,
+    /// Choices for the first-layer filter length `F` (paper: {10..160}).
+    pub filter_choices: Vec<usize>,
+    /// Choices for the bit-width `W` (paper: {4, 8, 16, 32}).
+    pub bit_choices: Vec<u8>,
+    /// Convolution filters per layer (model width).
+    pub filters: usize,
+    /// Input dimensionality of the series.
+    pub in_dims: usize,
+    /// Series length.
+    pub in_len: usize,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl SearchSpace {
+    /// The paper's search space for a given dataset shape.
+    pub fn paper_default(
+        in_dims: usize,
+        in_len: usize,
+        num_classes: usize,
+        filters: usize,
+    ) -> Self {
+        SearchSpace {
+            blocks: 3,
+            layer_choices: vec![1, 2, 3, 4, 5],
+            filter_choices: vec![10, 20, 40, 80, 160],
+            bit_choices: vec![4, 8, 16, 32],
+            filters,
+            in_dims,
+            in_len,
+            num_classes,
+        }
+    }
+
+    /// Validates that every choice list is non-empty.
+    pub fn validate(&self) -> Result<()> {
+        if self.blocks == 0
+            || self.layer_choices.is_empty()
+            || self.filter_choices.is_empty()
+            || self.bit_choices.is_empty()
+        {
+            return Err(SearchError::BadConfig { what: "empty search-space dimension".into() });
+        }
+        Ok(())
+    }
+
+    /// Total number of settings `(|L|·|F|·|W|)^B`.
+    pub fn cardinality(&self) -> u128 {
+        let per_block =
+            (self.layer_choices.len() * self.filter_choices.len() * self.bit_choices.len()) as u128;
+        per_block.pow(self.blocks as u32)
+    }
+
+    /// Uniformly samples one setting.
+    pub fn random_setting<R: Rng>(&self, rng: &mut R) -> StudentSetting {
+        StudentSetting(
+            (0..self.blocks)
+                .map(|_| {
+                    (
+                        self.layer_choices[rng.gen_range(0..self.layer_choices.len())],
+                        self.filter_choices[rng.gen_range(0..self.filter_choices.len())],
+                        self.bit_choices[rng.gen_range(0..self.bit_choices.len())],
+                    )
+                })
+                .collect(),
+        )
+    }
+
+    /// Samples `n` *distinct* settings (falls back to fewer if the space is
+    /// smaller than `n`).
+    pub fn sample_distinct<R: Rng>(&self, rng: &mut R, n: usize) -> Vec<StudentSetting> {
+        use std::collections::HashSet;
+        let cap = self.cardinality().min(n as u128) as usize;
+        let mut seen = HashSet::with_capacity(cap);
+        let mut out = Vec::with_capacity(cap);
+        let mut attempts = 0usize;
+        while out.len() < cap && attempts < n * 200 {
+            attempts += 1;
+            let s = self.random_setting(rng);
+            if seen.insert(s.clone()) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    /// Model size in bits of a setting (paper: "counting the total bits").
+    pub fn size_bits(&self, setting: &StudentSetting) -> u64 {
+        setting.to_config(self).size_bits()
+    }
+
+    /// The size of the largest possible setting; used to normalize the size
+    /// term of the scalarized objective.
+    pub fn max_size_bits(&self) -> u64 {
+        let biggest = StudentSetting(vec![
+            (
+                *self.layer_choices.iter().max().expect("validated"),
+                *self.filter_choices.iter().max().expect("validated"),
+                *self.bit_choices.iter().max().expect("validated"),
+            );
+            self.blocks
+        ]);
+        self.size_bits(&biggest)
+    }
+
+    /// Raw encoding of a setting: the flat `(L, F, W)` values as `f32`
+    /// (the paper's problematic "original space").
+    pub fn encode_raw(&self, setting: &StudentSetting) -> Vec<f32> {
+        setting
+            .0
+            .iter()
+            .flat_map(|&(l, f, w)| [l as f32, f as f32, f32::from(w)])
+            .collect()
+    }
+
+    /// Min-max normalized encoding: each coordinate scaled to `[0, 1]` by
+    /// its choice range (Table 5's "Normalized" baseline).
+    pub fn encode_normalized(&self, setting: &StudentSetting) -> Vec<f32> {
+        let norm = |v: f32, choices: &[f32]| -> f32 {
+            let lo = choices.iter().copied().fold(f32::INFINITY, f32::min);
+            let hi = choices.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            if hi > lo {
+                (v - lo) / (hi - lo)
+            } else {
+                0.0
+            }
+        };
+        let lc: Vec<f32> = self.layer_choices.iter().map(|&x| x as f32).collect();
+        let fc: Vec<f32> = self.filter_choices.iter().map(|&x| x as f32).collect();
+        let wc: Vec<f32> = self.bit_choices.iter().map(|&x| f32::from(x)).collect();
+        setting
+            .0
+            .iter()
+            .flat_map(|&(l, f, w)| {
+                [norm(l as f32, &lc), norm(f as f32, &fc), norm(f32::from(w), &wc)]
+            })
+            .collect()
+    }
+
+    /// One-hot encoding (the input representation of the two-phase encoder):
+    /// per block, the concatenated indicator vectors of the three choices.
+    pub fn encode_onehot(&self, setting: &StudentSetting) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.onehot_len());
+        for &(l, f, w) in &setting.0 {
+            for &c in &self.layer_choices {
+                out.push(if c == l { 1.0 } else { 0.0 });
+            }
+            for &c in &self.filter_choices {
+                out.push(if c == f { 1.0 } else { 0.0 });
+            }
+            for &c in &self.bit_choices {
+                out.push(if c == w { 1.0 } else { 0.0 });
+            }
+        }
+        out
+    }
+
+    /// Length of the one-hot encoding.
+    pub fn onehot_len(&self) -> usize {
+        self.blocks
+            * (self.layer_choices.len() + self.filter_choices.len() + self.bit_choices.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_tensor::rng::seeded;
+
+    fn space() -> SearchSpace {
+        SearchSpace::paper_default(1, 64, 10, 8)
+    }
+
+    #[test]
+    fn cardinality_matches_paper() {
+        // (5 · 5 · 4)^3 = 10^6
+        assert_eq!(space().cardinality(), 1_000_000);
+    }
+
+    #[test]
+    fn random_settings_are_in_space() {
+        let sp = space();
+        let mut rng = seeded(1);
+        for _ in 0..100 {
+            let s = sp.random_setting(&mut rng);
+            assert_eq!(s.blocks(), 3);
+            for &(l, f, w) in &s.0 {
+                assert!(sp.layer_choices.contains(&l));
+                assert!(sp.filter_choices.contains(&f));
+                assert!(sp.bit_choices.contains(&w));
+            }
+        }
+    }
+
+    #[test]
+    fn sample_distinct_has_no_duplicates() {
+        let sp = space();
+        let mut rng = seeded(2);
+        let samples = sp.sample_distinct(&mut rng, 200);
+        assert_eq!(samples.len(), 200);
+        let set: std::collections::HashSet<_> = samples.iter().collect();
+        assert_eq!(set.len(), 200);
+    }
+
+    #[test]
+    fn sample_distinct_caps_at_cardinality() {
+        let sp = SearchSpace {
+            blocks: 1,
+            layer_choices: vec![1, 2],
+            filter_choices: vec![10],
+            bit_choices: vec![8],
+            filters: 4,
+            in_dims: 1,
+            in_len: 32,
+            num_classes: 2,
+        };
+        let mut rng = seeded(3);
+        let samples = sp.sample_distinct(&mut rng, 50);
+        assert_eq!(samples.len(), 2);
+    }
+
+    #[test]
+    fn size_monotone_in_bits_and_layers() {
+        let sp = space();
+        let base = StudentSetting(vec![(3, 40, 8); 3]);
+        let more_bits = StudentSetting(vec![(3, 40, 16); 3]);
+        let more_layers = StudentSetting(vec![(4, 40, 8); 3]);
+        assert!(sp.size_bits(&more_bits) > sp.size_bits(&base));
+        assert!(sp.size_bits(&more_layers) > sp.size_bits(&base));
+        assert!(sp.max_size_bits() >= sp.size_bits(&more_bits));
+    }
+
+    #[test]
+    fn paper_distance_example_reproduces_in_raw_space() {
+        // Paper Eq. 10: x1 = (4,40,8)³, x2 = (1,40,8)³, x3 = (4,40,16)³.
+        // In the raw space the bit-width difference dominates:
+        // ‖x1−x2‖ = √(3·3²) ≈ 5.19 < ‖x1−x3‖ = √(3·8²) ≈ 13.85.
+        let sp = space();
+        let x1 = sp.encode_raw(&StudentSetting(vec![(4, 40, 8); 3]));
+        let x2 = sp.encode_raw(&StudentSetting(vec![(1, 40, 8); 3]));
+        let x3 = sp.encode_raw(&StudentSetting(vec![(4, 40, 16); 3]));
+        let dist = |a: &[f32], b: &[f32]| {
+            a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum::<f32>().sqrt()
+        };
+        let d12 = dist(&x1, &x2);
+        let d13 = dist(&x1, &x3);
+        assert!((d12 - 5.19).abs() < 0.01, "d12 = {d12}");
+        assert!((d13 - 13.85).abs() < 0.01, "d13 = {d13}");
+        assert!(d12 < d13, "raw space misorders similarity, as the paper argues");
+    }
+
+    #[test]
+    fn normalized_encoding_is_unit_range() {
+        let sp = space();
+        let mut rng = seeded(4);
+        for _ in 0..20 {
+            let s = sp.random_setting(&mut rng);
+            for v in sp.encode_normalized(&s) {
+                assert!((0.0..=1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn onehot_encoding_shape_and_sum() {
+        let sp = space();
+        let s = StudentSetting(vec![(3, 20, 8); 3]);
+        let oh = sp.encode_onehot(&s);
+        assert_eq!(oh.len(), sp.onehot_len());
+        assert_eq!(oh.len(), 3 * (5 + 5 + 4));
+        // exactly 3 ones per block
+        let ones: f32 = oh.iter().sum();
+        assert_eq!(ones, 9.0);
+    }
+
+    #[test]
+    fn to_config_roundtrip() {
+        let sp = space();
+        let s = StudentSetting(vec![(3, 20, 8), (4, 40, 4), (2, 10, 16)]);
+        let cfg = s.to_config(&sp);
+        assert_eq!(cfg.blocks.len(), 3);
+        assert_eq!(cfg.blocks[1].filter_len, 40);
+        assert_eq!(cfg.blocks[2].bits, 16);
+        assert_eq!(s.display(), "(3,20,8)|(4,40,4)|(2,10,16)");
+    }
+
+    #[test]
+    fn validation_rejects_empty_dims() {
+        let mut sp = space();
+        sp.bit_choices.clear();
+        assert!(sp.validate().is_err());
+    }
+}

@@ -1,0 +1,175 @@
+//! Critical-difference grouping and a textual CD diagram.
+//!
+//! The paper's Figures 13–18 render methods on a rank axis with horizontal
+//! bars joining methods that are *not* statistically distinguishable after
+//! the Wilcoxon–Holm procedure. This module computes those groups
+//! ("cliques") and renders an ASCII approximation the experiment binaries
+//! print.
+
+use crate::ranks::average_ranks;
+use crate::wilcoxon::{holm_correction, wilcoxon_signed_rank};
+use crate::{Result, StatsError};
+
+/// A maximal set of methods whose pairwise differences are all
+/// non-significant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Clique {
+    /// Method indices, ordered by average rank (best first).
+    pub members: Vec<usize>,
+}
+
+/// Computes average ranks and non-significance cliques from a
+/// `methods × datasets` score matrix (higher = better).
+///
+/// Returns `(average_ranks, cliques)`. Cliques are computed greedily over
+/// the rank ordering: a maximal run of consecutively-ranked methods whose
+/// pairwise Holm-adjusted Wilcoxon p-values all exceed `alpha` forms one
+/// bar; runs fully contained in another are dropped — exactly how standard
+/// CD diagrams are drawn.
+pub fn cd_cliques(scores: &[Vec<f64>], alpha: f64) -> Result<(Vec<f64>, Vec<Clique>)> {
+    let k = scores.len();
+    if k < 2 {
+        return Err(StatsError::BadInput { what: "need at least 2 methods".into() });
+    }
+    let avg = average_ranks(scores)?;
+
+    // pairwise raw p-values
+    let mut pairs = Vec::with_capacity(k * (k - 1) / 2);
+    let mut raw = Vec::with_capacity(k * (k - 1) / 2);
+    for i in 0..k {
+        for j in (i + 1)..k {
+            let r = wilcoxon_signed_rank(&scores[i], &scores[j])?;
+            pairs.push((i, j));
+            raw.push(r.p_value);
+        }
+    }
+    let adjusted = holm_correction(&raw);
+    let mut non_sig = vec![vec![false; k]; k];
+    for ((i, j), &p) in pairs.iter().zip(adjusted.iter()) {
+        let ns = p > alpha;
+        non_sig[*i][*j] = ns;
+        non_sig[*j][*i] = ns;
+    }
+
+    // order methods by average rank
+    let mut order: Vec<usize> = (0..k).collect();
+    order.sort_by(|&a, &b| avg[a].total_cmp(&avg[b]));
+
+    // maximal runs of consecutive methods that are mutually non-significant
+    let mut cliques: Vec<Clique> = Vec::new();
+    for start in 0..k {
+        let mut end = start;
+        'grow: while end + 1 < k {
+            let cand = order[end + 1];
+            for &m in &order[start..=end] {
+                if !non_sig[m][cand] {
+                    break 'grow;
+                }
+            }
+            end += 1;
+        }
+        if end > start {
+            let members: Vec<usize> = order[start..=end].to_vec();
+            // drop runs contained in an existing maximal run
+            if !cliques.iter().any(|c| members.iter().all(|m| c.members.contains(m))) {
+                cliques.push(Clique { members });
+            }
+        }
+    }
+    Ok((avg, cliques))
+}
+
+/// Renders a simple textual critical-difference diagram: one line per
+/// method (best rank first) and one line per clique bar.
+pub fn render_cd_diagram(names: &[&str], avg_ranks: &[f64], cliques: &[Clique]) -> String {
+    let mut order: Vec<usize> = (0..names.len()).collect();
+    order.sort_by(|&a, &b| avg_ranks[a].total_cmp(&avg_ranks[b]));
+    let mut out = String::new();
+    out.push_str("rank  method\n");
+    for &i in &order {
+        out.push_str(&format!("{:>5.2}  {}\n", avg_ranks[i], names[i]));
+    }
+    for (ci, c) in cliques.iter().enumerate() {
+        let members: Vec<&str> = c.members.iter().map(|&m| names[m]).collect();
+        out.push_str(&format!("group {}: {{{}}}\n", ci + 1, members.join(", ")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mix(x: u64) -> f64 {
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % 10_000) as f64 / 10_000.0
+    }
+
+    /// Two clearly separated methods + one statistically tied pair.
+    fn scores() -> Vec<Vec<f64>> {
+        let n = 20;
+        vec![
+            (0..n).map(|i| 0.90 + mix(i as u64) * 0.02).collect(),
+            (0..n).map(|i| 0.90 + mix(1_000 + i as u64) * 0.02).collect(), // ties with 0
+            (0..n).map(|i| 0.60 + mix(2_000 + i as u64) * 0.02).collect(),
+            (0..n).map(|i| 0.30 + mix(3_000 + i as u64) * 0.02).collect(),
+        ]
+    }
+
+    #[test]
+    fn tied_pair_forms_a_clique() {
+        let (avg, cliques) = cd_cliques(&scores(), 0.05).unwrap();
+        assert_eq!(avg.len(), 4);
+        // methods 0 and 1 are interleaved; 2 and 3 clearly worse
+        assert!(avg[0] < avg[2] && avg[1] < avg[2] && avg[2] < avg[3]);
+        // exactly one clique, containing methods 0 and 1
+        assert_eq!(cliques.len(), 1, "{cliques:?}");
+        let mut m = cliques[0].members.clone();
+        m.sort_unstable();
+        assert_eq!(m, vec![0, 1]);
+    }
+
+    #[test]
+    fn fully_separated_methods_have_no_cliques() {
+        let n = 25;
+        let scores: Vec<Vec<f64>> = (0..3)
+            .map(|m| (0..n).map(|i| 0.9 - 0.3 * m as f64 + i as f64 * 1e-4).collect())
+            .collect();
+        let (_, cliques) = cd_cliques(&scores, 0.05).unwrap();
+        assert!(cliques.is_empty(), "{cliques:?}");
+    }
+
+    #[test]
+    fn all_equivalent_methods_form_one_clique() {
+        let n = 10;
+        let scores: Vec<Vec<f64>> = (0..3u64)
+            .map(|m| (0..n).map(|i| 0.5 + mix(m * 500 + i as u64) * 0.05).collect())
+            .collect();
+        let (_, cliques) = cd_cliques(&scores, 0.05).unwrap();
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0].members.len(), 3);
+    }
+
+    #[test]
+    fn render_contains_all_names_sorted() {
+        let (avg, cliques) = cd_cliques(&scores(), 0.05).unwrap();
+        let names = ["A", "B", "C", "D"];
+        let s = render_cd_diagram(&names, &avg, &cliques);
+        for n in names {
+            assert!(s.contains(n));
+        }
+        assert!(s.contains("group 1"));
+        // best-ranked method appears before worst
+        let pa = s.find('A').unwrap().min(s.find('B').unwrap());
+        let pd = s.find('D').unwrap();
+        assert!(pa < pd);
+    }
+
+    #[test]
+    fn needs_two_methods() {
+        assert!(cd_cliques(&[vec![1.0, 2.0]], 0.05).is_err());
+    }
+}

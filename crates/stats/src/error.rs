@@ -1,0 +1,34 @@
+//! Error type for statistical tests.
+
+use std::fmt;
+
+/// Errors produced by the statistical tests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StatsError {
+    /// Input matrices/vectors had inconsistent or insufficient shape.
+    BadInput {
+        /// Description of the problem.
+        what: String,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadInput { what } => write!(f, "bad statistical input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = StatsError::BadInput { what: "too few datasets".into() };
+        assert!(e.to_string().contains("too few"));
+    }
+}

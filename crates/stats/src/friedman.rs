@@ -1,0 +1,134 @@
+//! The Friedman omnibus test (\[20\] in the paper).
+//!
+//! Tests the null hypothesis that all `k` methods perform equivalently over
+//! `n` datasets, using the χ² approximation of the Friedman statistic with
+//! the standard tie correction. The paper applies it before the
+//! Wilcoxon–Holm post-hoc procedure in every ranking figure.
+
+use crate::ranks::{check_matrix, rank_slice};
+use crate::special::chi2_sf;
+use crate::Result;
+
+/// Outcome of the Friedman test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FriedmanResult {
+    /// The χ²-distributed statistic.
+    pub statistic: f64,
+    /// Degrees of freedom `k − 1`.
+    pub df: f64,
+    /// Two-sided p-value from the χ² tail.
+    pub p_value: f64,
+    /// Average rank per method (1 = best).
+    pub average_ranks: Vec<f64>,
+}
+
+/// Runs the Friedman test on a `methods × datasets` score matrix where
+/// higher scores are better.
+pub fn friedman_test(scores: &[Vec<f64>]) -> Result<FriedmanResult> {
+    let (k, n) = check_matrix(scores)?;
+    let mut rank_sums = vec![0.0f64; k];
+    let mut column = vec![0.0f64; k];
+    // tie correction accumulator: Σ over datasets of Σ (t³ − t)
+    let mut tie_term = 0.0f64;
+    for d in 0..n {
+        for (m, row) in scores.iter().enumerate() {
+            column[m] = row[d];
+        }
+        let ranks = rank_slice(&column);
+        for (s, r) in rank_sums.iter_mut().zip(ranks.iter()) {
+            *s += r;
+        }
+        // count tie group sizes in this column
+        let mut sorted = column.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let mut i = 0usize;
+        while i < k {
+            let mut j = i;
+            while j + 1 < k && sorted[j + 1] == sorted[i] {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            tie_term += t * t * t - t;
+            i = j + 1;
+        }
+    }
+    let kf = k as f64;
+    let nf = n as f64;
+    let sum_r2: f64 = rank_sums.iter().map(|&r| r * r).sum();
+    // tie-corrected form: χ² = [12 Σ R²/(nk(k+1)) − 3n(k+1)] / (1 − T/(nk(k²−1)))
+    let chi_uncorrected = 12.0 / (nf * kf * (kf + 1.0)) * sum_r2 - 3.0 * nf * (kf + 1.0);
+    let correction = 1.0 - tie_term / (nf * kf * (kf * kf - 1.0));
+    let statistic = if correction > 1e-12 {
+        chi_uncorrected / correction
+    } else {
+        0.0 // all columns fully tied: no evidence against the null
+    };
+    let df = kf - 1.0;
+    let p_value = chi2_sf(statistic.max(0.0), df);
+    let average_ranks = rank_sums.iter().map(|&r| r / nf).collect();
+    Ok(FriedmanResult { statistic: statistic.max(0.0), df, p_value, average_ranks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_separation_rejects_null() {
+        // method 0 always best, method 2 always worst, 10 datasets
+        let scores = vec![
+            (0..10).map(|i| 0.9 + (i as f64) * 1e-3).collect::<Vec<_>>(),
+            (0..10).map(|i| 0.6 + (i as f64) * 1e-3).collect(),
+            (0..10).map(|i| 0.3 + (i as f64) * 1e-3).collect(),
+        ];
+        let r = friedman_test(&scores).unwrap();
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+        assert_eq!(r.average_ranks, vec![1.0, 2.0, 3.0]);
+        assert_eq!(r.df, 2.0);
+    }
+
+    #[test]
+    fn identical_methods_do_not_reject() {
+        let row: Vec<f64> = (0..8).map(|i| 0.5 + i as f64 * 0.01).collect();
+        let scores = vec![row.clone(), row.clone(), row];
+        let r = friedman_test(&scores).unwrap();
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+        assert!(r.statistic.abs() < 1e-9);
+    }
+
+    #[test]
+    fn matches_textbook_example() {
+        // Classic example (Conover): 3 treatments, 4 blocks.
+        // Data arranged so ranks are clean.
+        let scores = vec![
+            vec![9.0, 9.5, 5.0, 7.5],
+            vec![7.0, 6.5, 7.0, 5.5],
+            vec![6.0, 8.0, 4.0, 4.0],
+        ];
+        let r = friedman_test(&scores).unwrap();
+        // hand-computed: ranks per block (higher better):
+        // b1: 1,2,3 ; b2: 1,3,2 ; b3: 2,1,3 ; b4: 1,2,3
+        // R = [5, 8, 11]; χ² = 12/(4·3·4)·(25+64+121) − 3·4·4 = 52.5 − 48 = 4.5
+        assert!((r.statistic - 4.5).abs() < 1e-9, "stat {}", r.statistic);
+        assert!((r.p_value - chi2_sf(4.5, 2.0)).abs() < 1e-12);
+    }
+
+    fn mix(x: u64) -> f64 {
+        // splitmix64 finalizer as a deterministic noise source
+        let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z % 10_000) as f64 / 10_000.0
+    }
+
+    #[test]
+    fn random_noise_usually_retains_null() {
+        // deterministic well-mixed noise, no real differences
+        let scores: Vec<Vec<f64>> = (0..4)
+            .map(|m| (0..20).map(|d| mix((m * 1_000 + d) as u64)).collect())
+            .collect();
+        let r = friedman_test(&scores).unwrap();
+        assert!(r.p_value > 0.01, "p = {}", r.p_value);
+    }
+}

@@ -1,0 +1,46 @@
+//! # lightts-stats
+//!
+//! The statistical testing machinery of the LightTS evaluation (paper
+//! Section 4.1.2 and Figures 13–18): the Friedman omnibus test over method
+//! rankings across datasets, Wilcoxon signed-rank post-hoc comparisons with
+//! Holm correction, and critical-difference grouping (the clusters drawn as
+//! horizontal bars in the paper's CD diagrams).
+//!
+//! All special functions (log-gamma, regularized incomplete gamma for the
+//! χ² tail, the normal CDF) are implemented here — no external statistics
+//! crates.
+//!
+//! ```
+//! use lightts_stats::{average_ranks, friedman_test};
+//!
+//! // 3 methods × 4 datasets, higher is better
+//! let scores = vec![
+//!     vec![0.9, 0.8, 0.95, 0.85],  // method A: always best
+//!     vec![0.7, 0.6, 0.80, 0.70],
+//!     vec![0.5, 0.4, 0.60, 0.55],
+//! ];
+//! let ranks = average_ranks(&scores).unwrap();
+//! assert_eq!(ranks, vec![1.0, 2.0, 3.0]);
+//! let f = friedman_test(&scores).unwrap();
+//! assert!(f.p_value < 0.05);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod cd;
+mod error;
+mod friedman;
+mod ranks;
+mod special;
+mod wilcoxon;
+
+pub use cd::{cd_cliques, render_cd_diagram, Clique};
+pub use error::StatsError;
+pub use friedman::{friedman_test, FriedmanResult};
+pub use ranks::{average_ranks, rank_slice};
+pub use special::{chi2_sf, ln_gamma, normal_cdf};
+pub use wilcoxon::{holm_correction, wilcoxon_signed_rank, WilcoxonResult};
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, StatsError>;

@@ -1,0 +1,114 @@
+//! Ranking utilities: per-dataset ranks with ties, and average ranks across
+//! datasets (the x-axis of the paper's critical-difference diagrams).
+
+use crate::{Result, StatsError};
+
+/// Ranks a slice where **higher values are better**: the best value gets
+/// rank 1. Ties receive the average of the ranks they span (standard
+/// fractional ranking, as the Friedman test requires).
+pub fn rank_slice(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[b].total_cmp(&values[a])); // descending
+    let mut ranks = vec![0.0f64; n];
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // positions i..=j share the average rank
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Validates a `methods × datasets` score matrix.
+pub(crate) fn check_matrix(scores: &[Vec<f64>]) -> Result<(usize, usize)> {
+    let k = scores.len();
+    if k < 2 {
+        return Err(StatsError::BadInput { what: "need at least 2 methods".into() });
+    }
+    let n = scores[0].len();
+    if n == 0 {
+        return Err(StatsError::BadInput { what: "need at least 1 dataset".into() });
+    }
+    if scores.iter().any(|row| row.len() != n) {
+        return Err(StatsError::BadInput { what: "ragged score matrix".into() });
+    }
+    Ok((k, n))
+}
+
+/// Average rank of each method over all datasets, from a
+/// `methods × datasets` score matrix where higher scores are better.
+///
+/// This is the paper's ranking procedure: "methods are ranked according to
+/// the pairwise comparison of accuracy for every set …, then the average
+/// rank across all the data sets … is computed" (Figure 13).
+pub fn average_ranks(scores: &[Vec<f64>]) -> Result<Vec<f64>> {
+    let (k, n) = check_matrix(scores)?;
+    let mut avg = vec![0.0f64; k];
+    let mut column = vec![0.0f64; k];
+    for d in 0..n {
+        for (m, row) in scores.iter().enumerate() {
+            column[m] = row[d];
+        }
+        let ranks = rank_slice(&column);
+        for (a, r) in avg.iter_mut().zip(ranks.iter()) {
+            *a += r;
+        }
+    }
+    for a in &mut avg {
+        *a /= n as f64;
+    }
+    Ok(avg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_slice_basic() {
+        assert_eq!(rank_slice(&[0.9, 0.5, 0.7]), vec![1.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn rank_slice_ties_average() {
+        // two-way tie for first: ranks (1+2)/2 = 1.5 each
+        assert_eq!(rank_slice(&[0.9, 0.9, 0.5]), vec![1.5, 1.5, 3.0]);
+        // three-way tie: all rank 2
+        assert_eq!(rank_slice(&[0.4, 0.4, 0.4]), vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn rank_sums_are_invariant() {
+        // ranks always sum to k(k+1)/2
+        let ranks = rank_slice(&[0.1, 0.8, 0.8, 0.3, 0.5]);
+        let sum: f64 = ranks.iter().sum();
+        assert!((sum - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_ranks_identify_dominant_method() {
+        let scores = vec![
+            vec![0.9, 0.8, 0.7],
+            vec![0.5, 0.6, 0.5],
+            vec![0.1, 0.2, 0.6],
+        ];
+        let avg = average_ranks(&scores).unwrap();
+        assert_eq!(avg[0], 1.0);
+        assert!(avg[1] < avg[2]);
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert!(average_ranks(&[vec![1.0]]).is_err());
+        assert!(average_ranks(&[vec![1.0], vec![]]).is_err());
+        assert!(average_ranks(&[vec![1.0, 2.0], vec![1.0]]).is_err());
+    }
+}

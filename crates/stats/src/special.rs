@@ -1,0 +1,149 @@
+//! Special functions: log-gamma, the regularized incomplete gamma function
+//! (for the χ² survival function), and the normal CDF.
+//!
+//! Implementations follow the classic Numerical Recipes formulations
+//! (Lanczos approximation; series/continued-fraction split for the
+//! incomplete gamma), accurate to well beyond what p-value thresholds need.
+
+/// Natural log of the gamma function (Lanczos approximation, g=5, n=6).
+pub fn ln_gamma(x: f64) -> f64 {
+    const COEF: [f64; 6] = [
+        76.180_091_729_471_46,
+        -86.505_320_329_416_77,
+        24.014_098_240_830_91,
+        -1.231_739_572_450_155,
+        0.120_865_097_386_617_7e-2,
+        -0.539_523_938_495_3e-5,
+    ];
+    let mut y = x;
+    let tmp = x + 5.5;
+    let tmp = tmp - (x + 0.5) * tmp.ln();
+    let mut ser = 1.000_000_000_190_015f64;
+    for c in COEF {
+        y += 1.0;
+        ser += c / y;
+    }
+    -tmp + (2.506_628_274_631_000_5 * ser / x).ln()
+}
+
+/// Regularized lower incomplete gamma `P(a, x)`.
+fn gamma_p(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // series representation
+        let mut ap = a;
+        let mut sum = 1.0 / a;
+        let mut del = sum;
+        for _ in 0..200 {
+            ap += 1.0;
+            del *= x / ap;
+            sum += del;
+            if del.abs() < sum.abs() * 1e-12 {
+                break;
+            }
+        }
+        sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+    } else {
+        // continued fraction for Q(a, x), then P = 1 − Q
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / 1e-300;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..200 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < 1e-300 {
+                d = 1e-300;
+            }
+            c = b + an / c;
+            if c.abs() < 1e-300 {
+                c = 1e-300;
+            }
+            d = 1.0 / d;
+            let del = d * c;
+            h *= del;
+            if (del - 1.0).abs() < 1e-12 {
+                break;
+            }
+        }
+        let q = (-x + a * x.ln() - ln_gamma(a)).exp() * h;
+        1.0 - q
+    }
+}
+
+/// Survival function of the χ² distribution with `df` degrees of freedom:
+/// `P(X ≥ x)`.
+pub fn chi2_sf(x: f64, df: f64) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    (1.0 - gamma_p(df / 2.0, x / 2.0)).clamp(0.0, 1.0)
+}
+
+/// Standard normal cumulative distribution function (f64, via erf).
+pub fn normal_cdf(z: f64) -> f64 {
+    0.5 * (1.0 + erf(z / std::f64::consts::SQRT_2))
+}
+
+/// Error function (Abramowitz–Stegun 7.1.26 in f64).
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let poly = t
+        * (0.254_829_592
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_of_integers_matches_factorials() {
+        // Γ(n) = (n−1)!
+        assert!((ln_gamma(1.0)).abs() < 1e-10);
+        assert!((ln_gamma(2.0)).abs() < 1e-10);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-9);
+        assert!((ln_gamma(11.0) - 3_628_800f64.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chi2_sf_known_values() {
+        // χ²(df=1): P(X ≥ 3.841) ≈ 0.05
+        assert!((chi2_sf(3.841, 1.0) - 0.05).abs() < 1e-3);
+        // χ²(df=6): P(X ≥ 12.592) ≈ 0.05
+        assert!((chi2_sf(12.592, 6.0) - 0.05).abs() < 1e-3);
+        // χ²(df=10): median ≈ 9.342
+        assert!((chi2_sf(9.342, 10.0) - 0.5).abs() < 1e-3);
+        assert_eq!(chi2_sf(-1.0, 3.0), 1.0);
+    }
+
+    #[test]
+    fn chi2_sf_is_monotone_decreasing() {
+        let mut prev = 1.0;
+        for i in 1..30 {
+            let v = chi2_sf(i as f64, 5.0);
+            assert!(v <= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn normal_cdf_quantiles() {
+        assert!((normal_cdf(0.0) - 0.5).abs() < 1e-9);
+        assert!((normal_cdf(1.959_964) - 0.975).abs() < 1e-4);
+        assert!((normal_cdf(-1.644_854) - 0.05).abs() < 1e-4);
+    }
+}

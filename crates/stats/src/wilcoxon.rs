@@ -1,0 +1,175 @@
+//! Wilcoxon signed-rank test (\[50\]) with Holm correction (\[27\]).
+//!
+//! The paper's post-hoc procedure: after the Friedman test rejects, every
+//! method pair is compared with the Wilcoxon signed-rank test over the
+//! per-dataset scores, and the resulting p-values are Holm-adjusted to
+//! control the family-wise error rate.
+
+use crate::ranks::rank_slice;
+use crate::special::normal_cdf;
+use crate::{Result, StatsError};
+
+/// Outcome of a two-sided Wilcoxon signed-rank test.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WilcoxonResult {
+    /// The smaller of the positive/negative rank sums.
+    pub statistic: f64,
+    /// Normal-approximation z-score.
+    pub z: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Number of non-zero differences used.
+    pub n_effective: usize,
+}
+
+/// Two-sided Wilcoxon signed-rank test on paired samples.
+///
+/// Zero differences are dropped (the standard treatment); ties among
+/// absolute differences receive averaged ranks; the normal approximation
+/// includes the tie variance correction. With every pair tied the test
+/// returns `p = 1`.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<WilcoxonResult> {
+    if a.len() != b.len() {
+        return Err(StatsError::BadInput {
+            what: format!("paired lengths differ: {} vs {}", a.len(), b.len()),
+        });
+    }
+    if a.is_empty() {
+        return Err(StatsError::BadInput { what: "empty samples".into() });
+    }
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return Ok(WilcoxonResult { statistic: 0.0, z: 0.0, p_value: 1.0, n_effective: 0 });
+    }
+    // rank |d|, smallest = rank 1 ⇒ rank_slice ranks highest first, so rank
+    // the negated absolute values
+    let neg_abs: Vec<f64> = diffs.iter().map(|d| -d.abs()).collect();
+    let ranks = rank_slice(&neg_abs);
+    let mut w_plus = 0.0f64;
+    let mut w_minus = 0.0f64;
+    for (d, r) in diffs.iter().zip(ranks.iter()) {
+        if *d > 0.0 {
+            w_plus += r;
+        } else {
+            w_minus += r;
+        }
+    }
+    let statistic = w_plus.min(w_minus);
+    let nf = n as f64;
+    let mean = nf * (nf + 1.0) / 4.0;
+    // tie correction on the variance
+    let mut tie_term = 0.0f64;
+    let mut sorted: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    sorted.sort_by(|x, y| x.total_cmp(y));
+    let mut i = 0usize;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && sorted[j + 1] == sorted[i] {
+            j += 1;
+        }
+        let t = (j - i + 1) as f64;
+        tie_term += t * t * t - t;
+        i = j + 1;
+    }
+    let var = nf * (nf + 1.0) * (2.0 * nf + 1.0) / 24.0 - tie_term / 48.0;
+    if var <= 0.0 {
+        return Ok(WilcoxonResult { statistic, z: 0.0, p_value: 1.0, n_effective: n });
+    }
+    // continuity correction
+    let z = (statistic - mean + 0.5) / var.sqrt();
+    let p_value = (2.0 * normal_cdf(z)).clamp(0.0, 1.0);
+    Ok(WilcoxonResult { statistic, z, p_value, n_effective: n })
+}
+
+/// Holm step-down correction: returns adjusted p-values in the original
+/// order, enforcing monotonicity.
+pub fn holm_correction(p_values: &[f64]) -> Vec<f64> {
+    let m = p_values.len();
+    if m == 0 {
+        return Vec::new();
+    }
+    let mut order: Vec<usize> = (0..m).collect();
+    order.sort_by(|&i, &j| p_values[i].total_cmp(&p_values[j]));
+    let mut adjusted = vec![0.0f64; m];
+    let mut running_max = 0.0f64;
+    for (pos, &i) in order.iter().enumerate() {
+        let factor = (m - pos) as f64;
+        let adj = (p_values[i] * factor).min(1.0);
+        running_max = running_max.max(adj);
+        adjusted[i] = running_max;
+    }
+    adjusted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clear_difference_is_significant() {
+        let a: Vec<f64> = (0..15).map(|i| 0.8 + i as f64 * 0.001).collect();
+        let b: Vec<f64> = (0..15).map(|i| 0.5 + i as f64 * 0.001).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+        assert_eq!(r.n_effective, 15);
+        assert_eq!(r.statistic, 0.0); // all differences positive
+    }
+
+    #[test]
+    fn identical_samples_give_p_one() {
+        let a = vec![0.5, 0.6, 0.7];
+        let r = wilcoxon_signed_rank(&a, &a).unwrap();
+        assert_eq!(r.p_value, 1.0);
+        assert_eq!(r.n_effective, 0);
+    }
+
+    #[test]
+    fn symmetric_noise_is_not_significant() {
+        // alternating ±δ differences of equal magnitude
+        let a: Vec<f64> = (0..20).map(|i| 0.5 + if i % 2 == 0 { 0.01 } else { -0.01 }).collect();
+        let b = vec![0.5f64; 20];
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn test_is_symmetric_in_arguments() {
+        let a: Vec<f64> = (0..12).map(|i| (i as f64 * 0.37).sin() * 0.2 + 0.6).collect();
+        let b: Vec<f64> = (0..12).map(|i| (i as f64 * 0.53).cos() * 0.2 + 0.55).collect();
+        let r1 = wilcoxon_signed_rank(&a, &b).unwrap();
+        let r2 = wilcoxon_signed_rank(&b, &a).unwrap();
+        assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(wilcoxon_signed_rank(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn holm_adjusts_and_preserves_order() {
+        let p = vec![0.01, 0.04, 0.03, 0.005];
+        let adj = holm_correction(&p);
+        // sorted: 0.005·4, 0.01·3, 0.03·2, 0.04·1 → 0.02, 0.03, 0.06, 0.06
+        assert!((adj[3] - 0.02).abs() < 1e-12);
+        assert!((adj[0] - 0.03).abs() < 1e-12);
+        assert!((adj[2] - 0.06).abs() < 1e-12);
+        assert!((adj[1] - 0.06).abs() < 1e-12);
+        // monotone: adjusted order matches raw order
+        assert!(adj[3] <= adj[0] && adj[0] <= adj[2] && adj[2] <= adj[1]);
+    }
+
+    #[test]
+    fn holm_caps_at_one() {
+        let adj = holm_correction(&[0.9, 0.8]);
+        assert!(adj.iter().all(|&p| p <= 1.0));
+        assert!(holm_correction(&[]).is_empty());
+    }
+}

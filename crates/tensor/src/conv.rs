@@ -1,0 +1,278 @@
+//! 1-D convolution kernels shared by the forward pass and the autodiff tape.
+//!
+//! The InceptionTime classifier (paper Section 2.2) is built from 1-D
+//! convolutions with "same" zero padding: the output sequence has the same
+//! length as the input, matching the paper's `T^(i) = ∥_k T^(i-1) * F_k`
+//! formulation where per-layer outputs are concatenated channel-wise.
+//!
+//! Layout conventions:
+//! * input `x`: `[batch, in_channels, length]`
+//! * weight `w`: `[out_channels, in_channels, kernel]`
+//! * output `y`: `[batch, out_channels, length]`
+
+use crate::{Result, Tensor, TensorError};
+
+/// Padding for "same"-length convolution with a kernel of size `k`:
+/// `(pad_left, pad_right)`.
+///
+/// For odd kernels both sides get `k/2`; for even kernels the left side gets
+/// one less, matching common deep-learning framework behaviour.
+#[inline]
+pub fn same_padding(k: usize) -> (usize, usize) {
+    ((k - 1) / 2, k / 2)
+}
+
+fn check_conv_shapes(x: &Tensor, w: &Tensor) -> Result<(usize, usize, usize, usize, usize)> {
+    if x.rank() != 3 {
+        return Err(TensorError::RankMismatch { found: x.rank(), expected: 3, op: "conv1d(x)" });
+    }
+    if w.rank() != 3 {
+        return Err(TensorError::RankMismatch { found: w.rank(), expected: 3, op: "conv1d(w)" });
+    }
+    let (b, cin, l) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    let (cout, cin_w, k) = (w.dims()[0], w.dims()[1], w.dims()[2]);
+    if cin != cin_w {
+        return Err(TensorError::ShapeMismatch {
+            left: x.dims().to_vec(),
+            right: w.dims().to_vec(),
+            op: "conv1d",
+        });
+    }
+    if k == 0 || l == 0 {
+        return Err(TensorError::Empty { op: "conv1d" });
+    }
+    Ok((b, cin, l, cout, k))
+}
+
+/// Forward "same" 1-D convolution (actually cross-correlation, the deep
+/// learning convention): `y[b,co,t] = Σ_ci Σ_j x[b,ci,t+j-pl] · w[co,ci,j]`.
+pub fn conv1d_forward(x: &Tensor, w: &Tensor) -> Result<Tensor> {
+    let (b, cin, l, cout, k) = check_conv_shapes(x, w)?;
+    let (pl, _pr) = same_padding(k);
+    let xd = x.data();
+    let wd = w.data();
+    let mut y = vec![0.0f32; b * cout * l];
+    for bi in 0..b {
+        for co in 0..cout {
+            let y_off = (bi * cout + co) * l;
+            for ci in 0..cin {
+                let x_off = (bi * cin + ci) * l;
+                let w_off = (co * cin + ci) * k;
+                for j in 0..k {
+                    let wv = wd[w_off + j];
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    // t + j - pl in [0, l) ⇒ t in [pl - j, l + pl - j)
+                    let t_lo = pl.saturating_sub(j);
+                    let t_hi = (l + pl).saturating_sub(j).min(l);
+                    for t in t_lo..t_hi {
+                        y[y_off + t] += xd[x_off + t + j - pl] * wv;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(y, &[b, cout, l])
+}
+
+/// Gradient of the convolution output w.r.t. the input:
+/// `dx[b,ci,s] = Σ_co Σ_j dy[b,co,s-j+pl] · w[co,ci,j]`.
+pub fn conv1d_backward_input(dy: &Tensor, w: &Tensor, input_dims: &[usize]) -> Result<Tensor> {
+    if dy.rank() != 3 || input_dims.len() != 3 {
+        return Err(TensorError::RankMismatch {
+            found: dy.rank(),
+            expected: 3,
+            op: "conv1d_backward_input",
+        });
+    }
+    let (b, cin, l) = (input_dims[0], input_dims[1], input_dims[2]);
+    let (cout, _cin, k) = (w.dims()[0], w.dims()[1], w.dims()[2]);
+    let (pl, _pr) = same_padding(k);
+    let dyd = dy.data();
+    let wd = w.data();
+    let mut dx = vec![0.0f32; b * cin * l];
+    for bi in 0..b {
+        for co in 0..cout {
+            let dy_off = (bi * cout + co) * l;
+            for ci in 0..cin {
+                let dx_off = (bi * cin + ci) * l;
+                let w_off = (co * cin + ci) * k;
+                for j in 0..k {
+                    let wv = wd[w_off + j];
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    // s = t + j - pl with t in [0,l) ⇒ s in [j-pl, l+j-pl)
+                    let t_lo = pl.saturating_sub(j);
+                    let t_hi = (l + pl).saturating_sub(j).min(l);
+                    for t in t_lo..t_hi {
+                        dx[dx_off + t + j - pl] += dyd[dy_off + t] * wv;
+                    }
+                }
+            }
+        }
+    }
+    Tensor::from_vec(dx, &[b, cin, l])
+}
+
+/// Gradient of the convolution output w.r.t. the weights:
+/// `dw[co,ci,j] = Σ_b Σ_t dy[b,co,t] · x[b,ci,t+j-pl]`.
+pub fn conv1d_backward_weight(dy: &Tensor, x: &Tensor, weight_dims: &[usize]) -> Result<Tensor> {
+    if weight_dims.len() != 3 {
+        return Err(TensorError::RankMismatch {
+            found: weight_dims.len(),
+            expected: 3,
+            op: "conv1d_backward_weight",
+        });
+    }
+    let (cout, cin, k) = (weight_dims[0], weight_dims[1], weight_dims[2]);
+    let (b, _cin, l) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    let (pl, _pr) = same_padding(k);
+    let dyd = dy.data();
+    let xd = x.data();
+    let mut dw = vec![0.0f32; cout * cin * k];
+    for bi in 0..b {
+        for co in 0..cout {
+            let dy_off = (bi * cout + co) * l;
+            for ci in 0..cin {
+                let x_off = (bi * cin + ci) * l;
+                let w_off = (co * cin + ci) * k;
+                for (j, dwj) in dw[w_off..w_off + k].iter_mut().enumerate() {
+                    let t_lo = pl.saturating_sub(j);
+                    let t_hi = (l + pl).saturating_sub(j).min(l);
+                    let mut acc = 0.0f32;
+                    for t in t_lo..t_hi {
+                        acc += dyd[dy_off + t] * xd[x_off + t + j - pl];
+                    }
+                    *dwj += acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(dw, &[cout, cin, k])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    /// Brute-force reference convolution for validation.
+    fn conv_ref(x: &Tensor, w: &Tensor) -> Tensor {
+        let (b, cin, l) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+        let (cout, _, k) = (w.dims()[0], w.dims()[1], w.dims()[2]);
+        let (pl, _) = same_padding(k);
+        let mut y = Tensor::zeros(&[b, cout, l]);
+        for bi in 0..b {
+            for co in 0..cout {
+                for t in 0..l {
+                    let mut acc = 0.0;
+                    for ci in 0..cin {
+                        for j in 0..k {
+                            let s = t as isize + j as isize - pl as isize;
+                            if s >= 0 && (s as usize) < l {
+                                acc += x.get(&[bi, ci, s as usize]).unwrap()
+                                    * w.get(&[co, ci, j]).unwrap();
+                            }
+                        }
+                    }
+                    y.set(&[bi, co, t], acc).unwrap();
+                }
+            }
+        }
+        y
+    }
+
+    #[test]
+    fn same_padding_splits() {
+        assert_eq!(same_padding(1), (0, 0));
+        assert_eq!(same_padding(3), (1, 1));
+        assert_eq!(same_padding(4), (1, 2));
+        assert_eq!(same_padding(5), (2, 2));
+        assert_eq!(same_padding(40), (19, 20));
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // k=1, single channel, weight 1.0 ⇒ conv is the identity.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 4]).unwrap();
+        let w = Tensor::from_vec(vec![1.0], &[1, 1, 1]).unwrap();
+        let y = conv1d_forward(&x, &w).unwrap();
+        assert_eq!(y.data(), x.data());
+    }
+
+    #[test]
+    fn forward_matches_reference_various_kernels() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for &k in &[1usize, 2, 3, 5, 8] {
+            let x = Tensor::randn(&mut rng, &[2, 3, 11], 1.0);
+            let w = Tensor::randn(&mut rng, &[4, 3, k], 1.0);
+            let fast = conv1d_forward(&x, &w).unwrap();
+            let slow = conv_ref(&x, &w);
+            for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+                assert!((a - b).abs() < 1e-4, "k={k}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_larger_than_input_is_ok() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::randn(&mut rng, &[1, 1, 3], 1.0);
+        let w = Tensor::randn(&mut rng, &[2, 1, 7], 1.0);
+        let fast = conv1d_forward(&x, &w).unwrap();
+        let slow = conv_ref(&x, &w);
+        for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_input_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = Tensor::randn(&mut rng, &[1, 2, 6], 1.0);
+        let w = Tensor::randn(&mut rng, &[3, 2, 3], 1.0);
+        // loss = sum(conv(x, w)); dloss/dy = ones
+        let dy = Tensor::ones(&[1, 3, 6]);
+        let dx = conv1d_backward_input(&dy, &w, x.dims()).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fd = (conv1d_forward(&xp, &w).unwrap().sum()
+                - conv1d_forward(&xm, &w).unwrap().sum())
+                / (2.0 * eps);
+            assert!((dx.data()[i] - fd).abs() < 1e-2, "i={i}: {} vs {fd}", dx.data()[i]);
+        }
+    }
+
+    #[test]
+    fn backward_weight_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = Tensor::randn(&mut rng, &[2, 2, 5], 1.0);
+        let w = Tensor::randn(&mut rng, &[2, 2, 4], 1.0);
+        let dy = Tensor::ones(&[2, 2, 5]);
+        let dw = conv1d_backward_weight(&dy, &x, w.dims()).unwrap();
+        let eps = 1e-3f32;
+        for i in 0..w.len() {
+            let mut wp = w.clone();
+            wp.data_mut()[i] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[i] -= eps;
+            let fd = (conv1d_forward(&x, &wp).unwrap().sum()
+                - conv1d_forward(&x, &wm).unwrap().sum())
+                / (2.0 * eps);
+            assert!((dw.data()[i] - fd).abs() < 1e-2, "i={i}: {} vs {fd}", dw.data()[i]);
+        }
+    }
+
+    #[test]
+    fn rejects_channel_mismatch() {
+        let x = Tensor::zeros(&[1, 2, 4]);
+        let w = Tensor::zeros(&[1, 3, 3]);
+        assert!(conv1d_forward(&x, &w).is_err());
+    }
+}

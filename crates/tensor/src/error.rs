@@ -1,0 +1,116 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor construction, shape algebra, autodiff, and
+/// linear algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TensorError {
+    /// Two shapes that must agree do not.
+    ShapeMismatch {
+        /// Shape of the left-hand operand.
+        left: Vec<usize>,
+        /// Shape of the right-hand operand.
+        right: Vec<usize>,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// The number of data elements does not match the requested shape.
+    LengthMismatch {
+        /// Number of elements supplied.
+        len: usize,
+        /// Number of elements the shape requires.
+        expected: usize,
+    },
+    /// An operation required a tensor of a specific rank.
+    RankMismatch {
+        /// The rank that was found.
+        found: usize,
+        /// The rank that was expected.
+        expected: usize,
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+    /// An index was out of bounds for the tensor's shape.
+    IndexOutOfBounds {
+        /// The offending index.
+        index: Vec<usize>,
+        /// The tensor shape.
+        shape: Vec<usize>,
+    },
+    /// A tape [`Var`](crate::tape::Var) referred to a node that does not
+    /// exist on the tape (e.g. a variable from another tape).
+    InvalidVar {
+        /// The offending node id.
+        id: usize,
+        /// The number of nodes on the tape.
+        len: usize,
+    },
+    /// The matrix passed to Cholesky factorization was not positive definite.
+    NotPositiveDefinite {
+        /// The pivot index at which factorization failed.
+        pivot: usize,
+    },
+    /// A numeric argument was outside its legal domain.
+    InvalidArgument {
+        /// Description of the violated constraint.
+        what: &'static str,
+    },
+    /// An empty input was given to an operation that needs data.
+    Empty {
+        /// The operation that was attempted.
+        op: &'static str,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ShapeMismatch { left, right, op } => {
+                write!(f, "shape mismatch in {op}: {left:?} vs {right:?}")
+            }
+            Self::LengthMismatch { len, expected } => {
+                write!(f, "data length {len} does not match shape volume {expected}")
+            }
+            Self::RankMismatch { found, expected, op } => {
+                write!(f, "rank mismatch in {op}: found rank {found}, expected {expected}")
+            }
+            Self::IndexOutOfBounds { index, shape } => {
+                write!(f, "index {index:?} out of bounds for shape {shape:?}")
+            }
+            Self::InvalidVar { id, len } => {
+                write!(f, "tape variable {id} is invalid for tape of length {len}")
+            }
+            Self::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (failed at pivot {pivot})")
+            }
+            Self::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
+            Self::Empty { op } => write!(f, "empty input to {op}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            left: vec![2, 3],
+            right: vec![3, 2],
+            op: "add",
+        };
+        let s = e.to_string();
+        assert!(s.contains("add"));
+        assert!(s.contains("[2, 3]"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

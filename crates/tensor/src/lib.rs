@@ -1,0 +1,54 @@
+//! # lightts-tensor
+//!
+//! Dense `f32` tensors, a tape-based reverse-mode automatic-differentiation
+//! engine, and the small amount of linear algebra (Cholesky factorization,
+//! triangular solves) needed by the LightTS reproduction.
+//!
+//! The LightTS paper trains quantized InceptionTime students with
+//! back-propagation (Algorithm 1) and fits Gaussian processes for the encoded
+//! multi-objective Bayesian optimization (Section 3.3.3). Both substrates are
+//! provided here from scratch:
+//!
+//! * [`Tensor`] — an owned, contiguous, row-major `f32` n-d array with the
+//!   element-wise, reduction, and convolution kernels used by the neural
+//!   classifiers.
+//! * [`tape::Tape`] — a define-by-run autodiff tape. Every operation is an
+//!   explicit [`tape::Op`] variant with a hand-written backward rule, verified
+//!   against finite differences by property tests.
+//! * [`linalg`] — Cholesky decomposition and triangular solves for the GP
+//!   estimator.
+//! * [`quant`] — uniform quantization (paper Figure 4) shared by the
+//!   quantization-aware training op and the model-size accounting.
+//!
+//! # Example
+//!
+//! ```
+//! use lightts_tensor::{Tensor, tape::Tape};
+//!
+//! let mut tape = Tape::new();
+//! let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]).unwrap(), true);
+//! let y = tape.scale(x, 2.0).unwrap();
+//! let s = tape.sum(y).unwrap();
+//! let grads = tape.backward(s).unwrap();
+//! assert_eq!(grads.get(x).unwrap().data(), &[2.0, 2.0, 2.0]);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod conv;
+pub mod linalg;
+pub mod quant;
+pub mod rng;
+pub mod tape;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

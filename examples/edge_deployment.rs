@@ -1,0 +1,94 @@
+//! Edge deployment: pick the best model under a device storage budget.
+//!
+//! The paper's motivating scenario (Section 1): power-electronics edge
+//! devices with hard memory limits need the most accurate classifier that
+//! *fits*. This example runs Problem Scenario 2 — encoded multi-objective
+//! Bayesian optimization over student settings — and then answers two
+//! device queries from the resulting Pareto frontier, like Figure 2's
+//! "Device #1 (100K) → Model U, Device #2 (140K) → Model V".
+//!
+//! Run with: `cargo run --release --example edge_deployment`
+
+use lightts::prelude::*;
+use lightts::search::encoder::EncoderConfig;
+
+fn main() {
+    // Workload classification on a PE-like synthetic dataset: use the UWave
+    // analogue (multivariate, 8 classes) for variety.
+    let spec = lightts::data::archive::table1("UWave").expect("known dataset");
+    let splits = spec.generate(Scale::quick());
+    println!(
+        "dataset: {} — {} classes, {}-dimensional series",
+        splits.name(),
+        splits.num_classes(),
+        splits.train.dims()
+    );
+
+    // Teachers (kept small so the example runs in ~2 minutes).
+    let ens_cfg = EnsembleTrainConfig {
+        n_members: 4,
+        filters: 6,
+        inception: TrainConfig { epochs: 12, ..TrainConfig::default() },
+        ..EnsembleTrainConfig::default()
+    };
+    println!("training {} teachers…", ens_cfg.n_members);
+    let ensemble =
+        train_ensemble(BaseModelKind::InceptionTime, &splits.train, &ens_cfg).expect("teachers");
+    let teachers = TeacherProbs::compute(&ensemble, &splits).expect("teacher probs");
+
+    // Scenario 2: search the accuracy/size trade-off space.
+    let mut cfg = LightTsConfig { filters: 6, ..LightTsConfig::default() };
+    cfg.distill.aed.train.epochs = 10;
+    cfg.distill.aed.v = 4;
+    cfg.mobo = MoboConfig {
+        q: 12,
+        p_init: 4,
+        candidates: 128,
+        repr: SpaceRepr::TwoPhaseEncoder,
+        encoder: EncoderConfig { epochs: 40, r_samples: 384, ..EncoderConfig::default() },
+        encoder_refresh: 8,
+        seed: 7,
+    };
+    let lightts = LightTs::new(cfg);
+    let space = lightts.default_space(&splits);
+    println!(
+        "searching {} candidate settings with encoded MOBO ({} AED evaluations)…",
+        space.cardinality(),
+        lightts.config().mobo.q
+    );
+    let run = lightts.pareto_frontier(&splits, &teachers, &space).expect("search");
+    println!(
+        "evaluated {} settings in {:.1}s; frontier has {} points:",
+        run.stats.evaluations,
+        run.stats.oracle_seconds,
+        run.frontier().len()
+    );
+    println!("  setting                         accuracy  size");
+    for p in run.frontier() {
+        println!(
+            "  {:<30}  {:.3}     {:>7.1} KB",
+            p.setting.display(),
+            p.accuracy,
+            lightts::nn::size::bits_to_kb(p.size_bits)
+        );
+    }
+
+    // Device queries: the paper's Figure 2 selection.
+    let sizes: Vec<u64> = run.frontier().iter().map(|p| p.size_bits / 8).collect();
+    let mid = sizes.iter().sum::<u64>() / sizes.len().max(1) as u64;
+    for (device, budget_bytes) in [("Device #1", mid / 2), ("Device #2", mid * 2)] {
+        match lightts.select_for_budget(run.frontier(), budget_bytes) {
+            Some(p) => println!(
+                "{device} (budget {} KB): use {} — accuracy {:.3} at {:.1} KB",
+                budget_bytes / 1024,
+                p.setting.display(),
+                p.accuracy,
+                lightts::nn::size::bits_to_kb(p.size_bits)
+            ),
+            None => println!(
+                "{device} (budget {} KB): no frontier model fits; relax the budget",
+                budget_bytes / 1024
+            ),
+        }
+    }
+}

@@ -1,0 +1,59 @@
+//! Forecasting with AED — the paper's Section 3.2.1 extension.
+//!
+//! Replaces the cross-entropy term of the AED loss with mean squared error:
+//! an ensemble of convolutional forecasters teaches a small quantized
+//! forecaster, with the same bi-level teacher weighting and confident
+//! removal as classification.
+//!
+//! Run with: `cargo run --release --example forecast_distill`
+
+use lightts::data::forecast::{synthetic_series, windows_from_series};
+use lightts::distill::forecast::{
+    forecast_lightts, ForecastAedConfig, ForecastTeachers,
+};
+use lightts::models::forecaster::{ForecastConfig, Forecaster};
+use lightts::tensor::rng::seeded;
+
+fn main() {
+    // A long synthetic series with trend + two seasonalities.
+    let series = synthetic_series(1, 600, 0.08, 42);
+    let splits = windows_from_series("grid-load", &series, 24, 4, 2, 0.15, 0.15)
+        .expect("windowing");
+    println!(
+        "forecasting task: history {} → horizon {}, {} train / {} val / {} test windows",
+        splits.train.history(),
+        splits.train.horizon(),
+        splits.train.len(),
+        splits.validation.len(),
+        splits.test.len()
+    );
+
+    // Teacher ensemble: four full-precision forecasters, different seeds.
+    println!("training 4 teacher forecasters…");
+    let teachers: Vec<Forecaster> = (0..4)
+        .map(|i| {
+            let cfg = ForecastConfig::for_task(&splits.train, 6, 32);
+            let mut rng = seeded(100 + i);
+            let mut f = Forecaster::new(cfg, &mut rng).expect("teacher");
+            f.fit(&splits.train, 25, 0.01, 200 + i).expect("teacher training");
+            f
+        })
+        .collect();
+    for (i, t) in teachers.iter().enumerate() {
+        println!("  teacher {i}: test MSE {:.4}", t.mse_on(&splits.test).expect("eval"));
+    }
+    let tprobs = ForecastTeachers::compute(&teachers, &splits).expect("teacher predictions");
+
+    // Distill into an 8-bit student with forecast LightTS.
+    let student_cfg = ForecastConfig::for_task(&splits.train, 6, 8);
+    let aed = ForecastAedConfig { epochs: 20, v: 4, ..ForecastAedConfig::default() };
+    println!("distilling an 8-bit student (AED-MSE + teacher removal)…");
+    let result = forecast_lightts(&splits, &tprobs, &student_cfg, &aed).expect("distillation");
+    println!(
+        "student: validation MSE {:.4}, test MSE {:.4}, size {} KB",
+        result.val_mse,
+        result.student.mse_on(&splits.test).expect("eval"),
+        result.student.size_bits() / 8 / 1024
+    );
+    println!("final teacher weights: {:?}", result.weights);
+}

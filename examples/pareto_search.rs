@@ -1,0 +1,89 @@
+//! Comparing search strategies for the accuracy/size Pareto frontier.
+//!
+//! Reproduces the spirit of the paper's Figure 22 interactively: the same
+//! AED accuracy oracle explored by Random search, classic MOBO on the raw
+//! setting space, and Encoded MOBO on the two-phase latent — then compares
+//! the resulting frontiers by hypervolume.
+//!
+//! Run with: `cargo run --release --example pareto_search`
+
+use lightts::distill::aed::run_aed;
+use lightts::prelude::*;
+use lightts::search::encoder::EncoderConfig;
+use lightts::search::mobo::{random_search, run_mobo};
+use lightts::search::pareto::hypervolume;
+
+fn main() {
+    let spec = lightts::data::archive::table1("Crop").expect("known dataset");
+    let splits = spec.generate(Scale::quick());
+    println!("dataset: {} ({} classes)", splits.name(), splits.num_classes());
+
+    let ens_cfg = EnsembleTrainConfig {
+        n_members: 4,
+        filters: 6,
+        inception: TrainConfig { epochs: 12, ..TrainConfig::default() },
+        ..EnsembleTrainConfig::default()
+    };
+    let ensemble =
+        train_ensemble(BaseModelKind::InceptionTime, &splits.train, &ens_cfg).expect("teachers");
+    let teachers = TeacherProbs::compute(&ensemble, &splits).expect("teacher probs");
+
+    let space = SearchSpace::paper_default(
+        splits.train.dims(),
+        splits.train.series_len(),
+        splits.num_classes(),
+        6,
+    );
+    let aed = AedConfig {
+        train: StudentTrainOpts { epochs: 10, ..StudentTrainOpts::default() },
+        v: 4,
+        ..AedConfig::default()
+    };
+    let oracle = |s: &StudentSetting| -> Result<f64, String> {
+        run_aed(&splits, &teachers, &s.to_config(&space), &aed)
+            .map(|r| r.val_accuracy)
+            .map_err(|e| e.to_string())
+    };
+
+    let q = 10usize;
+    let base_mobo = MoboConfig {
+        q,
+        p_init: 4,
+        candidates: 128,
+        repr: SpaceRepr::Original,
+        encoder: EncoderConfig { epochs: 40, r_samples: 384, ..EncoderConfig::default() },
+        encoder_refresh: 8,
+        seed: 11,
+    };
+
+    println!("running Random / MOBO / Encoded MOBO with Q = {q} AED evaluations each…");
+    let random = random_search(&space, oracle, q, 11).expect("random");
+    let mobo = run_mobo(&space, oracle, &base_mobo).expect("mobo");
+    let encoded = run_mobo(
+        &space,
+        oracle,
+        &MoboConfig { repr: SpaceRepr::TwoPhaseEncoder, ..base_mobo },
+    )
+    .expect("encoded mobo");
+
+    let ref_size = space.max_size_bits();
+    println!("\nstrategy       frontier  hypervolume");
+    for (name, out) in
+        [("Random", &random), ("MOBO", &mobo), ("Encoded MOBO", &encoded)]
+    {
+        println!(
+            "{name:<14} {:>8}  {:.4e}",
+            out.frontier.len(),
+            hypervolume(&out.frontier, ref_size)
+        );
+    }
+    println!("\nEncoded MOBO frontier:");
+    for p in &encoded.frontier {
+        println!(
+            "  {:<30} acc {:.3} @ {:>7.1} KB",
+            p.setting.display(),
+            p.accuracy,
+            lightts::nn::size::bits_to_kb(p.size_bits)
+        );
+    }
+}

@@ -1,0 +1,77 @@
+//! Quickstart: compress an ensemble of time-series classifiers into one
+//! lightweight (8-bit) model with LightTS.
+//!
+//! This walks the paper's Problem Scenario 1 end-to-end on a small synthetic
+//! dataset: train a teacher ensemble, run adaptive ensemble distillation
+//! with confident teacher removal, and compare the student against the
+//! full-precision ensemble on held-out data.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use lightts::prelude::*;
+use lightts_bench_free::*;
+
+/// Tiny helpers so the example stays self-contained.
+mod lightts_bench_free {
+    use lightts::prelude::*;
+
+    /// Test-set accuracy of any classifier.
+    pub fn test_accuracy(clf: &dyn Classifier, splits: &Splits) -> f64 {
+        let probs = clf.predict_proba_dataset(&splits.test).expect("prediction");
+        accuracy(&probs, splits.test.labels()).expect("accuracy")
+    }
+}
+
+fn main() {
+    // 1. Data: the synthetic analogue of UCR's FaceAll (14 classes).
+    //    Scale::quick() keeps everything laptop-sized.
+    let spec = lightts::data::archive::table1("FaceAll").expect("known dataset");
+    let splits = spec.generate(Scale::quick());
+    println!(
+        "dataset: {} — {} classes, {} train / {} val / {} test series of length {}",
+        splits.name(),
+        splits.num_classes(),
+        splits.train.len(),
+        splits.validation.len(),
+        splits.test.len(),
+        splits.train.series_len()
+    );
+
+    // 2. Teachers: an ensemble of 5 InceptionTime base models with
+    //    decorrelated seeds (the paper uses 10).
+    let ens_cfg = EnsembleTrainConfig {
+        n_members: 5,
+        filters: 6,
+        inception: TrainConfig { epochs: 16, ..TrainConfig::default() },
+        ..EnsembleTrainConfig::default()
+    };
+    println!("training {} InceptionTime teachers…", ens_cfg.n_members);
+    let ensemble =
+        train_ensemble(BaseModelKind::InceptionTime, &splits.train, &ens_cfg).expect("teachers");
+    let ens_acc = test_accuracy(&ensemble, &splits);
+    println!("FP-Ensem test accuracy: {ens_acc:.3}");
+
+    // 3. LightTS: distill into an 8-bit student (3 blocks × 3 layers).
+    let mut cfg = LightTsConfig { filters: 6, ..LightTsConfig::default() };
+    cfg.distill.aed.train.epochs = 16;
+    cfg.distill.aed.v = 4;
+    let lightts = LightTs::new(cfg);
+    println!("distilling an 8-bit student with AED + confident teacher removal…");
+    let outcome = lightts.distill(&splits, &ensemble, 8).expect("distillation");
+
+    // 4. Compare.
+    let student_acc = test_accuracy(&outcome.student, &splits);
+    println!(
+        "LightTS student: test accuracy {:.3} (val {:.3}), kept teachers {:?}",
+        student_acc, outcome.val_accuracy, outcome.kept_teachers
+    );
+    println!(
+        "model size: student {} KB vs ensemble member count {} × full precision",
+        outcome.student.size_bits() / 8 / 1024,
+        ensemble.len()
+    );
+    println!(
+        "compression: the 8-bit student stores {} bits/parameter instead of 32",
+        8
+    );
+}

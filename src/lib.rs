@@ -1,0 +1,8 @@
+//! Umbrella crate for the LightTS reproduction workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`); the library itself lives in
+//! the [`lightts`] facade crate and its sub-crates. See `README.md` for the
+//! repository map and `DESIGN.md` for the paper-to-module inventory.
+
+pub use lightts;

@@ -1,0 +1,68 @@
+//! Deployment-path integration test: distill → export packed bytes → reload
+//! → identical inference. This is the edge-device story of the paper's
+//! introduction made concrete.
+
+use lightts::models::inception::InceptionTime;
+use lightts::nn::serialize;
+use lightts::prelude::*;
+use lightts_data::synth::{Generator, SynthConfig};
+
+fn splits(seed: u64) -> Splits {
+    let gen = Generator::new(
+        SynthConfig { classes: 3, dims: 1, length: 24, difficulty: 0.2, waveforms: 3 },
+        seed,
+    );
+    gen.splits("deploy", 36, 18, 18, seed + 1).unwrap()
+}
+
+#[test]
+fn distilled_student_survives_packed_export() {
+    let s = splits(700);
+    let ens_cfg = EnsembleTrainConfig { n_members: 2, ..EnsembleTrainConfig::default() };
+    let ensemble = train_ensemble(BaseModelKind::Forest, &s.train, &ens_cfg).unwrap();
+    let teachers = TeacherProbs::compute(&ensemble, &s).unwrap();
+    let cfg = InceptionConfig::student(1, 24, 3, 4, 4);
+    let mut opts = DistillOpts::default();
+    opts.aed.train.epochs = 6;
+    opts.aed.v = 3;
+    let out = run_method(Method::LightTs, &s, &teachers, &cfg, &opts).unwrap();
+
+    // export and reload
+    let bytes = out.student.save_bytes().unwrap();
+    let loaded = InceptionTime::load_bytes(&bytes).unwrap();
+
+    // the deployed model makes identical predictions
+    let batch = s.test.full_batch().unwrap();
+    let p_orig = out.student.predict_proba(&batch.inputs).unwrap();
+    let p_load = loaded.predict_proba(&batch.inputs).unwrap();
+    for (a, b) in p_orig.data().iter().zip(p_load.data().iter()) {
+        assert!((a - b).abs() < 1e-5);
+    }
+
+    // the wire size honors the 4-bit promise: conv/fc payload packs to
+    // ≈ bits/8 bytes per parameter, far below the f32 footprint
+    let n_params = out.student.store().num_scalars();
+    assert!(
+        bytes.len() < n_params * 4,
+        "packed export {}B should be well under the f32 footprint {}B",
+        bytes.len(),
+        n_params * 4
+    );
+}
+
+#[test]
+fn store_serialization_size_formula_is_exact() {
+    let s = splits(701);
+    let ens_cfg = EnsembleTrainConfig { n_members: 2, ..EnsembleTrainConfig::default() };
+    let ensemble = train_ensemble(BaseModelKind::Forest, &s.train, &ens_cfg).unwrap();
+    let teachers = TeacherProbs::compute(&ensemble, &s).unwrap();
+    let cfg = InceptionConfig::student(1, 24, 3, 4, 8);
+    let mut opts = DistillOpts::default();
+    opts.aed.train.epochs = 3;
+    let out = run_method(Method::ClassicKd, &s, &teachers, &cfg, &opts).unwrap();
+    let store = out.student.store();
+    let bytes = serialize::serialize_store(store).unwrap();
+    assert_eq!(bytes.len(), serialize::serialized_size(store));
+    let back = serialize::deserialize_store(&bytes).unwrap();
+    assert_eq!(back.size_bits(), store.size_bits());
+}

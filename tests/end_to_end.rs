@@ -1,0 +1,125 @@
+//! Cross-crate integration tests: both paper problem scenarios end-to-end
+//! on miniature fixtures (sized to stay fast in debug builds).
+
+use lightts::prelude::*;
+use lightts::search::encoder::EncoderConfig;
+use lightts_data::synth::{Generator, SynthConfig};
+
+fn tiny_splits(classes: usize, seed: u64) -> Splits {
+    let gen = Generator::new(
+        SynthConfig { classes, dims: 1, length: 24, difficulty: 0.15, waveforms: 3 },
+        seed,
+    );
+    gen.splits("e2e", 36, 18, 18, seed + 1).unwrap()
+}
+
+fn tiny_lightts() -> LightTs {
+    let mut cfg = LightTsConfig { filters: 4, ..LightTsConfig::default() };
+    cfg.distill.aed.train.epochs = 6;
+    cfg.distill.aed.train.batch_size = 12;
+    cfg.distill.aed.v = 3;
+    cfg.mobo = MoboConfig {
+        q: 5,
+        p_init: 2,
+        candidates: 24,
+        repr: SpaceRepr::Normalized,
+        encoder: EncoderConfig { epochs: 4, r_samples: 32, ..EncoderConfig::default() },
+        encoder_refresh: 10,
+        seed: 3,
+    };
+    LightTs::new(cfg)
+}
+
+fn tiny_ensemble(splits: &Splits, n: usize) -> Ensemble {
+    let cfg = EnsembleTrainConfig { n_members: n, ..EnsembleTrainConfig::default() };
+    train_ensemble(BaseModelKind::Forest, &splits.train, &cfg).unwrap()
+}
+
+#[test]
+fn scenario1_produces_a_working_quantized_student() {
+    let splits = tiny_splits(3, 500);
+    let ensemble = tiny_ensemble(&splits, 3);
+    let lt = tiny_lightts();
+
+    let outcome = lt.distill(&splits, &ensemble, 4).unwrap();
+    // the student classifies the test set (no panics, valid distributions)
+    let probs = outcome.student.predict_proba_dataset(&splits.test).unwrap();
+    assert_eq!(probs.dims(), &[splits.test.len(), 3]);
+    for r in 0..probs.dims()[0] {
+        let s: f32 = probs.row(r).unwrap().data().iter().sum();
+        assert!((s - 1.0).abs() < 1e-3);
+    }
+    // teacher bookkeeping is consistent
+    assert!(!outcome.kept_teachers.is_empty());
+    assert_eq!(outcome.teacher_weights.len(), 3);
+    // 4-bit student is smaller than the same structure at 32 bits
+    let cfg32 = InceptionConfig::student(1, 24, 3, 4, 32);
+    assert!(outcome.student.size_bits() * 4 < cfg32.size_bits() * 2);
+}
+
+#[test]
+fn scenario2_returns_a_consistent_frontier() {
+    let splits = tiny_splits(2, 501);
+    let ensemble = tiny_ensemble(&splits, 2);
+    let teachers = TeacherProbs::compute(&ensemble, &splits).unwrap();
+    let lt = tiny_lightts();
+    let mut space = lt.default_space(&splits);
+    space.blocks = 2;
+    space.layer_choices = vec![1, 2];
+    space.filter_choices = vec![8, 16];
+    space.bit_choices = vec![4, 8];
+
+    let run = lt.pareto_frontier(&splits, &teachers, &space).unwrap();
+    assert_eq!(run.stats.evaluations, 5);
+    let frontier = run.frontier();
+    assert!(!frontier.is_empty());
+    // frontier is strictly improving in both axes
+    for w in frontier.windows(2) {
+        assert!(w[0].size_bits < w[1].size_bits);
+        assert!(w[0].accuracy < w[1].accuracy);
+    }
+    // every frontier point is one of the evaluated points
+    for p in frontier {
+        assert!(run.outcome.evaluated.iter().any(|e| e.setting == p.setting));
+    }
+}
+
+#[test]
+fn all_seven_methods_run_on_a_shared_fixture() {
+    let splits = tiny_splits(2, 502);
+    let ensemble = tiny_ensemble(&splits, 3);
+    let teachers = TeacherProbs::compute(&ensemble, &splits).unwrap();
+    let lt = tiny_lightts();
+    let cfg = InceptionConfig::student(1, 24, 2, 4, 8);
+
+    for method in Method::all() {
+        let out = run_method(method, &splits, &teachers, &cfg, &lt.config().distill).unwrap();
+        assert!(
+            (0.0..=1.0).contains(&out.val_accuracy),
+            "{}: bad accuracy {}",
+            method.as_str(),
+            out.val_accuracy
+        );
+        assert!(out.train_seconds > 0.0);
+        // weights over the original teacher set sum to ≈1 (removed get 0)
+        let sum: f32 = out.teacher_weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "{}: weights {:?}", method.as_str(), out.teacher_weights);
+    }
+}
+
+#[test]
+fn statistics_pipeline_consumes_experiment_shaped_data() {
+    // methods × (datasets×bits) score matrix, as the ranking binaries build
+    use lightts::stats::{cd_cliques, friedman_test};
+    let scores = vec![
+        vec![0.9, 0.8, 0.85, 0.9, 0.7, 0.75],
+        vec![0.88, 0.79, 0.86, 0.89, 0.71, 0.74],
+        vec![0.5, 0.45, 0.55, 0.5, 0.4, 0.45],
+    ];
+    let fr = friedman_test(&scores).unwrap();
+    assert!(fr.p_value < 0.1);
+    let (avg, cliques) = cd_cliques(&scores, 0.05).unwrap();
+    assert!(avg[0] < avg[2] && avg[1] < avg[2]);
+    // the two near-identical methods group together
+    assert!(cliques.iter().any(|c| c.members.contains(&0) && c.members.contains(&1)));
+}

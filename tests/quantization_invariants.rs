@@ -1,0 +1,91 @@
+//! Property-based integration tests over the quantization/size layer: the
+//! invariants the Pareto machinery relies on must hold for *every* setting
+//! in the search space, not just the ones tests happen to pick.
+
+use lightts::prelude::*;
+use proptest::prelude::*;
+
+fn space() -> SearchSpace {
+    SearchSpace::paper_default(1, 48, 7, 4)
+}
+
+fn arb_setting() -> impl Strategy<Value = StudentSetting> {
+    let layer = prop::sample::select(vec![1usize, 2, 3, 4, 5]);
+    let filt = prop::sample::select(vec![10usize, 20, 40, 80, 160]);
+    let bits = prop::sample::select(vec![4u8, 8, 16, 32]);
+    prop::collection::vec((layer, filt, bits), 3).prop_map(StudentSetting)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The analytic size of a setting equals the size of the instantiated
+    /// model — the contract that lets MOBO cost settings without building
+    /// them.
+    #[test]
+    fn analytic_size_matches_instantiated_model(setting in arb_setting()) {
+        let sp = space();
+        let cfg = setting.to_config(&sp);
+        let mut rng = lightts::tensor::rng::seeded(1);
+        let model = InceptionTime::new(cfg.clone(), &mut rng).unwrap();
+        prop_assert_eq!(cfg.size_bits(), model.size_bits());
+        prop_assert_eq!(cfg.size_bits(), sp.size_bits(&setting));
+    }
+
+    /// Increasing any block's bit-width never shrinks the model.
+    #[test]
+    fn size_is_monotone_in_bits(setting in arb_setting(), block in 0usize..3) {
+        let sp = space();
+        let base = sp.size_bits(&setting);
+        let mut bigger = setting.clone();
+        bigger.0[block].2 = 32;
+        prop_assert!(sp.size_bits(&bigger) >= base);
+    }
+
+    /// Model outputs are valid class distributions for any setting.
+    #[test]
+    fn any_setting_produces_distributions(setting in arb_setting()) {
+        let sp = space();
+        let cfg = setting.to_config(&sp);
+        let mut rng = lightts::tensor::rng::seeded(2);
+        let model = InceptionTime::new(cfg, &mut rng).unwrap();
+        let x = lightts::tensor::Tensor::ones(&[2, 1, 48]);
+        let probs = model.predict_proba(&x).unwrap();
+        prop_assert_eq!(probs.dims(), &[2usize, 7][..]);
+        for r in 0..2 {
+            let row = probs.row(r).unwrap();
+            let s: f32 = row.data().iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-3, "row sum {}", s);
+            prop_assert!(row.data().iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+
+    /// Pareto frontier invariant: no evaluated point dominates a frontier
+    /// point, for arbitrary accuracy/size samples.
+    #[test]
+    fn frontier_is_undominated(
+        accs in prop::collection::vec(0.0f64..1.0, 20),
+        sizes in prop::collection::vec(1u64..10_000, 20),
+    ) {
+        use lightts::search::pareto::{dominates, pareto_frontier, Evaluated};
+        let pts: Vec<Evaluated> = accs
+            .iter()
+            .zip(sizes.iter())
+            .map(|(&a, &s)| Evaluated {
+                setting: StudentSetting(vec![(1, 10, 4)]),
+                accuracy: a,
+                size_bits: s,
+            })
+            .collect();
+        let frontier = pareto_frontier(&pts);
+        for f in &frontier {
+            for p in &pts {
+                prop_assert!(!dominates(p, f), "frontier point dominated");
+            }
+        }
+        // and the frontier covers the best achievable accuracy
+        let best = accs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let fr_best = frontier.iter().map(|p| p.accuracy).fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(best, fr_best);
+    }
+}

@@ -1,0 +1,84 @@
+//! Reproducibility contract: the entire pipeline is deterministic under a
+//! fixed seed — datasets, teacher training, distillation, and search.
+
+use lightts::prelude::*;
+use lightts_data::synth::{Generator, SynthConfig};
+
+fn splits(seed: u64) -> Splits {
+    let gen = Generator::new(
+        SynthConfig { classes: 2, dims: 1, length: 20, difficulty: 0.2, waveforms: 3 },
+        seed,
+    );
+    gen.splits("repro", 24, 12, 12, seed + 1).unwrap()
+}
+
+#[test]
+fn dataset_generation_is_bitwise_deterministic() {
+    let a = splits(42);
+    let b = splits(42);
+    for i in 0..a.train.len() {
+        assert_eq!(a.train.series(i).unwrap(), b.train.series(i).unwrap());
+    }
+    assert_eq!(a.test.labels(), b.test.labels());
+    let c = splits(43);
+    assert_ne!(a.train.series(0).unwrap(), c.train.series(0).unwrap());
+}
+
+#[test]
+fn teacher_training_is_deterministic() {
+    let s = splits(44);
+    let cfg = EnsembleTrainConfig { n_members: 2, ..EnsembleTrainConfig::default() };
+    let e1 = train_ensemble(BaseModelKind::Forest, &s.train, &cfg).unwrap();
+    let e2 = train_ensemble(BaseModelKind::Forest, &s.train, &cfg).unwrap();
+    let batch = s.test.full_batch().unwrap();
+    assert_eq!(
+        e1.predict_proba(&batch.inputs).unwrap(),
+        e2.predict_proba(&batch.inputs).unwrap()
+    );
+}
+
+#[test]
+fn distillation_is_deterministic() {
+    let s = splits(45);
+    let cfg = EnsembleTrainConfig { n_members: 2, ..EnsembleTrainConfig::default() };
+    let ens = train_ensemble(BaseModelKind::Forest, &s.train, &cfg).unwrap();
+    let teachers = TeacherProbs::compute(&ens, &s).unwrap();
+    let student_cfg = InceptionConfig::student(1, 20, 2, 4, 8);
+    let mut opts = DistillOpts::default();
+    opts.aed.train.epochs = 4;
+    opts.aed.v = 2;
+
+    let run = || run_method(Method::LightTs, &s, &teachers, &student_cfg, &opts).unwrap();
+    let o1 = run();
+    let o2 = run();
+    assert_eq!(o1.val_accuracy, o2.val_accuracy);
+    assert_eq!(o1.kept_teachers, o2.kept_teachers);
+    let batch = s.test.full_batch().unwrap();
+    assert_eq!(
+        o1.student.predict_proba(&batch.inputs).unwrap(),
+        o2.student.predict_proba(&batch.inputs).unwrap()
+    );
+}
+
+#[test]
+fn gumbel_noise_differs_across_seeds_but_not_within() {
+    use lightts::distill::weights::WeightTransform;
+    use lightts::tensor::rng::seeded;
+    let tf = WeightTransform::GumbelConfident { tau: 0.5 };
+    let lam = [0.1f32, 0.2, 0.3];
+    let w1 = tf.weights(&lam, &mut seeded(9)).weights;
+    let w2 = tf.weights(&lam, &mut seeded(9)).weights;
+    let w3 = tf.weights(&lam, &mut seeded(10)).weights;
+    assert_eq!(w1, w2);
+    assert_ne!(w1, w3);
+}
+
+#[test]
+fn derived_seeds_are_stable_across_runs() {
+    use lightts::tensor::rng::derive_seed;
+    // these constants are part of the reproducibility contract: changing
+    // derive_seed silently would invalidate recorded experiment outputs
+    assert_eq!(derive_seed(1, 0), derive_seed(1, 0));
+    assert_ne!(derive_seed(1, 0), derive_seed(1, 1));
+    assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+}

@@ -1,0 +1,95 @@
+//! Property tests for the statistics crate: the invariants the ranking
+//! figures rely on must hold on arbitrary score matrices.
+
+use lightts::stats::{
+    average_ranks, friedman_test, holm_correction, rank_slice, wilcoxon_signed_rank,
+};
+use proptest::prelude::*;
+
+fn score_matrix(k: usize, n: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    proptest::collection::vec(proptest::collection::vec(0.0f64..1.0, n), k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Ranks are a permutation-with-ties of 1..k: they always sum to
+    /// k(k+1)/2 and lie within [1, k].
+    #[test]
+    fn rank_slice_sums_and_bounds(values in proptest::collection::vec(-5.0f64..5.0, 1..12)) {
+        let k = values.len();
+        let ranks = rank_slice(&values);
+        let sum: f64 = ranks.iter().sum();
+        prop_assert!((sum - (k * (k + 1)) as f64 / 2.0).abs() < 1e-9);
+        prop_assert!(ranks.iter().all(|&r| (1.0..=k as f64).contains(&r)));
+    }
+
+    /// Higher scores never get worse (larger) ranks.
+    #[test]
+    fn rank_slice_is_order_preserving(values in proptest::collection::vec(-5.0f64..5.0, 2..10)) {
+        let ranks = rank_slice(&values);
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] > values[j] {
+                    prop_assert!(ranks[i] < ranks[j]);
+                }
+            }
+        }
+    }
+
+    /// Friedman p-values are valid probabilities and average ranks average
+    /// to (k+1)/2.
+    #[test]
+    fn friedman_outputs_are_well_formed(scores in score_matrix(4, 8)) {
+        let r = friedman_test(&scores).unwrap();
+        prop_assert!((0.0..=1.0).contains(&r.p_value));
+        prop_assert!(r.statistic >= 0.0);
+        let mean_rank: f64 = r.average_ranks.iter().sum::<f64>() / 4.0;
+        prop_assert!((mean_rank - 2.5).abs() < 1e-9);
+    }
+
+    /// The Wilcoxon test is symmetric and its p-value is a probability.
+    #[test]
+    fn wilcoxon_symmetry(
+        a in proptest::collection::vec(0.0f64..1.0, 6..20),
+        deltas in proptest::collection::vec(-0.3f64..0.3, 6..20),
+    ) {
+        let n = a.len().min(deltas.len());
+        let a = &a[..n];
+        let b: Vec<f64> = a.iter().zip(&deltas[..n]).map(|(&x, &d)| x + d).collect();
+        let r1 = wilcoxon_signed_rank(a, &b).unwrap();
+        let r2 = wilcoxon_signed_rank(&b, a).unwrap();
+        prop_assert!((r1.p_value - r2.p_value).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&r1.p_value));
+    }
+
+    /// Holm correction never decreases a p-value, caps at 1, and preserves
+    /// the significance ordering.
+    #[test]
+    fn holm_properties(ps in proptest::collection::vec(0.0f64..1.0, 1..12)) {
+        let adj = holm_correction(&ps);
+        prop_assert_eq!(adj.len(), ps.len());
+        for (raw, a) in ps.iter().zip(adj.iter()) {
+            prop_assert!(*a >= *raw - 1e-12);
+            prop_assert!(*a <= 1.0);
+        }
+        // order preservation: if p_i < p_j then adj_i <= adj_j
+        for i in 0..ps.len() {
+            for j in 0..ps.len() {
+                if ps[i] < ps[j] {
+                    prop_assert!(adj[i] <= adj[j] + 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Average ranks respect stochastic dominance: a method that beats
+    /// another on every dataset gets a strictly better average rank.
+    #[test]
+    fn average_ranks_respect_dominance(base in proptest::collection::vec(0.1f64..0.8, 4..10)) {
+        let better: Vec<f64> = base.iter().map(|&x| x + 0.1).collect();
+        let scores = vec![better, base.clone()];
+        let avg = average_ranks(&scores).unwrap();
+        prop_assert!(avg[0] < avg[1]);
+    }
+}
