@@ -44,6 +44,36 @@ fn bench_conv(c: &mut Criterion) {
     g.finish();
 }
 
+/// Serial-vs-pool comparison on identical inputs: the same kernels run
+/// pinned to one thread and then with the automatic thread count. Shapes
+/// are batch ≥ 16 InceptionTime-sized workloads where the pool should win
+/// clearly; results are bitwise identical either way (see
+/// `crates/tensor/tests/parallel_equivalence.rs`), so only time differs.
+fn bench_parallel_speedup(c: &mut Criterion) {
+    let mut rng = seeded(5);
+    let x = Tensor::randn(&mut rng, &[16, 24, 128], 1.0);
+    let w = Tensor::randn(&mut rng, &[32, 24, 9], 0.3);
+    let dy = Tensor::randn(&mut rng, &[16, 32, 128], 1.0);
+    let a = Tensor::randn(&mut rng, &[256, 192], 1.0);
+    let bm = Tensor::randn(&mut rng, &[192, 256], 1.0);
+    let mut g = c.benchmark_group("parallel_speedup");
+    // (label, forced thread count; 0 = automatic)
+    for &(label, threads) in &[("1thread", 1usize), ("pool", 0usize)] {
+        lightts::runtime::set_num_threads(threads);
+        g.bench_function(BenchmarkId::new("conv_fwd_b16", label), |b| {
+            b.iter(|| black_box(conv1d_forward(&x, &w).unwrap()))
+        });
+        g.bench_function(BenchmarkId::new("conv_bwd_w_b16", label), |b| {
+            b.iter(|| black_box(conv1d_backward_weight(&dy, &x, w.dims()).unwrap()))
+        });
+        g.bench_function(BenchmarkId::new("matmul_256x192x256", label), |b| {
+            b.iter(|| black_box(a.matmul(&bm).unwrap()))
+        });
+    }
+    lightts::runtime::set_num_threads(0);
+    g.finish();
+}
+
 fn bench_inference_by_bits(c: &mut Criterion) {
     let mut rng = seeded(2);
     let x = Tensor::randn(&mut rng, &[8, 1, 64], 1.0);
@@ -180,7 +210,7 @@ fn bench_datagen(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_conv, bench_inference_by_bits, bench_distill_epoch, bench_gp,
-              bench_skyline, bench_datagen
+    targets = bench_conv, bench_parallel_speedup, bench_inference_by_bits,
+              bench_distill_epoch, bench_gp, bench_skyline, bench_datagen
 }
 criterion_main!(benches);

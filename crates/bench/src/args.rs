@@ -70,9 +70,7 @@ mod tests {
     #[test]
     fn parses_flags() {
         let a = Args::parse_from(
-            ["--scale", "full", "--seed", "7", "--datasets", "12"]
-                .iter()
-                .map(|s| s.to_string()),
+            ["--scale", "full", "--seed", "7", "--datasets", "12"].iter().map(|s| s.to_string()),
         );
         assert_eq!(a.scale.name, "full");
         assert_eq!(a.seed, 7);

@@ -12,14 +12,32 @@ fn main() {
 
     let t0 = Instant::now();
     let ctx = prepare(&spec, BaseModelKind::InceptionTime, &scale, 1).unwrap();
-    println!("prepare (gen + {} teachers x {} epochs): {:.2}s", scale.n_teachers, scale.teacher_epochs, t0.elapsed().as_secs_f64());
-    println!("train {} series, len {}, {} classes", ctx.splits.train.len(), ctx.splits.train.series_len(), ctx.splits.num_classes());
+    println!(
+        "prepare (gen + {} teachers x {} epochs): {:.2}s",
+        scale.n_teachers,
+        scale.teacher_epochs,
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "train {} series, len {}, {} classes",
+        ctx.splits.train.len(),
+        ctx.splits.train.series_len(),
+        ctx.splits.num_classes()
+    );
 
     let opts = scale.distill_opts(2);
     let cfg = scale.student_config(&ctx.splits, 8);
-    for m in [Method::ClassicKd, Method::AedOne, Method::LightTs, Method::AedLoo, Method::Reinforced] {
+    for m in
+        [Method::ClassicKd, Method::AedOne, Method::LightTs, Method::AedLoo, Method::Reinforced]
+    {
         let t = Instant::now();
         let out = run_method(m, &ctx.splits, &ctx.teachers, &cfg, &opts).unwrap();
-        println!("{:<12} {:.2}s  val acc {:.3}  aed_runs {}", m.as_str(), t.elapsed().as_secs_f64(), out.val_accuracy, out.aed_runs);
+        println!(
+            "{:<12} {:.2}s  val acc {:.3}  aed_runs {}",
+            m.as_str(),
+            t.elapsed().as_secs_f64(),
+            out.val_accuracy,
+            out.aed_runs
+        );
     }
 }

@@ -45,14 +45,10 @@ fn main() {
     } else {
         specs.truncate(n_datasets);
     }
-    eprintln!(
-        "fig13-16: {} datasets, scale {}, seed {}",
-        specs.len(),
-        args.scale.name,
-        args.seed
-    );
-    let data = run_ranking(&specs, BaseModelKind::InceptionTime, &args.scale, args.seed, &[4, 8, 16])
-        .expect("ranking run failed");
+    eprintln!("fig13-16: {} datasets, scale {}, seed {}", specs.len(), args.scale.name, args.seed);
+    let data =
+        run_ranking(&specs, BaseModelKind::InceptionTime, &args.scale, args.seed, &[4, 8, 16])
+            .expect("ranking run failed");
 
     print_ranking("Figure 13: overall accuracy ranking (all bit-widths)", &data);
     for (bits, fig) in [(4u8, 14), (8, 15), (16, 16)] {

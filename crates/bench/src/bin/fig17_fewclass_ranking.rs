@@ -20,8 +20,9 @@ fn main() {
     specs.truncate(n_datasets);
     eprintln!("fig17: {} few-class datasets, scale {}", specs.len(), args.scale.name);
 
-    let data = run_ranking(&specs, BaseModelKind::InceptionTime, &args.scale, args.seed, &[4, 8, 16])
-        .expect("ranking run failed");
+    let data =
+        run_ranking(&specs, BaseModelKind::InceptionTime, &args.scale, args.seed, &[4, 8, 16])
+            .expect("ranking run failed");
 
     banner("Figure 17: accuracy ranking, 2-3-class datasets");
     let fr = friedman_test(&data.scores).expect("well-formed matrix");

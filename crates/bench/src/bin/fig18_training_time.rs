@@ -19,8 +19,9 @@ fn main() {
     specs.truncate(n_datasets);
     eprintln!("fig18: {} datasets, scale {}", specs.len(), args.scale.name);
 
-    let data = run_ranking(&specs, BaseModelKind::InceptionTime, &args.scale, args.seed, &[4, 8, 16])
-        .expect("ranking run failed");
+    let data =
+        run_ranking(&specs, BaseModelKind::InceptionTime, &args.scale, args.seed, &[4, 8, 16])
+            .expect("ranking run failed");
 
     // drop the FP-Ensem row: it has no training time
     let k = data.names.len() - 1;

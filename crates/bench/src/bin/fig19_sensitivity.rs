@@ -33,8 +33,7 @@ fn main() {
             RemovalStrategy::GumbelConfident,
         )
         .expect("LightTS run");
-        let probs =
-            res.student.predict_proba_dataset(&ctx.splits.test).expect("prediction");
+        let probs = res.student.predict_proba_dataset(&ctx.splits.test).expect("prediction");
         accuracy(&probs, ctx.splits.test.labels()).expect("accuracy")
     };
 

@@ -31,8 +31,7 @@ fn main() {
             let opts = scale.distill_opts(args.seed ^ n as u64);
             let out = run_method(Method::LightTs, &ctx.splits, &ctx.teachers, &cfg, &opts)
                 .expect("LightTS run");
-            let probs =
-                out.student.predict_proba_dataset(&ctx.splits.test).expect("prediction");
+            let probs = out.student.predict_proba_dataset(&ctx.splits.test).expect("prediction");
             let acc = accuracy(&probs, ctx.splits.test.labels()).expect("accuracy");
             println!("{n}\t{}\t{}", f3(acc), f2(out.train_seconds));
             eprintln!("  {name} N={n}: acc {acc:.3}, {:.1}s", out.train_seconds);

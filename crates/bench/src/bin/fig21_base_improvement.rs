@@ -47,11 +47,7 @@ fn main() {
         let setting = StudentSetting(vec![(3, 40, bits); 3]);
         let cfg = setting.to_config(&full_space);
         let res = run_aed(&ctx.splits, &ctx.teachers, &cfg, &opts.aed).expect("AED");
-        println!(
-            "base\t{bits}\t{}\t{:.2}",
-            f3(res.val_accuracy),
-            cfg.size_kb()
-        );
+        println!("base\t{bits}\t{}\t{:.2}", f3(res.val_accuracy), cfg.size_kb());
         scatter.push(ScatterPoint { x: cfg.size_kb(), y: res.val_accuracy, marker: 'B' });
         eprintln!("  base {bits}-bit: {:.3} @ {:.1}KB", res.val_accuracy, cfg.size_kb());
     }

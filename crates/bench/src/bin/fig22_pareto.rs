@@ -35,10 +35,7 @@ fn main() {
 
     let q = args.scale.mobo_q;
     let runs: Vec<(&str, MoboOutcome)> = vec![
-        (
-            "Random",
-            random_search(&space, oracle, q, args.seed ^ 0x31).expect("random search"),
-        ),
+        ("Random", random_search(&space, oracle, q, args.seed ^ 0x31).expect("random search")),
         (
             "MOBO",
             run_mobo(

@@ -8,13 +8,13 @@
 //! FP-Stud (a 32-bit AED student) upper-bounds the quantized students;
 //! UWave's 8 classes saturate top-5 accuracy for everyone.
 
+use lightts::prelude::*;
 use lightts_bench::args::Args;
 use lightts_bench::context::{prepare, test_metrics};
 use lightts_bench::report::{banner, f2};
 use lightts_bench::runner::run_methods_on;
 use lightts_data::archive;
 use lightts_models::ensemble::BaseModelKind;
-use lightts::prelude::*;
 
 fn main() {
     let args = Args::parse();

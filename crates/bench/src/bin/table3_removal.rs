@@ -37,10 +37,7 @@ fn main() {
             let opts = args.scale.distill_opts(args.seed ^ u64::from(b));
             let res = lightts_removal(&ctx.splits, &ctx.teachers, &cfg, &opts.aed, strategy)
                 .expect("removal run");
-            let probs = res
-                .student
-                .predict_proba_dataset(&ctx.splits.test)
-                .expect("prediction");
+            let probs = res.student.predict_proba_dataset(&ctx.splits.test).expect("prediction");
             acc[bi] = accuracy(&probs, ctx.splits.test.labels()).expect("accuracy");
             top5[bi] = top_k_accuracy(&probs, ctx.splits.test.labels(), 5).expect("top5");
             eprintln!("  {name} {b}-bit: acc {:.3} (kept {:?})", acc[bi], res.kept);

@@ -17,21 +17,16 @@ fn main() {
     let args = Args::parse();
     let kinds = [BaseModelKind::Tde, BaseModelKind::Cif, BaseModelKind::Forest];
     let datasets = ["Adiac", "PigAirway"];
-    let methods = [
-        Method::ClassicKd,
-        Method::AeKd,
-        Method::Reinforced,
-        Method::Cawpe,
-        Method::LightTs,
-    ];
+    let methods =
+        [Method::ClassicKd, Method::AeKd, Method::Reinforced, Method::Cawpe, Method::LightTs];
     let bits = [4u8, 8, 16];
 
     for name in datasets {
         let spec = archive::table1(name).expect("known dataset");
         for kind in kinds {
             eprintln!("table4: {} × {}", name, kind.as_str());
-            let ctx = prepare(&spec, kind, &args.scale, args.seed)
-                .expect("context preparation failed");
+            let ctx =
+                prepare(&spec, kind, &args.scale, args.seed).expect("context preparation failed");
             let (ens_acc, ens_top5) =
                 test_metrics(&ctx.ensemble, &ctx.splits).expect("ensemble eval");
 

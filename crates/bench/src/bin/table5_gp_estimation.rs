@@ -67,12 +67,10 @@ fn main() {
         for repr in reprs {
             let encoder = match repr {
                 SpaceRepr::SingleEncoder => Some(
-                    train_encoder(&space, &fit_pairs, &Default::default(), false)
-                        .expect("encoder"),
+                    train_encoder(&space, &fit_pairs, &Default::default(), false).expect("encoder"),
                 ),
                 SpaceRepr::TwoPhaseEncoder => Some(
-                    train_encoder(&space, &fit_pairs, &Default::default(), true)
-                        .expect("encoder"),
+                    train_encoder(&space, &fit_pairs, &Default::default(), true).expect("encoder"),
                 ),
                 _ => None,
             };

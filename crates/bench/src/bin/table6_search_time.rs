@@ -36,9 +36,8 @@ fn main() {
                 .map_err(|e| e.to_string())
         };
         let q = args.scale.mobo_q;
-        let t_rand = random_search(&space, oracle, q, args.seed ^ 0x41)
-            .expect("random search")
-            .seconds;
+        let t_rand =
+            random_search(&space, oracle, q, args.seed ^ 0x41).expect("random search").seconds;
         let t_mobo = run_mobo(
             &space,
             oracle,

@@ -165,10 +165,7 @@ pub fn prepare(
 }
 
 /// Evaluates a classifier's accuracy and top-5 accuracy on the test split.
-pub fn test_metrics(
-    clf: &dyn Classifier,
-    splits: &Splits,
-) -> Result<(f64, f64)> {
+pub fn test_metrics(clf: &dyn Classifier, splits: &Splits) -> Result<(f64, f64)> {
     let probs = clf.predict_proba_dataset(&splits.test)?;
     let acc = accuracy(&probs, splits.test.labels())?;
     let top5 = top_k_accuracy(&probs, splits.test.labels(), 5)?;

@@ -34,25 +34,12 @@ pub struct RankingData {
 impl RankingData {
     /// Restricts the data to cells with the given bit-width.
     pub fn filter_bits(&self, bits: u8) -> RankingData {
-        let keep: Vec<usize> = self
-            .cells
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c.bits == bits)
-            .map(|(i, _)| i)
-            .collect();
+        let keep: Vec<usize> =
+            self.cells.iter().enumerate().filter(|(_, c)| c.bits == bits).map(|(i, _)| i).collect();
         RankingData {
             names: self.names.clone(),
-            scores: self
-                .scores
-                .iter()
-                .map(|row| keep.iter().map(|&i| row[i]).collect())
-                .collect(),
-            times: self
-                .times
-                .iter()
-                .map(|row| keep.iter().map(|&i| row[i]).collect())
-                .collect(),
+            scores: self.scores.iter().map(|row| keep.iter().map(|&i| row[i]).collect()).collect(),
+            times: self.times.iter().map(|row| keep.iter().map(|&i| row[i]).collect()).collect(),
             cells: keep.iter().map(|&i| self.cells[i].clone()).collect(),
         }
     }
@@ -126,7 +113,14 @@ pub fn run_methods_on(
     for &m in methods {
         let res = run_method(m, &ctx.splits, &ctx.teachers, &cfg, &opts)?;
         let (acc, top5) = test_metrics(&res.student, &ctx.splits)?;
-        eprintln!("  {} {}-bit {}: acc {:.3} top5 {:.3}", ctx.spec.name, bits, m.as_str(), acc, top5);
+        eprintln!(
+            "  {} {}-bit {}: acc {:.3} top5 {:.3}",
+            ctx.spec.name,
+            bits,
+            m.as_str(),
+            acc,
+            top5
+        );
         out.push((acc, top5, res.train_seconds));
     }
     Ok(out)

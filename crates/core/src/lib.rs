@@ -36,7 +36,8 @@
 //! ```
 //!
 //! The sub-crates are re-exported under short names: [`tensor`], [`nn`],
-//! [`data`], [`models`], [`distill`], [`search`], [`stats`].
+//! [`data`], [`models`], [`distill`], [`search`], [`stats`]; the kernel
+//! thread pool is configured through [`runtime`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -51,6 +52,7 @@ pub use lightts_tensor as tensor;
 
 mod error;
 mod pipeline;
+pub mod runtime;
 
 pub use error::LightTsError;
 pub use pipeline::{LightTs, LightTsConfig, OracleStats, ParetoRun};
@@ -62,8 +64,8 @@ pub type Result<T> = std::result::Result<T, LightTsError>;
 pub mod prelude {
     pub use crate::data::{archive, LabeledDataset, Scale, Splits, TimeSeries};
     pub use crate::distill::{
-        aed::AedConfig, method::DistillOpts, run_method, trainer::StudentTrainOpts,
-        DistillOutcome, Method, TeacherProbs,
+        aed::AedConfig, method::DistillOpts, run_method, trainer::StudentTrainOpts, DistillOutcome,
+        Method, TeacherProbs,
     };
     pub use crate::models::ensemble::{
         train_ensemble, BaseModelKind, Ensemble, EnsembleTrainConfig,

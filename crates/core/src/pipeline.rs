@@ -246,11 +246,8 @@ mod tests {
     #[test]
     fn scenario2_small_search() {
         let s = splits(201);
-        let cfg = EnsembleTrainConfig {
-            n_members: 2,
-            filters: 4,
-            ..EnsembleTrainConfig::default()
-        };
+        let cfg =
+            EnsembleTrainConfig { n_members: 2, filters: 4, ..EnsembleTrainConfig::default() };
         let ens = train_ensemble(BaseModelKind::Forest, &s.train, &cfg).unwrap();
         let teachers = TeacherProbs::compute(&ens, &s).unwrap();
         let lt = quick();
@@ -271,19 +268,15 @@ mod tests {
         // budget selection returns the best point that fits
         let largest = run.frontier().iter().map(|p| p.size_bits).max().unwrap();
         let pick = lt.select_for_budget(run.frontier(), largest.div_ceil(8)).unwrap();
-        let best_acc =
-            run.frontier().iter().map(|p| p.accuracy).fold(f64::NEG_INFINITY, f64::max);
+        let best_acc = run.frontier().iter().map(|p| p.accuracy).fold(f64::NEG_INFINITY, f64::max);
         assert!((pick.accuracy - best_acc).abs() < 1e-12);
     }
 
     #[test]
     fn oracle_with_removal_runs_the_full_loop_per_setting() {
         let s = splits(203);
-        let cfg = EnsembleTrainConfig {
-            n_members: 2,
-            filters: 4,
-            ..EnsembleTrainConfig::default()
-        };
+        let cfg =
+            EnsembleTrainConfig { n_members: 2, filters: 4, ..EnsembleTrainConfig::default() };
         let ens = train_ensemble(BaseModelKind::Forest, &s.train, &cfg).unwrap();
         let teachers = TeacherProbs::compute(&ens, &s).unwrap();
         let mut lt = quick();
@@ -304,7 +297,8 @@ mod tests {
     fn empty_teachers_rejected() {
         let s = splits(202);
         let lt = quick();
-        let empty = TeacherProbs { train: vec![], val: vec![], val_accuracy: vec![], num_classes: 2 };
+        let empty =
+            TeacherProbs { train: vec![], val: vec![], val_accuracy: vec![], num_classes: 2 };
         let space = lt.default_space(&s);
         assert!(lt.pareto_frontier(&s, &empty, &space).is_err());
     }

@@ -1,0 +1,23 @@
+//! Process-wide runtime configuration for the tensor execution layer.
+//!
+//! The tensor kernels (convolution, matmul, elementwise, reductions) run on
+//! a shared thread pool when the `parallel` cargo feature is enabled (the
+//! default). This module is the user-facing switchboard:
+//!
+//! ```no_run
+//! // Pin the kernels to 4 threads (including the calling thread).
+//! lightts::runtime::set_num_threads(4);
+//! assert_eq!(lightts::runtime::num_threads(), 4);
+//! ```
+//!
+//! Thread-count resolution order:
+//! 1. [`set_num_threads`] — takes effect for all subsequent kernel calls;
+//! 2. the `LIGHTTS_NUM_THREADS` environment variable;
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! Setting one thread (or building with `--no-default-features`) yields the
+//! fully serial kernels. Either way results are bitwise identical: parallel
+//! kernels only split work along disjoint output rows and reduce in fixed
+//! chunk order, never reassociating arithmetic across threads.
+
+pub use lightts_tensor::par::{num_threads, set_num_threads};

@@ -70,8 +70,7 @@ impl DatasetSpec {
     /// class count (validation/test) so that every class is represented even
     /// under aggressive down-scaling.
     pub fn generate(&self, scale: Scale) -> Splits {
-        self.try_generate(scale)
-            .expect("synthetic generation cannot fail for a valid spec")
+        self.try_generate(scale).expect("synthetic generation cannot fail for a valid spec")
     }
 
     /// Fallible variant of [`DatasetSpec::generate`].
@@ -223,8 +222,7 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let mut names: Vec<String> =
-            full_archive_specs(50).into_iter().map(|s| s.name).collect();
+        let mut names: Vec<String> = full_archive_specs(50).into_iter().map(|s| s.name).collect();
         names.extend(table1_specs().into_iter().map(|s| s.name));
         let len = names.len();
         names.sort();

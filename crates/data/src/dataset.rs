@@ -101,9 +101,7 @@ impl LabeledDataset {
 
     /// The `i`-th series.
     pub fn series(&self, i: usize) -> Result<&TimeSeries> {
-        self.series
-            .get(i)
-            .ok_or(DataError::OutOfRange { index: i, len: self.series.len() })
+        self.series.get(i).ok_or(DataError::OutOfRange { index: i, len: self.series.len() })
     }
 
     /// The `i`-th label.
@@ -132,10 +130,7 @@ impl LabeledDataset {
             data.extend_from_slice(s.values().data());
             labels.push(self.label(i)?);
         }
-        Ok(Batch {
-            inputs: Tensor::from_vec(data, &[indices.len(), m, l])?,
-            labels,
-        })
+        Ok(Batch { inputs: Tensor::from_vec(data, &[indices.len(), m, l])?, labels })
     }
 
     /// The whole dataset as one batch.

@@ -107,8 +107,8 @@ mod tests {
 
     #[test]
     fn z_normalization_standardizes_each_dim() {
-        let t = Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0, 1.0, 1.0, 1.0, 1.0], &[2, 4])
-            .unwrap();
+        let t =
+            Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0, 1.0, 1.0, 1.0, 1.0], &[2, 4]).unwrap();
         let z = TimeSeries::new(t).unwrap().z_normalized();
         let row0: Vec<f32> = z.values().data()[0..4].to_vec();
         let mean: f32 = row0.iter().sum::<f32>() / 4.0;

@@ -103,9 +103,8 @@ pub struct ClassPrototype {
 impl ClassPrototype {
     /// Samples a random prototype with `waveforms` components per dimension.
     pub fn random<R: Rng>(rng: &mut R, dims: usize, waveforms: usize) -> Self {
-        let per_dim = (0..dims)
-            .map(|_| (0..waveforms).map(|_| Waveform::random(rng)).collect())
-            .collect();
+        let per_dim =
+            (0..dims).map(|_| (0..waveforms).map(|_| Waveform::random(rng)).collect()).collect();
         ClassPrototype { per_dim }
     }
 
@@ -317,12 +316,7 @@ mod tests {
             }
         }
         let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
-        assert!(
-            mean(&intra) < mean(&inter),
-            "intra {} !< inter {}",
-            mean(&intra),
-            mean(&inter)
-        );
+        assert!(mean(&intra) < mean(&inter), "intra {} !< inter {}", mean(&intra), mean(&inter));
     }
 
     #[test]

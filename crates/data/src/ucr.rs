@@ -80,35 +80,24 @@ pub fn parse_ucr<R: BufRead>(reader: R, name: &str) -> Result<LabeledDataset> {
     let mut uniq: Vec<i64> = raw_labels.clone();
     uniq.sort_unstable();
     uniq.dedup();
-    let mapping: BTreeMap<i64, usize> =
-        uniq.into_iter().enumerate().map(|(i, l)| (l, i)).collect();
+    let mapping: BTreeMap<i64, usize> = uniq.into_iter().enumerate().map(|(i, l)| (l, i)).collect();
     let labels: Vec<usize> = raw_labels.iter().map(|l| mapping[l]).collect();
-    let ts: Vec<TimeSeries> = series
-        .into_iter()
-        .map(TimeSeries::univariate)
-        .collect::<Result<_>>()?;
+    let ts: Vec<TimeSeries> =
+        series.into_iter().map(TimeSeries::univariate).collect::<Result<_>>()?;
     LabeledDataset::new(name, ts, labels, mapping.len())
 }
 
 fn parse_label(field: &str) -> Option<i64> {
     // UCR labels are integers, but occasionally formatted as "1.0"
-    field
-        .parse::<i64>()
-        .ok()
-        .or_else(|| field.parse::<f64>().ok().map(|f| f.round() as i64))
+    field.parse::<i64>().ok().or_else(|| field.parse::<f64>().ok().map(|f| f.round() as i64))
 }
 
 /// Loads a UCR-format file from disk.
 pub fn load_ucr_file(path: impl AsRef<Path>) -> Result<LabeledDataset> {
     let path = path.as_ref();
-    let name = path
-        .file_stem()
-        .and_then(|s| s.to_str())
-        .unwrap_or("ucr")
-        .to_string();
-    let file = std::fs::File::open(path).map_err(|e| DataError::Inconsistent {
-        what: format!("{}: {e}", path.display()),
-    })?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("ucr").to_string();
+    let file = std::fs::File::open(path)
+        .map_err(|e| DataError::Inconsistent { what: format!("{}: {e}", path.display()) })?;
     parse_ucr(std::io::BufReader::new(file), &name)
 }
 
@@ -129,10 +118,7 @@ pub fn carve_validation(
     idx.shuffle(&mut rng);
     let (val_idx, train_idx) = idx.split_at(n_val);
     let pick = |ids: &[usize], name: &str| -> Result<LabeledDataset> {
-        let series = ids
-            .iter()
-            .map(|&i| train.series(i).cloned())
-            .collect::<Result<Vec<_>>>()?;
+        let series = ids.iter().map(|&i| train.series(i).cloned()).collect::<Result<Vec<_>>>()?;
         let labels = ids.iter().map(|&i| train.label(i)).collect::<Result<Vec<_>>>()?;
         LabeledDataset::new(name, series, labels, train.num_classes())
     };

@@ -61,11 +61,8 @@ pub fn min_norm_weights(vectors: &[Vec<f32>], iters: usize) -> Vec<f32> {
     let mut w = vec![1.0f64 / n as f64; n];
     for _ in 0..iters {
         // gradient of ‖Gw‖-style objective: (Gw)
-        let gw: Vec<f64> =
-            (0..n).map(|i| (0..n).map(|j| gram[i][j] * w[j]).sum()).collect();
-        let t = (0..n)
-            .min_by(|&a, &b| gw[a].total_cmp(&gw[b]))
-            .expect("n > 0");
+        let gw: Vec<f64> = (0..n).map(|i| (0..n).map(|j| gram[i][j] * w[j]).sum()).collect();
+        let t = (0..n).min_by(|&a, &b| gw[a].total_cmp(&gw[b])).expect("n > 0");
         // line search between w and e_t
         let mut d = vec![0.0f64; n];
         for (i, di) in d.iter_mut().enumerate() {
@@ -92,18 +89,12 @@ pub fn aekd_weights(
     seed: u64,
 ) -> Result<Vec<f32>> {
     let mut rng = seeded(seed);
-    let p0 = InceptionTime::new(config.clone(), &mut rng)?
-        .predict_proba_dataset(&splits.validation)?;
+    let p0 =
+        InceptionTime::new(config.clone(), &mut rng)?.predict_proba_dataset(&splits.validation)?;
     let grads: Vec<Vec<f32>> = teachers
         .val
         .iter()
-        .map(|q| {
-            p0.data()
-                .iter()
-                .zip(q.data().iter())
-                .map(|(&p, &qi)| p - qi)
-                .collect()
-        })
+        .map(|q| p0.data().iter().zip(q.data().iter()).map(|(&p, &qi)| p - qi).collect())
         .collect();
     Ok(min_norm_weights(&grads, 64))
 }

@@ -203,11 +203,8 @@ pub fn run_forecast_aed(
         // outer λ step: distances are MSEs between teacher and student
         // predictions on the validation windows
         let p_val = student.predict(splits.validation.inputs())?;
-        let distances: Vec<f32> = teachers
-            .val
-            .iter()
-            .map(|q| mse(q, &p_val))
-            .collect::<std::result::Result<_, _>>()?;
+        let distances: Vec<f32> =
+            teachers.val.iter().map(|q| mse(q, &p_val)).collect::<std::result::Result<_, _>>()?;
         let grad = cfg.transform.grad(&state, &distances);
         for (l, g) in lambda.iter_mut().zip(grad.iter()) {
             *l -= cfg.lambda_lr * g;

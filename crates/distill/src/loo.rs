@@ -70,9 +70,7 @@ pub fn aed_loo(
                 val_accuracy: res.val_accuracy,
                 weights: res.weights.clone(),
             });
-            let better = round_best
-                .as_ref()
-                .is_none_or(|(_, b)| res.val_accuracy > b.val_accuracy);
+            let better = round_best.as_ref().is_none_or(|(_, b)| res.val_accuracy > b.val_accuracy);
             if better {
                 round_best = Some((candidate, res));
             }

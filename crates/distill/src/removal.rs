@@ -95,8 +95,7 @@ pub fn lightts_removal(
             val_accuracy: res.val_accuracy,
             weights: res.weights.clone(),
         });
-        let candidate_better =
-            best.as_ref().is_none_or(|b| res.val_accuracy > b.val_accuracy);
+        let candidate_better = best.as_ref().is_none_or(|b| res.val_accuracy > b.val_accuracy);
         if candidate_better {
             best = Some(RemovalResult {
                 student: res.student,
@@ -167,11 +166,7 @@ mod tests {
             t
         };
         TeacherProbs::from_raw(
-            vec![
-                mk(&s.train, false, 0.9),
-                mk(&s.train, false, 0.8),
-                mk(&s.train, true, 0.9),
-            ],
+            vec![mk(&s.train, false, 0.9), mk(&s.train, false, 0.8), mk(&s.train, true, 0.9)],
             vec![
                 mk(&s.validation, false, 0.9),
                 mk(&s.validation, false, 0.8),
@@ -187,8 +182,7 @@ mod tests {
         let s = splits(2, 110);
         let t = teachers(&s);
         let res =
-            lightts_removal(&s, &t, &student_cfg(2), &quick_aed(8), RemovalStrategy::None)
-                .unwrap();
+            lightts_removal(&s, &t, &student_cfg(2), &quick_aed(8), RemovalStrategy::None).unwrap();
         assert_eq!(res.aed_runs, 1);
         assert_eq!(res.history.len(), 1);
         assert_eq!(res.kept, vec![0, 1, 2]);
@@ -220,14 +214,8 @@ mod tests {
     fn history_weights_align_with_kept() {
         let s = splits(2, 112);
         let t = teachers(&s);
-        let res = lightts_removal(
-            &s,
-            &t,
-            &student_cfg(2),
-            &quick_aed(8),
-            RemovalStrategy::Softmax,
-        )
-        .unwrap();
+        let res = lightts_removal(&s, &t, &student_cfg(2), &quick_aed(8), RemovalStrategy::Softmax)
+            .unwrap();
         for round in &res.history {
             assert_eq!(round.kept.len(), round.weights.len());
         }
@@ -237,15 +225,10 @@ mod tests {
     fn empty_teachers_rejected() {
         let s = splits(2, 113);
         let t = teachers(&s);
-        let empty = TeacherProbs { train: vec![], val: vec![], val_accuracy: vec![], num_classes: 2 };
-        assert!(lightts_removal(
-            &s,
-            &empty,
-            &student_cfg(2),
-            &quick_aed(4),
-            RemovalStrategy::None
-        )
-        .is_err());
+        let empty =
+            TeacherProbs { train: vec![], val: vec![], val_accuracy: vec![], num_classes: 2 };
+        assert!(lightts_removal(&s, &empty, &student_cfg(2), &quick_aed(4), RemovalStrategy::None)
+            .is_err());
         drop(t);
     }
 }

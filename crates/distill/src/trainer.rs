@@ -63,11 +63,7 @@ impl StudentTrainOpts {
 }
 
 /// Validates that teacher tensors align with the dataset and each other.
-fn check_teachers(
-    train: &LabeledDataset,
-    q_train: &[Tensor],
-    weights: &[f32],
-) -> Result<()> {
+fn check_teachers(train: &LabeledDataset, q_train: &[Tensor], weights: &[f32]) -> Result<()> {
     if q_train.len() != weights.len() {
         return Err(DistillError::BadInput {
             what: format!("{} teachers but {} weights", q_train.len(), weights.len()),
@@ -212,8 +208,7 @@ mod tests {
         let train = data(3, 48, 90);
         let q = oracle_probs(&train, 0.9);
         let opts = StudentTrainOpts { epochs: 20, batch_size: 16, ..Default::default() };
-        let student =
-            train_student(&tiny_student(3, 8), &train, &[q], &[1.0], &opts).unwrap();
+        let student = train_student(&tiny_student(3, 8), &train, &[q], &[1.0], &opts).unwrap();
         let (acc, top5) = eval_student(&student, &train).unwrap();
         assert!(acc > 0.7, "distilled train accuracy {acc}");
         assert!(top5 >= acc);
@@ -226,8 +221,8 @@ mod tests {
         // adversarial teacher: uniform — would slow learning if not skipped
         let bad = Tensor::full(&[train.len(), 2], 0.5);
         let opts = StudentTrainOpts { epochs: 10, batch_size: 12, ..Default::default() };
-        let s = train_student(&tiny_student(2, 32), &train, &[good, bad], &[1.0, 0.0], &opts)
-            .unwrap();
+        let s =
+            train_student(&tiny_student(2, 32), &train, &[good, bad], &[1.0, 0.0], &opts).unwrap();
         let (acc, _) = eval_student(&s, &train).unwrap();
         assert!(acc > 0.7, "accuracy {acc}");
     }
@@ -259,11 +254,25 @@ mod tests {
         let mut student = InceptionTime::new(tiny_student(2, 8), &mut rng).unwrap();
         let mut optimizer = opts.make_optimizer();
         let first = train_student_epochs(
-            &mut student, &train, std::slice::from_ref(&q), &[1.0], &opts, optimizer.as_mut(), &mut rng, 5,
+            &mut student,
+            &train,
+            std::slice::from_ref(&q),
+            &[1.0],
+            &opts,
+            optimizer.as_mut(),
+            &mut rng,
+            5,
         )
         .unwrap();
         let second = train_student_epochs(
-            &mut student, &train, &[q], &[1.0], &opts, optimizer.as_mut(), &mut rng, 5,
+            &mut student,
+            &train,
+            &[q],
+            &[1.0],
+            &opts,
+            optimizer.as_mut(),
+            &mut rng,
+            5,
         )
         .unwrap();
         assert!(second < first, "loss should keep dropping: {first} -> {second}");

@@ -49,18 +49,13 @@ impl WeightTransform {
     /// Computes weights from logits, sampling fresh Gumbel noise if needed.
     pub fn weights<R: Rng>(&self, lambda: &[f32], rng: &mut R) -> WeightState {
         match *self {
-            WeightTransform::Softmax => WeightState {
-                weights: softmax_slice(lambda),
-                gamma: None,
-                noise: None,
-            },
+            WeightTransform::Softmax => {
+                WeightState { weights: softmax_slice(lambda), gamma: None, noise: None }
+            }
             WeightTransform::GumbelConfident { tau } => {
                 let g = gumbel_vec(rng, lambda.len());
-                let u: Vec<f32> = lambda
-                    .iter()
-                    .zip(g.iter())
-                    .map(|(&l, &gi)| (-l + gi) / tau)
-                    .collect();
+                let u: Vec<f32> =
+                    lambda.iter().zip(g.iter()).map(|(&l, &gi)| (-l + gi) / tau).collect();
                 let gamma = softmax_slice(&u);
                 let z: Vec<f32> = gamma.iter().map(|&x| -x).collect();
                 let weights = softmax_slice(&z);
@@ -83,13 +78,9 @@ impl WeightTransform {
                 let dl_dgamma: Vec<f32> = dl_dz.iter().map(|&v| -v).collect();
                 // γ = softmax(u) ⇒ dL/du_j = γ_j (dL/dγ_j − Σ_k γ_k dL/dγ_k)
                 let gamma = state.gamma.as_ref().expect("gumbel state carries gamma");
-                let gdot: f32 =
-                    gamma.iter().zip(dl_dgamma.iter()).map(|(&a, &b)| a * b).sum();
-                let dl_du: Vec<f32> = gamma
-                    .iter()
-                    .zip(dl_dgamma.iter())
-                    .map(|(&gj, &dj)| gj * (dj - gdot))
-                    .collect();
+                let gdot: f32 = gamma.iter().zip(dl_dgamma.iter()).map(|(&a, &b)| a * b).sum();
+                let dl_du: Vec<f32> =
+                    gamma.iter().zip(dl_dgamma.iter()).map(|(&gj, &dj)| gj * (dj - gdot)).collect();
                 // u_j = (−λ_j + g_j)/τ ⇒ dL/dλ_j = −dL/du_j / τ
                 dl_du.into_iter().map(|v| -v / tau).collect()
             }
@@ -103,11 +94,8 @@ impl WeightTransform {
             WeightTransform::Softmax => softmax_slice(lambda),
             WeightTransform::GumbelConfident { tau } => {
                 let g = state.noise.as_ref().expect("gumbel state carries noise");
-                let u: Vec<f32> = lambda
-                    .iter()
-                    .zip(g.iter())
-                    .map(|(&l, &gi)| (-l + gi) / tau)
-                    .collect();
+                let u: Vec<f32> =
+                    lambda.iter().zip(g.iter()).map(|(&l, &gi)| (-l + gi) / tau).collect();
                 let gamma = softmax_slice(&u);
                 let z: Vec<f32> = gamma.iter().map(|&x| -x).collect();
                 softmax_slice(&z)
@@ -189,11 +177,7 @@ mod tests {
             let mut lm = lam;
             lm[j] -= eps;
             let f = |l: &[f32]| -> f32 {
-                tf.weights_with_noise(l, &st)
-                    .iter()
-                    .zip(d.iter())
-                    .map(|(&w, &di)| w * di)
-                    .sum()
+                tf.weights_with_noise(l, &st).iter().zip(d.iter()).map(|(&w, &di)| w * di).sum()
             };
             let fd = (f(&lp) - f(&lm)) / (2.0 * eps);
             assert!((grad[j] - fd).abs() < 1e-3, "j={j}: {} vs {fd}", grad[j]);
@@ -215,11 +199,7 @@ mod tests {
             let mut lm = lam;
             lm[j] -= eps;
             let f = |l: &[f32]| -> f32 {
-                tf.weights_with_noise(l, &st)
-                    .iter()
-                    .zip(d.iter())
-                    .map(|(&w, &di)| w * di)
-                    .sum()
+                tf.weights_with_noise(l, &st).iter().zip(d.iter()).map(|(&w, &di)| w * di).sum()
             };
             let fd = (f(&lp) - f(&lm)) / (2.0 * eps);
             assert!((grad[j] - fd).abs() < 2e-3, "j={j}: {} vs {fd}", grad[j]);

@@ -44,9 +44,7 @@ pub trait Classifier: Send + Sync {
     /// Predicted label per row of `inputs`.
     fn predict(&self, inputs: &Tensor) -> Result<Vec<usize>> {
         let probs = self.predict_proba(inputs)?;
-        (0..probs.dims()[0])
-            .map(|r| Ok(probs.row(r)?.argmax()?))
-            .collect()
+        (0..probs.dims()[0]).map(|r| Ok(probs.row(r)?.argmax()?)).collect()
     }
 }
 
@@ -91,9 +89,8 @@ mod tests {
     #[test]
     fn dataset_prediction_is_chunked_consistently() {
         let c = FirstValueClassifier { k: 2 };
-        let series: Vec<TimeSeries> = (0..300)
-            .map(|i| TimeSeries::univariate(vec![(i % 2) as f32, 0.0]).unwrap())
-            .collect();
+        let series: Vec<TimeSeries> =
+            (0..300).map(|i| TimeSeries::univariate(vec![(i % 2) as f32, 0.0]).unwrap()).collect();
         let labels: Vec<usize> = (0..300).map(|i| i % 2).collect();
         let ds = LabeledDataset::new("t", series, labels.clone(), 2).unwrap();
         let probs = c.predict_proba_dataset(&ds).unwrap();

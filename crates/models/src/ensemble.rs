@@ -206,12 +206,8 @@ fn train_member(
             model.fit(train, &tc)?;
             Ok(Box::new(model))
         }
-        BaseModelKind::Tde => {
-            Ok(Box::new(TemporalDictionaryEnsemble::fit(train, &cfg.tde, seed)?))
-        }
-        BaseModelKind::Cif => {
-            Ok(Box::new(CanonicalIntervalForest::fit(train, &cfg.forest, seed)?))
-        }
+        BaseModelKind::Tde => Ok(Box::new(TemporalDictionaryEnsemble::fit(train, &cfg.tde, seed)?)),
+        BaseModelKind::Cif => Ok(Box::new(CanonicalIntervalForest::fit(train, &cfg.forest, seed)?)),
         BaseModelKind::Forest => Ok(Box::new(TimeSeriesForest::fit(train, &cfg.forest, seed)?)),
     }
 }
@@ -268,10 +264,7 @@ mod tests {
         let ens = train_ensemble(BaseModelKind::Tde, &train, &quick_cfg(3)).unwrap();
         let batch = train.full_batch().unwrap();
         let probs = ens.member_probs(&batch.inputs).unwrap();
-        assert!(
-            probs[0] != probs[1] || probs[1] != probs[2],
-            "members should differ across seeds"
-        );
+        assert!(probs[0] != probs[1] || probs[1] != probs[2], "members should differ across seeds");
     }
 
     #[test]

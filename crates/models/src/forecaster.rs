@@ -153,7 +153,13 @@ impl Forecaster {
     /// Supervised MSE training (teacher forecasters).
     ///
     /// Returns the final-epoch training loss.
-    pub fn fit(&mut self, train: &ForecastDataset, epochs: usize, lr: f32, seed: u64) -> Result<f32> {
+    pub fn fit(
+        &mut self,
+        train: &ForecastDataset,
+        epochs: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Result<f32> {
         let mut rng = seeded(seed);
         let mut opt = Adam::new(lr);
         let mut last = f32::INFINITY;
@@ -224,8 +230,8 @@ impl Forecaster {
 
     /// Loads a forecaster saved by [`Forecaster::save_bytes`].
     pub fn load_bytes(bytes: &[u8]) -> Result<Self> {
-        use bytes::Buf;
         use crate::inception::BlockSpec;
+        use bytes::Buf;
         let mut buf = bytes;
         let err = |what: &str| ModelError::BadConfig { what: format!("forecaster load: {what}") };
         if buf.remaining() < 10 {
@@ -335,20 +341,15 @@ mod tests {
             base += (v - mean) * (v - mean);
         }
         base /= s.test.targets().len() as f32;
-        assert!(
-            model_mse < 0.7 * base,
-            "forecaster MSE {model_mse} vs mean-baseline {base}"
-        );
+        assert!(model_mse < 0.7 * base, "forecaster MSE {model_mse} vs mean-baseline {base}");
     }
 
     #[test]
     fn quantized_forecaster_is_smaller_and_still_works() {
         let s = task(5);
         let mut rng = seeded(6);
-        let f32bit =
-            Forecaster::new(ForecastConfig::for_task(&s.train, 4, 32), &mut rng).unwrap();
-        let f8bit =
-            Forecaster::new(ForecastConfig::for_task(&s.train, 4, 8), &mut rng).unwrap();
+        let f32bit = Forecaster::new(ForecastConfig::for_task(&s.train, 4, 32), &mut rng).unwrap();
+        let f8bit = Forecaster::new(ForecastConfig::for_task(&s.train, 4, 8), &mut rng).unwrap();
         assert!(f8bit.size_bits() < f32bit.size_bits());
         let pred = f8bit.predict(s.test.inputs()).unwrap();
         assert!(pred.data().iter().all(|v| v.is_finite()));

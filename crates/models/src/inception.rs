@@ -203,7 +203,11 @@ impl InceptionTime {
                     spec.bits,
                 )?);
             }
-            let bn = BatchNorm1d::new(&mut store, &format!("block{i}.bn"), spec.layers * config.filters)?;
+            let bn = BatchNorm1d::new(
+                &mut store,
+                &format!("block{i}.bn"),
+                spec.layers * config.filters,
+            )?;
             blocks.push(Block { convs, bn });
         }
         let last_c = config.blocks.last().map_or(0, |b| b.layers * config.filters);
@@ -288,7 +292,8 @@ impl InceptionTime {
             for batch in train.minibatches(&mut rng, cfg.batch_size)? {
                 let mut tape = Tape::new();
                 let mut bind = Bindings::new();
-                let logits = self.forward_train(&mut tape, &mut bind, &batch.inputs, Mode::Train)?;
+                let logits =
+                    self.forward_train(&mut tape, &mut bind, &batch.inputs, Mode::Train)?;
                 let logp = tape.log_softmax(logits)?;
                 let loss = tape.nll_mean(logp, &batch.labels)?;
                 epoch_loss += tape.value(loss)?.item()?;
@@ -322,7 +327,7 @@ impl InceptionTime {
         let mut buf = Vec::new();
         buf.put_slice(b"LTIM");
         buf.put_u16_le(1); // model-format version
-        // config
+                           // config
         buf.put_u32_le(self.config.blocks.len() as u32);
         for b in &self.config.blocks {
             buf.put_u32_le(b.layers as u32);
@@ -445,9 +450,8 @@ impl Classifier for InceptionTime {
 
 /// Channel-wise concatenation of `[b, c_i, l]` tensors (inference path).
 pub(crate) fn concat_channels_plain(parts: &[Tensor]) -> Result<Tensor> {
-    let first = parts
-        .first()
-        .ok_or_else(|| ModelError::BadConfig { what: "concat of nothing".into() })?;
+    let first =
+        parts.first().ok_or_else(|| ModelError::BadConfig { what: "concat of nothing".into() })?;
     let (b, l) = (first.dims()[0], first.dims()[2]);
     let c_total: usize = parts.iter().map(|p| p.dims()[1]).sum();
     let mut out = vec![0.0f32; b * c_total * l];

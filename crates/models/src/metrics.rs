@@ -140,10 +140,8 @@ pub fn balanced_accuracy(probs: &Tensor, labels: &[usize]) -> Result<f64> {
     let mut total = vec![0usize; classes];
     for (bi, &label) in labels.iter().enumerate() {
         total[label] += 1;
-        let row = Tensor::from_vec(
-            probs.data()[bi * classes..(bi + 1) * classes].to_vec(),
-            &[classes],
-        )?;
+        let row =
+            Tensor::from_vec(probs.data()[bi * classes..(bi + 1) * classes].to_vec(), &[classes])?;
         if row.argmax()? == label {
             correct[label] += 1;
         }
@@ -165,11 +163,7 @@ mod tests {
 
     fn probs3() -> Tensor {
         // row 0: best class 2; row 1: best class 0; row 2: best class 1
-        Tensor::from_vec(
-            vec![0.1, 0.2, 0.7, 0.6, 0.3, 0.1, 0.2, 0.5, 0.3],
-            &[3, 3],
-        )
-        .unwrap()
+        Tensor::from_vec(vec![0.1, 0.2, 0.7, 0.6, 0.3, 0.1, 0.2, 0.5, 0.3], &[3, 3]).unwrap()
     }
 
     #[test]
@@ -209,11 +203,7 @@ mod tests {
     #[test]
     fn confusion_matrix_counts_and_derived_metrics() {
         // rows: true 0 predicted 0; true 0 predicted 1; true 1 predicted 1
-        let p = Tensor::from_vec(
-            vec![0.9, 0.1, 0.2, 0.8, 0.3, 0.7],
-            &[3, 2],
-        )
-        .unwrap();
+        let p = Tensor::from_vec(vec![0.9, 0.1, 0.2, 0.8, 0.3, 0.7], &[3, 2]).unwrap();
         let cm = ConfusionMatrix::from_probs(&p, &[0, 0, 1]).unwrap();
         assert_eq!(cm.get(0, 0), 1);
         assert_eq!(cm.get(0, 1), 1);
@@ -240,11 +230,7 @@ mod tests {
     #[test]
     fn balanced_accuracy_weights_classes_equally() {
         // 3 rows of class 0 (all correct), 1 row of class 1 (wrong)
-        let p = Tensor::from_vec(
-            vec![0.9, 0.1, 0.9, 0.1, 0.9, 0.1, 0.9, 0.1],
-            &[4, 2],
-        )
-        .unwrap();
+        let p = Tensor::from_vec(vec![0.9, 0.1, 0.9, 0.1, 0.9, 0.1, 0.9, 0.1], &[4, 2]).unwrap();
         let labels = [0usize, 0, 0, 1];
         let plain = accuracy(&p, &labels).unwrap();
         let balanced = balanced_accuracy(&p, &labels).unwrap();

@@ -87,7 +87,8 @@ impl IntervalForest {
             for i in 0..train.len() {
                 feats.push(extract_features(train.series(i)?, &intervals, canonical)?);
             }
-            let tree = DecisionTree::fit(&feats, &labels, train.num_classes(), &cfg.tree, &mut rng)?;
+            let tree =
+                DecisionTree::fit(&feats, &labels, train.num_classes(), &cfg.tree, &mut rng)?;
             members.push(Member { intervals, tree });
         }
         Ok(IntervalForest {

@@ -23,11 +23,8 @@ impl Interval {
     /// series of length `series_len`.
     pub fn random<R: Rng>(rng: &mut R, series_len: usize, min_len: usize) -> Self {
         let min_len = min_len.min(series_len).max(1);
-        let len = if series_len > min_len {
-            rng.gen_range(min_len..=series_len)
-        } else {
-            series_len
-        };
+        let len =
+            if series_len > min_len { rng.gen_range(min_len..=series_len) } else { series_len };
         let start = if series_len > len { rng.gen_range(0..=series_len - len) } else { 0 };
         Interval { start, len }
     }
@@ -82,16 +79,14 @@ pub fn canonical_stats(window: &[f32]) -> [f32; 8] {
     let iqr = q(0.75) - q(0.25);
     let min = sorted[0];
     let max = sorted[sorted.len() - 1];
-    let crossings = window
-        .windows(2)
-        .filter(|w| (w[0] - mean).signum() != (w[1] - mean).signum())
-        .count() as f32
-        / window.len().max(1) as f32;
+    let crossings =
+        window.windows(2).filter(|w| (w[0] - mean).signum() != (w[1] - mean).signum()).count()
+            as f32
+            / window.len().max(1) as f32;
     let acf1 = {
         let denom: f32 = window.iter().map(|&v| (v - mean) * (v - mean)).sum();
         if denom > 1e-12 && window.len() > 1 {
-            let num: f32 =
-                window.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
+            let num: f32 = window.windows(2).map(|w| (w[0] - mean) * (w[1] - mean)).sum();
             num / denom
         } else {
             0.0

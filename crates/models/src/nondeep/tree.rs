@@ -31,15 +31,8 @@ impl Default for TreeConfig {
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf {
-        dist: Vec<f32>,
-    },
-    Split {
-        feature: usize,
-        threshold: f32,
-        left: usize,
-        right: usize,
-    },
+    Leaf { dist: Vec<f32> },
+    Split { feature: usize, threshold: f32, left: usize, right: usize },
 }
 
 /// A trained decision tree producing class distributions at its leaves.
@@ -231,7 +224,12 @@ mod tests {
     fn fits_xor_with_enough_depth() {
         let (feats, labels) = xor_data();
         let mut rng = seeded(2);
-        let cfg = TreeConfig { max_depth: 8, min_split: 2, feature_subset: None, thresholds_per_feature: 12 };
+        let cfg = TreeConfig {
+            max_depth: 8,
+            min_split: 2,
+            feature_subset: None,
+            thresholds_per_feature: 12,
+        };
         let tree = DecisionTree::fit(&feats, &labels, 2, &cfg, &mut rng).unwrap();
         let mut correct = 0;
         for (f, &l) in feats.iter().zip(labels.iter()) {
@@ -270,8 +268,7 @@ mod tests {
     fn dist_sums_to_one() {
         let (feats, labels) = xor_data();
         let mut rng = seeded(5);
-        let tree =
-            DecisionTree::fit(&feats, &labels, 2, &TreeConfig::default(), &mut rng).unwrap();
+        let tree = DecisionTree::fit(&feats, &labels, 2, &TreeConfig::default(), &mut rng).unwrap();
         for f in feats.iter().take(20) {
             let d = tree.predict_dist(f).unwrap();
             assert!((d.iter().sum::<f32>() - 1.0).abs() < 1e-5);

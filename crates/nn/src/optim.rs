@@ -40,10 +40,7 @@ impl Optimizer for Sgd {
     fn step(&mut self, store: &mut ParamStore, grads: &[(ParamRef, Tensor)]) -> Result<()> {
         for (r, g) in grads {
             let update = if self.momentum > 0.0 {
-                let v = self
-                    .velocity
-                    .entry(r.index())
-                    .or_insert_with(|| Tensor::zeros(g.dims()));
+                let v = self.velocity.entry(r.index()).or_insert_with(|| Tensor::zeros(g.dims()));
                 *v = v.scale(self.momentum).add(g)?;
                 v.clone()
             } else {
@@ -92,9 +89,7 @@ impl Optimizer for Adam {
             let m = self.m.entry(r.index()).or_insert_with(|| Tensor::zeros(g.dims()));
             let v = self.v.entry(r.index()).or_insert_with(|| Tensor::zeros(g.dims()));
             *m = m.scale(self.beta1).add(&g.scale(1.0 - self.beta1))?;
-            *v = v
-                .scale(self.beta2)
-                .add(&g.mul(g)?.scale(1.0 - self.beta2))?;
+            *v = v.scale(self.beta2).add(&g.mul(g)?.scale(1.0 - self.beta2))?;
             let p = store.get_mut(*r)?;
             let (lr, eps) = (self.lr, self.eps);
             let update = m.zip_map(v, |mi, vi| {

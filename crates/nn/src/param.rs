@@ -51,17 +51,13 @@ impl ParamStore {
 
     /// Read access to a parameter.
     pub fn get(&self, r: ParamRef) -> Result<&Param> {
-        self.params
-            .get(r.0)
-            .ok_or(NnError::InvalidParam { index: r.0, len: self.params.len() })
+        self.params.get(r.0).ok_or(NnError::InvalidParam { index: r.0, len: self.params.len() })
     }
 
     /// Write access to a parameter.
     pub fn get_mut(&mut self, r: ParamRef) -> Result<&mut Param> {
         let len = self.params.len();
-        self.params
-            .get_mut(r.0)
-            .ok_or(NnError::InvalidParam { index: r.0, len })
+        self.params.get_mut(r.0).ok_or(NnError::InvalidParam { index: r.0, len })
     }
 
     /// Number of parameters tensors.
@@ -89,10 +85,7 @@ impl ParamStore {
     /// This is the paper's model-size metric ("counting the total bits",
     /// Section 3.3.2).
     pub fn size_bits(&self) -> u64 {
-        self.params
-            .iter()
-            .map(|p| p.value.len() as u64 * u64::from(p.bits))
-            .sum()
+        self.params.iter().map(|p| p.value.len() as u64 * u64::from(p.bits)).sum()
     }
 
     /// Model size in bytes (rounded up).
@@ -147,10 +140,7 @@ impl Bindings {
     /// the loss) are silently skipped — this is correct for optimizers since
     /// a missing gradient is a zero gradient.
     pub fn collect_grads(&self, mut grads: Grads) -> Vec<(ParamRef, Tensor)> {
-        self.entries
-            .iter()
-            .filter_map(|&(var, r)| grads.take(var).map(|g| (r, g)))
-            .collect()
+        self.entries.iter().filter_map(|&(var, r)| grads.take(var).map(|g| (r, g))).collect()
     }
 }
 

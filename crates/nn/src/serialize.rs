@@ -77,10 +77,7 @@ impl<'a> BitReader<'a> {
 
     fn pull(&mut self, bits: u8) -> Result<u32> {
         while self.nbits < u32::from(bits) {
-            let byte = *self
-                .data
-                .get(self.pos)
-                .ok_or_else(|| bad("packed stream truncated"))?;
+            let byte = *self.data.get(self.pos).ok_or_else(|| bad("packed stream truncated"))?;
             self.acc |= u64::from(byte) << self.nbits;
             self.nbits += 8;
             self.pos += 1;
@@ -301,11 +298,14 @@ mod tests {
         // payloads: 500 vs 1000 vs 4000 bytes (+ constant header)
         assert!(s8 - s4 > 400, "4-bit packing saves: {s4} vs {s8}");
         assert!(s32 - s8 > 2500);
-        assert_eq!(serialized_size(&{
-            let mut s = ParamStore::new();
-            s.register("w", Tensor::zeros(&[1000]), 4);
-            s
-        }), mk(4));
+        assert_eq!(
+            serialized_size(&{
+                let mut s = ParamStore::new();
+                s.register("w", Tensor::zeros(&[1000]), 4);
+                s
+            }),
+            mk(4)
+        );
     }
 
     #[test]
@@ -341,9 +341,8 @@ mod tests {
     fn bitpacking_roundtrip_exhaustive_small() {
         for bits in [1u8, 3, 4, 5, 7, 8, 12, 16] {
             let max = if bits >= 16 { 65_535 } else { (1u32 << bits) - 1 };
-            let codes: Vec<u32> = (0..50u64)
-                .map(|i| ((i * 2_654_435_761) % u64::from(max + 1)) as u32)
-                .collect();
+            let codes: Vec<u32> =
+                (0..50u64).map(|i| ((i * 2_654_435_761) % u64::from(max + 1)) as u32).collect();
             let mut w = BitWriter::new(codes.len() * bits as usize);
             for &c in &codes {
                 w.push(c, bits);

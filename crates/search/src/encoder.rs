@@ -114,12 +114,7 @@ impl TwoPhaseEncoder {
         self.latent_dim
     }
 
-    fn encode_tape(
-        &self,
-        tape: &mut Tape,
-        bind: &mut Bindings,
-        x: Var,
-    ) -> Result<Var> {
+    fn encode_tape(&self, tape: &mut Tape, bind: &mut Bindings, x: Var) -> Result<Var> {
         let h = self.enc1.forward(tape, bind, &self.store, x)?;
         let h = tape.relu(h)?;
         Ok(self.enc2.forward(tape, bind, &self.store, h)?)
@@ -158,11 +153,7 @@ impl TwoPhaseEncoder {
     }
 
     /// Predicted accuracy of a setting via `Ψ(Φ(x))`.
-    pub fn predict_accuracy(
-        &self,
-        space: &SearchSpace,
-        setting: &StudentSetting,
-    ) -> Result<f32> {
+    pub fn predict_accuracy(&self, space: &SearchSpace, setting: &StudentSetting) -> Result<f32> {
         let oh = Tensor::from_vec(space.encode_onehot(setting), &[1, self.input_dim])?;
         let z = self.encode_batch(&oh)?;
         let h = self.pred1.eval_forward(&self.store, &z)?;
@@ -196,14 +187,10 @@ pub fn train_encoder(
 
     // R unevaluated settings for the reconstruction phase
     let r_settings = space.sample_distinct(&mut rng, cfg.r_samples.max(cfg.batch));
-    let r_onehot: Vec<Vec<f32>> =
-        r_settings.iter().map(|s| space.encode_onehot(s)).collect();
+    let r_onehot: Vec<Vec<f32>> = r_settings.iter().map(|s| space.encode_onehot(s)).collect();
 
     // P evaluated settings for the predictor phase
-    let p_onehot: Vec<f32> = evaluated
-        .iter()
-        .flat_map(|(s, _)| space.encode_onehot(s))
-        .collect();
+    let p_onehot: Vec<f32> = evaluated.iter().flat_map(|(s, _)| space.encode_onehot(s)).collect();
     let p_targets: Vec<f32> = evaluated.iter().map(|(_, a)| *a as f32).collect();
 
     let mut opt = Adam::new(cfg.lr);
@@ -234,7 +221,14 @@ pub fn train_encoder(
         // ----- predictor phase (lines 8–10) -----
         if with_predictor && epoch % ps == ps - 1 {
             for _ in 0..cfg.predictor_steps.max(1) {
-                predictor_step(&mut enc, &p_onehot, &p_targets, evaluated.len(), input_dim, &mut opt)?;
+                predictor_step(
+                    &mut enc,
+                    &p_onehot,
+                    &p_targets,
+                    evaluated.len(),
+                    input_dim,
+                    &mut opt,
+                )?;
             }
         }
     }
@@ -328,26 +322,28 @@ mod tests {
     fn two_phase_encoder_predicts_accuracy_trend() {
         let sp = space();
         let mut rng = seeded(11);
+        // 48 labeled points and double the quick epoch budget: with only 24
+        // points the tiny regression head learns the trend only for lucky
+        // RNG streams, which made this test flake when the random sequence
+        // changed.
         let evaluated: Vec<(StudentSetting, f64)> = sp
-            .sample_distinct(&mut rng, 24)
+            .sample_distinct(&mut rng, 48)
             .into_iter()
             .map(|s| {
                 let a = synth_acc(&s);
                 (s, a)
             })
             .collect();
-        let enc = train_encoder(&sp, &evaluated, &quick_cfg(), true).unwrap();
+        let cfg = EncoderConfig { epochs: 160, ..quick_cfg() };
+        let enc = train_encoder(&sp, &evaluated, &cfg, true).unwrap();
         // prediction should correlate with the ground truth on fresh points
         let fresh = sp.sample_distinct(&mut rng, 24);
-        let preds: Vec<f64> = fresh
-            .iter()
-            .map(|s| f64::from(enc.predict_accuracy(&sp, s).unwrap()))
-            .collect();
+        let preds: Vec<f64> =
+            fresh.iter().map(|s| f64::from(enc.predict_accuracy(&sp, s).unwrap())).collect();
         let truth: Vec<f64> = fresh.iter().map(synth_acc).collect();
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         let (mp, mt) = (mean(&preds), mean(&truth));
-        let cov: f64 =
-            preds.iter().zip(truth.iter()).map(|(&p, &t)| (p - mp) * (t - mt)).sum();
+        let cov: f64 = preds.iter().zip(truth.iter()).map(|(&p, &t)| (p - mp) * (t - mt)).sum();
         let vp: f64 = preds.iter().map(|&p| (p - mp) * (p - mp)).sum();
         let vt: f64 = truth.iter().map(|&t| (t - mt) * (t - mt)).sum();
         let corr = cov / (vp.sqrt() * vt.sqrt()).max(1e-12);

@@ -48,11 +48,7 @@ impl GaussianProcess {
             }
         }
         dists.sort_by(|a, b| a.total_cmp(b));
-        let length_scale = if dists.is_empty() {
-            1.0
-        } else {
-            dists[dists.len() / 2].max(1e-3)
-        };
+        let length_scale = if dists.is_empty() { 1.0 } else { dists[dists.len() / 2].max(1e-3) };
 
         let kernel = |a: &[f32], b: &[f32]| -> f32 {
             theta_f * (-dist_sq(a, b) / (2.0 * length_scale * length_scale)).exp()
@@ -86,8 +82,7 @@ impl GaussianProcess {
 
     #[inline]
     fn kernel(&self, a: &[f32], b: &[f32]) -> f32 {
-        self.theta_f
-            * (-dist_sq(a, b) / (2.0 * self.length_scale * self.length_scale)).exp()
+        self.theta_f * (-dist_sq(a, b) / (2.0 * self.length_scale * self.length_scale)).exp()
     }
 
     /// Posterior predictive mean and variance at `x_star` (paper Eq. 9).
@@ -102,12 +97,11 @@ impl GaussianProcess {
             });
         }
         let k_star: Vec<f32> = self.x.iter().map(|xi| self.kernel(x_star, xi)).collect();
-        let mean = self.y_mean
-            + k_star.iter().zip(self.alpha.iter()).map(|(&a, &b)| a * b).sum::<f32>();
+        let mean =
+            self.y_mean + k_star.iter().zip(self.alpha.iter()).map(|(&a, &b)| a * b).sum::<f32>();
         // σ² = κ(x*,x*) − vᵀv with v = L⁻¹ k*
         let v = self.chol.solve_lower(&k_star)?;
-        let var = (self.kernel(x_star, x_star) - v.iter().map(|&x| x * x).sum::<f32>())
-            .max(1e-9);
+        let var = (self.kernel(x_star, x_star) - v.iter().map(|&x| x * x).sum::<f32>()).max(1e-9);
         Ok((mean, var))
     }
 }

@@ -104,7 +104,12 @@ where
 }
 
 /// Pure random search: evaluate `q` distinct random settings.
-pub fn random_search<F>(space: &SearchSpace, mut oracle: F, q: usize, seed: u64) -> Result<MoboOutcome>
+pub fn random_search<F>(
+    space: &SearchSpace,
+    mut oracle: F,
+    q: usize,
+    seed: u64,
+) -> Result<MoboOutcome>
 where
     F: FnMut(&StudentSetting) -> std::result::Result<f64, String>,
 {
@@ -133,19 +138,14 @@ impl<'a> ReprBuilder<'a> {
         matches!(repr, SpaceRepr::SingleEncoder | SpaceRepr::TwoPhaseEncoder)
     }
 
-    fn refresh(
-        &mut self,
-        evaluated: &[Evaluated],
-        cfg: &MoboConfig,
-    ) -> Result<()> {
+    fn refresh(&mut self, evaluated: &[Evaluated], cfg: &MoboConfig) -> Result<()> {
         if !Self::needs_encoder(self.repr) {
             return Ok(());
         }
         let pairs: Vec<(StudentSetting, f64)> =
             evaluated.iter().map(|e| (e.setting.clone(), e.accuracy)).collect();
         let with_predictor = self.repr == SpaceRepr::TwoPhaseEncoder;
-        self.encoder =
-            Some(train_encoder(self.space, &pairs, &cfg.encoder, with_predictor)?);
+        self.encoder = Some(train_encoder(self.space, &pairs, &cfg.encoder, with_predictor)?);
         Ok(())
     }
 
@@ -197,10 +197,8 @@ where
 
     // ----- BO iterations -----
     while evaluated.len() < cfg.q {
-        let xs: Vec<Vec<f32>> = evaluated
-            .iter()
-            .map(|e| reprs.encode(&e.setting))
-            .collect::<Result<_>>()?;
+        let xs: Vec<Vec<f32>> =
+            evaluated.iter().map(|e| reprs.encode(&e.setting)).collect::<Result<_>>()?;
         let ys: Vec<f32> = evaluated.iter().map(|e| e.accuracy as f32).collect();
         let gp = GaussianProcess::fit(xs, &ys)?;
 
@@ -242,9 +240,7 @@ where
         evaluated.push(Evaluated { setting: chosen, accuracy, size_bits });
 
         since_refresh += 1;
-        if since_refresh >= cfg.encoder_refresh.max(1)
-            && ReprBuilder::needs_encoder(cfg.repr)
-        {
+        if since_refresh >= cfg.encoder_refresh.max(1) && ReprBuilder::needs_encoder(cfg.repr) {
             reprs.refresh(&evaluated, cfg)?;
             since_refresh = 0;
         }

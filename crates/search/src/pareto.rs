@@ -34,11 +34,7 @@ pub fn dominates(a: &Evaluated, b: &Evaluated) -> bool {
 /// accuracy. `O(n log n)`.
 pub fn pareto_frontier(points: &[Evaluated]) -> Vec<Evaluated> {
     let mut sorted: Vec<&Evaluated> = points.iter().collect();
-    sorted.sort_by(|a, b| {
-        a.size_bits
-            .cmp(&b.size_bits)
-            .then(b.accuracy.total_cmp(&a.accuracy))
-    });
+    sorted.sort_by(|a, b| a.size_bits.cmp(&b.size_bits).then(b.accuracy.total_cmp(&a.accuracy)));
     let mut out: Vec<Evaluated> = Vec::new();
     let mut best_acc = f64::NEG_INFINITY;
     for p in sorted {
@@ -68,10 +64,7 @@ pub fn skyline_bnl(points: &[Evaluated]) -> Vec<Evaluated> {
             }
         }
         // drop exact duplicates on both objectives
-        if !window
-            .iter()
-            .any(|w| w.accuracy == p.accuracy && w.size_bits == p.size_bits)
-        {
+        if !window.iter().any(|w| w.accuracy == p.accuracy && w.size_bits == p.size_bits) {
             window.push(p.clone());
         }
     }

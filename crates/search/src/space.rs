@@ -37,11 +37,7 @@ impl StudentSetting {
 
     /// Human-readable form, e.g. `(3,20,8)|(4,40,4)`.
     pub fn display(&self) -> String {
-        self.0
-            .iter()
-            .map(|(l, f, w)| format!("({l},{f},{w})"))
-            .collect::<Vec<_>>()
-            .join("|")
+        self.0.iter().map(|(l, f, w)| format!("({l},{f},{w})")).collect::<Vec<_>>().join("|")
     }
 }
 
@@ -161,11 +157,7 @@ impl SearchSpace {
     /// Raw encoding of a setting: the flat `(L, F, W)` values as `f32`
     /// (the paper's problematic "original space").
     pub fn encode_raw(&self, setting: &StudentSetting) -> Vec<f32> {
-        setting
-            .0
-            .iter()
-            .flat_map(|&(l, f, w)| [l as f32, f as f32, f32::from(w)])
-            .collect()
+        setting.0.iter().flat_map(|&(l, f, w)| [l as f32, f as f32, f32::from(w)]).collect()
     }
 
     /// Min-max normalized encoding: each coordinate scaled to `[0, 1]` by

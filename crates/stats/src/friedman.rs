@@ -100,11 +100,8 @@ mod tests {
     fn matches_textbook_example() {
         // Classic example (Conover): 3 treatments, 4 blocks.
         // Data arranged so ranks are clean.
-        let scores = vec![
-            vec![9.0, 9.5, 5.0, 7.5],
-            vec![7.0, 6.5, 7.0, 5.5],
-            vec![6.0, 8.0, 4.0, 4.0],
-        ];
+        let scores =
+            vec![vec![9.0, 9.5, 5.0, 7.5], vec![7.0, 6.5, 7.0, 5.5], vec![6.0, 8.0, 4.0, 4.0]];
         let r = friedman_test(&scores).unwrap();
         // hand-computed: ranks per block (higher better):
         // b1: 1,2,3 ; b2: 1,3,2 ; b3: 2,1,3 ; b4: 1,2,3
@@ -125,9 +122,8 @@ mod tests {
     #[test]
     fn random_noise_usually_retains_null() {
         // deterministic well-mixed noise, no real differences
-        let scores: Vec<Vec<f64>> = (0..4)
-            .map(|m| (0..20).map(|d| mix((m * 1_000 + d) as u64)).collect())
-            .collect();
+        let scores: Vec<Vec<f64>> =
+            (0..4).map(|m| (0..20).map(|d| mix((m * 1_000 + d) as u64)).collect()).collect();
         let r = friedman_test(&scores).unwrap();
         assert!(r.p_value > 0.01, "p = {}", r.p_value);
     }

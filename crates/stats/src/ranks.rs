@@ -95,11 +95,7 @@ mod tests {
 
     #[test]
     fn average_ranks_identify_dominant_method() {
-        let scores = vec![
-            vec![0.9, 0.8, 0.7],
-            vec![0.5, 0.6, 0.5],
-            vec![0.1, 0.2, 0.6],
-        ];
+        let scores = vec![vec![0.9, 0.8, 0.7], vec![0.5, 0.6, 0.5], vec![0.1, 0.2, 0.6]];
         let avg = average_ranks(&scores).unwrap();
         assert_eq!(avg[0], 1.0);
         assert!(avg[1] < avg[2]);

@@ -37,12 +37,8 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<WilcoxonResult> {
     if a.is_empty() {
         return Err(StatsError::BadInput { what: "empty samples".into() });
     }
-    let diffs: Vec<f64> = a
-        .iter()
-        .zip(b.iter())
-        .map(|(&x, &y)| x - y)
-        .filter(|d| *d != 0.0)
-        .collect();
+    let diffs: Vec<f64> =
+        a.iter().zip(b.iter()).map(|(&x, &y)| x - y).filter(|d| *d != 0.0).collect();
     let n = diffs.len();
     if n == 0 {
         return Ok(WilcoxonResult { statistic: 0.0, z: 0.0, p_value: 1.0, n_effective: 0 });

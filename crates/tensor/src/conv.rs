@@ -10,7 +10,7 @@
 //! * weight `w`: `[out_channels, in_channels, kernel]`
 //! * output `y`: `[batch, out_channels, length]`
 
-use crate::{Result, Tensor, TensorError};
+use crate::{par, Result, Tensor, TensorError};
 
 /// Padding for "same"-length convolution with a kernel of size `k`:
 /// `(pad_left, pad_right)`.
@@ -46,33 +46,35 @@ fn check_conv_shapes(x: &Tensor, w: &Tensor) -> Result<(usize, usize, usize, usi
 
 /// Forward "same" 1-D convolution (actually cross-correlation, the deep
 /// learning convention): `y[b,co,t] = Σ_ci Σ_j x[b,ci,t+j-pl] · w[co,ci,j]`.
+///
+/// Parallelised over the `(batch, out_channel)` grid: each output row
+/// `y[b,co,:]` is computed independently with an unchanged inner loop, so
+/// the result is bitwise identical to the serial kernel.
 pub fn conv1d_forward(x: &Tensor, w: &Tensor) -> Result<Tensor> {
     let (b, cin, l, cout, k) = check_conv_shapes(x, w)?;
     let (pl, _pr) = same_padding(k);
     let xd = x.data();
     let wd = w.data();
     let mut y = vec![0.0f32; b * cout * l];
-    for bi in 0..b {
-        for co in 0..cout {
-            let y_off = (bi * cout + co) * l;
-            for ci in 0..cin {
-                let x_off = (bi * cin + ci) * l;
-                let w_off = (co * cin + ci) * k;
-                for j in 0..k {
-                    let wv = wd[w_off + j];
-                    if wv == 0.0 {
-                        continue;
-                    }
-                    // t + j - pl in [0, l) ⇒ t in [pl - j, l + pl - j)
-                    let t_lo = pl.saturating_sub(j);
-                    let t_hi = (l + pl).saturating_sub(j).min(l);
-                    for t in t_lo..t_hi {
-                        y[y_off + t] += xd[x_off + t + j - pl] * wv;
-                    }
+    par::par_for_rows(&mut y, l, cin * k * l, |row, y_row| {
+        let (bi, co) = (row / cout, row % cout);
+        for ci in 0..cin {
+            let x_off = (bi * cin + ci) * l;
+            let w_off = (co * cin + ci) * k;
+            for j in 0..k {
+                let wv = wd[w_off + j];
+                if wv == 0.0 {
+                    continue;
+                }
+                // t + j - pl in [0, l) ⇒ t in [pl - j, l + pl - j)
+                let t_lo = pl.saturating_sub(j);
+                let t_hi = (l + pl).saturating_sub(j).min(l);
+                for t in t_lo..t_hi {
+                    y_row[t] += xd[x_off + t + j - pl] * wv;
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(y, &[b, cout, l])
 }
 
@@ -92,27 +94,28 @@ pub fn conv1d_backward_input(dy: &Tensor, w: &Tensor, input_dims: &[usize]) -> R
     let dyd = dy.data();
     let wd = w.data();
     let mut dx = vec![0.0f32; b * cin * l];
-    for bi in 0..b {
+    // Parallel over the (batch, in_channel) grid: each dx row accumulates
+    // contributions in the same co → j → t order as the serial bi → co → ci
+    // nest visited it, so results are bitwise identical.
+    par::par_for_rows(&mut dx, l, cout * k * l, |row, dx_row| {
+        let (bi, ci) = (row / cin, row % cin);
         for co in 0..cout {
             let dy_off = (bi * cout + co) * l;
-            for ci in 0..cin {
-                let dx_off = (bi * cin + ci) * l;
-                let w_off = (co * cin + ci) * k;
-                for j in 0..k {
-                    let wv = wd[w_off + j];
-                    if wv == 0.0 {
-                        continue;
-                    }
-                    // s = t + j - pl with t in [0,l) ⇒ s in [j-pl, l+j-pl)
-                    let t_lo = pl.saturating_sub(j);
-                    let t_hi = (l + pl).saturating_sub(j).min(l);
-                    for t in t_lo..t_hi {
-                        dx[dx_off + t + j - pl] += dyd[dy_off + t] * wv;
-                    }
+            let w_off = (co * cin + ci) * k;
+            for j in 0..k {
+                let wv = wd[w_off + j];
+                if wv == 0.0 {
+                    continue;
+                }
+                // s = t + j - pl with t in [0,l) ⇒ s in [j-pl, l+j-pl)
+                let t_lo = pl.saturating_sub(j);
+                let t_hi = (l + pl).saturating_sub(j).min(l);
+                for t in t_lo..t_hi {
+                    dx_row[t + j - pl] += dyd[dy_off + t] * wv;
                 }
             }
         }
-    }
+    });
     Tensor::from_vec(dx, &[b, cin, l])
 }
 
@@ -132,24 +135,26 @@ pub fn conv1d_backward_weight(dy: &Tensor, x: &Tensor, weight_dims: &[usize]) ->
     let dyd = dy.data();
     let xd = x.data();
     let mut dw = vec![0.0f32; cout * cin * k];
-    for bi in 0..b {
-        for co in 0..cout {
+    // Parallel over (out_channel, in_channel) filter rows. Each dw[co,ci,j]
+    // accumulates one per-batch t-sum per bi, in ascending bi order — the
+    // same per-element sequence as the serial bi-outermost nest, so results
+    // are bitwise identical.
+    par::par_for_rows(&mut dw, k, b * k * l, |row, dw_row| {
+        let (co, ci) = (row / cin, row % cin);
+        for bi in 0..b {
             let dy_off = (bi * cout + co) * l;
-            for ci in 0..cin {
-                let x_off = (bi * cin + ci) * l;
-                let w_off = (co * cin + ci) * k;
-                for (j, dwj) in dw[w_off..w_off + k].iter_mut().enumerate() {
-                    let t_lo = pl.saturating_sub(j);
-                    let t_hi = (l + pl).saturating_sub(j).min(l);
-                    let mut acc = 0.0f32;
-                    for t in t_lo..t_hi {
-                        acc += dyd[dy_off + t] * xd[x_off + t + j - pl];
-                    }
-                    *dwj += acc;
+            let x_off = (bi * cin + ci) * l;
+            for (j, dwj) in dw_row.iter_mut().enumerate() {
+                let t_lo = pl.saturating_sub(j);
+                let t_hi = (l + pl).saturating_sub(j).min(l);
+                let mut acc = 0.0f32;
+                for t in t_lo..t_hi {
+                    acc += dyd[dy_off + t] * xd[x_off + t + j - pl];
                 }
+                *dwj += acc;
             }
         }
-    }
+    });
     Tensor::from_vec(dw, &[cout, cin, k])
 }
 

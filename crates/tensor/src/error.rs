@@ -98,11 +98,7 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = TensorError::ShapeMismatch {
-            left: vec![2, 3],
-            right: vec![3, 2],
-            op: "add",
-        };
+        let e = TensorError::ShapeMismatch { left: vec![2, 3], right: vec![3, 2], op: "add" };
         let s = e.to_string();
         assert!(s.contains("add"));
         assert!(s.contains("[2, 3]"));

@@ -15,10 +15,14 @@
 //! * [`tape::Tape`] — a define-by-run autodiff tape. Every operation is an
 //!   explicit [`tape::Op`] variant with a hand-written backward rule, verified
 //!   against finite differences by property tests.
-//! * [`linalg`] — Cholesky decomposition and triangular solves for the GP
-//!   estimator.
+//! * [`linalg`] — Cholesky decomposition, triangular solves, and the blocked
+//!   matmul kernel for the GP estimator and dense layers.
 //! * [`quant`] — uniform quantization (paper Figure 4) shared by the
 //!   quantization-aware training op and the model-size accounting.
+//! * [`par`] — the thread-pool execution layer behind the convolution,
+//!   matmul, elementwise, and reduction kernels. Gated by the `parallel`
+//!   cargo feature (on by default); with the feature off every kernel runs
+//!   its serial path, which doubles as the differential-testing oracle.
 //!
 //! # Example
 //!
@@ -42,6 +46,7 @@ mod tensor;
 
 pub mod conv;
 pub mod linalg;
+pub mod par;
 pub mod quant;
 pub mod rng;
 pub mod tape;

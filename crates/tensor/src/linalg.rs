@@ -1,4 +1,5 @@
-//! Small dense linear algebra for the Gaussian-process estimator.
+//! Small dense linear algebra for the Gaussian-process estimator and the
+//! dense-layer matmul kernel.
 //!
 //! The encoded multi-objective Bayesian optimization (paper Section 3.3.3)
 //! needs the GP posterior mean and variance (Eqs. 8–9), which reduce to
@@ -6,8 +7,51 @@
 //! positive definite (after jitter), so we use Cholesky factorization with
 //! forward/backward substitution — numerically stable and `O(n³)` exactly as
 //! the paper's complexity analysis assumes.
+//!
+//! [`matmul_into`] is the cache-blocked, row-parallel matrix-multiply that
+//! backs [`Tensor::matmul`] (and through it the tape's dense layers).
 
-use crate::{Result, Tensor, TensorError};
+use crate::{par, Result, Tensor, TensorError};
+
+/// Number of consecutive `k`-indices processed per cache block in
+/// [`matmul_into`]. Keeps the touched rows of `b` resident in L1/L2 while a
+/// block is live. Blocking only reorders *loop traversal*, never the
+/// per-element accumulation sequence, so results are independent of this
+/// value.
+const MATMUL_K_BLOCK: usize = 256;
+
+/// `c = a · b` for row-major `a: [m,k]`, `b: [k,n]`, `c: [m,n]`.
+///
+/// The kernel is `ikj` (row-major friendly) with a zero-skip on `a`'s
+/// elements — weight matrices in this workspace are often sparse after
+/// magnitude pruning. Rows of `c` are computed independently and in the
+/// same `k`-ascending accumulation order as the serial loop, so the
+/// parallel path is bitwise identical to the serial oracle.
+pub fn matmul_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul_into: lhs length");
+    assert_eq!(b.len(), k * n, "matmul_into: rhs length");
+    assert_eq!(c.len(), m * n, "matmul_into: out length");
+    if n == 0 {
+        return;
+    }
+    par::par_for_rows(c, n, 2 * k * n, |i, c_row| {
+        let a_row = &a[i * k..(i + 1) * k];
+        let mut p0 = 0;
+        while p0 < k {
+            let p1 = (p0 + MATMUL_K_BLOCK).min(k);
+            for (p, &av) in a_row[p0..p1].iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let b_row = &b[(p0 + p) * n..(p0 + p + 1) * n];
+                for (o, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                    *o += av * bv;
+                }
+            }
+            p0 = p1;
+        }
+    });
+}
 
 /// Cholesky factorization of a symmetric positive-definite matrix.
 ///

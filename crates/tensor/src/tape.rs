@@ -286,7 +286,11 @@ impl Tape {
         let xv = &self.nodes[x.0].value;
         let bv = &self.nodes[bias.0].value;
         if bv.rank() != 1 {
-            return Err(TensorError::RankMismatch { found: bv.rank(), expected: 1, op: "add_bias" });
+            return Err(TensorError::RankMismatch {
+                found: bv.rank(),
+                expected: 1,
+                op: "add_bias",
+            });
         }
         let c = bv.len();
         let v = match xv.rank() {
@@ -434,7 +438,11 @@ impl Tape {
         self.check(logp)?;
         let lp = &self.nodes[logp.0].value;
         if lp.rank() != 2 {
-            return Err(TensorError::RankMismatch { found: lp.rank(), expected: 2, op: "nll_mean" });
+            return Err(TensorError::RankMismatch {
+                found: lp.rank(),
+                expected: 2,
+                op: "nll_mean",
+            });
         }
         let (b, k) = (lp.dims()[0], lp.dims()[1]);
         if targets.len() != b {
@@ -537,7 +545,11 @@ impl Tape {
         self.check(beta)?;
         let xv = &self.nodes[x.0].value;
         if xv.rank() != 3 {
-            return Err(TensorError::RankMismatch { found: xv.rank(), expected: 3, op: "batch_norm" });
+            return Err(TensorError::RankMismatch {
+                found: xv.rank(),
+                expected: 3,
+                op: "batch_norm",
+            });
         }
         let (b, c, l) = (xv.dims()[0], xv.dims()[1], xv.dims()[2]);
         let g = &self.nodes[gamma.0].value;
@@ -594,12 +606,7 @@ impl Tape {
         let var_out = var.clone();
         let node = self.push(
             v,
-            Op::BatchNorm {
-                x: x.0,
-                gamma: gamma.0,
-                beta: beta.0,
-                aux: BnAux { x_hat, inv_std },
-            },
+            Op::BatchNorm { x: x.0, gamma: gamma.0, beta: beta.0, aux: BnAux { x_hat, inv_std } },
             rg,
         );
         Ok((node, mean, var_out))
@@ -872,8 +879,7 @@ impl Tape {
                             for t in 0..l {
                                 let dy = gy.data()[off + t];
                                 let xh = aux.x_hat.data()[off + t];
-                                gx[off + t] =
-                                    coeff * (m * dy - sum_dy[ci] - xh * sum_dy_xhat[ci]);
+                                gx[off + t] = coeff * (m * dy - sum_dy[ci] - xh * sum_dy_xhat[ci]);
                             }
                         }
                     }
@@ -926,12 +932,9 @@ mod tests {
         let loss = tape.sum(d).unwrap();
         let grads = tape.backward(loss).unwrap();
 
-        let f_a = |t: &Tensor| {
-            t.mul(&xb).unwrap().scale(3.0).sub(t).unwrap().sum()
-        };
+        let f_a = |t: &Tensor| t.mul(&xb).unwrap().scale(3.0).sub(t).unwrap().sum();
         check_grad(f_a, &xa, grads.get(a).unwrap(), 1e-2);
-        let f_b =
-            |t: &Tensor| xa.mul(t).unwrap().scale(3.0).sub(&xa).unwrap().sum();
+        let f_b = |t: &Tensor| xa.mul(t).unwrap().scale(3.0).sub(&xa).unwrap().sum();
         check_grad(f_b, &xb, grads.get(b).unwrap(), 1e-2);
     }
 
@@ -1029,11 +1032,8 @@ mod tests {
     fn kl_grad_matches_fd() {
         let mut rng = StdRng::seed_from_u64(5);
         let logits = Tensor::randn(&mut rng, &[2, 4], 1.0);
-        let q = Tensor::from_vec(
-            vec![0.1, 0.2, 0.3, 0.4, 0.25, 0.25, 0.25, 0.25],
-            &[2, 4],
-        )
-        .unwrap();
+        let q =
+            Tensor::from_vec(vec![0.1, 0.2, 0.3, 0.4, 0.25, 0.25, 0.25, 0.25], &[2, 4]).unwrap();
         let mut tape = Tape::new();
         let x = tape.leaf(logits.clone(), true);
         let lp = tape.log_softmax(x).unwrap();

@@ -24,10 +24,7 @@ impl Tensor {
     pub fn from_vec(data: Vec<f32>, dims: &[usize]) -> Result<Self> {
         let shape = Shape::new(dims);
         if data.len() != shape.volume() {
-            return Err(TensorError::LengthMismatch {
-                len: data.len(),
-                expected: shape.volume(),
-            });
+            return Err(TensorError::LengthMismatch { len: data.len(), expected: shape.volume() });
         }
         Ok(Tensor { shape, data })
     }
@@ -151,11 +148,7 @@ impl Tensor {
     /// The single element of a scalar-like tensor.
     pub fn item(&self) -> Result<f32> {
         if self.data.len() != 1 {
-            return Err(TensorError::RankMismatch {
-                found: self.rank(),
-                expected: 1,
-                op: "item",
-            });
+            return Err(TensorError::RankMismatch { found: self.rank(), expected: 1, op: "item" });
         }
         Ok(self.data[0])
     }
@@ -198,11 +191,7 @@ impl Tensor {
     /// Extracts row `i` of a rank-2 tensor as a rank-1 tensor.
     pub fn row(&self, i: usize) -> Result<Self> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch {
-                found: self.rank(),
-                expected: 2,
-                op: "row",
-            });
+            return Err(TensorError::RankMismatch { found: self.rank(), expected: 2, op: "row" });
         }
         let (m, n) = (self.dims()[0], self.dims()[1]);
         if i >= m {
@@ -262,10 +251,7 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().map(|&x| f(x)).collect(),
-        }
+        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
     }
 
     /// Applies `f` pairwise to elements of `self` and `other`.
@@ -279,33 +265,64 @@ impl Tensor {
         }
         Ok(Tensor {
             shape: self.shape.clone(),
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
         })
+    }
+
+    /// Element-wise binary op threaded through the parallel layer.
+    ///
+    /// Position-independent `f` means chunking never changes results; this
+    /// is the parallel analogue of [`Tensor::zip_map`] (whose `impl Fn`
+    /// argument is deliberately not required to be `Sync`).
+    fn par_zip(
+        &self,
+        other: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32 + Sync,
+    ) -> Result<Self> {
+        if self.dims() != other.dims() {
+            return Err(TensorError::ShapeMismatch {
+                left: self.dims().to_vec(),
+                right: other.dims().to_vec(),
+                op,
+            });
+        }
+        let mut out = self.data.clone();
+        let rhs = other.data();
+        crate::par::par_for_chunks(&mut out, crate::par::REDUCE_CHUNK, 1, |c, chunk| {
+            let off = c * crate::par::REDUCE_CHUNK;
+            let n = chunk.len();
+            for (o, &b) in chunk.iter_mut().zip(rhs[off..off + n].iter()) {
+                *o = f(*o, b);
+            }
+        });
+        Ok(Tensor { shape: self.shape.clone(), data: out })
     }
 
     /// Element-wise sum.
     pub fn add(&self, other: &Tensor) -> Result<Self> {
-        self.zip_map(other, |a, b| a + b)
+        self.par_zip(other, "add", |a, b| a + b)
     }
 
     /// Element-wise difference.
     pub fn sub(&self, other: &Tensor) -> Result<Self> {
-        self.zip_map(other, |a, b| a - b)
+        self.par_zip(other, "sub", |a, b| a - b)
     }
 
     /// Element-wise product (Hadamard).
     pub fn mul(&self, other: &Tensor) -> Result<Self> {
-        self.zip_map(other, |a, b| a * b)
+        self.par_zip(other, "mul", |a, b| a * b)
     }
 
     /// Multiplies every element by `s`.
     pub fn scale(&self, s: f32) -> Self {
-        self.map(|x| x * s)
+        let mut out = self.data.clone();
+        crate::par::par_for_chunks(&mut out, crate::par::REDUCE_CHUNK, 1, |_, chunk| {
+            for o in chunk {
+                *o *= s;
+            }
+        });
+        Tensor { shape: self.shape.clone(), data: out }
     }
 
     /// Adds `s` to every element.
@@ -322,9 +339,14 @@ impl Tensor {
                 op: "axpy",
             });
         }
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += b * s;
-        }
+        let rhs = other.data();
+        crate::par::par_for_chunks(&mut self.data, crate::par::REDUCE_CHUNK, 2, |c, chunk| {
+            let off = c * crate::par::REDUCE_CHUNK;
+            let n = chunk.len();
+            for (a, &b) in chunk.iter_mut().zip(rhs[off..off + n].iter()) {
+                *a += b * s;
+            }
+        });
         Ok(())
     }
 
@@ -333,8 +355,13 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Sum of all elements.
+    ///
+    /// Reduced in fixed-size chunks combined in order (see
+    /// [`crate::par::chunked_sum`]), so the value is identical across
+    /// thread counts and feature configurations; tensors smaller than one
+    /// chunk sum exactly left-to-right.
     pub fn sum(&self) -> f32 {
-        self.data.iter().sum()
+        crate::par::chunked_sum(&self.data)
     }
 
     /// Mean of all elements (0 for an empty tensor).
@@ -395,15 +422,18 @@ impl Tensor {
             });
         }
         let (m, n) = (self.dims()[0], self.dims()[1]);
+        if n == 0 {
+            return Tensor::from_vec(Vec::new(), &[m, n]);
+        }
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
+        crate::par::par_for_rows(&mut out, n, 4 * n, |i, out_row| {
             let row = &self.data[i * n..(i + 1) * n];
             let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let lse = row.iter().map(|&x| (x - mx).exp()).sum::<f32>().ln() + mx;
-            for j in 0..n {
-                out[i * n + j] = row[j] - lse;
+            for (o, &x) in out_row.iter_mut().zip(row.iter()) {
+                *o = x - lse;
             }
-        }
+        });
         Tensor::from_vec(out, &[m, n])
     }
 
@@ -413,8 +443,9 @@ impl Tensor {
 
     /// Rank-2 matrix product `self[m,k] @ other[k,n] -> [m,n]`.
     ///
-    /// A straightforward ikj-ordered triple loop; fast enough for the small
-    /// fully-connected layers and GP covariance products in this workload.
+    /// Delegates to [`crate::linalg::matmul_into`]: a cache-blocked,
+    /// row-parallel ikj kernel whose results are bitwise identical to the
+    /// serial triple loop.
     pub fn matmul(&self, other: &Tensor) -> Result<Self> {
         if self.rank() != 2 || other.rank() != 2 {
             return Err(TensorError::RankMismatch {
@@ -433,19 +464,7 @@ impl Tensor {
             });
         }
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (p, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[p * n..(p + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::linalg::matmul_into(&mut out, &self.data, &other.data, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }
 }

@@ -8,17 +8,15 @@
 //! Run with: `cargo run --release --example forecast_distill`
 
 use lightts::data::forecast::{synthetic_series, windows_from_series};
-use lightts::distill::forecast::{
-    forecast_lightts, ForecastAedConfig, ForecastTeachers,
-};
+use lightts::distill::forecast::{forecast_lightts, ForecastAedConfig, ForecastTeachers};
 use lightts::models::forecaster::{ForecastConfig, Forecaster};
 use lightts::tensor::rng::seeded;
 
 fn main() {
     // A long synthetic series with trend + two seasonalities.
     let series = synthetic_series(1, 600, 0.08, 42);
-    let splits = windows_from_series("grid-load", &series, 24, 4, 2, 0.15, 0.15)
-        .expect("windowing");
+    let splits =
+        windows_from_series("grid-load", &series, 24, 4, 2, 0.15, 0.15).expect("windowing");
     println!(
         "forecasting task: history {} → horizon {}, {} train / {} val / {} test windows",
         splits.train.history(),

@@ -40,14 +40,11 @@ fn main() {
             6,
             4,
         );
-        let classic =
-            run_method(Method::ClassicKd, &splits, &teachers, &student_cfg, &cfg.distill)
-                .expect("classic KD");
+        let classic = run_method(Method::ClassicKd, &splits, &teachers, &student_cfg, &cfg.distill)
+            .expect("classic KD");
         let classic_acc = test_accuracy(&classic.student, &splits);
 
-        let ours = lightts
-            .distill_with_config(&splits, &teachers, &student_cfg)
-            .expect("LightTS");
+        let ours = lightts.distill_with_config(&splits, &teachers, &student_cfg).expect("LightTS");
         let ours_acc = test_accuracy(&ours.student, &splits);
 
         println!(

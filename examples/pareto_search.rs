@@ -59,18 +59,13 @@ fn main() {
     println!("running Random / MOBO / Encoded MOBO with Q = {q} AED evaluations each…");
     let random = random_search(&space, oracle, q, 11).expect("random");
     let mobo = run_mobo(&space, oracle, &base_mobo).expect("mobo");
-    let encoded = run_mobo(
-        &space,
-        oracle,
-        &MoboConfig { repr: SpaceRepr::TwoPhaseEncoder, ..base_mobo },
-    )
-    .expect("encoded mobo");
+    let encoded =
+        run_mobo(&space, oracle, &MoboConfig { repr: SpaceRepr::TwoPhaseEncoder, ..base_mobo })
+            .expect("encoded mobo");
 
     let ref_size = space.max_size_bits();
     println!("\nstrategy       frontier  hypervolume");
-    for (name, out) in
-        [("Random", &random), ("MOBO", &mobo), ("Encoded MOBO", &encoded)]
-    {
+    for (name, out) in [("Random", &random), ("MOBO", &mobo), ("Encoded MOBO", &encoded)] {
         println!(
             "{name:<14} {:>8}  {:.4e}",
             out.frontier.len(),

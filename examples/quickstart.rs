@@ -70,8 +70,5 @@ fn main() {
         outcome.student.size_bits() / 8 / 1024,
         ensemble.len()
     );
-    println!(
-        "compression: the 8-bit student stores {} bits/parameter instead of 32",
-        8
-    );
+    println!("compression: the 8-bit student stores {} bits/parameter instead of 32", 8);
 }

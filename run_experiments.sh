@@ -1,8 +1,11 @@
 #!/bin/bash
 # Runs every experiment binary at quick scale, recording TSV outputs.
+# (The extra `calibrate` binary is a host-sizing utility, not a paper
+# artifact, so it is not part of this sweep.)
 set -u
-cd /root/repo
+cd "$(dirname "$0")"
 mkdir -p results
+cargo build --release -p lightts-bench
 BINS="table3_removal fig13_ranking table2_inception fig18_training_time table4_nondeep fig19_sensitivity fig20_n_effect fig17_fewclass_ranking fig22_pareto table6_search_time table5_gp_estimation fig21_base_improvement fig23_varying_p ablation_aed"
 for b in $BINS; do
   echo "=== $b start $(date +%T) ==="

@@ -3,6 +3,10 @@
 //! This crate exists to host the runnable examples (`examples/`) and the
 //! cross-crate integration tests (`tests/`); the library itself lives in
 //! the [`lightts`] facade crate and its sub-crates. See `README.md` for the
-//! repository map and `DESIGN.md` for the paper-to-module inventory.
+//! repository map, `ARCHITECTURE.md` for the crate dependency graph and
+//! data-flow walkthroughs, and `DESIGN.md` for the paper-to-module
+//! inventory.
+
+#![warn(missing_docs)]
 
 pub use lightts;

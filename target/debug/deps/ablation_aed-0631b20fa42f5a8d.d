@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_aed-0631b20fa42f5a8d.d: crates/bench/src/bin/ablation_aed.rs
+
+/root/repo/target/debug/deps/ablation_aed-0631b20fa42f5a8d: crates/bench/src/bin/ablation_aed.rs
+
+crates/bench/src/bin/ablation_aed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_aed-250cde28798e9d96.d: crates/bench/src/bin/ablation_aed.rs
+
+/root/repo/target/debug/deps/ablation_aed-250cde28798e9d96: crates/bench/src/bin/ablation_aed.rs
+
+crates/bench/src/bin/ablation_aed.rs:

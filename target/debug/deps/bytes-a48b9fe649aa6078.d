@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bytes-a48b9fe649aa6078.d: crates/compat/bytes/src/lib.rs
+
+/root/repo/target/debug/deps/libbytes-a48b9fe649aa6078.rmeta: crates/compat/bytes/src/lib.rs
+
+crates/compat/bytes/src/lib.rs:

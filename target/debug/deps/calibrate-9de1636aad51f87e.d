@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-9de1636aad51f87e.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-9de1636aad51f87e: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

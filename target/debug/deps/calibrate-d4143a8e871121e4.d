@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-d4143a8e871121e4.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-d4143a8e871121e4: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deployment-2f42a203d5f8ac77.d: tests/deployment.rs
+
+/root/repo/target/debug/deps/deployment-2f42a203d5f8ac77: tests/deployment.rs
+
+tests/deployment.rs:

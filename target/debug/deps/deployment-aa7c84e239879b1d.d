@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deployment-aa7c84e239879b1d.d: tests/deployment.rs
+
+/root/repo/target/debug/deps/deployment-aa7c84e239879b1d: tests/deployment.rs
+
+tests/deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deployment-be413d91c3971b1c.d: tests/deployment.rs
+
+/root/repo/target/debug/deps/deployment-be413d91c3971b1c: tests/deployment.rs
+
+tests/deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-371971824e2dacb8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-371971824e2dacb8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

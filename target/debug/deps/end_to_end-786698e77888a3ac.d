@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-786698e77888a3ac.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-786698e77888a3ac: tests/end_to_end.rs
+
+tests/end_to_end.rs:

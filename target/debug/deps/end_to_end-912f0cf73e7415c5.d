@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-912f0cf73e7415c5.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-912f0cf73e7415c5: tests/end_to_end.rs
+
+tests/end_to_end.rs:

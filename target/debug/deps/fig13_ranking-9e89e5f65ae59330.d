@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_ranking-9e89e5f65ae59330.d: crates/bench/src/bin/fig13_ranking.rs
+
+/root/repo/target/debug/deps/fig13_ranking-9e89e5f65ae59330: crates/bench/src/bin/fig13_ranking.rs
+
+crates/bench/src/bin/fig13_ranking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_ranking-d595a830b36e3e55.d: crates/bench/src/bin/fig13_ranking.rs
+
+/root/repo/target/debug/deps/fig13_ranking-d595a830b36e3e55: crates/bench/src/bin/fig13_ranking.rs
+
+crates/bench/src/bin/fig13_ranking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_fewclass_ranking-69cf816ffc20490d.d: crates/bench/src/bin/fig17_fewclass_ranking.rs
+
+/root/repo/target/debug/deps/fig17_fewclass_ranking-69cf816ffc20490d: crates/bench/src/bin/fig17_fewclass_ranking.rs
+
+crates/bench/src/bin/fig17_fewclass_ranking.rs:

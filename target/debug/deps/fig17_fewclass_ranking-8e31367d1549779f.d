@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_fewclass_ranking-8e31367d1549779f.d: crates/bench/src/bin/fig17_fewclass_ranking.rs
+
+/root/repo/target/debug/deps/fig17_fewclass_ranking-8e31367d1549779f: crates/bench/src/bin/fig17_fewclass_ranking.rs
+
+crates/bench/src/bin/fig17_fewclass_ranking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_training_time-7672a706f7e0c332.d: crates/bench/src/bin/fig18_training_time.rs
+
+/root/repo/target/debug/deps/fig18_training_time-7672a706f7e0c332: crates/bench/src/bin/fig18_training_time.rs
+
+crates/bench/src/bin/fig18_training_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_training_time-b7f805d882c73d0d.d: crates/bench/src/bin/fig18_training_time.rs
+
+/root/repo/target/debug/deps/fig18_training_time-b7f805d882c73d0d: crates/bench/src/bin/fig18_training_time.rs
+
+crates/bench/src/bin/fig18_training_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_sensitivity-a9435d2165963896.d: crates/bench/src/bin/fig19_sensitivity.rs
+
+/root/repo/target/debug/deps/fig19_sensitivity-a9435d2165963896: crates/bench/src/bin/fig19_sensitivity.rs
+
+crates/bench/src/bin/fig19_sensitivity.rs:

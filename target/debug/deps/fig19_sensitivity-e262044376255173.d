@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig19_sensitivity-e262044376255173.d: crates/bench/src/bin/fig19_sensitivity.rs
+
+/root/repo/target/debug/deps/fig19_sensitivity-e262044376255173: crates/bench/src/bin/fig19_sensitivity.rs
+
+crates/bench/src/bin/fig19_sensitivity.rs:

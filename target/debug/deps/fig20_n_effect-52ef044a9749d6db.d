@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_n_effect-52ef044a9749d6db.d: crates/bench/src/bin/fig20_n_effect.rs
+
+/root/repo/target/debug/deps/fig20_n_effect-52ef044a9749d6db: crates/bench/src/bin/fig20_n_effect.rs
+
+crates/bench/src/bin/fig20_n_effect.rs:

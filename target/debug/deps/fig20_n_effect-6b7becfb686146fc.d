@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig20_n_effect-6b7becfb686146fc.d: crates/bench/src/bin/fig20_n_effect.rs
+
+/root/repo/target/debug/deps/fig20_n_effect-6b7becfb686146fc: crates/bench/src/bin/fig20_n_effect.rs
+
+crates/bench/src/bin/fig20_n_effect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21_base_improvement-073b7b109ca13ca5.d: crates/bench/src/bin/fig21_base_improvement.rs
+
+/root/repo/target/debug/deps/fig21_base_improvement-073b7b109ca13ca5: crates/bench/src/bin/fig21_base_improvement.rs
+
+crates/bench/src/bin/fig21_base_improvement.rs:

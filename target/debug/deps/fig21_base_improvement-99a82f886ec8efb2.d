@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig21_base_improvement-99a82f886ec8efb2.d: crates/bench/src/bin/fig21_base_improvement.rs
+
+/root/repo/target/debug/deps/fig21_base_improvement-99a82f886ec8efb2: crates/bench/src/bin/fig21_base_improvement.rs
+
+crates/bench/src/bin/fig21_base_improvement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22_pareto-377682fb28d541f6.d: crates/bench/src/bin/fig22_pareto.rs
+
+/root/repo/target/debug/deps/fig22_pareto-377682fb28d541f6: crates/bench/src/bin/fig22_pareto.rs
+
+crates/bench/src/bin/fig22_pareto.rs:

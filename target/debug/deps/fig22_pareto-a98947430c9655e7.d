@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig22_pareto-a98947430c9655e7.d: crates/bench/src/bin/fig22_pareto.rs
+
+/root/repo/target/debug/deps/fig22_pareto-a98947430c9655e7: crates/bench/src/bin/fig22_pareto.rs
+
+crates/bench/src/bin/fig22_pareto.rs:

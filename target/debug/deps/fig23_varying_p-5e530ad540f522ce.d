@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig23_varying_p-5e530ad540f522ce.d: crates/bench/src/bin/fig23_varying_p.rs
+
+/root/repo/target/debug/deps/fig23_varying_p-5e530ad540f522ce: crates/bench/src/bin/fig23_varying_p.rs
+
+crates/bench/src/bin/fig23_varying_p.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig23_varying_p-c59d57290ea1b69a.d: crates/bench/src/bin/fig23_varying_p.rs
+
+/root/repo/target/debug/deps/fig23_varying_p-c59d57290ea1b69a: crates/bench/src/bin/fig23_varying_p.rs
+
+crates/bench/src/bin/fig23_varying_p.rs:

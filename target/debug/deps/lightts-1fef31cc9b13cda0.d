@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lightts-1fef31cc9b13cda0.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/pipeline.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/lightts-1fef31cc9b13cda0: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/pipeline.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/runtime.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lightts-3894ba9a149161bf.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/pipeline.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/liblightts-3894ba9a149161bf.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/pipeline.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/liblightts-3894ba9a149161bf.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/pipeline.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/runtime.rs:

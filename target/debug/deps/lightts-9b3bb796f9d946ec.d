@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lightts-9b3bb796f9d946ec.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/pipeline.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/liblightts-9b3bb796f9d946ec.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/pipeline.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/liblightts-9b3bb796f9d946ec.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/pipeline.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/runtime.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/lightts-c5c0c1104c51f901.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/pipeline.rs crates/core/src/runtime.rs
+
+/root/repo/target/debug/deps/liblightts-c5c0c1104c51f901.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/pipeline.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/runtime.rs:

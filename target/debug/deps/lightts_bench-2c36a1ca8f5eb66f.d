@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lightts_bench-2c36a1ca8f5eb66f.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/context.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/liblightts_bench-2c36a1ca8f5eb66f.rlib: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/context.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/liblightts_bench-2c36a1ca8f5eb66f.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/context.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/context.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

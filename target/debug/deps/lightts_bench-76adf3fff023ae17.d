@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lightts_bench-76adf3fff023ae17.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/context.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/lightts_bench-76adf3fff023ae17: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/context.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/context.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lightts_bench-951ce2381711aec4.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/context.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/liblightts_bench-951ce2381711aec4.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/context.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/context.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lightts_bench-a7f504ba4efe88f0.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/context.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/liblightts_bench-a7f504ba4efe88f0.rlib: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/context.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/liblightts_bench-a7f504ba4efe88f0.rmeta: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/context.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/context.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

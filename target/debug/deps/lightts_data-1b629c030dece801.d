@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lightts_data-1b629c030dece801.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/series.rs crates/data/src/archive.rs crates/data/src/forecast.rs crates/data/src/synth.rs crates/data/src/ucr.rs
+
+/root/repo/target/debug/deps/liblightts_data-1b629c030dece801.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/series.rs crates/data/src/archive.rs crates/data/src/forecast.rs crates/data/src/synth.rs crates/data/src/ucr.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/error.rs:
+crates/data/src/series.rs:
+crates/data/src/archive.rs:
+crates/data/src/forecast.rs:
+crates/data/src/synth.rs:
+crates/data/src/ucr.rs:

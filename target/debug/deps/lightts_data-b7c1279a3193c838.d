@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lightts_data-b7c1279a3193c838.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/series.rs crates/data/src/archive.rs crates/data/src/forecast.rs crates/data/src/synth.rs crates/data/src/ucr.rs
+
+/root/repo/target/debug/deps/liblightts_data-b7c1279a3193c838.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/series.rs crates/data/src/archive.rs crates/data/src/forecast.rs crates/data/src/synth.rs crates/data/src/ucr.rs
+
+/root/repo/target/debug/deps/liblightts_data-b7c1279a3193c838.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/series.rs crates/data/src/archive.rs crates/data/src/forecast.rs crates/data/src/synth.rs crates/data/src/ucr.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/error.rs:
+crates/data/src/series.rs:
+crates/data/src/archive.rs:
+crates/data/src/forecast.rs:
+crates/data/src/synth.rs:
+crates/data/src/ucr.rs:

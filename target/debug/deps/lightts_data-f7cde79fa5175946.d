@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lightts_data-f7cde79fa5175946.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/series.rs crates/data/src/archive.rs crates/data/src/forecast.rs crates/data/src/synth.rs crates/data/src/ucr.rs
+
+/root/repo/target/debug/deps/liblightts_data-f7cde79fa5175946.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/series.rs crates/data/src/archive.rs crates/data/src/forecast.rs crates/data/src/synth.rs crates/data/src/ucr.rs
+
+/root/repo/target/debug/deps/liblightts_data-f7cde79fa5175946.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/series.rs crates/data/src/archive.rs crates/data/src/forecast.rs crates/data/src/synth.rs crates/data/src/ucr.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/error.rs:
+crates/data/src/series.rs:
+crates/data/src/archive.rs:
+crates/data/src/forecast.rs:
+crates/data/src/synth.rs:
+crates/data/src/ucr.rs:

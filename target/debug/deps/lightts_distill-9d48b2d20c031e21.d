@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/lightts_distill-9d48b2d20c031e21.d: crates/distill/src/lib.rs crates/distill/src/error.rs crates/distill/src/aed.rs crates/distill/src/baselines.rs crates/distill/src/forecast.rs crates/distill/src/loo.rs crates/distill/src/method.rs crates/distill/src/removal.rs crates/distill/src/teacher.rs crates/distill/src/trainer.rs crates/distill/src/weights.rs
+
+/root/repo/target/debug/deps/liblightts_distill-9d48b2d20c031e21.rlib: crates/distill/src/lib.rs crates/distill/src/error.rs crates/distill/src/aed.rs crates/distill/src/baselines.rs crates/distill/src/forecast.rs crates/distill/src/loo.rs crates/distill/src/method.rs crates/distill/src/removal.rs crates/distill/src/teacher.rs crates/distill/src/trainer.rs crates/distill/src/weights.rs
+
+/root/repo/target/debug/deps/liblightts_distill-9d48b2d20c031e21.rmeta: crates/distill/src/lib.rs crates/distill/src/error.rs crates/distill/src/aed.rs crates/distill/src/baselines.rs crates/distill/src/forecast.rs crates/distill/src/loo.rs crates/distill/src/method.rs crates/distill/src/removal.rs crates/distill/src/teacher.rs crates/distill/src/trainer.rs crates/distill/src/weights.rs
+
+crates/distill/src/lib.rs:
+crates/distill/src/error.rs:
+crates/distill/src/aed.rs:
+crates/distill/src/baselines.rs:
+crates/distill/src/forecast.rs:
+crates/distill/src/loo.rs:
+crates/distill/src/method.rs:
+crates/distill/src/removal.rs:
+crates/distill/src/teacher.rs:
+crates/distill/src/trainer.rs:
+crates/distill/src/weights.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lightts_distill-d788d4dcce75e390.d: crates/distill/src/lib.rs crates/distill/src/error.rs crates/distill/src/aed.rs crates/distill/src/baselines.rs crates/distill/src/forecast.rs crates/distill/src/loo.rs crates/distill/src/method.rs crates/distill/src/removal.rs crates/distill/src/teacher.rs crates/distill/src/trainer.rs crates/distill/src/weights.rs
+
+/root/repo/target/debug/deps/lightts_distill-d788d4dcce75e390: crates/distill/src/lib.rs crates/distill/src/error.rs crates/distill/src/aed.rs crates/distill/src/baselines.rs crates/distill/src/forecast.rs crates/distill/src/loo.rs crates/distill/src/method.rs crates/distill/src/removal.rs crates/distill/src/teacher.rs crates/distill/src/trainer.rs crates/distill/src/weights.rs
+
+crates/distill/src/lib.rs:
+crates/distill/src/error.rs:
+crates/distill/src/aed.rs:
+crates/distill/src/baselines.rs:
+crates/distill/src/forecast.rs:
+crates/distill/src/loo.rs:
+crates/distill/src/method.rs:
+crates/distill/src/removal.rs:
+crates/distill/src/teacher.rs:
+crates/distill/src/trainer.rs:
+crates/distill/src/weights.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/lightts_models-863747e4071c57c2.d: crates/models/src/lib.rs crates/models/src/classifier.rs crates/models/src/error.rs crates/models/src/ensemble.rs crates/models/src/forecaster.rs crates/models/src/inception.rs crates/models/src/metrics.rs crates/models/src/nondeep.rs crates/models/src/nondeep/cif.rs crates/models/src/nondeep/forest.rs crates/models/src/nondeep/intervals.rs crates/models/src/nondeep/tde.rs crates/models/src/nondeep/tree.rs
+
+/root/repo/target/debug/deps/liblightts_models-863747e4071c57c2.rlib: crates/models/src/lib.rs crates/models/src/classifier.rs crates/models/src/error.rs crates/models/src/ensemble.rs crates/models/src/forecaster.rs crates/models/src/inception.rs crates/models/src/metrics.rs crates/models/src/nondeep.rs crates/models/src/nondeep/cif.rs crates/models/src/nondeep/forest.rs crates/models/src/nondeep/intervals.rs crates/models/src/nondeep/tde.rs crates/models/src/nondeep/tree.rs
+
+/root/repo/target/debug/deps/liblightts_models-863747e4071c57c2.rmeta: crates/models/src/lib.rs crates/models/src/classifier.rs crates/models/src/error.rs crates/models/src/ensemble.rs crates/models/src/forecaster.rs crates/models/src/inception.rs crates/models/src/metrics.rs crates/models/src/nondeep.rs crates/models/src/nondeep/cif.rs crates/models/src/nondeep/forest.rs crates/models/src/nondeep/intervals.rs crates/models/src/nondeep/tde.rs crates/models/src/nondeep/tree.rs
+
+crates/models/src/lib.rs:
+crates/models/src/classifier.rs:
+crates/models/src/error.rs:
+crates/models/src/ensemble.rs:
+crates/models/src/forecaster.rs:
+crates/models/src/inception.rs:
+crates/models/src/metrics.rs:
+crates/models/src/nondeep.rs:
+crates/models/src/nondeep/cif.rs:
+crates/models/src/nondeep/forest.rs:
+crates/models/src/nondeep/intervals.rs:
+crates/models/src/nondeep/tde.rs:
+crates/models/src/nondeep/tree.rs:

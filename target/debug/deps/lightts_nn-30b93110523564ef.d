@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lightts_nn-30b93110523564ef.d: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/param.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/size.rs
+
+/root/repo/target/debug/deps/liblightts_nn-30b93110523564ef.rlib: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/param.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/size.rs
+
+/root/repo/target/debug/deps/liblightts_nn-30b93110523564ef.rmeta: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/param.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/size.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/error.rs:
+crates/nn/src/param.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/size.rs:

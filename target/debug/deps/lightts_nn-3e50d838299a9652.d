@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lightts_nn-3e50d838299a9652.d: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/param.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/size.rs
+
+/root/repo/target/debug/deps/lightts_nn-3e50d838299a9652: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/param.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/size.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/error.rs:
+crates/nn/src/param.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/size.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lightts_nn-8c71c36ce2da10d4.d: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/param.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/size.rs
+
+/root/repo/target/debug/deps/lightts_nn-8c71c36ce2da10d4: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/param.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/size.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/error.rs:
+crates/nn/src/param.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/size.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/lightts_nn-c46a2a4b565481b8.d: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/param.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/size.rs
+
+/root/repo/target/debug/deps/liblightts_nn-c46a2a4b565481b8.rlib: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/param.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/size.rs
+
+/root/repo/target/debug/deps/liblightts_nn-c46a2a4b565481b8.rmeta: crates/nn/src/lib.rs crates/nn/src/error.rs crates/nn/src/param.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/serialize.rs crates/nn/src/size.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/error.rs:
+crates/nn/src/param.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/serialize.rs:
+crates/nn/src/size.rs:

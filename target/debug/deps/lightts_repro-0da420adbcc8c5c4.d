@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lightts_repro-0da420adbcc8c5c4.d: src/lib.rs
+
+/root/repo/target/debug/deps/lightts_repro-0da420adbcc8c5c4: src/lib.rs
+
+src/lib.rs:

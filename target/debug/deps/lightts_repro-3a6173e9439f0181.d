@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lightts_repro-3a6173e9439f0181.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblightts_repro-3a6173e9439f0181.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblightts_repro-3a6173e9439f0181.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lightts_repro-68c0fa59a172c5c5.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblightts_repro-68c0fa59a172c5c5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblightts_repro-68c0fa59a172c5c5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lightts_repro-69066ef25e83a155.d: src/lib.rs
+
+/root/repo/target/debug/deps/liblightts_repro-69066ef25e83a155.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/liblightts_repro-69066ef25e83a155.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lightts_repro-78818a57dd3a0f29.d: src/lib.rs
+
+/root/repo/target/debug/deps/lightts_repro-78818a57dd3a0f29: src/lib.rs
+
+src/lib.rs:

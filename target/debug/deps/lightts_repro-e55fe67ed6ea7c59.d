@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lightts_repro-e55fe67ed6ea7c59.d: src/lib.rs
+
+/root/repo/target/debug/deps/lightts_repro-e55fe67ed6ea7c59: src/lib.rs
+
+src/lib.rs:

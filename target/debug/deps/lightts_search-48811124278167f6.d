@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lightts_search-48811124278167f6.d: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+/root/repo/target/debug/deps/liblightts_search-48811124278167f6.rlib: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+/root/repo/target/debug/deps/liblightts_search-48811124278167f6.rmeta: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+crates/search/src/lib.rs:
+crates/search/src/error.rs:
+crates/search/src/acquisition.rs:
+crates/search/src/encoder.rs:
+crates/search/src/gp.rs:
+crates/search/src/mobo.rs:
+crates/search/src/pareto.rs:
+crates/search/src/space.rs:

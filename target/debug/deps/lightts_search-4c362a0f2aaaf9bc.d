@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/lightts_search-4c362a0f2aaaf9bc.d: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+/root/repo/target/debug/deps/lightts_search-4c362a0f2aaaf9bc: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+crates/search/src/lib.rs:
+crates/search/src/error.rs:
+crates/search/src/acquisition.rs:
+crates/search/src/encoder.rs:
+crates/search/src/gp.rs:
+crates/search/src/mobo.rs:
+crates/search/src/pareto.rs:
+crates/search/src/space.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lightts_search-840d2dd906e05a2f.d: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+/root/repo/target/debug/deps/liblightts_search-840d2dd906e05a2f.rlib: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+/root/repo/target/debug/deps/liblightts_search-840d2dd906e05a2f.rmeta: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+crates/search/src/lib.rs:
+crates/search/src/error.rs:
+crates/search/src/acquisition.rs:
+crates/search/src/encoder.rs:
+crates/search/src/gp.rs:
+crates/search/src/mobo.rs:
+crates/search/src/pareto.rs:
+crates/search/src/space.rs:

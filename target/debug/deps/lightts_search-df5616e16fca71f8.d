@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lightts_search-df5616e16fca71f8.d: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+/root/repo/target/debug/deps/liblightts_search-df5616e16fca71f8.rlib: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+/root/repo/target/debug/deps/liblightts_search-df5616e16fca71f8.rmeta: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+crates/search/src/lib.rs:
+crates/search/src/error.rs:
+crates/search/src/acquisition.rs:
+crates/search/src/encoder.rs:
+crates/search/src/gp.rs:
+crates/search/src/mobo.rs:
+crates/search/src/pareto.rs:
+crates/search/src/space.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/lightts_stats-32076f1e4e312677.d: crates/stats/src/lib.rs crates/stats/src/cd.rs crates/stats/src/error.rs crates/stats/src/friedman.rs crates/stats/src/ranks.rs crates/stats/src/special.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/debug/deps/liblightts_stats-32076f1e4e312677.rlib: crates/stats/src/lib.rs crates/stats/src/cd.rs crates/stats/src/error.rs crates/stats/src/friedman.rs crates/stats/src/ranks.rs crates/stats/src/special.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/debug/deps/liblightts_stats-32076f1e4e312677.rmeta: crates/stats/src/lib.rs crates/stats/src/cd.rs crates/stats/src/error.rs crates/stats/src/friedman.rs crates/stats/src/ranks.rs crates/stats/src/special.rs crates/stats/src/wilcoxon.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/cd.rs:
+crates/stats/src/error.rs:
+crates/stats/src/friedman.rs:
+crates/stats/src/ranks.rs:
+crates/stats/src/special.rs:
+crates/stats/src/wilcoxon.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/lightts_stats-69ce22cec751d032.d: crates/stats/src/lib.rs crates/stats/src/cd.rs crates/stats/src/error.rs crates/stats/src/friedman.rs crates/stats/src/ranks.rs crates/stats/src/special.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/debug/deps/lightts_stats-69ce22cec751d032: crates/stats/src/lib.rs crates/stats/src/cd.rs crates/stats/src/error.rs crates/stats/src/friedman.rs crates/stats/src/ranks.rs crates/stats/src/special.rs crates/stats/src/wilcoxon.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/cd.rs:
+crates/stats/src/error.rs:
+crates/stats/src/friedman.rs:
+crates/stats/src/ranks.rs:
+crates/stats/src/special.rs:
+crates/stats/src/wilcoxon.rs:

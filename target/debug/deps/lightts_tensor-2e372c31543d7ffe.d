@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lightts_tensor-2e372c31543d7ffe.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/linalg.rs crates/tensor/src/par.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+/root/repo/target/debug/deps/lightts_tensor-2e372c31543d7ffe: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/linalg.rs crates/tensor/src/par.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/par.rs:
+crates/tensor/src/quant.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/tape.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/lightts_tensor-ec9bc3ab82fe1f26.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/linalg.rs crates/tensor/src/par.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+/root/repo/target/debug/deps/lightts_tensor-ec9bc3ab82fe1f26: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/linalg.rs crates/tensor/src/par.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/par.rs:
+crates/tensor/src/quant.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/tape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equivalence-12f2767fa0dd3336.d: crates/tensor/tests/parallel_equivalence.rs
+
+/root/repo/target/debug/deps/parallel_equivalence-12f2767fa0dd3336: crates/tensor/tests/parallel_equivalence.rs
+
+crates/tensor/tests/parallel_equivalence.rs:

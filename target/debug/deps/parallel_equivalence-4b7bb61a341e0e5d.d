@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_equivalence-4b7bb61a341e0e5d.d: crates/tensor/tests/parallel_equivalence.rs
+
+/root/repo/target/debug/deps/parallel_equivalence-4b7bb61a341e0e5d: crates/tensor/tests/parallel_equivalence.rs
+
+crates/tensor/tests/parallel_equivalence.rs:

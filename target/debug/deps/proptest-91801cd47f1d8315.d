@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-91801cd47f1d8315.d: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-91801cd47f1d8315.rlib: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+/root/repo/target/debug/deps/libproptest-91801cd47f1d8315.rmeta: crates/compat/proptest/src/lib.rs crates/compat/proptest/src/strategy.rs crates/compat/proptest/src/test_runner.rs
+
+crates/compat/proptest/src/lib.rs:
+crates/compat/proptest/src/strategy.rs:
+crates/compat/proptest/src/test_runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a0ee70210aff26d0.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a0ee70210aff26d0: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-c0c0a2b6c1c3a20d.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-c0c0a2b6c1c3a20d: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantization_invariants-4a739fbea5b9abcd.d: tests/quantization_invariants.rs
+
+/root/repo/target/debug/deps/quantization_invariants-4a739fbea5b9abcd: tests/quantization_invariants.rs
+
+tests/quantization_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantization_invariants-920675ebd4fe3876.d: tests/quantization_invariants.rs
+
+/root/repo/target/debug/deps/quantization_invariants-920675ebd4fe3876: tests/quantization_invariants.rs
+
+tests/quantization_invariants.rs:

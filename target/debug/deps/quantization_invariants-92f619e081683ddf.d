@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/quantization_invariants-92f619e081683ddf.d: tests/quantization_invariants.rs
+
+/root/repo/target/debug/deps/quantization_invariants-92f619e081683ddf: tests/quantization_invariants.rs
+
+tests/quantization_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproducibility-b43cd9133e1f8337.d: tests/reproducibility.rs
+
+/root/repo/target/debug/deps/reproducibility-b43cd9133e1f8337: tests/reproducibility.rs
+
+tests/reproducibility.rs:

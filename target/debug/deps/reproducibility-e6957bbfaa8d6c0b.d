@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproducibility-e6957bbfaa8d6c0b.d: tests/reproducibility.rs
+
+/root/repo/target/debug/deps/reproducibility-e6957bbfaa8d6c0b: tests/reproducibility.rs
+
+tests/reproducibility.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproducibility-efc2d672e7511953.d: tests/reproducibility.rs
+
+/root/repo/target/debug/deps/reproducibility-efc2d672e7511953: tests/reproducibility.rs
+
+tests/reproducibility.rs:

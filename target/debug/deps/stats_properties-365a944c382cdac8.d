@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_properties-365a944c382cdac8.d: tests/stats_properties.rs
+
+/root/repo/target/debug/deps/stats_properties-365a944c382cdac8: tests/stats_properties.rs
+
+tests/stats_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_properties-94911993f8c58edd.d: tests/stats_properties.rs
+
+/root/repo/target/debug/deps/stats_properties-94911993f8c58edd: tests/stats_properties.rs
+
+tests/stats_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stats_properties-ee79e3b5ef948228.d: tests/stats_properties.rs
+
+/root/repo/target/debug/deps/stats_properties-ee79e3b5ef948228: tests/stats_properties.rs
+
+tests/stats_properties.rs:

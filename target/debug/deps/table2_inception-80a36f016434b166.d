@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_inception-80a36f016434b166.d: crates/bench/src/bin/table2_inception.rs
+
+/root/repo/target/debug/deps/table2_inception-80a36f016434b166: crates/bench/src/bin/table2_inception.rs
+
+crates/bench/src/bin/table2_inception.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_inception-f6d08048ccbeddb5.d: crates/bench/src/bin/table2_inception.rs
+
+/root/repo/target/debug/deps/table2_inception-f6d08048ccbeddb5: crates/bench/src/bin/table2_inception.rs
+
+crates/bench/src/bin/table2_inception.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_removal-e0fe6dd8392dc937.d: crates/bench/src/bin/table3_removal.rs
+
+/root/repo/target/debug/deps/table3_removal-e0fe6dd8392dc937: crates/bench/src/bin/table3_removal.rs
+
+crates/bench/src/bin/table3_removal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_removal-e85cdfbf1bc9f981.d: crates/bench/src/bin/table3_removal.rs
+
+/root/repo/target/debug/deps/table3_removal-e85cdfbf1bc9f981: crates/bench/src/bin/table3_removal.rs
+
+crates/bench/src/bin/table3_removal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_nondeep-64eed6ef1c8550d7.d: crates/bench/src/bin/table4_nondeep.rs
+
+/root/repo/target/debug/deps/table4_nondeep-64eed6ef1c8550d7: crates/bench/src/bin/table4_nondeep.rs
+
+crates/bench/src/bin/table4_nondeep.rs:

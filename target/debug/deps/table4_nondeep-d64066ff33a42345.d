@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_nondeep-d64066ff33a42345.d: crates/bench/src/bin/table4_nondeep.rs
+
+/root/repo/target/debug/deps/table4_nondeep-d64066ff33a42345: crates/bench/src/bin/table4_nondeep.rs
+
+crates/bench/src/bin/table4_nondeep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_gp_estimation-0dbd15ae2393e10c.d: crates/bench/src/bin/table5_gp_estimation.rs
+
+/root/repo/target/debug/deps/table5_gp_estimation-0dbd15ae2393e10c: crates/bench/src/bin/table5_gp_estimation.rs
+
+crates/bench/src/bin/table5_gp_estimation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5_gp_estimation-98035c8e839ec307.d: crates/bench/src/bin/table5_gp_estimation.rs
+
+/root/repo/target/debug/deps/table5_gp_estimation-98035c8e839ec307: crates/bench/src/bin/table5_gp_estimation.rs
+
+crates/bench/src/bin/table5_gp_estimation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_search_time-36bca8fe708c72f7.d: crates/bench/src/bin/table6_search_time.rs
+
+/root/repo/target/debug/deps/table6_search_time-36bca8fe708c72f7: crates/bench/src/bin/table6_search_time.rs
+
+crates/bench/src/bin/table6_search_time.rs:

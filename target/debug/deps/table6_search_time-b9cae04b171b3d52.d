@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_search_time-b9cae04b171b3d52.d: crates/bench/src/bin/table6_search_time.rs
+
+/root/repo/target/debug/deps/table6_search_time-b9cae04b171b3d52: crates/bench/src/bin/table6_search_time.rs
+
+crates/bench/src/bin/table6_search_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_deployment-31712816b9f194e8.d: examples/edge_deployment.rs
+
+/root/repo/target/debug/examples/edge_deployment-31712816b9f194e8: examples/edge_deployment.rs
+
+examples/edge_deployment.rs:

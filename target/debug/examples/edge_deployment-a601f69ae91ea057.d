@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_deployment-a601f69ae91ea057.d: examples/edge_deployment.rs
+
+/root/repo/target/debug/examples/edge_deployment-a601f69ae91ea057: examples/edge_deployment.rs
+
+examples/edge_deployment.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/edge_deployment-acf09026abdc3473.d: examples/edge_deployment.rs
+
+/root/repo/target/debug/examples/edge_deployment-acf09026abdc3473: examples/edge_deployment.rs
+
+examples/edge_deployment.rs:

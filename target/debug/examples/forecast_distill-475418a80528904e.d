@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/forecast_distill-475418a80528904e.d: examples/forecast_distill.rs
+
+/root/repo/target/debug/examples/forecast_distill-475418a80528904e: examples/forecast_distill.rs
+
+examples/forecast_distill.rs:

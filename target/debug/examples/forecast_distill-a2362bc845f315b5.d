@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/forecast_distill-a2362bc845f315b5.d: examples/forecast_distill.rs
+
+/root/repo/target/debug/examples/forecast_distill-a2362bc845f315b5: examples/forecast_distill.rs
+
+examples/forecast_distill.rs:

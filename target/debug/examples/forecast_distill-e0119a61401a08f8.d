@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/forecast_distill-e0119a61401a08f8.d: examples/forecast_distill.rs
+
+/root/repo/target/debug/examples/forecast_distill-e0119a61401a08f8: examples/forecast_distill.rs
+
+examples/forecast_distill.rs:

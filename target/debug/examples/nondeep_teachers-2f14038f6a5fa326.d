@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nondeep_teachers-2f14038f6a5fa326.d: examples/nondeep_teachers.rs
+
+/root/repo/target/debug/examples/nondeep_teachers-2f14038f6a5fa326: examples/nondeep_teachers.rs
+
+examples/nondeep_teachers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nondeep_teachers-79a01a12e7cb91aa.d: examples/nondeep_teachers.rs
+
+/root/repo/target/debug/examples/nondeep_teachers-79a01a12e7cb91aa: examples/nondeep_teachers.rs
+
+examples/nondeep_teachers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nondeep_teachers-b5080d435d6f9a80.d: examples/nondeep_teachers.rs
+
+/root/repo/target/debug/examples/nondeep_teachers-b5080d435d6f9a80: examples/nondeep_teachers.rs
+
+examples/nondeep_teachers.rs:

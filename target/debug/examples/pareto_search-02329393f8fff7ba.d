@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pareto_search-02329393f8fff7ba.d: examples/pareto_search.rs
+
+/root/repo/target/debug/examples/pareto_search-02329393f8fff7ba: examples/pareto_search.rs
+
+examples/pareto_search.rs:

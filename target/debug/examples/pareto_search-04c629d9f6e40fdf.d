@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pareto_search-04c629d9f6e40fdf.d: examples/pareto_search.rs
+
+/root/repo/target/debug/examples/pareto_search-04c629d9f6e40fdf: examples/pareto_search.rs
+
+examples/pareto_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/pareto_search-88be48ff0498a2a6.d: examples/pareto_search.rs
+
+/root/repo/target/debug/examples/pareto_search-88be48ff0498a2a6: examples/pareto_search.rs
+
+examples/pareto_search.rs:

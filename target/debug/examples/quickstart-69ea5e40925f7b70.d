@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-69ea5e40925f7b70.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-69ea5e40925f7b70: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-961e36cbc2d88119.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-961e36cbc2d88119: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a710d47e5a6a0403.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a710d47e5a6a0403: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["lightts_distill",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"enum\" href=\"lightts_distill/method/enum.Method.html\" title=\"enum lightts_distill::method::Method\">Method</a>",0]]],["lightts_nn",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"struct\" href=\"lightts_nn/struct.ParamRef.html\" title=\"struct lightts_nn::ParamRef\">ParamRef</a>",0]]],["lightts_search",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"struct\" href=\"lightts_search/space/struct.StudentSetting.html\" title=\"struct lightts_search::space::StudentSetting\">StudentSetting</a>",0]]],["lightts_tensor",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/hash/trait.Hash.html\" title=\"trait core::hash::Hash\">Hash</a> for <a class=\"struct\" href=\"lightts_tensor/struct.Shape.html\" title=\"struct lightts_tensor::Shape\">Shape</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[290,273,316,276]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_aed-400eb650b0102fd5.d: crates/bench/src/bin/ablation_aed.rs
+
+/root/repo/target/release/deps/ablation_aed-400eb650b0102fd5: crates/bench/src/bin/ablation_aed.rs
+
+crates/bench/src/bin/ablation_aed.rs:

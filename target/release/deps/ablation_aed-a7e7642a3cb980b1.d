@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_aed-a7e7642a3cb980b1.d: crates/bench/src/bin/ablation_aed.rs
+
+/root/repo/target/release/deps/ablation_aed-a7e7642a3cb980b1: crates/bench/src/bin/ablation_aed.rs
+
+crates/bench/src/bin/ablation_aed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_aed-b8d5ec40957f34dc.d: crates/bench/src/bin/ablation_aed.rs
+
+/root/repo/target/release/deps/ablation_aed-b8d5ec40957f34dc: crates/bench/src/bin/ablation_aed.rs
+
+crates/bench/src/bin/ablation_aed.rs:

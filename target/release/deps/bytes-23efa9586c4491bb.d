@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-23efa9586c4491bb.d: crates/compat/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-23efa9586c4491bb.rlib: crates/compat/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-23efa9586c4491bb.rmeta: crates/compat/bytes/src/lib.rs
+
+crates/compat/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-44712bdf01d2d07c.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-44712bdf01d2d07c: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-7feb4c43a52e9266.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-7feb4c43a52e9266: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-b291b42fd78c6353.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-b291b42fd78c6353: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

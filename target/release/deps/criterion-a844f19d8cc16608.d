@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-a844f19d8cc16608.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-a844f19d8cc16608.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-a844f19d8cc16608.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_ranking-5b82d47a7d05057b.d: crates/bench/src/bin/fig13_ranking.rs
+
+/root/repo/target/release/deps/fig13_ranking-5b82d47a7d05057b: crates/bench/src/bin/fig13_ranking.rs
+
+crates/bench/src/bin/fig13_ranking.rs:

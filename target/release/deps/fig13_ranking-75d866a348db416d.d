@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_ranking-75d866a348db416d.d: crates/bench/src/bin/fig13_ranking.rs
+
+/root/repo/target/release/deps/fig13_ranking-75d866a348db416d: crates/bench/src/bin/fig13_ranking.rs
+
+crates/bench/src/bin/fig13_ranking.rs:

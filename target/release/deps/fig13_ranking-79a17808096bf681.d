@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_ranking-79a17808096bf681.d: crates/bench/src/bin/fig13_ranking.rs
+
+/root/repo/target/release/deps/fig13_ranking-79a17808096bf681: crates/bench/src/bin/fig13_ranking.rs
+
+crates/bench/src/bin/fig13_ranking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_fewclass_ranking-11ccdab872051c5c.d: crates/bench/src/bin/fig17_fewclass_ranking.rs
+
+/root/repo/target/release/deps/fig17_fewclass_ranking-11ccdab872051c5c: crates/bench/src/bin/fig17_fewclass_ranking.rs
+
+crates/bench/src/bin/fig17_fewclass_ranking.rs:

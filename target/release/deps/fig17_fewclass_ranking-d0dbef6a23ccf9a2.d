@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_fewclass_ranking-d0dbef6a23ccf9a2.d: crates/bench/src/bin/fig17_fewclass_ranking.rs
+
+/root/repo/target/release/deps/fig17_fewclass_ranking-d0dbef6a23ccf9a2: crates/bench/src/bin/fig17_fewclass_ranking.rs
+
+crates/bench/src/bin/fig17_fewclass_ranking.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_fewclass_ranking-f5ed85ac7b50e6e8.d: crates/bench/src/bin/fig17_fewclass_ranking.rs
+
+/root/repo/target/release/deps/fig17_fewclass_ranking-f5ed85ac7b50e6e8: crates/bench/src/bin/fig17_fewclass_ranking.rs
+
+crates/bench/src/bin/fig17_fewclass_ranking.rs:

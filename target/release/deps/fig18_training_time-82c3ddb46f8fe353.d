@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_training_time-82c3ddb46f8fe353.d: crates/bench/src/bin/fig18_training_time.rs
+
+/root/repo/target/release/deps/fig18_training_time-82c3ddb46f8fe353: crates/bench/src/bin/fig18_training_time.rs
+
+crates/bench/src/bin/fig18_training_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_training_time-d5478c7c63ae1bed.d: crates/bench/src/bin/fig18_training_time.rs
+
+/root/repo/target/release/deps/fig18_training_time-d5478c7c63ae1bed: crates/bench/src/bin/fig18_training_time.rs
+
+crates/bench/src/bin/fig18_training_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_training_time-de3d710b50d463b1.d: crates/bench/src/bin/fig18_training_time.rs
+
+/root/repo/target/release/deps/fig18_training_time-de3d710b50d463b1: crates/bench/src/bin/fig18_training_time.rs
+
+crates/bench/src/bin/fig18_training_time.rs:

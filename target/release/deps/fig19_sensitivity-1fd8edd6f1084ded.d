@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_sensitivity-1fd8edd6f1084ded.d: crates/bench/src/bin/fig19_sensitivity.rs
+
+/root/repo/target/release/deps/fig19_sensitivity-1fd8edd6f1084ded: crates/bench/src/bin/fig19_sensitivity.rs
+
+crates/bench/src/bin/fig19_sensitivity.rs:

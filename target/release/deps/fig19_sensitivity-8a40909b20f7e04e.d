@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_sensitivity-8a40909b20f7e04e.d: crates/bench/src/bin/fig19_sensitivity.rs
+
+/root/repo/target/release/deps/fig19_sensitivity-8a40909b20f7e04e: crates/bench/src/bin/fig19_sensitivity.rs
+
+crates/bench/src/bin/fig19_sensitivity.rs:

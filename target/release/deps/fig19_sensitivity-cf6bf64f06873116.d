@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig19_sensitivity-cf6bf64f06873116.d: crates/bench/src/bin/fig19_sensitivity.rs
+
+/root/repo/target/release/deps/fig19_sensitivity-cf6bf64f06873116: crates/bench/src/bin/fig19_sensitivity.rs
+
+crates/bench/src/bin/fig19_sensitivity.rs:

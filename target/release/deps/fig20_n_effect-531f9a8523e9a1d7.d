@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_n_effect-531f9a8523e9a1d7.d: crates/bench/src/bin/fig20_n_effect.rs
+
+/root/repo/target/release/deps/fig20_n_effect-531f9a8523e9a1d7: crates/bench/src/bin/fig20_n_effect.rs
+
+crates/bench/src/bin/fig20_n_effect.rs:

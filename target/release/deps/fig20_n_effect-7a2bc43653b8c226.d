@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_n_effect-7a2bc43653b8c226.d: crates/bench/src/bin/fig20_n_effect.rs
+
+/root/repo/target/release/deps/fig20_n_effect-7a2bc43653b8c226: crates/bench/src/bin/fig20_n_effect.rs
+
+crates/bench/src/bin/fig20_n_effect.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20_n_effect-80858bd2c05e9f3a.d: crates/bench/src/bin/fig20_n_effect.rs
+
+/root/repo/target/release/deps/fig20_n_effect-80858bd2c05e9f3a: crates/bench/src/bin/fig20_n_effect.rs
+
+crates/bench/src/bin/fig20_n_effect.rs:

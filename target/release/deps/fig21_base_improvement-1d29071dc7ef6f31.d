@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig21_base_improvement-1d29071dc7ef6f31.d: crates/bench/src/bin/fig21_base_improvement.rs
+
+/root/repo/target/release/deps/fig21_base_improvement-1d29071dc7ef6f31: crates/bench/src/bin/fig21_base_improvement.rs
+
+crates/bench/src/bin/fig21_base_improvement.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig21_base_improvement-3289c6dfc155becc.d: crates/bench/src/bin/fig21_base_improvement.rs
+
+/root/repo/target/release/deps/fig21_base_improvement-3289c6dfc155becc: crates/bench/src/bin/fig21_base_improvement.rs
+
+crates/bench/src/bin/fig21_base_improvement.rs:

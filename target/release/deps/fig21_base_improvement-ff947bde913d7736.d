@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig21_base_improvement-ff947bde913d7736.d: crates/bench/src/bin/fig21_base_improvement.rs
+
+/root/repo/target/release/deps/fig21_base_improvement-ff947bde913d7736: crates/bench/src/bin/fig21_base_improvement.rs
+
+crates/bench/src/bin/fig21_base_improvement.rs:

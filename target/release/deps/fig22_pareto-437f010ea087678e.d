@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig22_pareto-437f010ea087678e.d: crates/bench/src/bin/fig22_pareto.rs
+
+/root/repo/target/release/deps/fig22_pareto-437f010ea087678e: crates/bench/src/bin/fig22_pareto.rs
+
+crates/bench/src/bin/fig22_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig22_pareto-8f0ab8ce67baf91d.d: crates/bench/src/bin/fig22_pareto.rs
+
+/root/repo/target/release/deps/fig22_pareto-8f0ab8ce67baf91d: crates/bench/src/bin/fig22_pareto.rs
+
+crates/bench/src/bin/fig22_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig22_pareto-b2f9fe1cafcc6f67.d: crates/bench/src/bin/fig22_pareto.rs
+
+/root/repo/target/release/deps/fig22_pareto-b2f9fe1cafcc6f67: crates/bench/src/bin/fig22_pareto.rs
+
+crates/bench/src/bin/fig22_pareto.rs:

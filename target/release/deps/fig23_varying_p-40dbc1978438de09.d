@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig23_varying_p-40dbc1978438de09.d: crates/bench/src/bin/fig23_varying_p.rs
+
+/root/repo/target/release/deps/fig23_varying_p-40dbc1978438de09: crates/bench/src/bin/fig23_varying_p.rs
+
+crates/bench/src/bin/fig23_varying_p.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig23_varying_p-fe635e754f9476c0.d: crates/bench/src/bin/fig23_varying_p.rs
+
+/root/repo/target/release/deps/fig23_varying_p-fe635e754f9476c0: crates/bench/src/bin/fig23_varying_p.rs
+
+crates/bench/src/bin/fig23_varying_p.rs:

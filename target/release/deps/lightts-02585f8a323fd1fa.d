@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/lightts-02585f8a323fd1fa.d: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/pipeline.rs crates/core/src/runtime.rs
+
+/root/repo/target/release/deps/liblightts-02585f8a323fd1fa.rlib: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/pipeline.rs crates/core/src/runtime.rs
+
+/root/repo/target/release/deps/liblightts-02585f8a323fd1fa.rmeta: crates/core/src/lib.rs crates/core/src/error.rs crates/core/src/pipeline.rs crates/core/src/runtime.rs
+
+crates/core/src/lib.rs:
+crates/core/src/error.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/runtime.rs:

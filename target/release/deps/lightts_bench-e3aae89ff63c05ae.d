@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/lightts_bench-e3aae89ff63c05ae.d: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/context.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/lightts_bench-e3aae89ff63c05ae: crates/bench/src/lib.rs crates/bench/src/args.rs crates/bench/src/context.rs crates/bench/src/report.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/args.rs:
+crates/bench/src/context.rs:
+crates/bench/src/report.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lightts_data-05d093bb9e4547b3.d: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/series.rs crates/data/src/archive.rs crates/data/src/forecast.rs crates/data/src/synth.rs crates/data/src/ucr.rs
+
+/root/repo/target/release/deps/liblightts_data-05d093bb9e4547b3.rlib: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/series.rs crates/data/src/archive.rs crates/data/src/forecast.rs crates/data/src/synth.rs crates/data/src/ucr.rs
+
+/root/repo/target/release/deps/liblightts_data-05d093bb9e4547b3.rmeta: crates/data/src/lib.rs crates/data/src/dataset.rs crates/data/src/error.rs crates/data/src/series.rs crates/data/src/archive.rs crates/data/src/forecast.rs crates/data/src/synth.rs crates/data/src/ucr.rs
+
+crates/data/src/lib.rs:
+crates/data/src/dataset.rs:
+crates/data/src/error.rs:
+crates/data/src/series.rs:
+crates/data/src/archive.rs:
+crates/data/src/forecast.rs:
+crates/data/src/synth.rs:
+crates/data/src/ucr.rs:

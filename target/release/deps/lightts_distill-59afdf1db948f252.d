@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/lightts_distill-59afdf1db948f252.d: crates/distill/src/lib.rs crates/distill/src/error.rs crates/distill/src/aed.rs crates/distill/src/baselines.rs crates/distill/src/forecast.rs crates/distill/src/loo.rs crates/distill/src/method.rs crates/distill/src/removal.rs crates/distill/src/teacher.rs crates/distill/src/trainer.rs crates/distill/src/weights.rs
+
+/root/repo/target/release/deps/liblightts_distill-59afdf1db948f252.rlib: crates/distill/src/lib.rs crates/distill/src/error.rs crates/distill/src/aed.rs crates/distill/src/baselines.rs crates/distill/src/forecast.rs crates/distill/src/loo.rs crates/distill/src/method.rs crates/distill/src/removal.rs crates/distill/src/teacher.rs crates/distill/src/trainer.rs crates/distill/src/weights.rs
+
+/root/repo/target/release/deps/liblightts_distill-59afdf1db948f252.rmeta: crates/distill/src/lib.rs crates/distill/src/error.rs crates/distill/src/aed.rs crates/distill/src/baselines.rs crates/distill/src/forecast.rs crates/distill/src/loo.rs crates/distill/src/method.rs crates/distill/src/removal.rs crates/distill/src/teacher.rs crates/distill/src/trainer.rs crates/distill/src/weights.rs
+
+crates/distill/src/lib.rs:
+crates/distill/src/error.rs:
+crates/distill/src/aed.rs:
+crates/distill/src/baselines.rs:
+crates/distill/src/forecast.rs:
+crates/distill/src/loo.rs:
+crates/distill/src/method.rs:
+crates/distill/src/removal.rs:
+crates/distill/src/teacher.rs:
+crates/distill/src/trainer.rs:
+crates/distill/src/weights.rs:

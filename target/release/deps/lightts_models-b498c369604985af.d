@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/lightts_models-b498c369604985af.d: crates/models/src/lib.rs crates/models/src/classifier.rs crates/models/src/error.rs crates/models/src/ensemble.rs crates/models/src/forecaster.rs crates/models/src/inception.rs crates/models/src/metrics.rs crates/models/src/nondeep.rs crates/models/src/nondeep/cif.rs crates/models/src/nondeep/forest.rs crates/models/src/nondeep/intervals.rs crates/models/src/nondeep/tde.rs crates/models/src/nondeep/tree.rs
+
+/root/repo/target/release/deps/liblightts_models-b498c369604985af.rlib: crates/models/src/lib.rs crates/models/src/classifier.rs crates/models/src/error.rs crates/models/src/ensemble.rs crates/models/src/forecaster.rs crates/models/src/inception.rs crates/models/src/metrics.rs crates/models/src/nondeep.rs crates/models/src/nondeep/cif.rs crates/models/src/nondeep/forest.rs crates/models/src/nondeep/intervals.rs crates/models/src/nondeep/tde.rs crates/models/src/nondeep/tree.rs
+
+/root/repo/target/release/deps/liblightts_models-b498c369604985af.rmeta: crates/models/src/lib.rs crates/models/src/classifier.rs crates/models/src/error.rs crates/models/src/ensemble.rs crates/models/src/forecaster.rs crates/models/src/inception.rs crates/models/src/metrics.rs crates/models/src/nondeep.rs crates/models/src/nondeep/cif.rs crates/models/src/nondeep/forest.rs crates/models/src/nondeep/intervals.rs crates/models/src/nondeep/tde.rs crates/models/src/nondeep/tree.rs
+
+crates/models/src/lib.rs:
+crates/models/src/classifier.rs:
+crates/models/src/error.rs:
+crates/models/src/ensemble.rs:
+crates/models/src/forecaster.rs:
+crates/models/src/inception.rs:
+crates/models/src/metrics.rs:
+crates/models/src/nondeep.rs:
+crates/models/src/nondeep/cif.rs:
+crates/models/src/nondeep/forest.rs:
+crates/models/src/nondeep/intervals.rs:
+crates/models/src/nondeep/tde.rs:
+crates/models/src/nondeep/tree.rs:

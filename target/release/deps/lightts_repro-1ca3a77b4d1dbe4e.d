@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lightts_repro-1ca3a77b4d1dbe4e.d: src/lib.rs
+
+/root/repo/target/release/deps/liblightts_repro-1ca3a77b4d1dbe4e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblightts_repro-1ca3a77b4d1dbe4e.rmeta: src/lib.rs
+
+src/lib.rs:

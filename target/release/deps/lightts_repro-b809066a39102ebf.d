@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lightts_repro-b809066a39102ebf.d: src/lib.rs
+
+/root/repo/target/release/deps/liblightts_repro-b809066a39102ebf.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblightts_repro-b809066a39102ebf.rmeta: src/lib.rs
+
+src/lib.rs:

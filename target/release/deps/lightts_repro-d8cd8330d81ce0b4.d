@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/lightts_repro-d8cd8330d81ce0b4.d: src/lib.rs
+
+/root/repo/target/release/deps/liblightts_repro-d8cd8330d81ce0b4.rlib: src/lib.rs
+
+/root/repo/target/release/deps/liblightts_repro-d8cd8330d81ce0b4.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/lightts_search-23137e4ef20b9cbb.d: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+/root/repo/target/release/deps/liblightts_search-23137e4ef20b9cbb.rlib: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+/root/repo/target/release/deps/liblightts_search-23137e4ef20b9cbb.rmeta: crates/search/src/lib.rs crates/search/src/error.rs crates/search/src/acquisition.rs crates/search/src/encoder.rs crates/search/src/gp.rs crates/search/src/mobo.rs crates/search/src/pareto.rs crates/search/src/space.rs
+
+crates/search/src/lib.rs:
+crates/search/src/error.rs:
+crates/search/src/acquisition.rs:
+crates/search/src/encoder.rs:
+crates/search/src/gp.rs:
+crates/search/src/mobo.rs:
+crates/search/src/pareto.rs:
+crates/search/src/space.rs:

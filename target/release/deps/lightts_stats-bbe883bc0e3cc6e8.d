@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/lightts_stats-bbe883bc0e3cc6e8.d: crates/stats/src/lib.rs crates/stats/src/cd.rs crates/stats/src/error.rs crates/stats/src/friedman.rs crates/stats/src/ranks.rs crates/stats/src/special.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/release/deps/liblightts_stats-bbe883bc0e3cc6e8.rlib: crates/stats/src/lib.rs crates/stats/src/cd.rs crates/stats/src/error.rs crates/stats/src/friedman.rs crates/stats/src/ranks.rs crates/stats/src/special.rs crates/stats/src/wilcoxon.rs
+
+/root/repo/target/release/deps/liblightts_stats-bbe883bc0e3cc6e8.rmeta: crates/stats/src/lib.rs crates/stats/src/cd.rs crates/stats/src/error.rs crates/stats/src/friedman.rs crates/stats/src/ranks.rs crates/stats/src/special.rs crates/stats/src/wilcoxon.rs
+
+crates/stats/src/lib.rs:
+crates/stats/src/cd.rs:
+crates/stats/src/error.rs:
+crates/stats/src/friedman.rs:
+crates/stats/src/ranks.rs:
+crates/stats/src/special.rs:
+crates/stats/src/wilcoxon.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lightts_tensor-19798ae791cc66fb.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/linalg.rs crates/tensor/src/par.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+/root/repo/target/release/deps/liblightts_tensor-19798ae791cc66fb.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/linalg.rs crates/tensor/src/par.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+/root/repo/target/release/deps/liblightts_tensor-19798ae791cc66fb.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/linalg.rs crates/tensor/src/par.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/par.rs:
+crates/tensor/src/quant.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/tape.rs:

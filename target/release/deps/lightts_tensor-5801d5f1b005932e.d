@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/lightts_tensor-5801d5f1b005932e.d: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/linalg.rs crates/tensor/src/par.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+/root/repo/target/release/deps/liblightts_tensor-5801d5f1b005932e.rlib: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/linalg.rs crates/tensor/src/par.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+/root/repo/target/release/deps/liblightts_tensor-5801d5f1b005932e.rmeta: crates/tensor/src/lib.rs crates/tensor/src/error.rs crates/tensor/src/shape.rs crates/tensor/src/tensor.rs crates/tensor/src/conv.rs crates/tensor/src/linalg.rs crates/tensor/src/par.rs crates/tensor/src/quant.rs crates/tensor/src/rng.rs crates/tensor/src/tape.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/error.rs:
+crates/tensor/src/shape.rs:
+crates/tensor/src/tensor.rs:
+crates/tensor/src/conv.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/par.rs:
+crates/tensor/src/quant.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/tape.rs:

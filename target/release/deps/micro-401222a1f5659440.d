@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro-401222a1f5659440.d: crates/bench/benches/micro.rs
+
+/root/repo/target/release/deps/micro-401222a1f5659440: crates/bench/benches/micro.rs
+
+crates/bench/benches/micro.rs:

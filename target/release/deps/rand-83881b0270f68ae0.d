@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-83881b0270f68ae0.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-83881b0270f68ae0.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-83881b0270f68ae0.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

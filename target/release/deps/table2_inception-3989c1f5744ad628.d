@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_inception-3989c1f5744ad628.d: crates/bench/src/bin/table2_inception.rs
+
+/root/repo/target/release/deps/table2_inception-3989c1f5744ad628: crates/bench/src/bin/table2_inception.rs
+
+crates/bench/src/bin/table2_inception.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_inception-453fbd8e549cda7a.d: crates/bench/src/bin/table2_inception.rs
+
+/root/repo/target/release/deps/table2_inception-453fbd8e549cda7a: crates/bench/src/bin/table2_inception.rs
+
+crates/bench/src/bin/table2_inception.rs:

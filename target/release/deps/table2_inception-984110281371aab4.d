@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_inception-984110281371aab4.d: crates/bench/src/bin/table2_inception.rs
+
+/root/repo/target/release/deps/table2_inception-984110281371aab4: crates/bench/src/bin/table2_inception.rs
+
+crates/bench/src/bin/table2_inception.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_removal-664789ae2ca704a1.d: crates/bench/src/bin/table3_removal.rs
+
+/root/repo/target/release/deps/table3_removal-664789ae2ca704a1: crates/bench/src/bin/table3_removal.rs
+
+crates/bench/src/bin/table3_removal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_removal-cb1c2f5c3f4d240d.d: crates/bench/src/bin/table3_removal.rs
+
+/root/repo/target/release/deps/table3_removal-cb1c2f5c3f4d240d: crates/bench/src/bin/table3_removal.rs
+
+crates/bench/src/bin/table3_removal.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_removal-d8cca9b0ead99dcc.d: crates/bench/src/bin/table3_removal.rs
+
+/root/repo/target/release/deps/table3_removal-d8cca9b0ead99dcc: crates/bench/src/bin/table3_removal.rs
+
+crates/bench/src/bin/table3_removal.rs:

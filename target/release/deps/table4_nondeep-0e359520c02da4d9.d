@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_nondeep-0e359520c02da4d9.d: crates/bench/src/bin/table4_nondeep.rs
+
+/root/repo/target/release/deps/table4_nondeep-0e359520c02da4d9: crates/bench/src/bin/table4_nondeep.rs
+
+crates/bench/src/bin/table4_nondeep.rs:

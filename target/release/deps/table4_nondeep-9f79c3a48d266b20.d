@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_nondeep-9f79c3a48d266b20.d: crates/bench/src/bin/table4_nondeep.rs
+
+/root/repo/target/release/deps/table4_nondeep-9f79c3a48d266b20: crates/bench/src/bin/table4_nondeep.rs
+
+crates/bench/src/bin/table4_nondeep.rs:

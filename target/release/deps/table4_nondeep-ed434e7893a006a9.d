@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_nondeep-ed434e7893a006a9.d: crates/bench/src/bin/table4_nondeep.rs
+
+/root/repo/target/release/deps/table4_nondeep-ed434e7893a006a9: crates/bench/src/bin/table4_nondeep.rs
+
+crates/bench/src/bin/table4_nondeep.rs:

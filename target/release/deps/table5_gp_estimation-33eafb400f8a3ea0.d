@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_gp_estimation-33eafb400f8a3ea0.d: crates/bench/src/bin/table5_gp_estimation.rs
+
+/root/repo/target/release/deps/table5_gp_estimation-33eafb400f8a3ea0: crates/bench/src/bin/table5_gp_estimation.rs
+
+crates/bench/src/bin/table5_gp_estimation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_gp_estimation-3447d5e05c36d1d2.d: crates/bench/src/bin/table5_gp_estimation.rs
+
+/root/repo/target/release/deps/table5_gp_estimation-3447d5e05c36d1d2: crates/bench/src/bin/table5_gp_estimation.rs
+
+crates/bench/src/bin/table5_gp_estimation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5_gp_estimation-546e35c6cdcf5a34.d: crates/bench/src/bin/table5_gp_estimation.rs
+
+/root/repo/target/release/deps/table5_gp_estimation-546e35c6cdcf5a34: crates/bench/src/bin/table5_gp_estimation.rs
+
+crates/bench/src/bin/table5_gp_estimation.rs:

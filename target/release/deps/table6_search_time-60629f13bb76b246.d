@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_search_time-60629f13bb76b246.d: crates/bench/src/bin/table6_search_time.rs
+
+/root/repo/target/release/deps/table6_search_time-60629f13bb76b246: crates/bench/src/bin/table6_search_time.rs
+
+crates/bench/src/bin/table6_search_time.rs:

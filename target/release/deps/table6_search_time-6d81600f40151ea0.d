@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_search_time-6d81600f40151ea0.d: crates/bench/src/bin/table6_search_time.rs
+
+/root/repo/target/release/deps/table6_search_time-6d81600f40151ea0: crates/bench/src/bin/table6_search_time.rs
+
+crates/bench/src/bin/table6_search_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_search_time-92e1cf05f396cfab.d: crates/bench/src/bin/table6_search_time.rs
+
+/root/repo/target/release/deps/table6_search_time-92e1cf05f396cfab: crates/bench/src/bin/table6_search_time.rs
+
+crates/bench/src/bin/table6_search_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/edge_deployment-bf5bdcff8c16585c.d: examples/edge_deployment.rs
+
+/root/repo/target/release/examples/edge_deployment-bf5bdcff8c16585c: examples/edge_deployment.rs
+
+examples/edge_deployment.rs:

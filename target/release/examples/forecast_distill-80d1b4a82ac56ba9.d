@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/forecast_distill-80d1b4a82ac56ba9.d: examples/forecast_distill.rs
+
+/root/repo/target/release/examples/forecast_distill-80d1b4a82ac56ba9: examples/forecast_distill.rs
+
+examples/forecast_distill.rs:

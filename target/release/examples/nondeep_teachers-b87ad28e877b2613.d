@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nondeep_teachers-b87ad28e877b2613.d: examples/nondeep_teachers.rs
+
+/root/repo/target/release/examples/nondeep_teachers-b87ad28e877b2613: examples/nondeep_teachers.rs
+
+examples/nondeep_teachers.rs:

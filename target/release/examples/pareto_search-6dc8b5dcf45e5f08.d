@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/pareto_search-6dc8b5dcf45e5f08.d: examples/pareto_search.rs
+
+/root/repo/target/release/examples/pareto_search-6dc8b5dcf45e5f08: examples/pareto_search.rs
+
+examples/pareto_search.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-7f5d78ac307ce19a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-7f5d78ac307ce19a: examples/quickstart.rs
+
+examples/quickstart.rs:

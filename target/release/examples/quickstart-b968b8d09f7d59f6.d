@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-b968b8d09f7d59f6.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-b968b8d09f7d59f6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d236023819fb9a9c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d236023819fb9a9c: examples/quickstart.rs
+
+examples/quickstart.rs:

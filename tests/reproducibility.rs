@@ -31,10 +31,7 @@ fn teacher_training_is_deterministic() {
     let e1 = train_ensemble(BaseModelKind::Forest, &s.train, &cfg).unwrap();
     let e2 = train_ensemble(BaseModelKind::Forest, &s.train, &cfg).unwrap();
     let batch = s.test.full_batch().unwrap();
-    assert_eq!(
-        e1.predict_proba(&batch.inputs).unwrap(),
-        e2.predict_proba(&batch.inputs).unwrap()
-    );
+    assert_eq!(e1.predict_proba(&batch.inputs).unwrap(), e2.predict_proba(&batch.inputs).unwrap());
 }
 
 #[test]
