@@ -1,0 +1,102 @@
+//! `bench_serve`: serving throughput, single-request loop vs. the dynamic
+//! micro-batching queue.
+//!
+//! The baseline issues one blocking request at a time (every fused batch
+//! has size 1, paying the full queue/wake/scatter overhead per sample);
+//! the batched variants pipeline the same number of requests through the
+//! queue with `max_batch` 4 and 16, letting the scheduler fuse them. The
+//! acceptance bar for the serving runtime is batched-at-16 throughput ≥
+//! the single-request loop on the same host.
+//!
+//! Set `LIGHTTS_BENCH_SMOKE=1` (as CI does) to shrink warm-up and
+//! measurement windows to a compile-rot check rather than a measurement.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lightts_models::inception::{InceptionConfig, InceptionTime};
+use lightts_serve::{ModelRegistry, Pending, ServeConfig, Server};
+use lightts_tensor::rng::seeded;
+use std::hint::black_box;
+use std::time::Duration;
+
+/// Requests per measured iteration.
+const REQUESTS: usize = 64;
+const IN_LEN: usize = 64;
+
+fn config() -> Criterion {
+    let smoke = std::env::var_os("LIGHTTS_BENCH_SMOKE").is_some();
+    let (warm_ms, meas_ms) = if smoke { (50, 150) } else { (300, 1200) };
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(warm_ms))
+        .measurement_time(Duration::from_millis(meas_ms))
+}
+
+/// A packed 8-bit student export, the deployment artifact a server loads.
+fn packed_student() -> Vec<u8> {
+    let mut rng = seeded(17);
+    let model = InceptionTime::new(InceptionConfig::student(1, IN_LEN, 10, 6, 8), &mut rng)
+        .expect("build student");
+    model.save_bytes().expect("pack student")
+}
+
+fn samples() -> Vec<Vec<f32>> {
+    (0..REQUESTS)
+        .map(|i| {
+            (0..IN_LEN)
+                .map(|j| {
+                    let h = (i as u64 * 1_000_003 + j as u64).wrapping_mul(2_654_435_761) % 2000;
+                    h as f32 / 1000.0 - 1.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_serve(c: &mut Criterion) {
+    let packed = packed_student();
+    let inputs = samples();
+    let mut g = c.benchmark_group("serve");
+
+    // Baseline: one blocking request at a time — every batch has size 1.
+    {
+        let mut reg = ModelRegistry::new();
+        reg.load_packed("student", &packed).unwrap();
+        let server = Server::start(reg, ServeConfig { max_batch: 1, max_wait: Duration::ZERO });
+        let handle = server.handle();
+        g.bench_function("single_request_loop", |b| {
+            b.iter(|| {
+                for s in &inputs {
+                    black_box(handle.predict("student", s.clone()).unwrap());
+                }
+            })
+        });
+        server.shutdown();
+    }
+
+    // Pipelined submission through the micro-batching queue.
+    for max_batch in [4usize, 16] {
+        let mut reg = ModelRegistry::new();
+        reg.load_packed("student", &packed).unwrap();
+        let cfg = ServeConfig { max_batch, max_wait: Duration::from_micros(200) };
+        let server = Server::start(reg, cfg);
+        let handle = server.handle();
+        g.bench_function(BenchmarkId::new("batched_queue", max_batch), |b| {
+            b.iter(|| {
+                let pendings: Vec<Pending> =
+                    inputs.iter().map(|s| handle.submit("student", s.clone()).unwrap()).collect();
+                for p in pendings {
+                    black_box(p.wait().unwrap());
+                }
+            })
+        });
+        server.shutdown();
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_serve
+}
+criterion_main!(benches);

@@ -36,8 +36,8 @@
 //! ```
 //!
 //! The sub-crates are re-exported under short names: [`tensor`], [`nn`],
-//! [`data`], [`models`], [`distill`], [`search`], [`stats`]; the kernel
-//! thread pool is configured through [`runtime`].
+//! [`data`], [`models`], [`distill`], [`search`], [`serve`], [`stats`];
+//! the kernel thread pool is configured through [`runtime`].
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
@@ -47,6 +47,7 @@ pub use lightts_distill as distill;
 pub use lightts_models as models;
 pub use lightts_nn as nn;
 pub use lightts_search as search;
+pub use lightts_serve as serve;
 pub use lightts_stats as stats;
 pub use lightts_tensor as tensor;
 
@@ -76,5 +77,6 @@ pub mod prelude {
     pub use crate::search::mobo::{MoboConfig, SpaceRepr};
     pub use crate::search::pareto::best_under_budget;
     pub use crate::search::{Evaluated, SearchSpace, StudentSetting};
+    pub use crate::serve::{ModelRegistry, ServeConfig, Server};
     pub use crate::{LightTs, LightTsConfig, ParetoRun};
 }

@@ -278,6 +278,50 @@ impl InceptionTime {
         Ok(self.fc.eval_forward(&self.store, &pooled)?)
     }
 
+    /// Compiles the model into a tape-free [`InferencePlan`](crate::inference::InferencePlan)
+    /// (pre-quantized weights, folded batch-norm, reusable scratch).
+    ///
+    /// The plan's outputs are bitwise identical to [`Self::logits`] /
+    /// [`Classifier::predict_proba`]; see [`crate::inference`] for why.
+    pub fn compile(&self) -> Result<crate::inference::InferencePlan> {
+        use crate::inference::{PlanBlock, PlanConv};
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            let mut convs = Vec::with_capacity(block.convs.len());
+            for conv in &block.convs {
+                let (w, b) = conv.quantized_params(&self.store)?;
+                convs.push(PlanConv { weight: w, bias: b.into_vec() });
+            }
+            let (bn_scale, bn_shift) = block.bn.folded_affine(&self.store)?;
+            blocks.push(PlanBlock { convs, bn_scale, bn_shift });
+        }
+        let (fw, fb) = self.fc.quantized_params(&self.store)?;
+        Ok(crate::inference::InferencePlan::from_parts(
+            blocks,
+            fw.into_vec(),
+            fb.into_vec(),
+            self.fc.in_features(),
+            self.config.in_dims,
+            self.config.in_len,
+            self.config.num_classes,
+        ))
+    }
+
+    /// Channel count of each block's batch-norm layer, in block order.
+    pub fn bn_channel_counts(&self) -> Vec<usize> {
+        self.blocks.iter().map(|b| b.bn.channels()).collect()
+    }
+
+    /// Overwrites block `i`'s batch-norm running statistics (model surgery
+    /// and tests that need non-trivial statistics without training).
+    pub fn set_bn_running_stats(&mut self, block: usize, mean: &[f32], var: &[f32]) -> Result<()> {
+        let b = self
+            .blocks
+            .get_mut(block)
+            .ok_or_else(|| ModelError::BadConfig { what: format!("no block {block}") })?;
+        Ok(b.bn.set_running_stats(mean, var)?)
+    }
+
     /// Supervised training with cross-entropy (used for teachers).
     ///
     /// Returns the mean training loss of the final epoch.
@@ -392,6 +436,16 @@ impl InceptionTime {
             in_len: buf.get_u32_le() as usize,
             num_classes: buf.get_u32_le() as usize,
         };
+        // Sanity caps on untrusted sizes, before any allocation is sized
+        // from them (a corrupted header must fail cleanly, not OOM).
+        if config.blocks.iter().any(|b| b.layers > 256 || b.filter_len > 1 << 16)
+            || config.filters > 1 << 16
+            || config.in_dims > 1 << 16
+            || config.in_len > 1 << 20
+            || config.num_classes > 1 << 20
+        {
+            return Err(err("implausible configuration"));
+        }
         // rebuild the structure deterministically, then overwrite its state
         let mut rng = seeded(0);
         let mut model = InceptionTime::new(config.clone(), &mut rng)?;

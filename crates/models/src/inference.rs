@@ -1,0 +1,368 @@
+//! Tape-free compiled inference for InceptionTime models.
+//!
+//! [`InferencePlan`] is the serving-side counterpart of
+//! [`InceptionTime::logits`](crate::inception::InceptionTime::logits): the
+//! same arithmetic, but with everything that does not depend on the request
+//! hoisted to compile time and every per-request allocation replaced by a
+//! reusable scratch buffer.
+//!
+//! At compile time ([`InceptionTime::compile`](crate::inception::InceptionTime::compile)) the plan:
+//!
+//! * fake-quantizes every convolution / linear weight once (the per-call
+//!   `fake_quantize` in `eval_forward` re-does this for every request);
+//! * folds each batch-norm layer's γ/β and running statistics into
+//!   per-channel `(scale, shift)` vectors;
+//! * owns ping-pong activation buffers that grow to the largest batch seen
+//!   and are reused for every subsequent request.
+//!
+//! Numerics are **bitwise identical** to the uncompiled path: each hoisted
+//! quantity is produced by the very same f32 expressions the per-call path
+//! evaluates (see `quantized_params` / `folded_affine` in `lightts_nn`), and
+//! every kernel fills each output row with a batch-size-independent
+//! accumulation order. This is what lets the serving layer prove that a
+//! dynamically formed micro-batch returns exactly the bytes a single-sample
+//! call would have returned — and the instrumented
+//! [`tapes_created`](lightts_tensor::tape::tapes_created) counter proves the
+//! plan never touches the autodiff tape.
+
+use crate::{ModelError, Result};
+use lightts_tensor::conv::conv1d_forward_into;
+use lightts_tensor::{linalg, Tensor};
+
+/// One compiled convolution layer: pre-quantized weight and bias.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanConv {
+    /// Fake-quantized filter bank `[filters, cin, k]`.
+    pub(crate) weight: Tensor,
+    /// Fake-quantized bias, one entry per output channel.
+    pub(crate) bias: Vec<f32>,
+}
+
+/// One compiled Inception block: parallel convolutions plus folded
+/// batch-norm affine.
+#[derive(Debug, Clone)]
+pub(crate) struct PlanBlock {
+    pub(crate) convs: Vec<PlanConv>,
+    /// Folded per-channel batch-norm scale (γ·/√(σ²+ε)).
+    pub(crate) bn_scale: Vec<f32>,
+    /// Folded per-channel batch-norm shift (β − μ·scale).
+    pub(crate) bn_shift: Vec<f32>,
+}
+
+/// Reusable activation scratch. Buffers grow to the high-water mark of the
+/// batches seen and are never shrunk, so steady-state serving performs zero
+/// heap allocation per request.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    /// Current block input `[batch, c, l]`.
+    a: Vec<f32>,
+    /// Next block output (channel-concatenated) `[batch, c', l]`.
+    b: Vec<f32>,
+    /// Single-convolution output `[batch, filters, l]`.
+    conv: Vec<f32>,
+    /// Pooled features `[batch, c_last]`.
+    pooled: Vec<f32>,
+}
+
+fn ensure(v: &mut Vec<f32>, n: usize) {
+    if v.len() < n {
+        v.resize(n, 0.0);
+    }
+}
+
+/// A compiled, tape-free, allocation-free inference pass over an
+/// [`InceptionTime`](crate::inception::InceptionTime) model.
+///
+/// Build one with [`InceptionTime::compile`](crate::inception::InceptionTime::compile), then call
+/// [`predict_proba_into`](Self::predict_proba_into) (or
+/// [`logits_into`](Self::logits_into)) per request. The plan is `Send`, so a
+/// serving scheduler can own it on a dedicated thread; it is `&mut self`
+/// because it reuses internal scratch buffers.
+#[derive(Debug, Clone)]
+pub struct InferencePlan {
+    pub(crate) blocks: Vec<PlanBlock>,
+    /// Fake-quantized FC weight, row-major `[fc_in, num_classes]`.
+    pub(crate) fc_weight: Vec<f32>,
+    pub(crate) fc_bias: Vec<f32>,
+    pub(crate) fc_in: usize,
+    pub(crate) in_dims: usize,
+    pub(crate) in_len: usize,
+    pub(crate) num_classes: usize,
+    scratch: Scratch,
+}
+
+impl InferencePlan {
+    pub(crate) fn from_parts(
+        blocks: Vec<PlanBlock>,
+        fc_weight: Vec<f32>,
+        fc_bias: Vec<f32>,
+        fc_in: usize,
+        in_dims: usize,
+        in_len: usize,
+        num_classes: usize,
+    ) -> Self {
+        InferencePlan {
+            blocks,
+            fc_weight,
+            fc_bias,
+            fc_in,
+            in_dims,
+            in_len,
+            num_classes,
+            scratch: Scratch::default(),
+        }
+    }
+
+    /// Input dimensionality `M` each sample must have.
+    pub fn in_dims(&self) -> usize {
+        self.in_dims
+    }
+
+    /// Series length each sample must have.
+    pub fn in_len(&self) -> usize {
+        self.in_len
+    }
+
+    /// Number of scalars one sample occupies (`in_dims · in_len`).
+    pub fn sample_len(&self) -> usize {
+        self.in_dims * self.in_len
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Computes logits for a `[batch, in_dims, in_len]` slice of inputs into
+    /// `out` (resized to `batch · num_classes`).
+    ///
+    /// Bitwise identical to
+    /// [`InceptionTime::logits`](crate::inception::InceptionTime::logits) on
+    /// the same rows, for any batch size.
+    pub fn logits_into(&mut self, inputs: &[f32], batch: usize, out: &mut Vec<f32>) -> Result<()> {
+        let l = self.in_len;
+        if batch == 0 {
+            return Err(ModelError::BadConfig { what: "inference: empty batch".into() });
+        }
+        if inputs.len() != batch * self.in_dims * l {
+            return Err(ModelError::BadConfig {
+                what: format!(
+                    "inference: input length {} != batch {batch} × {} × {l}",
+                    inputs.len(),
+                    self.in_dims
+                ),
+            });
+        }
+
+        let scratch = &mut self.scratch;
+        let mut cin = self.in_dims;
+        ensure(&mut scratch.a, batch * cin * l);
+        scratch.a[..batch * cin * l].copy_from_slice(inputs);
+
+        for block in &self.blocks {
+            let filters = block.convs[0].weight.dims()[0];
+            let c_total = block.convs.len() * filters;
+            ensure(&mut scratch.b, batch * c_total * l);
+            ensure(&mut scratch.conv, batch * filters * l);
+            for (j, conv) in block.convs.iter().enumerate() {
+                conv1d_forward_into(
+                    &mut scratch.conv[..batch * filters * l],
+                    &scratch.a[..batch * cin * l],
+                    batch,
+                    &conv.weight,
+                )?;
+                // Scatter this layer's [batch, filters, l] rows into the
+                // channel-concatenated layout, adding the bias exactly as
+                // Conv1d::eval_forward does (conv sum first, then + bias).
+                for bi in 0..batch {
+                    for ci in 0..filters {
+                        let src = (bi * filters + ci) * l;
+                        let dst = (bi * c_total + j * filters + ci) * l;
+                        let bias_v = conv.bias[ci];
+                        for (o, &v) in
+                            scratch.b[dst..dst + l].iter_mut().zip(&scratch.conv[src..src + l])
+                        {
+                            *o = v + bias_v;
+                        }
+                    }
+                }
+            }
+            // Folded batch-norm affine followed by ReLU, in place. Same two
+            // element-wise steps as BatchNorm1d::eval_forward + `max(0.0)`.
+            for bi in 0..batch {
+                for ci in 0..c_total {
+                    let scale = block.bn_scale[ci];
+                    let shift = block.bn_shift[ci];
+                    let off = (bi * c_total + ci) * l;
+                    for v in &mut scratch.b[off..off + l] {
+                        let t = *v * scale + shift;
+                        *v = t.max(0.0);
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+            cin = c_total;
+        }
+
+        // Global average pooling, identical summation order to `gap_plain`.
+        ensure(&mut scratch.pooled, batch * cin);
+        for bi in 0..batch {
+            for ci in 0..cin {
+                let off = (bi * cin + ci) * l;
+                scratch.pooled[bi * cin + ci] =
+                    scratch.a[off..off + l].iter().sum::<f32>() / l as f32;
+            }
+        }
+
+        // FC head: zeroed output region + the shared matmul kernel + bias,
+        // the exact sequence Linear::eval_forward performs via
+        // Tensor::matmul.
+        let nc = self.num_classes;
+        out.resize(batch * nc, 0.0);
+        out[..batch * nc].fill(0.0);
+        linalg::matmul_into(
+            &mut out[..batch * nc],
+            &scratch.pooled[..batch * self.fc_in],
+            &self.fc_weight,
+            batch,
+            self.fc_in,
+            nc,
+        );
+        for bi in 0..batch {
+            for ci in 0..nc {
+                out[bi * nc + ci] += self.fc_bias[ci];
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes class probabilities (softmax over logits) into `out`.
+    ///
+    /// Bitwise identical to
+    /// [`predict_proba`](crate::Classifier::predict_proba) on the same rows:
+    /// the stabilized `exp(x − logsumexp)` per row matches
+    /// `Tensor::softmax_rows` element for element.
+    pub fn predict_proba_into(
+        &mut self,
+        inputs: &[f32],
+        batch: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.logits_into(inputs, batch, out)?;
+        let nc = self.num_classes;
+        for row in out.chunks_exact_mut(nc) {
+            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|&x| (x - mx).exp()).sum::<f32>().ln() + mx;
+            for v in row.iter_mut() {
+                *v = (*v - lse).exp();
+            }
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper returning probabilities as a `[batch, classes]`
+    /// tensor (allocates; tests and non-hot-path callers).
+    pub fn predict_proba(&mut self, inputs: &Tensor) -> Result<Tensor> {
+        if inputs.rank() != 3 {
+            return Err(ModelError::BadConfig {
+                what: format!(
+                    "inference: expected [batch, dims, len] input, rank {}",
+                    inputs.rank()
+                ),
+            });
+        }
+        let batch = inputs.dims()[0];
+        let mut out = Vec::new();
+        self.predict_proba_into(inputs.data(), batch, &mut out)?;
+        Ok(Tensor::from_vec(out, &[batch, self.num_classes])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::inception::{BlockSpec, InceptionConfig, InceptionTime};
+    use crate::Classifier;
+    use lightts_tensor::rng::seeded;
+    use lightts_tensor::tape::tapes_created;
+    use lightts_tensor::Tensor;
+
+    fn build_model(bits: u8) -> InceptionTime {
+        let cfg = InceptionConfig {
+            blocks: vec![
+                BlockSpec { layers: 2, filter_len: 8, bits },
+                BlockSpec { layers: 3, filter_len: 4, bits },
+            ],
+            filters: 4,
+            in_dims: 2,
+            in_len: 20,
+            num_classes: 5,
+        };
+        let mut rng = seeded(11);
+        let mut model = InceptionTime::new(cfg, &mut rng).unwrap();
+        // Non-trivial running stats without training (no tapes involved).
+        let stats: Vec<(Vec<f32>, Vec<f32>)> = model
+            .bn_channel_counts()
+            .iter()
+            .map(|&c| {
+                let mean: Vec<f32> = (0..c).map(|i| 0.05 * i as f32 - 0.1).collect();
+                let var: Vec<f32> = (0..c).map(|i| 0.5 + 0.03 * i as f32).collect();
+                (mean, var)
+            })
+            .collect();
+        for (i, (mean, var)) in stats.iter().enumerate() {
+            model.set_bn_running_stats(i, mean, var).unwrap();
+        }
+        model
+    }
+
+    fn test_inputs(batch: usize, dims: usize, len: usize) -> Tensor {
+        let data: Vec<f32> = (0..batch * dims * len)
+            .map(|i| ((i as u64 * 2_654_435_761) % 1000) as f32 / 500.0 - 1.0)
+            .collect();
+        Tensor::from_vec(data, &[batch, dims, len]).unwrap()
+    }
+
+    #[test]
+    fn compiled_plan_matches_eval_path_bitwise() {
+        for bits in [4u8, 8, 32] {
+            let model = build_model(bits);
+            let mut plan = model.compile().unwrap();
+            for batch in [1usize, 2, 3, 7] {
+                let x = test_inputs(batch, 2, 20);
+                let reference = model.predict_proba(&x).unwrap();
+                let got = plan.predict_proba(&x).unwrap();
+                assert_eq!(reference.dims(), got.dims());
+                for (i, (a, b)) in reference.data().iter().zip(got.data().iter()).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "bits={bits} batch={batch} elem {i}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_tape_free() {
+        let model = build_model(8);
+        let mut plan = model.compile().unwrap();
+        let x = test_inputs(4, 2, 20);
+        // Warm up scratch, then measure.
+        plan.predict_proba(&x).unwrap();
+        let before = tapes_created();
+        for _ in 0..10 {
+            plan.predict_proba(&x).unwrap();
+        }
+        assert_eq!(tapes_created(), before, "compiled inference constructed a Tape");
+    }
+
+    #[test]
+    fn plan_rejects_bad_input_lengths() {
+        let model = build_model(8);
+        let mut plan = model.compile().unwrap();
+        let mut out = Vec::new();
+        assert!(plan.logits_into(&[0.0; 7], 1, &mut out).is_err());
+        assert!(plan.logits_into(&[], 0, &mut out).is_err());
+    }
+}

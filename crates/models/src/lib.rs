@@ -10,6 +10,9 @@
 //!   the Temporal Dictionary Ensemble (TDE), the Canonical Interval Forest
 //!   (CIF), and the Time Series Forest (Forest), built on a from-scratch
 //!   decision-tree substrate.
+//! * [`inference`] — compiled, tape-free inference plans for serving:
+//!   pre-quantized weights, folded batch-norm, reusable scratch buffers,
+//!   bitwise identical to the training-crate eval path.
 //! * [`ensemble`] — N-member ensembles with per-member class distributions
 //!   (the teachers of Figure 6) and parallel teacher training.
 //! * [`metrics`] — Accuracy and Top-5 Accuracy (Section 4.1.2).
@@ -28,6 +31,7 @@ mod error;
 pub mod ensemble;
 pub mod forecaster;
 pub mod inception;
+pub mod inference;
 pub mod metrics;
 pub mod nondeep;
 

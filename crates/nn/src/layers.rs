@@ -98,10 +98,21 @@ impl Conv1d {
         Ok(tape.add_bias(y, b)?)
     }
 
-    /// Inference forward on plain tensors with (fake-)quantized weights.
-    pub fn eval_forward(&self, store: &ParamStore, x: &Tensor) -> Result<Tensor> {
+    /// The (fake-)quantized `(weight, bias)` pair used by `eval_forward`.
+    ///
+    /// Inference engines call this once at model-compile time so the
+    /// per-request hot path skips re-quantizing parameters on every call.
+    /// The returned tensors are bitwise identical to the ones
+    /// [`eval_forward`](Self::eval_forward) computes internally.
+    pub fn quantized_params(&self, store: &ParamStore) -> Result<(Tensor, Tensor)> {
         let w = fake_quantize(&store.get(self.weight)?.value, self.bits)?;
         let b = fake_quantize(&store.get(self.bias)?.value, self.bits)?;
+        Ok((w, b))
+    }
+
+    /// Inference forward on plain tensors with (fake-)quantized weights.
+    pub fn eval_forward(&self, store: &ParamStore, x: &Tensor) -> Result<Tensor> {
+        let (w, b) = self.quantized_params(store)?;
         let y = conv1d_forward(x, &w)?;
         let (batch, c, l) = (y.dims()[0], y.dims()[1], y.dims()[2]);
         let mut out = y.into_vec();
@@ -199,10 +210,19 @@ impl Linear {
         Ok(tape.add_bias(y, b)?)
     }
 
-    /// Inference forward on plain tensors with (fake-)quantized weights.
-    pub fn eval_forward(&self, store: &ParamStore, x: &Tensor) -> Result<Tensor> {
+    /// The (fake-)quantized `(weight, bias)` pair used by `eval_forward`.
+    ///
+    /// Same contract as [`Conv1d::quantized_params`]: compile-time hoisting
+    /// of the per-call quantization, bitwise identical results.
+    pub fn quantized_params(&self, store: &ParamStore) -> Result<(Tensor, Tensor)> {
         let w = fake_quantize(&store.get(self.weight)?.value, self.bits)?;
         let b = fake_quantize(&store.get(self.bias)?.value, self.bits)?;
+        Ok((w, b))
+    }
+
+    /// Inference forward on plain tensors with (fake-)quantized weights.
+    pub fn eval_forward(&self, store: &ParamStore, x: &Tensor) -> Result<Tensor> {
+        let (w, b) = self.quantized_params(store)?;
         let y = x.matmul(&w)?;
         let (batch, k) = (y.dims()[0], y.dims()[1]);
         let mut out = y.into_vec();
@@ -322,6 +342,25 @@ impl BatchNorm1d {
     /// Inference forward on plain tensors using running statistics.
     pub fn eval_forward(&self, store: &ParamStore, x: &Tensor) -> Result<Tensor> {
         self.eval_transform(store, x)
+    }
+
+    /// Folds γ/β and the running statistics into per-channel `(scale,
+    /// shift)` vectors: `y = x * scale[c] + shift[c]`.
+    ///
+    /// Computed with exactly the same f32 expressions as `eval_forward`,
+    /// so applying the folded affine is bitwise identical to the unfolded
+    /// path — inference engines hoist this out of the per-request loop.
+    pub fn folded_affine(&self, store: &ParamStore) -> Result<(Vec<f32>, Vec<f32>)> {
+        let g = &store.get(self.gamma)?.value;
+        let be = &store.get(self.beta)?.value;
+        let mut scale = vec![0.0f32; self.channels];
+        let mut shift = vec![0.0f32; self.channels];
+        for ci in 0..self.channels {
+            let inv = 1.0 / (self.running_var[ci] + self.eps).sqrt();
+            scale[ci] = g.data()[ci] * inv;
+            shift[ci] = be.data()[ci] - self.running_mean[ci] * scale[ci];
+        }
+        Ok((scale, shift))
     }
 
     fn eval_transform(&self, store: &ParamStore, x: &Tensor) -> Result<Tensor> {

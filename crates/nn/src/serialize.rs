@@ -192,9 +192,14 @@ fn read_param(buf: &mut &[u8], store: &mut ParamStore) -> Result<()> {
     for _ in 0..rank {
         dims.push(buf.get_u32_le() as usize);
     }
-    let len: usize = dims.iter().product();
-    if len > 64 * 1024 * 1024 {
-        return Err(bad("implausibly large tensor"));
+    // Checked product: untrusted dims must not overflow (debug panic) or
+    // drive a huge allocation before the payload length check below.
+    let mut len: usize = 1;
+    for &d in &dims {
+        len = len
+            .checked_mul(d)
+            .filter(|&l| l <= 64 * 1024 * 1024)
+            .ok_or_else(|| bad("implausibly large tensor"))?;
     }
     let zero_point = buf.get_f32_le();
     let step = buf.get_f32_le();

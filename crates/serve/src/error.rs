@@ -1,0 +1,50 @@
+//! Error type for the serving runtime.
+
+use lightts_models::ModelError;
+use std::fmt;
+
+/// Errors produced by the serving runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// A request named a model the registry does not hold.
+    UnknownModel {
+        /// The requested model name.
+        name: String,
+    },
+    /// A request's input did not match the model's expected shape.
+    BadRequest {
+        /// Description of the violated constraint.
+        what: String,
+    },
+    /// Loading or running a model failed.
+    Model(ModelError),
+    /// The server is shutting down (or its scheduler thread died) and can
+    /// no longer answer requests.
+    Shutdown,
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownModel { name } => write!(f, "unknown model {name:?}"),
+            Self::BadRequest { what } => write!(f, "bad request: {what}"),
+            Self::Model(e) => write!(f, "model error: {e}"),
+            Self::Shutdown => write!(f, "server is shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ServeError {
+    fn from(e: ModelError) -> Self {
+        ServeError::Model(e)
+    }
+}

@@ -1,0 +1,68 @@
+//! # lightts-serve
+//!
+//! Batched inference serving for LightTS students.
+//!
+//! The whole point of LightTS is producing *lightweight* students that can
+//! serve predictions on constrained hardware; this crate is the runtime
+//! that actually serves them:
+//!
+//! * [`ModelRegistry`] — loads packed
+//!   [`save_bytes`](lightts_models::inception::InceptionTime::save_bytes)
+//!   exports (or live models) and compiles each into a tape-free
+//!   [`InferencePlan`](lightts_models::inference::InferencePlan).
+//! * [`Server`] — a request queue with **dynamic micro-batching**: requests
+//!   accumulate until either `max_batch` are waiting or the oldest has
+//!   waited `max_wait`, then one fused forward runs over the whole batch
+//!   and the rows are scattered back to their callers.
+//! * [`ServeStats`] — per-request latency and per-batch throughput
+//!   counters, exposed as a consistent snapshot.
+//!
+//! ## Threading model
+//!
+//! One dedicated scheduler thread owns every compiled plan (and its scratch
+//! buffers) — requests are handed over through a mutex-protected queue, so
+//! plans need no internal locking. The fused forward itself fans out over
+//! the `lightts_tensor::par` thread pool exactly like the training kernels
+//! do: the batched matrix-multiply and convolution kernels partition output
+//! rows across the pool's workers. Callers block on a one-shot channel (or
+//! poll a [`Pending`] handle for pipelined submission).
+//!
+//! ## Determinism contract
+//!
+//! Responses are **bitwise identical** to calling
+//! [`predict_proba`](lightts_models::Classifier::predict_proba) on each
+//! sample alone, no matter which micro-batches the scheduler happens to
+//! form: every kernel in the inference path computes each output row with a
+//! batch-size-independent accumulation order (see
+//! [`lightts_models::inference`]). Batching is therefore purely a
+//! throughput optimization — it can never change a prediction.
+//!
+//! ```no_run
+//! use lightts_serve::{ModelRegistry, ServeConfig, Server};
+//!
+//! # fn demo(packed: &[u8], series: Vec<f32>) -> Result<(), lightts_serve::ServeError> {
+//! let mut registry = ModelRegistry::new();
+//! registry.load_packed("student", packed)?;
+//! let server = Server::start(registry, ServeConfig::default());
+//! let probs = server.handle().predict("student", series)?;
+//! println!("class probabilities: {probs:?}");
+//! server.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+mod error;
+mod registry;
+mod server;
+mod stats;
+
+pub use error::ServeError;
+pub use registry::ModelRegistry;
+pub use server::{Pending, ServeConfig, Server, ServerHandle};
+pub use stats::ServeStats;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

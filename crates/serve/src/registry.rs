@@ -1,0 +1,75 @@
+//! The model registry: named, compiled inference plans.
+
+use crate::{Result, ServeError};
+use lightts_models::inception::InceptionTime;
+use lightts_models::inference::InferencePlan;
+
+/// One registered model: its name plus the compiled plan.
+#[derive(Debug)]
+pub(crate) struct Entry {
+    pub(crate) name: String,
+    pub(crate) plan: InferencePlan,
+}
+
+/// A collection of named, compiled models ready to serve.
+///
+/// Models enter the registry either as packed
+/// [`save_bytes`](InceptionTime::save_bytes) exports
+/// ([`load_packed`](Self::load_packed)) — the deployment path — or as live
+/// [`InceptionTime`] instances ([`register`](Self::register)). Either way
+/// they are compiled once into a tape-free
+/// [`InferencePlan`](lightts_models::inference::InferencePlan) at
+/// registration time, so the serving hot path never re-quantizes weights or
+/// touches the autodiff tape.
+#[derive(Debug, Default)]
+pub struct ModelRegistry {
+    pub(crate) entries: Vec<Entry>,
+}
+
+impl ModelRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a live model under `name`, compiling it for serving.
+    ///
+    /// Replaces any previous model of the same name.
+    pub fn register(&mut self, name: impl Into<String>, model: &InceptionTime) -> Result<()> {
+        let name = name.into();
+        if name.is_empty() {
+            return Err(ServeError::BadRequest { what: "empty model name".into() });
+        }
+        let plan = model.compile()?;
+        self.entries.retain(|e| e.name != name);
+        self.entries.push(Entry { name, plan });
+        Ok(())
+    }
+
+    /// Loads a packed model export (the bytes written by
+    /// [`InceptionTime::save_bytes`]) and registers it under `name`.
+    pub fn load_packed(&mut self, name: impl Into<String>, bytes: &[u8]) -> Result<()> {
+        let model = InceptionTime::load_bytes(bytes)?;
+        self.register(name, &model)
+    }
+
+    /// Names of all registered models, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// Whether a model of this name is registered.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.iter().any(|e| e.name == name)
+    }
+
+    /// Number of registered models.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}

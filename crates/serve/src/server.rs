@@ -1,0 +1,271 @@
+//! The serving scheduler: request queues with dynamic micro-batching.
+
+use crate::registry::ModelRegistry;
+use crate::stats::{ServeStats, StatsInner};
+use crate::{Result, ServeError};
+use lightts_models::inference::InferencePlan;
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Micro-batching policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Fuse at most this many requests into one forward pass.
+    pub max_batch: usize,
+    /// Run a partial batch once its oldest request has waited this long.
+    pub max_wait: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { max_batch: 16, max_wait: Duration::from_millis(1) }
+    }
+}
+
+/// One queued prediction request.
+struct Request {
+    input: Vec<f32>,
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<Vec<f32>>>,
+}
+
+/// Submit-side metadata for one registered model.
+#[derive(Debug)]
+struct ModelInfo {
+    name: String,
+    sample_len: usize,
+}
+
+/// Queue state guarded by the scheduler mutex.
+struct State {
+    /// One FIFO per registered model, indexed like `Shared::models`.
+    queues: Vec<VecDeque<Request>>,
+    shutdown: bool,
+}
+
+/// State shared between caller handles and the scheduler thread.
+struct Shared {
+    state: Mutex<State>,
+    cv: Condvar,
+    models: Vec<ModelInfo>,
+    stats: StatsInner,
+    cfg: ServeConfig,
+}
+
+/// A running serving instance.
+///
+/// Owns the scheduler thread; dropping (or calling
+/// [`shutdown`](Self::shutdown)) drains the queues — every already-accepted
+/// request is still answered — then stops the thread.
+pub struct Server {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+/// A cloneable, `Send` handle for submitting requests to a [`Server`].
+#[derive(Clone)]
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+}
+
+/// An in-flight prediction: redeem with [`wait`](Self::wait).
+///
+/// Submitting many [`Pending`]s before waiting on any is how a
+/// single-threaded client lets the scheduler form large fused batches.
+pub struct Pending {
+    rx: mpsc::Receiver<Result<Vec<f32>>>,
+}
+
+impl Pending {
+    /// Blocks until the prediction is available.
+    ///
+    /// Returns the class-probability row for the submitted sample.
+    pub fn wait(self) -> Result<Vec<f32>> {
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+}
+
+impl Server {
+    /// Starts a server over the given registry with the given batching
+    /// policy (a `max_batch` of 0 is treated as 1).
+    pub fn start(registry: ModelRegistry, cfg: ServeConfig) -> Server {
+        let cfg = ServeConfig { max_batch: cfg.max_batch.max(1), ..cfg };
+        let mut models = Vec::with_capacity(registry.entries.len());
+        let mut plans: Vec<InferencePlan> = Vec::with_capacity(registry.entries.len());
+        for e in registry.entries {
+            models.push(ModelInfo { name: e.name, sample_len: e.plan.sample_len() });
+            plans.push(e.plan);
+        }
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queues: (0..models.len()).map(|_| VecDeque::new()).collect(),
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+            models,
+            stats: StatsInner::default(),
+            cfg,
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("lightts-serve".into())
+                .spawn(move || scheduler(&shared, plans))
+                .expect("spawn scheduler thread")
+        };
+        Server { shared, thread: Some(thread) }
+    }
+
+    /// A handle for submitting requests (cloneable, usable from any
+    /// thread).
+    pub fn handle(&self) -> ServerHandle {
+        ServerHandle { shared: Arc::clone(&self.shared) }
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Drains every accepted request, then stops the scheduler thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            st.shutdown = true;
+        }
+        self.shared.cv.notify_all();
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+impl ServerHandle {
+    /// Enqueues one sample (length `in_dims · in_len` of the named model)
+    /// and returns a [`Pending`] redeemable for its probability row.
+    pub fn submit(&self, model: &str, input: Vec<f32>) -> Result<Pending> {
+        let mi = self
+            .shared
+            .models
+            .iter()
+            .position(|m| m.name == model)
+            .ok_or_else(|| ServeError::UnknownModel { name: model.to_string() })?;
+        let expect = self.shared.models[mi].sample_len;
+        if input.len() != expect {
+            return Err(ServeError::BadRequest {
+                what: format!(
+                    "model {model:?} expects {expect} scalars per sample, got {}",
+                    input.len()
+                ),
+            });
+        }
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.shutdown {
+                return Err(ServeError::Shutdown);
+            }
+            st.queues[mi].push_back(Request { input, enqueued: Instant::now(), tx });
+        }
+        self.shared.cv.notify_all();
+        Ok(Pending { rx })
+    }
+
+    /// Submits one sample and blocks for its probability row.
+    pub fn predict(&self, model: &str, input: Vec<f32>) -> Result<Vec<f32>> {
+        self.submit(model, input)?.wait()
+    }
+
+    /// Current counter snapshot.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.snapshot()
+    }
+}
+
+/// Picks the next batch to run, blocking until one is ready.
+///
+/// A model is *ready* when its queue holds `max_batch` requests, when its
+/// oldest request has waited `max_wait`, or when the server is shutting
+/// down (drain). Returns `None` once shut down with all queues empty.
+fn next_batch(shared: &Shared) -> Option<(usize, Vec<Request>)> {
+    let cfg = shared.cfg;
+    let mut st = shared.state.lock().unwrap();
+    loop {
+        let now = Instant::now();
+        let mut earliest: Option<Instant> = None;
+        let mut pick = None;
+        for (i, q) in st.queues.iter().enumerate() {
+            if let Some(front) = q.front() {
+                let deadline = front.enqueued + cfg.max_wait;
+                if st.shutdown || q.len() >= cfg.max_batch || now >= deadline {
+                    pick = Some(i);
+                    break;
+                }
+                earliest = Some(earliest.map_or(deadline, |e| e.min(deadline)));
+            }
+        }
+        if let Some(i) = pick {
+            let q = &mut st.queues[i];
+            let n = q.len().min(cfg.max_batch);
+            return Some((i, q.drain(..n).collect()));
+        }
+        if st.shutdown {
+            return None;
+        }
+        st = match earliest {
+            Some(deadline) => {
+                let wait = deadline.saturating_duration_since(Instant::now());
+                shared.cv.wait_timeout(st, wait).unwrap().0
+            }
+            None => shared.cv.wait(st).unwrap(),
+        };
+    }
+}
+
+/// The scheduler loop: owns every compiled plan and its scratch buffers.
+fn scheduler(shared: &Shared, mut plans: Vec<InferencePlan>) {
+    let mut inputs: Vec<f32> = Vec::new();
+    let mut probs: Vec<f32> = Vec::new();
+    while let Some((mi, batch)) = next_batch(shared) {
+        let plan = &mut plans[mi];
+        let nc = plan.num_classes();
+        inputs.clear();
+        for r in &batch {
+            inputs.extend_from_slice(&r.input);
+        }
+        let t0 = Instant::now();
+        let result = plan.predict_proba_into(&inputs, batch.len(), &mut probs);
+        let service = t0.elapsed();
+        match result {
+            Ok(()) => {
+                let done = Instant::now();
+                let mut latency_ns = 0u64;
+                for (bi, r) in batch.iter().enumerate() {
+                    let row = probs[bi * nc..(bi + 1) * nc].to_vec();
+                    let _ = r.tx.send(Ok(row));
+                    latency_ns += done.duration_since(r.enqueued).as_nanos() as u64;
+                }
+                shared.stats.record_batch(batch.len(), service, latency_ns);
+            }
+            Err(e) => {
+                for r in &batch {
+                    let _ = r.tx.send(Err(ServeError::Model(e.clone())));
+                    shared.stats.record_error();
+                }
+            }
+        }
+    }
+}

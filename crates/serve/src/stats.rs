@@ -1,0 +1,111 @@
+//! Serving statistics: per-request latency and per-batch throughput.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Internal atomic counters, updated by the scheduler thread.
+#[derive(Debug, Default)]
+pub(crate) struct StatsInner {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    max_batch: AtomicU64,
+    /// Σ enqueue→reply latency over all answered requests, nanoseconds.
+    latency_ns: AtomicU64,
+    /// Σ fused-forward service time over all batches, nanoseconds.
+    service_ns: AtomicU64,
+}
+
+impl StatsInner {
+    pub(crate) fn record_batch(&self, batch_size: usize, service: Duration, latencies_ns: u64) {
+        self.requests.fetch_add(batch_size as u64, Ordering::Relaxed);
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.service_ns.fetch_add(service.as_nanos() as u64, Ordering::Relaxed);
+        self.latency_ns.fetch_add(latencies_ns, Ordering::Relaxed);
+        self.max_batch.fetch_max(batch_size as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            max_batch: self.max_batch.load(Ordering::Relaxed) as usize,
+            total_latency: Duration::from_nanos(self.latency_ns.load(Ordering::Relaxed)),
+            total_service: Duration::from_nanos(self.service_ns.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A point-in-time snapshot of serving counters.
+///
+/// Obtained from [`Server::stats`](crate::Server::stats) /
+/// [`ServerHandle::stats`](crate::ServerHandle::stats); all totals are
+/// cumulative since the server started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered successfully.
+    pub requests: u64,
+    /// Requests rejected with an error (failed forward).
+    pub errors: u64,
+    /// Fused batches executed.
+    pub batches: u64,
+    /// Largest batch the scheduler has formed so far.
+    pub max_batch: usize,
+    /// Σ enqueue→reply latency over all answered requests.
+    pub total_latency: Duration,
+    /// Σ fused-forward service time over all batches.
+    pub total_service: Duration,
+}
+
+impl ServeStats {
+    /// Mean number of requests per fused batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Mean per-request latency (enqueue to reply).
+    pub fn mean_latency(&self) -> Duration {
+        if self.requests == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_secs_f64(self.total_latency.as_secs_f64() / self.requests as f64)
+        }
+    }
+
+    /// Requests served per second of fused-forward service time — the
+    /// model-bound throughput, excluding queueing.
+    pub fn service_throughput(&self) -> f64 {
+        let secs = self.total_service.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.requests as f64 / secs
+        }
+    }
+}
+
+impl std::fmt::Display for ServeStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} requests ({} errors) in {} batches (mean {:.2}, max {}), \
+             mean latency {:?}, {:.1} req/s service throughput",
+            self.requests,
+            self.errors,
+            self.batches,
+            self.mean_batch_size(),
+            self.max_batch,
+            self.mean_latency(),
+            self.service_throughput()
+        )
+    }
+}

@@ -1,0 +1,195 @@
+//! Serving correctness: batched results are bitwise identical to
+//! per-sample `predict_proba`, the serve path never constructs an autodiff
+//! tape, and queue bookkeeping (routing, draining, stats) holds up.
+//!
+//! Every test in this file must stay tape-free: the zero-tape proof reads
+//! a process-global counter, so a concurrently running test that trains a
+//! model would pollute it. Models are therefore built from random init
+//! plus hand-set batch-norm running statistics.
+
+use lightts_models::inception::{BlockSpec, InceptionConfig, InceptionTime};
+use lightts_models::Classifier;
+use lightts_serve::{ModelRegistry, Pending, ServeConfig, ServeError, Server};
+use lightts_tensor::rng::seeded;
+use lightts_tensor::tape::tapes_created;
+use lightts_tensor::Tensor;
+use std::time::Duration;
+
+const IN_DIMS: usize = 2;
+const IN_LEN: usize = 16;
+
+/// A small quantized student with non-trivial BN statistics, built without
+/// ever touching the tape (no training).
+fn build_model(seed: u64, classes: usize, bits: u8) -> InceptionTime {
+    let cfg = InceptionConfig {
+        blocks: vec![
+            BlockSpec { layers: 2, filter_len: 8, bits },
+            BlockSpec { layers: 2, filter_len: 4, bits },
+        ],
+        filters: 3,
+        in_dims: IN_DIMS,
+        in_len: IN_LEN,
+        num_classes: classes,
+    };
+    let mut rng = seeded(seed);
+    let mut model = InceptionTime::new(cfg, &mut rng).unwrap();
+    for (i, c) in model.bn_channel_counts().iter().enumerate() {
+        let mean: Vec<f32> = (0..*c).map(|j| 0.04 * j as f32 - 0.08).collect();
+        let var: Vec<f32> = (0..*c).map(|j| 0.6 + 0.02 * j as f32).collect();
+        model.set_bn_running_stats(i, &mean, &var).unwrap();
+    }
+    model
+}
+
+/// Deterministic pseudo-random sample `i` (pure integer arithmetic — no
+/// platform-dependent libm).
+fn sample(i: usize) -> Vec<f32> {
+    (0..IN_DIMS * IN_LEN)
+        .map(|j| {
+            let h = (i as u64 * 1_000_003 + j as u64).wrapping_mul(2_654_435_761) % 2000;
+            h as f32 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+fn reference_row(model: &InceptionTime, s: &[f32]) -> Vec<f32> {
+    let x = Tensor::from_vec(s.to_vec(), &[1, IN_DIMS, IN_LEN]).unwrap();
+    model.predict_proba(&x).unwrap().into_vec()
+}
+
+#[test]
+fn batched_results_bitwise_equal_single_sample_inference() {
+    let model = build_model(21, 4, 8);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("student", &model.save_bytes().unwrap()).unwrap();
+    // Reload through the same packed bytes so the reference model is the
+    // exact model being served.
+    let served = InceptionTime::load_bytes(&model.save_bytes().unwrap()).unwrap();
+
+    // Exercise every batch size the scheduler can form under max_batch=4:
+    // j <= 4 queued requests fuse into one batch of j (long max_wait makes
+    // formation deterministic once the queue is full; smaller j relies on
+    // the deadline path).
+    for max_batch in [1usize, 2, 4, 16] {
+        let cfg = ServeConfig { max_batch, max_wait: Duration::from_millis(2) };
+        let mut reg = ModelRegistry::new();
+        reg.load_packed("student", &model.save_bytes().unwrap()).unwrap();
+        let server = Server::start(reg, cfg);
+        let handle = server.handle();
+        let n = 13; // not a multiple of any max_batch: forces partial batches
+        let pendings: Vec<Pending> =
+            (0..n).map(|i| handle.submit("student", sample(i)).unwrap()).collect();
+        for (i, p) in pendings.into_iter().enumerate() {
+            let got = p.wait().unwrap();
+            let expect = reference_row(&served, &sample(i));
+            assert_eq!(got.len(), expect.len());
+            for (k, (a, b)) in expect.iter().zip(got.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "max_batch={max_batch} sample {i} elem {k}: {a} vs {b}"
+                );
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests, n as u64);
+        assert!(stats.batches >= n.div_ceil(max_batch) as u64);
+        assert!(stats.max_batch <= max_batch);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn serve_path_performs_zero_tape_allocations() {
+    let model = build_model(22, 3, 4);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("student", &model.save_bytes().unwrap()).unwrap();
+    let server = Server::start(registry, ServeConfig::default());
+    let handle = server.handle();
+
+    // Warm up (grows scratch buffers), then measure.
+    handle.predict("student", sample(0)).unwrap();
+    let before = tapes_created();
+    let pendings: Vec<Pending> =
+        (0..32).map(|i| handle.submit("student", sample(i)).unwrap()).collect();
+    for p in pendings {
+        p.wait().unwrap();
+    }
+    assert_eq!(tapes_created(), before, "the serve path constructed an autodiff Tape");
+    server.shutdown();
+}
+
+#[test]
+fn routes_between_multiple_models() {
+    let m3 = build_model(31, 3, 8);
+    let m5 = build_model(32, 5, 8);
+    let mut registry = ModelRegistry::new();
+    registry.register("three", &m3).unwrap();
+    registry.register("five", &m5).unwrap();
+    assert_eq!(registry.names(), vec!["three", "five"]);
+    let server = Server::start(registry, ServeConfig::default());
+    let handle = server.handle();
+    let p3 = handle.predict("three", sample(1)).unwrap();
+    let p5 = handle.predict("five", sample(1)).unwrap();
+    assert_eq!(p3.len(), 3);
+    assert_eq!(p5.len(), 5);
+    assert_eq!(p3, reference_row(&m3, &sample(1)));
+    assert_eq!(p5, reference_row(&m5, &sample(1)));
+    server.shutdown();
+}
+
+#[test]
+fn rejects_unknown_models_and_bad_lengths() {
+    let model = build_model(41, 2, 8);
+    let mut registry = ModelRegistry::new();
+    registry.register("student", &model).unwrap();
+    let server = Server::start(registry, ServeConfig::default());
+    let handle = server.handle();
+    assert!(matches!(handle.predict("nope", sample(0)), Err(ServeError::UnknownModel { .. })));
+    assert!(matches!(handle.predict("student", vec![1.0; 3]), Err(ServeError::BadRequest { .. })));
+    // Valid requests still succeed afterwards.
+    assert_eq!(handle.predict("student", sample(0)).unwrap().len(), 2);
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_drains_accepted_requests_then_rejects() {
+    let model = build_model(51, 3, 8);
+    let mut registry = ModelRegistry::new();
+    registry.register("student", &model).unwrap();
+    // Long max_wait: pending requests would sit for 10s unless shutdown
+    // drains them promptly.
+    let cfg = ServeConfig { max_batch: 64, max_wait: Duration::from_secs(10) };
+    let server = Server::start(registry, cfg);
+    let handle = server.handle();
+    let pendings: Vec<Pending> =
+        (0..5).map(|i| handle.submit("student", sample(i)).unwrap()).collect();
+    server.shutdown();
+    for p in pendings {
+        assert!(p.wait().is_ok(), "accepted request dropped on shutdown");
+    }
+    assert!(matches!(handle.submit("student", sample(0)), Err(ServeError::Shutdown)));
+}
+
+#[test]
+fn stats_track_latency_and_throughput() {
+    let model = build_model(61, 3, 8);
+    let mut registry = ModelRegistry::new();
+    registry.register("student", &model).unwrap();
+    let server = Server::start(registry, ServeConfig::default());
+    let handle = server.handle();
+    let pendings: Vec<Pending> =
+        (0..8).map(|i| handle.submit("student", sample(i)).unwrap()).collect();
+    for p in pendings {
+        p.wait().unwrap();
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.requests, 8);
+    assert_eq!(stats.errors, 0);
+    assert!(stats.batches >= 1);
+    assert!(stats.mean_batch_size() >= 1.0);
+    assert!(stats.total_latency > Duration::ZERO);
+    assert!(stats.total_service > Duration::ZERO);
+    assert!(stats.service_throughput() > 0.0);
+    server.shutdown();
+}

@@ -52,12 +52,57 @@ fn check_conv_shapes(x: &Tensor, w: &Tensor) -> Result<(usize, usize, usize, usi
 /// the result is bitwise identical to the serial kernel.
 pub fn conv1d_forward(x: &Tensor, w: &Tensor) -> Result<Tensor> {
     let (b, cin, l, cout, k) = check_conv_shapes(x, w)?;
-    let (pl, _pr) = same_padding(k);
-    let xd = x.data();
-    let wd = w.data();
     let mut y = vec![0.0f32; b * cout * l];
-    par::par_for_rows(&mut y, l, cin * k * l, |row, y_row| {
+    conv1d_kernel(&mut y, x.data(), w.data(), b, cin, l, cout, k);
+    Tensor::from_vec(y, &[b, cout, l])
+}
+
+/// Forward "same" 1-D convolution into a caller-provided output buffer.
+///
+/// `x` holds a `[batch, cin, l]` activation batch (only the first
+/// `batch · cin · l` elements are read, so an oversized scratch buffer may
+/// be passed) and `y` must hold exactly `batch · cout · l` elements; `y` is
+/// overwritten. This is the allocation-free entry point the inference
+/// engine uses to reuse one scratch buffer across requests; numerics are
+/// identical to [`conv1d_forward`] (same kernel).
+pub fn conv1d_forward_into(y: &mut [f32], x: &[f32], batch: usize, w: &Tensor) -> Result<()> {
+    if w.rank() != 3 {
+        return Err(TensorError::RankMismatch { found: w.rank(), expected: 3, op: "conv1d(w)" });
+    }
+    let (cout, cin, k) = (w.dims()[0], w.dims()[1], w.dims()[2]);
+    if batch == 0 || cin == 0 || k == 0 {
+        return Err(TensorError::Empty { op: "conv1d_forward_into" });
+    }
+    if x.len() < batch * cin || x.len() % (batch * cin) != 0 {
+        return Err(TensorError::LengthMismatch { len: x.len(), expected: batch * cin });
+    }
+    let l = x.len() / (batch * cin);
+    if y.len() != batch * cout * l {
+        return Err(TensorError::LengthMismatch { len: y.len(), expected: batch * cout * l });
+    }
+    conv1d_kernel(y, x, w.data(), batch, cin, l, cout, k);
+    Ok(())
+}
+
+/// The shared "same"-padded forward kernel. Rows of `y` (the `(batch,
+/// out_channel)` grid) are filled independently; each row is zeroed before
+/// accumulation so the buffer may be reused across calls.
+#[allow(clippy::too_many_arguments)]
+fn conv1d_kernel(
+    y: &mut [f32],
+    xd: &[f32],
+    wd: &[f32],
+    b: usize,
+    cin: usize,
+    l: usize,
+    cout: usize,
+    k: usize,
+) {
+    let _ = b;
+    let (pl, _pr) = same_padding(k);
+    par::par_for_rows(y, l, cin * k * l, |row, y_row| {
         let (bi, co) = (row / cout, row % cout);
+        y_row.fill(0.0);
         for ci in 0..cin {
             let x_off = (bi * cin + ci) * l;
             let w_off = (co * cin + ci) * k;
@@ -75,7 +120,6 @@ pub fn conv1d_forward(x: &Tensor, w: &Tensor) -> Result<Tensor> {
             }
         }
     });
-    Tensor::from_vec(y, &[b, cout, l])
 }
 
 /// Gradient of the convolution output w.r.t. the input:

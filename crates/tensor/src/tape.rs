@@ -154,19 +154,42 @@ impl Grads {
     }
 }
 
+/// Process-wide count of [`Tape`] constructions, for instrumentation.
+///
+/// The serving runtime (`lightts-serve`) promises a tape-free hot path;
+/// its tests sample this counter around a request burst to prove that no
+/// code path sneaks an autodiff allocation back in. A relaxed atomic
+/// increment per tape is noise next to the `Vec` the tape itself allocates.
+static TAPES_CREATED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total number of [`Tape`]s constructed by this process so far.
+///
+/// Monotonically increasing; meaningful only as a *delta* around a region
+/// that is claimed to be tape-free (inference/serving paths).
+pub fn tapes_created() -> u64 {
+    TAPES_CREATED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// A define-by-run reverse-mode autodiff tape.
 ///
 /// A tape is built per forward pass (per mini-batch) and discarded after
 /// [`Tape::backward`]; this keeps lifetimes simple and matches how the
 /// training loops in `lightts-nn` are structured.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Tape {
     nodes: Vec<Node>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Tape {
     /// An empty tape.
     pub fn new() -> Self {
+        TAPES_CREATED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         Tape { nodes: Vec::new() }
     }
 
@@ -1201,6 +1224,14 @@ mod tests {
         let grads = tape.backward(loss).unwrap();
         assert!(grads.get(a).is_none());
         assert!(grads.get(b).is_some());
+    }
+
+    #[test]
+    fn tape_constructions_are_counted() {
+        let before = tapes_created();
+        let _t1 = Tape::new();
+        let _t2 = Tape::default();
+        assert!(tapes_created() >= before + 2);
     }
 
     #[test]
