@@ -16,7 +16,12 @@ pub struct Args {
 impl Args {
     /// Parses `--scale quick|full`, `--seed N`, `--datasets N` from the
     /// process arguments; unknown arguments abort with a usage message.
+    ///
+    /// Also initializes the observability sink: progress goes to stderr as
+    /// JSONL events by default, `LIGHTTS_OBS` overrides (`0` silences,
+    /// a path redirects to a file).
     pub fn parse() -> Args {
+        lightts_obs::init_from_env_or(lightts_obs::SinkTarget::Stderr);
         Self::parse_from(std::env::args().skip(1))
     }
 

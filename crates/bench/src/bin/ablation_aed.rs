@@ -31,7 +31,11 @@ fn main() {
         let (test_acc, _) = test_metrics(&res.student, &ctx.splits).expect("eval");
         let label = if v == usize::MAX { "never".to_string() } else { v.to_string() };
         println!("{label}\t{}\t{}", f3(res.val_accuracy), f3(test_acc));
-        eprintln!("  v={label}: val {:.3} test {test_acc:.3}", res.val_accuracy);
+        lightts_obs::event!("ablation.v", {
+            v: label.as_str(),
+            val: res.val_accuracy,
+            test: test_acc,
+        });
     }
 
     banner("Ablation B: outer learning rate for lambda (Adiac, 4-bit, AED)");
@@ -42,6 +46,10 @@ fn main() {
         let res = run_aed(&ctx.splits, &ctx.teachers, &cfg, &opts.aed).expect("AED run");
         let (test_acc, _) = test_metrics(&res.student, &ctx.splits).expect("eval");
         println!("{lr}\t{}\t{}", f3(res.val_accuracy), f3(test_acc));
-        eprintln!("  lr={lr}: val {:.3} test {test_acc:.3}", res.val_accuracy);
+        lightts_obs::event!("ablation.lr", {
+            lr: lr,
+            val: res.val_accuracy,
+            test: test_acc,
+        });
     }
 }

@@ -45,7 +45,11 @@ fn main() {
     } else {
         specs.truncate(n_datasets);
     }
-    eprintln!("fig13-16: {} datasets, scale {}, seed {}", specs.len(), args.scale.name, args.seed);
+    lightts_obs::event!("fig13.start", {
+        datasets: specs.len(),
+        scale: args.scale.name,
+        seed: args.seed,
+    });
     let data =
         run_ranking(&specs, BaseModelKind::InceptionTime, &args.scale, args.seed, &[4, 8, 16])
             .expect("ranking run failed");

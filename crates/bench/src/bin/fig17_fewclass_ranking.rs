@@ -18,7 +18,7 @@ fn main() {
     let pool = archive::full_archive_specs(256);
     let mut specs = archive::few_class_subset(&pool);
     specs.truncate(n_datasets);
-    eprintln!("fig17: {} few-class datasets, scale {}", specs.len(), args.scale.name);
+    lightts_obs::event!("fig17.start", { datasets: specs.len(), scale: args.scale.name });
 
     let data =
         run_ranking(&specs, BaseModelKind::InceptionTime, &args.scale, args.seed, &[4, 8, 16])

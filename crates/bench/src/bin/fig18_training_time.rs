@@ -17,7 +17,7 @@ fn main() {
     let n_datasets = args.datasets.unwrap_or(if args.scale.name == "quick" { 4 } else { 12 });
     let mut specs = archive::table1_specs();
     specs.truncate(n_datasets);
-    eprintln!("fig18: {} datasets, scale {}", specs.len(), args.scale.name);
+    lightts_obs::event!("fig18.start", { datasets: specs.len(), scale: args.scale.name });
 
     let data =
         run_ranking(&specs, BaseModelKind::InceptionTime, &args.scale, args.seed, &[4, 8, 16])

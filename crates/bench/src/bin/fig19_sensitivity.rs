@@ -42,7 +42,7 @@ fn main() {
     for alpha in [0.1f32, 0.3, 0.5, 0.7, 0.9] {
         let acc = run(alpha, 0.5);
         println!("{alpha}\t{}", f3(acc));
-        eprintln!("  alpha {alpha}: {acc:.3}");
+        lightts_obs::event!("fig19.alpha", { alpha: alpha, acc: acc });
     }
 
     banner("Figure 19(b): tau sensitivity (alpha = 0.5), Adiac 4-bit");
@@ -50,6 +50,6 @@ fn main() {
     for tau in [0.1f32, 0.3, 0.5, 1.0, 2.0] {
         let acc = run(0.5, tau);
         println!("{tau}\t{}", f3(acc));
-        eprintln!("  tau {tau}: {acc:.3}");
+        lightts_obs::event!("fig19.tau", { tau: tau, acc: acc });
     }
 }

@@ -34,7 +34,12 @@ fn main() {
             let probs = out.student.predict_proba_dataset(&ctx.splits.test).expect("prediction");
             let acc = accuracy(&probs, ctx.splits.test.labels()).expect("accuracy");
             println!("{n}\t{}\t{}", f3(acc), f2(out.train_seconds));
-            eprintln!("  {name} N={n}: acc {acc:.3}, {:.1}s", out.train_seconds);
+            lightts_obs::event!("fig20.point", {
+                dataset: name,
+                n: n,
+                acc: acc,
+                seconds: out.train_seconds,
+            });
         }
     }
 }

@@ -49,7 +49,11 @@ fn main() {
         let res = run_aed(&ctx.splits, &ctx.teachers, &cfg, &opts.aed).expect("AED");
         println!("base\t{bits}\t{}\t{:.2}", f3(res.val_accuracy), cfg.size_kb());
         scatter.push(ScatterPoint { x: cfg.size_kb(), y: res.val_accuracy, marker: 'B' });
-        eprintln!("  base {bits}-bit: {:.3} @ {:.1}KB", res.val_accuracy, cfg.size_kb());
+        lightts_obs::event!("fig21.base", {
+            bits: bits,
+            val: res.val_accuracy,
+            size_kb: cfg.size_kb(),
+        });
     }
 
     // fixed-layers search: only the bit-widths vary

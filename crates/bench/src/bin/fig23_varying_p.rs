@@ -60,7 +60,7 @@ fn main() {
             });
         }
         summary.push((p, hypervolume(&out.frontier, space.max_size_bits())));
-        eprintln!("  P={p}: frontier size {}", out.frontier.len());
+        lightts_obs::event!("fig23.p", { p: p, frontier: out.frontier.len() });
     }
     banner("Figure 23 scatter (marker = P, base-36)");
     print!("{}", render_scatter(&scatter, 64, 16));

@@ -1,0 +1,52 @@
+//! Validates a JSONL observability trace against the documented schema.
+//!
+//! ```text
+//! obs_validate <trace.jsonl>
+//! ```
+//!
+//! Reads the file line by line, checks every non-empty line with
+//! [`lightts_obs::jsonl::validate_event_line`], and exits non-zero on the
+//! first violation — CI runs this over the trace a smoke bench emits under
+//! `LIGHTTS_OBS=<path>`.
+
+use std::io::{BufRead, BufReader};
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: obs_validate <trace.jsonl>");
+            std::process::exit(2);
+        }
+    };
+    let file = match std::fs::File::open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("obs_validate: cannot open {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mut total = 0usize;
+    for (lineno, line) in BufReader::new(file).lines().enumerate() {
+        let line = match line {
+            Ok(l) => l,
+            Err(e) => {
+                eprintln!("obs_validate: {path}:{}: read error: {e}", lineno + 1);
+                std::process::exit(1);
+            }
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if let Err(e) = lightts_obs::jsonl::validate_event_line(&line) {
+            eprintln!("obs_validate: {path}:{}: {e}", lineno + 1);
+            std::process::exit(1);
+        }
+        total += 1;
+    }
+    if total == 0 {
+        eprintln!("obs_validate: {path}: no events found");
+        std::process::exit(1);
+    }
+    println!("obs_validate: {total} valid events in {path}");
+}

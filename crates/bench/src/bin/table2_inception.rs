@@ -28,7 +28,7 @@ fn main() {
         Method::LightTs,
     ];
     for spec in archive::table1_specs() {
-        eprintln!("table2: {}", spec.name);
+        lightts_obs::event!("table2.dataset", { dataset: spec.name.as_str() });
         let ctx = prepare(&spec, BaseModelKind::InceptionTime, &args.scale, args.seed)
             .expect("context preparation failed");
         let (ens_acc, ens_top5) = test_metrics(&ctx.ensemble, &ctx.splits).expect("ensemble eval");

@@ -16,7 +16,7 @@ use lightts_models::metrics::{accuracy, top_k_accuracy};
 fn main() {
     let args = Args::parse();
     let spec = archive::table1("Adiac").expect("Adiac spec exists");
-    eprintln!("table3: {} scale {}", spec.name, args.scale.name);
+    lightts_obs::event!("table3.start", { dataset: spec.name.as_str(), scale: args.scale.name });
     let ctx = prepare(&spec, BaseModelKind::InceptionTime, &args.scale, args.seed)
         .expect("context preparation failed");
 
@@ -40,7 +40,12 @@ fn main() {
             let probs = res.student.predict_proba_dataset(&ctx.splits.test).expect("prediction");
             acc[bi] = accuracy(&probs, ctx.splits.test.labels()).expect("accuracy");
             top5[bi] = top_k_accuracy(&probs, ctx.splits.test.labels(), 5).expect("top5");
-            eprintln!("  {name} {b}-bit: acc {:.3} (kept {:?})", acc[bi], res.kept);
+            lightts_obs::event!("table3.cell", {
+                method: name,
+                bits: b,
+                acc: acc[bi],
+                kept: format!("{:?}", res.kept),
+            });
         }
         println!(
             "{name}\t{}\t{}\t{}\t{}\t{}\t{}",

@@ -24,7 +24,7 @@ fn main() {
     for name in datasets {
         let spec = archive::table1(name).expect("known dataset");
         for kind in kinds {
-            eprintln!("table4: {} × {}", name, kind.as_str());
+            lightts_obs::event!("table4.cell", { dataset: name, base: kind.as_str() });
             let ctx =
                 prepare(&spec, kind, &args.scale, args.seed).expect("context preparation failed");
             let (ens_acc, ens_top5) =

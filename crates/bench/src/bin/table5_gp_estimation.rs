@@ -33,7 +33,7 @@ fn main() {
     println!("dataset\trepresentation\tMAE\tMAPE");
     for name in ["Adiac", "PigAirway", "NonInvECG2"] {
         let spec = archive::table1(name).expect("known dataset");
-        eprintln!("table5: {name}: preparing + evaluating {n_settings} settings");
+        lightts_obs::event!("table5.dataset", { dataset: name, settings: n_settings });
         let ctx = prepare(&spec, BaseModelKind::InceptionTime, &args.scale, args.seed)
             .expect("context preparation failed");
         let space = SearchSpace::paper_default(
@@ -53,7 +53,12 @@ fn main() {
                 let acc = run_aed(&ctx.splits, &ctx.teachers, &cfg, &opts.aed)
                     .expect("AED evaluation")
                     .val_accuracy;
-                eprintln!("  [{}/{}] {} -> {:.3}", i + 1, n_settings, s.display(), acc);
+                lightts_obs::event!("table5.setting", {
+                    index: i + 1,
+                    total: n_settings,
+                    setting: s.display(),
+                    acc: acc,
+                });
                 acc
             })
             .collect();

@@ -19,7 +19,7 @@ fn main() {
     println!("dataset\tRandom\tMOBO\tEncoded MOBO");
     for name in ["Adiac", "PigAirway", "NonInvECG2"] {
         let spec = archive::table1(name).expect("known dataset");
-        eprintln!("table6: {name}");
+        lightts_obs::event!("table6.dataset", { dataset: name });
         let ctx = prepare(&spec, BaseModelKind::InceptionTime, &args.scale, args.seed)
             .expect("context preparation failed");
         let space = SearchSpace::paper_default(

@@ -5,6 +5,7 @@
 use crate::context::{prepare, test_metrics, DatasetContext, ExperimentScale, Result};
 use lightts::prelude::*;
 use lightts_data::archive::DatasetSpec;
+use lightts_obs as obs;
 use lightts_tensor::rng::derive_seed;
 
 /// One evaluated cell: a method's student on one dataset at one bit-width.
@@ -69,7 +70,11 @@ pub fn run_ranking(
     let mut cells = Vec::new();
 
     for (di, spec) in specs.iter().enumerate() {
-        eprintln!("[{}/{}] {}: preparing teachers…", di + 1, specs.len(), spec.name);
+        obs::event!("bench.dataset", {
+            index: di + 1,
+            total: specs.len(),
+            dataset: spec.name.as_str(),
+        });
         let ctx = prepare(spec, kind, scale, derive_seed(seed, di as u64))?;
         let (ens_acc, _) = test_metrics(&ctx.ensemble, &ctx.splits)?;
         for &b in bits {
@@ -80,14 +85,13 @@ pub fn run_ranking(
                 let (acc, _) = test_metrics(&out.student, &ctx.splits)?;
                 scores[mi].push(acc);
                 times[mi].push(out.train_seconds);
-                eprintln!(
-                    "  {} {}-bit {}: test acc {:.3} ({:.1}s)",
-                    spec.name,
-                    b,
-                    m.as_str(),
-                    acc,
-                    out.train_seconds
-                );
+                obs::event!("bench.cell", {
+                    dataset: spec.name.as_str(),
+                    bits: b,
+                    method: m.as_str(),
+                    acc: acc,
+                    seconds: out.train_seconds,
+                });
             }
             // FP-Ensem appears once per cell so ranks are comparable
             scores[rows - 1].push(ens_acc);
@@ -113,14 +117,14 @@ pub fn run_methods_on(
     for &m in methods {
         let res = run_method(m, &ctx.splits, &ctx.teachers, &cfg, &opts)?;
         let (acc, top5) = test_metrics(&res.student, &ctx.splits)?;
-        eprintln!(
-            "  {} {}-bit {}: acc {:.3} top5 {:.3}",
-            ctx.spec.name,
-            bits,
-            m.as_str(),
-            acc,
-            top5
-        );
+        obs::event!("bench.method", {
+            dataset: ctx.spec.name.as_str(),
+            bits: bits,
+            method: m.as_str(),
+            acc: acc,
+            top5: top5,
+            seconds: res.train_seconds,
+        });
         out.push((acc, top5, res.train_seconds));
     }
     Ok(out)

@@ -17,12 +17,13 @@
 
 use crate::teacher::TeacherProbs;
 use crate::trainer::{eval_student, train_student_epochs, StudentTrainOpts};
-use crate::weights::{WeightState, WeightTransform};
+use crate::weights::{weight_entropy, WeightState, WeightTransform};
 use crate::Result;
 use lightts_data::Splits;
 use lightts_models::inception::{InceptionConfig, InceptionTime};
 use lightts_models::Classifier;
 use lightts_nn::loss::kl_mean;
+use lightts_obs as obs;
 use lightts_tensor::rng::seeded;
 
 /// Configuration of one AED run.
@@ -83,24 +84,30 @@ pub fn run_aed(
 
     let v = cfg.v.max(1);
     let mut remaining = cfg.train.epochs;
+    let outer_counter = obs::global().counter("aed.outer_steps");
     while remaining > 0 {
         let slice = v.min(remaining);
         // line 6: inner-level steps with frozen weights
-        train_student_epochs(
-            &mut student,
-            &splits.train,
-            &teachers.train,
-            &state.weights,
-            &cfg.train,
-            optimizer.as_mut(),
-            &mut rng,
-            slice,
-        )?;
+        {
+            let mut sp = obs::span!("aed.inner", { teachers: n, epochs: slice });
+            let loss = train_student_epochs(
+                &mut student,
+                &splits.train,
+                &teachers.train,
+                &state.weights,
+                &cfg.train,
+                optimizer.as_mut(),
+                &mut rng,
+                slice,
+            )?;
+            sp.record("loss", loss);
+        }
         remaining -= slice;
         if remaining == 0 {
             break;
         }
         // line 8: outer-level λ step on the validation split
+        let mut sp = obs::span!("aed.outer", { teachers: n });
         let p_val = student.predict_proba_dataset(&splits.validation)?;
         let distances: Vec<f32> = teachers
             .val
@@ -112,6 +119,8 @@ pub fn run_aed(
             *l -= cfg.lambda_lr * g;
         }
         state = cfg.transform.weights(&lambda, &mut rng);
+        outer_counter.inc();
+        sp.record("weight_entropy", weight_entropy(&state.weights));
     }
 
     let (val_accuracy, val_top5) = eval_student(&student, &splits.validation)?;

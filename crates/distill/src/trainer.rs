@@ -20,11 +20,13 @@ use lightts_models::metrics::{accuracy, top_k_accuracy};
 use lightts_models::Classifier;
 use lightts_nn::optim::{Adam, Optimizer, Sgd};
 use lightts_nn::{Bindings, Mode};
+use lightts_obs as obs;
 use lightts_tensor::rng::seeded;
 use lightts_tensor::tape::Tape;
 use lightts_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use std::time::Instant;
 
 /// Hyper-parameters of student training (paper Section 4.1.5).
 #[derive(Debug, Clone, Copy)]
@@ -103,7 +105,11 @@ pub fn train_student_epochs(
     let alpha = opts.alpha;
     let mut last_loss = f32::INFINITY;
     let all: Vec<usize> = (0..train.len()).collect();
-    for _ in 0..epochs {
+    let epoch_counter = obs::global().counter("distill.epochs");
+    let epoch_ns = obs::global().histogram("distill.epoch_ns");
+    for epoch in 0..epochs {
+        let mut sp = obs::span!("trainer.epoch", { epoch: epoch, samples: train.len() });
+        let t0 = Instant::now();
         let mut order = all.clone();
         order.shuffle(rng);
         let mut epoch_loss = 0.0f32;
@@ -132,6 +138,10 @@ pub fn train_student_epochs(
             optimizer.step(student.store_mut(), &pairs)?;
         }
         last_loss = epoch_loss / batches.max(1) as f32;
+        epoch_counter.inc();
+        epoch_ns.record_duration(t0.elapsed());
+        sp.record("loss", last_loss);
+        sp.record("batches", batches);
     }
     Ok(last_loss)
 }
@@ -166,6 +176,7 @@ pub fn eval_student(student: &InceptionTime, ds: &LabeledDataset) -> Result<(f64
     let probs = student.predict_proba_dataset(ds)?;
     let acc = accuracy(&probs, ds.labels())?;
     let top5 = top_k_accuracy(&probs, ds.labels(), 5)?;
+    obs::event!("trainer.eval", { samples: ds.len(), acc: acc, top5: top5 });
     Ok((acc, top5))
 }
 

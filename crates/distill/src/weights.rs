@@ -104,6 +104,16 @@ impl WeightTransform {
     }
 }
 
+/// Shannon entropy (nats) of a weight simplex — `−Σ w·ln w`.
+///
+/// The observability layer logs this per outer AED step: entropy starts at
+/// `ln N` (uniform weights) and falls as λ concentrates on the useful
+/// teachers, so the trace shows *when* the weighting has effectively
+/// decided.
+pub fn weight_entropy(weights: &[f32]) -> f32 {
+    -weights.iter().filter(|&&w| w > 0.0).map(|&w| w * w.ln()).sum::<f32>()
+}
+
 /// Index of the minimum weight — the teacher LightTS removes next.
 pub fn argmin_weight(weights: &[f32]) -> Option<usize> {
     if weights.is_empty() {
@@ -122,6 +132,15 @@ pub fn argmin_weight(weights: &[f32]) -> Option<usize> {
 mod tests {
     use super::*;
     use lightts_tensor::rng::seeded;
+
+    #[test]
+    fn entropy_is_maximal_for_uniform_and_zero_for_onehot() {
+        let n = 4usize;
+        let uniform = vec![1.0 / n as f32; n];
+        assert!((weight_entropy(&uniform) - (n as f32).ln()).abs() < 1e-6);
+        assert_eq!(weight_entropy(&[1.0, 0.0, 0.0]), 0.0);
+        assert!(weight_entropy(&[0.7, 0.2, 0.1]) < weight_entropy(&[0.4, 0.3, 0.3]));
+    }
 
     #[test]
     fn softmax_weights_form_simplex() {

@@ -285,6 +285,11 @@ impl InceptionTime {
     /// [`Classifier::predict_proba`]; see [`crate::inference`] for why.
     pub fn compile(&self) -> Result<crate::inference::InferencePlan> {
         use crate::inference::{PlanBlock, PlanConv};
+        let mut sp = lightts_obs::span!("inference.compile", {
+            blocks: self.blocks.len(),
+            size_bits: self.size_bits(),
+        });
+        lightts_obs::global().counter("inference.plans_compiled").inc();
         let mut blocks = Vec::with_capacity(self.blocks.len());
         for block in &self.blocks {
             let mut convs = Vec::with_capacity(block.convs.len());
@@ -296,6 +301,7 @@ impl InceptionTime {
             blocks.push(PlanBlock { convs, bn_scale, bn_shift });
         }
         let (fw, fb) = self.fc.quantized_params(&self.store)?;
+        sp.record("classes", self.config.num_classes);
         Ok(crate::inference::InferencePlan::from_parts(
             blocks,
             fw.into_vec(),

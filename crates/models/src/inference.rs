@@ -26,8 +26,11 @@
 //! plan never touches the autodiff tape.
 
 use crate::{ModelError, Result};
+use lightts_obs::Histogram;
 use lightts_tensor::conv::conv1d_forward_into;
 use lightts_tensor::{linalg, Tensor};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// One compiled convolution layer: pre-quantized weight and bias.
 #[derive(Debug, Clone)]
@@ -89,6 +92,10 @@ pub struct InferencePlan {
     pub(crate) in_len: usize,
     pub(crate) num_classes: usize,
     scratch: Scratch,
+    /// Per-forward wall-clock histogram (`inference.forward_ns` in the
+    /// global registry), resolved once at compile time so the hot path
+    /// never touches the registry mutex.
+    forward_ns: Arc<Histogram>,
 }
 
 impl InferencePlan {
@@ -110,6 +117,7 @@ impl InferencePlan {
             in_len,
             num_classes,
             scratch: Scratch::default(),
+            forward_ns: lightts_obs::global().histogram("inference.forward_ns"),
         }
     }
 
@@ -140,6 +148,7 @@ impl InferencePlan {
     /// [`InceptionTime::logits`](crate::inception::InceptionTime::logits) on
     /// the same rows, for any batch size.
     pub fn logits_into(&mut self, inputs: &[f32], batch: usize, out: &mut Vec<f32>) -> Result<()> {
+        let t0 = Instant::now();
         let l = self.in_len;
         if batch == 0 {
             return Err(ModelError::BadConfig { what: "inference: empty batch".into() });
@@ -233,6 +242,7 @@ impl InferencePlan {
                 out[bi * nc + ci] += self.fc_bias[ci];
             }
         }
+        self.forward_ns.record_duration(t0.elapsed());
         Ok(())
     }
 

@@ -1,0 +1,352 @@
+//! A minimal JSON parser and the event-schema validator.
+//!
+//! The obs crate has zero dependencies, so it carries its own tiny
+//! recursive-descent JSON reader — enough to round-trip the lines the
+//! crate itself emits and to let CI validate an experiment run's JSONL
+//! output against the documented schema (see the crate docs).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number, held as `f64`.
+    Num(f64),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, key-sorted.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The object map, if this is an object.
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// A parse or schema error with a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError(pub String);
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, JsonError> {
+        Err(JsonError(format!("{msg} at byte {}", self.pos)))
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(&format!("expected {:?}", b as char))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            self.err(&format!("expected {word:?}"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws();
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => self.err(&format!("unexpected character {:?}", c as char)),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| JsonError("truncated \\u escape".into()))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| JsonError("bad \\u escape".into()))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| JsonError("invalid UTF-8".into()))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>().map(Json::Num).map_err(|_| JsonError(format!("bad number {text:?}")))
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected ',' or ']'"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return self.err("expected ',' or '}'"),
+            }
+        }
+    }
+}
+
+/// Parses one JSON document (rejecting trailing garbage).
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing characters");
+    }
+    Ok(v)
+}
+
+/// Validates one line against the documented obs event schema.
+///
+/// Required: `ts_us` (number ≥ 0), `kind` (`"span"` or `"event"`), `path`
+/// (non-empty string), `fields` (object of string/number/bool values);
+/// `dur_us` (number ≥ 0) required for spans and forbidden for events. No
+/// other top-level keys are allowed.
+pub fn validate_event_line(line: &str) -> Result<(), JsonError> {
+    let v = parse(line)?;
+    let obj = v.as_obj().ok_or_else(|| JsonError("event line is not an object".into()))?;
+    let ts = obj.get("ts_us").ok_or_else(|| JsonError("missing ts_us".into()))?;
+    let ts = ts.as_num().ok_or_else(|| JsonError("ts_us is not a number".into()))?;
+    if ts < 0.0 {
+        return Err(JsonError(format!("negative ts_us {ts}")));
+    }
+    let kind = obj
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or_else(|| JsonError("missing/invalid kind".into()))?;
+    if kind != "span" && kind != "event" {
+        return Err(JsonError(format!("kind {kind:?} is neither span nor event")));
+    }
+    let path = obj
+        .get("path")
+        .and_then(Json::as_str)
+        .ok_or_else(|| JsonError("missing/invalid path".into()))?;
+    if path.is_empty() {
+        return Err(JsonError("empty path".into()));
+    }
+    let fields = obj
+        .get("fields")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| JsonError("missing/invalid fields object".into()))?;
+    for (k, fv) in fields {
+        match fv {
+            Json::Str(_) | Json::Num(_) | Json::Bool(_) | Json::Null => {}
+            other => {
+                return Err(JsonError(format!("field {k:?} has non-scalar value {other:?}")));
+            }
+        }
+    }
+    match (kind, obj.get("dur_us")) {
+        ("span", Some(Json::Num(d))) if *d >= 0.0 => {}
+        ("span", other) => {
+            return Err(JsonError(format!("span needs non-negative dur_us, got {other:?}")));
+        }
+        ("event", None) => {}
+        ("event", Some(_)) => return Err(JsonError("event must not carry dur_us".into())),
+        _ => unreachable!(),
+    }
+    const ALLOWED: [&str; 5] = ["ts_us", "kind", "path", "fields", "dur_us"];
+    for k in obj.keys() {
+        if !ALLOWED.contains(&k.as_str()) {
+            return Err(JsonError(format!("unknown top-level key {k:?}")));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-2.5e1").unwrap(), Json::Num(-25.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+        let arr = parse("[1, 2, []]").unwrap();
+        assert_eq!(arr, Json::Arr(vec![Json::Num(1.0), Json::Num(2.0), Json::Arr(vec![])]));
+        let obj = parse("{\"a\": 1, \"b\": {\"c\": false}}").unwrap();
+        let m = obj.as_obj().unwrap();
+        assert_eq!(m["a"], Json::Num(1.0));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "{\"a\"}", "nul", "1 2", "\"unterminated"] {
+            assert!(parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn unicode_escapes_round_trip() {
+        assert_eq!(parse("\"\\u0041\\u00e9\"").unwrap(), Json::Str("Aé".into()));
+    }
+
+    #[test]
+    fn validator_accepts_good_lines_and_rejects_bad() {
+        validate_event_line(
+            "{\"ts_us\":1,\"kind\":\"span\",\"path\":\"a.b\",\"fields\":{\"x\":1},\"dur_us\":2.5}",
+        )
+        .unwrap();
+        validate_event_line("{\"ts_us\":1,\"kind\":\"event\",\"path\":\"a\",\"fields\":{}}")
+            .unwrap();
+        for bad in [
+            "{\"kind\":\"span\",\"path\":\"a\",\"fields\":{},\"dur_us\":1}", // no ts
+            "{\"ts_us\":1,\"kind\":\"trace\",\"path\":\"a\",\"fields\":{}}", // bad kind
+            "{\"ts_us\":1,\"kind\":\"span\",\"path\":\"\",\"fields\":{},\"dur_us\":1}", // empty path
+            "{\"ts_us\":1,\"kind\":\"span\",\"path\":\"a\",\"fields\":{}}", // span without dur
+            "{\"ts_us\":1,\"kind\":\"event\",\"path\":\"a\",\"fields\":{},\"dur_us\":1}", // event with dur
+            "{\"ts_us\":1,\"kind\":\"event\",\"path\":\"a\",\"fields\":{\"x\":[1]}}", // nested field
+            "{\"ts_us\":1,\"kind\":\"event\",\"path\":\"a\",\"fields\":{},\"extra\":1}", // unknown key
+        ] {
+            assert!(validate_event_line(bad).is_err(), "{bad} should fail validation");
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! # lightts-obs
+//!
+//! The observability layer of the LightTS reproduction: a **metrics
+//! registry** (named counters, gauges, and log-bucketed histograms with
+//! lock-free hot paths), **tracing spans** with RAII timing, and
+//! **structured JSONL event export** — all with zero external
+//! dependencies, so every crate in the workspace can depend on it.
+//!
+//! ## Metrics
+//!
+//! ```
+//! use lightts_obs as obs;
+//!
+//! let reg = obs::Registry::new();         // or obs::global()
+//! reg.counter("serve.requests").add(3);
+//! reg.histogram("serve.latency_ns").record(1_500_000);
+//! let snap = reg.snapshot();
+//! assert_eq!(snap.counter("serve.requests"), Some(3));
+//! println!("{}", snap.render_prometheus()); // text exposition
+//! println!("{}", snap.render_json());       // machine-readable dump
+//! ```
+//!
+//! ## Spans and events
+//!
+//! ```
+//! use lightts_obs as obs;
+//! {
+//!     let mut sp = obs::span!("trainer.epoch", { epoch: 3usize });
+//!     // … work …
+//!     sp.record("loss", 0.42f32);
+//! } // drop records duration into `span.trainer.epoch` and emits JSONL
+//! obs::event!("bench.cell", { dataset: "Adiac", acc: 0.81f64 });
+//! ```
+//!
+//! Emission is off by default. Set `LIGHTTS_OBS=1` (stderr), a file path,
+//! or `memory`, or call [`set_sink`] programmatically. When disabled, a
+//! span or event costs one relaxed atomic load — field expressions are not
+//! evaluated and nothing allocates ([`events_emitted`] lets tests prove
+//! it).
+//!
+//! ## JSONL event schema
+//!
+//! One JSON object per line:
+//!
+//! ```json
+//! {"ts_us":1754500000000000,"kind":"span","path":"aed.epoch",
+//!  "fields":{"dataset":"Adiac","trial":3,"loss":0.42},"dur_us":15310.2}
+//! ```
+//!
+//! | key | type | presence |
+//! |---|---|---|
+//! | `ts_us` | unsigned number — µs since the UNIX epoch at emission | always |
+//! | `kind` | `"span"` or `"event"` | always |
+//! | `path` | non-empty dotted string, e.g. `"mobo.trial"` | always |
+//! | `fields` | object of string / number / bool / null values | always (may be empty) |
+//! | `dur_us` | wall-clock duration in µs | spans only |
+//!
+//! No other top-level keys are emitted; [`jsonl::validate_event_line`]
+//! enforces exactly this contract (CI runs it over a real experiment's
+//! output via the `obs_validate` binary).
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod jsonl;
+mod metrics;
+mod span;
+
+pub use metrics::{
+    bucket_index, bucket_lower, bucket_upper, global, Counter, Gauge, Histogram, HistogramSnapshot,
+    Metric, MetricSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS,
+};
+pub use span::{
+    emit_event, enabled, events_emitted, init_from_env_or, json_string, set_sink, take_memory,
+    FieldValue, Fields, SinkTarget, Span,
+};

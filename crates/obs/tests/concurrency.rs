@@ -1,0 +1,100 @@
+//! Concurrent-update correctness: metrics hammered from N threads must sum
+//! exactly — the registry's hot path is relaxed atomics, and nothing may
+//! be lost or double-counted.
+
+use lightts_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
+use std::thread;
+
+const THREADS: usize = 8;
+const PER_THREAD: u64 = 10_000;
+
+#[test]
+fn counter_updates_from_n_threads_sum_exactly() {
+    let c = Arc::new(Counter::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let c = Arc::clone(&c);
+            thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(c.get(), THREADS as u64 * PER_THREAD);
+}
+
+#[test]
+fn histogram_updates_from_n_threads_sum_exactly() {
+    let h = Arc::new(Histogram::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let h = Arc::clone(&h);
+            thread::spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Spread across buckets; value depends on the thread so
+                    // per-bucket totals also exercise contention.
+                    h.record((t as u64 + 1) * 100 + i % 7);
+                }
+            })
+        })
+        .collect();
+    for th in handles {
+        th.join().unwrap();
+    }
+    let s = h.snapshot();
+    assert_eq!(s.count, THREADS as u64 * PER_THREAD);
+    let expected_sum: u64 = (0..THREADS as u64)
+        .map(|t| (0..PER_THREAD).map(|i| (t + 1) * 100 + i % 7).sum::<u64>())
+        .sum();
+    assert_eq!(s.sum, expected_sum);
+    assert_eq!(s.buckets.iter().sum::<u64>(), s.count, "bucket totals must cover every record");
+}
+
+#[test]
+fn gauge_add_sub_from_n_threads_cancels_exactly() {
+    let g = Arc::new(Gauge::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let g = Arc::clone(&g);
+            thread::spawn(move || {
+                for _ in 0..PER_THREAD {
+                    g.add(3);
+                    g.sub(3);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(g.get(), 0);
+}
+
+#[test]
+fn registry_get_or_create_is_thread_safe() {
+    let r = Arc::new(Registry::new());
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| {
+            let r = Arc::clone(&r);
+            thread::spawn(move || {
+                // Every thread races the same names; each must land on the
+                // single shared metric instance.
+                for _ in 0..1000 {
+                    r.counter("shared.counter").inc();
+                    r.histogram("shared.hist").record(42);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let snap = r.snapshot();
+    assert_eq!(snap.counter("shared.counter"), Some(THREADS as u64 * 1000));
+    assert_eq!(snap.histogram("shared.hist").unwrap().count, THREADS as u64 * 1000);
+}

@@ -1,0 +1,72 @@
+//! Property-based tests: histogram bucket geometry and JSONL round-trips.
+
+use lightts_obs::jsonl::{self, Json};
+use lightts_obs::{bucket_index, bucket_lower, bucket_upper, Histogram, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every value lands in a bucket whose [lower, upper) range contains it.
+    #[test]
+    fn bucket_contains_its_values(v in 0u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        prop_assert!(bucket_lower(i) <= v, "{v} below bucket {i} lower bound");
+        // The last bucket's true upper bound (2^64) is clamped to u64::MAX,
+        // so it is inclusive there.
+        if i < HISTOGRAM_BUCKETS - 1 {
+            prop_assert!(v < bucket_upper(i), "{v} at/above bucket {i} upper bound");
+        } else {
+            prop_assert!(v <= bucket_upper(i));
+        }
+    }
+
+    /// Buckets tile the u64 line: consecutive buckets share a boundary.
+    #[test]
+    fn buckets_are_contiguous(i in 1usize..HISTOGRAM_BUCKETS) {
+        prop_assert_eq!(bucket_lower(i), bucket_upper(i - 1));
+    }
+
+    /// Quantiles are monotone in q and bracket a single recorded value to
+    /// within its bucket.
+    #[test]
+    fn quantiles_monotone_and_bracketing(values in proptest::collection::vec(0u64..1_000_000_000, 1..64)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.sum, values.iter().sum::<u64>());
+        let mut prev = 0.0f64;
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            let est = s.quantile(q);
+            prop_assert!(est >= prev, "quantile({q}) = {est} < {prev}");
+            prev = est;
+        }
+        // Estimates stay inside the observed bucket range.
+        let lo = bucket_lower(bucket_index(*values.iter().min().unwrap())) as f64;
+        let hi = bucket_upper(bucket_index(*values.iter().max().unwrap())) as f64;
+        prop_assert!(s.quantile(0.0) >= lo);
+        prop_assert!(s.quantile(1.0) <= hi);
+    }
+
+    /// JSON string escaping round-trips through the parser for arbitrary
+    /// (printable and control) characters.
+    #[test]
+    fn json_string_round_trips(codes in proptest::collection::vec(0u32..0xD7FF, 0..24)) {
+        let s: String = codes.into_iter().filter_map(char::from_u32).collect();
+        let encoded = lightts_obs::json_string(&s);
+        let parsed = jsonl::parse(&encoded).unwrap();
+        prop_assert_eq!(parsed, Json::Str(s));
+    }
+
+    /// Numbers survive an emit→parse round trip exactly enough for the
+    /// schema (f64 formatting is shortest-round-trip in Rust).
+    #[test]
+    fn numbers_round_trip(v in -1.0e12f64..1.0e12) {
+        let parsed = jsonl::parse(&format!("{v}")).unwrap();
+        prop_assert_eq!(parsed, Json::Num(v));
+    }
+}

@@ -22,6 +22,7 @@ use crate::gp::GaussianProcess;
 use crate::pareto::{pareto_frontier, Evaluated};
 use crate::space::{SearchSpace, StudentSetting};
 use crate::{Result, SearchError};
+use lightts_obs as obs;
 use lightts_tensor::rng::seeded;
 use rand::Rng;
 use std::collections::HashSet;
@@ -196,7 +197,10 @@ where
     let mut since_refresh = 0usize;
 
     // ----- BO iterations -----
+    let trial_counter = obs::global().counter("search.trials");
+    let acq_ns = obs::global().histogram("search.acquisition_ns");
     while evaluated.len() < cfg.q {
+        let t_acq = Instant::now();
         let xs: Vec<Vec<f32>> =
             evaluated.iter().map(|e| reprs.encode(&e.setting)).collect::<Result<_>>()?;
         let ys: Vec<f32> = evaluated.iter().map(|e| e.accuracy as f32).collect();
@@ -233,11 +237,23 @@ where
         let Some((chosen, _)) = best_candidate else {
             break; // space exhausted
         };
+        let acquisition = t_acq.elapsed();
+        acq_ns.record_duration(acquisition);
 
         let accuracy = call_oracle(&mut oracle, &chosen)?;
         let size_bits = space.size_bits(&chosen);
         seen.insert(chosen.clone());
         evaluated.push(Evaluated { setting: chosen, accuracy, size_bits });
+        trial_counter.inc();
+        obs::event!("mobo.trial", {
+            trial: evaluated.len(),
+            repr: cfg.repr.as_str(),
+            beta: beta,
+            acquisition_us: acquisition.as_secs_f64() * 1e6,
+            accuracy: accuracy,
+            size_bits: size_bits,
+            frontier: pareto_frontier(&evaluated).len(),
+        });
 
         since_refresh += 1;
         if since_refresh >= cfg.encoder_refresh.max(1) && ReprBuilder::needs_encoder(cfg.repr) {

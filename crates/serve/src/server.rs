@@ -4,6 +4,7 @@ use crate::registry::ModelRegistry;
 use crate::stats::{ServeStats, StatsInner};
 use crate::{Result, ServeError};
 use lightts_models::inference::InferencePlan;
+use lightts_obs as obs;
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -106,7 +107,7 @@ impl Server {
             }),
             cv: Condvar::new(),
             models,
-            stats: StatsInner::default(),
+            stats: StatsInner::new(),
             cfg,
         });
         let thread = {
@@ -128,6 +129,18 @@ impl Server {
     /// Current counter snapshot.
     pub fn stats(&self) -> ServeStats {
         self.shared.stats.snapshot()
+    }
+
+    /// The per-server metrics registry backing [`stats`](Self::stats).
+    ///
+    /// Snapshot it for Prometheus/JSON exposition of the raw
+    /// `serve.*` counters, gauges, and histograms:
+    ///
+    /// ```ignore
+    /// println!("{}", server.metrics().snapshot().render_prometheus());
+    /// ```
+    pub fn metrics(&self) -> Arc<obs::Registry> {
+        self.shared.stats.registry()
     }
 
     /// Drains every accepted request, then stops the scheduler thread.
@@ -180,6 +193,7 @@ impl ServerHandle {
             }
             st.queues[mi].push_back(Request { input, enqueued: Instant::now(), tx });
         }
+        self.shared.stats.enqueued();
         self.shared.cv.notify_all();
         Ok(Pending { rx })
     }
@@ -220,6 +234,7 @@ fn next_batch(shared: &Shared) -> Option<(usize, Vec<Request>)> {
         if let Some(i) = pick {
             let q = &mut st.queues[i];
             let n = q.len().min(cfg.max_batch);
+            shared.stats.dequeued(n);
             return Some((i, q.drain(..n).collect()));
         }
         if st.shutdown {
@@ -252,13 +267,17 @@ fn scheduler(shared: &Shared, mut plans: Vec<InferencePlan>) {
         match result {
             Ok(()) => {
                 let done = Instant::now();
-                let mut latency_ns = 0u64;
                 for (bi, r) in batch.iter().enumerate() {
                     let row = probs[bi * nc..(bi + 1) * nc].to_vec();
                     let _ = r.tx.send(Ok(row));
-                    latency_ns += done.duration_since(r.enqueued).as_nanos() as u64;
+                    shared.stats.record_latency(done.duration_since(r.enqueued));
                 }
-                shared.stats.record_batch(batch.len(), service, latency_ns);
+                shared.stats.record_batch(batch.len(), service);
+                obs::event!("serve.batch", {
+                    model: shared.models[mi].name.as_str(),
+                    batch: batch.len(),
+                    service_us: service.as_secs_f64() * 1e6,
+                });
             }
             Err(e) => {
                 for r in &batch {

@@ -1,42 +1,100 @@
 //! Serving statistics: per-request latency and per-batch throughput.
+//!
+//! Since PR 3 the counters live in a per-server
+//! [`lightts_obs::Registry`]: [`StatsInner`] is a thin bundle of shared
+//! metric handles resolved once at server start, and [`ServeStats`] is a
+//! point-in-time *view* computed from a registry snapshot. The scheduler
+//! hot path therefore only touches lock-free atomics, while the same
+//! numbers are exportable through
+//! [`Server::metrics`](crate::Server::metrics) in Prometheus or JSON
+//! form.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use lightts_obs::{Counter, Gauge, Histogram, Registry};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// Internal atomic counters, updated by the scheduler thread.
-#[derive(Debug, Default)]
+/// Shared metric handles, updated by the scheduler thread.
+///
+/// Each server owns its own [`Registry`] (not the process-global one) so
+/// that concurrent servers — common in tests — never mix their counters.
+#[derive(Debug)]
 pub(crate) struct StatsInner {
-    requests: AtomicU64,
-    errors: AtomicU64,
-    batches: AtomicU64,
-    max_batch: AtomicU64,
-    /// Σ enqueue→reply latency over all answered requests, nanoseconds.
-    latency_ns: AtomicU64,
-    /// Σ fused-forward service time over all batches, nanoseconds.
-    service_ns: AtomicU64,
+    registry: Arc<Registry>,
+    requests: Arc<Counter>,
+    errors: Arc<Counter>,
+    batches: Arc<Counter>,
+    max_batch: Arc<Gauge>,
+    queue_depth: Arc<Gauge>,
+    batch_size: Arc<Histogram>,
+    /// Per-request enqueue→reply latency, nanoseconds.
+    latency_ns: Arc<Histogram>,
+    /// Per-batch fused-forward service time, nanoseconds.
+    service_ns: Arc<Histogram>,
 }
 
 impl StatsInner {
-    pub(crate) fn record_batch(&self, batch_size: usize, service: Duration, latencies_ns: u64) {
-        self.requests.fetch_add(batch_size as u64, Ordering::Relaxed);
-        self.batches.fetch_add(1, Ordering::Relaxed);
-        self.service_ns.fetch_add(service.as_nanos() as u64, Ordering::Relaxed);
-        self.latency_ns.fetch_add(latencies_ns, Ordering::Relaxed);
-        self.max_batch.fetch_max(batch_size as u64, Ordering::Relaxed);
+    pub(crate) fn new() -> StatsInner {
+        let registry = Arc::new(Registry::new());
+        StatsInner {
+            requests: registry.counter("serve.requests"),
+            errors: registry.counter("serve.errors"),
+            batches: registry.counter("serve.batches"),
+            max_batch: registry.gauge("serve.max_batch"),
+            queue_depth: registry.gauge("serve.queue_depth"),
+            batch_size: registry.histogram("serve.batch_size"),
+            latency_ns: registry.histogram("serve.latency_ns"),
+            service_ns: registry.histogram("serve.service_ns"),
+            registry,
+        }
+    }
+
+    /// The registry backing these stats, for exposition.
+    pub(crate) fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
+    }
+
+    /// A request entered a queue.
+    pub(crate) fn enqueued(&self) {
+        self.queue_depth.add(1);
+    }
+
+    /// `n` requests left the queues to form a batch.
+    pub(crate) fn dequeued(&self, n: usize) {
+        self.queue_depth.sub(n as i64);
+    }
+
+    /// One fused batch completed successfully.
+    pub(crate) fn record_batch(&self, batch_size: usize, service: Duration) {
+        self.requests.add(batch_size as u64);
+        self.batches.inc();
+        self.batch_size.record(batch_size as u64);
+        self.service_ns.record_duration(service);
+        self.max_batch.record_max(batch_size as i64);
+    }
+
+    /// One answered request's enqueue→reply latency.
+    pub(crate) fn record_latency(&self, latency: Duration) {
+        self.latency_ns.record_duration(latency);
     }
 
     pub(crate) fn record_error(&self) {
-        self.errors.fetch_add(1, Ordering::Relaxed);
+        self.errors.inc();
     }
 
     pub(crate) fn snapshot(&self) -> ServeStats {
+        let latency = self.latency_ns.snapshot();
+        let service = self.service_ns.snapshot();
+        let q = |p: f64| Duration::from_nanos(latency.quantile(p) as u64);
         ServeStats {
-            requests: self.requests.load(Ordering::Relaxed),
-            errors: self.errors.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            max_batch: self.max_batch.load(Ordering::Relaxed) as usize,
-            total_latency: Duration::from_nanos(self.latency_ns.load(Ordering::Relaxed)),
-            total_service: Duration::from_nanos(self.service_ns.load(Ordering::Relaxed)),
+            requests: self.requests.get(),
+            errors: self.errors.get(),
+            batches: self.batches.get(),
+            max_batch: self.max_batch.get().max(0) as usize,
+            total_latency: Duration::from_nanos(latency.sum),
+            total_service: Duration::from_nanos(service.sum),
+            latency_p50: q(0.50),
+            latency_p90: q(0.90),
+            latency_p99: q(0.99),
         }
     }
 }
@@ -45,7 +103,9 @@ impl StatsInner {
 ///
 /// Obtained from [`Server::stats`](crate::Server::stats) /
 /// [`ServerHandle::stats`](crate::ServerHandle::stats); all totals are
-/// cumulative since the server started.
+/// cumulative since the server started. The latency percentiles come from
+/// a log-bucketed histogram, so they are order-of-magnitude estimates
+/// (within a factor of two of the true order statistic).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeStats {
     /// Requests answered successfully.
@@ -60,6 +120,12 @@ pub struct ServeStats {
     pub total_latency: Duration,
     /// Σ fused-forward service time over all batches.
     pub total_service: Duration,
+    /// Median enqueue→reply latency (histogram estimate).
+    pub latency_p50: Duration,
+    /// 90th-percentile enqueue→reply latency (histogram estimate).
+    pub latency_p90: Duration,
+    /// 99th-percentile enqueue→reply latency (histogram estimate).
+    pub latency_p99: Duration,
 }
 
 impl ServeStats {
@@ -98,13 +164,17 @@ impl std::fmt::Display for ServeStats {
         write!(
             f,
             "{} requests ({} errors) in {} batches (mean {:.2}, max {}), \
-             mean latency {:?}, {:.1} req/s service throughput",
+             mean latency {:?} (p50 {:?}, p90 {:?}, p99 {:?}), \
+             {:.1} req/s service throughput",
             self.requests,
             self.errors,
             self.batches,
             self.mean_batch_size(),
             self.max_batch,
             self.mean_latency(),
+            self.latency_p50,
+            self.latency_p90,
+            self.latency_p99,
             self.service_throughput()
         )
     }

@@ -1,0 +1,120 @@
+//! Whole-stack observability integration test: with the in-memory sink
+//! active, a tiny AED run, a tiny MOBO search, and a serving round must
+//! together emit schema-valid JSONL covering trainer epochs, MOBO trials,
+//! and serve batches — the acceptance scenario of the observability PR.
+//!
+//! Everything runs inside ONE `#[test]` because the sink is process-global
+//! state; a second concurrent test in this binary would race it.
+
+use lightts::distill::aed::{run_aed, AedConfig};
+use lightts::distill::trainer::StudentTrainOpts;
+use lightts::distill::weights::WeightTransform;
+use lightts::models::inception::InceptionTime;
+use lightts::prelude::*;
+use lightts::search::mobo::run_mobo;
+use lightts_data::synth::{Generator, SynthConfig};
+use lightts_data::LabeledDataset;
+use lightts_obs::{self as obs, SinkTarget};
+use lightts_tensor::rng::seeded;
+use lightts_tensor::Tensor;
+use std::collections::BTreeSet;
+
+fn splits(seed: u64) -> Splits {
+    let gen = Generator::new(
+        SynthConfig { classes: 3, dims: 1, length: 24, difficulty: 0.2, waveforms: 3 },
+        seed,
+    );
+    gen.splits("obs-stack", 36, 18, 18, seed + 1).unwrap()
+}
+
+/// Synthetic teachers (one oracle, one anti-oracle), as in the AED tests —
+/// cheap enough that the whole test stays well under a minute.
+fn synthetic_teachers(s: &Splits, sharp: f32) -> TeacherProbs {
+    let mk = |ds: &LabeledDataset, invert: bool| {
+        let k = ds.num_classes();
+        let mut t = Tensor::full(&[ds.len(), k], (1.0 - sharp) / (k as f32 - 1.0));
+        for (i, &l) in ds.labels().iter().enumerate() {
+            let target = if invert { (l + 1) % k } else { l };
+            t.set(&[i, target], sharp).unwrap();
+        }
+        t
+    };
+    TeacherProbs::from_raw(
+        vec![mk(&s.train, false), mk(&s.train, true)],
+        vec![mk(&s.validation, false), mk(&s.validation, true)],
+        s.validation.labels(),
+    )
+    .unwrap()
+}
+
+#[test]
+fn stack_emits_schema_valid_spans_for_training_search_and_serving() {
+    obs::set_sink(SinkTarget::Memory);
+
+    // --- training: a tiny AED run (2 inner slices, ≥1 outer λ step) ---
+    let s = splits(900);
+    let teachers = synthetic_teachers(&s, 0.85);
+    let student_cfg = InceptionConfig::student(1, 24, 3, 2, 8);
+    let aed_cfg = AedConfig {
+        train: StudentTrainOpts { epochs: 8, batch_size: 16, ..Default::default() },
+        v: 4,
+        lambda_lr: 2.0,
+        transform: WeightTransform::Softmax,
+    };
+    run_aed(&s, &teachers, &student_cfg, &aed_cfg).unwrap();
+
+    // --- search: a tiny MOBO run with a synthetic oracle (2 BO trials) ---
+    let space = SearchSpace::paper_default(1, 24, 3, 4);
+    let mobo_cfg = MoboConfig {
+        q: 4,
+        p_init: 2,
+        candidates: 16,
+        repr: SpaceRepr::Normalized,
+        ..MoboConfig::default()
+    };
+    run_mobo(&space, |st| Ok(1.0 / (1.0 + space.size_bits(st) as f64)), &mobo_cfg).unwrap();
+
+    // --- serving: a compiled student answers a few requests ---
+    let mut rng = seeded(901);
+    let student = InceptionTime::new(student_cfg, &mut rng).unwrap();
+    let bytes = student.save_bytes().unwrap();
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("student", &bytes).unwrap();
+    let server = Server::start(registry, ServeConfig::default());
+    let handle = server.handle();
+    let batch = s.test.full_batch().unwrap();
+    let pendings: Vec<_> = (0..4)
+        .map(|i| handle.submit("student", batch.inputs.data()[i * 24..(i + 1) * 24].to_vec()))
+        .collect::<Result<_, _>>()
+        .unwrap();
+    for p in pendings {
+        p.wait().unwrap();
+    }
+    server.shutdown(); // joins the scheduler, so all stats are recorded
+    let stats = handle.stats();
+    assert_eq!(stats.requests, 4);
+    assert!(stats.latency_p50 <= stats.latency_p99);
+
+    // --- every emitted line is schema-valid, and the three subsystems are
+    //     all represented ---
+    let lines = obs::take_memory();
+    assert!(!lines.is_empty(), "memory sink captured nothing");
+    let mut paths: BTreeSet<String> = BTreeSet::new();
+    for line in &lines {
+        obs::jsonl::validate_event_line(line)
+            .unwrap_or_else(|e| panic!("invalid event line {line:?}: {e}"));
+        let obj = obs::jsonl::parse(line).unwrap();
+        let path = obj.as_obj().unwrap()["path"].as_str().unwrap().to_string();
+        paths.insert(path);
+    }
+    for expected in ["trainer.epoch", "aed.inner", "aed.outer", "mobo.trial", "serve.batch"] {
+        assert!(paths.contains(expected), "no {expected:?} event among paths {paths:?}");
+    }
+
+    // registry metrics moved alongside the spans
+    let snap = obs::global().snapshot();
+    assert!(snap.counter("distill.epochs").unwrap_or(0) >= 8);
+    assert!(snap.counter("search.trials").unwrap_or(0) >= 2);
+    assert!(stats.batches >= 1);
+    assert!(stats.total_latency.as_nanos() > 0);
+}
