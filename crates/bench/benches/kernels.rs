@@ -1,0 +1,119 @@
+//! `bench_kernels`: direct vs GEMM-lowered conv1d kernels, single-threaded.
+//!
+//! This is the acceptance benchmark for the im2col lowering: at the
+//! InceptionTime-sized shapes `b=16, cin=32, cout=32, l=128, k ∈ {9,19,39}`
+//! the lowered forward and backward-weight kernels must be ≥ 1.5× faster
+//! than the direct oracle on one thread. Results (plus the backward-input
+//! pass, measured for completeness) are merged into `BENCH_kernels.json` at
+//! the repository root; the speedup summary is printed at the end.
+//!
+//! Set `LIGHTTS_BENCH_SMOKE=1` (as CI does) to shrink warm-up and
+//! measurement windows to a compile-rot check rather than a measurement.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use lightts_bench::perf::{self, KernelRecord};
+use lightts_tensor::conv::{
+    conv1d_backward_input_direct, conv1d_backward_input_lowered, conv1d_backward_weight_direct,
+    conv1d_backward_weight_lowered, conv1d_forward_direct, conv1d_forward_lowered,
+};
+use lightts_tensor::rng::seeded;
+use lightts_tensor::Tensor;
+use std::hint::black_box;
+use std::time::Duration;
+
+const B: usize = 16;
+const CIN: usize = 32;
+const COUT: usize = 32;
+const L: usize = 128;
+const KS: [usize; 3] = [9, 19, 39];
+
+fn config() -> Criterion {
+    let smoke = std::env::var_os("LIGHTTS_BENCH_SMOKE").is_some();
+    let (warm_ms, meas_ms) = if smoke { (40, 120) } else { (300, 900) };
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(warm_ms))
+        .measurement_time(Duration::from_millis(meas_ms))
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    // The acceptance numbers are single-threaded: pin the worker count so
+    // the comparison measures the lowering, not the thread pool.
+    lightts_tensor::par::set_num_threads(1);
+    let mut rng = seeded(23);
+    let mut g = c.benchmark_group("kernels");
+    for &k in &KS {
+        let x = Tensor::randn(&mut rng, &[B, CIN, L], 1.0);
+        let w = Tensor::randn(&mut rng, &[COUT, CIN, k], 0.3);
+        let dy = Tensor::randn(&mut rng, &[B, COUT, L], 1.0);
+        g.bench_function(BenchmarkId::new("forward_direct", format!("k{k}")), |b| {
+            b.iter(|| black_box(conv1d_forward_direct(&x, &w).unwrap()))
+        });
+        g.bench_function(BenchmarkId::new("forward_lowered", format!("k{k}")), |b| {
+            b.iter(|| black_box(conv1d_forward_lowered(&x, &w).unwrap()))
+        });
+        g.bench_function(BenchmarkId::new("backward_w_direct", format!("k{k}")), |b| {
+            b.iter(|| black_box(conv1d_backward_weight_direct(&dy, &x, w.dims()).unwrap()))
+        });
+        g.bench_function(BenchmarkId::new("backward_w_lowered", format!("k{k}")), |b| {
+            b.iter(|| black_box(conv1d_backward_weight_lowered(&dy, &x, w.dims()).unwrap()))
+        });
+        g.bench_function(BenchmarkId::new("backward_x_direct", format!("k{k}")), |b| {
+            b.iter(|| black_box(conv1d_backward_input_direct(&dy, &w, x.dims()).unwrap()))
+        });
+        g.bench_function(BenchmarkId::new("backward_x_lowered", format!("k{k}")), |b| {
+            b.iter(|| black_box(conv1d_backward_input_lowered(&dy, &w, x.dims()).unwrap()))
+        });
+    }
+    g.finish();
+    lightts_tensor::par::set_num_threads(0);
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_kernels
+}
+
+fn main() {
+    benches();
+
+    let scale = perf::current_scale();
+    let measurements = criterion::take_measurements();
+    let records: Vec<KernelRecord> = measurements
+        .iter()
+        .map(|m| {
+            // "kernels/forward_direct/k9" → op "conv1d_forward_direct",
+            // shape "b16_cin32_cout32_l128_k9".
+            let mut parts = m.name.splitn(3, '/');
+            let _group = parts.next().unwrap_or_default();
+            let op = parts.next().unwrap_or("unknown");
+            let kpart = parts.next().unwrap_or("k0");
+            KernelRecord {
+                op: format!("conv1d_{op}"),
+                shape: format!("b{B}_cin{CIN}_cout{COUT}_l{L}_{kpart}"),
+                median_ns: m.median_ns,
+                threads: 1,
+                scale: scale.to_string(),
+            }
+        })
+        .collect();
+    let path = perf::default_path();
+    perf::write_records(&path, &records).expect("write BENCH_kernels.json");
+    println!("\nwrote {} records to {}", records.len(), path.display());
+
+    // Speedup summary: the headline numbers for the lowering.
+    let median = |op: &str, k: usize| {
+        measurements.iter().find(|m| m.name == format!("kernels/{op}/k{k}")).map(|m| m.median_ns)
+    };
+    println!("\nlowered-vs-direct speedups (b={B}, cin={CIN}, cout={COUT}, l={L}, 1 thread):");
+    for &k in &KS {
+        for pass in ["forward", "backward_w", "backward_x"] {
+            if let (Some(d), Some(l)) =
+                (median(&format!("{pass}_direct"), k), median(&format!("{pass}_lowered"), k))
+            {
+                println!("  {pass:<11} k={k:<3} {:>6.2}x", d / l);
+            }
+        }
+    }
+}

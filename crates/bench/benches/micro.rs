@@ -7,7 +7,7 @@
 //! GP fitting/prediction as the evaluated set grows, the two skyline
 //! algorithms, and synthetic dataset generation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use lightts::distill::teacher::TeacherProbs;
 use lightts::distill::trainer::{train_student_epochs, StudentTrainOpts};
 use lightts::prelude::*;
@@ -16,6 +16,7 @@ use lightts::search::pareto::{pareto_frontier, skyline_bnl, Evaluated};
 use lightts::tensor::conv::{conv1d_backward_weight, conv1d_forward};
 use lightts::tensor::rng::seeded;
 use lightts::tensor::Tensor;
+use lightts_bench::perf::{self, KernelRecord};
 use lightts_data::synth::{Generator, SynthConfig};
 use std::hint::black_box;
 use std::time::Duration;
@@ -213,4 +214,30 @@ criterion_group! {
     targets = bench_conv, bench_parallel_speedup, bench_inference_by_bits,
               bench_distill_epoch, bench_gp, bench_skyline, bench_datagen
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+
+    // Merge the parallel_speedup rows into BENCH_kernels.json alongside the
+    // bench_kernels lowering numbers (same artifact, different ops).
+    let scale = perf::current_scale();
+    let records: Vec<KernelRecord> = criterion::take_measurements()
+        .iter()
+        .filter(|m| m.name.starts_with("parallel_speedup/"))
+        .map(|m| {
+            let threads = if m.name.ends_with("/1thread") { 1 } else { 0 };
+            let shape =
+                if m.name.contains("matmul") { "256x192x256" } else { "x16x24x128_w32x24x9" };
+            KernelRecord {
+                op: m.name.clone(),
+                shape: shape.to_string(),
+                median_ns: m.median_ns,
+                threads,
+                scale: scale.to_string(),
+            }
+        })
+        .collect();
+    if !records.is_empty() {
+        perf::write_records(&perf::default_path(), &records).expect("write BENCH_kernels.json");
+    }
+}

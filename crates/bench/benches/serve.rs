@@ -11,7 +11,8 @@
 //! Set `LIGHTTS_BENCH_SMOKE=1` (as CI does) to shrink warm-up and
 //! measurement windows to a compile-rot check rather than a measurement.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use lightts_bench::perf::{self, KernelRecord};
 use lightts_models::inception::{InceptionConfig, InceptionTime};
 use lightts_serve::{ModelRegistry, Pending, ServeConfig, Server};
 use lightts_tensor::rng::seeded;
@@ -99,4 +100,25 @@ criterion_group! {
     config = config();
     targets = bench_serve
 }
-criterion_main!(benches);
+
+fn main() {
+    benches();
+
+    // Record the serving-throughput rows in BENCH_kernels.json too; each
+    // iteration serves REQUESTS requests, so median_ns is per-64-requests.
+    // threads = 0: the scheduler thread plus automatic kernel workers.
+    let scale = perf::current_scale();
+    let records: Vec<KernelRecord> = criterion::take_measurements()
+        .iter()
+        .map(|m| KernelRecord {
+            op: m.name.clone(),
+            shape: format!("req{REQUESTS}_len{IN_LEN}"),
+            median_ns: m.median_ns,
+            threads: 0,
+            scale: scale.to_string(),
+        })
+        .collect();
+    if !records.is_empty() {
+        perf::write_records(&perf::default_path(), &records).expect("write BENCH_kernels.json");
+    }
+}

@@ -14,5 +14,6 @@
 
 pub mod args;
 pub mod context;
+pub mod perf;
 pub mod report;
 pub mod runner;

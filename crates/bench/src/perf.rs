@@ -1,0 +1,204 @@
+//! Machine-readable kernel benchmark artifact (`BENCH_kernels.json`).
+//!
+//! The criterion stand-in records a [`Measurement`] per completed benchmark;
+//! the bench mains (`benches/kernels.rs`, `benches/micro.rs`,
+//! `benches/serve.rs`) drain those and call [`write_records`] to merge them
+//! into one JSON array at the repository root. Each record carries
+//! `(op, shape, median_ns, threads, scale)`; merging is keyed on everything
+//! but `median_ns`, so re-running a bench updates its timing in place while
+//! other benches' rows survive. CI uploads the file as an artifact, which is
+//! how the ≥1.5× lowered-vs-direct conv acceptance number is recorded.
+
+use criterion::Measurement;
+use lightts_obs::jsonl::{parse, Json};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// One benchmark result destined for `BENCH_kernels.json`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelRecord {
+    /// Operation name (e.g. `conv1d_forward_lowered` or a full bench path).
+    pub op: String,
+    /// Problem shape, `b16_cin32_cout32_l128_k9`-style.
+    pub shape: String,
+    /// Median per-iteration wall clock, nanoseconds.
+    pub median_ns: f64,
+    /// Thread count the kernel ran with (`0` = automatic / unpinned).
+    pub threads: usize,
+    /// Measurement scale: `smoke` (CI compile-rot check) or `full`.
+    pub scale: String,
+}
+
+impl KernelRecord {
+    /// Builds a record from a drained criterion [`Measurement`].
+    pub fn from_measurement(m: &Measurement, shape: &str, threads: usize, scale: &str) -> Self {
+        KernelRecord {
+            op: m.name.clone(),
+            shape: shape.to_string(),
+            median_ns: m.median_ns,
+            threads,
+            scale: scale.to_string(),
+        }
+    }
+
+    fn key(&self) -> (String, String, usize, String) {
+        (self.op.clone(), self.shape.clone(), self.threads, self.scale.clone())
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "{{\"op\":{},\"shape\":{},\"median_ns\":{:.1},\"threads\":{},\"scale\":{}}}",
+            escape(&self.op),
+            escape(&self.shape),
+            self.median_ns,
+            self.threads,
+            escape(&self.scale)
+        )
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// The measurement scale in effect: `smoke` under `LIGHTTS_BENCH_SMOKE`
+/// (the CI setting, shrunk timing windows), `full` otherwise.
+pub fn current_scale() -> &'static str {
+    if std::env::var_os("LIGHTTS_BENCH_SMOKE").is_some() {
+        "smoke"
+    } else {
+        "full"
+    }
+}
+
+/// The artifact location: `BENCH_kernels.json` at the repository root.
+pub fn default_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_kernels.json")
+}
+
+fn record_from_json(v: &Json) -> Option<KernelRecord> {
+    let o = v.as_obj()?;
+    Some(KernelRecord {
+        op: o.get("op")?.as_str()?.to_string(),
+        shape: o.get("shape")?.as_str()?.to_string(),
+        median_ns: o.get("median_ns")?.as_num()?,
+        threads: o.get("threads")?.as_num()? as usize,
+        scale: o.get("scale")?.as_str()?.to_string(),
+    })
+}
+
+/// Reads the records already present in `path` (empty on a missing or
+/// unparsable file — the artifact is regenerable, never load-bearing).
+pub fn read_records(path: &Path) -> Vec<KernelRecord> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(Json::Arr(items)) = parse(&text) else {
+        return Vec::new();
+    };
+    items.iter().filter_map(record_from_json).collect()
+}
+
+/// Merges `records` into the JSON array at `path`: rows with the same
+/// `(op, shape, threads, scale)` are replaced, everything else is kept, and
+/// the result is written sorted by key (one object per line, so diffs stay
+/// readable).
+pub fn write_records(path: &Path, records: &[KernelRecord]) -> std::io::Result<()> {
+    let mut merged = read_records(path);
+    for r in records {
+        if let Some(slot) = merged.iter_mut().find(|m| m.key() == r.key()) {
+            *slot = r.clone();
+        } else {
+            merged.push(r.clone());
+        }
+    }
+    merged.sort_by_key(|r| r.key());
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "[")?;
+    for (i, r) in merged.iter().enumerate() {
+        let sep = if i + 1 == merged.len() { "" } else { "," };
+        writeln!(f, "  {}{}", r.to_json_line(), sep)?;
+    }
+    writeln!(f, "]")?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(op: &str, median: f64) -> KernelRecord {
+        KernelRecord {
+            op: op.into(),
+            shape: "b16_cin32_cout32_l128_k9".into(),
+            median_ns: median,
+            threads: 1,
+            scale: "smoke".into(),
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        let p =
+            std::env::temp_dir().join(format!("lightts_bench_{tag}_{}.json", std::process::id()));
+        let _ = std::fs::remove_file(&p);
+        p
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let p = temp_path("roundtrip");
+        let rows = vec![rec("conv1d_forward_direct", 100.0), rec("conv1d_forward_lowered", 50.0)];
+        write_records(&p, &rows).unwrap();
+        let back = read_records(&p);
+        assert_eq!(back.len(), 2);
+        assert!(back.iter().any(|r| r.op == "conv1d_forward_lowered" && r.median_ns == 50.0));
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn merge_replaces_matching_keys_and_keeps_others() {
+        let p = temp_path("merge");
+        write_records(&p, &[rec("a", 10.0), rec("b", 20.0)]).unwrap();
+        write_records(&p, &[rec("b", 25.0), rec("c", 30.0)]).unwrap();
+        let back = read_records(&p);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.iter().find(|r| r.op == "b").unwrap().median_ns, 25.0);
+        assert_eq!(back.iter().find(|r| r.op == "a").unwrap().median_ns, 10.0);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn unparsable_existing_file_is_overwritten_not_fatal() {
+        let p = temp_path("garbage");
+        std::fs::write(&p, "not json at all").unwrap();
+        write_records(&p, &[rec("a", 1.0)]).unwrap();
+        assert_eq!(read_records(&p).len(), 1);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let r = KernelRecord {
+            op: "weird\"op\\name".into(),
+            shape: "s".into(),
+            median_ns: 1.0,
+            threads: 0,
+            scale: "full".into(),
+        };
+        let line = r.to_json_line();
+        let parsed = parse(&line).unwrap();
+        assert_eq!(parsed.as_obj().unwrap()["op"].as_str().unwrap(), "weird\"op\\name");
+    }
+}

@@ -138,13 +138,17 @@ fn train_slice(
     epochs: usize,
 ) -> Result<()> {
     let all: Vec<usize> = (0..train.len()).collect();
+    // Reused tape/bindings: reset per mini-batch keeps the steady-state step
+    // allocation-free (see `lightts_tensor::pool`).
+    let mut tape = Tape::new();
+    let mut bind = Bindings::new();
     for _ in 0..epochs {
         let mut order = all.clone();
         order.shuffle(rng);
         for chunk in order.chunks(cfg.batch_size.max(1)) {
             let (x, y) = train.batch(chunk)?;
-            let mut tape = Tape::new();
-            let mut bind = Bindings::new();
+            tape.reset();
+            bind.reset();
             let pred = student.forward_train(&mut tape, &mut bind, &x, Mode::Train)?;
             let gt = tape.mse_to_target(pred, &y)?;
             let mut loss = tape.scale(gt, cfg.alpha)?;

@@ -107,6 +107,11 @@ pub fn train_student_epochs(
     let all: Vec<usize> = (0..train.len()).collect();
     let epoch_counter = obs::global().counter("distill.epochs");
     let epoch_ns = obs::global().histogram("distill.epoch_ns");
+    // One tape + binding set reused across every mini-batch of every epoch;
+    // `reset` retains node storage so steady-state steps are allocation-free
+    // (buffer traffic is absorbed by `lightts_tensor::pool`).
+    let mut tape = Tape::new();
+    let mut bind = Bindings::new();
     for epoch in 0..epochs {
         let mut sp = obs::span!("trainer.epoch", { epoch: epoch, samples: train.len() });
         let t0 = Instant::now();
@@ -116,8 +121,8 @@ pub fn train_student_epochs(
         let mut batches = 0usize;
         for chunk in order.chunks(opts.batch_size.max(1)) {
             let batch = train.batch(chunk)?;
-            let mut tape = Tape::new();
-            let mut bind = Bindings::new();
+            tape.reset();
+            bind.reset();
             let logits = student.forward_train(&mut tape, &mut bind, &batch.inputs, Mode::Train)?;
             let logp = tape.log_softmax(logits)?;
             let ce = tape.nll_mean(logp, &batch.labels)?;

@@ -165,6 +165,10 @@ impl Forecaster {
         let mut last = f32::INFINITY;
         let n = train.len();
         let all: Vec<usize> = (0..n).collect();
+        // Tape + bindings reused across mini-batches (reset per step) so the
+        // steady-state loop is allocation-free; see `lightts_tensor::pool`.
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
         for _ in 0..epochs {
             use rand::seq::SliceRandom;
             let mut order = all.clone();
@@ -173,8 +177,8 @@ impl Forecaster {
             let mut batches = 0;
             for chunk in order.chunks(32) {
                 let (x, y) = train.batch(chunk)?;
-                let mut tape = Tape::new();
-                let mut bind = Bindings::new();
+                tape.reset();
+                bind.reset();
                 let pred = self.forward_train(&mut tape, &mut bind, &x, Mode::Train)?;
                 let loss = tape.mse_to_target(pred, &y)?;
                 loss_sum += tape.value(loss)?.item()?;

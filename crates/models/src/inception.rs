@@ -336,12 +336,17 @@ impl InceptionTime {
         let mut adam = Adam::new(cfg.lr);
         let mut sgd = Sgd::new(cfg.lr, 0.9);
         let mut last_loss = f32::INFINITY;
+        // One tape and one binding set for the whole fit: `reset` between
+        // mini-batches re-records into the retained node storage, so the
+        // steady-state step allocates nothing (see `lightts_tensor::pool`).
+        let mut tape = Tape::new();
+        let mut bind = Bindings::new();
         for _epoch in 0..cfg.epochs {
             let mut epoch_loss = 0.0f32;
             let mut batches = 0usize;
             for batch in train.minibatches(&mut rng, cfg.batch_size)? {
-                let mut tape = Tape::new();
-                let mut bind = Bindings::new();
+                tape.reset();
+                bind.reset();
                 let logits =
                     self.forward_train(&mut tape, &mut bind, &batch.inputs, Mode::Train)?;
                 let logp = tape.log_softmax(logits)?;

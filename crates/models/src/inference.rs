@@ -28,7 +28,7 @@
 use crate::{ModelError, Result};
 use lightts_obs::Histogram;
 use lightts_tensor::conv::conv1d_forward_into;
-use lightts_tensor::{linalg, Tensor};
+use lightts_tensor::{linalg, pool, Tensor};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -54,7 +54,10 @@ pub(crate) struct PlanBlock {
 
 /// Reusable activation scratch. Buffers grow to the high-water mark of the
 /// batches seen and are never shrunk, so steady-state serving performs zero
-/// heap allocation per request.
+/// heap allocation per request. Growth is served by the thread-local
+/// [`pool`](lightts_tensor::pool) (so a plan that outgrows one batch shape
+/// reuses slabs recycled elsewhere), and dropping the plan returns every
+/// buffer to the pool.
 #[derive(Debug, Clone, Default)]
 struct Scratch {
     /// Current block input `[batch, c, l]`.
@@ -67,7 +70,23 @@ struct Scratch {
     pooled: Vec<f32>,
 }
 
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        for v in [&mut self.a, &mut self.b, &mut self.conv, &mut self.pooled] {
+            pool::recycle(std::mem::take(v));
+        }
+    }
+}
+
+/// Grows `v` to hold at least `n` elements (pool-backed, never shrinks the
+/// visible length below `n`). Contents beyond the previous length are zero;
+/// every caller fully overwrites the region it reads, so reused stale data
+/// can never leak into results.
 fn ensure(v: &mut Vec<f32>, n: usize) {
+    if v.capacity() < n {
+        let fresh = pool::take_empty(n);
+        pool::recycle(std::mem::replace(v, fresh));
+    }
     if v.len() < n {
         v.resize(n, 0.0);
     }
@@ -365,6 +384,27 @@ mod tests {
             plan.predict_proba(&x).unwrap();
         }
         assert_eq!(tapes_created(), before, "compiled inference constructed a Tape");
+    }
+
+    #[test]
+    fn plan_is_pool_miss_free_after_warmup() {
+        use lightts_tensor::pool::thread_pool_misses;
+        let model = build_model(8);
+        let mut plan = model.compile().unwrap();
+        let x = test_inputs(3, 2, 20);
+        let mut out = Vec::new();
+        // Warm up scratch (and the thread-local pool), then measure. The
+        // thread-local counter keeps concurrent tests from polluting this.
+        plan.logits_into(x.data(), 3, &mut out).unwrap();
+        let before = thread_pool_misses();
+        for _ in 0..10 {
+            plan.logits_into(x.data(), 3, &mut out).unwrap();
+        }
+        assert_eq!(
+            thread_pool_misses(),
+            before,
+            "steady-state compiled inference allocated fresh pool slabs"
+        );
     }
 
     #[test]

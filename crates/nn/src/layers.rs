@@ -8,6 +8,14 @@
 //! * `eval_forward` — plain tensor math for inference, using running
 //!   statistics for batch norm and the same fake-quantized weights, so the
 //!   deployed (quantized) model is exactly what was trained.
+//!
+//! Both paths route convolutions through [`lightts_tensor::conv`], which
+//! picks between the direct kernels and the GEMM-lowered (im2col) kernels by
+//! problem size — the forward results are bitwise identical either way, so
+//! layer outputs never depend on the dispatch decision. All transient
+//! buffers (fake-quantized weights, activation tensors) come from the
+//! thread-local [`lightts_tensor::pool`], which makes steady-state QAT
+//! training steps allocation-free.
 
 use crate::init::he_normal;
 use crate::{Bindings, Mode, NnError, ParamRef, ParamStore, Result};

@@ -124,6 +124,15 @@ impl Bindings {
         }
     }
 
+    /// Clears all bindings while retaining the backing allocation, the
+    /// [`Bindings`] counterpart of [`Tape::reset`]: a training loop that
+    /// reuses one tape across mini-batches resets both between steps so the
+    /// steady state records without heap traffic. Stale entries must never
+    /// survive a reset — their [`Var`]s index into the *previous* recording.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+    }
+
     /// Number of bound parameters.
     pub fn len(&self) -> usize {
         self.entries.len()

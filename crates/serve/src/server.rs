@@ -133,6 +133,13 @@ impl Server {
 
     /// The per-server metrics registry backing [`stats`](Self::stats).
     ///
+    /// Besides the request/batch/latency series, the registry carries the
+    /// tensor buffer-pool gauges (`serve.pool_high_water_bytes`,
+    /// `serve.pool_hits`, `serve.pool_misses`), refreshed after every fused
+    /// batch — a deployment watches `pool_misses` stay flat to confirm the
+    /// hot path is allocation-free and `pool_high_water_bytes` for its
+    /// steady-state scratch footprint.
+    ///
     /// Snapshot it for Prometheus/JSON exposition of the raw
     /// `serve.*` counters, gauges, and histograms:
     ///

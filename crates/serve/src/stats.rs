@@ -30,6 +30,15 @@ pub(crate) struct StatsInner {
     latency_ns: Arc<Histogram>,
     /// Per-batch fused-forward service time, nanoseconds.
     service_ns: Arc<Histogram>,
+    /// High-water mark of bytes parked in the tensor buffer pool
+    /// ([`lightts_tensor::pool::pool_high_water_bytes`]); process-wide, but
+    /// the scheduler thread's slabs dominate it in a serving deployment.
+    pool_high_water: Arc<Gauge>,
+    /// Cumulative tensor-pool hits ([`lightts_tensor::pool::pool_hits`]).
+    pool_hits: Arc<Gauge>,
+    /// Cumulative tensor-pool misses: steady-state serving must hold this
+    /// flat (every miss is a transient heap allocation on the hot path).
+    pool_misses: Arc<Gauge>,
 }
 
 impl StatsInner {
@@ -44,8 +53,21 @@ impl StatsInner {
             batch_size: registry.histogram("serve.batch_size"),
             latency_ns: registry.histogram("serve.latency_ns"),
             service_ns: registry.histogram("serve.service_ns"),
+            pool_high_water: registry.gauge("serve.pool_high_water_bytes"),
+            pool_hits: registry.gauge("serve.pool_hits"),
+            pool_misses: registry.gauge("serve.pool_misses"),
             registry,
         }
+    }
+
+    /// Mirrors the tensor buffer-pool counters into this server's registry
+    /// so they ride along with [`Server::metrics`](crate::Server::metrics)
+    /// exposition. Cheap (three relaxed loads + three stores); called after
+    /// every fused batch and on snapshot.
+    fn refresh_pool_gauges(&self) {
+        self.pool_high_water.set(lightts_tensor::pool::pool_high_water_bytes() as i64);
+        self.pool_hits.set(lightts_tensor::pool::pool_hits() as i64);
+        self.pool_misses.set(lightts_tensor::pool::pool_misses() as i64);
     }
 
     /// The registry backing these stats, for exposition.
@@ -70,6 +92,7 @@ impl StatsInner {
         self.batch_size.record(batch_size as u64);
         self.service_ns.record_duration(service);
         self.max_batch.record_max(batch_size as i64);
+        self.refresh_pool_gauges();
     }
 
     /// One answered request's enqueue→reply latency.
@@ -82,6 +105,7 @@ impl StatsInner {
     }
 
     pub(crate) fn snapshot(&self) -> ServeStats {
+        self.refresh_pool_gauges();
         let latency = self.latency_ns.snapshot();
         let service = self.service_ns.snapshot();
         let q = |p: f64| Duration::from_nanos(latency.quantile(p) as u64);

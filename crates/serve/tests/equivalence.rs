@@ -193,3 +193,24 @@ fn stats_track_latency_and_throughput() {
     assert!(stats.service_throughput() > 0.0);
     server.shutdown();
 }
+
+#[test]
+fn metrics_expose_tensor_pool_gauges_after_traffic() {
+    let model = build_model(71, 3, 8);
+    let mut registry = ModelRegistry::new();
+    registry.register("student", &model).unwrap();
+    let server = Server::start(registry, ServeConfig::default());
+    let handle = server.handle();
+    for i in 0..4 {
+        handle.predict("student", sample(i)).unwrap();
+    }
+    // stats() snapshots the registry, which refreshes the pool gauges.
+    let _ = server.stats();
+    let snap = server.metrics().snapshot();
+    let gauge = |name: &str| snap.gauge(name).unwrap_or_else(|| panic!("missing gauge {name}"));
+    // The scheduler's pooled scratch guarantees a non-trivial high-water
+    // mark, and hits+misses covers every pooled take it performed.
+    assert!(gauge("serve.pool_high_water_bytes") > 0);
+    assert!(gauge("serve.pool_hits") + gauge("serve.pool_misses") > 0);
+    server.shutdown();
+}

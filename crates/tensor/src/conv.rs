@@ -9,8 +9,42 @@
 //! * input `x`: `[batch, in_channels, length]`
 //! * weight `w`: `[out_channels, in_channels, kernel]`
 //! * output `y`: `[batch, out_channels, length]`
+//!
+//! # Two implementations, one contract
+//!
+//! Each pass (forward, backward-input, backward-weight) exists in two forms:
+//!
+//! * **Direct** — the original nested-loop kernels, kept as the test oracle
+//!   and used for small shapes where lowering overhead dominates.
+//! * **Lowered** — im2col/kn2row lowering onto the cache-blocked GEMM row
+//!   kernel [`crate::linalg::gemm_row_into`] shared with `matmul`. Per
+//!   sample, the input is unfolded into a `[cin·k, l]` patch matrix (built
+//!   in a pooled slab, one contiguous copy per `(ci, j)` row) and the
+//!   convolution becomes `W[cout, cin·k] @ X_col` — the flattened weight
+//!   tensor *is* the packed GEMM panel, reused across the whole batch.
+//!   The backward-input pass packs `Wᵀ` once per call and reuses it across
+//!   the batch; backward-weight unfolds each sample as `[l, cin·k]` rows
+//!   and accumulates `dy_row @ X_rowᵀ` per output channel. The win comes
+//!   from turning indexed, bounds-checked inner loops into straight-line
+//!   slice-zip accumulations the compiler vectorizes.
+//!
+//! Both forms honour the determinism contract the serving layer relies on:
+//! fixed per-element reduction order, results identical across thread counts
+//! and batch fusions. The **forward** lowering is bitwise identical to the
+//! direct kernel (same `(ci, j)`-ascending accumulation per output element,
+//! same zero-skip; padding contributes exact `±0.0` terms which cannot
+//! change an accumulator that is never `-0.0`). The backward lowerings use
+//! a different (but still fixed) summation association and are validated
+//! against the direct oracles by property tests in
+//! `tests/conv_lowering.rs`.
+//!
+//! The active implementation is chosen by [`set_conv_impl`]; the default
+//! [`ConvImpl::Auto`] picks per shape (batch-independently, so fused and
+//! per-sample runs agree).
 
-use crate::{par, Result, Tensor, TensorError};
+use crate::linalg::{gemm_panel_into, gemm_row_into, GEMM_PANEL_ROWS};
+use crate::{par, pool, Result, Tensor, TensorError};
+use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Padding for "same"-length convolution with a kernel of size `k`:
 /// `(pad_left, pad_right)`.
@@ -20,6 +54,60 @@ use crate::{par, Result, Tensor, TensorError};
 #[inline]
 pub fn same_padding(k: usize) -> (usize, usize) {
     ((k - 1) / 2, k / 2)
+}
+
+// ---------------------------------------------------------------------------
+// Implementation selection
+// ---------------------------------------------------------------------------
+
+/// Which convolution kernel family the dispatching entry points use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConvImpl {
+    /// Choose per shape: lowered for GEMM-sized problems, direct for tiny
+    /// ones. The choice depends only on `(cin, l, cout, k)` — never on the
+    /// batch size or thread count — so batched and per-sample executions of
+    /// the same layer always take the same path.
+    Auto,
+    /// Always the direct nested-loop kernels (the oracle).
+    Direct,
+    /// Always the im2col/GEMM lowering.
+    Lowered,
+}
+
+static CONV_IMPL: AtomicU8 = AtomicU8::new(0);
+
+/// Below this per-sample multiply count the im2col build + pooled-slab
+/// bookkeeping costs more than it saves and the direct kernels win.
+const LOWERED_MIN_WORK: usize = 1 << 12;
+
+/// Sets the process-global convolution implementation (default
+/// [`ConvImpl::Auto`]).
+pub fn set_conv_impl(which: ConvImpl) {
+    let v = match which {
+        ConvImpl::Auto => 0,
+        ConvImpl::Direct => 1,
+        ConvImpl::Lowered => 2,
+    };
+    CONV_IMPL.store(v, Ordering::Relaxed);
+}
+
+/// The currently selected convolution implementation.
+pub fn conv_impl() -> ConvImpl {
+    match CONV_IMPL.load(Ordering::Relaxed) {
+        1 => ConvImpl::Direct,
+        2 => ConvImpl::Lowered,
+        _ => ConvImpl::Auto,
+    }
+}
+
+/// Resolves [`ConvImpl::Auto`] for a concrete (batch-independent) shape.
+#[inline]
+fn use_lowered(cin: usize, l: usize, cout: usize, k: usize) -> bool {
+    match conv_impl() {
+        ConvImpl::Direct => false,
+        ConvImpl::Lowered => true,
+        ConvImpl::Auto => cin * k * l * cout >= LOWERED_MIN_WORK,
+    }
 }
 
 fn check_conv_shapes(x: &Tensor, w: &Tensor) -> Result<(usize, usize, usize, usize, usize)> {
@@ -44,27 +132,80 @@ fn check_conv_shapes(x: &Tensor, w: &Tensor) -> Result<(usize, usize, usize, usi
     Ok((b, cin, l, cout, k))
 }
 
+// ---------------------------------------------------------------------------
+// im2col / im2row unfolding
+// ---------------------------------------------------------------------------
+
+/// Unfolds one sample `x_b: [cin, l]` into `xcol: [cin·k, l]` where row
+/// `p = ci·k + j` holds `x[ci, t + j - pl]` for `t in 0..l` (zero outside
+/// the valid range). Each row is one edge-zeroed contiguous copy.
+fn im2col(xcol: &mut [f32], x_b: &[f32], cin: usize, l: usize, k: usize, pl: usize) {
+    for ci in 0..cin {
+        let x_row = &x_b[ci * l..(ci + 1) * l];
+        for j in 0..k {
+            let dst = &mut xcol[(ci * k + j) * l..(ci * k + j + 1) * l];
+            // t + j - pl in [0, l) ⇒ t in [pl - j, l + pl - j); when k > l
+            // a row can be entirely padding, hence the extra clamp to l.
+            let t_lo = pl.saturating_sub(j).min(l);
+            let t_hi = (l + pl).saturating_sub(j).min(l);
+            dst[..t_lo].fill(0.0);
+            dst[t_hi..].fill(0.0);
+            if t_lo < t_hi {
+                dst[t_lo..t_hi].copy_from_slice(&x_row[t_lo + j - pl..t_hi + j - pl]);
+            }
+        }
+    }
+}
+
+/// Unfolds one sample `x_b: [cin, l]` into `xrow: [l, cin·k]` where row `t`,
+/// column `p = ci·k + j` holds `x[ci, t + j - pl]` (zero outside the valid
+/// range) — the transpose of [`im2col`], laid out so backward-weight can
+/// reduce over `t` with [`gemm_row_into`].
+fn im2row(xrow: &mut [f32], x_b: &[f32], cin: usize, l: usize, k: usize, pl: usize) {
+    let ck = cin * k;
+    for t in 0..l {
+        let dst_t = &mut xrow[t * ck..(t + 1) * ck];
+        for ci in 0..cin {
+            let x_row = &x_b[ci * l..(ci + 1) * l];
+            let dst = &mut dst_t[ci * k..(ci + 1) * k];
+            // t + j - pl in [0, l) ⇒ j in [pl - t, l + pl - t); pl < k so
+            // the lower clamp never exceeds k.
+            let j_lo = pl.saturating_sub(t);
+            let j_hi = (l + pl - t).min(k);
+            dst[..j_lo].fill(0.0);
+            dst[j_hi..].fill(0.0);
+            if j_lo < j_hi {
+                dst[j_lo..j_hi].copy_from_slice(&x_row[t + j_lo - pl..t + j_hi - pl]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forward
+// ---------------------------------------------------------------------------
+
 /// Forward "same" 1-D convolution (actually cross-correlation, the deep
 /// learning convention): `y[b,co,t] = Σ_ci Σ_j x[b,ci,t+j-pl] · w[co,ci,j]`.
 ///
-/// Parallelised over the `(batch, out_channel)` grid: each output row
-/// `y[b,co,:]` is computed independently with an unchanged inner loop, so
-/// the result is bitwise identical to the serial kernel.
+/// Dispatches between the direct and lowered kernels per [`conv_impl`]; the
+/// two are bitwise identical for the forward pass, so the choice is purely
+/// a performance matter.
 pub fn conv1d_forward(x: &Tensor, w: &Tensor) -> Result<Tensor> {
     let (b, cin, l, cout, k) = check_conv_shapes(x, w)?;
-    let mut y = vec![0.0f32; b * cout * l];
-    conv1d_kernel(&mut y, x.data(), w.data(), b, cin, l, cout, k);
+    let mut y = pool::take_zeroed(b * cout * l);
+    conv1d_forward_dispatch(&mut y, x.data(), w.data(), b, cin, l, cout, k);
     Tensor::from_vec(y, &[b, cout, l])
 }
 
 /// Forward "same" 1-D convolution into a caller-provided output buffer.
 ///
-/// `x` holds a `[batch, cin, l]` activation batch (only the first
-/// `batch · cin · l` elements are read, so an oversized scratch buffer may
-/// be passed) and `y` must hold exactly `batch · cout · l` elements; `y` is
-/// overwritten. This is the allocation-free entry point the inference
-/// engine uses to reuse one scratch buffer across requests; numerics are
-/// identical to [`conv1d_forward`] (same kernel).
+/// `x` holds a `[batch, cin, l]` activation batch (`l` is derived from the
+/// buffer length, which must divide evenly) and `y` must hold exactly
+/// `batch · cout · l` elements; `y` is overwritten. This is the
+/// allocation-free entry point the inference engine uses to reuse one
+/// scratch buffer across requests; numerics are identical to
+/// [`conv1d_forward`] (same dispatch, same kernels).
 pub fn conv1d_forward_into(y: &mut [f32], x: &[f32], batch: usize, w: &Tensor) -> Result<()> {
     if w.rank() != 3 {
         return Err(TensorError::RankMismatch { found: w.rank(), expected: 3, op: "conv1d(w)" });
@@ -80,15 +221,49 @@ pub fn conv1d_forward_into(y: &mut [f32], x: &[f32], batch: usize, w: &Tensor) -
     if y.len() != batch * cout * l {
         return Err(TensorError::LengthMismatch { len: y.len(), expected: batch * cout * l });
     }
-    conv1d_kernel(y, x, w.data(), batch, cin, l, cout, k);
+    conv1d_forward_dispatch(y, x, w.data(), batch, cin, l, cout, k);
     Ok(())
 }
 
-/// The shared "same"-padded forward kernel. Rows of `y` (the `(batch,
-/// out_channel)` grid) are filled independently; each row is zeroed before
-/// accumulation so the buffer may be reused across calls.
 #[allow(clippy::too_many_arguments)]
-fn conv1d_kernel(
+fn conv1d_forward_dispatch(
+    y: &mut [f32],
+    xd: &[f32],
+    wd: &[f32],
+    b: usize,
+    cin: usize,
+    l: usize,
+    cout: usize,
+    k: usize,
+) {
+    if use_lowered(cin, l, cout, k) {
+        conv1d_forward_lowered_kernel(y, xd, wd, b, cin, l, cout, k);
+    } else {
+        conv1d_forward_direct_kernel(y, xd, wd, b, cin, l, cout, k);
+    }
+}
+
+/// Forward convolution forced through the direct nested-loop oracle.
+pub fn conv1d_forward_direct(x: &Tensor, w: &Tensor) -> Result<Tensor> {
+    let (b, cin, l, cout, k) = check_conv_shapes(x, w)?;
+    let mut y = pool::take_zeroed(b * cout * l);
+    conv1d_forward_direct_kernel(&mut y, x.data(), w.data(), b, cin, l, cout, k);
+    Tensor::from_vec(y, &[b, cout, l])
+}
+
+/// Forward convolution forced through the im2col/GEMM lowering.
+pub fn conv1d_forward_lowered(x: &Tensor, w: &Tensor) -> Result<Tensor> {
+    let (b, cin, l, cout, k) = check_conv_shapes(x, w)?;
+    let mut y = pool::take_zeroed(b * cout * l);
+    conv1d_forward_lowered_kernel(&mut y, x.data(), w.data(), b, cin, l, cout, k);
+    Tensor::from_vec(y, &[b, cout, l])
+}
+
+/// The direct "same"-padded forward kernel (test oracle). Rows of `y` (the
+/// `(batch, out_channel)` grid) are filled independently; each row is zeroed
+/// before accumulation so the buffer may be reused across calls.
+#[allow(clippy::too_many_arguments)]
+fn conv1d_forward_direct_kernel(
     y: &mut [f32],
     xd: &[f32],
     wd: &[f32],
@@ -122,9 +297,57 @@ fn conv1d_kernel(
     });
 }
 
-/// Gradient of the convolution output w.r.t. the input:
-/// `dx[b,ci,s] = Σ_co Σ_j dy[b,co,s-j+pl] · w[co,ci,j]`.
-pub fn conv1d_backward_input(dy: &Tensor, w: &Tensor, input_dims: &[usize]) -> Result<Tensor> {
+/// The lowered forward kernel: per sample, `y_b = W[cout, cin·k] @ X_col`.
+///
+/// The flattened weight tensor already is the `[cout, cin·k]` GEMM panel
+/// (row-major `[cout, cin, k]` has exactly that memory layout), so it is
+/// reused untouched across the whole batch; only the `X_col` unfold (one
+/// pooled slab, rebuilt per sample) moves data. Accumulation per output
+/// element runs `p = ci·k + j` ascending — the identical order and zero-skip
+/// as the direct kernel — which makes this path bitwise equal to the oracle.
+#[allow(clippy::too_many_arguments)]
+fn conv1d_forward_lowered_kernel(
+    y: &mut [f32],
+    xd: &[f32],
+    wd: &[f32],
+    b: usize,
+    cin: usize,
+    l: usize,
+    cout: usize,
+    k: usize,
+) {
+    let (pl, _pr) = same_padding(k);
+    let ck = cin * k;
+    let mut xcol = pool::take_zeroed(ck * l);
+    for bi in 0..b {
+        im2col(&mut xcol, &xd[bi * cin * l..(bi + 1) * cin * l], cin, l, k, pl);
+        let y_b = &mut y[bi * cout * l..(bi + 1) * cout * l];
+        let xcol_ref = &xcol;
+        // Panel blocking: the register-blocked GEMM streams each X_col row
+        // once per GEMM_PANEL_ROWS output channels instead of once per
+        // channel, which is where the lowering's speedup over the (already
+        // contiguous) direct kernel comes from. `gemm_panel_into` keeps the
+        // per-element accumulation order of `gemm_row_into`, so the bitwise
+        // contract holds.
+        par::par_for_chunks(y_b, GEMM_PANEL_ROWS * l, ck, |chunk_idx, chunk| {
+            let row0 = chunk_idx * GEMM_PANEL_ROWS;
+            let rows = chunk.len() / l;
+            chunk.fill(0.0);
+            gemm_panel_into(chunk, &wd[row0 * ck..(row0 + rows) * ck], xcol_ref, rows, ck, l);
+        });
+    }
+    pool::recycle(xcol);
+}
+
+// ---------------------------------------------------------------------------
+// Backward w.r.t. input
+// ---------------------------------------------------------------------------
+
+fn check_backward_input(
+    dy: &Tensor,
+    w: &Tensor,
+    input_dims: &[usize],
+) -> Result<(usize, usize, usize, usize, usize)> {
     if dy.rank() != 3 || input_dims.len() != 3 {
         return Err(TensorError::RankMismatch {
             found: dy.rank(),
@@ -134,10 +357,59 @@ pub fn conv1d_backward_input(dy: &Tensor, w: &Tensor, input_dims: &[usize]) -> R
     }
     let (b, cin, l) = (input_dims[0], input_dims[1], input_dims[2]);
     let (cout, _cin, k) = (w.dims()[0], w.dims()[1], w.dims()[2]);
+    Ok((b, cin, l, cout, k))
+}
+
+/// Gradient of the convolution output w.r.t. the input:
+/// `dx[b,ci,s] = Σ_co Σ_j dy[b,co,s-j+pl] · w[co,ci,j]`.
+///
+/// Dispatches between the direct and lowered kernels per [`conv_impl`].
+/// Each kernel has a fixed reduction order independent of thread count and
+/// batch fusion; the two orders differ in association, so gradients from
+/// the two paths agree to rounding (not bitwise) — the dispatch heuristic
+/// is shape-deterministic, so any given layer always takes the same path.
+pub fn conv1d_backward_input(dy: &Tensor, w: &Tensor, input_dims: &[usize]) -> Result<Tensor> {
+    let (b, cin, l, cout, k) = check_backward_input(dy, w, input_dims)?;
+    if use_lowered(cin, l, cout, k) {
+        conv1d_backward_input_lowered_kernel(dy, w, b, cin, l, cout, k)
+    } else {
+        conv1d_backward_input_direct_kernel(dy, w, b, cin, l, cout, k)
+    }
+}
+
+/// Input gradient forced through the direct nested-loop oracle.
+pub fn conv1d_backward_input_direct(
+    dy: &Tensor,
+    w: &Tensor,
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    let (b, cin, l, cout, k) = check_backward_input(dy, w, input_dims)?;
+    conv1d_backward_input_direct_kernel(dy, w, b, cin, l, cout, k)
+}
+
+/// Input gradient forced through the kn2row/GEMM lowering.
+pub fn conv1d_backward_input_lowered(
+    dy: &Tensor,
+    w: &Tensor,
+    input_dims: &[usize],
+) -> Result<Tensor> {
+    let (b, cin, l, cout, k) = check_backward_input(dy, w, input_dims)?;
+    conv1d_backward_input_lowered_kernel(dy, w, b, cin, l, cout, k)
+}
+
+fn conv1d_backward_input_direct_kernel(
+    dy: &Tensor,
+    w: &Tensor,
+    b: usize,
+    cin: usize,
+    l: usize,
+    cout: usize,
+    k: usize,
+) -> Result<Tensor> {
     let (pl, _pr) = same_padding(k);
     let dyd = dy.data();
     let wd = w.data();
-    let mut dx = vec![0.0f32; b * cin * l];
+    let mut dx = pool::take_zeroed(b * cin * l);
     // Parallel over the (batch, in_channel) grid: each dx row accumulates
     // contributions in the same co → j → t order as the serial bi → co → ci
     // nest visited it, so results are bitwise identical.
@@ -163,9 +435,78 @@ pub fn conv1d_backward_input(dy: &Tensor, w: &Tensor, input_dims: &[usize]) -> R
     Tensor::from_vec(dx, &[b, cin, l])
 }
 
-/// Gradient of the convolution output w.r.t. the weights:
-/// `dw[co,ci,j] = Σ_b Σ_t dy[b,co,t] · x[b,ci,t+j-pl]`.
-pub fn conv1d_backward_weight(dy: &Tensor, x: &Tensor, weight_dims: &[usize]) -> Result<Tensor> {
+/// The lowered input-gradient kernel: pack `Wᵀ: [cin·k, cout]` once, then
+/// per sample compute `G = Wᵀ @ dy_b` (a `[cin·k, l]` GEMM through the
+/// shared row kernel) and fold `G` back onto `dx_b` with a col2im scatter
+/// (per `(ci)` row, `j`-ascending shifted adds). Reduction order per `dx`
+/// element is fixed — `co` summed inside the GEMM, then `j` ascending — and
+/// independent of thread count and batch size.
+fn conv1d_backward_input_lowered_kernel(
+    dy: &Tensor,
+    w: &Tensor,
+    b: usize,
+    cin: usize,
+    l: usize,
+    cout: usize,
+    k: usize,
+) -> Result<Tensor> {
+    let (pl, _pr) = same_padding(k);
+    let dyd = dy.data();
+    let wd = w.data();
+    let ck = cin * k;
+    // The packed weight panel: wt[p·cout + co] = w[co, p], built once and
+    // reused across the batch.
+    let mut wt = pool::take_zeroed(ck * cout);
+    for co in 0..cout {
+        for (p, &wv) in wd[co * ck..(co + 1) * ck].iter().enumerate() {
+            wt[p * cout + co] = wv;
+        }
+    }
+    let mut g = pool::take_zeroed(ck * l);
+    let mut dx = pool::take_zeroed(b * cin * l);
+    for bi in 0..b {
+        let dy_b = &dyd[bi * cout * l..(bi + 1) * cout * l];
+        let wt_ref = &wt;
+        // Panel blocking over the [cin·k, l] gradient image: each dy_b row is
+        // streamed once per GEMM_PANEL_ROWS G rows (same blocking as the
+        // forward pass); per-element accumulation order is unchanged.
+        par::par_for_chunks(&mut g, GEMM_PANEL_ROWS * l, cout, |chunk_idx, chunk| {
+            let row0 = chunk_idx * GEMM_PANEL_ROWS;
+            let rows = chunk.len() / l;
+            chunk.fill(0.0);
+            gemm_panel_into(chunk, &wt_ref[row0 * cout..(row0 + rows) * cout], dy_b, rows, cout, l);
+        });
+        let dx_b = &mut dx[bi * cin * l..(bi + 1) * cin * l];
+        let g_ref = &g;
+        par::par_for_rows(dx_b, l, k * l, |ci, dx_row| {
+            for j in 0..k {
+                let g_row = &g_ref[(ci * k + j) * l..(ci * k + j + 1) * l];
+                let t_lo = pl.saturating_sub(j).min(l);
+                let t_hi = (l + pl).saturating_sub(j).min(l);
+                if t_lo >= t_hi {
+                    continue;
+                }
+                for (o, &gv) in
+                    dx_row[t_lo + j - pl..t_hi + j - pl].iter_mut().zip(g_row[t_lo..t_hi].iter())
+                {
+                    *o += gv;
+                }
+            }
+        });
+    }
+    pool::recycle(g);
+    pool::recycle(wt);
+    Tensor::from_vec(dx, &[b, cin, l])
+}
+
+// ---------------------------------------------------------------------------
+// Backward w.r.t. weights
+// ---------------------------------------------------------------------------
+
+fn check_backward_weight(
+    x: &Tensor,
+    weight_dims: &[usize],
+) -> Result<(usize, usize, usize, usize, usize)> {
     if weight_dims.len() != 3 {
         return Err(TensorError::RankMismatch {
             found: weight_dims.len(),
@@ -175,10 +516,56 @@ pub fn conv1d_backward_weight(dy: &Tensor, x: &Tensor, weight_dims: &[usize]) ->
     }
     let (cout, cin, k) = (weight_dims[0], weight_dims[1], weight_dims[2]);
     let (b, _cin, l) = (x.dims()[0], x.dims()[1], x.dims()[2]);
+    Ok((b, cin, l, cout, k))
+}
+
+/// Gradient of the convolution output w.r.t. the weights:
+/// `dw[co,ci,j] = Σ_b Σ_t dy[b,co,t] · x[b,ci,t+j-pl]`.
+///
+/// Dispatches between the direct and lowered kernels per [`conv_impl`];
+/// see [`conv1d_backward_input`] for the determinism discussion.
+pub fn conv1d_backward_weight(dy: &Tensor, x: &Tensor, weight_dims: &[usize]) -> Result<Tensor> {
+    let (b, cin, l, cout, k) = check_backward_weight(x, weight_dims)?;
+    if use_lowered(cin, l, cout, k) {
+        conv1d_backward_weight_lowered_kernel(dy, x, b, cin, l, cout, k)
+    } else {
+        conv1d_backward_weight_direct_kernel(dy, x, b, cin, l, cout, k)
+    }
+}
+
+/// Weight gradient forced through the direct nested-loop oracle.
+pub fn conv1d_backward_weight_direct(
+    dy: &Tensor,
+    x: &Tensor,
+    weight_dims: &[usize],
+) -> Result<Tensor> {
+    let (b, cin, l, cout, k) = check_backward_weight(x, weight_dims)?;
+    conv1d_backward_weight_direct_kernel(dy, x, b, cin, l, cout, k)
+}
+
+/// Weight gradient forced through the im2row/GEMM lowering.
+pub fn conv1d_backward_weight_lowered(
+    dy: &Tensor,
+    x: &Tensor,
+    weight_dims: &[usize],
+) -> Result<Tensor> {
+    let (b, cin, l, cout, k) = check_backward_weight(x, weight_dims)?;
+    conv1d_backward_weight_lowered_kernel(dy, x, b, cin, l, cout, k)
+}
+
+fn conv1d_backward_weight_direct_kernel(
+    dy: &Tensor,
+    x: &Tensor,
+    b: usize,
+    cin: usize,
+    l: usize,
+    cout: usize,
+    k: usize,
+) -> Result<Tensor> {
     let (pl, _pr) = same_padding(k);
     let dyd = dy.data();
     let xd = x.data();
-    let mut dw = vec![0.0f32; cout * cin * k];
+    let mut dw = pool::take_zeroed(cout * cin * k);
     // Parallel over (out_channel, in_channel) filter rows. Each dw[co,ci,j]
     // accumulates one per-batch t-sum per bi, in ascending bi order — the
     // same per-element sequence as the serial bi-outermost nest, so results
@@ -199,6 +586,43 @@ pub fn conv1d_backward_weight(dy: &Tensor, x: &Tensor, weight_dims: &[usize]) ->
             }
         }
     });
+    Tensor::from_vec(dw, &[cout, cin, k])
+}
+
+/// The lowered weight-gradient kernel: per sample, unfold `x_b` as
+/// `X_row: [l, cin·k]` and accumulate `dw[co, :] += dy[b, co, :] @ X_row`
+/// through the shared GEMM row kernel. Per `dw` element the reduction runs
+/// `bi` ascending then `t` ascending — fixed, thread-count- and
+/// fusion-independent.
+fn conv1d_backward_weight_lowered_kernel(
+    dy: &Tensor,
+    x: &Tensor,
+    b: usize,
+    cin: usize,
+    l: usize,
+    cout: usize,
+    k: usize,
+) -> Result<Tensor> {
+    let (pl, _pr) = same_padding(k);
+    let dyd = dy.data();
+    let xd = x.data();
+    let ck = cin * k;
+    let mut xrow = pool::take_zeroed(l * ck);
+    let mut dw = pool::take_zeroed(cout * ck);
+    for bi in 0..b {
+        im2row(&mut xrow, &xd[bi * cin * l..(bi + 1) * cin * l], cin, l, k, pl);
+        let xrow_ref = &xrow;
+        par::par_for_rows(&mut dw, ck, l * ck, |co, dw_row| {
+            gemm_row_into(
+                dw_row,
+                &dyd[(bi * cout + co) * l..(bi * cout + co + 1) * l],
+                xrow_ref,
+                l,
+                ck,
+            );
+        });
+    }
+    pool::recycle(xrow);
     Tensor::from_vec(dw, &[cout, cin, k])
 }
 
@@ -266,6 +690,40 @@ mod tests {
     }
 
     #[test]
+    fn lowered_forward_is_bitwise_equal_to_direct() {
+        let mut rng = StdRng::seed_from_u64(17);
+        for &(b, cin, l, cout, k) in
+            &[(2usize, 3usize, 11usize, 4usize, 5usize), (1, 1, 3, 2, 7), (3, 2, 16, 5, 4)]
+        {
+            let x = Tensor::randn(&mut rng, &[b, cin, l], 1.0);
+            let w = Tensor::randn(&mut rng, &[cout, cin, k], 1.0);
+            let direct = conv1d_forward_direct(&x, &w).unwrap();
+            let lowered = conv1d_forward_lowered(&x, &w).unwrap();
+            for (a, b) in direct.data().iter().zip(lowered.data().iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "direct {a} vs lowered {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowered_backwards_match_direct_to_rounding() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let x = Tensor::randn(&mut rng, &[2, 3, 13], 1.0);
+        let w = Tensor::randn(&mut rng, &[4, 3, 5], 1.0);
+        let dy = Tensor::randn(&mut rng, &[2, 4, 13], 1.0);
+        let dx_d = conv1d_backward_input_direct(&dy, &w, x.dims()).unwrap();
+        let dx_l = conv1d_backward_input_lowered(&dy, &w, x.dims()).unwrap();
+        for (a, b) in dx_d.data().iter().zip(dx_l.data().iter()) {
+            assert!((a - b).abs() < 1e-4, "dx: {a} vs {b}");
+        }
+        let dw_d = conv1d_backward_weight_direct(&dy, &x, w.dims()).unwrap();
+        let dw_l = conv1d_backward_weight_lowered(&dy, &x, w.dims()).unwrap();
+        for (a, b) in dw_d.data().iter().zip(dw_l.data().iter()) {
+            assert!((a - b).abs() < 1e-3, "dw: {a} vs {b}");
+        }
+    }
+
+    #[test]
     fn kernel_larger_than_input_is_ok() {
         let mut rng = StdRng::seed_from_u64(5);
         let x = Tensor::randn(&mut rng, &[1, 1, 3], 1.0);
@@ -273,6 +731,11 @@ mod tests {
         let fast = conv1d_forward(&x, &w).unwrap();
         let slow = conv_ref(&x, &w);
         for (a, b) in fast.data().iter().zip(slow.data().iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        // The lowering must handle k > l (fully clipped copies) too.
+        let lowered = conv1d_forward_lowered(&x, &w).unwrap();
+        for (a, b) in lowered.data().iter().zip(slow.data().iter()) {
             assert!((a - b).abs() < 1e-5);
         }
     }
@@ -323,5 +786,16 @@ mod tests {
         let x = Tensor::zeros(&[1, 2, 4]);
         let w = Tensor::zeros(&[1, 3, 3]);
         assert!(conv1d_forward(&x, &w).is_err());
+    }
+
+    #[test]
+    fn conv_impl_selector_roundtrips() {
+        assert_eq!(conv_impl(), ConvImpl::Auto);
+        set_conv_impl(ConvImpl::Direct);
+        assert_eq!(conv_impl(), ConvImpl::Direct);
+        set_conv_impl(ConvImpl::Lowered);
+        assert_eq!(conv_impl(), ConvImpl::Lowered);
+        set_conv_impl(ConvImpl::Auto);
+        assert_eq!(conv_impl(), ConvImpl::Auto);
     }
 }

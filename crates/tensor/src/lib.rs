@@ -23,6 +23,9 @@
 //!   matmul, elementwise, and reduction kernels. Gated by the `parallel`
 //!   cargo feature (on by default); with the feature off every kernel runs
 //!   its serial path, which doubles as the differential-testing oracle.
+//! * [`pool`] — a grow-only, size-bucketed buffer pool backing every tensor
+//!   allocation, so steady-state training and serving loops perform zero
+//!   transient heap allocations (hit/miss counters included).
 //!
 //! # Example
 //!
@@ -47,6 +50,7 @@ mod tensor;
 pub mod conv;
 pub mod linalg;
 pub mod par;
+pub mod pool;
 pub mod quant;
 pub mod rng;
 pub mod tape;

@@ -20,13 +20,137 @@ use crate::{par, Result, Tensor, TensorError};
 /// value.
 const MATMUL_K_BLOCK: usize = 256;
 
+/// One output row of the blocked GEMM: `c_row += a_row · b` for
+/// `a_row: [k]`, `b: [k, n]`, `c_row: [n]`.
+///
+/// This is the single accumulation kernel shared by [`matmul_into`] and the
+/// im2col-lowered convolution in [`crate::conv`] — training dense layers,
+/// serving plans, and all three conv passes reduce through this exact loop,
+/// so their numerics cannot drift apart. The traversal is `kj` (row-major
+/// friendly) with a zero-skip on `a_row`'s elements, k-blocked so the
+/// touched rows of `b` stay resident in L1/L2; blocking reorders only loop
+/// traversal, never the per-element accumulation sequence (`k`-ascending
+/// into each output), so results are independent of block size, thread
+/// count, and caller.
+#[inline]
+pub fn gemm_row_into(c_row: &mut [f32], a_row: &[f32], b: &[f32], k: usize, n: usize) {
+    debug_assert_eq!(a_row.len(), k);
+    debug_assert_eq!(c_row.len(), n);
+    debug_assert_eq!(b.len(), k * n);
+    let mut p0 = 0;
+    while p0 < k {
+        let p1 = (p0 + MATMUL_K_BLOCK).min(k);
+        for (p, &av) in a_row[p0..p1].iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[(p0 + p) * n..(p0 + p + 1) * n];
+            for (o, &bv) in c_row.iter_mut().zip(b_row.iter()) {
+                *o += av * bv;
+            }
+        }
+        p0 = p1;
+    }
+}
+
+/// Preferred output-row blocking for [`gemm_panel_into`]; callers that chunk
+/// work for the panel kernel (the lowered conv paths) use multiples of this.
+pub const GEMM_PANEL_ROWS: usize = 8;
+
+/// Column tile of the register-resident accumulator block in
+/// [`gemm_panel_into`]: 4 rows x 16 columns is 8 SIMD registers of `f32x8`,
+/// small enough to stay in registers across the whole `k` loop.
+const PANEL_TILE_N: usize = 16;
+
+/// A register-tiled GEMM panel: `c += a . b` for row-major `a: [rows,k]`,
+/// `b: [k,n]`, `c: [rows,n]`.
+///
+/// The micro-kernel walks 4 output rows x `PANEL_TILE_N` (16) columns at a
+/// time, keeping that block of accumulators in registers for the entire `k`
+/// reduction and touching `c` memory exactly twice (initial load, final
+/// store). Compared with calling [`gemm_row_into`] per output row this
+/// eliminates the per-`p` load/store of the `c` row *and* streams each `b`
+/// row once per 4 output rows instead of once per row - which is what makes
+/// the im2col-lowered conv forward beat the (already contiguous) direct
+/// kernel.
+///
+/// **Bitwise contract:** every output element still starts from its current
+/// `c` value and accumulates in the exact `k`-ascending order of
+/// [`gemm_row_into`]. When all four rows' `a` values are zero the `p` step
+/// is skipped outright; when only some are zero the fused update adds
+/// `+-0.0 . b` for those rows instead of skipping - an accumulator can never
+/// hold `-0.0` (it starts at `+0.0`, and both `+0.0 + (+-0.0)` and
+/// `x + (-x)` round to `+0.0`), so for finite inputs those terms change no
+/// bits and the panel result is bit-identical to the row-by-row kernel. A
+/// remainder of fewer than four rows falls back to [`gemm_row_into`].
+pub fn gemm_panel_into(c: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usize, n: usize) {
+    debug_assert_eq!(c.len(), rows * n);
+    debug_assert_eq!(a.len(), rows * k);
+    debug_assert_eq!(b.len(), k * n);
+    let mut r = 0;
+    while r + 4 <= rows {
+        let (c01, c23) = c[r * n..(r + 4) * n].split_at_mut(2 * n);
+        let (c0, c1) = c01.split_at_mut(n);
+        let (c2, c3) = c23.split_at_mut(n);
+        let ar = |i: usize| &a[(r + i) * k..(r + i + 1) * k];
+        let (a0, a1, a2, a3) = (ar(0), ar(1), ar(2), ar(3));
+        let mut j0 = 0;
+        while j0 + PANEL_TILE_N <= n {
+            let mut acc = [[0.0f32; PANEL_TILE_N]; 4];
+            for (row, cr) in [&*c0, &*c1, &*c2, &*c3].iter().enumerate() {
+                acc[row].copy_from_slice(&cr[j0..j0 + PANEL_TILE_N]);
+            }
+            for p in 0..k {
+                let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+                if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
+                    continue;
+                }
+                let b_tile = &b[p * n + j0..p * n + j0 + PANEL_TILE_N];
+                for i in 0..PANEL_TILE_N {
+                    let bv = b_tile[i];
+                    acc[0][i] += v0 * bv;
+                    acc[1][i] += v1 * bv;
+                    acc[2][i] += v2 * bv;
+                    acc[3][i] += v3 * bv;
+                }
+            }
+            c0[j0..j0 + PANEL_TILE_N].copy_from_slice(&acc[0]);
+            c1[j0..j0 + PANEL_TILE_N].copy_from_slice(&acc[1]);
+            c2[j0..j0 + PANEL_TILE_N].copy_from_slice(&acc[2]);
+            c3[j0..j0 + PANEL_TILE_N].copy_from_slice(&acc[3]);
+            j0 += PANEL_TILE_N;
+        }
+        // Column remainder (< PANEL_TILE_N): same fused 4-row update, with
+        // the accumulators living in the (L1-hot) tail of the c rows.
+        if j0 < n {
+            for p in 0..k {
+                let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+                if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
+                    continue;
+                }
+                let b_tail = &b[p * n + j0..(p + 1) * n];
+                for (i, &bv) in b_tail.iter().enumerate() {
+                    c0[j0 + i] += v0 * bv;
+                    c1[j0 + i] += v1 * bv;
+                    c2[j0 + i] += v2 * bv;
+                    c3[j0 + i] += v3 * bv;
+                }
+            }
+        }
+        r += 4;
+    }
+    for rr in r..rows {
+        gemm_row_into(&mut c[rr * n..(rr + 1) * n], &a[rr * k..(rr + 1) * k], b, k, n);
+    }
+}
+
 /// `c = a · b` for row-major `a: [m,k]`, `b: [k,n]`, `c: [m,n]`.
 ///
-/// The kernel is `ikj` (row-major friendly) with a zero-skip on `a`'s
-/// elements — weight matrices in this workspace are often sparse after
-/// magnitude pruning. Rows of `c` are computed independently and in the
-/// same `k`-ascending accumulation order as the serial loop, so the
-/// parallel path is bitwise identical to the serial oracle.
+/// Rows of `c` are computed independently (in parallel) through
+/// [`gemm_row_into`], in the same `k`-ascending accumulation order as the
+/// serial loop, so the parallel path is bitwise identical to the serial
+/// oracle. The zero-skip on `a` helps the magnitude-pruned weight matrices
+/// common in this workspace.
 pub fn matmul_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "matmul_into: lhs length");
     assert_eq!(b.len(), k * n, "matmul_into: rhs length");
@@ -35,21 +159,7 @@ pub fn matmul_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: u
         return;
     }
     par::par_for_rows(c, n, 2 * k * n, |i, c_row| {
-        let a_row = &a[i * k..(i + 1) * k];
-        let mut p0 = 0;
-        while p0 < k {
-            let p1 = (p0 + MATMUL_K_BLOCK).min(k);
-            for (p, &av) in a_row[p0..p1].iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let b_row = &b[(p0 + p) * n..(p0 + p + 1) * n];
-                for (o, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                    *o += av * bv;
-                }
-            }
-            p0 = p1;
-        }
+        gemm_row_into(c_row, &a[i * k..(i + 1) * k], b, k, n);
     });
 }
 

@@ -33,6 +33,15 @@
 //!
 //! With the `parallel` cargo feature disabled every helper degrades to its
 //! serial loop and no threads are ever spawned.
+//!
+//! # Interaction with the buffer pool
+//!
+//! Worker threads never construct or drop [`crate::Tensor`]s — kernels hand
+//! them borrowed `&mut [f32]` rows only. All [`crate::pool`] takes and
+//! recycles therefore happen on the thread driving the kernel, which keeps
+//! the pool's thread-local free lists coherent (no slab ever migrates to a
+//! worker's list) and the allocation-free steady state independent of the
+//! thread count.
 
 // The crate denies unsafe code; this module is the one audited exception —
 // the pool erases a closure lifetime (re-bound before returning) and splits

@@ -85,7 +85,10 @@ impl QuantParams {
 /// returning the dequantized ("fake-quantized") tensor.
 ///
 /// 32-bit quantization is the identity, matching the paper's use of 32 bits
-/// to denote full precision.
+/// to denote full precision. The result's buffer comes from the thread-local
+/// [`crate::pool`] (via [`Tensor::map`] / `Clone`), so the per-step weight
+/// re-quantization in QAT training loops is allocation-free once the pool
+/// is warm.
 pub fn fake_quantize(t: &Tensor, bits: u8) -> Result<Tensor> {
     if bits >= 32 {
         return Ok(t.clone());

@@ -10,10 +10,21 @@
 //! Every rule is validated against central finite differences in this
 //! module's tests and in crate-level proptests, which is what makes the
 //! from-scratch engine a trustworthy substitute for PyTorch here.
+//!
+//! # Memory behaviour
+//!
+//! Every buffer a tape op materializes — forward values, saved auxiliaries,
+//! and the gradients produced by [`Tape::backward`] — lives in a [`Tensor`]
+//! whose storage is drawn from the thread-local [`crate::pool`] and recycled
+//! when the node is dropped. Together with [`Tape::reset`] (which clears the
+//! node list while keeping its allocation), a steady-state training loop
+//! that reuses one tape performs zero transient heap allocations per step
+//! once the pool is warm; the pool's hit/miss counters sit next to
+//! [`tapes_created`] so tests can assert exactly that.
 
 use crate::conv::{conv1d_backward_input, conv1d_backward_weight, conv1d_forward};
 use crate::quant::fake_quantize;
-use crate::{Result, Tensor, TensorError};
+use crate::{pool, Result, Tensor, TensorError};
 
 /// Handle to a node on a [`Tape`].
 ///
@@ -193,6 +204,18 @@ impl Tape {
         Tape { nodes: Vec::new() }
     }
 
+    /// Discards all recorded nodes while keeping the tape's own allocation.
+    ///
+    /// Dropping the nodes returns their tensor buffers to the thread-local
+    /// [`crate::pool`]; the node list's capacity is retained, so a training
+    /// loop that calls `reset` between mini-batches (instead of building a
+    /// fresh [`Tape::new`] each step) re-records the next step without any
+    /// heap traffic. Does not increment [`tapes_created`] — it is the same
+    /// tape.
+    pub fn reset(&mut self) {
+        self.nodes.clear();
+    }
+
     /// Number of recorded nodes.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -326,7 +349,7 @@ impl Tape {
                     });
                 }
                 let (b, k) = (xv.dims()[0], xv.dims()[1]);
-                let mut out = xv.data().to_vec();
+                let mut out = pool::take_copy(xv.data());
                 for bi in 0..b {
                     for ci in 0..k {
                         out[bi * k + ci] += bv.data()[ci];
@@ -343,7 +366,7 @@ impl Tape {
                     });
                 }
                 let (b, ch, l) = (xv.dims()[0], xv.dims()[1], xv.dims()[2]);
-                let mut out = xv.data().to_vec();
+                let mut out = pool::take_copy(xv.data());
                 for bi in 0..b {
                     for ci in 0..ch {
                         let off = (bi * ch + ci) * l;
@@ -392,7 +415,7 @@ impl Tape {
             }
             c_total += t.dims()[1];
         }
-        let mut out = vec![0.0f32; b * c_total * l];
+        let mut out = pool::take_zeroed(b * c_total * l);
         for bi in 0..b {
             let mut c_off = 0usize;
             for &p in parts {
@@ -417,7 +440,7 @@ impl Tape {
             return Err(TensorError::RankMismatch { found: xv.rank(), expected: 3, op: "gap" });
         }
         let (b, c, l) = (xv.dims()[0], xv.dims()[1], xv.dims()[2]);
-        let mut out = vec![0.0f32; b * c];
+        let mut out = pool::take_zeroed(b * c);
         for bi in 0..b {
             for ci in 0..c {
                 let off = (bi * c + ci) * l;
@@ -611,8 +634,8 @@ impl Tape {
             *vv /= m;
         }
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + eps).sqrt()).collect();
-        let mut x_hat = vec![0.0f32; b * c * l];
-        let mut out = vec![0.0f32; b * c * l];
+        let mut x_hat = pool::take_zeroed(b * c * l);
+        let mut out = pool::take_zeroed(b * c * l);
         for bi in 0..b {
             for ci in 0..c {
                 let off = (bi * c + ci) * l;
@@ -747,7 +770,7 @@ impl Tape {
                 }
                 if self.nodes[*bias].requires_grad {
                     let c = self.nodes[*bias].value.len();
-                    let mut gb = vec![0.0f32; c];
+                    let mut gb = pool::take_zeroed(c);
                     match gy.rank() {
                         2 => {
                             let (b, k) = (gy.dims()[0], gy.dims()[1]);
@@ -776,7 +799,7 @@ impl Tape {
                 for &p in parts {
                     let ci = self.nodes[p].value.dims()[1];
                     if self.nodes[p].requires_grad {
-                        let mut gp = vec![0.0f32; b * ci * l];
+                        let mut gp = pool::take_zeroed(b * ci * l);
                         for bi in 0..b {
                             let src_off = (bi * c_total + c_off) * l;
                             let dst_off = bi * ci * l;
@@ -792,7 +815,7 @@ impl Tape {
                 if self.nodes[*x].requires_grad {
                     let xd = self.nodes[*x].value.dims();
                     let (b, c, l) = (xd[0], xd[1], xd[2]);
-                    let mut gx = vec![0.0f32; b * c * l];
+                    let mut gx = pool::take_zeroed(b * c * l);
                     for bi in 0..b {
                         for ci in 0..c {
                             let g = gy.data()[bi * c + ci] / l as f32;
@@ -810,7 +833,7 @@ impl Tape {
                     // d/dx log_softmax: gx = gy − softmax(x) · Σ_row gy
                     let lsm = &node.value;
                     let (b, k) = (lsm.dims()[0], lsm.dims()[1]);
-                    let mut gx = vec![0.0f32; b * k];
+                    let mut gx = pool::take_zeroed(b * k);
                     for bi in 0..b {
                         let row_sum: f32 = gy.data()[bi * k..(bi + 1) * k].iter().sum();
                         for ci in 0..k {
@@ -841,7 +864,7 @@ impl Tape {
                     let dims = self.nodes[*logp].value.dims().to_vec();
                     let (b, k) = (dims[0], dims[1]);
                     let g = gy.item()? / b as f32;
-                    let mut gl = vec![0.0f32; b * k];
+                    let mut gl = pool::take_zeroed(b * k);
                     for (bi, &t) in targets.iter().enumerate() {
                         gl[bi * k + t] = -g;
                     }
@@ -888,13 +911,17 @@ impl Tape {
                     }
                 }
                 if self.nodes[*beta].requires_grad {
-                    Self::acc(grads, *beta, Tensor::from_vec(sum_dy.clone(), &[c])?)?;
+                    Self::acc(grads, *beta, Tensor::from_vec(pool::take_copy(&sum_dy), &[c])?)?;
                 }
                 if self.nodes[*gamma].requires_grad {
-                    Self::acc(grads, *gamma, Tensor::from_vec(sum_dy_xhat.clone(), &[c])?)?;
+                    Self::acc(
+                        grads,
+                        *gamma,
+                        Tensor::from_vec(pool::take_copy(&sum_dy_xhat), &[c])?,
+                    )?;
                 }
                 if self.nodes[*x].requires_grad {
-                    let mut gx = vec![0.0f32; b * c * l];
+                    let mut gx = pool::take_zeroed(b * c * l);
                     for bi in 0..b {
                         for ci in 0..c {
                             let off = (bi * c + ci) * l;
@@ -1232,6 +1259,23 @@ mod tests {
         let _t1 = Tape::new();
         let _t2 = Tape::default();
         assert!(tapes_created() >= before + 2);
+    }
+
+    #[test]
+    fn reset_clears_nodes_without_counting_a_new_tape() {
+        let mut tape = Tape::new();
+        let a = tape.leaf(Tensor::ones(&[4]), true);
+        let _ = tape.scale(a, 2.0).unwrap();
+        assert_eq!(tape.len(), 2);
+        let before = tapes_created();
+        tape.reset();
+        assert!(tape.is_empty());
+        assert_eq!(tapes_created(), before);
+        // The tape is reusable: record and differentiate a fresh step.
+        let b = tape.leaf(Tensor::ones(&[3]), true);
+        let loss = tape.sum(b).unwrap();
+        let grads = tape.backward(loss).unwrap();
+        assert_eq!(grads.get(b).unwrap().data(), &[1.0, 1.0, 1.0]);
     }
 
     #[test]

@@ -9,10 +9,27 @@ use rand::Rng;
 /// laziness. The LightTS workloads (small convolutional students, Gaussian
 /// processes over a few dozen points) are well served by eager contiguous
 /// buffers, and the simplicity keeps every backward rule easy to audit.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Every tensor's buffer comes from (and returns to) the thread-local
+/// [`crate::pool`]: `Clone` copies into a pooled slab and `Drop` recycles the
+/// slab instead of freeing it, so op-heavy loops reuse memory instead of
+/// hitting the allocator.
+#[derive(Debug, PartialEq)]
 pub struct Tensor {
     shape: Shape,
     data: Vec<f32>,
+}
+
+impl Clone for Tensor {
+    fn clone(&self) -> Self {
+        Tensor { shape: self.shape.clone(), data: crate::pool::take_copy(&self.data) }
+    }
+}
+
+impl Drop for Tensor {
+    fn drop(&mut self) {
+        crate::pool::recycle(std::mem::take(&mut self.data));
+    }
 }
 
 impl Tensor {
@@ -33,7 +50,7 @@ impl Tensor {
     pub fn zeros(dims: &[usize]) -> Self {
         let shape = Shape::new(dims);
         let v = shape.volume();
-        Tensor { shape, data: vec![0.0; v] }
+        Tensor { shape, data: crate::pool::take_zeroed(v) }
     }
 
     /// A tensor filled with ones.
@@ -45,12 +62,12 @@ impl Tensor {
     pub fn full(dims: &[usize], value: f32) -> Self {
         let shape = Shape::new(dims);
         let v = shape.volume();
-        Tensor { shape, data: vec![value; v] }
+        Tensor { shape, data: crate::pool::take_filled(v, value) }
     }
 
     /// A scalar (rank-1, length-1) tensor.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::new(&[1]), data: vec![value] }
+        Tensor { shape: Shape::new(&[1]), data: crate::pool::take_filled(1, value) }
     }
 
     /// A tensor with elements drawn i.i.d. from `N(0, std^2)`.
@@ -60,7 +77,7 @@ impl Tensor {
     pub fn randn<R: Rng>(rng: &mut R, dims: &[usize], std: f32) -> Self {
         let shape = Shape::new(dims);
         let n = shape.volume();
-        let mut data = Vec::with_capacity(n);
+        let mut data = crate::pool::take_empty(n);
         while data.len() < n {
             let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
             let u2: f32 = rng.gen_range(0.0..1.0);
@@ -78,7 +95,8 @@ impl Tensor {
     pub fn rand_uniform<R: Rng>(rng: &mut R, dims: &[usize], lo: f32, hi: f32) -> Self {
         let shape = Shape::new(dims);
         let n = shape.volume();
-        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        let mut data = crate::pool::take_empty(n);
+        data.extend((0..n).map(|_| rng.gen_range(lo..hi)));
         Tensor { shape, data }
     }
 
@@ -129,8 +147,11 @@ impl Tensor {
     }
 
     /// Consumes the tensor and returns its buffer.
-    pub fn into_vec(self) -> Vec<f32> {
-        self.data
+    ///
+    /// The buffer leaves the pool's custody: dropping the returned vector
+    /// frees it normally. Use only outside steady-state loops.
+    pub fn into_vec(mut self) -> Vec<f32> {
+        std::mem::take(&mut self.data)
     }
 
     /// Element at a multi-index.
@@ -166,7 +187,7 @@ impl Tensor {
                 expected: shape.volume(),
             });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor { shape, data: crate::pool::take_copy(&self.data) })
     }
 
     /// Transposes a rank-2 tensor.
@@ -179,7 +200,7 @@ impl Tensor {
             });
         }
         let (m, n) = (self.dims()[0], self.dims()[1]);
-        let mut out = vec![0.0f32; m * n];
+        let mut out = crate::pool::take_zeroed(m * n);
         for i in 0..m {
             for j in 0..n {
                 out[j * m + i] = self.data[i * n + j];
@@ -200,7 +221,7 @@ impl Tensor {
                 shape: self.dims().to_vec(),
             });
         }
-        Tensor::from_vec(self.data[i * n..(i + 1) * n].to_vec(), &[n])
+        Tensor::from_vec(crate::pool::take_copy(&self.data[i * n..(i + 1) * n]), &[n])
     }
 
     /// Gathers rows of a rank-2 tensor into a new rank-2 tensor, in the
@@ -214,7 +235,7 @@ impl Tensor {
             });
         }
         let (m, n) = (self.dims()[0], self.dims()[1]);
-        let mut data = Vec::with_capacity(indices.len() * n);
+        let mut data = crate::pool::take_empty(indices.len() * n);
         for &i in indices {
             if i >= m {
                 return Err(TensorError::IndexOutOfBounds {
@@ -231,7 +252,7 @@ impl Tensor {
     pub fn stack_rows(rows: &[Tensor]) -> Result<Self> {
         let first = rows.first().ok_or(TensorError::Empty { op: "stack_rows" })?;
         let n = first.len();
-        let mut data = Vec::with_capacity(rows.len() * n);
+        let mut data = crate::pool::take_empty(rows.len() * n);
         for r in rows {
             if r.len() != n {
                 return Err(TensorError::ShapeMismatch {
@@ -251,7 +272,9 @@ impl Tensor {
 
     /// Applies `f` to every element, producing a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        let mut data = crate::pool::take_empty(self.data.len());
+        data.extend(self.data.iter().map(|&x| f(x)));
+        Tensor { shape: self.shape.clone(), data }
     }
 
     /// Applies `f` pairwise to elements of `self` and `other`.
@@ -263,10 +286,9 @@ impl Tensor {
                 op: "zip_map",
             });
         }
-        Ok(Tensor {
-            shape: self.shape.clone(),
-            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
-        })
+        let mut data = crate::pool::take_empty(self.data.len());
+        data.extend(self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)));
+        Ok(Tensor { shape: self.shape.clone(), data })
     }
 
     /// Element-wise binary op threaded through the parallel layer.
@@ -287,7 +309,7 @@ impl Tensor {
                 op,
             });
         }
-        let mut out = self.data.clone();
+        let mut out = crate::pool::take_copy(&self.data);
         let rhs = other.data();
         crate::par::par_for_chunks(&mut out, crate::par::REDUCE_CHUNK, 1, |c, chunk| {
             let off = c * crate::par::REDUCE_CHUNK;
@@ -316,7 +338,7 @@ impl Tensor {
 
     /// Multiplies every element by `s`.
     pub fn scale(&self, s: f32) -> Self {
-        let mut out = self.data.clone();
+        let mut out = crate::pool::take_copy(&self.data);
         crate::par::par_for_chunks(&mut out, crate::par::REDUCE_CHUNK, 1, |_, chunk| {
             for o in chunk {
                 *o *= s;
@@ -425,7 +447,7 @@ impl Tensor {
         if n == 0 {
             return Tensor::from_vec(Vec::new(), &[m, n]);
         }
-        let mut out = vec![0.0f32; m * n];
+        let mut out = crate::pool::take_zeroed(m * n);
         crate::par::par_for_rows(&mut out, n, 4 * n, |i, out_row| {
             let row = &self.data[i * n..(i + 1) * n];
             let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -463,7 +485,7 @@ impl Tensor {
                 op: "matmul",
             });
         }
-        let mut out = vec![0.0f32; m * n];
+        let mut out = crate::pool::take_zeroed(m * n);
         crate::linalg::matmul_into(&mut out, &self.data, &other.data, m, k, n);
         Tensor::from_vec(out, &[m, n])
     }

@@ -15,6 +15,13 @@
 //!
 //! CI runs this suite with `--no-default-features` too, so the same
 //! assertions also pin the serial build.
+//!
+//! The shapes here sit below the GEMM-lowering threshold, so `conv1d_*`
+//! dispatch to the direct kernels: this suite pins the *direct* path.
+//! `conv_lowering.rs` is the mirror-image suite for the im2col/kn2row
+//! lowered kernels (bitwise forward equivalence, tolerance-checked
+//! backwards, thread-count invariance, and FD gradients through the
+//! pooled-buffer path).
 
 use lightts_tensor::conv::{
     conv1d_backward_input, conv1d_backward_weight, conv1d_forward, same_padding,

@@ -1,0 +1,61 @@
+//! Allocation regression: steady-state training steps must be served
+//! entirely from the tensor buffer pool.
+//!
+//! The training loops hoist one `Tape` + `Bindings` pair and `reset` them
+//! per mini-batch, and every transient kernel buffer (conv im2col slabs,
+//! matmul outputs, elementwise results) is drawn from the thread-local
+//! grow-only pool in `lightts_tensor::pool`. After one warm-up pass has
+//! populated the size buckets, further epochs over same-shaped mini-batches
+//! must therefore hit the pool every single time — **zero** new `Vec`
+//! allocations per step.
+//!
+//! The assertion uses `thread_pool_misses()`, the *thread-local* miss
+//! counter, so it measures only this test's thread. The test still lives in
+//! its own integration binary (one `#[test]`, run with no sibling tests) so
+//! no concurrent test can interleave pool traffic on this thread either.
+
+use lightts::models::inception::{InceptionConfig, InceptionTime, TrainConfig};
+use lightts::tensor::pool;
+use lightts::tensor::rng::seeded;
+use lightts_data::synth::{Generator, SynthConfig};
+
+#[test]
+fn steady_state_training_epochs_are_pool_miss_free() {
+    // Tiny but real workload: 2 classes, 32 train samples, batch 16 divides
+    // the set evenly so every epoch replays identical mini-batch shapes.
+    let gen = Generator::new(
+        SynthConfig { classes: 2, dims: 1, length: 32, difficulty: 0.3, waveforms: 2 },
+        13,
+    );
+    let train = gen.split("allocreg", 32, 4).unwrap();
+    let mut rng = seeded(5);
+    let mut model =
+        InceptionTime::new(InceptionConfig::student(1, 32, 2, 4, 32), &mut rng).unwrap();
+    let cfg = TrainConfig { epochs: 1, batch_size: 16, lr: 0.01, adam: true, seed: 3 };
+
+    // Warm-up epoch: populates the pool's size buckets (every miss here is
+    // the one-time cost of growing the slabs).
+    model.fit(&train, &cfg).unwrap();
+
+    let warm_misses = pool::thread_pool_misses();
+    let warm_hits = pool::pool_hits();
+
+    // Epochs 2..N: every transient buffer must now be recycled. A single
+    // pool miss here is a regression — some op started allocating fresh
+    // `Vec`s in the hot path.
+    let cfg_more = TrainConfig { epochs: 3, ..cfg };
+    model.fit(&train, &cfg_more).unwrap();
+
+    let miss_delta = pool::thread_pool_misses() - warm_misses;
+    assert_eq!(
+        miss_delta, 0,
+        "steady-state training epochs allocated {miss_delta} fresh buffers \
+         (pool misses) — the zero-allocation training-step contract is broken"
+    );
+    // Sanity: the epochs actually exercised the pool rather than bypassing it.
+    assert!(
+        pool::pool_hits() > warm_hits,
+        "training epochs recorded no pool hits at all — the loop is not \
+         routing buffers through the pool, so the miss check is vacuous"
+    );
+}
