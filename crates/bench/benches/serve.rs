@@ -62,7 +62,10 @@ fn bench_serve(c: &mut Criterion) {
     {
         let mut reg = ModelRegistry::new();
         reg.load_packed("student", &packed).unwrap();
-        let server = Server::start(reg, ServeConfig { max_batch: 1, max_wait: Duration::ZERO });
+        let server = Server::start(
+            reg,
+            ServeConfig { max_batch: 1, max_wait: Duration::ZERO, ..ServeConfig::default() },
+        );
         let handle = server.handle();
         g.bench_function("single_request_loop", |b| {
             b.iter(|| {
@@ -78,7 +81,11 @@ fn bench_serve(c: &mut Criterion) {
     for max_batch in [4usize, 16] {
         let mut reg = ModelRegistry::new();
         reg.load_packed("student", &packed).unwrap();
-        let cfg = ServeConfig { max_batch, max_wait: Duration::from_micros(200) };
+        let cfg = ServeConfig {
+            max_batch,
+            max_wait: Duration::from_micros(200),
+            ..ServeConfig::default()
+        };
         let server = Server::start(reg, cfg);
         let handle = server.handle();
         g.bench_function(BenchmarkId::new("batched_queue", max_batch), |b| {

@@ -25,6 +25,18 @@ pub enum DataError {
         /// The operation that was attempted.
         op: &'static str,
     },
+    /// A data file's *content* is malformed — an unparsable field, a
+    /// NaN/Inf observation, or a series of the wrong length. Carries the
+    /// dataset name and 1-based line so a bad archive row is locatable
+    /// directly from the error.
+    Malformed {
+        /// The dataset (file stem) being parsed.
+        name: String,
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Description of the defect.
+        what: String,
+    },
 }
 
 impl fmt::Display for DataError {
@@ -36,6 +48,9 @@ impl fmt::Display for DataError {
                 write!(f, "index {index} out of range for length {len}")
             }
             Self::Empty { op } => write!(f, "empty input to {op}"),
+            Self::Malformed { name, line, what } => {
+                write!(f, "malformed data in {name} line {line}: {what}")
+            }
         }
     }
 }

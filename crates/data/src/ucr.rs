@@ -30,8 +30,11 @@ use std::path::Path;
 /// negative). Every series must have the same length; missing values are
 /// rejected.
 pub fn parse_ucr<R: BufRead>(reader: R, name: &str) -> Result<LabeledDataset> {
+    let malformed =
+        |line: usize, what: String| DataError::Malformed { name: name.to_string(), line, what };
     let mut raw_labels: Vec<i64> = Vec::new();
     let mut series: Vec<Vec<f32>> = Vec::new();
+    let mut lines: Vec<usize> = Vec::new();
     for (lineno, line) in reader.lines().enumerate() {
         let line = line.map_err(|e| DataError::Inconsistent {
             what: format!("{name}:{}: read error: {e}", lineno + 1),
@@ -45,36 +48,40 @@ pub fn parse_ucr<R: BufRead>(reader: R, name: &str) -> Result<LabeledDataset> {
             .filter(|f| !f.is_empty())
             .collect();
         if fields.len() < 2 {
-            return Err(DataError::Inconsistent {
-                what: format!("{name}:{}: need a label and observations", lineno + 1),
-            });
+            return Err(malformed(lineno + 1, "need a label and observations".into()));
         }
-        let label: i64 = parse_label(fields[0]).ok_or_else(|| DataError::Inconsistent {
-            what: format!("{name}:{}: bad label {:?}", lineno + 1, fields[0]),
-        })?;
+        let label: i64 = parse_label(fields[0])
+            .ok_or_else(|| malformed(lineno + 1, format!("bad label {:?}", fields[0])))?;
         let mut values = Vec::with_capacity(fields.len() - 1);
         for f in &fields[1..] {
-            let v: f32 = f.parse().map_err(|_| DataError::Inconsistent {
-                what: format!("{name}:{}: bad value {f:?}", lineno + 1),
-            })?;
+            let v: f32 =
+                f.parse().map_err(|_| malformed(lineno + 1, format!("bad value {f:?}")))?;
             if !v.is_finite() {
-                return Err(DataError::Inconsistent {
-                    what: format!("{name}:{}: non-finite value (variable-length or missing data are not supported)", lineno + 1),
-                });
+                return Err(malformed(
+                    lineno + 1,
+                    format!("non-finite value {f:?} (missing data are not supported)"),
+                ));
             }
             values.push(v);
         }
         raw_labels.push(label);
         series.push(values);
+        lines.push(lineno + 1);
     }
     if series.is_empty() {
         return Err(DataError::Empty { op: "parse_ucr" });
     }
     let len0 = series[0].len();
-    if series.iter().any(|s| s.len() != len0) {
-        return Err(DataError::Inconsistent {
-            what: format!("{name}: variable-length series are not supported"),
-        });
+    if let Some(i) = series.iter().position(|s| s.len() != len0) {
+        return Err(malformed(
+            lines[i],
+            format!(
+                "series has {} observations but line {} has {len0} \
+                 (variable-length series are not supported)",
+                series[i].len(),
+                lines[0]
+            ),
+        ));
     }
     // remap labels to 0..K in sorted order of the original values
     let mut uniq: Vec<i64> = raw_labels.clone();
@@ -189,6 +196,60 @@ mod tests {
         assert!(parse_ucr(Cursor::new("1\t1.0\tzzz\n"), "bad-value").is_err());
         assert!(parse_ucr(Cursor::new("1\t1.0\tNaN\n"), "nan").is_err());
         assert!(parse_ucr(Cursor::new("1\t1.0\t2.0\n2\t1.0\n"), "ragged").is_err());
+    }
+
+    #[test]
+    fn malformed_content_carries_name_and_line() {
+        // NaN / Inf observations: typed, with the 1-based offending line.
+        let err = parse_ucr(Cursor::new("1\t0.1\t0.2\n2\tNaN\t0.4\n"), "nan").unwrap_err();
+        match err {
+            DataError::Malformed { ref name, line, ref what } => {
+                assert_eq!(name, "nan");
+                assert_eq!(line, 2);
+                assert!(what.contains("non-finite"), "unexpected message: {what}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        let err = parse_ucr(Cursor::new("1\t0.1\t0.2\n2\t-inf\t0.4\n"), "inf").unwrap_err();
+        assert!(matches!(err, DataError::Malformed { line: 2, .. }), "got {err:?}");
+
+        // Ragged rows: the error names the line whose length disagrees,
+        // even with blank lines shifting the physical line numbers.
+        let err =
+            parse_ucr(Cursor::new("1\t0.1\t0.2\t0.3\n\n2\t0.4\t0.5\n"), "ragged").unwrap_err();
+        match err {
+            DataError::Malformed { ref name, line, ref what } => {
+                assert_eq!(name, "ragged");
+                assert_eq!(line, 3);
+                assert!(what.contains("variable-length"), "unexpected message: {what}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+
+        // Unparsable fields and truncated rows are typed the same way.
+        let err = parse_ucr(Cursor::new("1\t0.1\nx\t0.2\n"), "label").unwrap_err();
+        assert!(matches!(err, DataError::Malformed { line: 2, .. }), "got {err:?}");
+        let err = parse_ucr(Cursor::new("1\t0.1\n2\n"), "short").unwrap_err();
+        assert!(matches!(err, DataError::Malformed { line: 2, .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn malformed_fixture_file_is_a_typed_locatable_error() {
+        let dir = std::env::temp_dir().join("lightts-ucr-malformed-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("Broken_TRAIN.tsv");
+        std::fs::write(&bad, "1\t0.1\t0.2\t0.3\n2\t0.4\tNaN\t0.6\n").unwrap();
+        let err = load_ucr_file(&bad).unwrap_err();
+        match err {
+            DataError::Malformed { ref name, line, .. } => {
+                assert_eq!(name, "Broken_TRAIN");
+                assert_eq!(line, 2);
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+        // The rendered message is enough to locate the bad row by hand.
+        assert!(err.to_string().contains("Broken_TRAIN line 2"));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -22,6 +22,18 @@ pub enum DistillError {
         /// Description of the inconsistency.
         what: String,
     },
+    /// Writing or reading a training checkpoint failed (I/O error,
+    /// corrupted snapshot, or a snapshot from an incompatible run).
+    Checkpoint {
+        /// Description of the failure.
+        what: String,
+    },
+    /// An injected fault fired (a `lightts_obs::failpoint` with an `err`
+    /// action) — only ever seen under chaos testing.
+    Fault {
+        /// The failpoint's description of the injection.
+        what: String,
+    },
 }
 
 impl fmt::Display for DistillError {
@@ -32,6 +44,8 @@ impl fmt::Display for DistillError {
             Self::Data(e) => write!(f, "data error: {e}"),
             Self::Model(e) => write!(f, "model error: {e}"),
             Self::BadInput { what } => write!(f, "bad distillation input: {what}"),
+            Self::Checkpoint { what } => write!(f, "checkpoint error: {what}"),
+            Self::Fault { what } => write!(f, "injected fault: {what}"),
         }
     }
 }
@@ -43,7 +57,7 @@ impl std::error::Error for DistillError {
             Self::Nn(e) => Some(e),
             Self::Data(e) => Some(e),
             Self::Model(e) => Some(e),
-            Self::BadInput { .. } => None,
+            Self::BadInput { .. } | Self::Checkpoint { .. } | Self::Fault { .. } => None,
         }
     }
 }

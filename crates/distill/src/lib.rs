@@ -26,6 +26,7 @@ mod error;
 
 pub mod aed;
 pub mod baselines;
+pub mod checkpoint;
 pub mod forecast;
 pub mod loo;
 pub mod method;

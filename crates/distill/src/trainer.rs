@@ -113,6 +113,7 @@ pub fn train_student_epochs(
     let mut tape = Tape::new();
     let mut bind = Bindings::new();
     for epoch in 0..epochs {
+        obs::failpoint::hit("trainer.epoch").map_err(|what| DistillError::Fault { what })?;
         let mut sp = obs::span!("trainer.epoch", { epoch: epoch, samples: train.len() });
         let t0 = Instant::now();
         let mut order = all.clone();

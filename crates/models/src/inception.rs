@@ -378,9 +378,32 @@ impl InceptionTime {
     /// (see [`lightts_nn::serialize`]); the loaded model's inference path is
     /// bit-identical to the saved one.
     pub fn save_bytes(&self) -> Result<Vec<u8>> {
+        self.save_with(b"LTIM", |store| Ok(lightts_nn::serialize::serialize_store(store)?.to_vec()))
+    }
+
+    /// Serializes the model at **full precision** — same layout as
+    /// [`save_bytes`](Self::save_bytes) but the parameter payload is the
+    /// raw `f32` shadow weights (magic `LTIX`).
+    ///
+    /// This is the mid-training *checkpoint* format: resuming training
+    /// needs the exact shadow parameters the quantized forward is a view
+    /// of, which the size-honest packed format deliberately discards.
+    /// Loading via [`load_bytes_exact`](Self::load_bytes_exact) is
+    /// bit-identical; the two formats reject each other's bytes.
+    pub fn save_bytes_exact(&self) -> Result<Vec<u8>> {
+        self.save_with(b"LTIX", |store| {
+            Ok(lightts_nn::serialize::serialize_store_exact(store)?.to_vec())
+        })
+    }
+
+    fn save_with(
+        &self,
+        magic: &[u8; 4],
+        serialize: impl Fn(&lightts_nn::ParamStore) -> Result<Vec<u8>>,
+    ) -> Result<Vec<u8>> {
         use bytes::BufMut;
         let mut buf = Vec::new();
-        buf.put_slice(b"LTIM");
+        buf.put_slice(magic);
         buf.put_u16_le(1); // model-format version
                            // config
         buf.put_u32_le(self.config.blocks.len() as u32);
@@ -403,8 +426,8 @@ impl InceptionTime {
                 buf.put_f32_le(v);
             }
         }
-        // packed parameter store
-        let store_bytes = lightts_nn::serialize::serialize_store(&self.store)?;
+        // parameter store payload
+        let store_bytes = serialize(&self.store)?;
         buf.put_u64_le(store_bytes.len() as u64);
         buf.put_slice(&store_bytes);
         Ok(buf)
@@ -412,6 +435,24 @@ impl InceptionTime {
 
     /// Loads a model saved by [`InceptionTime::save_bytes`].
     pub fn load_bytes(bytes: &[u8]) -> Result<Self> {
+        Self::load_with(bytes, b"LTIM", |payload| {
+            Ok(lightts_nn::serialize::deserialize_store(payload)?)
+        })
+    }
+
+    /// Loads an exact snapshot saved by
+    /// [`save_bytes_exact`](Self::save_bytes_exact), bit-identically.
+    pub fn load_bytes_exact(bytes: &[u8]) -> Result<Self> {
+        Self::load_with(bytes, b"LTIX", |payload| {
+            Ok(lightts_nn::serialize::deserialize_store_exact(payload)?)
+        })
+    }
+
+    fn load_with(
+        bytes: &[u8],
+        expect_magic: &[u8; 4],
+        deserialize: impl Fn(&[u8]) -> Result<lightts_nn::ParamStore>,
+    ) -> Result<Self> {
         use bytes::Buf;
         let mut buf = bytes;
         let err = |what: &str| ModelError::BadConfig { what: format!("load: {what}") };
@@ -420,7 +461,7 @@ impl InceptionTime {
         }
         let mut magic = [0u8; 4];
         buf.copy_to_slice(&mut magic);
-        if &magic != b"LTIM" {
+        if &magic != expect_magic {
             return Err(err("bad magic"));
         }
         if buf.get_u16_le() != 1 {
@@ -482,7 +523,7 @@ impl InceptionTime {
         if buf.remaining() != store_len {
             return Err(err("store length mismatch"));
         }
-        let store = lightts_nn::serialize::deserialize_store(buf)?;
+        let store = deserialize(buf)?;
         // the rebuilt model must agree with the stored parameters
         if store.len() != model.store.len() {
             return Err(err("parameter count mismatch"));
@@ -716,6 +757,37 @@ mod tests {
         let s4 = size_of(4);
         let s32 = size_of(32);
         assert!(s4 * 2 < s32, "4-bit export {s4}B should be well below 32-bit {s32}B");
+    }
+
+    #[test]
+    fn exact_snapshot_roundtrips_bit_identically_and_rejects_packed() {
+        let mut rng = seeded(12);
+        let mut cfg = tiny_config(3);
+        cfg.blocks.iter_mut().for_each(|b| b.bits = 4);
+        let mut model = InceptionTime::new(cfg, &mut rng).unwrap();
+        let train = tiny_data(3, 24, 40);
+        let tc = TrainConfig { epochs: 2, batch_size: 12, lr: 0.01, adam: true, seed: 9 };
+        model.fit(&train, &tc).unwrap();
+
+        let bytes = model.save_bytes_exact().unwrap();
+        let loaded = InceptionTime::load_bytes_exact(&bytes).unwrap();
+        // the full-precision shadow parameters survive exactly — this is
+        // what lets a resumed training run continue bit-identically
+        for ((_, a), (_, b)) in model.store().iter().zip(loaded.store().iter()) {
+            assert_eq!(a.bits, b.bits);
+            for (x, y) in a.value.data().iter().zip(b.value.data().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{} differs after exact reload", a.name);
+            }
+        }
+        let x = train.full_batch().unwrap().inputs;
+        let p1 = model.predict_proba(&x).unwrap();
+        let p2 = loaded.predict_proba(&x).unwrap();
+        for (a, b) in p1.data().iter().zip(p2.data().iter()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "inference differs after exact reload");
+        }
+        // the two formats must not be confusable
+        assert!(InceptionTime::load_bytes_exact(&model.save_bytes().unwrap()).is_err());
+        assert!(InceptionTime::load_bytes(&bytes).is_err());
     }
 
     #[test]

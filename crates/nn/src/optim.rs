@@ -5,7 +5,8 @@
 //! full-precision shadow parameters in a [`ParamStore`]; quantization is
 //! re-applied on the next forward bind (standard QAT).
 
-use crate::{ParamRef, ParamStore, Result};
+use crate::{NnError, ParamRef, ParamStore, Result};
+use bytes::{Buf, BufMut, BytesMut};
 use lightts_tensor::Tensor;
 use std::collections::HashMap;
 
@@ -19,6 +20,90 @@ pub trait Optimizer {
 
     /// Overrides the learning rate (e.g. for schedules).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// Serializes the optimizer's mutable state (momentum / moment
+    /// accumulators, step count) for checkpointing.
+    ///
+    /// Restoring via [`load_state_bytes`](Self::load_state_bytes) into an
+    /// optimizer constructed with the same hyperparameters reproduces the
+    /// exact update sequence — part of the bit-identical resume contract
+    /// (skipping it would silently reset momentum to zero, which *looks*
+    /// like a successful resume but diverges from the uninterrupted run).
+    fn state_bytes(&self) -> Vec<u8>;
+
+    /// Restores state captured by [`state_bytes`](Self::state_bytes).
+    fn load_state_bytes(&mut self, bytes: &[u8]) -> Result<()>;
+}
+
+fn bad(what: impl Into<String>) -> NnError {
+    NnError::BadConfig { what: what.into() }
+}
+
+fn put_tensor(buf: &mut BytesMut, t: &Tensor) {
+    buf.put_u8(t.rank() as u8);
+    for &d in t.dims() {
+        buf.put_u32_le(d as u32);
+    }
+    for &v in t.data() {
+        buf.put_f32_le(v);
+    }
+}
+
+fn get_tensor(buf: &mut &[u8]) -> Result<Tensor> {
+    if buf.remaining() < 1 {
+        return Err(bad("optimizer state truncated"));
+    }
+    let rank = buf.get_u8() as usize;
+    if buf.remaining() < rank * 4 {
+        return Err(bad("optimizer state truncated"));
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(buf.get_u32_le() as usize);
+    }
+    let mut len: usize = 1;
+    for &d in &dims {
+        len = len
+            .checked_mul(d)
+            .filter(|&l| l <= 64 * 1024 * 1024)
+            .ok_or_else(|| bad("implausibly large optimizer state tensor"))?;
+    }
+    if buf.remaining() < len * 4 {
+        return Err(bad("optimizer state truncated"));
+    }
+    let mut data = Vec::with_capacity(len);
+    for _ in 0..len {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Tensor::from_vec(data, &dims)?)
+}
+
+/// Serializes a `param index → tensor` slot map, sorted by index so the
+/// bytes are deterministic regardless of `HashMap` iteration order.
+fn put_slot_map(buf: &mut BytesMut, map: &HashMap<usize, Tensor>) {
+    let mut keys: Vec<usize> = map.keys().copied().collect();
+    keys.sort_unstable();
+    buf.put_u32_le(keys.len() as u32);
+    for k in keys {
+        buf.put_u64_le(k as u64);
+        put_tensor(buf, &map[&k]);
+    }
+}
+
+fn get_slot_map(buf: &mut &[u8]) -> Result<HashMap<usize, Tensor>> {
+    if buf.remaining() < 4 {
+        return Err(bad("optimizer state truncated"));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut map = HashMap::with_capacity(count);
+    for _ in 0..count {
+        if buf.remaining() < 8 {
+            return Err(bad("optimizer state truncated"));
+        }
+        let k = buf.get_u64_le() as usize;
+        map.insert(k, get_tensor(buf)?);
+    }
+    Ok(map)
 }
 
 /// SGD with classical momentum: `v ← μv + g`, `θ ← θ − lr·v`.
@@ -58,6 +143,26 @@ impl Optimizer for Sgd {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"SGDM");
+        put_slot_map(&mut buf, &self.velocity);
+        buf.to_vec()
+    }
+
+    fn load_state_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut buf = bytes;
+        if buf.remaining() < 4 || &buf[..4] != b"SGDM" {
+            return Err(bad("not an SGD optimizer state"));
+        }
+        buf.advance(4);
+        self.velocity = get_slot_map(&mut buf)?;
+        if buf.has_remaining() {
+            return Err(bad("trailing bytes in SGD optimizer state"));
+        }
+        Ok(())
     }
 }
 
@@ -108,6 +213,30 @@ impl Optimizer for Adam {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn state_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_slice(b"ADAM");
+        buf.put_u64_le(self.t);
+        put_slot_map(&mut buf, &self.m);
+        put_slot_map(&mut buf, &self.v);
+        buf.to_vec()
+    }
+
+    fn load_state_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        let mut buf = bytes;
+        if buf.remaining() < 12 || &buf[..4] != b"ADAM" {
+            return Err(bad("not an Adam optimizer state"));
+        }
+        buf.advance(4);
+        self.t = buf.get_u64_le();
+        self.m = get_slot_map(&mut buf)?;
+        self.v = get_slot_map(&mut buf)?;
+        if buf.has_remaining() {
+            return Err(bad("trailing bytes in Adam optimizer state"));
+        }
+        Ok(())
     }
 }
 
@@ -164,6 +293,58 @@ mod tests {
         assert_eq!(opt.learning_rate(), 0.1);
         opt.set_learning_rate(0.01);
         assert_eq!(opt.learning_rate(), 0.01);
+    }
+
+    /// Runs `total` optimizer steps; at `split`, serializes the optimizer
+    /// state into a freshly constructed optimizer and continues with it.
+    /// The final parameters must be bit-identical to the uninterrupted run.
+    fn split_resume_matches<O: Optimizer>(mk: impl Fn() -> O, total: usize, split: usize) {
+        let run = |resume_at: Option<usize>| -> Vec<u32> {
+            let mut rng = seeded(17);
+            let mut store = ParamStore::new();
+            let target = Tensor::from_vec(vec![1.0, -2.0, 0.5], &[3]).unwrap();
+            let theta = store.register("theta", Tensor::randn(&mut rng, &[3], 1.0), 32);
+            let mut opt = mk();
+            for step in 0..total {
+                if resume_at == Some(step) {
+                    let state = opt.state_bytes();
+                    let mut fresh = mk();
+                    fresh.load_state_bytes(&state).unwrap();
+                    opt = fresh;
+                }
+                let mut tape = Tape::new();
+                let mut bind = crate::Bindings::new();
+                let tv = bind.bind(&mut tape, &store, theta).unwrap();
+                let loss = tape.mse_to_target(tv, &target).unwrap();
+                let grads = tape.backward(loss).unwrap();
+                opt.step(&mut store, &bind.collect_grads(grads)).unwrap();
+            }
+            store.get(theta).unwrap().value.data().iter().map(|v| v.to_bits()).collect()
+        };
+        assert_eq!(run(None), run(Some(split)));
+    }
+
+    #[test]
+    fn sgd_state_roundtrip_is_bit_identical() {
+        split_resume_matches(|| Sgd::new(0.2, 0.9), 20, 7);
+    }
+
+    #[test]
+    fn adam_state_roundtrip_is_bit_identical() {
+        split_resume_matches(|| Adam::new(0.1), 20, 7);
+    }
+
+    #[test]
+    fn optimizer_states_reject_corruption_and_wrong_kind() {
+        let sgd = Sgd::new(0.1, 0.9);
+        let adam = Adam::new(0.1);
+        assert!(Sgd::new(0.1, 0.9).load_state_bytes(&adam.state_bytes()).is_err());
+        assert!(Adam::new(0.1).load_state_bytes(&sgd.state_bytes()).is_err());
+        let bytes = adam.state_bytes();
+        assert!(Adam::new(0.1).load_state_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes;
+        extra.push(0);
+        assert!(Adam::new(0.1).load_state_bytes(&extra).is_err());
     }
 
     #[test]

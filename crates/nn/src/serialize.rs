@@ -231,6 +231,111 @@ fn read_param(buf: &mut &[u8], store: &mut ParamStore) -> Result<()> {
     Ok(())
 }
 
+/// File magic for exact (full-precision) parameter snapshots.
+pub const MAGIC_EXACT: &[u8; 4] = b"LTSE";
+
+/// Serializes a parameter store at full precision — every tensor as raw
+/// `f32`, regardless of its quantization bit-width (which is preserved as
+/// metadata).
+///
+/// This is the *checkpoint* format, not the deployment format: mid-training
+/// a parameter's value is the full-precision shadow weight that the
+/// quantized forward pass is a fake-quantized view of, and resuming from a
+/// quantized snapshot would diverge from the uninterrupted run on the next
+/// gradient step. [`serialize_store`] remains the honest-size wire format
+/// for *finished* models.
+pub fn serialize_store_exact(store: &ParamStore) -> Result<Bytes> {
+    let mut buf = BytesMut::new();
+    buf.put_slice(MAGIC_EXACT);
+    buf.put_u16_le(VERSION);
+    buf.put_u32_le(store.len() as u32);
+    for (_, p) in store.iter() {
+        let name = p.name.as_bytes();
+        if name.len() > u16::MAX as usize {
+            return Err(bad("parameter name too long"));
+        }
+        buf.put_u16_le(name.len() as u16);
+        buf.put_slice(name);
+        buf.put_u8(p.bits);
+        let dims = p.value.dims();
+        if dims.len() > u8::MAX as usize {
+            return Err(bad("tensor rank too large"));
+        }
+        buf.put_u8(dims.len() as u8);
+        for &d in dims {
+            buf.put_u32_le(d as u32);
+        }
+        for &v in p.value.data() {
+            buf.put_f32_le(v);
+        }
+    }
+    Ok(buf.freeze())
+}
+
+/// Deserializes an exact snapshot written by [`serialize_store_exact`].
+///
+/// Values come back bit-identical to the stored shadow weights.
+pub fn deserialize_store_exact(bytes: &[u8]) -> Result<ParamStore> {
+    let mut buf = bytes;
+    if buf.remaining() < 10 {
+        return Err(bad("truncated header"));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC_EXACT {
+        return Err(bad(format!("bad exact-snapshot magic {magic:?}")));
+    }
+    let version = buf.get_u16_le();
+    if version != VERSION {
+        return Err(bad(format!("unsupported version {version}")));
+    }
+    let count = buf.get_u32_le() as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        if buf.remaining() < 2 {
+            return Err(bad("truncated parameter header"));
+        }
+        let name_len = buf.get_u16_le() as usize;
+        if buf.remaining() < name_len + 2 {
+            return Err(bad("truncated parameter name"));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        buf.copy_to_slice(&mut name_bytes);
+        let name = String::from_utf8(name_bytes).map_err(|_| bad("non-UTF8 parameter name"))?;
+        let bits = buf.get_u8();
+        if bits == 0 || bits > 32 {
+            return Err(bad(format!("bad bit-width {bits}")));
+        }
+        let rank = buf.get_u8() as usize;
+        if buf.remaining() < rank * 4 {
+            return Err(bad("truncated dims"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(buf.get_u32_le() as usize);
+        }
+        let mut len: usize = 1;
+        for &d in &dims {
+            len = len
+                .checked_mul(d)
+                .filter(|&l| l <= 64 * 1024 * 1024)
+                .ok_or_else(|| bad("implausibly large tensor"))?;
+        }
+        if buf.remaining() < len * 4 {
+            return Err(bad("truncated f32 payload"));
+        }
+        let mut data = Vec::with_capacity(len);
+        for _ in 0..len {
+            data.push(buf.get_f32_le());
+        }
+        store.register(name, Tensor::from_vec(data, &dims)?, bits);
+    }
+    if buf.has_remaining() {
+        return Err(bad(format!("{} trailing bytes", buf.remaining())));
+    }
+    Ok(store)
+}
+
 /// The exact on-wire size in bytes a store serializes to.
 pub fn serialized_size(store: &ParamStore) -> usize {
     let mut size = 4 + 2 + 4; // magic + version + count
@@ -340,6 +445,43 @@ mod tests {
         let mut bad_ver = bytes;
         bad_ver[4] = 99;
         assert!(deserialize_store(&bad_ver).is_err());
+    }
+
+    #[test]
+    fn exact_roundtrip_is_bit_identical() {
+        let store = sample_store();
+        let bytes = serialize_store_exact(&store).unwrap();
+        let loaded = deserialize_store_exact(&bytes).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        for ((_, a), (_, b)) in store.iter().zip(loaded.iter()) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.bits, b.bits, "{}: bit-width metadata must survive", a.name);
+            assert_eq!(a.value.dims(), b.value.dims());
+            for (x, y) in a.value.data().iter().zip(b.value.data().iter()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{}: {x} vs {y}", a.name);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_and_packed_formats_reject_each_other() {
+        let store = sample_store();
+        let packed = serialize_store(&store).unwrap();
+        let exact = serialize_store_exact(&store).unwrap();
+        assert!(deserialize_store_exact(&packed).is_err());
+        assert!(deserialize_store(&exact).is_err());
+    }
+
+    #[test]
+    fn exact_format_rejects_corruption() {
+        let store = sample_store();
+        let bytes = serialize_store_exact(&store).unwrap().to_vec();
+        for cut in [3usize, 9, 20, bytes.len() - 1] {
+            assert!(deserialize_store_exact(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(deserialize_store_exact(&extra).is_err());
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Crash-safe checkpoint primitives: atomic snapshot files and a tiny
+//! named-section container.
+//!
+//! The expensive loops of this workspace (AED distillation epochs, MOBO
+//! trials) periodically snapshot their state so a crash loses at most one
+//! epoch/trial of work. This module owns the two properties every such
+//! snapshot needs and no domain crate should reimplement:
+//!
+//! * **Atomicity** — [`atomic_write`] writes to a same-directory temp
+//!   file, `fsync`s it, then `rename`s over the target. A reader therefore
+//!   sees either the previous complete checkpoint or the new complete
+//!   checkpoint, never a torn file, even across a crash mid-write.
+//! * **Framing** — [`SectionWriter`]/[`SectionReader`] provide a
+//!   length-prefixed named-section container (magic `LTCK`), so domain
+//!   checkpoints (trainer state, MOBO state) compose wire formats that are
+//!   already hardened elsewhere (e.g. `lightts_nn::serialize`) without
+//!   inventing new framing.
+//!
+//! Writes and resumes are counted in the global registry
+//! (`checkpoint.writes`, `checkpoint.resumes`) so long runs expose their
+//! crash-safety cadence through the same Prometheus/JSON exposition as
+//! everything else. The writer carries the `checkpoint.write` failpoint:
+//! chaos tests arm it to prove that a failing disk surfaces as a typed
+//! error instead of a silently missing snapshot.
+
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// Current container format version.
+pub const CHECKPOINT_VERSION: u16 = 1;
+
+const MAGIC: &[u8; 4] = b"LTCK";
+
+fn temp_path(path: &Path) -> PathBuf {
+    let mut name = path.file_name().map(|n| n.to_os_string()).unwrap_or_default();
+    name.push(".tmp");
+    path.with_file_name(name)
+}
+
+/// Atomically replaces `path` with `bytes`: write temp → fsync → rename.
+///
+/// Increments `checkpoint.writes` in the global registry on success.
+/// Carries the `checkpoint.write` failpoint.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    crate::failpoint::hit("checkpoint.write").map_err(io::Error::other)?;
+    let tmp = temp_path(path);
+    let mut f = std::fs::File::create(&tmp)?;
+    f.write_all(bytes)?;
+    f.sync_all()?;
+    drop(f);
+    if let Err(e) = std::fs::rename(&tmp, path) {
+        let _ = std::fs::remove_file(&tmp);
+        return Err(e);
+    }
+    crate::metrics::global().counter("checkpoint.writes").inc();
+    Ok(())
+}
+
+/// Reads a checkpoint written by [`atomic_write`].
+///
+/// Returns `Ok(None)` when no checkpoint exists (a fresh run), `Ok(Some)`
+/// — and increments `checkpoint.resumes` — when one was loaded.
+pub fn read_checkpoint(path: &Path) -> io::Result<Option<Vec<u8>>> {
+    match std::fs::read(path) {
+        Ok(bytes) => {
+            crate::metrics::global().counter("checkpoint.resumes").inc();
+            Ok(Some(bytes))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// Builds a checkpoint container: a `kind` tag plus ordered named byte
+/// sections.
+///
+/// ```
+/// use lightts_obs::checkpoint::{SectionReader, SectionWriter};
+/// let mut w = SectionWriter::new("demo");
+/// w.section("weights", &[1, 2, 3]);
+/// let bytes = w.finish();
+/// let r = SectionReader::parse(&bytes).unwrap();
+/// assert_eq!(r.kind(), "demo");
+/// assert_eq!(r.get("weights"), Some(&[1u8, 2, 3][..]));
+/// ```
+#[derive(Debug)]
+pub struct SectionWriter {
+    buf: Vec<u8>,
+    count: u32,
+    count_at: usize,
+}
+
+impl SectionWriter {
+    /// Starts a container of the given `kind` (e.g. `"distill.trainer"`).
+    pub fn new(kind: &str) -> SectionWriter {
+        let mut buf = Vec::with_capacity(64);
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&CHECKPOINT_VERSION.to_le_bytes());
+        let kind_bytes = kind.as_bytes();
+        buf.extend_from_slice(&(kind_bytes.len() as u16).to_le_bytes());
+        buf.extend_from_slice(kind_bytes);
+        let count_at = buf.len();
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        SectionWriter { buf, count: 0, count_at }
+    }
+
+    /// Appends one named section.
+    pub fn section(&mut self, name: &str, payload: &[u8]) {
+        let name_bytes = name.as_bytes();
+        self.buf.extend_from_slice(&(name_bytes.len() as u16).to_le_bytes());
+        self.buf.extend_from_slice(name_bytes);
+        self.buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        self.buf.extend_from_slice(payload);
+        self.count += 1;
+    }
+
+    /// Finalizes the container and returns its bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        self.buf[self.count_at..self.count_at + 4].copy_from_slice(&self.count.to_le_bytes());
+        self.buf
+    }
+}
+
+/// Parses a container written by [`SectionWriter`]; every structural
+/// violation (bad magic, truncation, trailing bytes) is a typed error.
+#[derive(Debug)]
+pub struct SectionReader<'a> {
+    kind: &'a str,
+    sections: Vec<(&'a str, &'a [u8])>,
+}
+
+impl<'a> SectionReader<'a> {
+    /// Parses `bytes`, validating magic, version, and framing.
+    pub fn parse(bytes: &'a [u8]) -> Result<SectionReader<'a>, String> {
+        let mut rest = bytes;
+        let take = |rest: &mut &'a [u8], n: usize, what: &str| -> Result<&'a [u8], String> {
+            if rest.len() < n {
+                return Err(format!("checkpoint truncated reading {what}"));
+            }
+            let (head, tail) = rest.split_at(n);
+            *rest = tail;
+            Ok(head)
+        };
+        let magic = take(&mut rest, 4, "magic")?;
+        if magic != MAGIC {
+            return Err(format!("bad checkpoint magic {magic:?}"));
+        }
+        let version = u16::from_le_bytes(take(&mut rest, 2, "version")?.try_into().unwrap());
+        if version != CHECKPOINT_VERSION {
+            return Err(format!("unsupported checkpoint version {version}"));
+        }
+        let kind_len =
+            u16::from_le_bytes(take(&mut rest, 2, "kind length")?.try_into().unwrap()) as usize;
+        let kind = std::str::from_utf8(take(&mut rest, kind_len, "kind")?)
+            .map_err(|_| "non-UTF8 checkpoint kind".to_string())?;
+        let count =
+            u32::from_le_bytes(take(&mut rest, 4, "section count")?.try_into().unwrap()) as usize;
+        if count > 4096 {
+            return Err(format!("implausible section count {count}"));
+        }
+        let mut sections = Vec::with_capacity(count);
+        for i in 0..count {
+            let name_len =
+                u16::from_le_bytes(take(&mut rest, 2, "section name length")?.try_into().unwrap())
+                    as usize;
+            let name = std::str::from_utf8(take(&mut rest, name_len, "section name")?)
+                .map_err(|_| format!("non-UTF8 name in section {i}"))?;
+            let payload_len =
+                u64::from_le_bytes(take(&mut rest, 8, "section length")?.try_into().unwrap());
+            let payload_len = usize::try_from(payload_len)
+                .map_err(|_| format!("section {name:?} implausibly large"))?;
+            let payload = take(&mut rest, payload_len, name)?;
+            sections.push((name, payload));
+        }
+        if !rest.is_empty() {
+            return Err(format!("{} trailing bytes after checkpoint", rest.len()));
+        }
+        Ok(SectionReader { kind, sections })
+    }
+
+    /// The container's kind tag.
+    pub fn kind(&self) -> &'a str {
+        self.kind
+    }
+
+    /// The payload of the named section, if present.
+    pub fn get(&self, name: &str) -> Option<&'a [u8]> {
+        self.sections.iter().find(|(n, _)| *n == name).map(|(_, p)| *p)
+    }
+
+    /// Like [`get`](Self::get) but a missing section is a descriptive
+    /// error — the common case for required checkpoint fields.
+    pub fn require(&self, name: &str) -> Result<&'a [u8], String> {
+        self.get(name).ok_or_else(|| format!("checkpoint missing section {name:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("lightts-ckpt-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn atomic_write_then_read_roundtrips_and_counts() {
+        let path = tmp("roundtrip.bin");
+        let _ = std::fs::remove_file(&path);
+        let writes = crate::metrics::global().counter("checkpoint.writes");
+        let resumes = crate::metrics::global().counter("checkpoint.resumes");
+        let (w0, r0) = (writes.get(), resumes.get());
+        assert_eq!(read_checkpoint(&path).unwrap(), None);
+        atomic_write(&path, b"state-v1").unwrap();
+        atomic_write(&path, b"state-v2").unwrap();
+        assert_eq!(read_checkpoint(&path).unwrap().as_deref(), Some(&b"state-v2"[..]));
+        assert!(writes.get() >= w0 + 2);
+        assert!(resumes.get() >= r0 + 1);
+        assert!(!temp_path(&path).exists(), "temp file left behind");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn section_container_roundtrips() {
+        let mut w = SectionWriter::new("test.kind");
+        w.section("a", b"alpha");
+        w.section("b", &[]);
+        w.section("c", &[0xFF; 300]);
+        let bytes = w.finish();
+        let r = SectionReader::parse(&bytes).unwrap();
+        assert_eq!(r.kind(), "test.kind");
+        assert_eq!(r.get("a"), Some(&b"alpha"[..]));
+        assert_eq!(r.get("b"), Some(&[][..]));
+        assert_eq!(r.require("c").unwrap().len(), 300);
+        assert_eq!(r.get("missing"), None);
+        assert!(r.require("missing").is_err());
+    }
+
+    #[test]
+    fn section_parser_rejects_corruption() {
+        let mut w = SectionWriter::new("k");
+        w.section("s", b"payload");
+        let bytes = w.finish();
+        // bad magic
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert!(SectionReader::parse(&bad).is_err());
+        // truncation at every boundary
+        for cut in 0..bytes.len() {
+            assert!(SectionReader::parse(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        // trailing garbage
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(SectionReader::parse(&extra).is_err());
+        // bad version
+        let mut bad_ver = bytes;
+        bad_ver[4] = 0x7F;
+        assert!(SectionReader::parse(&bad_ver).is_err());
+    }
+
+    #[test]
+    fn write_failpoint_surfaces_as_io_error() {
+        let _g = crate::span::TEST_LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let path = tmp("failpoint.bin");
+        let _ = std::fs::remove_file(&path);
+        crate::failpoint::set_failpoints("checkpoint.write=err@1").unwrap();
+        let err = atomic_write(&path, b"doomed").unwrap_err();
+        assert!(err.to_string().contains("checkpoint.write"), "{err}");
+        assert!(!path.exists());
+        // recovery: the next write succeeds
+        atomic_write(&path, b"ok").unwrap();
+        crate::failpoint::clear_failpoints();
+        std::fs::remove_file(&path).unwrap();
+    }
+}

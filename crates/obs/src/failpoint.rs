@@ -1,0 +1,266 @@
+//! Deterministic fault injection — failpoints.
+//!
+//! A *failpoint* is a named hook compiled into a recovery-critical code
+//! path (the serve batch loop, the trainer epoch loop, the MOBO trial
+//! loop, the checkpoint writer). In normal operation a hook costs exactly
+//! one relaxed atomic load — the same discipline as the
+//! [`span!`](crate::span)/[`event!`](crate::event) off switch. When armed,
+//! a hook can be made to **panic** or to **return an injected error** on a
+//! chosen hit, which is how the chaos tests prove that every shedding and
+//! recovery path actually fires.
+//!
+//! ## Arming failpoints
+//!
+//! Via the environment (read once, at first use):
+//!
+//! ```text
+//! LIGHTTS_FAILPOINTS=serve.batch=panic@3,mobo.trial=err@5
+//! ```
+//!
+//! or programmatically (tests, embedders): [`set_failpoints`] /
+//! [`clear_failpoints`]. The spec grammar is
+//! `name=action[@n][,name=action[@n]…]` where `action` is `panic` or
+//! `err`, and `@n` (1-based) makes the point fire *once*, on its `n`-th
+//! hit; without `@n` the point fires on every hit.
+//!
+//! ## Using a failpoint in library code
+//!
+//! ```
+//! # fn doit() -> Result<(), String> {
+//! lightts_obs::failpoint::hit("mobo.trial").map_err(|what| what)?;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! [`hit`] returns `Err(description)` for `err` actions (the caller maps
+//! it into its own error type), panics for `panic` actions, and returns
+//! `Ok(())` — after one relaxed load and nothing else — when no spec is
+//! armed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// What an armed failpoint does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailAction {
+    /// Panic with a descriptive message (exercises `catch_unwind` paths).
+    Panic,
+    /// Return an injected error from [`hit`] (exercises `Err` recovery).
+    Err,
+}
+
+#[derive(Debug)]
+struct Point {
+    action: FailAction,
+    /// 1-based hit index to fire at; `None` = fire on every hit.
+    at: Option<u64>,
+    hits: u64,
+}
+
+struct FpState {
+    armed: AtomicBool,
+    points: Mutex<HashMap<String, Point>>,
+}
+
+fn state() -> &'static FpState {
+    static STATE: OnceLock<FpState> = OnceLock::new();
+    STATE.get_or_init(|| {
+        let st = FpState { armed: AtomicBool::new(false), points: Mutex::new(HashMap::new()) };
+        if let Ok(spec) = std::env::var("LIGHTTS_FAILPOINTS") {
+            if !spec.is_empty() {
+                match parse_spec(&spec) {
+                    Ok(map) => {
+                        *st.points.lock().unwrap_or_else(PoisonError::into_inner) = map;
+                        st.armed.store(true, Ordering::Relaxed);
+                    }
+                    Err(e) => eprintln!("lightts-obs: ignoring LIGHTTS_FAILPOINTS: {e}"),
+                }
+            }
+        }
+        st
+    })
+}
+
+fn parse_spec(spec: &str) -> Result<HashMap<String, Point>, String> {
+    let mut map = HashMap::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (name, rhs) = part.split_once('=').ok_or_else(|| format!("missing '=' in {part:?}"))?;
+        let (action_str, at) = match rhs.split_once('@') {
+            Some((a, n)) => {
+                let n: u64 = n.parse().map_err(|_| format!("bad hit index {n:?} in {part:?}"))?;
+                if n == 0 {
+                    return Err(format!("hit index in {part:?} is 1-based, got 0"));
+                }
+                (a, Some(n))
+            }
+            None => (rhs, None),
+        };
+        let action = match action_str {
+            "panic" => FailAction::Panic,
+            "err" => FailAction::Err,
+            other => return Err(format!("unknown action {other:?} in {part:?}")),
+        };
+        map.insert(name.trim().to_string(), Point { action, at, hits: 0 });
+    }
+    Ok(map)
+}
+
+/// Arms failpoints from a spec string, replacing any previous arming and
+/// resetting all hit counts. An empty spec disarms everything (same as
+/// [`clear_failpoints`]). Overrides `LIGHTTS_FAILPOINTS`.
+pub fn set_failpoints(spec: &str) -> Result<(), String> {
+    let map = parse_spec(spec)?;
+    let st = state();
+    let armed = !map.is_empty();
+    *st.points.lock().unwrap_or_else(PoisonError::into_inner) = map;
+    st.armed.store(armed, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Disarms all failpoints; [`hit`] reverts to its one-atomic-load fast
+/// path.
+pub fn clear_failpoints() {
+    let st = state();
+    st.armed.store(false, Ordering::Relaxed);
+    st.points.lock().unwrap_or_else(PoisonError::into_inner).clear();
+}
+
+/// Whether any failpoint is armed (one relaxed atomic load).
+pub fn armed() -> bool {
+    state().armed.load(Ordering::Relaxed)
+}
+
+/// Number of times the named point has been hit since arming (0 if it is
+/// not armed; diagnostics for chaos tests).
+pub fn hits(name: &str) -> u64 {
+    if !armed() {
+        return 0;
+    }
+    state().points.lock().unwrap_or_else(PoisonError::into_inner).get(name).map_or(0, |p| p.hits)
+}
+
+/// Marks a failpoint. Disabled cost: one relaxed atomic load.
+///
+/// When the named point is armed this increments its hit count and, if the
+/// firing condition holds, either panics ([`FailAction::Panic`]) or
+/// returns an `Err` describing the injection ([`FailAction::Err`]).
+#[inline]
+pub fn hit(name: &str) -> Result<(), String> {
+    if !armed() {
+        return Ok(());
+    }
+    hit_slow(name)
+}
+
+#[cold]
+fn hit_slow(name: &str) -> Result<(), String> {
+    let mut points = state().points.lock().unwrap_or_else(PoisonError::into_inner);
+    let Some(p) = points.get_mut(name) else { return Ok(()) };
+    p.hits += 1;
+    let fire = match p.at {
+        Some(n) => p.hits == n,
+        None => true,
+    };
+    if !fire {
+        return Ok(());
+    }
+    let msg = format!("failpoint {name:?} fired (hit {})", p.hits);
+    match p.action {
+        FailAction::Err => Err(msg),
+        FailAction::Panic => {
+            drop(points); // never poison our own mutex
+            panic!("{msg}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Serializes tests that mutate the global failpoint table.
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        crate::span::TEST_LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disarmed_hits_are_free_and_ok() {
+        let _g = guard();
+        clear_failpoints();
+        assert!(!armed());
+        assert!(hit("anything").is_ok());
+        assert_eq!(hits("anything"), 0);
+    }
+
+    #[test]
+    fn err_action_fires_once_at_index() {
+        let _g = guard();
+        set_failpoints("a.b=err@3").unwrap();
+        assert!(hit("a.b").is_ok());
+        assert!(hit("a.b").is_ok());
+        let e = hit("a.b").unwrap_err();
+        assert!(e.contains("a.b"), "{e}");
+        // one-shot: subsequent hits pass
+        assert!(hit("a.b").is_ok());
+        assert_eq!(hits("a.b"), 4);
+        // unarmed points are unaffected
+        assert!(hit("other").is_ok());
+        clear_failpoints();
+    }
+
+    #[test]
+    fn err_without_index_fires_every_hit() {
+        let _g = guard();
+        set_failpoints("x=err").unwrap();
+        assert!(hit("x").is_err());
+        assert!(hit("x").is_err());
+        clear_failpoints();
+    }
+
+    #[test]
+    fn panic_action_panics_without_poisoning() {
+        let _g = guard();
+        set_failpoints("p=panic@1").unwrap();
+        let r = std::panic::catch_unwind(|| hit("p"));
+        assert!(r.is_err());
+        // the table is still usable afterwards
+        assert!(hit("p").is_ok());
+        assert_eq!(hits("p"), 2);
+        clear_failpoints();
+    }
+
+    #[test]
+    fn rearming_resets_hit_counts() {
+        let _g = guard();
+        set_failpoints("a=err@2").unwrap();
+        assert!(hit("a").is_ok());
+        set_failpoints("a=err@2").unwrap();
+        assert_eq!(hits("a"), 0);
+        assert!(hit("a").is_ok());
+        assert!(hit("a").is_err());
+        clear_failpoints();
+    }
+
+    #[test]
+    fn bad_specs_are_rejected() {
+        let _g = guard();
+        assert!(set_failpoints("noequals").is_err());
+        assert!(set_failpoints("a=explode").is_err());
+        assert!(set_failpoints("a=err@zero").is_err());
+        assert!(set_failpoints("a=err@0").is_err());
+        // rejected specs must not arm anything
+        assert!(!armed());
+    }
+
+    #[test]
+    fn multi_point_specs_parse() {
+        let _g = guard();
+        set_failpoints("serve.batch=panic@3, mobo.trial=err@5").unwrap();
+        assert!(armed());
+        assert!(hit("mobo.trial").is_ok());
+        assert_eq!(hits("mobo.trial"), 1);
+        assert_eq!(hits("serve.batch"), 0);
+        clear_failpoints();
+    }
+}

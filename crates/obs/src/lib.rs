@@ -58,10 +58,25 @@
 //! No other top-level keys are emitted; [`jsonl::validate_event_line`]
 //! enforces exactly this contract (CI runs it over a real experiment's
 //! output via the `obs_validate` binary).
+//!
+//! ## Fault tolerance
+//!
+//! Two further subsystems share the same "one relaxed atomic load when
+//! off" discipline:
+//!
+//! * [`failpoint`] — deterministic fault injection
+//!   (`LIGHTTS_FAILPOINTS=serve.batch=panic@3,mobo.trial=err@5`), used by
+//!   the chaos tests to prove shedding and recovery paths fire.
+//! * [`checkpoint`] — atomic write-temp→fsync→rename snapshot files and a
+//!   named-section container, the storage layer under the crash-safe
+//!   distillation and MOBO runs (`checkpoint.writes` /
+//!   `checkpoint.resumes` counters in the global registry).
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod checkpoint;
+pub mod failpoint;
 pub mod jsonl;
 mod metrics;
 mod span;

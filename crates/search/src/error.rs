@@ -24,6 +24,18 @@ pub enum SearchError {
         /// Stringified evaluator error.
         what: String,
     },
+    /// Writing or reading a search checkpoint failed (I/O error, corrupted
+    /// snapshot, or a snapshot from an incompatible run).
+    Checkpoint {
+        /// Description of the failure.
+        what: String,
+    },
+    /// An injected fault fired (a `lightts_obs::failpoint` with an `err`
+    /// action) — only ever seen under chaos testing.
+    Fault {
+        /// The failpoint's description of the injection.
+        what: String,
+    },
 }
 
 impl fmt::Display for SearchError {
@@ -34,6 +46,8 @@ impl fmt::Display for SearchError {
             Self::Model(e) => write!(f, "model error: {e}"),
             Self::BadConfig { what } => write!(f, "bad search configuration: {what}"),
             Self::Evaluator { what } => write!(f, "accuracy evaluator failed: {what}"),
+            Self::Checkpoint { what } => write!(f, "checkpoint error: {what}"),
+            Self::Fault { what } => write!(f, "injected fault: {what}"),
         }
     }
 }

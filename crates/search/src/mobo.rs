@@ -23,9 +23,12 @@ use crate::pareto::{pareto_frontier, Evaluated};
 use crate::space::{SearchSpace, StudentSetting};
 use crate::{Result, SearchError};
 use lightts_obs as obs;
-use lightts_tensor::rng::seeded;
+use lightts_obs::checkpoint::{atomic_write, read_checkpoint, SectionReader, SectionWriter};
+use lightts_tensor::rng::{rng_from_state, rng_state, seeded};
+use rand::rngs::StdRng;
 use rand::Rng;
 use std::collections::HashSet;
+use std::path::Path;
 use std::time::Instant;
 
 /// The setting representation the GP operates on.
@@ -163,12 +166,191 @@ impl<'a> ReprBuilder<'a> {
     }
 }
 
+/// Kind tag of MOBO checkpoint containers.
+const CKPT_KIND: &str = "search.mobo";
+
+fn ck(what: impl Into<String>) -> SearchError {
+    SearchError::Checkpoint { what: what.into() }
+}
+
+/// Everything a crashed run needs to continue the exact trial sequence.
+struct MoboState {
+    /// `true` while the initial `P` random evaluations are still running.
+    in_init: bool,
+    evaluated: Vec<Evaluated>,
+    /// Init settings sampled up front but not yet evaluated.
+    pending_init: Vec<StudentSetting>,
+    /// RNG stream position (captured *after* all draws so far).
+    rng: [u64; 4],
+    since_refresh: u64,
+    /// `evaluated.len()` at the last encoder (re)train — resume retrains
+    /// on exactly that prefix so the GP sees the same latent space.
+    refresh_len: u64,
+}
+
+fn put_settings(buf: &mut Vec<u8>, settings: impl ExactSizeIterator<Item = StudentSetting>) {
+    buf.extend_from_slice(&(settings.len() as u32).to_le_bytes());
+    for s in settings {
+        buf.extend_from_slice(&(s.0.len() as u32).to_le_bytes());
+        for (layers, filters, bits) in s.0 {
+            buf.extend_from_slice(&(layers as u32).to_le_bytes());
+            buf.extend_from_slice(&(filters as u32).to_le_bytes());
+            buf.push(bits);
+        }
+    }
+}
+
+struct StateCursor<'a>(&'a [u8]);
+
+impl<'a> StateCursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.0.len() < n {
+            return Err(ck("checkpoint state truncated"));
+        }
+        let (head, tail) = self.0.split_at(n);
+        self.0 = tail;
+        Ok(head)
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn settings(&mut self) -> Result<Vec<StudentSetting>> {
+        let count = self.u32()? as usize;
+        if count > 1 << 20 {
+            return Err(ck("implausible setting count"));
+        }
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let blocks = self.u32()? as usize;
+            if blocks > 1 << 10 {
+                return Err(ck("implausible block count"));
+            }
+            let mut s = Vec::with_capacity(blocks);
+            for _ in 0..blocks {
+                let layers = self.u32()? as usize;
+                let filters = self.u32()? as usize;
+                let bits = self.take(1)?[0];
+                s.push((layers, filters, bits));
+            }
+            out.push(StudentSetting(s));
+        }
+        Ok(out)
+    }
+}
+
+fn save_state(path: &Path, st: &MoboState) -> Result<()> {
+    let mut w = SectionWriter::new(CKPT_KIND);
+    w.section("phase", &[u8::from(st.in_init)]);
+    let mut rng = Vec::with_capacity(32);
+    for word in st.rng {
+        rng.extend_from_slice(&word.to_le_bytes());
+    }
+    w.section("rng", &rng);
+    let mut counters = Vec::with_capacity(16);
+    counters.extend_from_slice(&st.since_refresh.to_le_bytes());
+    counters.extend_from_slice(&st.refresh_len.to_le_bytes());
+    w.section("counters", &counters);
+    let mut evs = Vec::new();
+    put_settings(&mut evs, st.evaluated.iter().map(|e| e.setting.clone()));
+    for e in &st.evaluated {
+        evs.extend_from_slice(&e.accuracy.to_le_bytes());
+        evs.extend_from_slice(&e.size_bits.to_le_bytes());
+    }
+    w.section("evaluated", &evs);
+    let mut pending = Vec::new();
+    put_settings(&mut pending, st.pending_init.iter().cloned());
+    w.section("pending", &pending);
+    atomic_write(path, &w.finish()).map_err(|e| ck(format!("writing {path:?}: {e}")))
+}
+
+fn load_state(path: &Path) -> Result<Option<MoboState>> {
+    let Some(bytes) = read_checkpoint(path).map_err(|e| ck(format!("reading {path:?}: {e}")))?
+    else {
+        return Ok(None);
+    };
+    let r = SectionReader::parse(&bytes).map_err(ck)?;
+    if r.kind() != CKPT_KIND {
+        return Err(ck(format!("{path:?} is a {:?} checkpoint, not {CKPT_KIND:?}", r.kind())));
+    }
+    let phase = r.require("phase").map_err(ck)?;
+    let in_init = match phase {
+        [0] => false,
+        [1] => true,
+        _ => return Err(ck("malformed phase section")),
+    };
+    let rng_bytes = r.require("rng").map_err(ck)?;
+    if rng_bytes.len() != 32 {
+        return Err(ck("malformed rng section"));
+    }
+    let mut rng = [0u64; 4];
+    for (i, word) in rng.iter_mut().enumerate() {
+        *word = u64::from_le_bytes(rng_bytes[i * 8..(i + 1) * 8].try_into().unwrap());
+    }
+    let mut counters = StateCursor(r.require("counters").map_err(ck)?);
+    let since_refresh = counters.u64()?;
+    let refresh_len = counters.u64()?;
+    let mut evs = StateCursor(r.require("evaluated").map_err(ck)?);
+    let settings = evs.settings()?;
+    let mut evaluated = Vec::with_capacity(settings.len());
+    for setting in settings {
+        let accuracy = f64::from_le_bytes(evs.take(8)?.try_into().unwrap());
+        let size_bits = evs.u64()?;
+        evaluated.push(Evaluated { setting, accuracy, size_bits });
+    }
+    let mut pending = StateCursor(r.require("pending").map_err(ck)?);
+    let pending_init = pending.settings()?;
+    if refresh_len as usize > evaluated.len() {
+        return Err(ck("refresh_len exceeds evaluated count"));
+    }
+    Ok(Some(MoboState { in_init, evaluated, pending_init, rng, since_refresh, refresh_len }))
+}
+
 /// Runs (encoded) multi-objective Bayesian optimization.
 ///
 /// The oracle returns the AED accuracy of a setting; errors are surfaced as
 /// [`SearchError::Evaluator`]. Returns all `Q` evaluations and their Pareto
 /// frontier.
-pub fn run_mobo<F>(space: &SearchSpace, mut oracle: F, cfg: &MoboConfig) -> Result<MoboOutcome>
+pub fn run_mobo<F>(space: &SearchSpace, oracle: F, cfg: &MoboConfig) -> Result<MoboOutcome>
+where
+    F: FnMut(&StudentSetting) -> std::result::Result<f64, String>,
+{
+    run_mobo_inner(space, oracle, cfg, None)
+}
+
+/// Like [`run_mobo`], but crash-safe: snapshots the full search state to
+/// `ckpt` after every oracle evaluation and resumes from it if present.
+///
+/// A run killed at any trial (the `mobo.trial` failpoint, a process kill)
+/// and restarted with the same space/config/oracle produces **exactly** the
+/// trial sequence — settings, accuracies, frontier — of an uninterrupted
+/// run: the snapshot carries the RNG stream position, the evaluated list,
+/// the still-pending init settings, and the encoder refresh schedule
+/// (`refresh_len`), from which the encoder is deterministically retrained
+/// on resume. The checkpoint file is left in place on success.
+pub fn run_mobo_resumable<F>(
+    space: &SearchSpace,
+    oracle: F,
+    cfg: &MoboConfig,
+    ckpt: &Path,
+) -> Result<MoboOutcome>
+where
+    F: FnMut(&StudentSetting) -> std::result::Result<f64, String>,
+{
+    run_mobo_inner(space, oracle, cfg, Some(ckpt))
+}
+
+fn run_mobo_inner<F>(
+    space: &SearchSpace,
+    mut oracle: F,
+    cfg: &MoboConfig,
+    ckpt: Option<&Path>,
+) -> Result<MoboOutcome>
 where
     F: FnMut(&StudentSetting) -> std::result::Result<f64, String>,
 {
@@ -179,22 +361,83 @@ where
         });
     }
     let start = Instant::now();
-    let mut rng = seeded(cfg.seed);
     let max_size = space.max_size_bits() as f64;
 
+    let resumed = match ckpt {
+        Some(path) => load_state(path)?,
+        None => None,
+    };
+    let (mut rng, mut evaluated, mut pending_init, mut since_refresh, mut refresh_len, in_init): (
+        StdRng,
+        Vec<Evaluated>,
+        Vec<StudentSetting>,
+        usize,
+        usize,
+        bool,
+    ) = match resumed {
+        Some(st) => (
+            rng_from_state(st.rng),
+            st.evaluated,
+            st.pending_init,
+            st.since_refresh as usize,
+            st.refresh_len as usize,
+            st.in_init,
+        ),
+        None => {
+            let mut rng = seeded(cfg.seed);
+            // Sample every init setting up front (one rng consumption the
+            // checkpoint does not need to replay piecewise).
+            let pending = space.sample_distinct(&mut rng, cfg.p_init);
+            (rng, Vec::with_capacity(cfg.q), pending, 0, 0, true)
+        }
+    };
+    let mut seen: HashSet<StudentSetting> =
+        evaluated.iter().map(|e| e.setting.clone()).chain(pending_init.iter().cloned()).collect();
+    let save = |st: &MoboState| -> Result<()> {
+        match ckpt {
+            Some(path) => save_state(path, st),
+            None => Ok(()),
+        }
+    };
+
     // ----- initialization: P random evaluations -----
-    let mut evaluated: Vec<Evaluated> = Vec::with_capacity(cfg.q);
-    let mut seen: HashSet<StudentSetting> = HashSet::new();
-    for s in space.sample_distinct(&mut rng, cfg.p_init) {
+    while in_init {
+        let Some(s) = pending_init.first().cloned() else { break };
+        obs::failpoint::hit("mobo.trial").map_err(|what| SearchError::Fault { what })?;
         let accuracy = call_oracle(&mut oracle, &s)?;
         let size_bits = space.size_bits(&s);
-        seen.insert(s.clone());
+        pending_init.remove(0);
         evaluated.push(Evaluated { setting: s, accuracy, size_bits });
+        save(&MoboState {
+            in_init: true,
+            evaluated: evaluated.clone(),
+            pending_init: pending_init.clone(),
+            rng: rng_state(&rng),
+            since_refresh: 0,
+            refresh_len: 0,
+        })?;
     }
 
     let mut reprs = ReprBuilder { space, repr: cfg.repr, encoder: None };
-    reprs.refresh(&evaluated, cfg)?;
-    let mut since_refresh = 0usize;
+    if in_init {
+        // Fresh (or resumed-mid-init) run reaching the end of init: train
+        // the encoder on the full init set, exactly like before.
+        reprs.refresh(&evaluated, cfg)?;
+        refresh_len = evaluated.len();
+        since_refresh = 0;
+        save(&MoboState {
+            in_init: false,
+            evaluated: evaluated.clone(),
+            pending_init: Vec::new(),
+            rng: rng_state(&rng),
+            since_refresh: 0,
+            refresh_len: refresh_len as u64,
+        })?;
+    } else {
+        // Resumed mid-BO: retrain the encoder on the prefix it was last
+        // trained on, reproducing the latent space of the killed run.
+        reprs.refresh(&evaluated[..refresh_len], cfg)?;
+    }
 
     // ----- BO iterations -----
     let trial_counter = obs::global().counter("search.trials");
@@ -240,6 +483,7 @@ where
         let acquisition = t_acq.elapsed();
         acq_ns.record_duration(acquisition);
 
+        obs::failpoint::hit("mobo.trial").map_err(|what| SearchError::Fault { what })?;
         let accuracy = call_oracle(&mut oracle, &chosen)?;
         let size_bits = space.size_bits(&chosen);
         seen.insert(chosen.clone());
@@ -258,8 +502,17 @@ where
         since_refresh += 1;
         if since_refresh >= cfg.encoder_refresh.max(1) && ReprBuilder::needs_encoder(cfg.repr) {
             reprs.refresh(&evaluated, cfg)?;
+            refresh_len = evaluated.len();
             since_refresh = 0;
         }
+        save(&MoboState {
+            in_init: false,
+            evaluated: evaluated.clone(),
+            pending_init: Vec::new(),
+            rng: rng_state(&rng),
+            since_refresh: since_refresh as u64,
+            refresh_len: refresh_len as u64,
+        })?;
     }
 
     let frontier = pareto_frontier(&evaluated);
@@ -332,6 +585,71 @@ mod tests {
         let hv_r = hypervolume(&rand.frontier, ref_size);
         // with a smooth oracle, guided search should not be much worse
         assert!(hv_m > 0.6 * hv_r, "MOBO hv {hv_m} vs random hv {hv_r}");
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("lightts-mobo-{}-{name}", std::process::id()))
+    }
+
+    fn trial_fingerprint(out: &MoboOutcome) -> Vec<(StudentSetting, u64, u64)> {
+        out.evaluated
+            .iter()
+            .map(|e| (e.setting.clone(), e.accuracy.to_bits(), e.size_bits))
+            .collect()
+    }
+
+    #[test]
+    fn resumable_fresh_run_matches_plain_run_exactly() {
+        let sp = space();
+        let cfg = quick_cfg(SpaceRepr::Normalized);
+        let plain = run_mobo(&sp, oracle, &cfg).unwrap();
+        let path = tmp("fresh.ckpt");
+        let _ = std::fs::remove_file(&path);
+        let resumable = run_mobo_resumable(&sp, oracle, &cfg, &path).unwrap();
+        assert_eq!(trial_fingerprint(&plain), trial_fingerprint(&resumable));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn killed_and_resumed_run_is_bit_identical_to_uninterrupted() {
+        let sp = space();
+        let cfg = quick_cfg(SpaceRepr::TwoPhaseEncoder);
+        let uninterrupted = run_mobo(&sp, oracle, &cfg).unwrap();
+        // kill during init (trial 2), early BO (7), and post-encoder-refresh
+        // BO (16; the refresh fires at evaluation 14 = p_init 6 + 8)
+        for kill_at in [2usize, 7, 16] {
+            let path = tmp(&format!("kill{kill_at}.ckpt"));
+            let _ = std::fs::remove_file(&path);
+            let calls = std::cell::Cell::new(0usize);
+            let flaky = |s: &StudentSetting| {
+                calls.set(calls.get() + 1);
+                if calls.get() == kill_at {
+                    Err("injected crash".to_string())
+                } else {
+                    oracle(s)
+                }
+            };
+            let err = run_mobo_resumable(&sp, flaky, &cfg, &path).unwrap_err();
+            assert!(matches!(err, SearchError::Evaluator { .. }), "{err}");
+            let resumed = run_mobo_resumable(&sp, oracle, &cfg, &path).unwrap();
+            assert_eq!(
+                trial_fingerprint(&uninterrupted),
+                trial_fingerprint(&resumed),
+                "kill at trial {kill_at} diverged after resume"
+            );
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn corrupt_mobo_checkpoint_is_a_typed_error() {
+        let sp = space();
+        let cfg = quick_cfg(SpaceRepr::Original);
+        let path = tmp("corrupt.ckpt");
+        std::fs::write(&path, b"garbage").unwrap();
+        let err = run_mobo_resumable(&sp, oracle, &cfg, &path).unwrap_err();
+        assert!(matches!(err, SearchError::Checkpoint { .. }), "{err}");
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -16,11 +16,41 @@ pub enum ServeError {
         /// Description of the violated constraint.
         what: String,
     },
+    /// A request's input contained a NaN or infinite value — rejected at
+    /// admission rather than propagated into (silently garbage) logits.
+    NonFiniteInput {
+        /// Index of the first offending scalar in the submitted sample.
+        index: usize,
+    },
+    /// The model's queue is full; the request was shed at admission
+    /// (backpressure). Retry later or against another replica.
+    Overloaded {
+        /// The model whose queue is full.
+        model: String,
+        /// The configured per-model queue bound
+        /// ([`ServeConfig::max_queue`](crate::ServeConfig)).
+        max_queue: usize,
+    },
+    /// The request's deadline expired before a prediction was produced —
+    /// either shed by the scheduler pre-inference, or reported by
+    /// [`Pending::wait_timeout`](crate::Pending::wait_timeout) on the
+    /// caller side.
+    DeadlineExceeded,
+    /// The fused forward for this request's batch failed (e.g. panicked).
+    /// Only the requests of that batch are affected; the scheduler
+    /// recovers and keeps serving.
+    Inference {
+        /// Description of the failure.
+        what: String,
+    },
     /// Loading or running a model failed.
     Model(ModelError),
-    /// The server is shutting down (or its scheduler thread died) and can
-    /// no longer answer requests.
+    /// The server is shutting down and no longer accepts requests.
     Shutdown,
+    /// The scheduler thread is gone without a clean shutdown (it died or
+    /// was killed) — distinct from [`Shutdown`](Self::Shutdown) so callers
+    /// can tell a drained server from a crashed one.
+    SchedulerDied,
 }
 
 impl fmt::Display for ServeError {
@@ -28,8 +58,17 @@ impl fmt::Display for ServeError {
         match self {
             Self::UnknownModel { name } => write!(f, "unknown model {name:?}"),
             Self::BadRequest { what } => write!(f, "bad request: {what}"),
+            Self::NonFiniteInput { index } => {
+                write!(f, "bad request: non-finite input value at index {index}")
+            }
+            Self::Overloaded { model, max_queue } => {
+                write!(f, "model {model:?} overloaded: queue is at its bound of {max_queue}")
+            }
+            Self::DeadlineExceeded => write!(f, "request deadline exceeded"),
+            Self::Inference { what } => write!(f, "inference failed: {what}"),
             Self::Model(e) => write!(f, "model error: {e}"),
             Self::Shutdown => write!(f, "server is shut down"),
+            Self::SchedulerDied => write!(f, "scheduler thread died without replying"),
         }
     }
 }

@@ -17,6 +17,32 @@
 //! * [`ServeStats`] — per-request latency and per-batch throughput
 //!   counters, exposed as a consistent snapshot.
 //!
+//! ## Robustness
+//!
+//! The runtime is hardened for unattended operation:
+//!
+//! * **Admission control** — each model's queue is bounded by
+//!   [`ServeConfig::max_queue`]; further submissions are shed with
+//!   [`ServeError::Overloaded`] rather than growing memory and latency
+//!   without bound.
+//! * **Input validation** — wrong shapes and NaN/Inf values are rejected
+//!   at [`submit`](ServerHandle::submit) with typed errors
+//!   ([`ServeError::BadRequest`], [`ServeError::NonFiniteInput`]) before
+//!   they can poison a fused batch.
+//! * **Deadlines** —
+//!   [`submit_with_deadline`](ServerHandle::submit_with_deadline) attaches
+//!   a deadline; the scheduler sheds already-expired requests *before*
+//!   spending a forward pass on them, and
+//!   [`Pending::wait_timeout`] bounds the caller's wait.
+//! * **Panic isolation** — a panic inside a fused forward (kernel bug,
+//!   `serve.batch` failpoint) fails only that batch's requests with
+//!   [`ServeError::Inference`]; the scheduler recovers — including from
+//!   poisoned mutexes — and keeps serving, with bitwise-identical results
+//!   for subsequent requests.
+//! * **Observability** — sheds and contained panics are counted
+//!   (`serve.shed_overload`, `serve.shed_deadline`, `serve.batch_panics`)
+//!   in [`Server::metrics`].
+//!
 //! ## Threading model
 //!
 //! One dedicated scheduler thread owns every compiled plan (and its scratch

@@ -1,4 +1,5 @@
-//! The serving scheduler: request queues with dynamic micro-batching.
+//! The serving scheduler: request queues with dynamic micro-batching,
+//! admission control, deadlines, and panic isolation.
 
 use crate::registry::ModelRegistry;
 use crate::stats::{ServeStats, StatsInner};
@@ -6,23 +7,31 @@ use crate::{Result, ServeError};
 use lightts_models::inference::InferencePlan;
 use lightts_obs as obs;
 use std::collections::VecDeque;
-use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::AssertUnwindSafe;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-/// Micro-batching policy.
+/// Micro-batching and admission policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Fuse at most this many requests into one forward pass.
     pub max_batch: usize,
     /// Run a partial batch once its oldest request has waited this long.
     pub max_wait: Duration,
+    /// Admission control: at most this many requests may be queued per
+    /// model; further submissions are shed with
+    /// [`ServeError::Overloaded`] until the queue drains (a 0 is treated
+    /// as 1). Bounding the queue keeps worst-case memory and queueing
+    /// latency finite under overload — shedding early is cheaper than
+    /// answering late.
+    pub max_queue: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { max_batch: 16, max_wait: Duration::from_millis(1) }
+        ServeConfig { max_batch: 16, max_wait: Duration::from_millis(1), max_queue: 1024 }
     }
 }
 
@@ -30,6 +39,10 @@ impl Default for ServeConfig {
 struct Request {
     input: Vec<f32>,
     enqueued: Instant,
+    /// Absolute deadline; the scheduler sheds the request (with
+    /// [`ServeError::DeadlineExceeded`]) instead of running inference for
+    /// it once this has passed.
+    deadline: Option<Instant>,
     tx: mpsc::Sender<Result<Vec<f32>>>,
 }
 
@@ -56,6 +69,17 @@ struct Shared {
     cfg: ServeConfig,
 }
 
+/// Locks the scheduler state, recovering from mutex poisoning.
+///
+/// The queue invariants are simple enough (a `VecDeque` push/drain is
+/// never observable half-done) that a panic elsewhere while the lock was
+/// held cannot leave the state torn — so a poisoned mutex is recovered
+/// with [`PoisonError::into_inner`] rather than cascading the panic into
+/// every submitting thread and the scheduler.
+fn lock_state(shared: &Shared) -> MutexGuard<'_, State> {
+    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 /// A running serving instance.
 ///
 /// Owns the scheduler thread; dropping (or calling
@@ -72,7 +96,8 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
 }
 
-/// An in-flight prediction: redeem with [`wait`](Self::wait).
+/// An in-flight prediction: redeem with [`wait`](Self::wait) or
+/// [`wait_timeout`](Self::wait_timeout).
 ///
 /// Submitting many [`Pending`]s before waiting on any is how a
 /// single-threaded client lets the scheduler form large fused batches.
@@ -83,17 +108,41 @@ pub struct Pending {
 impl Pending {
     /// Blocks until the prediction is available.
     ///
-    /// Returns the class-probability row for the submitted sample.
+    /// Returns the class-probability row for the submitted sample. If the
+    /// reply channel disconnects without an answer — the scheduler thread
+    /// died — this is [`ServeError::SchedulerDied`], *not* a clean
+    /// [`ServeError::Shutdown`] (shutdown drains and answers every
+    /// accepted request).
     pub fn wait(self) -> Result<Vec<f32>> {
-        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+        self.rx.recv().unwrap_or(Err(ServeError::SchedulerDied))
+    }
+
+    /// Blocks for at most `timeout` for the prediction.
+    ///
+    /// [`ServeError::DeadlineExceeded`] if no reply arrived in time (the
+    /// request may still be answered later; the reply is discarded),
+    /// [`ServeError::SchedulerDied`] if the reply channel disconnected.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Vec<f32>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(reply) => reply,
+            Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::SchedulerDied),
+        }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn disconnected() -> Pending {
+        let (_, rx) = mpsc::channel();
+        Pending { rx }
     }
 }
 
 impl Server {
     /// Starts a server over the given registry with the given batching
-    /// policy (a `max_batch` of 0 is treated as 1).
+    /// policy (a `max_batch` or `max_queue` of 0 is treated as 1).
     pub fn start(registry: ModelRegistry, cfg: ServeConfig) -> Server {
-        let cfg = ServeConfig { max_batch: cfg.max_batch.max(1), ..cfg };
+        let cfg =
+            ServeConfig { max_batch: cfg.max_batch.max(1), max_queue: cfg.max_queue.max(1), ..cfg };
         let mut models = Vec::with_capacity(registry.entries.len());
         let mut plans: Vec<InferencePlan> = Vec::with_capacity(registry.entries.len());
         for e in registry.entries {
@@ -138,7 +187,11 @@ impl Server {
     /// `serve.pool_hits`, `serve.pool_misses`), refreshed after every fused
     /// batch — a deployment watches `pool_misses` stay flat to confirm the
     /// hot path is allocation-free and `pool_high_water_bytes` for its
-    /// steady-state scratch footprint.
+    /// steady-state scratch footprint — and the robustness counters
+    /// (`serve.shed_overload`, `serve.shed_deadline`,
+    /// `serve.batch_panics`), which a deployment alerts on: sheds mean
+    /// sustained overload, panics mean a model or kernel bug being
+    /// contained.
     ///
     /// Snapshot it for Prometheus/JSON exposition of the raw
     /// `serve.*` counters, gauges, and histograms:
@@ -157,7 +210,7 @@ impl Server {
 
     fn stop(&mut self) {
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_state(&self.shared);
             st.shutdown = true;
         }
         self.shared.cv.notify_all();
@@ -176,7 +229,37 @@ impl Drop for Server {
 impl ServerHandle {
     /// Enqueues one sample (length `in_dims · in_len` of the named model)
     /// and returns a [`Pending`] redeemable for its probability row.
+    ///
+    /// Admission control happens here: unknown models, wrong shapes, and
+    /// non-finite values are rejected with typed errors before touching
+    /// the queue, and a queue already holding
+    /// [`max_queue`](ServeConfig::max_queue) requests sheds the submission
+    /// with [`ServeError::Overloaded`].
     pub fn submit(&self, model: &str, input: Vec<f32>) -> Result<Pending> {
+        self.submit_inner(model, input, None)
+    }
+
+    /// Like [`submit`](Self::submit), with a relative deadline: if the
+    /// prediction has not *started* computing within `deadline`, the
+    /// scheduler sheds the request and replies
+    /// [`ServeError::DeadlineExceeded`] instead of spending a forward pass
+    /// on an answer nobody is waiting for.
+    pub fn submit_with_deadline(
+        &self,
+        model: &str,
+        input: Vec<f32>,
+        deadline: Duration,
+    ) -> Result<Pending> {
+        let dl = Instant::now() + deadline;
+        self.submit_inner(model, input, Some(dl))
+    }
+
+    fn submit_inner(
+        &self,
+        model: &str,
+        input: Vec<f32>,
+        deadline: Option<Instant>,
+    ) -> Result<Pending> {
         let mi = self
             .shared
             .models
@@ -192,13 +275,24 @@ impl ServerHandle {
                 ),
             });
         }
+        if let Some(index) = input.iter().position(|v| !v.is_finite()) {
+            return Err(ServeError::NonFiniteInput { index });
+        }
         let (tx, rx) = mpsc::channel();
         {
-            let mut st = self.shared.state.lock().unwrap();
+            let mut st = lock_state(&self.shared);
             if st.shutdown {
                 return Err(ServeError::Shutdown);
             }
-            st.queues[mi].push_back(Request { input, enqueued: Instant::now(), tx });
+            if st.queues[mi].len() >= self.shared.cfg.max_queue {
+                drop(st);
+                self.shared.stats.shed_overload();
+                return Err(ServeError::Overloaded {
+                    model: model.to_string(),
+                    max_queue: self.shared.cfg.max_queue,
+                });
+            }
+            st.queues[mi].push_back(Request { input, enqueued: Instant::now(), deadline, tx });
         }
         self.shared.stats.enqueued();
         self.shared.cv.notify_all();
@@ -223,7 +317,7 @@ impl ServerHandle {
 /// down (drain). Returns `None` once shut down with all queues empty.
 fn next_batch(shared: &Shared) -> Option<(usize, Vec<Request>)> {
     let cfg = shared.cfg;
-    let mut st = shared.state.lock().unwrap();
+    let mut st = lock_state(shared);
     loop {
         let now = Instant::now();
         let mut earliest: Option<Instant> = None;
@@ -250,18 +344,43 @@ fn next_batch(shared: &Shared) -> Option<(usize, Vec<Request>)> {
         st = match earliest {
             Some(deadline) => {
                 let wait = deadline.saturating_duration_since(Instant::now());
-                shared.cv.wait_timeout(st, wait).unwrap().0
+                shared.cv.wait_timeout(st, wait).unwrap_or_else(PoisonError::into_inner).0
             }
-            None => shared.cv.wait(st).unwrap(),
+            None => shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner),
         };
     }
 }
 
 /// The scheduler loop: owns every compiled plan and its scratch buffers.
+///
+/// Failure containment happens here. Requests whose deadline has already
+/// passed are shed *before* the forward pass (their compute would be
+/// wasted). The fused forward runs under `catch_unwind`: a panic — from a
+/// kernel bug, a poisoned model, or the `serve.batch` failpoint — fails
+/// only that batch's requests with [`ServeError::Inference`], and the loop
+/// continues, so one bad batch can never strand every other caller's
+/// `Pending` forever.
 fn scheduler(shared: &Shared, mut plans: Vec<InferencePlan>) {
     let mut inputs: Vec<f32> = Vec::new();
     let mut probs: Vec<f32> = Vec::new();
     while let Some((mi, batch)) = next_batch(shared) {
+        // Shed expired requests pre-inference.
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(batch.len());
+        for r in batch {
+            if r.deadline.is_some_and(|d| now >= d) {
+                // Counter before send: a caller whose `wait` just returned
+                // must never read a stale counter.
+                shared.stats.shed_deadline();
+                let _ = r.tx.send(Err(ServeError::DeadlineExceeded));
+            } else {
+                live.push(r);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let batch = live;
         let plan = &mut plans[mi];
         let nc = plan.num_classes();
         inputs.clear();
@@ -269,17 +388,31 @@ fn scheduler(shared: &Shared, mut plans: Vec<InferencePlan>) {
             inputs.extend_from_slice(&r.input);
         }
         let t0 = Instant::now();
-        let result = plan.predict_proba_into(&inputs, batch.len(), &mut probs);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            obs::failpoint::hit("serve.batch").map_err(|what| ServeError::Inference { what })?;
+            plan.predict_proba_into(&inputs, batch.len(), &mut probs).map_err(ServeError::Model)
+        }));
         let service = t0.elapsed();
+        let result = result.unwrap_or_else(|payload| {
+            shared.stats.batch_panic();
+            let what = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("batch forward panicked");
+            Err(ServeError::Inference { what: format!("batch forward panicked: {what}") })
+        });
         match result {
             Ok(()) => {
+                // Counters before sends: a caller whose `wait` just returned
+                // must never read stale stats.
                 let done = Instant::now();
+                shared.stats.record_batch(batch.len(), service);
                 for (bi, r) in batch.iter().enumerate() {
                     let row = probs[bi * nc..(bi + 1) * nc].to_vec();
-                    let _ = r.tx.send(Ok(row));
                     shared.stats.record_latency(done.duration_since(r.enqueued));
+                    let _ = r.tx.send(Ok(row));
                 }
-                shared.stats.record_batch(batch.len(), service);
                 obs::event!("serve.batch", {
                     model: shared.models[mi].name.as_str(),
                     batch: batch.len(),
@@ -288,10 +421,37 @@ fn scheduler(shared: &Shared, mut plans: Vec<InferencePlan>) {
             }
             Err(e) => {
                 for r in &batch {
-                    let _ = r.tx.send(Err(ServeError::Model(e.clone())));
                     shared.stats.record_error();
+                    let _ = r.tx.send(Err(e.clone()));
                 }
+                obs::event!("serve.batch_failed", {
+                    model: shared.models[mi].name.as_str(),
+                    batch: batch.len(),
+                    error: e.to_string(),
+                });
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dropped_reply_channel_is_scheduler_death_not_shutdown() {
+        assert_eq!(Pending::disconnected().wait(), Err(ServeError::SchedulerDied));
+        assert_eq!(
+            Pending::disconnected().wait_timeout(Duration::from_millis(1)),
+            Err(ServeError::SchedulerDied)
+        );
+    }
+
+    #[test]
+    fn wait_timeout_times_out_when_no_reply_arrives() {
+        let (tx, rx) = mpsc::channel();
+        let p = Pending { rx };
+        assert_eq!(p.wait_timeout(Duration::from_millis(5)), Err(ServeError::DeadlineExceeded));
+        drop(tx);
     }
 }

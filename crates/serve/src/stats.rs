@@ -39,6 +39,13 @@ pub(crate) struct StatsInner {
     /// Cumulative tensor-pool misses: steady-state serving must hold this
     /// flat (every miss is a transient heap allocation on the hot path).
     pool_misses: Arc<Gauge>,
+    /// Requests shed at admission because the model's queue was full.
+    shed_overload: Arc<Counter>,
+    /// Requests shed by the scheduler because their deadline had already
+    /// passed when their batch was formed.
+    shed_deadline: Arc<Counter>,
+    /// Fused forwards that panicked and were contained by the scheduler.
+    batch_panics: Arc<Counter>,
 }
 
 impl StatsInner {
@@ -56,6 +63,9 @@ impl StatsInner {
             pool_high_water: registry.gauge("serve.pool_high_water_bytes"),
             pool_hits: registry.gauge("serve.pool_hits"),
             pool_misses: registry.gauge("serve.pool_misses"),
+            shed_overload: registry.counter("serve.shed_overload"),
+            shed_deadline: registry.counter("serve.shed_deadline"),
+            batch_panics: registry.counter("serve.batch_panics"),
             registry,
         }
     }
@@ -104,6 +114,21 @@ impl StatsInner {
         self.errors.inc();
     }
 
+    /// A submission was shed at admission (full queue).
+    pub(crate) fn shed_overload(&self) {
+        self.shed_overload.inc();
+    }
+
+    /// A queued request was shed pre-inference (expired deadline).
+    pub(crate) fn shed_deadline(&self) {
+        self.shed_deadline.inc();
+    }
+
+    /// A fused forward panicked and the scheduler contained it.
+    pub(crate) fn batch_panic(&self) {
+        self.batch_panics.inc();
+    }
+
     pub(crate) fn snapshot(&self) -> ServeStats {
         self.refresh_pool_gauges();
         let latency = self.latency_ns.snapshot();
@@ -114,6 +139,9 @@ impl StatsInner {
             errors: self.errors.get(),
             batches: self.batches.get(),
             max_batch: self.max_batch.get().max(0) as usize,
+            shed_overload: self.shed_overload.get(),
+            shed_deadline: self.shed_deadline.get(),
+            batch_panics: self.batch_panics.get(),
             total_latency: Duration::from_nanos(latency.sum),
             total_service: Duration::from_nanos(service.sum),
             latency_p50: q(0.50),
@@ -140,6 +168,14 @@ pub struct ServeStats {
     pub batches: u64,
     /// Largest batch the scheduler has formed so far.
     pub max_batch: usize,
+    /// Submissions shed at admission with
+    /// [`ServeError::Overloaded`](crate::ServeError::Overloaded).
+    pub shed_overload: u64,
+    /// Queued requests shed pre-inference with
+    /// [`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded).
+    pub shed_deadline: u64,
+    /// Fused forwards that panicked; each failed only its own batch.
+    pub batch_panics: u64,
     /// Σ enqueue→reply latency over all answered requests.
     pub total_latency: Duration,
     /// Σ fused-forward service time over all batches.
@@ -187,11 +223,15 @@ impl std::fmt::Display for ServeStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} requests ({} errors) in {} batches (mean {:.2}, max {}), \
+            "{} requests ({} errors, {} shed overload, {} shed deadline, \
+             {} batch panics) in {} batches (mean {:.2}, max {}), \
              mean latency {:?} (p50 {:?}, p90 {:?}, p99 {:?}), \
              {:.1} req/s service throughput",
             self.requests,
             self.errors,
+            self.shed_overload,
+            self.shed_deadline,
+            self.batch_panics,
             self.batches,
             self.mean_batch_size(),
             self.max_batch,

@@ -71,7 +71,8 @@ fn batched_results_bitwise_equal_single_sample_inference() {
     // formation deterministic once the queue is full; smaller j relies on
     // the deadline path).
     for max_batch in [1usize, 2, 4, 16] {
-        let cfg = ServeConfig { max_batch, max_wait: Duration::from_millis(2) };
+        let cfg =
+            ServeConfig { max_batch, max_wait: Duration::from_millis(2), ..ServeConfig::default() };
         let mut reg = ModelRegistry::new();
         reg.load_packed("student", &model.save_bytes().unwrap()).unwrap();
         let server = Server::start(reg, cfg);
@@ -159,7 +160,8 @@ fn shutdown_drains_accepted_requests_then_rejects() {
     registry.register("student", &model).unwrap();
     // Long max_wait: pending requests would sit for 10s unless shutdown
     // drains them promptly.
-    let cfg = ServeConfig { max_batch: 64, max_wait: Duration::from_secs(10) };
+    let cfg =
+        ServeConfig { max_batch: 64, max_wait: Duration::from_secs(10), ..ServeConfig::default() };
     let server = Server::start(registry, cfg);
     let handle = server.handle();
     let pendings: Vec<Pending> =
@@ -192,6 +194,97 @@ fn stats_track_latency_and_throughput() {
     assert!(stats.total_service > Duration::ZERO);
     assert!(stats.service_throughput() > 0.0);
     server.shutdown();
+}
+
+#[test]
+fn rejects_non_finite_inputs_with_typed_error() {
+    let model = build_model(81, 3, 8);
+    let mut registry = ModelRegistry::new();
+    registry.register("student", &model).unwrap();
+    let server = Server::start(registry, ServeConfig::default());
+    let handle = server.handle();
+    let mut bad = sample(0);
+    bad[7] = f32::NAN;
+    assert_eq!(handle.predict("student", bad), Err(ServeError::NonFiniteInput { index: 7 }));
+    let mut bad = sample(0);
+    bad[3] = f32::INFINITY;
+    assert_eq!(handle.predict("student", bad), Err(ServeError::NonFiniteInput { index: 3 }));
+    // Valid requests still succeed afterwards.
+    assert_eq!(handle.predict("student", sample(0)).unwrap().len(), 3);
+    server.shutdown();
+}
+
+#[test]
+fn overload_sheds_with_typed_error_and_counter() {
+    let model = build_model(82, 3, 8);
+    let mut registry = ModelRegistry::new();
+    registry.register("student", &model).unwrap();
+    // max_batch larger than max_queue and a long max_wait: nothing drains
+    // until the queue fills, so the admission bound is exercised exactly.
+    let cfg = ServeConfig { max_batch: 1024, max_wait: Duration::from_secs(10), max_queue: 3 };
+    let server = Server::start(registry, cfg);
+    let handle = server.handle();
+    let accepted: Vec<Pending> =
+        (0..3).map(|i| handle.submit("student", sample(i)).unwrap()).collect();
+    let shed = handle.submit("student", sample(3));
+    assert_eq!(shed.err(), Some(ServeError::Overloaded { model: "student".into(), max_queue: 3 }));
+    let stats = handle.stats();
+    assert_eq!(stats.shed_overload, 1);
+    // The accepted requests are still answered (shutdown drains).
+    server.shutdown();
+    for p in accepted {
+        assert!(p.wait().is_ok());
+    }
+}
+
+#[test]
+fn expired_deadlines_are_shed_before_inference() {
+    let model = build_model(83, 3, 8);
+    let mut registry = ModelRegistry::new();
+    registry.register("student", &model).unwrap();
+    // max_wait far beyond the deadline: by the time the scheduler forms
+    // the batch (after max_wait), every deadline has long expired.
+    let cfg = ServeConfig { max_batch: 64, max_wait: Duration::from_millis(50), max_queue: 64 };
+    let server = Server::start(registry, cfg);
+    let handle = server.handle();
+    let pendings: Vec<Pending> = (0..4)
+        .map(|i| {
+            handle.submit_with_deadline("student", sample(i), Duration::from_millis(1)).unwrap()
+        })
+        .collect();
+    for p in pendings {
+        assert_eq!(p.wait(), Err(ServeError::DeadlineExceeded));
+    }
+    let stats = handle.stats();
+    assert_eq!(stats.shed_deadline, 4);
+    assert_eq!(stats.requests, 0, "shed requests must not run inference");
+    // A generous deadline still gets an answer.
+    let ok =
+        handle.submit_with_deadline("student", sample(0), Duration::from_secs(30)).unwrap().wait();
+    assert!(ok.is_ok());
+    server.shutdown();
+}
+
+#[test]
+fn robustness_counters_appear_in_metrics_exposition() {
+    let model = build_model(84, 3, 8);
+    let mut registry = ModelRegistry::new();
+    registry.register("student", &model).unwrap();
+    let cfg = ServeConfig { max_batch: 1024, max_wait: Duration::from_secs(10), max_queue: 1 };
+    let server = Server::start(registry, cfg);
+    let handle = server.handle();
+    let held = handle.submit("student", sample(0)).unwrap();
+    assert!(handle.submit("student", sample(1)).is_err()); // shed: queue full
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.counter("serve.shed_overload"), Some(1));
+    assert_eq!(snap.counter("serve.shed_deadline"), Some(0));
+    assert_eq!(snap.counter("serve.batch_panics"), Some(0));
+    let prom = snap.render_prometheus();
+    for name in ["serve_shed_overload", "serve_shed_deadline", "serve_batch_panics"] {
+        assert!(prom.contains(name), "{name} missing from Prometheus exposition:\n{prom}");
+    }
+    server.shutdown();
+    assert!(held.wait().is_ok());
 }
 
 #[test]

@@ -14,6 +14,21 @@ pub fn seeded(seed: u64) -> StdRng {
     StdRng::seed_from_u64(seed)
 }
 
+/// Captures a generator's full internal state (its stream position).
+///
+/// Checkpointed loops save this next to their weights so a resumed run
+/// draws the exact random sequence the uninterrupted run would have —
+/// see [`rng_from_state`].
+pub fn rng_state(rng: &StdRng) -> [u64; 4] {
+    rng.state()
+}
+
+/// Rebuilds a generator at the exact stream position captured by
+/// [`rng_state`].
+pub fn rng_from_state(s: [u64; 4]) -> StdRng {
+    StdRng::from_state(s)
+}
+
 /// Derives a child seed from a parent seed and a stream index.
 ///
 /// Uses SplitMix64 finalization so nearby `(seed, stream)` pairs produce

@@ -1,0 +1,360 @@
+//! Chaos suite: deterministic fault injection across the stack.
+//!
+//! These tests arm `lightts_obs::failpoint`s — the same hooks
+//! `LIGHTTS_FAILPOINTS` drives from the environment — to prove the
+//! robustness contracts of this PR end to end:
+//!
+//! * a panic inside one serve batch fails only that batch, and requests
+//!   after it get **bitwise identical** answers to requests before it;
+//! * a distillation run killed at any epoch resumes from its checkpoint to
+//!   the exact (every f32 bit) weights of an uninterrupted run;
+//! * a MOBO search killed at any trial resumes to the exact trial sequence
+//!   and frontier of an uninterrupted run;
+//! * admission control never accepts more than `max_queue` requests, and
+//!   everything it does accept is answered (property-based);
+//! * a failed checkpoint write surfaces as a typed error, not a corrupt
+//!   file.
+//!
+//! Failpoints are process-global, so every test that arms them (or that
+//! must not trip over someone else's arming) takes [`CHAOS_LOCK`].
+
+use lightts_distill::checkpoint::train_student_checkpointed;
+use lightts_distill::trainer::{train_student, StudentTrainOpts};
+use lightts_distill::DistillError;
+use lightts_models::inception::{BlockSpec, InceptionConfig, InceptionTime};
+use lightts_models::Classifier;
+use lightts_obs::failpoint;
+use lightts_search::mobo::{run_mobo, run_mobo_resumable, MoboConfig, MoboOutcome, SpaceRepr};
+use lightts_search::space::SearchSpace;
+use lightts_search::SearchError;
+use lightts_serve::{ModelRegistry, ServeConfig, ServeError, Server};
+use lightts_tensor::rng::seeded;
+use lightts_tensor::Tensor;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Serializes every test in this binary: failpoints are process-global.
+static CHAOS_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    CHAOS_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn tmp(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("lightts-chaos-{}-{name}", std::process::id()))
+}
+
+// ---------------------------------------------------------------- serving --
+
+const IN_DIMS: usize = 2;
+const IN_LEN: usize = 16;
+
+/// A small quantized student with hand-set BN statistics (no training).
+fn build_model(seed: u64, classes: usize) -> InceptionTime {
+    let cfg = InceptionConfig {
+        blocks: vec![
+            BlockSpec { layers: 2, filter_len: 8, bits: 8 },
+            BlockSpec { layers: 2, filter_len: 4, bits: 4 },
+        ],
+        filters: 3,
+        in_dims: IN_DIMS,
+        in_len: IN_LEN,
+        num_classes: classes,
+    };
+    let mut rng = seeded(seed);
+    let mut model = InceptionTime::new(cfg, &mut rng).unwrap();
+    for (i, c) in model.bn_channel_counts().iter().enumerate() {
+        let mean: Vec<f32> = (0..*c).map(|j| 0.04 * j as f32 - 0.08).collect();
+        let var: Vec<f32> = (0..*c).map(|j| 0.6 + 0.02 * j as f32).collect();
+        model.set_bn_running_stats(i, &mean, &var).unwrap();
+    }
+    model
+}
+
+/// Deterministic pseudo-random sample `i` (integer arithmetic only).
+fn sample(i: usize) -> Vec<f32> {
+    (0..IN_DIMS * IN_LEN)
+        .map(|j| {
+            let h = (i as u64 * 1_000_003 + j as u64).wrapping_mul(2_654_435_761) % 2000;
+            h as f32 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+fn reference_row(model: &InceptionTime, s: &[f32]) -> Vec<f32> {
+    let x = Tensor::from_vec(s.to_vec(), &[1, IN_DIMS, IN_LEN]).unwrap();
+    model.predict_proba(&x).unwrap().into_vec()
+}
+
+/// A panic in one batch's forward pass must fail only that batch: the
+/// scheduler survives, and every batch served *after* the panic returns
+/// rows bitwise identical to the rows served *before* it.
+#[test]
+fn batch_panic_fails_one_batch_and_later_answers_stay_bit_identical() {
+    let _g = lock();
+    let model = build_model(71, 4);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("student", &model.save_bytes().unwrap()).unwrap();
+    let reference = InceptionTime::load_bytes(&model.save_bytes().unwrap()).unwrap();
+
+    // max_batch = group size and a long max_wait: each group of 4 requests,
+    // submitted together, forms exactly one batch — so "the second batch"
+    // is a deterministic notion and panic@2 targets group 2 alone.
+    let cfg =
+        ServeConfig { max_batch: 4, max_wait: Duration::from_secs(5), ..ServeConfig::default() };
+    let server = Server::start(registry, cfg);
+    let handle = server.handle();
+
+    failpoint::set_failpoints("serve.batch=panic@2").unwrap();
+    let run_group = |g: usize| -> Vec<Result<Vec<f32>, ServeError>> {
+        let pendings: Vec<_> =
+            (0..4).map(|i| handle.submit("student", sample(g * 4 + i)).unwrap()).collect();
+        pendings.into_iter().map(|p| p.wait()).collect()
+    };
+
+    // Group 0: before the fault — correct, bit-exact rows.
+    for (i, r) in run_group(0).into_iter().enumerate() {
+        assert_eq!(r.unwrap(), reference_row(&reference, &sample(i)));
+    }
+    // Group 1: the panicking batch — every request in it fails typed, none
+    // hangs.
+    for r in run_group(1) {
+        match r {
+            Err(ServeError::Inference { what }) => {
+                assert!(what.contains("panicked"), "unexpected message: {what}")
+            }
+            other => panic!("expected Inference error, got {other:?}"),
+        }
+    }
+    // Group 2: after the fault — the scheduler is alive and still
+    // bit-exact.
+    for (i, r) in run_group(2).into_iter().enumerate() {
+        assert_eq!(r.unwrap(), reference_row(&reference, &sample(8 + i)));
+    }
+    failpoint::clear_failpoints();
+
+    server.shutdown(); // joins cleanly: the scheduler thread never died
+    let stats = handle.stats(); // read after the join — counters are final
+    assert_eq!(stats.batch_panics, 1, "exactly the armed batch panicked");
+    assert_eq!(stats.requests, 8, "panicked batch answered errors, not rows");
+}
+
+// ------------------------------------------------------ distill: kill+resume
+
+fn distill_data(seed: u64) -> lightts_data::LabeledDataset {
+    use lightts_data::synth::{Generator, SynthConfig};
+    let gen = Generator::new(
+        SynthConfig { classes: 2, dims: 1, length: 24, difficulty: 0.15, waveforms: 3 },
+        seed,
+    );
+    gen.split("chaos-distill", 24, seed + 1).unwrap()
+}
+
+fn oracle_probs(ds: &lightts_data::LabeledDataset, sharp: f32) -> Tensor {
+    let k = ds.num_classes();
+    let mut t = Tensor::full(&[ds.len(), k], (1.0 - sharp) / (k as f32 - 1.0));
+    for (i, &l) in ds.labels().iter().enumerate() {
+        t.set(&[i, l], sharp).unwrap();
+    }
+    t
+}
+
+fn weight_bits(m: &InceptionTime) -> Vec<u32> {
+    m.store().iter().flat_map(|(_, p)| p.value.data().iter().map(|v| v.to_bits())).collect()
+}
+
+/// Kill a checkpointed distillation at several different epochs via the
+/// `trainer.epoch` failpoint; the resumed run must produce weights
+/// bit-identical to an uninterrupted `train_student` oracle.
+#[test]
+fn distill_killed_at_any_epoch_resumes_bit_identically() {
+    let _g = lock();
+    let train = distill_data(301);
+    let q = oracle_probs(&train, 0.9);
+    let opts = StudentTrainOpts { epochs: 5, batch_size: 12, ..Default::default() };
+    let cfg = InceptionConfig {
+        blocks: vec![BlockSpec { layers: 2, filter_len: 8, bits: 8 }; 2],
+        filters: 4,
+        in_dims: 1,
+        in_len: 24,
+        num_classes: 2,
+    };
+    let oracle = train_student(&cfg, &train, std::slice::from_ref(&q), &[1.0], &opts).unwrap();
+    let oracle_bits = weight_bits(&oracle);
+
+    // Kill at the first epoch (nothing checkpointed yet), mid-run, and at
+    // the last epoch (everything but the final snapshot done).
+    for kill_at in [1usize, 3, 5] {
+        let path = tmp(&format!("distill-kill{kill_at}.ckpt"));
+        let _ = std::fs::remove_file(&path);
+        failpoint::set_failpoints(&format!("trainer.epoch=err@{kill_at}")).unwrap();
+        let err = train_student_checkpointed(
+            &cfg,
+            &train,
+            std::slice::from_ref(&q),
+            &[1.0],
+            &opts,
+            &path,
+        )
+        .unwrap_err();
+        assert!(matches!(err, DistillError::Fault { .. }), "kill@{kill_at}: {err}");
+        failpoint::clear_failpoints();
+
+        let resumed = train_student_checkpointed(
+            &cfg,
+            &train,
+            std::slice::from_ref(&q),
+            &[1.0],
+            &opts,
+            &path,
+        )
+        .unwrap();
+        assert_eq!(
+            weight_bits(&resumed),
+            oracle_bits,
+            "kill@{kill_at}: resumed weights drifted from the uninterrupted run"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    // The checkpoint counters moved: kills + resumes are visible in the
+    // global registry, so long runs expose their crash-safety machinery.
+    let snap = lightts_obs::global().snapshot();
+    assert!(snap.counter("checkpoint.writes").unwrap_or(0) >= 5);
+    assert!(snap.counter("checkpoint.resumes").unwrap_or(0) >= 2);
+}
+
+/// A checkpoint write that fails (the `checkpoint.write` failpoint stands
+/// in for a full disk) surfaces as a typed error — and never leaves a
+/// half-written file where the checkpoint belongs.
+#[test]
+fn failed_checkpoint_write_is_a_typed_error_and_leaves_no_file() {
+    let _g = lock();
+    let train = distill_data(302);
+    let q = oracle_probs(&train, 0.9);
+    let opts = StudentTrainOpts { epochs: 1, batch_size: 12, ..Default::default() };
+    let cfg = InceptionConfig {
+        blocks: vec![BlockSpec { layers: 2, filter_len: 8, bits: 8 }; 2],
+        filters: 4,
+        in_dims: 1,
+        in_len: 24,
+        num_classes: 2,
+    };
+    let path = tmp("distill-badwrite.ckpt");
+    let _ = std::fs::remove_file(&path);
+    failpoint::set_failpoints("checkpoint.write=err@1").unwrap();
+    let err = train_student_checkpointed(&cfg, &train, &[q], &[1.0], &opts, &path).unwrap_err();
+    failpoint::clear_failpoints();
+    assert!(matches!(err, DistillError::Checkpoint { .. }), "{err}");
+    assert!(!path.exists(), "failed write must not leave a checkpoint behind");
+}
+
+// --------------------------------------------------------- MOBO: kill+resume
+
+/// Order- and bit-sensitive digest of a MOBO run: every trial's setting,
+/// accuracy (exact bits), and size.
+fn mobo_fingerprint(out: &MoboOutcome) -> Vec<(String, u64, u64)> {
+    out.evaluated
+        .iter()
+        .map(|e| (format!("{:?}", e.setting), e.accuracy.to_bits(), e.size_bits))
+        .collect()
+}
+
+/// Kill a resumable MOBO search at several trials via the `mobo.trial`
+/// failpoint; each resumed run must reproduce the uninterrupted run's
+/// trial sequence and frontier exactly.
+#[test]
+fn mobo_killed_at_any_trial_resumes_bit_identically() {
+    let _g = lock();
+    let space = SearchSpace::paper_default(1, 24, 3, 4);
+    let cfg = MoboConfig {
+        q: 9,
+        p_init: 3,
+        candidates: 24,
+        repr: SpaceRepr::Normalized,
+        seed: 0xC4A05,
+        ..MoboConfig::default()
+    };
+    let oracle =
+        |st: &lightts_search::space::StudentSetting| Ok(1.0 / (1.0 + space.size_bits(st) as f64));
+    let plain = run_mobo(&space, oracle, &cfg).unwrap();
+    let want = mobo_fingerprint(&plain);
+    let want_frontier: Vec<_> =
+        plain.frontier.iter().map(|e| (e.accuracy.to_bits(), e.size_bits)).collect();
+
+    // Kill inside random init (trial 2), at the init/BO boundary (4), and
+    // deep into the BO loop (8).
+    for kill_at in [2usize, 4, 8] {
+        let path = tmp(&format!("mobo-kill{kill_at}.ckpt"));
+        let _ = std::fs::remove_file(&path);
+        failpoint::set_failpoints(&format!("mobo.trial=err@{kill_at}")).unwrap();
+        let err = run_mobo_resumable(&space, oracle, &cfg, &path).unwrap_err();
+        assert!(matches!(err, SearchError::Fault { .. }), "kill@{kill_at}: {err}");
+        failpoint::clear_failpoints();
+
+        let resumed = run_mobo_resumable(&space, oracle, &cfg, &path).unwrap();
+        assert_eq!(
+            mobo_fingerprint(&resumed),
+            want,
+            "kill@{kill_at}: resumed trial sequence drifted"
+        );
+        let got_frontier: Vec<_> =
+            resumed.frontier.iter().map(|e| (e.accuracy.to_bits(), e.size_bits)).collect();
+        assert_eq!(got_frontier, want_frontier, "kill@{kill_at}: frontier drifted");
+        std::fs::remove_file(&path).unwrap();
+    }
+}
+
+// ------------------------------------------------- admission control (prop) --
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Admission control invariant: with the scheduler parked (huge batch,
+    /// long wait), exactly `min(n, max_queue)` submissions are accepted,
+    /// the rest are shed with a typed `Overloaded`, and every accepted
+    /// request is eventually answered.
+    #[test]
+    fn admission_never_exceeds_queue_bound(n in 1usize..12, max_queue in 1usize..6) {
+        let _g = lock(); // a stray armed failpoint would poison the batches
+        let model = build_model(72, 3);
+        let mut registry = ModelRegistry::new();
+        registry.load_packed("m", &model.save_bytes().unwrap()).unwrap();
+        // The queue only fills if the scheduler is not draining it: an
+        // unreachable max_batch and a long max_wait park it until
+        // shutdown.
+        let cfg = ServeConfig {
+            max_batch: 10_000,
+            max_wait: Duration::from_secs(10),
+            max_queue,
+        };
+        let server = Server::start(registry, cfg);
+        let handle = server.handle();
+
+        let mut accepted = Vec::new();
+        let mut shed = 0usize;
+        for i in 0..n {
+            match handle.submit("m", sample(i)) {
+                Ok(p) => accepted.push(p),
+                Err(ServeError::Overloaded { max_queue: mq, .. }) => {
+                    prop_assert_eq!(mq, max_queue);
+                    shed += 1;
+                }
+                Err(other) => return Err(TestCaseError::Fail(format!("unexpected: {other:?}"))),
+            }
+        }
+        prop_assert_eq!(accepted.len(), n.min(max_queue));
+        prop_assert_eq!(shed, n.saturating_sub(max_queue));
+        prop_assert_eq!(handle.stats().shed_overload, shed as u64);
+
+        server.shutdown(); // drain: the parked batch runs now
+        let mut answered = 0usize;
+        for p in accepted {
+            prop_assert_eq!(p.wait().unwrap().len(), 3);
+            answered += 1;
+        }
+        prop_assert_eq!(answered, n.min(max_queue));
+    }
+}
