@@ -1,11 +1,19 @@
-//! `bench_kernels`: direct vs GEMM-lowered conv1d kernels, single-threaded.
+//! `bench_kernels`: direct vs GEMM-lowered conv1d kernels plus SIMD
+//! backend comparisons, single-threaded.
 //!
-//! This is the acceptance benchmark for the im2col lowering: at the
-//! InceptionTime-sized shapes `b=16, cin=32, cout=32, l=128, k ∈ {9,19,39}`
-//! the lowered forward and backward-weight kernels must be ≥ 1.5× faster
-//! than the direct oracle on one thread. Results (plus the backward-input
-//! pass, measured for completeness) are merged into `BENCH_kernels.json` at
-//! the repository root; the speedup summary is printed at the end.
+//! Two acceptance measurements live here:
+//!
+//! * the im2col lowering: at the InceptionTime-sized shapes `b=16, cin=32,
+//!   cout=32, l=128, k ∈ {9,19,39}` the lowered forward and backward-weight
+//!   kernels must be ≥ 1.5× faster than the direct oracle on one thread;
+//! * the SIMD backends: the `gemm_panel` tile and the `vec_exp`
+//!   transcendental must be ≥ 2× faster under the native vector backend
+//!   (AVX2+FMA where available) than under the forced scalar oracle.
+//!
+//! Results (plus the backward-input pass, measured for completeness) are
+//! merged into `BENCH_kernels.json` at the repository root — SIMD rows
+//! carry the backend in both the bench name and the record's `backend`
+//! field — and the speedup summaries are printed at the end.
 //!
 //! Set `LIGHTTS_BENCH_SMOKE=1` (as CI does) to shrink warm-up and
 //! measurement windows to a compile-rot check rather than a measurement.
@@ -17,6 +25,7 @@ use lightts_tensor::conv::{
     conv1d_backward_weight_lowered, conv1d_forward_direct, conv1d_forward_lowered,
 };
 use lightts_tensor::rng::seeded;
+use lightts_tensor::simd::{cpu_supports, gemm_block4_with, vec_exp_with, SimdBackend};
 use lightts_tensor::Tensor;
 use std::hint::black_box;
 use std::time::Duration;
@@ -26,6 +35,25 @@ const CIN: usize = 32;
 const COUT: usize = 32;
 const L: usize = 128;
 const KS: [usize; 3] = [9, 19, 39];
+
+/// GEMM panel shape for the SIMD comparison: one 4-row tile over a
+/// `k=256, n=256` panel (the `K_BLOCK`-sized worst case the blocked matmul
+/// feeds the kernel).
+const GEMM_K: usize = 256;
+const GEMM_N: usize = 256;
+/// Elements per `vec_exp` call — one softmax-sized activation slab.
+const EXP_N: usize = 4096;
+
+/// The best backend this host supports (what auto-detection would pick).
+fn native_backend() -> SimdBackend {
+    if cpu_supports(SimdBackend::Avx2) {
+        SimdBackend::Avx2
+    } else if cpu_supports(SimdBackend::Sse2) {
+        SimdBackend::Sse2
+    } else {
+        SimdBackend::Scalar
+    }
+}
 
 fn config() -> Criterion {
     let smoke = std::env::var_os("LIGHTTS_BENCH_SMOKE").is_some();
@@ -69,32 +97,116 @@ fn bench_kernels(c: &mut Criterion) {
     lightts_tensor::par::set_num_threads(0);
 }
 
+fn bench_simd(c: &mut Criterion) {
+    let mut rng = seeded(29);
+    let backends: &[SimdBackend] = if native_backend() == SimdBackend::Scalar {
+        &[SimdBackend::Scalar]
+    } else {
+        &[SimdBackend::Scalar, SimdBackend::Sse2, SimdBackend::Avx2]
+    };
+    let mut g = c.benchmark_group("simd");
+
+    let a = Tensor::randn(&mut rng, &[4, GEMM_K], 1.0);
+    let bmat = Tensor::randn(&mut rng, &[GEMM_K, GEMM_N], 1.0);
+    let xs = Tensor::randn(&mut rng, &[EXP_N], 1.0);
+    let mut c_rows = vec![vec![0.0f32; GEMM_N]; 4];
+    let mut buf = vec![0.0f32; EXP_N];
+
+    for &bk in backends {
+        let ad = a.data();
+        let (a0, a1, a2, a3) = (
+            &ad[..GEMM_K],
+            &ad[GEMM_K..2 * GEMM_K],
+            &ad[2 * GEMM_K..3 * GEMM_K],
+            &ad[3 * GEMM_K..],
+        );
+        g.bench_function(BenchmarkId::new("gemm_panel", bk.name()), |bch| {
+            bch.iter(|| {
+                for row in c_rows.iter_mut() {
+                    row.fill(0.0);
+                }
+                let (c0, rest) = c_rows.split_at_mut(1);
+                let (c1, rest) = rest.split_at_mut(1);
+                let (c2, c3) = rest.split_at_mut(1);
+                gemm_block4_with(
+                    bk,
+                    &mut c0[0],
+                    &mut c1[0],
+                    &mut c2[0],
+                    &mut c3[0],
+                    a0,
+                    a1,
+                    a2,
+                    a3,
+                    bmat.data(),
+                    GEMM_K,
+                    GEMM_N,
+                );
+                black_box(c_rows[0][0]);
+            })
+        });
+        // vec_exp is branch-free straight-line code (clamp + fixed
+        // polynomial), so its timing is value-independent: exp-ing the
+        // buffer in place repeatedly (values saturate after a few
+        // iterations) measures the kernel without a memcpy in the loop.
+        buf.copy_from_slice(xs.data());
+        g.bench_function(BenchmarkId::new("vec_exp", bk.name()), |bch| {
+            bch.iter(|| {
+                vec_exp_with(bk, &mut buf);
+                black_box(buf[0]);
+            })
+        });
+    }
+    g.finish();
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_kernels
+    targets = bench_kernels, bench_simd
 }
 
 fn main() {
     benches();
 
     let scale = perf::current_scale();
+    let native = lightts_tensor::simd::backend().name().to_string();
     let measurements = criterion::take_measurements();
     let records: Vec<KernelRecord> = measurements
         .iter()
         .map(|m| {
-            // "kernels/forward_direct/k9" → op "conv1d_forward_direct",
-            // shape "b16_cin32_cout32_l128_k9".
             let mut parts = m.name.splitn(3, '/');
-            let _group = parts.next().unwrap_or_default();
+            let group = parts.next().unwrap_or_default();
             let op = parts.next().unwrap_or("unknown");
-            let kpart = parts.next().unwrap_or("k0");
-            KernelRecord {
-                op: format!("conv1d_{op}"),
-                shape: format!("b{B}_cin{CIN}_cout{COUT}_l{L}_{kpart}"),
-                median_ns: m.median_ns,
-                threads: 1,
-                scale: scale.to_string(),
+            let tail = parts.next().unwrap_or_default();
+            if group == "simd" {
+                // "simd/gemm_panel/avx2" → op "simd_gemm_panel",
+                // backend from the bench id.
+                let shape = if op == "gemm_panel" {
+                    format!("rows4_k{GEMM_K}_n{GEMM_N}")
+                } else {
+                    format!("n{EXP_N}")
+                };
+                KernelRecord {
+                    op: format!("simd_{op}"),
+                    shape,
+                    median_ns: m.median_ns,
+                    threads: 1,
+                    scale: scale.to_string(),
+                    backend: tail.to_string(),
+                }
+            } else {
+                // "kernels/forward_direct/k9" → op "conv1d_forward_direct",
+                // shape "b16_cin32_cout32_l128_k9"; these run under the
+                // process-default (native) backend.
+                KernelRecord {
+                    op: format!("conv1d_{op}"),
+                    shape: format!("b{B}_cin{CIN}_cout{COUT}_l{L}_{tail}"),
+                    median_ns: m.median_ns,
+                    threads: 1,
+                    scale: scale.to_string(),
+                    backend: native.clone(),
+                }
             }
         })
         .collect();
@@ -113,6 +225,21 @@ fn main() {
                 (median(&format!("{pass}_direct"), k), median(&format!("{pass}_lowered"), k))
             {
                 println!("  {pass:<11} k={k:<3} {:>6.2}x", d / l);
+            }
+        }
+    }
+
+    // SIMD backend summary: scalar baseline vs each vector backend.
+    let simd_median = |op: &str, bk: &str| {
+        measurements.iter().find(|m| m.name == format!("simd/{op}/{bk}")).map(|m| m.median_ns)
+    };
+    println!("\nSIMD speedups vs scalar (native backend: {native}):");
+    for op in ["gemm_panel", "vec_exp"] {
+        if let Some(s) = simd_median(op, "scalar") {
+            for bk in ["sse2", "avx2"] {
+                if let Some(v) = simd_median(op, bk) {
+                    println!("  {op:<10} {bk:<6} {:>6.2}x", s / v);
+                }
             }
         }
     }

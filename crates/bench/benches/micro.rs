@@ -234,6 +234,7 @@ fn main() {
                 median_ns: m.median_ns,
                 threads,
                 scale: scale.to_string(),
+                backend: lightts_tensor::simd::backend().name().to_string(),
             }
         })
         .collect();

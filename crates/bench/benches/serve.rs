@@ -123,6 +123,7 @@ fn main() {
             median_ns: m.median_ns,
             threads: 0,
             scale: scale.to_string(),
+            backend: lightts_tensor::simd::backend().name().to_string(),
         })
         .collect();
     if !records.is_empty() {

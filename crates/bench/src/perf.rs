@@ -4,10 +4,11 @@
 //! the bench mains (`benches/kernels.rs`, `benches/micro.rs`,
 //! `benches/serve.rs`) drain those and call [`write_records`] to merge them
 //! into one JSON array at the repository root. Each record carries
-//! `(op, shape, median_ns, threads, scale)`; merging is keyed on everything
-//! but `median_ns`, so re-running a bench updates its timing in place while
-//! other benches' rows survive. CI uploads the file as an artifact, which is
-//! how the ≥1.5× lowered-vs-direct conv acceptance number is recorded.
+//! `(op, shape, median_ns, threads, scale, backend)`; merging is keyed on
+//! everything but `median_ns`, so re-running a bench updates its timing in
+//! place while other benches' rows survive. CI uploads the file as an
+//! artifact, which is how the ≥1.5× lowered-vs-direct conv and the ≥2×
+//! AVX2-vs-scalar SIMD acceptance numbers are recorded.
 
 use criterion::Measurement;
 use lightts_obs::jsonl::{parse, Json};
@@ -27,10 +28,15 @@ pub struct KernelRecord {
     pub threads: usize,
     /// Measurement scale: `smoke` (CI compile-rot check) or `full`.
     pub scale: String,
+    /// SIMD backend the kernel ran on (`scalar` / `sse2` / `avx2`; see
+    /// `lightts_tensor::simd`). Rows written before the field existed read
+    /// back as `unspecified`.
+    pub backend: String,
 }
 
 impl KernelRecord {
-    /// Builds a record from a drained criterion [`Measurement`].
+    /// Builds a record from a drained criterion [`Measurement`], stamped
+    /// with the currently active SIMD backend.
     pub fn from_measurement(m: &Measurement, shape: &str, threads: usize, scale: &str) -> Self {
         KernelRecord {
             op: m.name.clone(),
@@ -38,21 +44,29 @@ impl KernelRecord {
             median_ns: m.median_ns,
             threads,
             scale: scale.to_string(),
+            backend: lightts_tensor::simd::backend().name().to_string(),
         }
     }
 
-    fn key(&self) -> (String, String, usize, String) {
-        (self.op.clone(), self.shape.clone(), self.threads, self.scale.clone())
+    fn key(&self) -> (String, String, usize, String, String) {
+        (
+            self.op.clone(),
+            self.shape.clone(),
+            self.threads,
+            self.scale.clone(),
+            self.backend.clone(),
+        )
     }
 
     fn to_json_line(&self) -> String {
         format!(
-            "{{\"op\":{},\"shape\":{},\"median_ns\":{:.1},\"threads\":{},\"scale\":{}}}",
+            "{{\"op\":{},\"shape\":{},\"median_ns\":{:.1},\"threads\":{},\"scale\":{},\"backend\":{}}}",
             escape(&self.op),
             escape(&self.shape),
             self.median_ns,
             self.threads,
-            escape(&self.scale)
+            escape(&self.scale),
+            escape(&self.backend)
         )
     }
 }
@@ -96,6 +110,7 @@ fn record_from_json(v: &Json) -> Option<KernelRecord> {
         median_ns: o.get("median_ns")?.as_num()?,
         threads: o.get("threads")?.as_num()? as usize,
         scale: o.get("scale")?.as_str()?.to_string(),
+        backend: o.get("backend").and_then(Json::as_str).unwrap_or("unspecified").to_string(),
     })
 }
 
@@ -146,6 +161,7 @@ mod tests {
             median_ns: median,
             threads: 1,
             scale: "smoke".into(),
+            backend: "scalar".into(),
         }
     }
 
@@ -196,9 +212,25 @@ mod tests {
             median_ns: 1.0,
             threads: 0,
             scale: "full".into(),
+            backend: "avx2".into(),
         };
         let line = r.to_json_line();
         let parsed = parse(&line).unwrap();
         assert_eq!(parsed.as_obj().unwrap()["op"].as_str().unwrap(), "weird\"op\\name");
+        assert_eq!(parsed.as_obj().unwrap()["backend"].as_str().unwrap(), "avx2");
+    }
+
+    #[test]
+    fn rows_without_backend_field_read_back_as_unspecified() {
+        let p = temp_path("compat");
+        std::fs::write(
+            &p,
+            "[\n  {\"op\":\"a\",\"shape\":\"s\",\"median_ns\":1.0,\"threads\":1,\"scale\":\"full\"}\n]\n",
+        )
+        .unwrap();
+        let back = read_records(&p);
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].backend, "unspecified");
+        std::fs::remove_file(&p).unwrap();
     }
 }

@@ -19,5 +19,19 @@
 //! fully serial kernels. Either way results are bitwise identical: parallel
 //! kernels only split work along disjoint output rows and reduce in fixed
 //! chunk order, never reassociating arithmetic across threads.
+//!
+//! The same kernels also dispatch onto a SIMD backend (AVX2+FMA, SSE2, or
+//! a scalar oracle), resolved once per process:
+//! 1. [`set_simd_backend`] — explicit override, clamped to CPU support;
+//! 2. the `LIGHTTS_SIMD` environment variable (`avx2`/`sse2`/`scalar`);
+//! 3. runtime CPU feature detection.
+//!
+//! Unlike the thread count, the backend *can* change result bits — but only
+//! for the FMA-fused GEMM/convolution family, only between AVX2 and the
+//! scalar/SSE2 pair, and deterministically per backend. The full contract
+//! is in `docs/NUMERICS.md`.
 
 pub use lightts_tensor::par::{num_threads, set_num_threads};
+pub use lightts_tensor::simd::{
+    backend as simd_backend, cpu_supports, set_simd_backend, SimdBackend,
+};

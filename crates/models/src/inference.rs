@@ -28,7 +28,7 @@
 use crate::{ModelError, Result};
 use lightts_obs::Histogram;
 use lightts_tensor::conv::conv1d_forward_into;
-use lightts_tensor::{linalg, pool, Tensor};
+use lightts_tensor::{linalg, pool, simd, Tensor};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -269,8 +269,10 @@ impl InferencePlan {
     ///
     /// Bitwise identical to
     /// [`predict_proba`](crate::Classifier::predict_proba) on the same rows:
-    /// the stabilized `exp(x − logsumexp)` per row matches
-    /// `Tensor::softmax_rows` element for element.
+    /// both reduce to the one canonical softmax of the workspace —
+    /// `simd::log_softmax_row` followed by `simd::vec_exp` — so batched
+    /// serving, per-sample serving, and `Tensor::softmax_rows` agree element
+    /// for element under any fixed SIMD backend (see `docs/NUMERICS.md`).
     pub fn predict_proba_into(
         &mut self,
         inputs: &[f32],
@@ -280,11 +282,8 @@ impl InferencePlan {
         self.logits_into(inputs, batch, out)?;
         let nc = self.num_classes;
         for row in out.chunks_exact_mut(nc) {
-            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = row.iter().map(|&x| (x - mx).exp()).sum::<f32>().ln() + mx;
-            for v in row.iter_mut() {
-                *v = (*v - lse).exp();
-            }
+            simd::log_softmax_row(row);
+            simd::vec_exp(row);
         }
         Ok(())
     }

@@ -38,6 +38,7 @@
 mod error;
 mod param;
 
+pub mod act;
 pub mod init;
 pub mod layers;
 pub mod loss;

@@ -71,6 +71,22 @@
 //!   named-section container, the storage layer under the crash-safe
 //!   distillation and MOBO runs (`checkpoint.writes` /
 //!   `checkpoint.resumes` counters in the global registry).
+//!
+//! ## Environment variables (workspace index)
+//!
+//! Every environment variable the workspace reads, in one place. Each is
+//! read **once** at first use and cached; programmatic setters take
+//! precedence over the environment. None of the observability or
+//! threading knobs can change numerical results — only `LIGHTTS_SIMD`
+//! can, and only within the FMA class documented in `docs/NUMERICS.md`.
+//!
+//! | Variable | Crate | Values | Effect |
+//! |---|---|---|---|
+//! | `LIGHTTS_OBS` | `lightts-obs` | unset/`0` (off), `1` (stderr), a file path, `memory` | span/event JSONL emission target; metrics are always on |
+//! | `LIGHTTS_FAILPOINTS` | `lightts-obs` | `name=panic@N` / `name=err@N`, comma-separated | arms deterministic fault injection at named points (`serve.batch`, `trainer.epoch`, `mobo.trial`, `checkpoint.write`) |
+//! | `LIGHTTS_NUM_THREADS` | `lightts-tensor` (`par`) | positive integer | thread-pool size; overridden by `lightts::runtime::set_num_threads`; never changes bits |
+//! | `LIGHTTS_SIMD` | `lightts-tensor` (`simd`) | `avx2` / `sse2` / `scalar` (case-insensitive) | forces the SIMD backend, clamped down to CPU support; overridden by `set_simd_backend`; see `docs/NUMERICS.md` |
+//! | `LIGHTTS_BENCH_SMOKE` | `lightts-bench` | `1` | shrinks every criterion bench to a CI-sized compile-rot check |
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

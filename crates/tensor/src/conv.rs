@@ -31,19 +31,23 @@
 //! Both forms honour the determinism contract the serving layer relies on:
 //! fixed per-element reduction order, results identical across thread counts
 //! and batch fusions. The **forward** lowering is bitwise identical to the
-//! direct kernel (same `(ci, j)`-ascending accumulation per output element,
-//! same zero-skip; padding contributes exact `±0.0` terms which cannot
-//! change an accumulator that is never `-0.0`). The backward lowerings use
-//! a different (but still fixed) summation association and are validated
-//! against the direct oracles by property tests in
-//! `tests/conv_lowering.rs`.
+//! direct kernel *under any fixed SIMD backend* (same `(ci, j)`-ascending
+//! accumulation per output element, one [`crate::simd`] `mul_add_fast` per
+//! term in both paths — fused on AVX2, plain mul+add on SSE2/scalar — same
+//! zero-skip; padding contributes exact `±0.0` terms which cannot change
+//! an accumulator that is never `-0.0`). The backward lowerings use a
+//! different (but still fixed) summation association and are validated
+//! against the direct oracles by property tests in `tests/conv_lowering.rs`;
+//! the direct backward-weight kernel deliberately stays scalar (its inner
+//! loop is a dot product, and reassociating it would change the oracle),
+//! so it is bitwise identical across every backend.
 //!
 //! The active implementation is chosen by [`set_conv_impl`]; the default
 //! [`ConvImpl::Auto`] picks per shape (batch-independently, so fused and
 //! per-sample runs agree).
 
 use crate::linalg::{gemm_panel_into, gemm_row_into, GEMM_PANEL_ROWS};
-use crate::{par, pool, Result, Tensor, TensorError};
+use crate::{par, pool, simd, Result, Tensor, TensorError};
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Padding for "same"-length convolution with a kernel of size `k`:
@@ -289,9 +293,15 @@ fn conv1d_forward_direct_kernel(
                 // t + j - pl in [0, l) ⇒ t in [pl - j, l + pl - j)
                 let t_lo = pl.saturating_sub(j);
                 let t_hi = (l + pl).saturating_sub(j).min(l);
-                for t in t_lo..t_hi {
-                    y_row[t] += xd[x_off + t + j - pl] * wv;
+                if t_lo >= t_hi {
+                    continue;
                 }
+                // Shifted axpy through simd::axpy_madd: the same
+                // mul_add_fast per element as the lowered GEMM panel, so
+                // direct and lowered forward stay bitwise equal under
+                // every backend (fused on AVX2, plain mul+add otherwise).
+                let src = x_off + t_lo + j - pl;
+                simd::axpy_madd(&mut y_row[t_lo..t_hi], &xd[src..src + (t_hi - t_lo)], wv);
             }
         }
     });
@@ -426,9 +436,17 @@ fn conv1d_backward_input_direct_kernel(
                 // s = t + j - pl with t in [0,l) ⇒ s in [j-pl, l+j-pl)
                 let t_lo = pl.saturating_sub(j);
                 let t_hi = (l + pl).saturating_sub(j).min(l);
-                for t in t_lo..t_hi {
-                    dx_row[t + j - pl] += dyd[dy_off + t] * wv;
+                if t_lo >= t_hi {
+                    continue;
                 }
+                // Same vectorized shifted axpy as the forward kernel;
+                // per-element co → j order is unchanged.
+                let dst = t_lo + j - pl;
+                simd::axpy_madd(
+                    &mut dx_row[dst..dst + (t_hi - t_lo)],
+                    &dyd[dy_off + t_lo..dy_off + t_hi],
+                    wv,
+                );
             }
         }
     });
@@ -486,11 +504,9 @@ fn conv1d_backward_input_lowered_kernel(
                 if t_lo >= t_hi {
                     continue;
                 }
-                for (o, &gv) in
-                    dx_row[t_lo + j - pl..t_hi + j - pl].iter_mut().zip(g_row[t_lo..t_hi].iter())
-                {
-                    *o += gv;
-                }
+                // Pure additions (exact single-rounding op): vectorized,
+                // bitwise invariant across backends.
+                simd::add_assign(&mut dx_row[t_lo + j - pl..t_hi + j - pl], &g_row[t_lo..t_hi]);
             }
         });
     }

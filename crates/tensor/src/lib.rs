@@ -26,6 +26,11 @@
 //! * [`pool`] — a grow-only, size-bucketed buffer pool backing every tensor
 //!   allocation, so steady-state training and serving loops perform zero
 //!   transient heap allocations (hit/miss counters included).
+//! * [`simd`] — the runtime-dispatched vector backends (AVX2+FMA, SSE2,
+//!   scalar oracle) every inner loop above lowers onto, selected once per
+//!   process via detection, `LIGHTTS_SIMD`, or
+//!   [`simd::set_simd_backend`]; `docs/NUMERICS.md` documents exactly
+//!   which kernels stay bitwise identical across backends.
 //!
 //! # Example
 //!
@@ -53,6 +58,7 @@ pub mod par;
 pub mod pool;
 pub mod quant;
 pub mod rng;
+pub mod simd;
 pub mod tape;
 
 pub use error::TensorError;

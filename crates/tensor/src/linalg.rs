@@ -11,14 +11,7 @@
 //! [`matmul_into`] is the cache-blocked, row-parallel matrix-multiply that
 //! backs [`Tensor::matmul`] (and through it the tape's dense layers).
 
-use crate::{par, Result, Tensor, TensorError};
-
-/// Number of consecutive `k`-indices processed per cache block in
-/// [`matmul_into`]. Keeps the touched rows of `b` resident in L1/L2 while a
-/// block is live. Blocking only reorders *loop traversal*, never the
-/// per-element accumulation sequence, so results are independent of this
-/// value.
-const MATMUL_K_BLOCK: usize = 256;
+use crate::{par, simd, Result, Tensor, TensorError};
 
 /// One output row of the blocked GEMM: `c_row += a_row · b` for
 /// `a_row: [k]`, `b: [k, n]`, `c_row: [n]`.
@@ -27,62 +20,54 @@ const MATMUL_K_BLOCK: usize = 256;
 /// im2col-lowered convolution in [`crate::conv`] — training dense layers,
 /// serving plans, and all three conv passes reduce through this exact loop,
 /// so their numerics cannot drift apart. The traversal is `kj` (row-major
-/// friendly) with a zero-skip on `a_row`'s elements, k-blocked so the
-/// touched rows of `b` stay resident in L1/L2; blocking reorders only loop
+/// friendly, vectorized along `j` by [`crate::simd::gemm_row`]) with a
+/// zero-skip on `a_row`'s elements, k-blocked so the touched rows of `b`
+/// stay resident in L1/L2; blocking and lane width reorder only loop
 /// traversal, never the per-element accumulation sequence (`k`-ascending
 /// into each output), so results are independent of block size, thread
-/// count, and caller.
+/// count, and caller. Each accumulation step is one
+/// `simd::mul_add_fast`: under the scalar and SSE2 backends that is the
+/// historical multiply-then-add (bitwise identical to the pre-SIMD
+/// kernel); under AVX2 it fuses into a single rounding (see
+/// `docs/NUMERICS.md`).
 #[inline]
 pub fn gemm_row_into(c_row: &mut [f32], a_row: &[f32], b: &[f32], k: usize, n: usize) {
     debug_assert_eq!(a_row.len(), k);
     debug_assert_eq!(c_row.len(), n);
     debug_assert_eq!(b.len(), k * n);
-    let mut p0 = 0;
-    while p0 < k {
-        let p1 = (p0 + MATMUL_K_BLOCK).min(k);
-        for (p, &av) in a_row[p0..p1].iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[(p0 + p) * n..(p0 + p + 1) * n];
-            for (o, &bv) in c_row.iter_mut().zip(b_row.iter()) {
-                *o += av * bv;
-            }
-        }
-        p0 = p1;
-    }
+    simd::gemm_row(c_row, a_row, b, k, n);
 }
 
 /// Preferred output-row blocking for [`gemm_panel_into`]; callers that chunk
 /// work for the panel kernel (the lowered conv paths) use multiples of this.
 pub const GEMM_PANEL_ROWS: usize = 8;
 
-/// Column tile of the register-resident accumulator block in
-/// [`gemm_panel_into`]: 4 rows x 16 columns is 8 SIMD registers of `f32x8`,
-/// small enough to stay in registers across the whole `k` loop.
-const PANEL_TILE_N: usize = 16;
-
 /// A register-tiled GEMM panel: `c += a . b` for row-major `a: [rows,k]`,
 /// `b: [k,n]`, `c: [rows,n]`.
 ///
-/// The micro-kernel walks 4 output rows x `PANEL_TILE_N` (16) columns at a
-/// time, keeping that block of accumulators in registers for the entire `k`
-/// reduction and touching `c` memory exactly twice (initial load, final
-/// store). Compared with calling [`gemm_row_into`] per output row this
-/// eliminates the per-`p` load/store of the `c` row *and* streams each `b`
-/// row once per 4 output rows instead of once per row - which is what makes
-/// the im2col-lowered conv forward beat the (already contiguous) direct
-/// kernel.
+/// The micro-kernel ([`crate::simd::gemm_block4`]) walks 4 output rows x
+/// one backend-sized column tile at a time — 2 `ymm` vectors (16 columns)
+/// under AVX2, 2 `xmm` vectors (8 columns) under SSE2, 16 scalar
+/// accumulators under the scalar oracle — keeping that block of
+/// accumulators in registers for the entire `k` reduction and touching `c`
+/// memory exactly twice (initial load, final store). Compared with calling
+/// [`gemm_row_into`] per output row this eliminates the per-`p` load/store
+/// of the `c` row *and* streams each `b` row once per 4 output rows
+/// instead of once per row - which is what makes the im2col-lowered conv
+/// forward beat the (already contiguous) direct kernel.
 ///
 /// **Bitwise contract:** every output element still starts from its current
 /// `c` value and accumulates in the exact `k`-ascending order of
-/// [`gemm_row_into`]. When all four rows' `a` values are zero the `p` step
-/// is skipped outright; when only some are zero the fused update adds
-/// `+-0.0 . b` for those rows instead of skipping - an accumulator can never
-/// hold `-0.0` (it starts at `+0.0`, and both `+0.0 + (+-0.0)` and
-/// `x + (-x)` round to `+0.0`), so for finite inputs those terms change no
-/// bits and the panel result is bit-identical to the row-by-row kernel. A
-/// remainder of fewer than four rows falls back to [`gemm_row_into`].
+/// [`gemm_row_into`], one `simd::mul_add_fast` per term — so for any fixed
+/// backend the panel result is bit-identical to the row-by-row kernel,
+/// independent of tile width and thread count (scalar ≡ SSE2; AVX2 fuses
+/// each step, see `docs/NUMERICS.md`). When all four rows' `a` values are
+/// zero the `p` step is skipped outright; when only some are zero the
+/// four-row update adds `+-0.0 . b` for those rows instead of skipping -
+/// an accumulator can never hold `-0.0` (it starts at `+0.0`, and both
+/// `+0.0 + (+-0.0)` and `x + (-x)` round to `+0.0` — fused or not), so for
+/// finite inputs those terms change no bits. A remainder of fewer than
+/// four rows falls back to [`gemm_row_into`].
 pub fn gemm_panel_into(c: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usize, n: usize) {
     debug_assert_eq!(c.len(), rows * n);
     debug_assert_eq!(a.len(), rows * k);
@@ -93,50 +78,7 @@ pub fn gemm_panel_into(c: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usiz
         let (c0, c1) = c01.split_at_mut(n);
         let (c2, c3) = c23.split_at_mut(n);
         let ar = |i: usize| &a[(r + i) * k..(r + i + 1) * k];
-        let (a0, a1, a2, a3) = (ar(0), ar(1), ar(2), ar(3));
-        let mut j0 = 0;
-        while j0 + PANEL_TILE_N <= n {
-            let mut acc = [[0.0f32; PANEL_TILE_N]; 4];
-            for (row, cr) in [&*c0, &*c1, &*c2, &*c3].iter().enumerate() {
-                acc[row].copy_from_slice(&cr[j0..j0 + PANEL_TILE_N]);
-            }
-            for p in 0..k {
-                let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
-                if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
-                    continue;
-                }
-                let b_tile = &b[p * n + j0..p * n + j0 + PANEL_TILE_N];
-                for i in 0..PANEL_TILE_N {
-                    let bv = b_tile[i];
-                    acc[0][i] += v0 * bv;
-                    acc[1][i] += v1 * bv;
-                    acc[2][i] += v2 * bv;
-                    acc[3][i] += v3 * bv;
-                }
-            }
-            c0[j0..j0 + PANEL_TILE_N].copy_from_slice(&acc[0]);
-            c1[j0..j0 + PANEL_TILE_N].copy_from_slice(&acc[1]);
-            c2[j0..j0 + PANEL_TILE_N].copy_from_slice(&acc[2]);
-            c3[j0..j0 + PANEL_TILE_N].copy_from_slice(&acc[3]);
-            j0 += PANEL_TILE_N;
-        }
-        // Column remainder (< PANEL_TILE_N): same fused 4-row update, with
-        // the accumulators living in the (L1-hot) tail of the c rows.
-        if j0 < n {
-            for p in 0..k {
-                let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
-                if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
-                    continue;
-                }
-                let b_tail = &b[p * n + j0..(p + 1) * n];
-                for (i, &bv) in b_tail.iter().enumerate() {
-                    c0[j0 + i] += v0 * bv;
-                    c1[j0 + i] += v1 * bv;
-                    c2[j0 + i] += v2 * bv;
-                    c3[j0 + i] += v3 * bv;
-                }
-            }
-        }
+        simd::gemm_block4(c0, c1, c2, c3, ar(0), ar(1), ar(2), ar(3), b, k, n);
         r += 4;
     }
     for rr in r..rows {
@@ -290,12 +232,19 @@ pub fn solve_spd_with_jitter(a: &Tensor, b: &[f32], jitter: f32) -> Result<Vec<f
 }
 
 /// Dot product of two equal-length slices.
+///
+/// Deliberately a plain left-to-right scalar fold, *not* the striped
+/// [`crate::simd::dot`] kernel: these helpers feed the Gaussian-process
+/// estimator, whose inputs are short hyper-parameter encodings (nothing to
+/// vectorize) and whose seeded search trajectories are pinned by tests —
+/// keeping the historical summation order keeps them backend-independent.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
 }
 
-/// Squared Euclidean distance between two equal-length slices.
+/// Squared Euclidean distance between two equal-length slices
+/// (left-to-right scalar fold; see [`dot`] for why).
 #[inline]
 pub fn dist_sq(a: &[f32], b: &[f32]) -> f32 {
     a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()

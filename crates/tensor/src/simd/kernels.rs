@@ -1,0 +1,647 @@
+//! Generic kernel bodies and the per-backend dispatchers.
+//!
+//! Every kernel is written once, generically over [`SimdF32`], then
+//! instantiated three times by the `dispatch_kernel!` macro:
+//!
+//! * **scalar** — [`ScalarVec`], plain `f32` arithmetic, no `unsafe`
+//!   preconditions. This instantiation *is* the oracle: the historical
+//!   scalar loops of `linalg.rs`/`conv.rs` in trait clothing, bit-for-bit.
+//! * **sse2** — [`F32x4`], part of the x86-64 baseline.
+//! * **avx2** — [`F32x8`], guarded by runtime detection, wrapped in
+//!   `#[target_feature(enable = "avx2,fma")]` so the `#[inline(always)]`
+//!   generic body compiles with the vector ISA enabled.
+//!
+//! Determinism contract (see `docs/NUMERICS.md` for the full statement):
+//!
+//! * Element-wise kernels ([`add_assign`], [`sub_assign`], [`mul_assign`],
+//!   [`scale`], [`sub_scalar`], [`axpy`], [`relu`]) and the transcendentals
+//!   ([`vec_exp`], [`vec_tanh`], [`vec_sigmoid`], [`sum_exp`]) perform the
+//!   identical single-rounding operation sequence per element on every
+//!   backend ⇒ **bitwise backend-invariant**.
+//! * The striped reductions ([`reduce_sum`], [`reduce_sum_sq`], [`dot`])
+//!   accumulate into 8 fixed stripes combined by one canonical pairing
+//!   tree ⇒ **bitwise backend-invariant**, though *not* equal to a plain
+//!   left-to-right sum (for `n < 8` the stripe tree degenerates to exactly
+//!   left-to-right).
+//! * The GEMM family ([`gemm_row`], [`gemm_block4`], [`axpy_madd`]) uses
+//!   [`SimdF32::mul_add_fast`]: scalar ≡ SSE2 bitwise; AVX2 fuses
+//!   multiply-add (one rounding instead of two) and therefore produces
+//!   different — but equally deterministic — bits.
+
+use super::vec::{scalar_madd, ScalarVec, SimdF32};
+#[cfg(target_arch = "x86_64")]
+use super::x86::{F32x4, F32x8};
+use super::SimdBackend;
+
+/// Number of consecutive `k`-indices per cache block in [`gemm_row`].
+/// Keeps the touched rows of `b` resident in L1/L2 while a block is live.
+/// Blocking only reorders loop *traversal*, never the per-element
+/// accumulation sequence, so results are independent of this value.
+pub(crate) const K_BLOCK: usize = 256;
+
+/// Stripe count of the canonical striped reductions. Eight stripes is one
+/// AVX2 register, two SSE2 registers, or eight scalar accumulators — every
+/// backend walks the same stripes and folds them with the same pairing
+/// tree ([`SimdF32::hsum`]), so the reduced value is backend-invariant.
+pub(crate) const REDUCE_STRIPES: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Element-wise kernels (exact single-rounding ops ⇒ backend-invariant bits)
+// ---------------------------------------------------------------------------
+
+macro_rules! elementwise_binary {
+    ($name:ident, |$x:ident, $y:ident| $vec:expr, |$a:ident, $b:ident| $scl:expr) => {
+        #[inline(always)]
+        unsafe fn $name<V: SimdF32>(out: &mut [f32], rhs: &[f32]) {
+            debug_assert_eq!(out.len(), rhs.len());
+            let n = out.len();
+            let mut i = 0;
+            while i + V::LANES <= n {
+                let $x = V::load(&out[i..]);
+                let $y = V::load(&rhs[i..]);
+                ($vec).store(&mut out[i..]);
+                i += V::LANES;
+            }
+            while i < n {
+                let $a = out[i];
+                let $b = rhs[i];
+                out[i] = $scl;
+                i += 1;
+            }
+        }
+    };
+}
+
+elementwise_binary!(add_assign_g, |x, y| x.add(y), |a, b| a + b);
+elementwise_binary!(sub_assign_g, |x, y| x.sub(y), |a, b| a - b);
+elementwise_binary!(mul_assign_g, |x, y| x.mul(y), |a, b| a * b);
+
+#[inline(always)]
+unsafe fn scale_g<V: SimdF32>(out: &mut [f32], s: f32) {
+    let n = out.len();
+    let vs = V::splat(s);
+    let mut i = 0;
+    while i + V::LANES <= n {
+        V::load(&out[i..]).mul(vs).store(&mut out[i..]);
+        i += V::LANES;
+    }
+    while i < n {
+        out[i] *= s;
+        i += 1;
+    }
+}
+
+#[inline(always)]
+unsafe fn sub_scalar_g<V: SimdF32>(out: &mut [f32], s: f32) {
+    let n = out.len();
+    let vs = V::splat(s);
+    let mut i = 0;
+    while i + V::LANES <= n {
+        V::load(&out[i..]).sub(vs).store(&mut out[i..]);
+        i += V::LANES;
+    }
+    while i < n {
+        out[i] -= s;
+        i += 1;
+    }
+}
+
+/// `out += rhs · s`, **unfused** on every backend (multiply then add, two
+/// roundings) — the optimizer/accumulator axpy, backend-invariant bits.
+#[inline(always)]
+unsafe fn axpy_g<V: SimdF32>(out: &mut [f32], rhs: &[f32], s: f32) {
+    debug_assert_eq!(out.len(), rhs.len());
+    let n = out.len();
+    let vs = V::splat(s);
+    let mut i = 0;
+    while i + V::LANES <= n {
+        V::load(&out[i..]).add(V::load(&rhs[i..]).mul(vs)).store(&mut out[i..]);
+        i += V::LANES;
+    }
+    while i < n {
+        out[i] += rhs[i] * s;
+        i += 1;
+    }
+}
+
+/// `out += rhs · s` with [`SimdF32::mul_add_fast`] — the convolution /
+/// GEMM-family axpy (fused on AVX2, hence backend-sensitive bits).
+#[inline(always)]
+unsafe fn axpy_madd_g<V: SimdF32>(out: &mut [f32], rhs: &[f32], s: f32) {
+    debug_assert_eq!(out.len(), rhs.len());
+    let n = out.len();
+    let vs = V::splat(s);
+    let mut i = 0;
+    while i + V::LANES <= n {
+        vs.mul_add_fast(V::load(&rhs[i..]), V::load(&out[i..])).store(&mut out[i..]);
+        i += V::LANES;
+    }
+    while i < n {
+        out[i] = scalar_madd::<V>(rhs[i], s, out[i]);
+        i += 1;
+    }
+}
+
+/// `max(x, +0.0)` with `maxps` operand order: NaN and `-0.0` both map to
+/// `+0.0`, matching the historical `f32::max(x, 0.0)` bit-for-bit.
+#[inline(always)]
+unsafe fn relu_g<V: SimdF32>(out: &mut [f32]) {
+    let n = out.len();
+    let z = V::zero();
+    let mut i = 0;
+    while i + V::LANES <= n {
+        V::load(&out[i..]).max(z).store(&mut out[i..]);
+        i += V::LANES;
+    }
+    while i < n {
+        let x = out[i];
+        out[i] = if x > 0.0 { x } else { 0.0 };
+        i += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transcendentals (fixed polynomial algorithm ⇒ backend-invariant bits)
+// ---------------------------------------------------------------------------
+
+/// Input clamp range of [`exp_v`]. The lower bound keeps `2ⁿ` normal
+/// (`n ≥ -126`); the upper bound keeps `n ≤ 127`, so the kernel *saturates*
+/// at `exp(88.02) ≈ 1.68e38` instead of overflowing to `+inf` (softmax and
+/// sigmoid only ever feed it non-positive or moderate inputs).
+const EXP_LO: f32 = -87.336_54;
+/// See [`EXP_LO`].
+const EXP_HI: f32 = 88.02;
+/// `1.5 · 2²³`: adding it rounds `x·log2(e)` to the nearest integer
+/// (ties-to-even) in the low mantissa bits.
+const EXP_MAGIC: f32 = 12_582_912.0;
+/// High part of `ln 2` (exact in `f32`).
+const LN2_HI: f32 = 0.693_359_375;
+/// Low part: `LN2_HI + LN2_LO = ln 2` to extended precision.
+const LN2_LO: f32 = -2.121_944_4e-4;
+/// Degree-5 minimax polynomial for `exp(r) - 1 - r` on `|r| ≤ ln2/2`
+/// (Cephes `expf` coefficients), applied Horner-style, highest first.
+const EXP_P: [f32; 6] =
+    [1.987_569_2e-4, 1.398_199_9e-3, 8.333_452e-3, 4.166_579_6e-2, 1.666_666_5e-1, 5.000_000_3e-1];
+
+/// One vector of `exp(x)`: range reduction `x = n·ln2 + r`, polynomial on
+/// `r`, exponent scaling by integer bit manipulation. Every step is a
+/// single-rounding op (no FMA), so all backends produce identical bits.
+/// NaN lanes pass through unchanged; out-of-range lanes saturate (see
+/// [`EXP_LO`]).
+#[inline(always)]
+unsafe fn exp_v<V: SimdF32>(x: V) -> V {
+    let nan = x.is_nan();
+    // maxps(x, LO): NaN lanes become LO here and are blended back at the end.
+    let xc = x.max(V::splat(EXP_LO)).min(V::splat(EXP_HI));
+    // n = round_to_nearest_even(x / ln2) via the magic-number trick; `t`
+    // keeps the integer in its low mantissa bits for `exp2_scale`.
+    let t = xc.mul(V::splat(std::f32::consts::LOG2_E)).add(V::splat(EXP_MAGIC));
+    let n = t.sub(V::splat(EXP_MAGIC));
+    let pow2n = t.exp2_scale();
+    // r = x - n·ln2 in two pieces, keeping r exact to ~f64 precision.
+    let r = xc.sub(n.mul(V::splat(LN2_HI))).sub(n.mul(V::splat(LN2_LO)));
+    let mut y = V::splat(EXP_P[0]);
+    y = y.mul(r).add(V::splat(EXP_P[1]));
+    y = y.mul(r).add(V::splat(EXP_P[2]));
+    y = y.mul(r).add(V::splat(EXP_P[3]));
+    y = y.mul(r).add(V::splat(EXP_P[4]));
+    y = y.mul(r).add(V::splat(EXP_P[5]));
+    let z = r.mul(r);
+    let e = y.mul(z).add(r).add(V::splat(1.0));
+    V::select(nan, x, e.mul(pow2n))
+}
+
+/// `|x|` threshold between the small-`x` polynomial and the `exp`-based
+/// branch of [`tanh_v`] (Cephes `tanhf` crossover).
+const TANH_CUTOFF: f32 = 0.625;
+/// Odd minimax polynomial for `tanh(x)/x - 1` in `z = x²`, `|x| < 0.625`.
+const TANH_P: [f32; 5] =
+    [-5.704_988_7e-3, 2.063_908_9e-2, -5.373_971_6e-2, 1.333_144_2e-1, -3.333_328_2e-1];
+/// Sign-bit mask (`-0.0`).
+const SIGN_BIT: f32 = -0.0;
+/// All-but-sign mask for `|x|`.
+const ABS_MASK: f32 = f32::from_bits(0x7FFF_FFFF);
+
+/// One vector of `tanh(x)`: branch-free blend of the small-`x` polynomial
+/// (`x + x·z·P(z)`, avoiding cancellation near 0) and
+/// `sign(x)·(1 − 2/(e^{2|x|} + 1))`. Single-rounding ops only ⇒
+/// backend-invariant bits. NaN propagates; `±inf → ±1.0` exactly.
+#[inline(always)]
+unsafe fn tanh_v<V: SimdF32>(x: V) -> V {
+    let ax = x.and_bits(V::splat(ABS_MASK));
+    // Small branch.
+    let z = x.mul(x);
+    let mut p = V::splat(TANH_P[0]);
+    p = p.mul(z).add(V::splat(TANH_P[1]));
+    p = p.mul(z).add(V::splat(TANH_P[2]));
+    p = p.mul(z).add(V::splat(TANH_P[3]));
+    p = p.mul(z).add(V::splat(TANH_P[4]));
+    let small = x.add(x.mul(z).mul(p));
+    // Large branch (also covers NaN: exp_v passes it through).
+    let e = exp_v(ax.add(ax));
+    let big_abs = V::splat(1.0).sub(V::splat(2.0).div(e.add(V::splat(1.0))));
+    let big = big_abs.or_bits(x.and_bits(V::splat(SIGN_BIT)));
+    // NaN lanes compare false ⇒ take the big branch ⇒ NaN propagates.
+    V::select(ax.lt(V::splat(TANH_CUTOFF)), small, big)
+}
+
+/// One vector of `σ(x) = 1/(1 + exp(−x))`. Single-rounding ops only ⇒
+/// backend-invariant bits; the clamped [`exp_v`] makes the tails saturate
+/// to exactly `0.0`/`1.0` without special cases.
+#[inline(always)]
+unsafe fn sigmoid_v<V: SimdF32>(x: V) -> V {
+    let e = exp_v(x.xor_bits(V::splat(SIGN_BIT)));
+    let one = V::splat(1.0);
+    one.div(one.add(e))
+}
+
+macro_rules! map_inplace {
+    ($name:ident, $lane:ident) => {
+        #[inline(always)]
+        unsafe fn $name<V: SimdF32>(out: &mut [f32]) {
+            let n = out.len();
+            let mut i = 0;
+            while i + V::LANES <= n {
+                $lane(V::load(&out[i..])).store(&mut out[i..]);
+                i += V::LANES;
+            }
+            // Remainder lanes run the identical algorithm at width 1.
+            while i < n {
+                out[i] = $lane(ScalarVec(out[i])).0;
+                i += 1;
+            }
+        }
+    };
+}
+
+map_inplace!(exp_g, exp_v);
+map_inplace!(tanh_g, tanh_v);
+map_inplace!(sigmoid_g, sigmoid_v);
+
+/// `Σ exp(xᵢ)` accumulated strictly left-to-right (the exponentials come
+/// from [`exp_v`], the sum is scalar in index order) — the log-sum-exp
+/// inner loop of the softmax family, backend-invariant bits.
+#[inline(always)]
+unsafe fn sum_exp_g<V: SimdF32>(row: &[f32]) -> f32 {
+    let n = row.len();
+    let mut s = 0.0f32;
+    let mut buf = [0.0f32; 8];
+    debug_assert!(V::LANES <= buf.len());
+    let mut i = 0;
+    while i + V::LANES <= n {
+        exp_v(V::load(&row[i..])).store(&mut buf[..V::LANES]);
+        for &e in &buf[..V::LANES] {
+            s += e;
+        }
+        i += V::LANES;
+    }
+    while i < n {
+        s += exp_v(ScalarVec(row[i])).0;
+        i += 1;
+    }
+    s
+}
+
+// ---------------------------------------------------------------------------
+// GEMM micro-kernels (mul_add_fast ⇒ scalar ≡ SSE2; AVX2 fuses)
+// ---------------------------------------------------------------------------
+
+/// One output row of the blocked GEMM: `c += a_row · b` for `a_row: [k]`,
+/// `b: [k, n]`, `c: [n]`. `k`-blocked traversal with a zero-skip on
+/// `a_row`; per output element the accumulation runs `k`-ascending, one
+/// [`SimdF32::mul_add_fast`] per term.
+#[inline(always)]
+unsafe fn gemm_row_g<V: SimdF32>(c: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k);
+    debug_assert_eq!(c.len(), n);
+    debug_assert_eq!(b.len(), k * n);
+    let mut p0 = 0;
+    while p0 < k {
+        let p1 = (p0 + K_BLOCK).min(k);
+        for (p, &av) in a[p0..p1].iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let b_row = &b[(p0 + p) * n..(p0 + p + 1) * n];
+            let vs = V::splat(av);
+            let mut j = 0;
+            while j + V::LANES <= n {
+                vs.mul_add_fast(V::load(&b_row[j..]), V::load(&c[j..])).store(&mut c[j..]);
+                j += V::LANES;
+            }
+            while j < n {
+                c[j] = scalar_madd::<V>(av, b_row[j], c[j]);
+                j += 1;
+            }
+        }
+        p0 = p1;
+    }
+}
+
+/// Four output rows of the register-tiled GEMM panel: `c_i += a_i · b` for
+/// `a_i: [k]`, `b: [k, n]`, `c_i: [n]`.
+///
+/// Walks column tiles of `NV` vectors (`NV·LANES` columns), keeping the
+/// 4-row accumulator block in registers for the entire `k` reduction. The
+/// tile width is backend-specific (16 columns scalar/AVX2, 8 on SSE2 to
+/// fit the `xmm` file) — legal because per output element the accumulation
+/// is `k`-ascending regardless of tiling. When all four `a` values are
+/// zero the `p` step is skipped; when only some are, the fused update adds
+/// `±0.0·b` terms, which change no bits for finite inputs (an accumulator
+/// can never hold `-0.0`; fused and unfused alike, `acc + ±0.0 = acc` and
+/// an exact-zero result rounds to `+0.0`).
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+unsafe fn gemm_block4_g<V: SimdF32, const NV: usize>(
+    c0: &mut [f32],
+    c1: &mut [f32],
+    c2: &mut [f32],
+    c3: &mut [f32],
+    a0: &[f32],
+    a1: &[f32],
+    a2: &[f32],
+    a3: &[f32],
+    b: &[f32],
+    k: usize,
+    n: usize,
+) {
+    debug_assert!([c0.len(), c1.len(), c2.len(), c3.len()].iter().all(|&l| l == n));
+    debug_assert!([a0.len(), a1.len(), a2.len(), a3.len()].iter().all(|&l| l == k));
+    debug_assert_eq!(b.len(), k * n);
+    let tile = NV * V::LANES;
+    let mut j0 = 0;
+    while j0 + tile <= n {
+        let mut acc = [[V::zero(); NV]; 4];
+        for (row, cr) in [&*c0, &*c1, &*c2, &*c3].iter().enumerate() {
+            for v in 0..NV {
+                acc[row][v] = V::load(&cr[j0 + v * V::LANES..]);
+            }
+        }
+        for p in 0..k {
+            let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+            if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
+                continue;
+            }
+            let (s0, s1, s2, s3) = (V::splat(v0), V::splat(v1), V::splat(v2), V::splat(v3));
+            for v in 0..NV {
+                let bv = V::load(&b[p * n + j0 + v * V::LANES..]);
+                acc[0][v] = s0.mul_add_fast(bv, acc[0][v]);
+                acc[1][v] = s1.mul_add_fast(bv, acc[1][v]);
+                acc[2][v] = s2.mul_add_fast(bv, acc[2][v]);
+                acc[3][v] = s3.mul_add_fast(bv, acc[3][v]);
+            }
+        }
+        for (row, cr) in [&mut *c0, &mut *c1, &mut *c2, &mut *c3].iter_mut().enumerate() {
+            for v in 0..NV {
+                acc[row][v].store(&mut cr[j0 + v * V::LANES..]);
+            }
+        }
+        j0 += tile;
+    }
+    // Column remainder (< tile): same fused 4-row update at width 1, with
+    // the accumulators living in the (L1-hot) tails of the c rows.
+    if j0 < n {
+        for p in 0..k {
+            let (v0, v1, v2, v3) = (a0[p], a1[p], a2[p], a3[p]);
+            if v0 == 0.0 && v1 == 0.0 && v2 == 0.0 && v3 == 0.0 {
+                continue;
+            }
+            let b_tail = &b[p * n + j0..(p + 1) * n];
+            for (i, &bv) in b_tail.iter().enumerate() {
+                c0[j0 + i] = scalar_madd::<V>(v0, bv, c0[j0 + i]);
+                c1[j0 + i] = scalar_madd::<V>(v1, bv, c1[j0 + i]);
+                c2[j0 + i] = scalar_madd::<V>(v2, bv, c2[j0 + i]);
+                c3[j0 + i] = scalar_madd::<V>(v3, bv, c3[j0 + i]);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Striped reductions (fixed 8-stripe canonical tree ⇒ backend-invariant)
+// ---------------------------------------------------------------------------
+
+macro_rules! striped_reduce {
+    ($name:ident, ($($arg:ident),+), |$vx:ident, $vy:ident| $vacc:expr, |$sx:ident, $sy:ident| $sacc:expr) => {
+        #[inline(always)]
+        unsafe fn $name<V: SimdF32, const NV: usize>($($arg: &[f32]),+) -> f32 {
+            let n = [$($arg.len()),+][0];
+            debug_assert!([$($arg.len()),+].iter().all(|&l| l == n));
+            debug_assert_eq!(NV * V::LANES, REDUCE_STRIPES);
+            let mut acc = [V::zero(); NV];
+            let mut i = 0;
+            while i + REDUCE_STRIPES <= n {
+                for v in 0..NV {
+                    striped_reduce!(@load ($($arg),+), i + v * V::LANES, $vx, $vy);
+                    acc[v] = ($vacc).add(acc[v]);
+                }
+                i += REDUCE_STRIPES;
+            }
+            // Fold stripe vectors pairwise (s_i = p_i + p_{i+NV/2}·LANES …)
+            // down to one vector, then the canonical in-register tree.
+            let mut w = NV;
+            while w > 1 {
+                w /= 2;
+                for v in 0..w {
+                    acc[v] = acc[v].add(acc[v + w]);
+                }
+            }
+            let mut r = acc[0].hsum();
+            // Tail (< 8 elements) appended strictly left-to-right, so for
+            // n < 8 the whole reduction degenerates to a plain serial sum
+            // (at exactly n = 8 the pairing tree runs).
+            while i < n {
+                striped_reduce!(@tail ($($arg),+), i, $sx, $sy);
+                r += $sacc;
+                i += 1;
+            }
+            r
+        }
+    };
+    (@load ($a:ident), $idx:expr, $vx:ident, $vy:ident) => {
+        let $vx = V::load(&$a[$idx..]);
+        let $vy = $vx;
+    };
+    (@load ($a:ident, $b:ident), $idx:expr, $vx:ident, $vy:ident) => {
+        let $vx = V::load(&$a[$idx..]);
+        let $vy = V::load(&$b[$idx..]);
+    };
+    (@tail ($a:ident), $idx:expr, $sx:ident, $sy:ident) => {
+        let $sx = $a[$idx];
+        let $sy = $sx;
+    };
+    (@tail ($a:ident, $b:ident), $idx:expr, $sx:ident, $sy:ident) => {
+        let $sx = $a[$idx];
+        let $sy = $b[$idx];
+    };
+}
+
+striped_reduce!(reduce_sum_g, (x), |vx, _vy| vx, |sx, _sy| sx);
+striped_reduce!(reduce_sum_sq_g, (x), |vx, vy| vx.mul(vy), |sx, sy| sx * sy);
+striped_reduce!(dot_g, (x, y), |vx, vy| vx.mul(vy), |sx, sy| sx * sy);
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+macro_rules! dispatch_kernel {
+    ($(#[$doc:meta])* $name:ident / $with:ident ( $($arg:ident : $ty:ty),* $(,)? ) $(-> $ret:ty)?,
+     avx2: $ga:expr, sse2: $gs:expr, scalar: $gc:expr) => {
+        $(#[$doc])*
+        ///
+        /// The `_with` variant runs under an explicit backend (clamped to
+        /// what the CPU supports) — the concurrency-safe entry point the
+        /// equivalence tests use; the plain variant consults the resolved
+        /// process-wide [`SimdBackend`].
+        pub fn $with(bk: SimdBackend, $($arg: $ty),*) $(-> $ret)? {
+            #[cfg(target_arch = "x86_64")]
+            #[target_feature(enable = "avx2", enable = "fma")]
+            unsafe fn w_avx2($($arg: $ty),*) $(-> $ret)? {
+                ($ga)($($arg),*)
+            }
+            #[cfg(target_arch = "x86_64")]
+            unsafe fn w_sse2($($arg: $ty),*) $(-> $ret)? {
+                ($gs)($($arg),*)
+            }
+            fn w_scalar($($arg: $ty),*) $(-> $ret)? {
+                // SAFETY: ScalarVec has no hardware preconditions.
+                unsafe { ($gc)($($arg),*) }
+            }
+            match super::effective(bk) {
+                // SAFETY: `effective` only yields a vector backend after
+                // `cpu_supports` confirmed the features at detection time.
+                #[cfg(target_arch = "x86_64")]
+                SimdBackend::Avx2 => unsafe { w_avx2($($arg),*) },
+                #[cfg(target_arch = "x86_64")]
+                SimdBackend::Sse2 => unsafe { w_sse2($($arg),*) },
+                _ => w_scalar($($arg),*),
+            }
+        }
+
+        $(#[$doc])*
+        ///
+        /// Runs under the process-wide backend (see
+        /// [`backend`](super::backend)).
+        pub fn $name($($arg: $ty),*) $(-> $ret)? {
+            $with(super::backend(), $($arg),*)
+        }
+    };
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+type F32x4 = ScalarVec;
+#[cfg(not(target_arch = "x86_64"))]
+type F32x8 = ScalarVec;
+
+dispatch_kernel!(
+    /// Element-wise `out += rhs`. Bitwise backend-invariant.
+    add_assign / add_assign_with(out: &mut [f32], rhs: &[f32]),
+    avx2: add_assign_g::<F32x8>, sse2: add_assign_g::<F32x4>, scalar: add_assign_g::<ScalarVec>
+);
+dispatch_kernel!(
+    /// Element-wise `out -= rhs`. Bitwise backend-invariant.
+    sub_assign / sub_assign_with(out: &mut [f32], rhs: &[f32]),
+    avx2: sub_assign_g::<F32x8>, sse2: sub_assign_g::<F32x4>, scalar: sub_assign_g::<ScalarVec>
+);
+dispatch_kernel!(
+    /// Element-wise `out *= rhs` (Hadamard). Bitwise backend-invariant.
+    mul_assign / mul_assign_with(out: &mut [f32], rhs: &[f32]),
+    avx2: mul_assign_g::<F32x8>, sse2: mul_assign_g::<F32x4>, scalar: mul_assign_g::<ScalarVec>
+);
+dispatch_kernel!(
+    /// `out *= s`. Bitwise backend-invariant.
+    scale / scale_with(out: &mut [f32], s: f32),
+    avx2: scale_g::<F32x8>, sse2: scale_g::<F32x4>, scalar: scale_g::<ScalarVec>
+);
+dispatch_kernel!(
+    /// `out -= s` element-wise. Bitwise backend-invariant.
+    sub_scalar / sub_scalar_with(out: &mut [f32], s: f32),
+    avx2: sub_scalar_g::<F32x8>, sse2: sub_scalar_g::<F32x4>, scalar: sub_scalar_g::<ScalarVec>
+);
+dispatch_kernel!(
+    /// `out += rhs · s`, unfused on every backend (two roundings per
+    /// element, like the historical optimizer loops). Bitwise
+    /// backend-invariant.
+    axpy / axpy_with(out: &mut [f32], rhs: &[f32], s: f32),
+    avx2: axpy_g::<F32x8>, sse2: axpy_g::<F32x4>, scalar: axpy_g::<ScalarVec>
+);
+dispatch_kernel!(
+    /// `out += rhs · s` through `mul_add_fast` — the convolution inner
+    /// loop. Scalar ≡ SSE2 bitwise; AVX2 fuses.
+    axpy_madd / axpy_madd_with(out: &mut [f32], rhs: &[f32], s: f32),
+    avx2: axpy_madd_g::<F32x8>, sse2: axpy_madd_g::<F32x4>, scalar: axpy_madd_g::<ScalarVec>
+);
+dispatch_kernel!(
+    /// In-place `max(x, 0.0)`. Bitwise backend-invariant (NaN → `0.0`,
+    /// `-0.0` → `+0.0`, exactly like `f32::max(x, 0.0)`).
+    relu / relu_with(out: &mut [f32]),
+    avx2: relu_g::<F32x8>, sse2: relu_g::<F32x4>, scalar: relu_g::<ScalarVec>
+);
+dispatch_kernel!(
+    /// In-place vectorized `exp(x)` (polynomial kernel, ≤ 2 ulp). Bitwise
+    /// backend-invariant; NaN passes through; saturates instead of
+    /// producing `±inf`/denormals at the range edges.
+    vec_exp / vec_exp_with(out: &mut [f32]),
+    avx2: exp_g::<F32x8>, sse2: exp_g::<F32x4>, scalar: exp_g::<ScalarVec>
+);
+dispatch_kernel!(
+    /// In-place vectorized `tanh(x)` (polynomial + exp kernel, ≤ 2 ulp).
+    /// Bitwise backend-invariant; NaN propagates, `±inf → ±1.0`.
+    vec_tanh / vec_tanh_with(out: &mut [f32]),
+    avx2: tanh_g::<F32x8>, sse2: tanh_g::<F32x4>, scalar: tanh_g::<ScalarVec>
+);
+dispatch_kernel!(
+    /// In-place vectorized logistic sigmoid `1/(1+exp(−x))` (≤ 3 ulp).
+    /// Bitwise backend-invariant; NaN propagates; the positive tail
+    /// saturates to exactly `1.0`, the negative tail to a subnormal
+    /// `≈ 5.9e-39` (because [`vec_exp`] saturates rather than overflow).
+    vec_sigmoid / vec_sigmoid_with(out: &mut [f32]),
+    avx2: sigmoid_g::<F32x8>, sse2: sigmoid_g::<F32x4>, scalar: sigmoid_g::<ScalarVec>
+);
+dispatch_kernel!(
+    /// `Σ exp(xᵢ)`, exponentials from the [`vec_exp`] kernel, summed
+    /// strictly left-to-right. Bitwise backend-invariant.
+    sum_exp / sum_exp_with(row: &[f32]) -> f32,
+    avx2: sum_exp_g::<F32x8>, sse2: sum_exp_g::<F32x4>, scalar: sum_exp_g::<ScalarVec>
+);
+dispatch_kernel!(
+    /// One GEMM output row: `c += a_row · b` (`a_row: [k]`, `b: [k,n]`),
+    /// `k`-ascending per element with a zero-skip on `a_row`. Scalar ≡
+    /// SSE2 bitwise; AVX2 fuses each multiply-add.
+    gemm_row / gemm_row_with(c: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize),
+    avx2: gemm_row_g::<F32x8>, sse2: gemm_row_g::<F32x4>, scalar: gemm_row_g::<ScalarVec>
+);
+dispatch_kernel!(
+    /// Four GEMM output rows with a register-resident accumulator tile
+    /// (see [`crate::linalg::gemm_panel_into`]). Scalar ≡ SSE2 bitwise;
+    /// AVX2 fuses each multiply-add.
+    gemm_block4 / gemm_block4_with(
+        c0: &mut [f32], c1: &mut [f32], c2: &mut [f32], c3: &mut [f32],
+        a0: &[f32], a1: &[f32], a2: &[f32], a3: &[f32],
+        b: &[f32], k: usize, n: usize,
+    ),
+    avx2: gemm_block4_g::<F32x8, 2>, sse2: gemm_block4_g::<F32x4, 2>,
+    scalar: gemm_block4_g::<ScalarVec, 16>
+);
+dispatch_kernel!(
+    /// `Σ xᵢ` over 8 fixed stripes + canonical pairing tree; tail (< 8)
+    /// appended left-to-right. Bitwise backend-invariant (and exactly the
+    /// plain serial sum for `n < 8`).
+    reduce_sum / reduce_sum_with(x: &[f32]) -> f32,
+    avx2: reduce_sum_g::<F32x8, 1>, sse2: reduce_sum_g::<F32x4, 2>,
+    scalar: reduce_sum_g::<ScalarVec, 8>
+);
+dispatch_kernel!(
+    /// `Σ xᵢ²` with the same striped scheme as [`reduce_sum`]. Bitwise
+    /// backend-invariant.
+    reduce_sum_sq / reduce_sum_sq_with(x: &[f32]) -> f32,
+    avx2: reduce_sum_sq_g::<F32x8, 1>, sse2: reduce_sum_sq_g::<F32x4, 2>,
+    scalar: reduce_sum_sq_g::<ScalarVec, 8>
+);
+dispatch_kernel!(
+    /// `Σ xᵢ·yᵢ` (unfused multiply) with the same striped scheme as
+    /// [`reduce_sum`]. Bitwise backend-invariant.
+    dot / dot_with(x: &[f32], y: &[f32]) -> f32,
+    avx2: dot_g::<F32x8, 1>, sse2: dot_g::<F32x4, 2>,
+    scalar: dot_g::<ScalarVec, 8>
+);

@@ -1,0 +1,225 @@
+//! Runtime-dispatched SIMD backends for the f32 kernels.
+//!
+//! This module is the single point where the crate's inner loops meet the
+//! instruction set. It provides a small portable-vector abstraction over
+//! `core::arch` x86-64 — AVX2+FMA primary, SSE2 fallback, and a scalar
+//! oracle that is always available — plus one-time runtime feature
+//! detection and an explicit override. Every hot kernel (the GEMM panel in
+//! [`crate::linalg`], the convolution inner loops in [`crate::conv`], the
+//! element-wise tensor ops, and the `vec_exp`/`vec_tanh`/`vec_sigmoid`
+//! transcendentals behind the softmax/activation family) is written once,
+//! generically, and lowered onto whichever backend is selected.
+//!
+//! # Backend selection
+//!
+//! The active backend resolves once, then is cached process-wide:
+//!
+//! 1. [`set_simd_backend`] — explicit programmatic override, wins over
+//!    everything, takes effect for subsequent kernel calls;
+//! 2. the `LIGHTTS_SIMD` environment variable (`avx2` | `sse2` |
+//!    `scalar`, case-insensitive; unknown values are ignored);
+//! 3. runtime CPU feature detection (AVX2+FMA → [`SimdBackend::Avx2`],
+//!    otherwise SSE2 on x86-64, otherwise scalar).
+//!
+//! A request for an unsupported backend is clamped down to the best
+//! supported one (AVX2 → SSE2 → scalar), so forcing `LIGHTTS_SIMD=avx2` on
+//! an SSE2-only host is safe. On non-x86-64 targets every request resolves
+//! to scalar. [`cpu_supports`] reports what the host can actually run.
+//!
+//! # Determinism
+//!
+//! `docs/NUMERICS.md` states the full contract; in brief, three classes:
+//!
+//! * **Backend-invariant, element-wise**: [`add_assign`], [`sub_assign`],
+//!   [`mul_assign`], [`scale`], [`sub_scalar`], [`axpy`], [`relu`],
+//!   [`vec_exp`], [`vec_tanh`], [`vec_sigmoid`], [`sum_exp`],
+//!   [`log_softmax_row`] — single-rounding ops (or a fixed polynomial
+//!   algorithm) applied per element, so scalar, SSE2, and AVX2 produce
+//!   identical bits for every shape, including remainder lanes.
+//! * **Backend-invariant, striped**: [`reduce_sum`], [`reduce_sum_sq`],
+//!   [`dot`] — eight fixed stripes folded by one canonical pairing tree on
+//!   every backend (degenerating to a plain serial sum for `n < 8`).
+//! * **Backend-sensitive (FMA)**: [`gemm_row`], [`gemm_block4`],
+//!   [`axpy_madd`] — scalar and SSE2 are bitwise identical (multiply then
+//!   add, two roundings); AVX2 fuses each multiply-add into one rounding,
+//!   producing different, but equally deterministic, bits: for a fixed
+//!   backend the result is independent of thread count, batch fusion, and
+//!   call context, exactly as before.
+//!
+//! Each public kernel has a `*_with(backend, …)` twin that runs under an
+//! explicit (clamped) backend without consulting or mutating process-wide
+//! state — that is what the `simd_equivalence` suite uses to compare
+//! backends concurrently from many test threads.
+#![allow(unsafe_code)]
+// SAFETY AUDIT: this module (with its `vec`/`x86`/`kernels` submodules) is
+// one of two `unsafe` islands in the crate (the other is `par`). All
+// `unsafe` here is `core::arch` intrinsic plumbing: the vector types in
+// `x86.rs` wrap `__m128`/`__m256` intrinsics, and `kernels.rs` instantiates
+// the generic loop bodies behind `#[target_feature]` wrappers. Soundness
+// rests on one invariant, enforced in exactly one place: `effective()`
+// below never returns a vector backend unless `cpu_supports` confirmed the
+// CPU features during detection (requests are clamped down, never up).
+// Slice accesses in the kernels are all bounds-checked or
+// `debug_assert`-guarded against lengths the loops themselves maintain.
+
+mod kernels;
+mod vec;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+pub use kernels::{
+    add_assign, add_assign_with, axpy, axpy_madd, axpy_madd_with, axpy_with, dot, dot_with,
+    gemm_block4, gemm_block4_with, gemm_row, gemm_row_with, mul_assign, mul_assign_with,
+    reduce_sum, reduce_sum_sq, reduce_sum_sq_with, reduce_sum_with, relu, relu_with, scale,
+    scale_with, sub_assign, sub_assign_with, sub_scalar, sub_scalar_with, sum_exp, sum_exp_with,
+    vec_exp, vec_exp_with, vec_sigmoid, vec_sigmoid_with, vec_tanh, vec_tanh_with,
+};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// A SIMD instruction-set backend for the f32 kernels.
+///
+/// Ordering is by capability: `Scalar < Sse2 < Avx2`. Unsupported requests
+/// clamp down this ladder (see [`set_simd_backend`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SimdBackend {
+    /// Plain `f32` arithmetic — the oracle every vector path is tested
+    /// against. Always available.
+    Scalar,
+    /// SSE2 `xmm` vectors (4 × f32), no FMA — part of the x86-64 baseline.
+    /// Bitwise identical to [`SimdBackend::Scalar`] for every kernel.
+    Sse2,
+    /// AVX2 `ymm` vectors (8 × f32) with FMA. The GEMM/conv family fuses
+    /// multiply-adds, so its bits differ (deterministically) from the
+    /// scalar/SSE2 oracle; everything else stays bitwise identical.
+    Avx2,
+}
+
+impl SimdBackend {
+    /// Stable lower-case name (`"scalar"` / `"sse2"` / `"avx2"`), as
+    /// accepted by `LIGHTTS_SIMD` and recorded in bench output.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Sse2 => "sse2",
+            SimdBackend::Avx2 => "avx2",
+        }
+    }
+
+    fn from_u8(v: u8) -> SimdBackend {
+        match v {
+            3 => SimdBackend::Avx2,
+            2 => SimdBackend::Sse2,
+            _ => SimdBackend::Scalar,
+        }
+    }
+
+    fn as_u8(self) -> u8 {
+        match self {
+            SimdBackend::Avx2 => 3,
+            SimdBackend::Sse2 => 2,
+            SimdBackend::Scalar => 1,
+        }
+    }
+}
+
+/// Resolved backend, encoded via `as_u8` (0 = not yet resolved).
+static BACKEND: AtomicU8 = AtomicU8::new(0);
+
+/// Whether the running CPU can execute `bk`.
+///
+/// [`SimdBackend::Scalar`] is always supported; on x86-64 so is
+/// [`SimdBackend::Sse2`]; [`SimdBackend::Avx2`] additionally requires the
+/// AVX2 *and* FMA feature flags.
+pub fn cpu_supports(bk: SimdBackend) -> bool {
+    match bk {
+        SimdBackend::Scalar => true,
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Sse2 => true,
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Avx2 => is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma"),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => false,
+    }
+}
+
+/// Clamps a requested backend down to the best supported one.
+pub(crate) fn effective(bk: SimdBackend) -> SimdBackend {
+    if cpu_supports(bk) {
+        bk
+    } else if bk == SimdBackend::Avx2 && cpu_supports(SimdBackend::Sse2) {
+        SimdBackend::Sse2
+    } else {
+        SimdBackend::Scalar
+    }
+}
+
+fn detect() -> SimdBackend {
+    if let Ok(v) = std::env::var("LIGHTTS_SIMD") {
+        match v.to_ascii_lowercase().as_str() {
+            "scalar" => return SimdBackend::Scalar,
+            "sse2" => return effective(SimdBackend::Sse2),
+            "avx2" => return effective(SimdBackend::Avx2),
+            // Unknown values fall through to native detection.
+            _ => {}
+        }
+    }
+    effective(SimdBackend::Avx2)
+}
+
+/// The process-wide SIMD backend all dispatched kernels currently use.
+///
+/// Resolved lazily on first use from [`set_simd_backend`] /
+/// `LIGHTTS_SIMD` / CPU detection, in that priority order, then cached.
+pub fn backend() -> SimdBackend {
+    match BACKEND.load(Ordering::Relaxed) {
+        0 => {
+            let bk = detect();
+            // A concurrent `set_simd_backend` may win the race; re-read so
+            // every caller observes one consistent resolution.
+            let _ = BACKEND.compare_exchange(0, bk.as_u8(), Ordering::Relaxed, Ordering::Relaxed);
+            SimdBackend::from_u8(BACKEND.load(Ordering::Relaxed))
+        }
+        v => SimdBackend::from_u8(v),
+    }
+}
+
+/// Overrides the process-wide SIMD backend for all subsequent kernel
+/// calls, clamping to what the CPU supports (AVX2 → SSE2 → scalar).
+/// Returns the backend actually installed.
+///
+/// This is a process-wide toggle intended for startup configuration and
+/// benchmarks; concurrent kernels pick up the change at their next
+/// dispatch. Code that needs a specific backend without touching global
+/// state (e.g. equivalence tests running on many threads) should call the
+/// `*_with` kernel variants instead.
+pub fn set_simd_backend(bk: SimdBackend) -> SimdBackend {
+    let e = effective(bk);
+    BACKEND.store(e.as_u8(), Ordering::Relaxed);
+    e
+}
+
+/// In-place log-softmax of one row: `row ← row − max(row) − ln Σ exp(row −
+/// max(row))`, with the exponentials from the [`vec_exp`] kernel and both
+/// folds (max, sum) running strictly left-to-right in scalar order.
+///
+/// Bitwise backend-invariant, and the *single* softmax algorithm of the
+/// workspace: `Tensor::log_softmax_rows`, `Tensor::softmax_rows`, and the
+/// serving path's `predict_proba_into` all reduce to this row routine (plus
+/// [`vec_exp`] for the probability variants), which is what keeps batched
+/// serving, per-sample serving, and training losses bitwise consistent
+/// with each other.
+pub fn log_softmax_row(row: &mut [f32]) {
+    log_softmax_row_with(backend(), row);
+}
+
+/// [`log_softmax_row`] under an explicit backend (clamped to CPU support).
+pub fn log_softmax_row_with(bk: SimdBackend, row: &mut [f32]) {
+    if row.is_empty() {
+        return;
+    }
+    let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    sub_scalar_with(bk, row, mx);
+    let lse = sum_exp_with(bk, row).ln();
+    sub_scalar_with(bk, row, lse);
+}

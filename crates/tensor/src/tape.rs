@@ -69,6 +69,10 @@ pub enum Op {
     Scale(usize, f32),
     /// `max(a, 0)` element-wise.
     Relu(usize),
+    /// Logistic sigmoid `1 / (1 + e^{−a})` element-wise.
+    Sigmoid(usize),
+    /// Hyperbolic tangent element-wise.
+    Tanh(usize),
     /// Rank-2 matrix product `a[m,k] @ b[k,n]`.
     MatMul(usize, usize),
     /// "Same" 1-D convolution of `x` with filters `w`.
@@ -302,9 +306,27 @@ impl Tape {
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Var) -> Result<Var> {
         self.check(a)?;
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        let v = self.nodes[a.0].value.relu();
         let rg = self.rg(a);
         Ok(self.push(v, Op::Relu(a.0), rg))
+    }
+
+    /// Logistic sigmoid, computed by the [`crate::simd::vec_sigmoid`]
+    /// kernel (bitwise backend-invariant; see `docs/NUMERICS.md`).
+    pub fn sigmoid(&mut self, a: Var) -> Result<Var> {
+        self.check(a)?;
+        let v = self.nodes[a.0].value.sigmoid();
+        let rg = self.rg(a);
+        Ok(self.push(v, Op::Sigmoid(a.0), rg))
+    }
+
+    /// Hyperbolic tangent, computed by the [`crate::simd::vec_tanh`]
+    /// kernel (bitwise backend-invariant; see `docs/NUMERICS.md`).
+    pub fn tanh(&mut self, a: Var) -> Result<Var> {
+        self.check(a)?;
+        let v = self.nodes[a.0].value.tanh();
+        let rg = self.rg(a);
+        Ok(self.push(v, Op::Tanh(a.0), rg))
     }
 
     /// Rank-2 matrix product.
@@ -740,6 +762,21 @@ impl Tape {
                 if self.nodes[*a].requires_grad {
                     let mask = self.nodes[*a].value.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
                     Self::acc(grads, *a, gy.mul(&mask)?)?;
+                }
+            }
+            Op::Sigmoid(a) => {
+                if self.nodes[*a].requires_grad {
+                    // gx = gy · y · (1 − y), reusing the forward output y.
+                    let y = &node.value;
+                    let one_minus_y = y.map(|v| 1.0 - v);
+                    Self::acc(grads, *a, gy.mul(y)?.mul(&one_minus_y)?)?;
+                }
+            }
+            Op::Tanh(a) => {
+                if self.nodes[*a].requires_grad {
+                    // gx = gy · (1 − y²), reusing the forward output y.
+                    let d = node.value.map(|v| 1.0 - v * v);
+                    Self::acc(grads, *a, gy.mul(&d)?)?;
                 }
             }
             Op::MatMul(a, b) => {

@@ -291,16 +291,18 @@ impl Tensor {
         Ok(Tensor { shape: self.shape.clone(), data })
     }
 
-    /// Element-wise binary op threaded through the parallel layer.
+    /// Element-wise binary op threaded through the parallel layer, with
+    /// the per-chunk work done by a [`crate::simd`] slice kernel.
     ///
-    /// Position-independent `f` means chunking never changes results; this
-    /// is the parallel analogue of [`Tensor::zip_map`] (whose `impl Fn`
-    /// argument is deliberately not required to be `Sync`).
+    /// Chunking never changes results: the SIMD element-wise kernels apply
+    /// one position-independent, single-rounding operation per element, so
+    /// neither chunk boundaries, thread count, nor lane width affect bits;
+    /// this is the parallel analogue of [`Tensor::zip_map`].
     fn par_zip(
         &self,
         other: &Tensor,
         op: &'static str,
-        f: impl Fn(f32, f32) -> f32 + Sync,
+        f: impl Fn(&mut [f32], &[f32]) + Sync,
     ) -> Result<Self> {
         if self.dims() != other.dims() {
             return Err(TensorError::ShapeMismatch {
@@ -314,35 +316,31 @@ impl Tensor {
         crate::par::par_for_chunks(&mut out, crate::par::REDUCE_CHUNK, 1, |c, chunk| {
             let off = c * crate::par::REDUCE_CHUNK;
             let n = chunk.len();
-            for (o, &b) in chunk.iter_mut().zip(rhs[off..off + n].iter()) {
-                *o = f(*o, b);
-            }
+            f(chunk, &rhs[off..off + n]);
         });
         Ok(Tensor { shape: self.shape.clone(), data: out })
     }
 
     /// Element-wise sum.
     pub fn add(&self, other: &Tensor) -> Result<Self> {
-        self.par_zip(other, "add", |a, b| a + b)
+        self.par_zip(other, "add", crate::simd::add_assign)
     }
 
     /// Element-wise difference.
     pub fn sub(&self, other: &Tensor) -> Result<Self> {
-        self.par_zip(other, "sub", |a, b| a - b)
+        self.par_zip(other, "sub", crate::simd::sub_assign)
     }
 
     /// Element-wise product (Hadamard).
     pub fn mul(&self, other: &Tensor) -> Result<Self> {
-        self.par_zip(other, "mul", |a, b| a * b)
+        self.par_zip(other, "mul", crate::simd::mul_assign)
     }
 
     /// Multiplies every element by `s`.
     pub fn scale(&self, s: f32) -> Self {
         let mut out = crate::pool::take_copy(&self.data);
         crate::par::par_for_chunks(&mut out, crate::par::REDUCE_CHUNK, 1, |_, chunk| {
-            for o in chunk {
-                *o *= s;
-            }
+            crate::simd::scale(chunk, s);
         });
         Tensor { shape: self.shape.clone(), data: out }
     }
@@ -365,11 +363,56 @@ impl Tensor {
         crate::par::par_for_chunks(&mut self.data, crate::par::REDUCE_CHUNK, 2, |c, chunk| {
             let off = c * crate::par::REDUCE_CHUNK;
             let n = chunk.len();
-            for (a, &b) in chunk.iter_mut().zip(rhs[off..off + n].iter()) {
-                *a += b * s;
-            }
+            // Unfused multiply-then-add per element (simd::axpy), exactly
+            // the historical optimizer update — bitwise backend-invariant.
+            crate::simd::axpy(chunk, &rhs[off..off + n], s);
         });
         Ok(())
+    }
+
+    /// Element-wise rectified linear unit `max(x, 0)`.
+    ///
+    /// Vectorized via [`crate::simd::relu`]; `NaN` and `-0.0` both map to
+    /// `+0.0`, matching `f32::max(x, 0.0)` bit-for-bit on every backend.
+    pub fn relu(&self) -> Self {
+        let mut out = crate::pool::take_copy(&self.data);
+        crate::par::par_for_chunks(&mut out, crate::par::REDUCE_CHUNK, 1, |_, chunk| {
+            crate::simd::relu(chunk);
+        });
+        Tensor { shape: self.shape.clone(), data: out }
+    }
+
+    /// Element-wise exponential through the vectorized polynomial kernel
+    /// [`crate::simd::vec_exp`] (~2 ulp, bitwise identical across SIMD
+    /// backends; `NaN` passes through, range edges saturate instead of
+    /// overflowing).
+    pub fn exp(&self) -> Self {
+        let mut out = crate::pool::take_copy(&self.data);
+        crate::par::par_for_chunks(&mut out, crate::par::REDUCE_CHUNK, 4, |_, chunk| {
+            crate::simd::vec_exp(chunk);
+        });
+        Tensor { shape: self.shape.clone(), data: out }
+    }
+
+    /// Element-wise logistic sigmoid `1/(1+exp(−x))` through
+    /// [`crate::simd::vec_sigmoid`] (~3 ulp, bitwise identical across SIMD
+    /// backends; tails saturate to exactly `0.0`/`1.0`).
+    pub fn sigmoid(&self) -> Self {
+        let mut out = crate::pool::take_copy(&self.data);
+        crate::par::par_for_chunks(&mut out, crate::par::REDUCE_CHUNK, 4, |_, chunk| {
+            crate::simd::vec_sigmoid(chunk);
+        });
+        Tensor { shape: self.shape.clone(), data: out }
+    }
+
+    /// Element-wise hyperbolic tangent through [`crate::simd::vec_tanh`]
+    /// (~3 ulp, bitwise identical across SIMD backends; `±inf → ±1.0`).
+    pub fn tanh(&self) -> Self {
+        let mut out = crate::pool::take_copy(&self.data);
+        crate::par::par_for_chunks(&mut out, crate::par::REDUCE_CHUNK, 4, |_, chunk| {
+            crate::simd::vec_tanh(chunk);
+        });
+        Tensor { shape: self.shape.clone(), data: out }
     }
 
     // ------------------------------------------------------------------
@@ -420,8 +463,13 @@ impl Tensor {
     }
 
     /// Squared L2 norm of all elements.
+    ///
+    /// Computed by the striped [`crate::simd::reduce_sum_sq`] kernel:
+    /// bitwise identical across SIMD backends (8 fixed stripes, canonical
+    /// combine tree), and exactly the plain left-to-right sum for tensors
+    /// of at most 8 elements.
     pub fn norm_sq(&self) -> f32 {
-        self.data.iter().map(|&x| x * x).sum()
+        crate::simd::reduce_sum_sq(&self.data)
     }
 
     // ------------------------------------------------------------------
@@ -429,12 +477,25 @@ impl Tensor {
     // ------------------------------------------------------------------
 
     /// Row-wise softmax of a rank-2 tensor.
+    ///
+    /// Exactly [`Tensor::log_softmax_rows`] followed by the element-wise
+    /// [`crate::simd::vec_exp`] kernel — the same two steps (and therefore
+    /// the same bits) as the serving path's `predict_proba_into`.
     pub fn softmax_rows(&self) -> Result<Self> {
-        let lsm = self.log_softmax_rows()?;
-        Ok(lsm.map(f32::exp))
+        let mut lsm = self.log_softmax_rows()?;
+        crate::par::par_for_chunks(&mut lsm.data, crate::par::REDUCE_CHUNK, 4, |_, chunk| {
+            crate::simd::vec_exp(chunk);
+        });
+        Ok(lsm)
     }
 
     /// Row-wise log-softmax of a rank-2 tensor (numerically stabilized).
+    ///
+    /// Each row runs [`crate::simd::log_softmax_row`]: subtract the row
+    /// max, exponentiate through the vectorized `vec_exp` kernel, sum the
+    /// exponentials strictly left-to-right, subtract the log-sum. The
+    /// result is bitwise identical across thread counts and SIMD backends
+    /// (see `docs/NUMERICS.md`).
     pub fn log_softmax_rows(&self) -> Result<Self> {
         if self.rank() != 2 {
             return Err(TensorError::RankMismatch {
@@ -449,12 +510,8 @@ impl Tensor {
         }
         let mut out = crate::pool::take_zeroed(m * n);
         crate::par::par_for_rows(&mut out, n, 4 * n, |i, out_row| {
-            let row = &self.data[i * n..(i + 1) * n];
-            let mx = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let lse = row.iter().map(|&x| (x - mx).exp()).sum::<f32>().ln() + mx;
-            for (o, &x) in out_row.iter_mut().zip(row.iter()) {
-                *o = x - lse;
-            }
+            out_row.copy_from_slice(&self.data[i * n..(i + 1) * n]);
+            crate::simd::log_softmax_row(out_row);
         });
         Tensor::from_vec(out, &[m, n])
     }

@@ -1,0 +1,476 @@
+//! Differential tests for the SIMD backend layer (`lightts_tensor::simd`).
+//!
+//! Every dispatched kernel has a scalar oracle (`SimdBackend::Scalar`) and
+//! up to two vector instantiations (SSE2, AVX2+FMA). `docs/NUMERICS.md`
+//! sorts the kernels into three determinism classes; this suite checks each
+//! class's claim, via the `*_with` kernel variants so backends can be
+//! compared concurrently from many test threads without touching the
+//! process-wide toggle:
+//!
+//! 1. **Backend-invariant kernels** (element-wise ops, transcendentals,
+//!    striped reductions, `log_softmax_row`) must agree *bitwise* across
+//!    scalar / SSE2 / AVX2 on every shape — including remainder lanes,
+//!    empty and single-element inputs — and on NaN/±inf/±0 specials.
+//! 2. **FMA-sensitive kernels** (`gemm_row`, `gemm_block4`, `axpy_madd`)
+//!    must be bitwise identical between scalar and SSE2 (both unfused),
+//!    and bitwise identical between AVX2 and a scalar reference that uses
+//!    `f32::mul_add` (both fused, same accumulation order).
+//! 3. The transcendental approximations must stay within their documented
+//!    ULP budgets of the correctly rounded result (`vec_exp` ≤ 2 ULP,
+//!    `vec_tanh` ≤ 2 ULP, `vec_sigmoid` ≤ 3 ULP over the tested ranges;
+//!    measured worst cases are 1 / 1 / 2).
+//!
+//! The few tests that *do* exercise the process-wide backend (clamping,
+//! `set_simd_backend`, conv direct-vs-lowered under a forced backend) are
+//! serialized behind a mutex, since the cargo test harness runs tests of
+//! one binary concurrently in-process.
+
+use lightts_tensor::conv::{conv1d_forward, set_conv_impl, ConvImpl};
+use lightts_tensor::simd::{
+    add_assign_with, axpy_madd_with, axpy_with, cpu_supports, dot_with, gemm_block4_with,
+    gemm_row_with, log_softmax_row_with, mul_assign_with, reduce_sum_sq_with, reduce_sum_with,
+    relu_with, scale_with, set_simd_backend, sub_assign_with, sub_scalar_with, sum_exp_with,
+    vec_exp_with, vec_sigmoid_with, vec_tanh_with, SimdBackend,
+};
+use lightts_tensor::Tensor;
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// All three backends; `*_with` clamps unsupported requests down, so on a
+/// non-AVX2 host the AVX2 entries degenerate to (already covered) SSE2
+/// comparisons rather than failing.
+const BACKENDS: [SimdBackend; 3] = [SimdBackend::Scalar, SimdBackend::Sse2, SimdBackend::Avx2];
+
+/// Lengths that hit every remainder-lane case for 4- and 8-wide vectors.
+const EDGE_LENS: [usize; 12] = [0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 33];
+
+/// Serializes the tests that mutate process-wide state (the SIMD backend
+/// and the conv implementation toggle).
+static GLOBAL_STATE: Mutex<()> = Mutex::new(());
+
+fn vec_data(len: usize, seed: u32) -> Vec<f32> {
+    // Small deterministic LCG; values in roughly [-4, 4] so exp stays
+    // comfortably in range and sums stay well-conditioned.
+    let mut s = seed.wrapping_mul(2_654_435_761).max(1);
+    (0..len)
+        .map(|_| {
+            s = s.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            ((s >> 8) as f32 / (1 << 24) as f32) * 8.0 - 4.0
+        })
+        .collect()
+}
+
+fn ordered(x: f32) -> i64 {
+    let b = x.to_bits();
+    if b & 0x8000_0000 != 0 {
+        -i64::from(b & 0x7FFF_FFFF)
+    } else {
+        i64::from(b)
+    }
+}
+
+/// Distance in representable floats; 0 iff bit-equal (treating ±0 as
+/// equal); `u64::MAX` when exactly one side is NaN.
+fn ulp_diff(a: f32, b: f32) -> u64 {
+    match (a.is_nan(), b.is_nan()) {
+        (true, true) => 0,
+        (false, false) => (ordered(a) - ordered(b)).unsigned_abs(),
+        _ => u64::MAX,
+    }
+}
+
+fn assert_bits_eq(got: &[f32], want: &[f32], what: &str) {
+    assert_eq!(got.len(), want.len(), "{what}: length mismatch");
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert_eq!(
+            g.to_bits(),
+            w.to_bits(),
+            "{what}[{i}]: {g:?} ({:#010x}) != {w:?} ({:#010x})",
+            g.to_bits(),
+            w.to_bits()
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Class 1: backend-invariant kernels, bitwise across all backends
+// ---------------------------------------------------------------------
+
+/// Runs an in-place kernel under every backend and asserts all outputs are
+/// bitwise identical to the scalar oracle's.
+fn check_invariant_inplace(xs: &[f32], what: &str, f: impl Fn(SimdBackend, &mut [f32])) {
+    let mut oracle = xs.to_vec();
+    f(SimdBackend::Scalar, &mut oracle);
+    for bk in [SimdBackend::Sse2, SimdBackend::Avx2] {
+        let mut out = xs.to_vec();
+        f(bk, &mut out);
+        assert_bits_eq(&out, &oracle, &format!("{what} [{}]", bk.name()));
+    }
+}
+
+/// Same for scalar-returning reductions.
+fn check_invariant_reduce(xs: &[f32], what: &str, f: impl Fn(SimdBackend, &[f32]) -> f32) {
+    let oracle = f(SimdBackend::Scalar, xs);
+    for bk in [SimdBackend::Sse2, SimdBackend::Avx2] {
+        let got = f(bk, xs);
+        assert_eq!(
+            got.to_bits(),
+            oracle.to_bits(),
+            "{what} [{}]: {got:?} != {oracle:?}",
+            bk.name()
+        );
+    }
+}
+
+#[test]
+fn elementwise_kernels_bitwise_invariant_on_edge_lengths() {
+    for &n in &EDGE_LENS {
+        let xs = vec_data(n, 11);
+        let rhs = vec_data(n, 23);
+        check_invariant_inplace(&xs, "add_assign", |bk, o| add_assign_with(bk, o, &rhs));
+        check_invariant_inplace(&xs, "sub_assign", |bk, o| sub_assign_with(bk, o, &rhs));
+        check_invariant_inplace(&xs, "mul_assign", |bk, o| mul_assign_with(bk, o, &rhs));
+        check_invariant_inplace(&xs, "scale", |bk, o| scale_with(bk, o, 1.7));
+        check_invariant_inplace(&xs, "sub_scalar", |bk, o| sub_scalar_with(bk, o, 0.3));
+        check_invariant_inplace(&xs, "axpy", |bk, o| axpy_with(bk, o, &rhs, -2.5));
+        check_invariant_inplace(&xs, "relu", |bk, o| relu_with(bk, o));
+        check_invariant_inplace(&xs, "vec_exp", |bk, o| vec_exp_with(bk, o));
+        check_invariant_inplace(&xs, "vec_tanh", |bk, o| vec_tanh_with(bk, o));
+        check_invariant_inplace(&xs, "vec_sigmoid", |bk, o| vec_sigmoid_with(bk, o));
+        check_invariant_inplace(&xs, "log_softmax_row", |bk, o| log_softmax_row_with(bk, o));
+        check_invariant_reduce(&xs, "sum_exp", sum_exp_with);
+        check_invariant_reduce(&xs, "reduce_sum", reduce_sum_with);
+        check_invariant_reduce(&xs, "reduce_sum_sq", reduce_sum_sq_with);
+        check_invariant_reduce(&xs, "dot", |bk, x| dot_with(bk, x, &rhs));
+    }
+}
+
+#[test]
+fn transcendental_specials_bitwise_invariant() {
+    let specials = [
+        f32::NAN,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f32::MIN_POSITIVE,
+        -f32::MIN_POSITIVE,
+        1e-40, // subnormal
+        88.02,
+        88.03,
+        200.0,
+        -87.3,
+        -88.0,
+        -200.0,
+        0.625,
+        -0.625,
+        f32::MAX,
+        f32::MIN,
+    ];
+    check_invariant_inplace(&specials, "vec_exp/specials", |bk, o| vec_exp_with(bk, o));
+    check_invariant_inplace(&specials, "vec_tanh/specials", |bk, o| vec_tanh_with(bk, o));
+    check_invariant_inplace(&specials, "vec_sigmoid/specials", |bk, o| vec_sigmoid_with(bk, o));
+    check_invariant_inplace(&specials, "relu/specials", |bk, o| relu_with(bk, o));
+
+    // Pinned special-value semantics (scalar oracle; the loop above proved
+    // the other backends identical).
+    let mut v = specials.to_vec();
+    vec_exp_with(SimdBackend::Scalar, &mut v);
+    assert!(v[0].is_nan(), "exp(NaN) must stay NaN");
+    assert!(v[1].is_finite(), "exp(+inf) saturates, never overflows");
+    assert!(
+        v[2] > 0.0 && v[2] <= 1.18e-38,
+        "exp(-inf) saturates just above the smallest normal, got {:e}",
+        v[2]
+    );
+    assert_eq!(v[3], 1.0);
+
+    let mut v = specials.to_vec();
+    vec_tanh_with(SimdBackend::Scalar, &mut v);
+    assert!(v[0].is_nan(), "tanh(NaN) must stay NaN");
+    assert_eq!(v[1], 1.0, "tanh(+inf) == 1");
+    assert_eq!(v[2], -1.0, "tanh(-inf) == -1");
+    assert_eq!(v[3].to_bits(), 0.0f32.to_bits(), "tanh(0) == +0");
+
+    let mut v = specials.to_vec();
+    vec_sigmoid_with(SimdBackend::Scalar, &mut v);
+    assert!(v[0].is_nan(), "sigmoid(NaN) must stay NaN");
+    assert_eq!(v[1], 1.0, "sigmoid(+inf) == 1 exactly");
+    assert!(v[2] > 0.0 && v[2] < 1e-38, "sigmoid(-inf) saturates to a subnormal, got {:e}", v[2]);
+    assert_eq!(v[3], 0.5);
+}
+
+#[test]
+fn reductions_match_serial_sum_for_short_inputs() {
+    // The striped scheme degenerates to the plain left-to-right fold for
+    // n < 8 — exactly the pre-SIMD bits. (Not `Iterator::sum`, whose
+    // identity element is `-0.0`.) At n = 8 the pairing tree kicks in.
+    for n in 0..8usize {
+        let xs = vec_data(n, 5);
+        let serial: f32 = xs.iter().fold(0.0, |a, &b| a + b);
+        assert_eq!(reduce_sum_with(SimdBackend::Avx2, &xs).to_bits(), serial.to_bits(), "n={n}");
+        let serial_sq: f32 = xs.iter().fold(0.0, |a, &b| a + b * b);
+        assert_eq!(
+            reduce_sum_sq_with(SimdBackend::Avx2, &xs).to_bits(),
+            serial_sq.to_bits(),
+            "sq n={n}"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Class 2: FMA-sensitive kernels
+// ---------------------------------------------------------------------
+
+/// Scalar GEMM-row reference parameterized over the madd: `fused=false`
+/// mirrors the scalar/SSE2 contract, `fused=true` the AVX2 one. Matches
+/// the kernels' k-ascending accumulation order and zero-skip.
+fn gemm_row_ref(c: &mut [f32], a: &[f32], b: &[f32], k: usize, n: usize, fused: bool) {
+    for (p, &av) in a.iter().enumerate().take(k) {
+        if av == 0.0 {
+            continue;
+        }
+        let brow = &b[p * n..p * n + n];
+        for j in 0..n {
+            c[j] = if fused { av.mul_add(brow[j], c[j]) } else { av * brow[j] + c[j] };
+        }
+    }
+}
+
+#[test]
+fn gemm_row_honours_per_backend_fma_contract() {
+    for &(k, n) in &[(1usize, 1usize), (3, 5), (8, 16), (17, 33), (64, 40), (300, 7)] {
+        let a = {
+            let mut a = vec_data(k, 31);
+            if k > 2 {
+                a[k / 2] = 0.0; // exercise the zero-skip
+            }
+            a
+        };
+        let b = vec_data(k * n, 37);
+        let seed_c = vec_data(n, 41);
+
+        let mut unfused = seed_c.clone();
+        gemm_row_ref(&mut unfused, &a, &b, k, n, false);
+        let mut fused = seed_c.clone();
+        gemm_row_ref(&mut fused, &a, &b, k, n, true);
+
+        for bk in BACKENDS {
+            let mut c = seed_c.clone();
+            gemm_row_with(bk, &mut c, &a, &b, k, n);
+            let want = if bk == SimdBackend::Avx2 && cpu_supports(SimdBackend::Avx2) {
+                &fused
+            } else {
+                &unfused
+            };
+            assert_bits_eq(&c, want, &format!("gemm_row k={k} n={n} [{}]", bk.name()));
+        }
+    }
+}
+
+#[test]
+fn gemm_block4_matches_gemm_row_per_backend() {
+    // The 4-row tile must produce exactly the same bits as four independent
+    // row kernels under the same backend (same madd per element, same
+    // k-order), for every column-remainder case of the 16/8-wide tiles.
+    for &(k, n) in &[(5usize, 1usize), (9, 7), (16, 16), (21, 17), (33, 31), (40, 64)] {
+        let rows: Vec<Vec<f32>> = (0..4).map(|r| vec_data(k, 51 + r)).collect();
+        let b = vec_data(k * n, 57);
+        let seeds: Vec<Vec<f32>> = (0..4).map(|r| vec_data(n, 61 + r)).collect();
+
+        for bk in BACKENDS {
+            let mut want = seeds.clone();
+            for r in 0..4 {
+                gemm_row_with(bk, &mut want[r], &rows[r], &b, k, n);
+            }
+            let mut got = seeds.clone();
+            let (g0, rest) = got.split_at_mut(1);
+            let (g1, rest) = rest.split_at_mut(1);
+            let (g2, g3) = rest.split_at_mut(1);
+            gemm_block4_with(
+                bk, &mut g0[0], &mut g1[0], &mut g2[0], &mut g3[0], &rows[0], &rows[1], &rows[2],
+                &rows[3], &b, k, n,
+            );
+            for r in 0..4 {
+                assert_bits_eq(
+                    &got[r],
+                    &want[r],
+                    &format!("gemm_block4 row {r} k={k} n={n} [{}]", bk.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn axpy_madd_honours_per_backend_fma_contract() {
+    for &n in &EDGE_LENS {
+        let xs = vec_data(n, 71);
+        let rhs = vec_data(n, 73);
+        let s = -1.3f32;
+
+        let unfused: Vec<f32> = xs.iter().zip(&rhs).map(|(&o, &r)| r * s + o).collect();
+        let fused: Vec<f32> = xs.iter().zip(&rhs).map(|(&o, &r)| r.mul_add(s, o)).collect();
+
+        for bk in BACKENDS {
+            let mut out = xs.clone();
+            axpy_madd_with(bk, &mut out, &rhs, s);
+            let want = if bk == SimdBackend::Avx2 && cpu_supports(SimdBackend::Avx2) {
+                &fused
+            } else {
+                &unfused
+            };
+            assert_bits_eq(&out, want, &format!("axpy_madd n={n} [{}]", bk.name()));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Class 3: accuracy of the transcendental approximations
+// ---------------------------------------------------------------------
+
+#[test]
+fn vec_exp_ulp_budget_holds_over_dense_sweep() {
+    // ~200k points spanning the full non-saturated range.
+    let mut worst = 0u64;
+    let mut x = -87.0f32;
+    while x < 88.0 {
+        let mut v = [x];
+        vec_exp_with(SimdBackend::Scalar, &mut v);
+        let want = (f64::from(x)).exp() as f32;
+        worst = worst.max(ulp_diff(v[0], want));
+        x += 0.000_9;
+    }
+    assert!(worst <= 2, "vec_exp worst-case {worst} ULP, budget 2");
+}
+
+#[test]
+fn vec_tanh_and_sigmoid_ulp_budgets_hold() {
+    let mut worst_t = 0u64;
+    let mut worst_s = 0u64;
+    let mut x = -20.0f32;
+    while x < 20.0 {
+        let mut t = [x];
+        vec_tanh_with(SimdBackend::Scalar, &mut t);
+        worst_t = worst_t.max(ulp_diff(t[0], f64::from(x).tanh() as f32));
+        let mut s = [x];
+        vec_sigmoid_with(SimdBackend::Scalar, &mut s);
+        let want_s = (1.0 / (1.0 + (-f64::from(x)).exp())) as f32;
+        worst_s = worst_s.max(ulp_diff(s[0], want_s));
+        x += 0.000_21;
+    }
+    assert!(worst_t <= 2, "vec_tanh worst-case {worst_t} ULP, budget 2");
+    assert!(worst_s <= 3, "vec_sigmoid worst-case {worst_s} ULP, budget 3");
+}
+
+#[test]
+fn log_softmax_row_produces_normalized_probabilities() {
+    for &n in &[1usize, 3, 9, 16, 33] {
+        let mut row = vec_data(n, 81);
+        log_softmax_row_with(SimdBackend::Avx2, &mut row);
+        vec_exp_with(SimdBackend::Avx2, &mut row);
+        let total: f32 = row.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5, "probabilities sum to {total} for n={n}");
+        assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Randomized sweeps (vendored proptest, sliced fixed-size vectors)
+// ---------------------------------------------------------------------
+
+const MAX_N: usize = 257;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prop_elementwise_and_reductions_invariant(
+        xs in proptest::collection::vec(-50.0f32..50.0, MAX_N),
+        rhs in proptest::collection::vec(-50.0f32..50.0, MAX_N),
+        n in 0usize..MAX_N,
+    ) {
+        let xs = &xs[..n];
+        let rhs = &rhs[..n];
+        check_invariant_inplace(xs, "p/add", |bk, o| add_assign_with(bk, o, rhs));
+        check_invariant_inplace(xs, "p/mul", |bk, o| mul_assign_with(bk, o, rhs));
+        check_invariant_inplace(xs, "p/relu", |bk, o| relu_with(bk, o));
+        check_invariant_inplace(xs, "p/tanh", |bk, o| vec_tanh_with(bk, o));
+        check_invariant_inplace(xs, "p/sigmoid", |bk, o| vec_sigmoid_with(bk, o));
+        check_invariant_reduce(xs, "p/sum", reduce_sum_with);
+        check_invariant_reduce(xs, "p/sumsq", reduce_sum_sq_with);
+        check_invariant_reduce(xs, "p/dot", |bk, x| dot_with(bk, x, rhs));
+    }
+
+    #[test]
+    fn prop_exp_and_softmax_invariant(
+        xs in proptest::collection::vec(-30.0f32..30.0, MAX_N),
+        n in 1usize..MAX_N,
+    ) {
+        let xs = &xs[..n];
+        check_invariant_inplace(xs, "p/exp", |bk, o| vec_exp_with(bk, o));
+        check_invariant_inplace(xs, "p/lsm", |bk, o| log_softmax_row_with(bk, o));
+        check_invariant_reduce(xs, "p/sum_exp", sum_exp_with);
+    }
+
+    #[test]
+    fn prop_reduce_sum_tracks_f64_reference(
+        xs in proptest::collection::vec(-100.0f32..100.0, MAX_N),
+        n in 0usize..MAX_N,
+    ) {
+        let xs = &xs[..n];
+        let want: f64 = xs.iter().map(|&x| f64::from(x)).sum();
+        let got = reduce_sum_with(SimdBackend::Avx2, xs);
+        prop_assert!((f64::from(got) - want).abs() <= 1e-3 + want.abs() * 1e-5);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Process-wide backend state (serialized behind GLOBAL_STATE)
+// ---------------------------------------------------------------------
+
+#[test]
+fn set_simd_backend_clamps_and_installs() {
+    let _guard = GLOBAL_STATE.lock().unwrap();
+    let native = set_simd_backend(SimdBackend::Avx2);
+    assert!(cpu_supports(native), "installed backend must be runnable");
+    if !cpu_supports(SimdBackend::Avx2) {
+        assert!(native < SimdBackend::Avx2, "unsupported request clamps down");
+    }
+    assert_eq!(set_simd_backend(SimdBackend::Scalar), SimdBackend::Scalar);
+    assert_eq!(lightts_tensor::simd::backend(), SimdBackend::Scalar);
+    // Restore native detection for any later test in this binary.
+    set_simd_backend(native);
+    assert_eq!(lightts_tensor::simd::backend(), native);
+}
+
+#[test]
+fn backend_names_are_stable() {
+    assert_eq!(SimdBackend::Scalar.name(), "scalar");
+    assert_eq!(SimdBackend::Sse2.name(), "sse2");
+    assert_eq!(SimdBackend::Avx2.name(), "avx2");
+    assert!(SimdBackend::Scalar < SimdBackend::Sse2);
+    assert!(SimdBackend::Sse2 < SimdBackend::Avx2);
+}
+
+#[test]
+fn conv_direct_matches_lowered_bitwise_under_every_backend() {
+    let _guard = GLOBAL_STATE.lock().unwrap();
+    let prev = lightts_tensor::simd::backend();
+    let x = Tensor::from_vec(vec_data(2 * 3 * 40, 91), &[2, 3, 40]).unwrap();
+    let w = Tensor::from_vec(vec_data(5 * 3 * 9, 97), &[5, 3, 9]).unwrap();
+    for bk in BACKENDS {
+        set_simd_backend(bk);
+        set_conv_impl(ConvImpl::Direct);
+        let direct = conv1d_forward(&x, &w).unwrap();
+        set_conv_impl(ConvImpl::Lowered);
+        let lowered = conv1d_forward(&x, &w).unwrap();
+        assert_bits_eq(
+            lowered.data(),
+            direct.data(),
+            &format!("conv direct vs lowered [{}]", bk.name()),
+        );
+    }
+    set_conv_impl(ConvImpl::Auto);
+    set_simd_backend(prev);
+}
