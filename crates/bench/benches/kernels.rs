@@ -24,8 +24,11 @@ use lightts_tensor::conv::{
     conv1d_backward_input_direct, conv1d_backward_input_lowered, conv1d_backward_weight_direct,
     conv1d_backward_weight_lowered, conv1d_forward_direct, conv1d_forward_lowered,
 };
+use lightts_tensor::qint::{qconv1d_same_into, QuantizedMatrix};
 use lightts_tensor::rng::seeded;
-use lightts_tensor::simd::{cpu_supports, gemm_block4_with, vec_exp_with, SimdBackend};
+use lightts_tensor::simd::{
+    cpu_supports, gemm_block4_with, qgemm_i8t_with, vec_exp_with, SimdBackend,
+};
 use lightts_tensor::Tensor;
 use std::hint::black_box;
 use std::time::Duration;
@@ -160,10 +163,61 @@ fn bench_simd(c: &mut Criterion) {
     g.finish();
 }
 
+/// Int8 kernel family (PR 7): the i8 GEMM at the same 4-row panel shape as
+/// `simd/gemm_panel` (so the speedup below is a like-for-like f32-vs-i8
+/// comparison), and the quantized conv at the conv acceptance shape
+/// against `kernels/forward_lowered`.
+fn bench_quant(c: &mut Criterion) {
+    lightts_tensor::par::set_num_threads(1);
+    let backends: &[SimdBackend] = if native_backend() == SimdBackend::Scalar {
+        &[SimdBackend::Scalar]
+    } else {
+        &[SimdBackend::Scalar, SimdBackend::Sse2, SimdBackend::Avx2]
+    };
+    let mut g = c.benchmark_group("quant");
+
+    // Deterministic i8 operands (value-independent integer kernels, but
+    // keep the data fixed anyway).
+    let code = |i: usize| ((i as u64).wrapping_mul(2_654_435_761) >> 24) as u8 as i8;
+    let qa: Vec<i8> = (0..4 * GEMM_K).map(code).collect();
+    let qb: Vec<i8> = (0..GEMM_N * GEMM_K).map(code).collect();
+    let mut qout = vec![0i32; 4 * GEMM_N];
+    for &bk in backends {
+        g.bench_function(BenchmarkId::new("qgemm_i8t", bk.name()), |bch| {
+            bch.iter(|| {
+                qgemm_i8t_with(bk, &mut qout, &qa, &qb, 4, GEMM_K, GEMM_N);
+                black_box(qout[0]);
+            })
+        });
+    }
+
+    // Quantized conv at the im2col acceptance shape (per-sample kernel, so
+    // one iteration sweeps the same B samples as the f32 benches). Runs
+    // under the process-default (native) backend like `forward_lowered`.
+    let k = KS[0];
+    let mut rng = seeded(31);
+    let w = Tensor::randn(&mut rng, &[COUT, CIN, k], 0.3);
+    let qw = QuantizedMatrix::quantize_rows_symmetric(w.data(), COUT, CIN * k).unwrap();
+    let qx: Vec<i8> = (0..B * CIN * L).map(code).collect();
+    let mut conv_out = vec![0i32; COUT * L];
+    let mut patch = Vec::new();
+    g.bench_function(BenchmarkId::new("qconv1d_same", format!("k{k}")), |bch| {
+        bch.iter(|| {
+            for s in 0..B {
+                let x = &qx[s * CIN * L..(s + 1) * CIN * L];
+                qconv1d_same_into(&mut conv_out, &mut patch, x, CIN, L, &qw, k, 0).unwrap();
+            }
+            black_box(conv_out[0]);
+        })
+    });
+    g.finish();
+    lightts_tensor::par::set_num_threads(0);
+}
+
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_kernels, bench_simd
+    targets = bench_kernels, bench_simd, bench_quant
 }
 
 fn main() {
@@ -194,6 +248,23 @@ fn main() {
                     threads: 1,
                     scale: scale.to_string(),
                     backend: tail.to_string(),
+                }
+            } else if group == "quant" {
+                // "quant/qgemm_i8t/avx2" carries the forced backend;
+                // "quant/qconv1d_same/k9" runs under the native backend at
+                // the f32 conv acceptance shape.
+                let (shape, backend) = if op == "qgemm_i8t" {
+                    (format!("rows4_k{GEMM_K}_n{GEMM_N}"), tail.to_string())
+                } else {
+                    (format!("b{B}_cin{CIN}_cout{COUT}_l{L}_{tail}"), native.clone())
+                };
+                KernelRecord {
+                    op: format!("quant_{op}"),
+                    shape,
+                    median_ns: m.median_ns,
+                    threads: 1,
+                    scale: scale.to_string(),
+                    backend,
                 }
             } else {
                 // "kernels/forward_direct/k9" → op "conv1d_forward_direct",
@@ -242,5 +313,26 @@ fn main() {
                 }
             }
         }
+    }
+
+    // Int8-vs-f32 summary: the i8 GEMM against the f32 panel at the same
+    // shape (per backend), and the quantized conv against the f32 lowered
+    // conv at the acceptance shape.
+    let any_median =
+        |name: String| measurements.iter().find(|m| m.name == name).map(|m| m.median_ns);
+    println!("\nint8 speedups vs f32 (rows4_k{GEMM_K}_n{GEMM_N} panel):");
+    for bk in ["scalar", "sse2", "avx2"] {
+        if let (Some(f), Some(q)) = (
+            any_median(format!("simd/gemm_panel/{bk}")),
+            any_median(format!("quant/qgemm_i8t/{bk}")),
+        ) {
+            println!("  qgemm_i8t  {bk:<6} {:>6.2}x", f / q);
+        }
+    }
+    if let (Some(f), Some(q)) = (
+        any_median(format!("kernels/forward_lowered/k{}", KS[0])),
+        any_median(format!("quant/qconv1d_same/k{}", KS[0])),
+    ) {
+        println!("  qconv1d_same vs forward_lowered k{}: {:>6.2}x", KS[0], f / q);
     }
 }

@@ -14,7 +14,7 @@
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use lightts_bench::perf::{self, KernelRecord};
 use lightts_models::inception::{InceptionConfig, InceptionTime};
-use lightts_serve::{ModelRegistry, Pending, ServeConfig, Server};
+use lightts_serve::{ModelRegistry, Pending, PlanKind, ServeConfig, Server};
 use lightts_tensor::rng::seeded;
 use std::hint::black_box;
 use std::time::Duration;
@@ -89,6 +89,48 @@ fn bench_serve(c: &mut Criterion) {
         let server = Server::start(reg, cfg);
         let handle = server.handle();
         g.bench_function(BenchmarkId::new("batched_queue", max_batch), |b| {
+            b.iter(|| {
+                let pendings: Vec<Pending> =
+                    inputs.iter().map(|s| handle.submit("student", s.clone()).unwrap()).collect();
+                for p in pendings {
+                    black_box(p.wait().unwrap());
+                }
+            })
+        });
+        server.shutdown();
+    }
+
+    // The same two lanes through the `plan = i8` knob: the student is
+    // compiled into the true-int8 `QuantizedPlan` at registration, so these
+    // rows measure the end-to-end serving win of integer inference.
+    {
+        let mut reg = ModelRegistry::new();
+        reg.load_packed_as("student", &packed, PlanKind::I8).unwrap();
+        let server = Server::start(
+            reg,
+            ServeConfig { max_batch: 1, max_wait: Duration::ZERO, ..ServeConfig::default() },
+        );
+        let handle = server.handle();
+        g.bench_function("single_request_loop_i8", |b| {
+            b.iter(|| {
+                for s in &inputs {
+                    black_box(handle.predict("student", s.clone()).unwrap());
+                }
+            })
+        });
+        server.shutdown();
+    }
+    {
+        let mut reg = ModelRegistry::new();
+        reg.load_packed_as("student", &packed, PlanKind::I8).unwrap();
+        let cfg = ServeConfig {
+            max_batch: 16,
+            max_wait: Duration::from_micros(200),
+            ..ServeConfig::default()
+        };
+        let server = Server::start(reg, cfg);
+        let handle = server.handle();
+        g.bench_function(BenchmarkId::new("batched_queue_i8", 16usize), |b| {
             b.iter(|| {
                 let pendings: Vec<Pending> =
                     inputs.iter().map(|s| handle.submit("student", s.clone()).unwrap()).collect();

@@ -24,6 +24,13 @@ pub enum ModelError {
         /// The model that was queried.
         model: &'static str,
     },
+    /// The model cannot be compiled for the requested inference plan kind
+    /// (e.g. an i8 plan was requested for a model trained without ≤ 8-bit
+    /// quantization metadata).
+    UnsupportedPlan {
+        /// Description of the unsupported combination.
+        what: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -34,6 +41,7 @@ impl fmt::Display for ModelError {
             Self::Data(e) => write!(f, "data error: {e}"),
             Self::BadConfig { what } => write!(f, "bad model configuration: {what}"),
             Self::NotTrained { model } => write!(f, "{model} used before training"),
+            Self::UnsupportedPlan { what } => write!(f, "unsupported inference plan: {what}"),
         }
     }
 }

@@ -313,6 +313,87 @@ impl InceptionTime {
         ))
     }
 
+    /// Compiles the model into a true-int8
+    /// [`QuantizedPlan`](crate::qinference::QuantizedPlan): every conv / FC
+    /// weight is quantized once to `i8` codes with per-output-channel
+    /// symmetric scales (from the same fake-quantized parameters the f32
+    /// plan hoists, so QAT-trained grids carry over), batch-norm is folded
+    /// exactly as in [`Self::compile`], and inference runs the integer
+    /// kernels.
+    ///
+    /// Requires ≤ 8-bit quantization metadata on every quantized layer:
+    /// a model configured with 16- or 32-bit blocks (or FC) was never
+    /// trained to tolerate 8-bit codes, so compiling it to i8 is refused
+    /// with [`ModelError::UnsupportedPlan`] rather than served with silent
+    /// accuracy loss.
+    pub fn compile_quantized(&self) -> Result<crate::qinference::QuantizedPlan> {
+        use crate::qinference::{QPlanBlock, QPlanConv, QuantizedPlan};
+        use lightts_tensor::qint::QuantizedMatrix;
+        for (i, block) in self.blocks.iter().enumerate() {
+            for conv in &block.convs {
+                if conv.bits() > 8 {
+                    return Err(ModelError::UnsupportedPlan {
+                        what: format!(
+                            "i8 plan: block {i} convs trained at {} bits (> 8); \
+                             retrain with bits ≤ 8 or serve the f32 plan",
+                            conv.bits()
+                        ),
+                    });
+                }
+            }
+        }
+        if self.fc.bits() > 8 {
+            return Err(ModelError::UnsupportedPlan {
+                what: format!(
+                    "i8 plan: FC head trained at {} bits (> 8); \
+                     retrain with bits ≤ 8 or serve the f32 plan",
+                    self.fc.bits()
+                ),
+            });
+        }
+        let mut sp = lightts_obs::span!("inference.compile_i8", {
+            blocks: self.blocks.len(),
+            size_bits: self.size_bits(),
+        });
+        lightts_obs::global().counter("inference.quantized_plans_compiled").inc();
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for block in &self.blocks {
+            let mut convs = Vec::with_capacity(block.convs.len());
+            for conv in &block.convs {
+                let (w, b) = conv.quantized_params(&self.store)?;
+                let (filters, cin, k) = (w.dims()[0], w.dims()[1], w.dims()[2]);
+                let weight = QuantizedMatrix::quantize_rows_symmetric(w.data(), filters, cin * k)?;
+                convs.push(QPlanConv { weight, kernel: k, bias: b.into_vec() });
+            }
+            let (bn_scale, bn_shift) = block.bn.folded_affine(&self.store)?;
+            blocks.push(QPlanBlock { convs, bn_scale, bn_shift });
+        }
+        let (fw, fb) = self.fc.quantized_params(&self.store)?;
+        // The stored FC weight is `[fc_in, num_classes]`; the integer GEMM
+        // wants class rows with a contiguous reduction axis, so transpose
+        // once here.
+        let fin = self.fc.in_features();
+        let nc = self.config.num_classes;
+        let fwd = fw.data();
+        let mut fwt = vec![0.0f32; nc * fin];
+        for i in 0..fin {
+            for c in 0..nc {
+                fwt[c * fin + i] = fwd[i * nc + c];
+            }
+        }
+        let fc_weight = QuantizedMatrix::quantize_rows_symmetric(&fwt, nc, fin)?;
+        sp.record("classes", nc);
+        Ok(QuantizedPlan::from_parts(
+            blocks,
+            fc_weight,
+            fb.into_vec(),
+            fin,
+            self.config.in_dims,
+            self.config.in_len,
+            nc,
+        ))
+    }
+
     /// Channel count of each block's batch-norm layer, in block order.
     pub fn bn_channel_counts(&self) -> Vec<usize> {
         self.blocks.iter().map(|b| b.bn.channels()).collect()

@@ -13,6 +13,9 @@
 //! * [`inference`] — compiled, tape-free inference plans for serving:
 //!   pre-quantized weights, folded batch-norm, reusable scratch buffers,
 //!   bitwise identical to the training-crate eval path.
+//! * [`qinference`] — the true-int8 sibling of [`inference`]: weights
+//!   stored as `i8` codes, conv/linear executed in `i8×i8→i32` integer
+//!   kernels, gated by a golden-fixture parity test against the f32 plan.
 //! * [`ensemble`] — N-member ensembles with per-member class distributions
 //!   (the teachers of Figure 6) and parallel teacher training.
 //! * [`metrics`] — Accuracy and Top-5 Accuracy (Section 4.1.2).
@@ -34,6 +37,7 @@ pub mod inception;
 pub mod inference;
 pub mod metrics;
 pub mod nondeep;
+pub mod qinference;
 
 pub use classifier::Classifier;
 pub use error::ModelError;

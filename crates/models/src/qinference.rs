@@ -1,0 +1,527 @@
+//! True int8 compiled inference for InceptionTime models.
+//!
+//! [`QuantizedPlan`] is the deployment-side sibling of
+//! [`InferencePlan`](crate::inference::InferencePlan). Where the f32 plan
+//! hoists fake-quantized f32 weights, this plan stores every conv / FC
+//! weight as real `i8` codes with per-output-channel scales
+//! ([`QuantizedMatrix`]) and executes the convolutions and the FC head in
+//! pure integer arithmetic (`i8×i8→i32` via
+//! [`lightts_tensor::simd::qgemm_i8t`]), dequantizing once per layer.
+//!
+//! Per forward pass and per sample, activations are re-quantized
+//! dynamically: an [`ActQuant`] affine is fitted to each sample's activation
+//! range at every block input (and at the pooled features before the FC
+//! head), so no calibration dataset is needed and the f32 elementwise tail
+//! of each layer (bias, folded batch-norm, ReLU, global average pooling,
+//! softmax) is reused unchanged from the f32 plan's algorithms.
+//!
+//! # Numerics & determinism
+//!
+//! The i8 path is *approximate* with respect to the f32 plan — quantizing
+//! weights to 8 bits and activations per sample perturbs logits — and the
+//! contract is the **parity gate** in `tests/quantized_parity.rs`: argmax
+//! agreement with the f32 plan on ≥ 99% of golden-fixture samples inside a
+//! pinned logit tolerance (`docs/NUMERICS.md`, "Quantized inference").
+//!
+//! In exchange the path sits in the strongest determinism class: integer
+//! accumulation is exact and every f32 step is element-wise scalar code, so
+//! quantized inference is **bitwise identical across SIMD backends, thread
+//! counts, and batch splits** — per-sample quantization means a sample's
+//! codes never depend on its batch neighbours.
+//!
+//! Scratch discipline matches the f32 plan: f32 buffers come from the
+//! thread-local [`pool`] and are recycled on drop;
+//! the i8/i32 buffers (which the pool does not serve) are plan-owned and
+//! grow-only. Steady-state forwards allocate nothing.
+
+use crate::{ModelError, Result};
+use lightts_obs::Histogram;
+use lightts_tensor::qint::{qconv1d_same_into, ActQuant, QuantizedMatrix};
+use lightts_tensor::{pool, simd, Tensor};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One compiled int8 convolution layer.
+#[derive(Debug, Clone)]
+pub(crate) struct QPlanConv {
+    /// Quantized filter bank, flattened `[filters, cin·kernel]`.
+    pub(crate) weight: QuantizedMatrix,
+    /// Filter length (needed to rebuild patch rows).
+    pub(crate) kernel: usize,
+    /// Bias in f32, one entry per output channel (added after dequant).
+    pub(crate) bias: Vec<f32>,
+}
+
+/// One compiled int8 Inception block: parallel quantized convolutions plus
+/// the folded batch-norm affine (f32, identical to the f32 plan's).
+#[derive(Debug, Clone)]
+pub(crate) struct QPlanBlock {
+    pub(crate) convs: Vec<QPlanConv>,
+    pub(crate) bn_scale: Vec<f32>,
+    pub(crate) bn_shift: Vec<f32>,
+}
+
+/// Reusable scratch. The f32 buffers are pool-backed (recycled on drop,
+/// like the f32 plan's); the integer buffers are plan-owned grow-only Vecs
+/// because the buffer pool only serves f32 slabs. Either way, nothing is
+/// allocated in steady state.
+#[derive(Debug, Clone, Default)]
+struct QScratch {
+    /// Current block input `[batch, c, l]` (f32, pool-backed).
+    a: Vec<f32>,
+    /// Next block output `[batch, c', l]` (f32, pool-backed).
+    b: Vec<f32>,
+    /// Pooled features `[batch, c_last]` (f32, pool-backed).
+    pooled: Vec<f32>,
+    /// One sample's quantized activation codes (grow-only).
+    qx: Vec<i8>,
+    /// im2row patch rows for one sample (grow-only).
+    patch: Vec<i8>,
+    /// Integer accumulators for one sample's conv / FC output (grow-only).
+    acc: Vec<i32>,
+}
+
+impl Drop for QScratch {
+    fn drop(&mut self) {
+        for v in [&mut self.a, &mut self.b, &mut self.pooled] {
+            pool::recycle(std::mem::take(v));
+        }
+    }
+}
+
+/// Grows a pool-backed f32 buffer to hold at least `n` elements (same
+/// contract as the f32 plan's helper: callers fully overwrite what they
+/// read).
+fn ensure_f32(v: &mut Vec<f32>, n: usize) {
+    if v.capacity() < n {
+        let fresh = pool::take_empty(n);
+        pool::recycle(std::mem::replace(v, fresh));
+    }
+    if v.len() < n {
+        v.resize(n, 0.0);
+    }
+}
+
+/// A compiled, tape-free, allocation-free **int8** inference pass over an
+/// [`InceptionTime`](crate::inception::InceptionTime) model.
+///
+/// Build one with
+/// [`InceptionTime::compile_quantized`](crate::inception::InceptionTime::compile_quantized)
+/// (which requires every quantized layer to have been configured with
+/// bit-width ≤ 8, and fails with [`ModelError::UnsupportedPlan`] otherwise),
+/// then call [`predict_proba_into`](Self::predict_proba_into) per request,
+/// exactly like the f32 plan.
+#[derive(Debug, Clone)]
+pub struct QuantizedPlan {
+    blocks: Vec<QPlanBlock>,
+    /// Quantized FC weight `[num_classes, fc_in]` (transposed at compile so
+    /// the reduction axis is contiguous for the integer kernels).
+    fc_weight: QuantizedMatrix,
+    fc_bias: Vec<f32>,
+    fc_in: usize,
+    in_dims: usize,
+    in_len: usize,
+    num_classes: usize,
+    scratch: QScratch,
+    /// Per-forward wall-clock histogram (`inference.forward_i8_ns`),
+    /// resolved once at compile time.
+    forward_ns: Arc<Histogram>,
+}
+
+impl QuantizedPlan {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        blocks: Vec<QPlanBlock>,
+        fc_weight: QuantizedMatrix,
+        fc_bias: Vec<f32>,
+        fc_in: usize,
+        in_dims: usize,
+        in_len: usize,
+        num_classes: usize,
+    ) -> Self {
+        QuantizedPlan {
+            blocks,
+            fc_weight,
+            fc_bias,
+            fc_in,
+            in_dims,
+            in_len,
+            num_classes,
+            scratch: QScratch::default(),
+            forward_ns: lightts_obs::global().histogram("inference.forward_i8_ns"),
+        }
+    }
+
+    /// Input dimensionality `M` each sample must have.
+    pub fn in_dims(&self) -> usize {
+        self.in_dims
+    }
+
+    /// Series length each sample must have.
+    pub fn in_len(&self) -> usize {
+        self.in_len
+    }
+
+    /// Number of scalars one sample occupies (`in_dims · in_len`).
+    pub fn sample_len(&self) -> usize {
+        self.in_dims * self.in_len
+    }
+
+    /// Number of output classes.
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    /// Heap bytes of quantized weight storage (codes + per-channel
+    /// metadata), the number compared against the f32 plan's `4 ·
+    /// parameter-count` in the README size table.
+    pub fn weight_bytes(&self) -> usize {
+        let conv: usize = self
+            .blocks
+            .iter()
+            .flat_map(|b| b.convs.iter())
+            .map(|c| c.weight.size_bytes() + c.bias.len() * 4)
+            .sum();
+        let bn: usize = self.blocks.iter().map(|b| (b.bn_scale.len() + b.bn_shift.len()) * 4).sum();
+        conv + bn + self.fc_weight.size_bytes() + self.fc_bias.len() * 4
+    }
+
+    /// Computes logits for a `[batch, in_dims, in_len]` slice of inputs into
+    /// `out` (resized to `batch · num_classes`).
+    ///
+    /// Approximate with respect to the f32 plan (see the parity gate), but
+    /// bitwise reproducible across backends, thread counts, and batch
+    /// splits for identical sample bytes.
+    pub fn logits_into(&mut self, inputs: &[f32], batch: usize, out: &mut Vec<f32>) -> Result<()> {
+        let t0 = Instant::now();
+        let l = self.in_len;
+        if batch == 0 {
+            return Err(ModelError::BadConfig { what: "inference: empty batch".into() });
+        }
+        if inputs.len() != batch * self.in_dims * l {
+            return Err(ModelError::BadConfig {
+                what: format!(
+                    "inference: input length {} != batch {batch} × {} × {l}",
+                    inputs.len(),
+                    self.in_dims
+                ),
+            });
+        }
+
+        let scratch = &mut self.scratch;
+        let mut cin = self.in_dims;
+        ensure_f32(&mut scratch.a, batch * cin * l);
+        scratch.a[..batch * cin * l].copy_from_slice(inputs);
+
+        for block in &self.blocks {
+            let filters = block.convs[0].weight.rows();
+            let c_total = block.convs.len() * filters;
+            ensure_f32(&mut scratch.b, batch * c_total * l);
+            if scratch.qx.len() < cin * l {
+                scratch.qx.resize(cin * l, 0);
+            }
+            if scratch.acc.len() < filters * l {
+                scratch.acc.resize(filters * l, 0);
+            }
+            for bi in 0..batch {
+                // Per-sample dynamic activation quantization: codes depend
+                // only on this sample's bytes, never on batch neighbours.
+                let x_b = &scratch.a[bi * cin * l..(bi + 1) * cin * l];
+                let aq = ActQuant::fit(x_b);
+                aq.quantize_into(x_b, &mut scratch.qx[..cin * l]);
+                for (j, conv) in block.convs.iter().enumerate() {
+                    qconv1d_same_into(
+                        &mut scratch.acc[..filters * l],
+                        &mut scratch.patch,
+                        &scratch.qx[..cin * l],
+                        cin,
+                        l,
+                        &conv.weight,
+                        conv.kernel,
+                        aq.zero_point,
+                    )?;
+                    // Dequantize + bias, scattered into the channel-
+                    // concatenated layout — the i8 analogue of the f32
+                    // plan's conv-scatter loop. Fixed scalar rounding
+                    // sequence: combined scale, subtract zero-point
+                    // correction, multiply, add bias.
+                    let zp = i32::from(aq.zero_point);
+                    for ci in 0..filters {
+                        let s = aq.scale * conv.weight.scales()[ci];
+                        let corr = zp * conv.weight.row_sums()[ci];
+                        let bias_v = conv.bias[ci];
+                        let dst = (bi * c_total + j * filters + ci) * l;
+                        for (o, &acc) in scratch.b[dst..dst + l]
+                            .iter_mut()
+                            .zip(&scratch.acc[ci * l..(ci + 1) * l])
+                        {
+                            *o = (acc - corr) as f32 * s + bias_v;
+                        }
+                    }
+                }
+            }
+            // Folded batch-norm affine + ReLU, identical to the f32 plan.
+            for bi in 0..batch {
+                for ci in 0..c_total {
+                    let scale = block.bn_scale[ci];
+                    let shift = block.bn_shift[ci];
+                    let off = (bi * c_total + ci) * l;
+                    for v in &mut scratch.b[off..off + l] {
+                        let t = *v * scale + shift;
+                        *v = t.max(0.0);
+                    }
+                }
+            }
+            std::mem::swap(&mut scratch.a, &mut scratch.b);
+            cin = c_total;
+        }
+
+        // Global average pooling, identical summation order to the f32 plan.
+        ensure_f32(&mut scratch.pooled, batch * cin);
+        for bi in 0..batch {
+            for ci in 0..cin {
+                let off = (bi * cin + ci) * l;
+                scratch.pooled[bi * cin + ci] =
+                    scratch.a[off..off + l].iter().sum::<f32>() / l as f32;
+            }
+        }
+
+        // Quantized FC head: per-sample quantization of the pooled features,
+        // integer matrix-vector product, dequant + bias.
+        let nc = self.num_classes;
+        let fin = self.fc_in;
+        out.resize(batch * nc, 0.0);
+        if scratch.qx.len() < fin {
+            scratch.qx.resize(fin, 0);
+        }
+        if scratch.acc.len() < nc {
+            scratch.acc.resize(nc, 0);
+        }
+        for bi in 0..batch {
+            let p = &scratch.pooled[bi * fin..(bi + 1) * fin];
+            let aq = ActQuant::fit(p);
+            aq.quantize_into(p, &mut scratch.qx[..fin]);
+            simd::qgemm_i8t(
+                &mut scratch.acc[..nc],
+                self.fc_weight.data(),
+                &scratch.qx[..fin],
+                nc,
+                fin,
+                1,
+            );
+            let zp = i32::from(aq.zero_point);
+            for ci in 0..nc {
+                let s = aq.scale * self.fc_weight.scales()[ci];
+                let corr = zp * self.fc_weight.row_sums()[ci];
+                out[bi * nc + ci] = (scratch.acc[ci] - corr) as f32 * s + self.fc_bias[ci];
+            }
+        }
+        self.forward_ns.record_duration(t0.elapsed());
+        Ok(())
+    }
+
+    /// Computes class probabilities (softmax over the i8-path logits) into
+    /// `out`, via the same canonical softmax family as every other path
+    /// (`simd::log_softmax_row` + `simd::vec_exp`).
+    pub fn predict_proba_into(
+        &mut self,
+        inputs: &[f32],
+        batch: usize,
+        out: &mut Vec<f32>,
+    ) -> Result<()> {
+        self.logits_into(inputs, batch, out)?;
+        let nc = self.num_classes;
+        for row in out.chunks_exact_mut(nc) {
+            simd::log_softmax_row(row);
+            simd::vec_exp(row);
+        }
+        Ok(())
+    }
+
+    /// Convenience wrapper returning probabilities as a `[batch, classes]`
+    /// tensor (allocates; tests and non-hot-path callers).
+    pub fn predict_proba(&mut self, inputs: &Tensor) -> Result<Tensor> {
+        if inputs.rank() != 3 {
+            return Err(ModelError::BadConfig {
+                what: format!(
+                    "inference: expected [batch, dims, len] input, rank {}",
+                    inputs.rank()
+                ),
+            });
+        }
+        let batch = inputs.dims()[0];
+        let mut out = Vec::new();
+        self.predict_proba_into(inputs.data(), batch, &mut out)?;
+        Ok(Tensor::from_vec(out, &[batch, self.num_classes])?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::inception::{BlockSpec, InceptionConfig, InceptionTime};
+    use crate::ModelError;
+    use lightts_tensor::rng::seeded;
+    use lightts_tensor::tape::tapes_created;
+    use lightts_tensor::Tensor;
+
+    fn build_model(bits: u8) -> InceptionTime {
+        let cfg = InceptionConfig {
+            blocks: vec![
+                BlockSpec { layers: 2, filter_len: 8, bits },
+                BlockSpec { layers: 3, filter_len: 4, bits },
+            ],
+            filters: 4,
+            in_dims: 2,
+            in_len: 20,
+            num_classes: 5,
+        };
+        let mut rng = seeded(11);
+        let mut model = InceptionTime::new(cfg, &mut rng).unwrap();
+        let stats: Vec<(Vec<f32>, Vec<f32>)> = model
+            .bn_channel_counts()
+            .iter()
+            .map(|&c| {
+                let mean: Vec<f32> = (0..c).map(|i| 0.05 * i as f32 - 0.1).collect();
+                let var: Vec<f32> = (0..c).map(|i| 0.5 + 0.03 * i as f32).collect();
+                (mean, var)
+            })
+            .collect();
+        for (i, (mean, var)) in stats.iter().enumerate() {
+            model.set_bn_running_stats(i, mean, var).unwrap();
+        }
+        model
+    }
+
+    fn test_inputs(batch: usize, dims: usize, len: usize) -> Tensor {
+        let data: Vec<f32> = (0..batch * dims * len)
+            .map(|i| ((i as u64 * 2_654_435_761) % 1000) as f32 / 500.0 - 1.0)
+            .collect();
+        Tensor::from_vec(data, &[batch, dims, len]).unwrap()
+    }
+
+    #[test]
+    fn quantized_plan_tracks_f32_argmax() {
+        let model = build_model(8);
+        let mut f32_plan = model.compile().unwrap();
+        let mut i8_plan = model.compile_quantized().unwrap();
+        let x = test_inputs(8, 2, 20);
+        let reference = f32_plan.predict_proba(&x).unwrap();
+        let got = i8_plan.predict_proba(&x).unwrap();
+        assert_eq!(reference.dims(), got.dims());
+        let nc = 5;
+        let mut agree = 0;
+        for bi in 0..8 {
+            let argmax = |d: &[f32]| {
+                d.iter()
+                    .enumerate()
+                    .fold((0, f32::MIN), |m, (i, &v)| if v > m.1 { (i, v) } else { m })
+                    .0
+            };
+            if argmax(&reference.data()[bi * nc..(bi + 1) * nc])
+                == argmax(&got.data()[bi * nc..(bi + 1) * nc])
+            {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 7, "i8 plan agreed on only {agree}/8 argmaxes");
+    }
+
+    #[test]
+    fn quantized_plan_is_batch_invariant_bitwise() {
+        let model = build_model(8);
+        let mut plan = model.compile_quantized().unwrap();
+        let x = test_inputs(6, 2, 20);
+        let mut batched = Vec::new();
+        plan.predict_proba_into(x.data(), 6, &mut batched).unwrap();
+        let sample = 2 * 20;
+        for bi in 0..6 {
+            let mut single = Vec::new();
+            plan.predict_proba_into(&x.data()[bi * sample..(bi + 1) * sample], 1, &mut single)
+                .unwrap();
+            for (a, b) in batched[bi * 5..(bi + 1) * 5].iter().zip(&single) {
+                assert_eq!(a.to_bits(), b.to_bits(), "sample {bi}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_plan_is_tape_free() {
+        let model = build_model(8);
+        let mut plan = model.compile_quantized().unwrap();
+        let x = test_inputs(4, 2, 20);
+        plan.predict_proba(&x).unwrap();
+        let before = tapes_created();
+        for _ in 0..10 {
+            plan.predict_proba(&x).unwrap();
+        }
+        assert_eq!(tapes_created(), before, "quantized inference constructed a Tape");
+    }
+
+    #[test]
+    fn quantized_plan_is_pool_miss_free_after_warmup() {
+        use lightts_tensor::pool::thread_pool_misses;
+        let model = build_model(8);
+        let mut plan = model.compile_quantized().unwrap();
+        let x = test_inputs(3, 2, 20);
+        let mut out = Vec::new();
+        plan.logits_into(x.data(), 3, &mut out).unwrap();
+        let before = thread_pool_misses();
+        for _ in 0..10 {
+            plan.logits_into(x.data(), 3, &mut out).unwrap();
+        }
+        assert_eq!(
+            thread_pool_misses(),
+            before,
+            "steady-state quantized inference allocated fresh pool slabs"
+        );
+    }
+
+    #[test]
+    fn quantized_plan_shrinks_weight_storage() {
+        let model = build_model(8);
+        let plan = model.compile_quantized().unwrap();
+        // The f32 plan stores 4 bytes per conv/FC weight code plus the same
+        // f32 bias/BN vectors. The i8 plan's codes + per-channel metadata
+        // must undercut that by at least 2× even on this tiny model
+        // (larger models approach the full 4×).
+        let codes: usize = plan
+            .blocks
+            .iter()
+            .flat_map(|b| b.convs.iter())
+            .map(|c| c.weight.data().len())
+            .sum::<usize>()
+            + plan.fc_weight.data().len();
+        let aux: usize =
+            plan.blocks.iter().map(|b| (b.bn_scale.len() + b.bn_shift.len()) * 4).sum::<usize>()
+                + plan
+                    .blocks
+                    .iter()
+                    .flat_map(|b| b.convs.iter())
+                    .map(|c| c.bias.len() * 4)
+                    .sum::<usize>()
+                + plan.fc_bias.len() * 4;
+        let f32_total = 4 * codes + aux;
+        let i8_total = plan.weight_bytes();
+        assert!(i8_total * 2 < f32_total, "no storage win: {i8_total} vs {f32_total} bytes");
+    }
+
+    #[test]
+    fn high_bit_models_cannot_compile_quantized() {
+        for bits in [16u8, 32] {
+            let model = build_model(bits);
+            match model.compile_quantized() {
+                Err(ModelError::UnsupportedPlan { .. }) => {}
+                other => panic!("bits={bits}: expected UnsupportedPlan, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_plan_rejects_bad_input_lengths() {
+        let model = build_model(8);
+        let mut plan = model.compile_quantized().unwrap();
+        let mut out = Vec::new();
+        assert!(plan.logits_into(&[0.0; 7], 1, &mut out).is_err());
+        assert!(plan.logits_into(&[], 0, &mut out).is_err());
+    }
+}

@@ -8,8 +8,17 @@
 //!
 //! * [`ModelRegistry`] — loads packed
 //!   [`save_bytes`](lightts_models::inception::InceptionTime::save_bytes)
-//!   exports (or live models) and compiles each into a tape-free
-//!   [`InferencePlan`](lightts_models::inference::InferencePlan).
+//!   exports (or live models) and compiles each into a tape-free plan of
+//!   the chosen [`PlanKind`]: the f32
+//!   [`InferencePlan`](lightts_models::inference::InferencePlan) (default)
+//!   or the true-int8
+//!   [`QuantizedPlan`](lightts_models::qinference::QuantizedPlan) via the
+//!   `plan = f32 | i8` knob ([`ServeConfig::plan`] +
+//!   [`ModelRegistry::for_config`], or per-model
+//!   [`register_as`](ModelRegistry::register_as)). Both kinds can be
+//!   resident at once; a model that cannot support the requested kind
+//!   (e.g. 16/32-bit quantization metadata asked to serve i8) is refused
+//!   at registration with a typed error, never a panic.
 //! * [`Server`] — a request queue with **dynamic micro-batching**: requests
 //!   accumulate until either `max_batch` are waiting or the oldest has
 //!   waited `max_wait`, then one fused forward runs over the whole batch
@@ -61,7 +70,13 @@
 //! form: every kernel in the inference path computes each output row with a
 //! batch-size-independent accumulation order (see
 //! [`lightts_models::inference`]). Batching is therefore purely a
-//! throughput optimization — it can never change a prediction.
+//! throughput optimization — it can never change a prediction. The i8 plan
+//! upholds the same batch-size invariance (activation quantizers are
+//! fitted per sample, and integer accumulation is exact), and is
+//! additionally bitwise identical across SIMD backends; its predictions
+//! are *approximate with respect to the f32 plan*, within the parity gate
+//! of `tests/quantized_parity.rs` (see `docs/NUMERICS.md`, "Quantized
+//! inference").
 //!
 //! ```no_run
 //! use lightts_serve::{ModelRegistry, ServeConfig, Server};
@@ -86,7 +101,7 @@ mod server;
 mod stats;
 
 pub use error::ServeError;
-pub use registry::ModelRegistry;
+pub use registry::{ModelRegistry, PlanKind};
 pub use server::{Pending, ServeConfig, Server, ServerHandle};
 pub use stats::ServeStats;
 

@@ -1,14 +1,86 @@
-//! The model registry: named, compiled inference plans.
+//! The model registry: named, compiled inference plans (f32 or int8).
 
-use crate::{Result, ServeError};
+use crate::{Result, ServeConfig, ServeError};
 use lightts_models::inception::InceptionTime;
 use lightts_models::inference::InferencePlan;
+use lightts_models::qinference::QuantizedPlan;
+
+/// Which compiled plan kind a model is served with — the `plan = f32 | i8`
+/// knob.
+///
+/// * [`PlanKind::F32`] (default): the classic [`InferencePlan`] — f32
+///   arithmetic, bitwise identical to the uncompiled eval path.
+/// * [`PlanKind::I8`]: the [`QuantizedPlan`] — i8 weights, integer
+///   conv/GEMM, ~4× smaller weight storage; approximate vs f32 within the
+///   parity gate of `tests/quantized_parity.rs`, and bitwise reproducible
+///   across backends/batch splits in its own right.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanKind {
+    /// Full-precision compiled plan.
+    #[default]
+    F32,
+    /// True-int8 compiled plan.
+    I8,
+}
+
+impl PlanKind {
+    /// Stable lower-case name (`"f32"` / `"i8"`), as recorded in bench
+    /// output and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlanKind::F32 => "f32",
+            PlanKind::I8 => "i8",
+        }
+    }
+}
+
+/// A compiled plan of either kind, dispatched per batch by the scheduler.
+#[derive(Debug)]
+pub(crate) enum AnyPlan {
+    F32(InferencePlan),
+    I8(QuantizedPlan),
+}
+
+impl AnyPlan {
+    pub(crate) fn kind(&self) -> PlanKind {
+        match self {
+            AnyPlan::F32(_) => PlanKind::F32,
+            AnyPlan::I8(_) => PlanKind::I8,
+        }
+    }
+
+    pub(crate) fn sample_len(&self) -> usize {
+        match self {
+            AnyPlan::F32(p) => p.sample_len(),
+            AnyPlan::I8(p) => p.sample_len(),
+        }
+    }
+
+    pub(crate) fn num_classes(&self) -> usize {
+        match self {
+            AnyPlan::F32(p) => p.num_classes(),
+            AnyPlan::I8(p) => p.num_classes(),
+        }
+    }
+
+    pub(crate) fn predict_proba_into(
+        &mut self,
+        inputs: &[f32],
+        batch: usize,
+        out: &mut Vec<f32>,
+    ) -> lightts_models::Result<()> {
+        match self {
+            AnyPlan::F32(p) => p.predict_proba_into(inputs, batch, out),
+            AnyPlan::I8(p) => p.predict_proba_into(inputs, batch, out),
+        }
+    }
+}
 
 /// One registered model: its name plus the compiled plan.
 #[derive(Debug)]
 pub(crate) struct Entry {
     pub(crate) name: String,
-    pub(crate) plan: InferencePlan,
+    pub(crate) plan: AnyPlan,
 }
 
 /// A collection of named, compiled models ready to serve.
@@ -17,45 +89,111 @@ pub(crate) struct Entry {
 /// [`save_bytes`](InceptionTime::save_bytes) exports
 /// ([`load_packed`](Self::load_packed)) — the deployment path — or as live
 /// [`InceptionTime`] instances ([`register`](Self::register)). Either way
-/// they are compiled once into a tape-free
-/// [`InferencePlan`](lightts_models::inference::InferencePlan) at
-/// registration time, so the serving hot path never re-quantizes weights or
-/// touches the autodiff tape.
+/// they are compiled once at registration time into a tape-free plan of the
+/// registry's default [`PlanKind`] (or an explicit per-model kind via
+/// [`register_as`](Self::register_as) / [`load_packed_as`](Self::load_packed_as)),
+/// so the serving hot path never re-quantizes weights or touches the
+/// autodiff tape. f32 and i8 plans can be resident simultaneously; requests
+/// are routed by model name as before.
+///
+/// Compiling a model for a plan kind it cannot support — e.g. an i8 plan
+/// for a packed model trained with 16/32-bit quantization metadata — fails
+/// here, at registration, with a typed
+/// [`ServeError::Model`]`(`[`UnsupportedPlan`](lightts_models::ModelError::UnsupportedPlan)`)`
+/// rather than a panic or silent accuracy loss at request time.
 #[derive(Debug, Default)]
 pub struct ModelRegistry {
     pub(crate) entries: Vec<Entry>,
+    default_plan: PlanKind,
 }
 
 impl ModelRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty registry with the default f32 plan kind.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Registers a live model under `name`, compiling it for serving.
+    /// Creates an empty registry whose [`register`](Self::register) /
+    /// [`load_packed`](Self::load_packed) compile plans of `kind`.
+    pub fn with_plan(kind: PlanKind) -> Self {
+        ModelRegistry { entries: Vec::new(), default_plan: kind }
+    }
+
+    /// Creates an empty registry honouring the config's `plan` knob —
+    /// the usual way to build the registry a [`Server`](crate::Server)
+    /// will consume.
+    pub fn for_config(cfg: &ServeConfig) -> Self {
+        Self::with_plan(cfg.plan)
+    }
+
+    /// The plan kind [`register`](Self::register) compiles by default.
+    pub fn default_plan(&self) -> PlanKind {
+        self.default_plan
+    }
+
+    /// Changes the default plan kind for subsequent registrations
+    /// (already-registered models are unaffected).
+    pub fn set_default_plan(&mut self, kind: PlanKind) {
+        self.default_plan = kind;
+    }
+
+    /// Registers a live model under `name`, compiling it for serving with
+    /// the registry's default plan kind.
     ///
     /// Replaces any previous model of the same name.
     pub fn register(&mut self, name: impl Into<String>, model: &InceptionTime) -> Result<()> {
+        self.register_as(name, model, self.default_plan)
+    }
+
+    /// Registers a live model under `name` with an explicit plan kind,
+    /// regardless of the registry default.
+    pub fn register_as(
+        &mut self,
+        name: impl Into<String>,
+        model: &InceptionTime,
+        kind: PlanKind,
+    ) -> Result<()> {
         let name = name.into();
         if name.is_empty() {
             return Err(ServeError::BadRequest { what: "empty model name".into() });
         }
-        let plan = model.compile()?;
+        let plan = match kind {
+            PlanKind::F32 => AnyPlan::F32(model.compile()?),
+            PlanKind::I8 => AnyPlan::I8(model.compile_quantized()?),
+        };
         self.entries.retain(|e| e.name != name);
         self.entries.push(Entry { name, plan });
         Ok(())
     }
 
     /// Loads a packed model export (the bytes written by
-    /// [`InceptionTime::save_bytes`]) and registers it under `name`.
+    /// [`InceptionTime::save_bytes`]) and registers it under `name` with
+    /// the registry's default plan kind.
     pub fn load_packed(&mut self, name: impl Into<String>, bytes: &[u8]) -> Result<()> {
+        self.load_packed_as(name, bytes, self.default_plan)
+    }
+
+    /// Loads a packed model export and registers it with an explicit plan
+    /// kind. Fails with a typed error (never a panic) both on malformed
+    /// bytes and on a model that cannot support `kind`.
+    pub fn load_packed_as(
+        &mut self,
+        name: impl Into<String>,
+        bytes: &[u8],
+        kind: PlanKind,
+    ) -> Result<()> {
         let model = InceptionTime::load_bytes(bytes)?;
-        self.register(name, &model)
+        self.register_as(name, &model, kind)
     }
 
     /// Names of all registered models, in registration order.
     pub fn names(&self) -> Vec<&str> {
         self.entries.iter().map(|e| e.name.as_str()).collect()
+    }
+
+    /// The plan kind a registered model was compiled with.
+    pub fn plan_kind(&self, name: &str) -> Option<PlanKind> {
+        self.entries.iter().find(|e| e.name == name).map(|e| e.plan.kind())
     }
 
     /// Whether a model of this name is registered.

@@ -1,10 +1,9 @@
 //! The serving scheduler: request queues with dynamic micro-batching,
 //! admission control, deadlines, and panic isolation.
 
-use crate::registry::ModelRegistry;
+use crate::registry::{AnyPlan, ModelRegistry, PlanKind};
 use crate::stats::{ServeStats, StatsInner};
 use crate::{Result, ServeError};
-use lightts_models::inference::InferencePlan;
 use lightts_obs as obs;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
@@ -27,11 +26,24 @@ pub struct ServeConfig {
     /// latency finite under overload — shedding early is cheaper than
     /// answering late.
     pub max_queue: usize,
+    /// Which compiled plan kind [`ModelRegistry::for_config`] builds for
+    /// models registered through it: the classic f32 plan (default) or the
+    /// true-int8 plan (~4× smaller weights, integer conv/GEMM, parity-gated
+    /// against f32). Per-batch execution is recorded in the
+    /// `serve.plan_f32_requests` / `serve.plan_i8_requests` counters
+    /// regardless of how the registry was built, so mixed registries stay
+    /// observable.
+    pub plan: PlanKind,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { max_batch: 16, max_wait: Duration::from_millis(1), max_queue: 1024 }
+        ServeConfig {
+            max_batch: 16,
+            max_wait: Duration::from_millis(1),
+            max_queue: 1024,
+            plan: PlanKind::F32,
+        }
     }
 }
 
@@ -144,7 +156,7 @@ impl Server {
         let cfg =
             ServeConfig { max_batch: cfg.max_batch.max(1), max_queue: cfg.max_queue.max(1), ..cfg };
         let mut models = Vec::with_capacity(registry.entries.len());
-        let mut plans: Vec<InferencePlan> = Vec::with_capacity(registry.entries.len());
+        let mut plans: Vec<AnyPlan> = Vec::with_capacity(registry.entries.len());
         for e in registry.entries {
             models.push(ModelInfo { name: e.name, sample_len: e.plan.sample_len() });
             plans.push(e.plan);
@@ -360,7 +372,7 @@ fn next_batch(shared: &Shared) -> Option<(usize, Vec<Request>)> {
 /// only that batch's requests with [`ServeError::Inference`], and the loop
 /// continues, so one bad batch can never strand every other caller's
 /// `Pending` forever.
-fn scheduler(shared: &Shared, mut plans: Vec<InferencePlan>) {
+fn scheduler(shared: &Shared, mut plans: Vec<AnyPlan>) {
     let mut inputs: Vec<f32> = Vec::new();
     let mut probs: Vec<f32> = Vec::new();
     while let Some((mi, batch)) = next_batch(shared) {
@@ -382,6 +394,7 @@ fn scheduler(shared: &Shared, mut plans: Vec<InferencePlan>) {
         }
         let batch = live;
         let plan = &mut plans[mi];
+        let kind = plan.kind();
         let nc = plan.num_classes();
         inputs.clear();
         for r in &batch {
@@ -408,6 +421,7 @@ fn scheduler(shared: &Shared, mut plans: Vec<InferencePlan>) {
                 // must never read stale stats.
                 let done = Instant::now();
                 shared.stats.record_batch(batch.len(), service);
+                shared.stats.record_plan_requests(kind, batch.len());
                 for (bi, r) in batch.iter().enumerate() {
                     let row = probs[bi * nc..(bi + 1) * nc].to_vec();
                     shared.stats.record_latency(done.duration_since(r.enqueued));
@@ -415,6 +429,7 @@ fn scheduler(shared: &Shared, mut plans: Vec<InferencePlan>) {
                 }
                 obs::event!("serve.batch", {
                     model: shared.models[mi].name.as_str(),
+                    plan: kind.name(),
                     batch: batch.len(),
                     service_us: service.as_secs_f64() * 1e6,
                 });

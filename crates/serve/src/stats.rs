@@ -9,6 +9,7 @@
 //! [`Server::metrics`](crate::Server::metrics) in Prometheus or JSON
 //! form.
 
+use crate::registry::PlanKind;
 use lightts_obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::Arc;
 use std::time::Duration;
@@ -46,6 +47,13 @@ pub(crate) struct StatsInner {
     shed_deadline: Arc<Counter>,
     /// Fused forwards that panicked and were contained by the scheduler.
     batch_panics: Arc<Counter>,
+    /// Requests answered by an f32 [`InferencePlan`]
+    /// (`lightts_models::inference`).
+    plan_f32_requests: Arc<Counter>,
+    /// Requests answered by an int8 `QuantizedPlan`
+    /// (`lightts_models::qinference`) — the `plan = i8` knob's adoption
+    /// signal in a mixed registry.
+    plan_i8_requests: Arc<Counter>,
 }
 
 impl StatsInner {
@@ -66,6 +74,8 @@ impl StatsInner {
             shed_overload: registry.counter("serve.shed_overload"),
             shed_deadline: registry.counter("serve.shed_deadline"),
             batch_panics: registry.counter("serve.batch_panics"),
+            plan_f32_requests: registry.counter("serve.plan_f32_requests"),
+            plan_i8_requests: registry.counter("serve.plan_i8_requests"),
             registry,
         }
     }
@@ -129,6 +139,14 @@ impl StatsInner {
         self.batch_panics.inc();
     }
 
+    /// `n` requests were answered by a plan of `kind`.
+    pub(crate) fn record_plan_requests(&self, kind: PlanKind, n: usize) {
+        match kind {
+            PlanKind::F32 => self.plan_f32_requests.add(n as u64),
+            PlanKind::I8 => self.plan_i8_requests.add(n as u64),
+        }
+    }
+
     pub(crate) fn snapshot(&self) -> ServeStats {
         self.refresh_pool_gauges();
         let latency = self.latency_ns.snapshot();
@@ -142,6 +160,8 @@ impl StatsInner {
             shed_overload: self.shed_overload.get(),
             shed_deadline: self.shed_deadline.get(),
             batch_panics: self.batch_panics.get(),
+            plan_f32_requests: self.plan_f32_requests.get(),
+            plan_i8_requests: self.plan_i8_requests.get(),
             total_latency: Duration::from_nanos(latency.sum),
             total_service: Duration::from_nanos(service.sum),
             latency_p50: q(0.50),
@@ -176,6 +196,10 @@ pub struct ServeStats {
     pub shed_deadline: u64,
     /// Fused forwards that panicked; each failed only its own batch.
     pub batch_panics: u64,
+    /// Requests answered by f32 plans.
+    pub plan_f32_requests: u64,
+    /// Requests answered by int8 plans.
+    pub plan_i8_requests: u64,
     /// Σ enqueue→reply latency over all answered requests.
     pub total_latency: Duration,
     /// Σ fused-forward service time over all batches.

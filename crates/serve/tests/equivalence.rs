@@ -8,8 +8,8 @@
 //! plus hand-set batch-norm running statistics.
 
 use lightts_models::inception::{BlockSpec, InceptionConfig, InceptionTime};
-use lightts_models::Classifier;
-use lightts_serve::{ModelRegistry, Pending, ServeConfig, ServeError, Server};
+use lightts_models::{Classifier, ModelError};
+use lightts_serve::{ModelRegistry, Pending, PlanKind, ServeConfig, ServeError, Server};
 use lightts_tensor::rng::seeded;
 use lightts_tensor::tape::tapes_created;
 use lightts_tensor::Tensor;
@@ -221,7 +221,12 @@ fn overload_sheds_with_typed_error_and_counter() {
     registry.register("student", &model).unwrap();
     // max_batch larger than max_queue and a long max_wait: nothing drains
     // until the queue fills, so the admission bound is exercised exactly.
-    let cfg = ServeConfig { max_batch: 1024, max_wait: Duration::from_secs(10), max_queue: 3 };
+    let cfg = ServeConfig {
+        max_batch: 1024,
+        max_wait: Duration::from_secs(10),
+        max_queue: 3,
+        ..ServeConfig::default()
+    };
     let server = Server::start(registry, cfg);
     let handle = server.handle();
     let accepted: Vec<Pending> =
@@ -244,7 +249,12 @@ fn expired_deadlines_are_shed_before_inference() {
     registry.register("student", &model).unwrap();
     // max_wait far beyond the deadline: by the time the scheduler forms
     // the batch (after max_wait), every deadline has long expired.
-    let cfg = ServeConfig { max_batch: 64, max_wait: Duration::from_millis(50), max_queue: 64 };
+    let cfg = ServeConfig {
+        max_batch: 64,
+        max_wait: Duration::from_millis(50),
+        max_queue: 64,
+        ..ServeConfig::default()
+    };
     let server = Server::start(registry, cfg);
     let handle = server.handle();
     let pendings: Vec<Pending> = (0..4)
@@ -270,7 +280,12 @@ fn robustness_counters_appear_in_metrics_exposition() {
     let model = build_model(84, 3, 8);
     let mut registry = ModelRegistry::new();
     registry.register("student", &model).unwrap();
-    let cfg = ServeConfig { max_batch: 1024, max_wait: Duration::from_secs(10), max_queue: 1 };
+    let cfg = ServeConfig {
+        max_batch: 1024,
+        max_wait: Duration::from_secs(10),
+        max_queue: 1,
+        ..ServeConfig::default()
+    };
     let server = Server::start(registry, cfg);
     let handle = server.handle();
     let held = handle.submit("student", sample(0)).unwrap();
@@ -285,6 +300,119 @@ fn robustness_counters_appear_in_metrics_exposition() {
     }
     server.shutdown();
     assert!(held.wait().is_ok());
+}
+
+/// Reference row through the int8 plan directly (per-sample, no server).
+fn reference_row_i8(model: &InceptionTime, s: &[f32]) -> Vec<f32> {
+    let mut plan = model.compile_quantized().unwrap();
+    let mut out = Vec::new();
+    plan.predict_proba_into(s, 1, &mut out).unwrap();
+    out
+}
+
+#[test]
+fn i8_plan_serving_is_batch_size_invariant_bitwise() {
+    let model = build_model(91, 4, 8);
+    let packed = model.save_bytes().unwrap();
+    let served = InceptionTime::load_bytes(&packed).unwrap();
+    for max_batch in [1usize, 2, 4, 16] {
+        let cfg = ServeConfig {
+            max_batch,
+            max_wait: Duration::from_millis(2),
+            plan: PlanKind::I8,
+            ..ServeConfig::default()
+        };
+        let mut reg = ModelRegistry::for_config(&cfg);
+        assert_eq!(reg.default_plan(), PlanKind::I8);
+        reg.load_packed("student", &packed).unwrap();
+        assert_eq!(reg.plan_kind("student"), Some(PlanKind::I8));
+        let server = Server::start(reg, cfg);
+        let handle = server.handle();
+        let n = 13; // not a multiple of any max_batch: forces partial batches
+        let pendings: Vec<Pending> =
+            (0..n).map(|i| handle.submit("student", sample(i)).unwrap()).collect();
+        for (i, p) in pendings.into_iter().enumerate() {
+            let got = p.wait().unwrap();
+            let expect = reference_row_i8(&served, &sample(i));
+            assert_eq!(got.len(), expect.len());
+            for (k, (a, b)) in expect.iter().zip(got.iter()).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "i8 max_batch={max_batch} sample {i} elem {k}: {a} vs {b}"
+                );
+            }
+        }
+        let stats = server.stats();
+        assert_eq!(stats.requests, n as u64);
+        assert_eq!(stats.plan_i8_requests, n as u64);
+        assert_eq!(stats.plan_f32_requests, 0);
+        server.shutdown();
+    }
+}
+
+#[test]
+fn mixed_registry_routes_f32_and_i8_plans_correctly() {
+    let model = build_model(92, 4, 8);
+    let mut registry = ModelRegistry::new();
+    registry.register_as("fast", &model, PlanKind::F32).unwrap();
+    registry.register_as("small", &model, PlanKind::I8).unwrap();
+    assert_eq!(registry.plan_kind("fast"), Some(PlanKind::F32));
+    assert_eq!(registry.plan_kind("small"), Some(PlanKind::I8));
+    let server = Server::start(registry, ServeConfig::default());
+    let handle = server.handle();
+    for i in 0..6 {
+        let f = handle.predict("fast", sample(i)).unwrap();
+        let q = handle.predict("small", sample(i)).unwrap();
+        // Each lane reproduces its own reference bitwise; same model, two
+        // resident plans, routed by name.
+        assert_eq!(f, reference_row(&model, &sample(i)), "f32 lane, sample {i}");
+        assert_eq!(q, reference_row_i8(&model, &sample(i)), "i8 lane, sample {i}");
+    }
+    let stats = server.stats();
+    assert_eq!(stats.plan_f32_requests, 6);
+    assert_eq!(stats.plan_i8_requests, 6);
+    assert_eq!(stats.requests, 12);
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.counter("serve.plan_f32_requests"), Some(6));
+    assert_eq!(snap.counter("serve.plan_i8_requests"), Some(6));
+    server.shutdown();
+}
+
+#[test]
+fn unsupported_plan_kind_is_a_typed_registration_error() {
+    // A model packed with 32-bit (and 16-bit) quantization metadata cannot
+    // serve the i8 plan: registration must fail with a typed error — never
+    // a panic — and leave the registry unchanged.
+    for bits in [16u8, 32] {
+        let model = build_model(93, 3, bits);
+        let packed = model.save_bytes().unwrap();
+        let mut registry = ModelRegistry::new();
+        match registry.load_packed_as("student", &packed, PlanKind::I8) {
+            Err(ServeError::Model(ModelError::UnsupportedPlan { .. })) => {}
+            other => panic!("bits={bits}: expected UnsupportedPlan, got {other:?}"),
+        }
+        assert!(registry.is_empty(), "failed registration must not leave an entry");
+        // The same bytes still load fine as f32.
+        registry.load_packed_as("student", &packed, PlanKind::F32).unwrap();
+        assert_eq!(registry.plan_kind("student"), Some(PlanKind::F32));
+    }
+}
+
+#[test]
+fn malformed_packed_bytes_surface_typed_errors_for_both_plan_kinds() {
+    let model = build_model(94, 3, 8);
+    let packed = model.save_bytes().unwrap();
+    for kind in [PlanKind::F32, PlanKind::I8] {
+        let mut registry = ModelRegistry::new();
+        // Truncated container.
+        assert!(registry.load_packed_as("m", &packed[..packed.len() / 2], kind).is_err());
+        // Corrupted magic.
+        let mut bad = packed.clone();
+        bad[0] ^= 0xFF;
+        assert!(registry.load_packed_as("m", &bad, kind).is_err());
+        assert!(registry.is_empty());
+    }
 }
 
 #[test]

@@ -56,6 +56,7 @@ pub mod conv;
 pub mod linalg;
 pub mod par;
 pub mod pool;
+pub mod qint;
 pub mod quant;
 pub mod rng;
 pub mod simd;

@@ -528,6 +528,10 @@ macro_rules! dispatch_kernel {
     };
 }
 
+// Shared with the sibling `qkernels` module, which stamps out the i8
+// integer kernels through the same three-backend dispatcher.
+pub(crate) use dispatch_kernel;
+
 #[cfg(not(target_arch = "x86_64"))]
 type F32x4 = ScalarVec;
 #[cfg(not(target_arch = "x86_64"))]

@@ -45,6 +45,11 @@
 //!   producing different, but equally deterministic, bits: for a fixed
 //!   backend the result is independent of thread count, batch fusion, and
 //!   call context, exactly as before.
+//! * **Integer-exact (quantized)**: [`qdot_i8`], [`qgemm_i8t`] — i8×i8
+//!   products accumulated in i32. Two's-complement addition is
+//!   associative, so all three backends are bitwise identical for every
+//!   input and every shape, remainder lanes included — the strongest
+//!   class (see "Quantized inference" in `docs/NUMERICS.md`).
 //!
 //! Each public kernel has a `*_with(backend, …)` twin that runs under an
 //! explicit (clamped) backend without consulting or mutating process-wide
@@ -63,9 +68,12 @@
 // `debug_assert`-guarded against lengths the loops themselves maintain.
 
 mod kernels;
+mod qkernels;
 mod vec;
 #[cfg(target_arch = "x86_64")]
 mod x86;
+
+pub use qkernels::{qdot_i8, qdot_i8_with, qgemm_i8t, qgemm_i8t_with, QDOT_MAX_K};
 
 pub use kernels::{
     add_assign, add_assign_with, axpy, axpy_madd, axpy_madd_with, axpy_with, dot, dot_with,

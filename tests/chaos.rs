@@ -329,6 +329,7 @@ proptest! {
             max_batch: 10_000,
             max_wait: Duration::from_secs(10),
             max_queue,
+            ..ServeConfig::default()
         };
         let server = Server::start(registry, cfg);
         let handle = server.handle();

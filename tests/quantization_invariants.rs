@@ -89,3 +89,74 @@ proptest! {
         prop_assert_eq!(best, fr_best);
     }
 }
+
+// --- True-int8 plan invariants (PR 7) -----------------------------------
+//
+// The settings above describe *storage* quantization (bit-packed weights);
+// the properties below cover the *execution* path: any setting trained at
+// <= 8 bits must compile to a `QuantizedPlan` that produces valid
+// distributions and is bitwise batch-invariant, and any setting with a
+// wider block must be refused with a typed error, never a panic.
+
+fn arb_low_bit_setting() -> impl Strategy<Value = StudentSetting> {
+    let layer = prop::sample::select(vec![1usize, 2, 3]);
+    let filt = prop::sample::select(vec![10usize, 20, 40]);
+    let bits = prop::sample::select(vec![4u8, 8]);
+    prop::collection::vec((layer, filt, bits), 3).prop_map(StudentSetting)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Every <= 8-bit setting compiles to an i8 plan whose outputs are
+    /// valid class distributions, bitwise independent of batch size.
+    #[test]
+    fn low_bit_settings_serve_valid_i8_distributions(setting in arb_low_bit_setting()) {
+        let sp = space();
+        let cfg = setting.to_config(&sp);
+        let mut rng = lightts::tensor::rng::seeded(3);
+        let model = InceptionTime::new(cfg, &mut rng).unwrap();
+        let mut plan = model.compile_quantized().unwrap();
+
+        let inputs: Vec<f32> = (0..2 * 48)
+            .map(|i| ((i as u64).wrapping_mul(2_654_435_761) % 2000) as f32 / 1000.0 - 1.0)
+            .collect();
+        let mut batched = Vec::new();
+        plan.predict_proba_into(&inputs, 2, &mut batched).unwrap();
+        prop_assert_eq!(batched.len(), 2 * 7);
+        for r in 0..2 {
+            let row = &batched[r * 7..(r + 1) * 7];
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-3, "row sum {}", s);
+            prop_assert!(row.iter().all(|v| v.is_finite() && *v >= 0.0));
+
+            let mut single = Vec::new();
+            plan.predict_proba_into(&inputs[r * 48..(r + 1) * 48], 1, &mut single).unwrap();
+            for (b, s) in row.iter().zip(&single) {
+                prop_assert!(b.to_bits() == s.to_bits(), "batch-variant i8 output");
+            }
+        }
+    }
+
+    /// A setting with any block trained wider than 8 bits cannot pretend to
+    /// be an i8 model: `compile_quantized` refuses with the typed
+    /// `UnsupportedPlan` error (the serve layer surfaces this at
+    /// registration rather than panicking mid-request).
+    #[test]
+    fn high_bit_settings_refuse_the_i8_plan(
+        setting in arb_low_bit_setting(),
+        block in 0usize..3,
+        wide in prop::sample::select(vec![16u8, 32]),
+    ) {
+        let sp = space();
+        let mut setting = setting;
+        setting.0[block].2 = wide;
+        let cfg = setting.to_config(&sp);
+        let mut rng = lightts::tensor::rng::seeded(4);
+        let model = InceptionTime::new(cfg, &mut rng).unwrap();
+        match model.compile_quantized() {
+            Err(lightts::models::ModelError::UnsupportedPlan { .. }) => {}
+            other => prop_assert!(false, "expected UnsupportedPlan, got {:?}", other.map(|_| ())),
+        }
+    }
+}
