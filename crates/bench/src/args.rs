@@ -19,9 +19,23 @@ impl Args {
     ///
     /// Also initializes the observability sink: progress goes to stderr as
     /// JSONL events by default, `LIGHTTS_OBS` overrides (`0` silences,
-    /// a path redirects to a file).
+    /// a path redirects to a file). If `LIGHTTS_TELEMETRY_ADDR` is set,
+    /// the telemetry HTTP server ([`lightts_obs::http`]) is spawned over
+    /// the global registry for the lifetime of the process, so any
+    /// long-running experiment can be scraped live (`/metrics`,
+    /// `/healthz`, `/tracez`, `/profilez`).
     pub fn parse() -> Args {
         lightts_obs::init_from_env_or(lightts_obs::SinkTarget::Stderr);
+        match lightts_obs::http::spawn_from_env(lightts_obs::global()) {
+            Ok(Some(srv)) => {
+                eprintln!("telemetry: listening on http://{}/", srv.addr());
+                // Keep serving until process exit; the handle's Drop would
+                // stop the server.
+                std::mem::forget(srv);
+            }
+            Ok(None) => {}
+            Err(e) => eprintln!("telemetry: failed to bind LIGHTTS_TELEMETRY_ADDR: {e}"),
+        }
         Self::parse_from(std::env::args().skip(1))
     }
 

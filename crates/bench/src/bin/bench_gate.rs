@@ -1,0 +1,131 @@
+//! Performance regression gate over the `BENCH_kernels.json` artifact.
+//!
+//! ```text
+//! bench_gate <baseline.json> <fresh.json> [--threshold <pct>]
+//! ```
+//!
+//! Joins the two files' rows on the full record key
+//! `(op, shape, threads, scale, backend)` and prints a per-key delta
+//! table. Exits non-zero if any joined row's fresh `median_ns` regressed
+//! by more than the threshold (default **25%**) over the baseline. Keys
+//! present on only one side are reported but never fatal — benches come
+//! and go; the gate only guards kernels both runs measured.
+//!
+//! CI runs the smoke benches, then gates the fresh artifact against the
+//! committed one. The generous threshold absorbs shared-runner noise
+//! while still catching the step-function regressions that matter (a
+//! dispatch falling back to scalar, a lowering losing its panel kernel).
+
+use lightts_bench::perf::{read_records, KernelRecord};
+use std::path::Path;
+use std::process::exit;
+
+fn key(r: &KernelRecord) -> (String, String, usize, String, String) {
+    (r.op.clone(), r.shape.clone(), r.threads, r.scale.clone(), r.backend.clone())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut threshold_pct = 25.0f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threshold" {
+            let v = it.next().and_then(|s| s.parse::<f64>().ok());
+            match v {
+                Some(v) if v > 0.0 => threshold_pct = v,
+                _ => {
+                    eprintln!("bench_gate: --threshold needs a positive number");
+                    exit(2);
+                }
+            }
+        } else {
+            paths.push(a.clone());
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        eprintln!("usage: bench_gate <baseline.json> <fresh.json> [--threshold <pct>]");
+        exit(2);
+    };
+    let baseline = read_records(Path::new(baseline_path));
+    let fresh = read_records(Path::new(fresh_path));
+    if baseline.is_empty() {
+        eprintln!("bench_gate: {baseline_path}: no baseline records (missing or unparsable)");
+        exit(2);
+    }
+    if fresh.is_empty() {
+        eprintln!("bench_gate: {fresh_path}: no fresh records (missing or unparsable)");
+        exit(2);
+    }
+
+    let mut joined = 0usize;
+    let mut regressions = Vec::new();
+    println!(
+        "{:<40} {:>12} {:>12} {:>8}  verdict",
+        "op/shape/threads/scale/backend", "base ns", "fresh ns", "delta"
+    );
+    for f in &fresh {
+        let Some(b) = baseline.iter().find(|b| key(b) == key(f)) else {
+            println!(
+                "{:<40} {:>12} {:>12} {:>8}  new (not gated)",
+                label(f),
+                "-",
+                fmt(f.median_ns),
+                "-"
+            );
+            continue;
+        };
+        joined += 1;
+        let delta_pct =
+            if b.median_ns > 0.0 { (f.median_ns - b.median_ns) / b.median_ns * 100.0 } else { 0.0 };
+        let regressed = delta_pct > threshold_pct;
+        println!(
+            "{:<40} {:>12} {:>12} {:>+7.1}%  {}",
+            label(f),
+            fmt(b.median_ns),
+            fmt(f.median_ns),
+            delta_pct,
+            if regressed { "REGRESSION" } else { "ok" }
+        );
+        if regressed {
+            regressions.push((label(f), delta_pct));
+        }
+    }
+    for b in &baseline {
+        if !fresh.iter().any(|f| key(f) == key(b)) {
+            println!(
+                "{:<40} {:>12} {:>12} {:>8}  gone (not gated)",
+                label(b),
+                fmt(b.median_ns),
+                "-",
+                "-"
+            );
+        }
+    }
+    if joined == 0 {
+        eprintln!("bench_gate: no keys in common between {baseline_path} and {fresh_path}");
+        exit(2);
+    }
+    if regressions.is_empty() {
+        println!(
+            "bench_gate: {joined} keys gated, none regressed beyond {threshold_pct:.0}% — pass"
+        );
+    } else {
+        eprintln!(
+            "bench_gate: {} of {joined} keys regressed beyond {threshold_pct:.0}%:",
+            regressions.len()
+        );
+        for (l, d) in &regressions {
+            eprintln!("  {l}: +{d:.1}%");
+        }
+        exit(1);
+    }
+}
+
+fn label(r: &KernelRecord) -> String {
+    format!("{}/{}/t{}/{}/{}", r.op, r.shape, r.threads, r.scale, r.backend)
+}
+
+fn fmt(ns: f64) -> String {
+    format!("{ns:.0}")
+}

@@ -4,9 +4,18 @@
 //! obs_validate <trace.jsonl>
 //! ```
 //!
-//! Reads the file line by line, checks every non-empty line with
-//! [`lightts_obs::jsonl::validate_event_line`], and exits non-zero on the
-//! first violation — CI runs this over the trace a smoke bench emits under
+//! Two passes, both fatal on the first violation:
+//!
+//! 1. **Per line** — every non-empty line must satisfy
+//!    [`lightts_obs::jsonl::validate_event_line`] (the top-level key/type
+//!    contract documented in the crate docs).
+//! 2. **Across lines** — the serving trace-linkage contract
+//!    ([`lightts_obs::jsonl::validate_trace_linkage`]): every `serve.*`
+//!    span carries a positive integer `trace_id`, each trace has exactly
+//!    one `serve.request` root, and its stage spans nest inside the root's
+//!    time range.
+//!
+//! CI runs this over the trace a smoke bench emits under
 //! `LIGHTTS_OBS=<path>`.
 
 use std::io::{BufRead, BufReader};
@@ -26,7 +35,7 @@ fn main() {
             std::process::exit(2);
         }
     };
-    let mut total = 0usize;
+    let mut lines = Vec::new();
     for (lineno, line) in BufReader::new(file).lines().enumerate() {
         let line = match line {
             Ok(l) => l,
@@ -42,11 +51,19 @@ fn main() {
             eprintln!("obs_validate: {path}:{}: {e}", lineno + 1);
             std::process::exit(1);
         }
-        total += 1;
+        lines.push(line);
     }
-    if total == 0 {
+    if lines.is_empty() {
         eprintln!("obs_validate: {path}: no events found");
         std::process::exit(1);
     }
-    println!("obs_validate: {total} valid events in {path}");
+    let traces = match lightts_obs::jsonl::validate_trace_linkage(lines.iter().map(String::as_str))
+    {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("obs_validate: {path}: trace linkage: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("obs_validate: {} valid events ({traces} linked serve traces) in {path}", lines.len());
 }

@@ -168,6 +168,7 @@ impl InferencePlan {
     /// the same rows, for any batch size.
     pub fn logits_into(&mut self, inputs: &[f32], batch: usize, out: &mut Vec<f32>) -> Result<()> {
         let t0 = Instant::now();
+        let _prof = lightts_obs::prof::scope("plan.forward");
         let l = self.in_len;
         if batch == 0 {
             return Err(ModelError::BadConfig { what: "inference: empty batch".into() });

@@ -194,6 +194,7 @@ impl QuantizedPlan {
     /// splits for identical sample bytes.
     pub fn logits_into(&mut self, inputs: &[f32], batch: usize, out: &mut Vec<f32>) -> Result<()> {
         let t0 = Instant::now();
+        let _prof = lightts_obs::prof::scope("qplan.forward");
         let l = self.in_len;
         if batch == 0 {
             return Err(ModelError::BadConfig { what: "inference: empty batch".into() });

@@ -1,0 +1,565 @@
+//! The telemetry front door: a zero-dependency `std::net` HTTP/1.1 server
+//! exposing the live metrics, traces, and profiles of a running process.
+//!
+//! | endpoint | body | content type |
+//! |---|---|---|
+//! | `GET /` | endpoint index | `text/plain` |
+//! | `GET /metrics` | [`Snapshot::render_prometheus`] (or `render_openmetrics` with exemplars when the `Accept` header asks for `application/openmetrics-text`) | `text/plain; version=0.0.4` / `application/openmetrics-text; version=1.0.0` |
+//! | `GET /metrics.json` | [`Snapshot::render_json`] | `application/json` |
+//! | `GET /healthz` | liveness JSON (`status`, `uptime_us`, `scheduler_alive`); `503` when the health callback reports dead | `application/json` |
+//! | `GET /tracez` | the span ring's contents, one JSONL span per line | `application/x-ndjson` |
+//! | `GET /profilez` | [`prof::render_collapsed`](crate::prof::render_collapsed) collapsed stacks | `text/plain` |
+//!
+//! The server is deliberately small: a blocking accept loop feeding a
+//! bounded handful of worker threads over a channel — no async runtime, no
+//! external crates, HTTP/1.1 with `Connection: close` on every response.
+//! Scrapes are cheap (a registry snapshot) and rare (seconds apart), so
+//! worker starvation means an overload response, not queueing: when all
+//! workers are busy the accept loop answers `503` inline.
+//!
+//! Spawning the server also enables the span ring
+//! ([`crate::trace::enable_ring`]) so `/tracez` works without any
+//! `LIGHTTS_OBS` sink configured.
+//!
+//! ```no_run
+//! use lightts_obs as obs;
+//! let reg = std::sync::Arc::new(obs::Registry::new());
+//! let srv = obs::http::spawn(reg, "127.0.0.1:0").unwrap();
+//! println!("scrape me at http://{}/metrics", srv.addr());
+//! ```
+
+use crate::metrics::{Registry, Snapshot};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Longest accepted request line (method + target + version), bytes.
+/// Longer request lines are answered `414 URI Too Long`.
+pub const MAX_REQUEST_LINE: usize = 4096;
+/// Longest accepted request head (request line + headers), bytes. Larger
+/// requests are answered `413 Content Too Large`.
+pub const MAX_REQUEST_HEAD: usize = 16 * 1024;
+/// Number of worker threads serving parsed connections.
+const WORKERS: usize = 4;
+/// Per-connection socket read/write timeout.
+const IO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A parsed HTTP request line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestLine {
+    /// The method token (`GET`, `HEAD`, …), verbatim.
+    pub method: String,
+    /// The request target (path + optional query), verbatim.
+    pub target: String,
+    /// The HTTP version token (`HTTP/1.1`).
+    pub version: String,
+}
+
+/// Why a request line failed to parse, mapped to the HTTP status the
+/// server answers with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// Not `token SP target SP HTTP/x.y` — answered `400`.
+    Malformed,
+    /// Request line exceeded [`MAX_REQUEST_LINE`] — answered `414`.
+    LineTooLong,
+    /// Head exceeded [`MAX_REQUEST_HEAD`] — answered `413`.
+    HeadTooLarge,
+}
+
+/// Parses one HTTP/1.x request line (the bytes before the first CRLF).
+///
+/// Total function over arbitrary bytes: never panics, rejects with a typed
+/// [`ParseError`] instead (a proptest pins this). Oversized input fails
+/// with [`ParseError::LineTooLong`] before any splitting.
+pub fn parse_request_line(line: &[u8]) -> Result<RequestLine, ParseError> {
+    if line.len() > MAX_REQUEST_LINE {
+        return Err(ParseError::LineTooLong);
+    }
+    let text = std::str::from_utf8(line).map_err(|_| ParseError::Malformed)?;
+    let text = text.strip_suffix('\r').unwrap_or(text);
+    let mut parts = text.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m, t, v),
+        _ => return Err(ParseError::Malformed),
+    };
+    let token_ok = |s: &str| {
+        !s.is_empty()
+            && s.bytes().all(|b| b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b))
+    };
+    if !token_ok(method) {
+        return Err(ParseError::Malformed);
+    }
+    if target.is_empty() || target.bytes().any(|b| !(0x21..=0x7e).contains(&b)) {
+        return Err(ParseError::Malformed);
+    }
+    if !version.starts_with("HTTP/") || version.len() < 8 {
+        return Err(ParseError::Malformed);
+    }
+    Ok(RequestLine {
+        method: method.to_string(),
+        target: target.to_string(),
+        version: version.to_string(),
+    })
+}
+
+/// A handle to a running telemetry server; dropping it (or calling
+/// [`shutdown`](Self::shutdown)) stops the accept loop and joins every
+/// worker.
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, drains the workers, and joins every thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(250));
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The registry a telemetry server scrapes: a shared per-server registry
+/// (serving) or the process-global one (experiment binaries). Both
+/// [`Arc<Registry>`] and [`&'static Registry`](crate::global) convert into
+/// it, so `spawn(server.metrics(), …)` and `spawn(obs::global(), …)` both
+/// read naturally.
+pub enum RegistrySource {
+    /// A shared registry (e.g. a serve instance's per-server registry).
+    Shared(Arc<Registry>),
+    /// The process-global registry ([`crate::global`]).
+    Global(&'static Registry),
+}
+
+impl RegistrySource {
+    fn snapshot(&self) -> Snapshot {
+        match self {
+            RegistrySource::Shared(r) => r.snapshot(),
+            RegistrySource::Global(r) => r.snapshot(),
+        }
+    }
+}
+
+impl From<Arc<Registry>> for RegistrySource {
+    fn from(r: Arc<Registry>) -> RegistrySource {
+        RegistrySource::Shared(r)
+    }
+}
+
+impl From<&'static Registry> for RegistrySource {
+    fn from(r: &'static Registry) -> RegistrySource {
+        RegistrySource::Global(r)
+    }
+}
+
+/// What the endpoints serve: the scrape registry, the optional health
+/// callback, and the start instant for uptime.
+struct Telemetry {
+    registry: RegistrySource,
+    health: Option<Box<dyn Fn() -> bool + Send + Sync>>,
+    started: Instant,
+}
+
+/// Configures and spawns a [`TelemetryServer`].
+pub struct TelemetryBuilder {
+    registry: RegistrySource,
+    health: Option<Box<dyn Fn() -> bool + Send + Sync>>,
+    ring_capacity: usize,
+}
+
+impl TelemetryBuilder {
+    /// Starts a builder serving `registry` from `/metrics`.
+    pub fn new(registry: impl Into<RegistrySource>) -> TelemetryBuilder {
+        TelemetryBuilder {
+            registry: registry.into(),
+            health: None,
+            ring_capacity: crate::trace::DEFAULT_RING_CAPACITY,
+        }
+    }
+
+    /// Attaches a liveness callback: `/healthz` answers `503` (with
+    /// `"scheduler_alive":false`) once it returns `false`. Without one,
+    /// `/healthz` reports process liveness only (`"scheduler_alive":null`).
+    pub fn health(mut self, f: impl Fn() -> bool + Send + Sync + 'static) -> TelemetryBuilder {
+        self.health = Some(Box::new(f));
+        self
+    }
+
+    /// Overrides the `/tracez` span-ring capacity (default
+    /// [`DEFAULT_RING_CAPACITY`](crate::trace::DEFAULT_RING_CAPACITY)).
+    pub fn ring_capacity(mut self, n: usize) -> TelemetryBuilder {
+        self.ring_capacity = n;
+        self
+    }
+
+    /// Binds `addr` and spawns the accept loop + worker threads.
+    pub fn spawn(self, addr: impl ToSocketAddrs) -> std::io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        crate::trace::enable_ring(self.ring_capacity);
+        let telemetry = Arc::new(Telemetry {
+            registry: self.registry,
+            health: self.health,
+            started: Instant::now(),
+        });
+        let stop = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(WORKERS * 2);
+        let rx = Arc::new(Mutex::new(rx));
+        let workers: Vec<JoinHandle<()>> = (0..WORKERS)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                let telemetry = Arc::clone(&telemetry);
+                std::thread::Builder::new()
+                    .name(format!("lightts-telemetry-{i}"))
+                    .spawn(move || loop {
+                        let conn = {
+                            let guard =
+                                rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                            guard.recv()
+                        };
+                        match conn {
+                            Ok(stream) => handle_connection(stream, &telemetry),
+                            Err(_) => return, // accept loop gone: drain done
+                        }
+                    })
+                    .expect("spawn telemetry worker")
+            })
+            .collect();
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("lightts-telemetry-accept".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let Ok(stream) = conn else { continue };
+                        let _ = stream.set_read_timeout(Some(IO_TIMEOUT));
+                        let _ = stream.set_write_timeout(Some(IO_TIMEOUT));
+                        if let Err(mpsc::TrySendError::Full(stream)) = tx.try_send(stream) {
+                            // Every worker busy and the backlog full: shed.
+                            let mut stream = stream;
+                            let _ = write_response(
+                                &mut stream,
+                                503,
+                                "Service Unavailable",
+                                "text/plain; charset=utf-8",
+                                "telemetry workers saturated\n",
+                            );
+                        }
+                    }
+                    // Dropping `tx` disconnects the channel; workers exit
+                    // after serving whatever was already queued.
+                })
+                .expect("spawn telemetry accept loop")
+        };
+        Ok(TelemetryServer { addr: local, stop, accept_thread: Some(accept_thread), workers })
+    }
+}
+
+/// Spawns a telemetry server over `registry` on `addr` with default
+/// options — the one-liner for trainer / MOBO / bench runs:
+///
+/// ```no_run
+/// # let registry = std::sync::Arc::new(lightts_obs::Registry::new());
+/// let srv = lightts_obs::http::spawn(registry, "127.0.0.1:9464").unwrap();
+/// ```
+pub fn spawn(
+    registry: impl Into<RegistrySource>,
+    addr: impl ToSocketAddrs,
+) -> std::io::Result<TelemetryServer> {
+    TelemetryBuilder::new(registry).spawn(addr)
+}
+
+/// Spawns a telemetry server on the address named by the
+/// `LIGHTTS_TELEMETRY_ADDR` environment variable, or returns `Ok(None)`
+/// when it is unset/empty. The experiment binaries call this at startup so
+/// any long run can be scraped by exporting one variable.
+pub fn spawn_from_env(
+    registry: impl Into<RegistrySource>,
+) -> std::io::Result<Option<TelemetryServer>> {
+    match std::env::var("LIGHTTS_TELEMETRY_ADDR") {
+        Ok(addr) if !addr.is_empty() => spawn(registry, addr.as_str()).map(Some),
+        _ => Ok(None),
+    }
+}
+
+/// Reads the request head (up to the blank line), honouring the size caps.
+fn read_head(stream: &mut TcpStream) -> Result<Vec<u8>, ParseError> {
+    let mut head = Vec::with_capacity(512);
+    let mut buf = [0u8; 512];
+    loop {
+        let n = match stream.read(&mut buf) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        };
+        head.extend_from_slice(&buf[..n]);
+        if head.len() > MAX_REQUEST_HEAD {
+            return Err(ParseError::HeadTooLarge);
+        }
+        if head.windows(4).any(|w| w == b"\r\n\r\n") || head.windows(2).any(|w| w == b"\n\n") {
+            break;
+        }
+        // A request line longer than the cap can never become valid.
+        if !head.contains(&b'\n') && head.len() > MAX_REQUEST_LINE {
+            return Err(ParseError::LineTooLong);
+        }
+    }
+    Ok(head)
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Whether the request head asks for the OpenMetrics exposition format.
+fn wants_openmetrics(head: &[u8]) -> bool {
+    let text = String::from_utf8_lossy(head).to_ascii_lowercase();
+    text.lines().any(|l| {
+        l.strip_prefix("accept:").is_some_and(|v| v.contains("application/openmetrics-text"))
+    })
+}
+
+fn healthz_body(t: &Telemetry, alive: Option<bool>) -> String {
+    let status = if alive == Some(false) { "unhealthy" } else { "ok" };
+    let alive_json = match alive {
+        Some(true) => "true",
+        Some(false) => "false",
+        None => "null",
+    };
+    format!(
+        "{{\"status\":\"{status}\",\"uptime_us\":{},\"scheduler_alive\":{alive_json}}}\n",
+        t.started.elapsed().as_micros()
+    )
+}
+
+fn handle_connection(mut stream: TcpStream, t: &Telemetry) {
+    let head = match read_head(&mut stream) {
+        Ok(h) => h,
+        Err(ParseError::HeadTooLarge) => {
+            let _ = write_response(
+                &mut stream,
+                413,
+                "Content Too Large",
+                "text/plain; charset=utf-8",
+                "request head too large\n",
+            );
+            return;
+        }
+        Err(_) => {
+            let _ = write_response(
+                &mut stream,
+                414,
+                "URI Too Long",
+                "text/plain; charset=utf-8",
+                "request line too long\n",
+            );
+            return;
+        }
+    };
+    let line_end = head.iter().position(|&b| b == b'\n').unwrap_or(head.len());
+    let req = match parse_request_line(&head[..line_end]) {
+        Ok(r) => r,
+        Err(ParseError::LineTooLong) => {
+            let _ = write_response(
+                &mut stream,
+                414,
+                "URI Too Long",
+                "text/plain; charset=utf-8",
+                "request line too long\n",
+            );
+            return;
+        }
+        Err(_) => {
+            let _ = write_response(
+                &mut stream,
+                400,
+                "Bad Request",
+                "text/plain; charset=utf-8",
+                "malformed request line\n",
+            );
+            return;
+        }
+    };
+    if req.method != "GET" {
+        let _ = write_response(
+            &mut stream,
+            405,
+            "Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "only GET is supported\n",
+        );
+        return;
+    }
+    let path = req.target.split('?').next().unwrap_or("");
+    let snapshot = || -> Snapshot { t.registry.snapshot() };
+    match path {
+        "/" => {
+            let _ = write_response(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; charset=utf-8",
+                "lightts telemetry\n\n/metrics\n/metrics.json\n/healthz\n/tracez\n/profilez\n",
+            );
+        }
+        "/metrics" => {
+            if wants_openmetrics(&head) {
+                let _ = write_response(
+                    &mut stream,
+                    200,
+                    "OK",
+                    "application/openmetrics-text; version=1.0.0; charset=utf-8",
+                    &snapshot().render_openmetrics(),
+                );
+            } else {
+                let _ = write_response(
+                    &mut stream,
+                    200,
+                    "OK",
+                    "text/plain; version=0.0.4; charset=utf-8",
+                    &snapshot().render_prometheus(),
+                );
+            }
+        }
+        "/metrics.json" => {
+            let mut body = snapshot().render_json();
+            body.push('\n');
+            let _ = write_response(&mut stream, 200, "OK", "application/json", &body);
+        }
+        "/healthz" => {
+            let alive = t.health.as_ref().map(|f| f());
+            let body = healthz_body(t, alive);
+            if alive == Some(false) {
+                let _ = write_response(
+                    &mut stream,
+                    503,
+                    "Service Unavailable",
+                    "application/json",
+                    &body,
+                );
+            } else {
+                let _ = write_response(&mut stream, 200, "OK", "application/json", &body);
+            }
+        }
+        "/tracez" => {
+            let mut body = crate::trace::tracez_lines().join("\n");
+            if !body.is_empty() {
+                body.push('\n');
+            }
+            let _ = write_response(&mut stream, 200, "OK", "application/x-ndjson", &body);
+        }
+        "/profilez" => {
+            let _ = write_response(
+                &mut stream,
+                200,
+                "OK",
+                "text/plain; charset=utf-8",
+                &crate::prof::render_collapsed(),
+            );
+        }
+        _ => {
+            let _ = write_response(
+                &mut stream,
+                404,
+                "Not Found",
+                "text/plain; charset=utf-8",
+                "unknown endpoint\n",
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_line_parses_and_rejects() {
+        let ok = parse_request_line(b"GET /metrics HTTP/1.1\r").unwrap();
+        assert_eq!(ok.method, "GET");
+        assert_eq!(ok.target, "/metrics");
+        assert_eq!(ok.version, "HTTP/1.1");
+        for bad in [
+            &b"GET /metrics"[..],
+            b"GET  /metrics HTTP/1.1",
+            b"GET /metrics HTTP/1.1 extra",
+            b"/metrics GET HTTP/1.1",
+            b"GET /me trics HTTP/1.1",
+            b"GET /metrics FTP/1.1",
+            b"\xff\xfe /x HTTP/1.1",
+            b"",
+        ] {
+            assert_eq!(parse_request_line(bad), Err(ParseError::Malformed), "{bad:?}");
+        }
+        let long = vec![b'a'; MAX_REQUEST_LINE + 1];
+        assert_eq!(parse_request_line(&long), Err(ParseError::LineTooLong));
+    }
+
+    #[test]
+    fn healthz_body_shapes() {
+        let t = Telemetry {
+            registry: Arc::new(Registry::new()).into(),
+            health: None,
+            started: Instant::now(),
+        };
+        let body = healthz_body(&t, None);
+        assert!(body.contains("\"status\":\"ok\""), "{body}");
+        assert!(body.contains("\"scheduler_alive\":null"), "{body}");
+        let body = healthz_body(&t, Some(false));
+        assert!(body.contains("\"status\":\"unhealthy\""), "{body}");
+        crate::jsonl::parse(body.trim()).expect("healthz JSON parses");
+    }
+
+    #[test]
+    fn accept_header_negotiates_openmetrics() {
+        assert!(wants_openmetrics(
+            b"GET /metrics HTTP/1.1\r\nAccept: application/openmetrics-text; version=1.0.0\r\n\r\n"
+        ));
+        assert!(!wants_openmetrics(b"GET /metrics HTTP/1.1\r\nAccept: text/plain\r\n\r\n"));
+        assert!(!wants_openmetrics(b"GET /metrics HTTP/1.1\r\n\r\n"));
+    }
+}

@@ -300,6 +300,92 @@ pub fn validate_event_line(line: &str) -> Result<(), JsonError> {
     Ok(())
 }
 
+/// One serving span as seen by the trace-linkage validator.
+struct ServeSpan {
+    path: String,
+    trace_id: u64,
+    ts_us: f64,
+    dur_us: f64,
+}
+
+/// Validates the request-trace contract over a batch of JSONL lines.
+///
+/// Rules (applied to `kind:"span"` lines whose `path` starts with
+/// `serve.`):
+///
+/// 1. every such span carries a `trace_id` field that is a positive
+///    integer number;
+/// 2. spans sharing a `trace_id` include exactly one root
+///    (`serve.request`) span;
+/// 3. every other span of the trace nests inside the root's time range
+///    `[ts_us − dur_us, ts_us]` (`ts_us` stamps span *completion*), with a
+///    2 µs epsilon for float rounding.
+///
+/// Returns the number of distinct trace ids checked. Non-serve lines are
+/// ignored (but must still individually satisfy [`validate_event_line`] —
+/// callers validate per-line first).
+pub fn validate_trace_linkage<'a>(
+    lines: impl IntoIterator<Item = &'a str>,
+) -> Result<usize, JsonError> {
+    const ROOT: &str = "serve.request";
+    const EPS_US: f64 = 2.0;
+    let mut traces: BTreeMap<u64, Vec<ServeSpan>> = BTreeMap::new();
+    for line in lines {
+        let v = parse(line)?;
+        let obj = v.as_obj().ok_or_else(|| JsonError("line is not an object".into()))?;
+        if obj.get("kind").and_then(Json::as_str) != Some("span") {
+            continue;
+        }
+        let path = obj.get("path").and_then(Json::as_str).unwrap_or_default();
+        if !path.starts_with("serve.") {
+            continue;
+        }
+        let fields = obj
+            .get("fields")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| JsonError(format!("serve span {path:?} has no fields")))?;
+        let tid = fields
+            .get("trace_id")
+            .and_then(Json::as_num)
+            .ok_or_else(|| JsonError(format!("serve span {path:?} lacks a numeric trace_id")))?;
+        if tid <= 0.0 || tid.fract() != 0.0 {
+            return Err(JsonError(format!(
+                "serve span {path:?} has non-positive/non-integer trace_id {tid}"
+            )));
+        }
+        let ts_us = obj.get("ts_us").and_then(Json::as_num).unwrap_or(0.0);
+        let dur_us = obj.get("dur_us").and_then(Json::as_num).unwrap_or(0.0);
+        traces.entry(tid as u64).or_default().push(ServeSpan {
+            path: path.to_string(),
+            trace_id: tid as u64,
+            ts_us,
+            dur_us,
+        });
+    }
+    for (tid, spans) in &traces {
+        let roots: Vec<&ServeSpan> = spans.iter().filter(|s| s.path == ROOT).collect();
+        if roots.len() != 1 {
+            return Err(JsonError(format!(
+                "trace {tid} has {} {ROOT:?} root spans (want exactly 1) among {} spans",
+                roots.len(),
+                spans.len()
+            )));
+        }
+        let root = roots[0];
+        let (lo, hi) = (root.ts_us - root.dur_us - EPS_US, root.ts_us + EPS_US);
+        for s in spans.iter().filter(|s| s.path != ROOT) {
+            let (start, end) = (s.ts_us - s.dur_us, s.ts_us);
+            if start < lo || end > hi {
+                return Err(JsonError(format!(
+                    "trace {} span {:?} [{start}, {end}] escapes root range [{lo}, {hi}]",
+                    s.trace_id, s.path
+                )));
+            }
+        }
+    }
+    Ok(traces.len())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -348,5 +434,52 @@ mod tests {
         ] {
             assert!(validate_event_line(bad).is_err(), "{bad} should fail validation");
         }
+    }
+
+    fn span_line(path: &str, tid: u64, ts: f64, dur: f64) -> String {
+        format!(
+            "{{\"ts_us\":{ts},\"kind\":\"span\",\"path\":\"{path}\",\
+             \"fields\":{{\"trace_id\":{tid}}},\"dur_us\":{dur}}}"
+        )
+    }
+
+    #[test]
+    fn trace_linkage_accepts_nested_stages() {
+        let lines = vec![
+            span_line("serve.queue_wait", 7, 1_050.0, 50.0),
+            span_line("serve.fuse", 7, 1_060.0, 10.0),
+            span_line("serve.forward", 7, 1_160.0, 100.0),
+            span_line("serve.reply", 7, 1_170.0, 10.0),
+            span_line("serve.request", 7, 1_170.0, 170.0),
+            span_line("serve.request", 9, 2_000.0, 5.0),
+            "{\"ts_us\":1,\"kind\":\"event\",\"path\":\"bench.cell\",\"fields\":{}}".to_string(),
+            "{\"ts_us\":1,\"kind\":\"span\",\"path\":\"trainer.epoch\",\"fields\":{},\
+             \"dur_us\":3}"
+                .to_string(),
+        ];
+        let n = validate_trace_linkage(lines.iter().map(String::as_str)).unwrap();
+        assert_eq!(n, 2, "two distinct traces checked");
+    }
+
+    #[test]
+    fn trace_linkage_rejects_broken_traces() {
+        // serve span without a trace_id
+        let missing = ["{\"ts_us\":1,\"kind\":\"span\",\"path\":\"serve.forward\",\"fields\":{},\
+              \"dur_us\":1}"];
+        assert!(validate_trace_linkage(missing.iter().copied()).is_err());
+        // zero trace_id
+        let zero = [span_line("serve.forward", 0, 10.0, 1.0)];
+        assert!(validate_trace_linkage(zero.iter().map(String::as_str)).is_err());
+        // stage span with no root
+        let orphan = [span_line("serve.forward", 5, 10.0, 1.0)];
+        assert!(validate_trace_linkage(orphan.iter().map(String::as_str)).is_err());
+        // two roots for one trace
+        let doubled =
+            [span_line("serve.request", 5, 10.0, 5.0), span_line("serve.request", 5, 20.0, 5.0)];
+        assert!(validate_trace_linkage(doubled.iter().map(String::as_str)).is_err());
+        // stage escaping the root's window
+        let escapee =
+            [span_line("serve.request", 5, 100.0, 10.0), span_line("serve.fuse", 5, 200.0, 5.0)];
+        assert!(validate_trace_linkage(escapee.iter().map(String::as_str)).is_err());
     }
 }

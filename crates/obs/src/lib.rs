@@ -57,7 +57,25 @@
 //!
 //! No other top-level keys are emitted; [`jsonl::validate_event_line`]
 //! enforces exactly this contract (CI runs it over a real experiment's
-//! output via the `obs_validate` binary).
+//! output via the `obs_validate` binary). Serving spans additionally carry
+//! a numeric `trace_id` field linking every stage of one request;
+//! [`jsonl::validate_trace_linkage`] checks that contract — see [`trace`].
+//!
+//! ## Live telemetry
+//!
+//! Three further modules turn a running process into something you can
+//! *look at* without restarting it:
+//!
+//! * [`http`] — a zero-dependency `std::net` HTTP/1.1 server exposing
+//!   `GET /metrics` (Prometheus text, OpenMetrics-with-exemplars via
+//!   `Accept`), `/metrics.json`, `/healthz`, `/tracez`, and `/profilez`.
+//!   One call: `obs::http::spawn(registry, "127.0.0.1:9464")`.
+//! * [`trace`] — per-request [`TraceCtx`] (48-bit ids,
+//!   anchored timestamps) and the `/tracez` span ring buffer.
+//! * [`prof`] — an always-compiled hierarchical profiler
+//!   (`LIGHTTS_PROF=1`): RAII [`prof::scope`]s aggregate into a global
+//!   call tree rendered as flamegraph-ready collapsed stacks
+//!   ([`prof::render_collapsed`], `GET /profilez`).
 //!
 //! ## Fault tolerance
 //!
@@ -87,21 +105,27 @@
 //! | `LIGHTTS_NUM_THREADS` | `lightts-tensor` (`par`) | positive integer | thread-pool size; overridden by `lightts::runtime::set_num_threads`; never changes bits |
 //! | `LIGHTTS_SIMD` | `lightts-tensor` (`simd`) | `avx2` / `sse2` / `scalar` (case-insensitive) | forces the SIMD backend, clamped down to CPU support; overridden by `set_simd_backend`; see `docs/NUMERICS.md` |
 //! | `LIGHTTS_BENCH_SMOKE` | `lightts-bench` | `1` | shrinks every criterion bench to a CI-sized compile-rot check |
+//! | `LIGHTTS_PROF` | `lightts-obs` (`prof`) | unset/`0`/`off`/`false` (off), anything else (on) | hierarchical profiler behind the permanent kernel/serve hooks; `GET /profilez` renders collapsed stacks; never changes bits |
+//! | `LIGHTTS_TELEMETRY_ADDR` | `lightts-obs` (`http`) | `host:port`, e.g. `127.0.0.1:9464` | the experiment binaries spawn the telemetry HTTP server here at startup ([`http::spawn_from_env`]) |
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
 pub mod checkpoint;
 pub mod failpoint;
+pub mod http;
 pub mod jsonl;
 mod metrics;
+pub mod prof;
 mod span;
+pub mod trace;
 
 pub use metrics::{
-    bucket_index, bucket_lower, bucket_upper, global, Counter, Gauge, Histogram, HistogramSnapshot,
-    Metric, MetricSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS,
+    bucket_index, bucket_lower, bucket_upper, global, Counter, Exemplar, Gauge, Histogram,
+    HistogramSnapshot, Metric, MetricSnapshot, Registry, Snapshot, HISTOGRAM_BUCKETS,
 };
 pub use span::{
-    emit_event, enabled, events_emitted, init_from_env_or, json_string, set_sink, take_memory,
-    FieldValue, Fields, SinkTarget, Span,
+    emit_event, emit_span_at, enabled, events_emitted, init_from_env_or, json_string, set_sink,
+    take_memory, FieldValue, Fields, SinkTarget, Span,
 };
+pub use trace::TraceCtx;

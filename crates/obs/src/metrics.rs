@@ -116,6 +116,11 @@ pub struct Histogram {
     count: AtomicU64,
     sum: AtomicU64,
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// Last exemplar trace id per bucket (0 = none); see
+    /// [`record_with_exemplar`](Self::record_with_exemplar).
+    exemplar_ids: [AtomicU64; HISTOGRAM_BUCKETS],
+    /// The observed value that carried each bucket's exemplar.
+    exemplar_vals: [AtomicU64; HISTOGRAM_BUCKETS],
 }
 
 #[allow(clippy::declare_interior_mutable_const)] // const used purely as an array initializer
@@ -123,7 +128,13 @@ const ZERO: AtomicU64 = AtomicU64::new(0);
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram { count: AtomicU64::new(0), sum: AtomicU64::new(0), buckets: [ZERO; 64] }
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [ZERO; 64],
+            exemplar_ids: [ZERO; 64],
+            exemplar_vals: [ZERO; 64],
+        }
     }
 }
 
@@ -145,6 +156,25 @@ impl Histogram {
         self.record(d.as_nanos().min(u64::MAX as u128) as u64);
     }
 
+    /// Records one observation and stamps it as the bucket's **exemplar**:
+    /// the last `(value, trace_id)` pair to land in each bucket, exported
+    /// in the OpenMetrics rendering and the JSON dump so a scrape can
+    /// answer "show me a request that hit this latency bucket". A
+    /// `trace_id` of 0 records the value without touching the exemplar.
+    pub fn record_with_exemplar(&self, v: u64, trace_id: u64) {
+        self.record(v);
+        if trace_id != 0 {
+            let i = bucket_index(v);
+            self.exemplar_vals[i].store(v, Ordering::Relaxed);
+            self.exemplar_ids[i].store(trace_id, Ordering::Relaxed);
+        }
+    }
+
+    /// [`record_with_exemplar`](Self::record_with_exemplar) for a duration.
+    pub fn record_duration_with_exemplar(&self, d: Duration, trace_id: u64) {
+        self.record_with_exemplar(d.as_nanos().min(u64::MAX as u128) as u64, trace_id);
+    }
+
     /// A point-in-time copy of the histogram state.
     ///
     /// Concurrent recorders may land between the field loads, so `count`,
@@ -153,12 +183,32 @@ impl Histogram {
     /// normal snapshot use) are exact.
     pub fn snapshot(&self) -> HistogramSnapshot {
         let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        let exemplars: Vec<Option<Exemplar>> = (0..HISTOGRAM_BUCKETS)
+            .map(|i| {
+                let trace_id = self.exemplar_ids[i].load(Ordering::Relaxed);
+                (trace_id != 0).then(|| Exemplar {
+                    value: self.exemplar_vals[i].load(Ordering::Relaxed),
+                    trace_id,
+                })
+            })
+            .collect();
         HistogramSnapshot {
             count: self.count.load(Ordering::Relaxed),
             sum: self.sum.load(Ordering::Relaxed),
             buckets,
+            exemplars,
         }
     }
+}
+
+/// The last observation that landed in a histogram bucket, tagged with the
+/// trace that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Exemplar {
+    /// The observed value.
+    pub value: u64,
+    /// The non-zero trace id stamped on the observation.
+    pub trace_id: u64,
 }
 
 /// A point-in-time copy of a [`Histogram`].
@@ -170,6 +220,9 @@ pub struct HistogramSnapshot {
     pub sum: u64,
     /// Per-bucket counts, `HISTOGRAM_BUCKETS` entries.
     pub buckets: Vec<u64>,
+    /// Per-bucket exemplars (`HISTOGRAM_BUCKETS` entries, `None` where no
+    /// exemplar-stamped observation has landed).
+    pub exemplars: Vec<Option<Exemplar>>,
 }
 
 impl HistogramSnapshot {
@@ -358,24 +411,52 @@ impl Snapshot {
         self.metrics.iter().find(|(n, _)| n == name).map(|(_, m)| m)
     }
 
-    /// Renders the snapshot in the Prometheus text exposition format.
+    /// Renders the snapshot in the classic Prometheus text exposition
+    /// format (`text/plain; version=0.0.4`) — what a stock Prometheus
+    /// scraper accepts.
     ///
-    /// Metric names are sanitized (`.` and `-` become `_`); histograms
-    /// expand into cumulative `_bucket{le="…"}` series plus `_sum` and
-    /// `_count`, counters gain the conventional `_total` suffix.
+    /// Every series is preceded by `# HELP` and `# TYPE` lines; metric
+    /// names are sanitized (`.` and `-` become `_`, the original dotted
+    /// name survives in the HELP text and in [`render_json`](Self::render_json)).
+    /// Histograms expand into cumulative `_bucket{le="…"}` series plus
+    /// `_sum` and `_count`, counters gain the conventional `_total` suffix.
     pub fn render_prometheus(&self) -> String {
+        self.render_prom_inner(false)
+    }
+
+    /// Renders the snapshot in the OpenMetrics text format: identical to
+    /// [`render_prometheus`](Self::render_prometheus) plus per-bucket
+    /// **exemplars** (`# {trace_id="…"} value` suffixes on bucket lines,
+    /// from [`Histogram::record_with_exemplar`]) and the mandatory `# EOF`
+    /// terminator. Served by the telemetry endpoint when the client's
+    /// `Accept` header asks for `application/openmetrics-text`.
+    pub fn render_openmetrics(&self) -> String {
+        let mut out = self.render_prom_inner(true);
+        out.push_str("# EOF\n");
+        out
+    }
+
+    fn render_prom_inner(&self, exemplars: bool) -> String {
         let mut out = String::new();
         for (name, m) in &self.metrics {
             let pname = sanitize_prometheus(name);
+            let help = escape_help(name);
             match m {
                 MetricSnapshot::Counter(v) => {
-                    out.push_str(&format!("# TYPE {pname}_total counter\n{pname}_total {v}\n"));
+                    out.push_str(&format!(
+                        "# HELP {pname}_total LightTS counter {help}\n\
+                         # TYPE {pname}_total counter\n{pname}_total {v}\n"
+                    ));
                 }
                 MetricSnapshot::Gauge(v) => {
-                    out.push_str(&format!("# TYPE {pname} gauge\n{pname} {v}\n"));
+                    out.push_str(&format!(
+                        "# HELP {pname} LightTS gauge {help}\n# TYPE {pname} gauge\n{pname} {v}\n"
+                    ));
                 }
                 MetricSnapshot::Histogram(h) => {
-                    out.push_str(&format!("# TYPE {pname} histogram\n"));
+                    out.push_str(&format!(
+                        "# HELP {pname} LightTS histogram {help}\n# TYPE {pname} histogram\n"
+                    ));
                     let mut cum = 0u64;
                     for (i, &c) in h.buckets.iter().enumerate() {
                         if c == 0 {
@@ -383,7 +464,16 @@ impl Snapshot {
                         }
                         cum += c;
                         let le = bucket_upper(i);
-                        out.push_str(&format!("{pname}_bucket{{le=\"{le}\"}} {cum}\n"));
+                        out.push_str(&format!("{pname}_bucket{{le=\"{le}\"}} {cum}"));
+                        if exemplars {
+                            if let Some(Some(ex)) = h.exemplars.get(i) {
+                                out.push_str(&format!(
+                                    " # {{trace_id=\"{}\"}} {}",
+                                    ex.trace_id, ex.value
+                                ));
+                            }
+                        }
+                        out.push('\n');
                     }
                     out.push_str(&format!("{pname}_bucket{{le=\"+Inf\"}} {}\n", h.count));
                     out.push_str(&format!("{pname}_sum {}\n", h.sum));
@@ -396,10 +486,13 @@ impl Snapshot {
 
     /// Renders the snapshot as one JSON object keyed by metric name.
     ///
-    /// Counters and gauges map to bare numbers; histograms map to
-    /// `{"count", "sum", "mean", "p50", "p90", "p99", "buckets"}` where
-    /// `buckets` is an array of `[upper_bound, count]` pairs for the
-    /// non-empty buckets.
+    /// Names keep their original dotted form here (only the Prometheus
+    /// rendering sanitizes). Counters and gauges map to bare numbers;
+    /// histograms map to `{"count", "sum", "mean", "p50", "p90", "p99",
+    /// "buckets", "exemplars"}` where `buckets` is an array of
+    /// `[upper_bound, count]` pairs for the non-empty buckets and
+    /// `exemplars` an array of `[upper_bound, value, trace_id]` triples
+    /// for buckets carrying one.
     pub fn render_json(&self) -> String {
         let mut out = String::from("{");
         for (i, (name, m)) in self.metrics.iter().enumerate() {
@@ -431,6 +524,21 @@ impl Snapshot {
                         first = false;
                         out.push_str(&format!("[{},{}]", bucket_upper(bi), c));
                     }
+                    out.push_str("],\"exemplars\":[");
+                    let mut first = true;
+                    for (bi, ex) in h.exemplars.iter().enumerate() {
+                        let Some(ex) = ex else { continue };
+                        if !first {
+                            out.push(',');
+                        }
+                        first = false;
+                        out.push_str(&format!(
+                            "[{},{},{}]",
+                            bucket_upper(bi),
+                            ex.value,
+                            ex.trace_id
+                        ));
+                    }
                     out.push_str("]}");
                 }
             }
@@ -453,7 +561,18 @@ pub(crate) fn fmt_f64(v: f64) -> String {
 }
 
 fn sanitize_prometheus(name: &str) -> String {
-    name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+    let mut out: String =
+        name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect();
+    // A Prometheus metric name must not start with a digit.
+    if out.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        out.insert(0, '_');
+    }
+    out
+}
+
+/// Escapes a HELP text per the exposition format (`\` and newline only).
+fn escape_help(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -556,5 +675,59 @@ mod tests {
         assert!(json.contains("\"count\":1"), "{json}");
         // Machine-readable: the JSON dump must parse.
         crate::jsonl::parse(&json).expect("snapshot JSON parses");
+    }
+
+    #[test]
+    fn prometheus_rendering_has_help_and_type_for_every_series() {
+        let r = Registry::new();
+        r.counter("a.requests").inc();
+        r.gauge("a.depth").set(1);
+        r.histogram("a.lat_ns").record(100);
+        let prom = r.snapshot().render_prometheus();
+        assert!(prom.contains("# HELP a_requests_total "), "{prom}");
+        assert!(prom.contains("# TYPE a_requests_total counter"), "{prom}");
+        assert!(prom.contains("# HELP a_depth "), "{prom}");
+        assert!(prom.contains("# TYPE a_depth gauge"), "{prom}");
+        assert!(prom.contains("# HELP a_lat_ns "), "{prom}");
+        assert!(prom.contains("# TYPE a_lat_ns histogram"), "{prom}");
+        // The HELP text preserves the original dotted name.
+        assert!(prom.contains("a.requests"), "{prom}");
+        // Every non-comment line is `name{labels}? value` with a finite value.
+        for line in prom.lines().filter(|l| !l.starts_with('#') && !l.is_empty()) {
+            let (_, v) = line.rsplit_once(' ').expect("sample line shape: {line}");
+            v.parse::<f64>().expect("numeric sample value");
+        }
+        // No exemplars and no EOF marker in the classic rendering.
+        assert!(!prom.contains("trace_id"), "{prom}");
+        assert!(!prom.contains("# EOF"), "{prom}");
+    }
+
+    #[test]
+    fn openmetrics_rendering_carries_exemplars_and_eof() {
+        let r = Registry::new();
+        let h = r.histogram("t.lat_ns");
+        h.record_with_exemplar(1500, 0xABCD);
+        h.record(90); // no exemplar for this bucket
+        let snap = r.snapshot();
+        let hs = snap.histogram("t.lat_ns").unwrap();
+        assert_eq!(
+            hs.exemplars[bucket_index(1500)],
+            Some(Exemplar { value: 1500, trace_id: 0xABCD })
+        );
+        assert_eq!(hs.exemplars[bucket_index(90)], None);
+        let om = snap.render_openmetrics();
+        // Bucket counts are cumulative (the le="2048" bucket also counts
+        // the 90 sample); the exemplar is the bucket's own last sample.
+        assert!(om.contains("t_lat_ns_bucket{le=\"2048\"} 2 # {trace_id=\"43981\"} 1500"), "{om}");
+        assert!(om.ends_with("# EOF\n"), "{om}");
+        let json = snap.render_json();
+        assert!(json.contains("\"exemplars\":[[2048,1500,43981]]"), "{json}");
+        crate::jsonl::parse(&json).expect("snapshot JSON parses");
+    }
+
+    #[test]
+    fn sanitized_names_never_start_with_a_digit() {
+        assert_eq!(sanitize_prometheus("3sigma.count"), "_3sigma_count");
+        assert_eq!(sanitize_prometheus("serve.latency-ns"), "serve_latency_ns");
     }
 }

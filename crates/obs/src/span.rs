@@ -29,7 +29,7 @@ use std::fmt::Write as _;
 use std::fs::OpenOptions;
 use std::io::Write as _;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
@@ -53,8 +53,16 @@ enum SinkImpl {
     Memory(Vec<String>),
 }
 
+/// Capture-mask bit: the JSONL sink is on (`LIGHTTS_OBS` / [`set_sink`]).
+const SINK_BIT: u8 = 1;
+/// Capture-mask bit: the `/tracez` span ring is on
+/// ([`crate::trace::enable_ring`]).
+const RING_BIT: u8 = 2;
+
 struct ObsState {
-    enabled: AtomicBool,
+    /// Bitmask of active capture targets ([`SINK_BIT`] | [`RING_BIT`]);
+    /// zero means spans and events cost one relaxed load.
+    mask: AtomicU8,
     sink: Mutex<SinkImpl>,
     emitted: AtomicU64,
 }
@@ -91,26 +99,50 @@ fn state() -> &'static ObsState {
     STATE.get_or_init(|| {
         let target = target_from_env();
         ObsState {
-            enabled: AtomicBool::new(target != SinkTarget::Off),
+            mask: AtomicU8::new(if target != SinkTarget::Off { SINK_BIT } else { 0 }),
             sink: Mutex::new(build_sink(&target)),
             emitted: AtomicU64::new(0),
         }
     })
 }
 
-/// Whether span/event emission is on. One relaxed atomic load — this is
-/// the instrumentation hot-path check.
+/// Whether any span/event capture is on — the JSONL sink, the `/tracez`
+/// span ring, or both. One relaxed atomic load — this is the
+/// instrumentation hot-path check; field expressions are only evaluated
+/// when it returns `true`.
 pub fn enabled() -> bool {
-    state().enabled.load(Ordering::Relaxed)
+    state().mask.load(Ordering::Relaxed) != 0
+}
+
+/// Whether the JSONL sink specifically is on (events only go to the sink;
+/// the ring holds completed spans).
+pub(crate) fn sink_enabled() -> bool {
+    state().mask.load(Ordering::Relaxed) & SINK_BIT != 0
+}
+
+fn set_mask_bit(bit: u8, on: bool) {
+    let s = state();
+    if on {
+        s.mask.fetch_or(bit, Ordering::Relaxed);
+    } else {
+        s.mask.fetch_and(!bit, Ordering::Relaxed);
+    }
+}
+
+/// Mirrors the `/tracez` ring's enabled state into the capture mask
+/// (called by [`crate::trace::enable_ring`] / `disable_ring`).
+pub(crate) fn set_ring_capture(on: bool) {
+    set_mask_bit(RING_BIT, on);
 }
 
 /// Points the JSONL sink somewhere, overriding `LIGHTTS_OBS`.
 ///
-/// `SinkTarget::Off` disables emission entirely.
+/// `SinkTarget::Off` disables sink emission (the `/tracez` ring, if
+/// enabled, keeps capturing spans independently).
 pub fn set_sink(target: SinkTarget) {
     let s = state();
     *s.sink.lock().unwrap() = build_sink(&target);
-    s.enabled.store(target != SinkTarget::Off, Ordering::Relaxed);
+    set_mask_bit(SINK_BIT, target != SinkTarget::Off);
 }
 
 /// Initializes from `LIGHTTS_OBS` if it is set, else from `default`.
@@ -141,16 +173,24 @@ pub fn take_memory() -> Vec<String> {
     }
 }
 
-fn write_line(line: String) {
+/// Routes one rendered line to the active capture targets: the sink (spans
+/// and events) and, for spans only, the `/tracez` ring.
+fn write_line(line: String, is_span: bool) {
     let s = state();
-    s.emitted.fetch_add(1, Ordering::Relaxed);
-    match &mut *s.sink.lock().unwrap() {
-        SinkImpl::Off => {}
-        SinkImpl::Stderr => eprintln!("{line}"),
-        SinkImpl::File(f) => {
-            let _ = writeln!(f, "{line}");
+    let mask = s.mask.load(Ordering::Relaxed);
+    if mask & SINK_BIT != 0 {
+        s.emitted.fetch_add(1, Ordering::Relaxed);
+        match &mut *s.sink.lock().unwrap() {
+            SinkImpl::Off => {}
+            SinkImpl::Stderr => eprintln!("{line}"),
+            SinkImpl::File(f) => {
+                let _ = writeln!(f, "{line}");
+            }
+            SinkImpl::Memory(lines) => lines.push(line.clone()),
         }
-        SinkImpl::Memory(lines) => lines.push(line),
+    }
+    if is_span && mask & RING_BIT != 0 {
+        crate::trace::push_span_line(&line);
     }
 }
 
@@ -252,11 +292,23 @@ fn now_us() -> u64 {
     SystemTime::now().duration_since(UNIX_EPOCH).map(|d| d.as_micros() as u64).unwrap_or(0)
 }
 
-/// Serializes one event line per the schema in the crate docs.
-fn render_line(kind: &str, path: &str, fields: &Fields, dur_us: Option<f64>) -> String {
+/// Serializes one event line per the schema in the crate docs; `ts_us`
+/// defaults to the wall clock now, but trace-anchored emitters
+/// ([`emit_span_at`]) pass an exact timestamp instead.
+fn render_line(
+    kind: &str,
+    path: &str,
+    fields: &Fields,
+    dur_us: Option<f64>,
+    ts_us: Option<u64>,
+) -> String {
     let mut out = String::with_capacity(96);
-    let _ =
-        write!(out, "{{\"ts_us\":{},\"kind\":\"{kind}\",\"path\":{}", now_us(), json_string(path));
+    let _ = write!(
+        out,
+        "{{\"ts_us\":{},\"kind\":\"{kind}\",\"path\":{}",
+        ts_us.unwrap_or_else(now_us),
+        json_string(path)
+    );
     out.push_str(",\"fields\":{");
     for (i, (k, v)) in fields.iter().enumerate() {
         if i > 0 {
@@ -278,10 +330,27 @@ fn render_line(kind: &str, path: &str, fields: &Fields, dur_us: Option<f64>) -> 
 /// [`event!`](crate::event) macro, which skips field construction when obs
 /// is disabled.
 pub fn emit_event(path: &'static str, fields: Fields) {
+    if !sink_enabled() {
+        return;
+    }
+    write_line(render_line("event", path, &fields, None, None), false);
+}
+
+/// Emits a completed span line with an explicit end timestamp (`ts_us`,
+/// µs since the UNIX epoch) and duration (`dur_us`, µs), bypassing the
+/// RAII clock.
+///
+/// This is the export path for trace-anchored stage spans (the serving
+/// scheduler derives both values arithmetically from one
+/// [`TraceCtx`](crate::trace::TraceCtx) anchor so a trace's spans nest
+/// exactly). Unlike a dropped [`Span`], no `span.<path>` histogram is
+/// recorded in the global registry — callers of this API own their
+/// metrics. No-op unless capture is [`enabled`].
+pub fn emit_span_at(path: &str, fields: Fields, ts_us: u64, dur_us: f64) {
     if !enabled() {
         return;
     }
-    write_line(render_line("event", path, &fields, None));
+    write_line(render_line("span", path, &fields, Some(dur_us.max(0.0)), Some(ts_us)), true);
 }
 
 struct ActiveSpan {
@@ -330,7 +399,10 @@ impl Drop for Span {
         let Some(s) = self.0.take() else { return };
         let elapsed = s.start.elapsed();
         crate::metrics::global().histogram(&format!("span.{}", s.path)).record_duration(elapsed);
-        write_line(render_line("span", s.path, &s.fields, Some(elapsed.as_secs_f64() * 1e6)));
+        write_line(
+            render_line("span", s.path, &s.fields, Some(elapsed.as_secs_f64() * 1e6), None),
+            true,
+        );
     }
 }
 
@@ -387,6 +459,12 @@ macro_rules! event {
 
 #[cfg(test)]
 pub(crate) static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serializes tests across modules that mutate the global sink/ring state.
+#[cfg(test)]
+pub(crate) fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+    TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 #[cfg(test)]
 mod tests {
@@ -455,6 +533,38 @@ mod tests {
         let snap = crate::metrics::global().snapshot();
         let h = snap.histogram("span.test.timed").expect("span histogram registered");
         assert!(h.count >= 1);
+    }
+
+    #[test]
+    fn ring_captures_spans_without_a_sink() {
+        let _g = guard();
+        set_sink(SinkTarget::Off);
+        crate::trace::enable_ring(8);
+        let before = events_emitted();
+        {
+            let _sp = crate::span!("test.ring_only", { n: 1u64 });
+        }
+        crate::event!("test.ring_only_event", { n: 2u64 });
+        let lines = crate::trace::tracez_lines();
+        crate::trace::disable_ring();
+        assert_eq!(events_emitted(), before, "ring-only capture must not count as sink emission");
+        assert_eq!(lines.len(), 1, "ring holds the span but not the event: {lines:?}");
+        assert!(lines[0].contains("\"path\":\"test.ring_only\""), "{}", lines[0]);
+        crate::jsonl::validate_event_line(&lines[0]).expect("ring line is schema-valid");
+    }
+
+    #[test]
+    fn emit_span_at_uses_the_given_timestamp() {
+        let _g = guard();
+        set_sink(SinkTarget::Memory);
+        take_memory();
+        emit_span_at("test.at", vec![("trace_id", FieldValue::UInt(7))], 1_234_567, 42.5);
+        let lines = take_memory();
+        set_sink(SinkTarget::Off);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].contains("\"ts_us\":1234567"), "{}", lines[0]);
+        assert!(lines[0].contains("\"dur_us\":42.5"), "{}", lines[0]);
+        crate::jsonl::validate_event_line(&lines[0]).unwrap();
     }
 
     #[test]

@@ -5,8 +5,10 @@ use crate::registry::{AnyPlan, ModelRegistry, PlanKind};
 use crate::stats::{ServeStats, StatsInner};
 use crate::{Result, ServeError};
 use lightts_obs as obs;
+use obs::TraceCtx;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
@@ -50,7 +52,11 @@ impl Default for ServeConfig {
 /// One queued prediction request.
 struct Request {
     input: Vec<f32>,
-    enqueued: Instant,
+    /// Trace context minted at submission: the request's process-unique
+    /// `trace_id` plus its submit timestamp in both clock domains. The
+    /// monotonic anchor doubles as the enqueue instant for batching
+    /// (`max_wait`) and latency accounting.
+    trace: TraceCtx,
     /// Absolute deadline; the scheduler sheds the request (with
     /// [`ServeError::DeadlineExceeded`]) instead of running inference for
     /// it once this has passed.
@@ -79,6 +85,12 @@ struct Shared {
     models: Vec<ModelInfo>,
     stats: StatsInner,
     cfg: ServeConfig,
+    /// `true` while the scheduler thread is running its loop; flipped to
+    /// `false` by a drop guard when the thread exits — cleanly (shutdown
+    /// drain) or by a panic escaping the loop. `/healthz` reports this as
+    /// `scheduler_alive`, so a scrape distinguishes "process up, scheduler
+    /// dead" from healthy.
+    scheduler_alive: AtomicBool,
 }
 
 /// Locks the scheduler state, recovering from mutex poisoning.
@@ -170,6 +182,7 @@ impl Server {
             models,
             stats: StatsInner::new(),
             cfg,
+            scheduler_alive: AtomicBool::new(true),
         });
         let thread = {
             let shared = Arc::clone(&shared);
@@ -213,6 +226,37 @@ impl Server {
     /// ```
     pub fn metrics(&self) -> Arc<obs::Registry> {
         self.shared.stats.registry()
+    }
+
+    /// Whether the scheduler thread is still running its loop (the
+    /// `/healthz` liveness signal).
+    pub fn scheduler_alive(&self) -> bool {
+        self.shared.scheduler_alive.load(Ordering::Relaxed)
+    }
+
+    /// Spawns the telemetry HTTP server ([`lightts_obs::http`]) over this
+    /// server's metrics registry, bound to `addr`.
+    ///
+    /// `GET /metrics` scrapes the per-server `serve.*` series (including
+    /// the per-stage histograms with trace-id exemplars), `GET /healthz`
+    /// reports process liveness *and* [`scheduler_alive`](Self::scheduler_alive)
+    /// (answering `503` once the scheduler thread has exited), `GET /tracez`
+    /// serves the recent-span ring, and `GET /profilez` the collapsed
+    /// `LIGHTTS_PROF` call tree. The returned server stops when dropped —
+    /// keep the handle alive alongside the [`Server`]:
+    ///
+    /// ```ignore
+    /// let server = Server::start(registry, ServeConfig::default());
+    /// let _telemetry = server.serve_telemetry("127.0.0.1:9464")?;
+    /// ```
+    pub fn serve_telemetry(
+        &self,
+        addr: impl std::net::ToSocketAddrs,
+    ) -> std::io::Result<obs::http::TelemetryServer> {
+        let shared = Arc::clone(&self.shared);
+        obs::http::TelemetryBuilder::new(self.shared.stats.registry())
+            .health(move || shared.scheduler_alive.load(Ordering::Relaxed))
+            .spawn(addr)
     }
 
     /// Drains every accepted request, then stops the scheduler thread.
@@ -304,7 +348,7 @@ impl ServerHandle {
                     max_queue: self.shared.cfg.max_queue,
                 });
             }
-            st.queues[mi].push_back(Request { input, enqueued: Instant::now(), deadline, tx });
+            st.queues[mi].push_back(Request { input, trace: TraceCtx::mint(), deadline, tx });
         }
         self.shared.stats.enqueued();
         self.shared.cv.notify_all();
@@ -336,7 +380,7 @@ fn next_batch(shared: &Shared) -> Option<(usize, Vec<Request>)> {
         let mut pick = None;
         for (i, q) in st.queues.iter().enumerate() {
             if let Some(front) = q.front() {
-                let deadline = front.enqueued + cfg.max_wait;
+                let deadline = front.trace.anchor() + cfg.max_wait;
                 if st.shutdown || q.len() >= cfg.max_batch || now >= deadline {
                     pick = Some(i);
                     break;
@@ -373,6 +417,16 @@ fn next_batch(shared: &Shared) -> Option<(usize, Vec<Request>)> {
 /// continues, so one bad batch can never strand every other caller's
 /// `Pending` forever.
 fn scheduler(shared: &Shared, mut plans: Vec<AnyPlan>) {
+    /// Flips `scheduler_alive` off when the loop exits — including via a
+    /// panic escaping the loop itself (plan forwards are caught below, but
+    /// the guard makes `/healthz` truthful against any exit path).
+    struct AliveGuard<'a>(&'a Shared);
+    impl Drop for AliveGuard<'_> {
+        fn drop(&mut self) {
+            self.0.scheduler_alive.store(false, Ordering::Relaxed);
+        }
+    }
+    let _alive = AliveGuard(shared);
     let mut inputs: Vec<f32> = Vec::new();
     let mut probs: Vec<f32> = Vec::new();
     while let Some((mi, batch)) = next_batch(shared) {
@@ -396,12 +450,21 @@ fn scheduler(shared: &Shared, mut plans: Vec<AnyPlan>) {
         let plan = &mut plans[mi];
         let kind = plan.kind();
         let nc = plan.num_classes();
+        // Stage 1: queue wait ends (and fusion starts) here.
+        let fuse_start = Instant::now();
+        for r in &batch {
+            shared.stats.record_queue_wait(r.trace.since_submit(fuse_start), r.trace.trace_id);
+        }
         inputs.clear();
         for r in &batch {
             inputs.extend_from_slice(&r.input);
         }
+        // Stage 2: fusion ends, the forward pass starts.
         let t0 = Instant::now();
+        let fuse = t0.duration_since(fuse_start);
+        shared.stats.record_fuse(fuse, batch[0].trace.trace_id);
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let _prof = obs::prof::scope("serve.forward");
             obs::failpoint::hit("serve.batch").map_err(|what| ServeError::Inference { what })?;
             plan.predict_proba_into(&inputs, batch.len(), &mut probs).map_err(ServeError::Model)
         }));
@@ -422,10 +485,30 @@ fn scheduler(shared: &Shared, mut plans: Vec<AnyPlan>) {
                 let done = Instant::now();
                 shared.stats.record_batch(batch.len(), service);
                 shared.stats.record_plan_requests(kind, batch.len());
+                shared.stats.record_forward(service, batch[0].trace.trace_id);
                 for (bi, r) in batch.iter().enumerate() {
                     let row = probs[bi * nc..(bi + 1) * nc].to_vec();
-                    shared.stats.record_latency(done.duration_since(r.enqueued));
+                    shared.stats.record_latency(done.duration_since(r.trace.anchor()));
+                    let reply_start = Instant::now();
                     let _ = r.tx.send(Ok(row));
+                    let reply_end = Instant::now();
+                    shared
+                        .stats
+                        .record_reply(reply_end.duration_since(reply_start), r.trace.trace_id);
+                    emit_request_spans(
+                        shared,
+                        mi,
+                        r,
+                        batch.len(),
+                        Stages {
+                            fuse_start,
+                            forward_start: t0,
+                            forward_end: done,
+                            reply_start,
+                            reply_end,
+                        },
+                        "ok",
+                    );
                 }
                 obs::event!("serve.batch", {
                     model: shared.models[mi].name.as_str(),
@@ -435,9 +518,26 @@ fn scheduler(shared: &Shared, mut plans: Vec<AnyPlan>) {
                 });
             }
             Err(e) => {
+                let done = Instant::now();
                 for r in &batch {
                     shared.stats.record_error();
+                    let reply_start = Instant::now();
                     let _ = r.tx.send(Err(e.clone()));
+                    let reply_end = Instant::now();
+                    emit_request_spans(
+                        shared,
+                        mi,
+                        r,
+                        batch.len(),
+                        Stages {
+                            fuse_start,
+                            forward_start: t0,
+                            forward_end: done,
+                            reply_start,
+                            reply_end,
+                        },
+                        "error",
+                    );
                 }
                 obs::event!("serve.batch_failed", {
                     model: shared.models[mi].name.as_str(),
@@ -447,6 +547,61 @@ fn scheduler(shared: &Shared, mut plans: Vec<AnyPlan>) {
             }
         }
     }
+}
+
+/// The batch's stage boundary instants, shared by every member request.
+#[derive(Clone, Copy)]
+struct Stages {
+    fuse_start: Instant,
+    forward_start: Instant,
+    forward_end: Instant,
+    reply_start: Instant,
+    reply_end: Instant,
+}
+
+/// Emits one request's stage spans plus its `serve.request` root span.
+///
+/// Every timestamp is derived from the request's own [`TraceCtx`] anchor
+/// ([`TraceCtx::ts_us_at`]), so the stages nest *exactly* inside the root's
+/// `[submit, reply_end]` window — the invariant
+/// `lightts_obs::jsonl::validate_trace_linkage` checks. No-op (one relaxed
+/// atomic load) unless span capture is on (`LIGHTTS_OBS` sink or the
+/// telemetry `/tracez` ring).
+fn emit_request_spans(
+    shared: &Shared,
+    mi: usize,
+    r: &Request,
+    batch_len: usize,
+    st: Stages,
+    outcome: &str,
+) {
+    if !obs::enabled() {
+        return;
+    }
+    let us = |d: Duration| d.as_secs_f64() * 1e6;
+    let stage = |path: &str, end: Instant, dur: Duration| {
+        obs::emit_span_at(
+            path,
+            vec![("trace_id", r.trace.trace_id.into())],
+            r.trace.ts_us_at(end),
+            us(dur),
+        );
+    };
+    stage("serve.queue_wait", st.fuse_start, r.trace.since_submit(st.fuse_start));
+    stage("serve.fuse", st.forward_start, st.forward_start.duration_since(st.fuse_start));
+    stage("serve.forward", st.forward_end, st.forward_end.duration_since(st.forward_start));
+    stage("serve.reply", st.reply_end, st.reply_end.duration_since(st.reply_start));
+    obs::emit_span_at(
+        "serve.request",
+        vec![
+            ("trace_id", r.trace.trace_id.into()),
+            ("model", shared.models[mi].name.as_str().into()),
+            ("batch", batch_len.into()),
+            ("outcome", outcome.into()),
+        ],
+        r.trace.ts_us_at(st.reply_end),
+        us(r.trace.since_submit(st.reply_end)),
+    );
 }
 
 #[cfg(test)]

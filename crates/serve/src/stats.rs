@@ -31,6 +31,19 @@ pub(crate) struct StatsInner {
     latency_ns: Arc<Histogram>,
     /// Per-batch fused-forward service time, nanoseconds.
     service_ns: Arc<Histogram>,
+    /// Stage breakdown of the same enqueue→reply path, one histogram per
+    /// stage, each bucket carrying the last `trace_id` to land in it as an
+    /// exemplar — so a tail-latency bucket in a scrape names a concrete
+    /// request to grep out of `/tracez`.
+    ///
+    /// Per-request time spent queued before its batch was formed.
+    queue_wait_ns: Arc<Histogram>,
+    /// Per-batch input-fusion (gather/copy) time.
+    fuse_ns: Arc<Histogram>,
+    /// Per-batch fused forward-pass time.
+    forward_ns: Arc<Histogram>,
+    /// Per-request reply (row copy + channel send) time.
+    reply_ns: Arc<Histogram>,
     /// High-water mark of bytes parked in the tensor buffer pool
     /// ([`lightts_tensor::pool::pool_high_water_bytes`]); process-wide, but
     /// the scheduler thread's slabs dominate it in a serving deployment.
@@ -68,6 +81,10 @@ impl StatsInner {
             batch_size: registry.histogram("serve.batch_size"),
             latency_ns: registry.histogram("serve.latency_ns"),
             service_ns: registry.histogram("serve.service_ns"),
+            queue_wait_ns: registry.histogram("serve.queue_wait_ns"),
+            fuse_ns: registry.histogram("serve.fuse_ns"),
+            forward_ns: registry.histogram("serve.forward_ns"),
+            reply_ns: registry.histogram("serve.reply_ns"),
             pool_high_water: registry.gauge("serve.pool_high_water_bytes"),
             pool_hits: registry.gauge("serve.pool_hits"),
             pool_misses: registry.gauge("serve.pool_misses"),
@@ -118,6 +135,27 @@ impl StatsInner {
     /// One answered request's enqueue→reply latency.
     pub(crate) fn record_latency(&self, latency: Duration) {
         self.latency_ns.record_duration(latency);
+    }
+
+    /// One request's time queued before batch formation, with its trace id
+    /// as the bucket exemplar.
+    pub(crate) fn record_queue_wait(&self, d: Duration, trace_id: u64) {
+        self.queue_wait_ns.record_duration_with_exemplar(d, trace_id);
+    }
+
+    /// One batch's input-fusion time, exemplified by one member request.
+    pub(crate) fn record_fuse(&self, d: Duration, trace_id: u64) {
+        self.fuse_ns.record_duration_with_exemplar(d, trace_id);
+    }
+
+    /// One batch's forward-pass time, exemplified by one member request.
+    pub(crate) fn record_forward(&self, d: Duration, trace_id: u64) {
+        self.forward_ns.record_duration_with_exemplar(d, trace_id);
+    }
+
+    /// One request's reply time, with its trace id as the bucket exemplar.
+    pub(crate) fn record_reply(&self, d: Duration, trace_id: u64) {
+        self.reply_ns.record_duration_with_exemplar(d, trace_id);
     }
 
     pub(crate) fn record_error(&self) {

@@ -1,0 +1,176 @@
+//! Live-telemetry integration: a serving instance must answer all four
+//! observability endpoints over real TCP, one trace id must reconstruct a
+//! request's full stage breakdown from `/tracez`, `/healthz` must track
+//! scheduler liveness, and profiling must stay zero-allocation when off.
+
+use lightts_models::inception::{BlockSpec, InceptionConfig, InceptionTime};
+use lightts_serve::{ModelRegistry, Pending, ServeConfig, Server};
+use lightts_tensor::rng::seeded;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+const IN_DIMS: usize = 2;
+const IN_LEN: usize = 16;
+
+fn build_model(seed: u64, classes: usize) -> InceptionTime {
+    let cfg = InceptionConfig {
+        blocks: vec![BlockSpec { layers: 2, filter_len: 8, bits: 8 }],
+        filters: 3,
+        in_dims: IN_DIMS,
+        in_len: IN_LEN,
+        num_classes: classes,
+    };
+    let mut rng = seeded(seed);
+    let mut model = InceptionTime::new(cfg, &mut rng).unwrap();
+    for (i, c) in model.bn_channel_counts().iter().enumerate() {
+        let mean: Vec<f32> = (0..*c).map(|j| 0.04 * j as f32 - 0.08).collect();
+        let var: Vec<f32> = (0..*c).map(|j| 0.6 + 0.02 * j as f32).collect();
+        model.set_bn_running_stats(i, &mean, &var).unwrap();
+    }
+    model
+}
+
+fn sample(i: usize) -> Vec<f32> {
+    (0..IN_DIMS * IN_LEN)
+        .map(|j| {
+            let h = (i as u64 * 1_000_003 + j as u64).wrapping_mul(2_654_435_761) % 2000;
+            h as f32 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").expect("send");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read");
+    let status = buf.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let body = buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
+}
+
+#[test]
+fn live_server_answers_all_endpoints_and_traces_reconstruct() {
+    // Profiling stays OFF here: the same serving path must allocate no
+    // profiler tree nodes (the LIGHTTS_PROF=0 zero-overhead contract) —
+    // checked at the end against a snapshot taken now.
+    let nodes_before = lightts_obs::prof::node_count();
+
+    let model = build_model(31, 4);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("m", &model.save_bytes().unwrap()).unwrap();
+    let server = Server::start(registry, ServeConfig::default());
+    let telemetry = server.serve_telemetry("127.0.0.1:0").expect("bind telemetry");
+    let addr = telemetry.addr();
+
+    let handle = server.handle();
+    let pendings: Vec<Pending> = (0..64).map(|i| handle.submit("m", sample(i)).unwrap()).collect();
+    for p in pendings {
+        p.wait().unwrap();
+    }
+
+    // /healthz: alive while the scheduler runs.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"scheduler_alive\":true"), "{body}");
+
+    // /metrics: stage histograms present with TYPE lines; request counter
+    // reflects the traffic.
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    for series in ["serve_queue_wait_ns", "serve_fuse_ns", "serve_forward_ns", "serve_reply_ns"] {
+        assert!(body.contains(&format!("# TYPE {series} histogram")), "{series} missing:\n{body}");
+        assert!(
+            body.lines().any(|l| l.starts_with(&format!("{series}_count ")) && !l.ends_with(" 0")),
+            "{series} recorded nothing:\n{body}"
+        );
+    }
+    assert!(body.contains("serve_requests_total 64"), "{body}");
+
+    // /metrics.json parses and carries exemplar arrays.
+    let (status, body) = get(addr, "/metrics.json");
+    assert_eq!(status, 200);
+    lightts_obs::jsonl::parse(body.trim()).expect("metrics JSON parses");
+    assert!(body.contains("\"exemplars\":"), "{body}");
+
+    // /tracez: every line passes the schema, linkage holds, and one trace
+    // id reconstructs the full queue-wait/fuse/forward/reply breakdown.
+    let (status, body) = get(addr, "/tracez");
+    assert_eq!(status, 200);
+    let lines: Vec<&str> = body.lines().filter(|l| !l.trim().is_empty()).collect();
+    assert!(!lines.is_empty(), "ring is empty");
+    for l in &lines {
+        lightts_obs::jsonl::validate_event_line(l).unwrap_or_else(|e| panic!("{e}: {l}"));
+    }
+    let traces =
+        lightts_obs::jsonl::validate_trace_linkage(lines.iter().copied()).expect("linkage");
+    assert!(traces > 0, "no serve traces in the ring");
+    // Pick the trace id out of one root span and count its stage spans.
+    let root = lines
+        .iter()
+        .find(|l| l.contains("\"path\":\"serve.request\""))
+        .expect("a serve.request root span");
+    let tid = {
+        let tail = root.split("\"trace_id\":").nth(1).expect("trace_id field");
+        tail.split(|c: char| !c.is_ascii_digit()).next().unwrap().to_string()
+    };
+    for stage in ["serve.queue_wait", "serve.fuse", "serve.forward", "serve.reply"] {
+        assert!(
+            lines.iter().any(|l| l.contains(&format!("\"path\":\"{stage}\""))
+                && l.contains(&format!("\"trace_id\":{tid}"))),
+            "trace {tid} is missing its {stage} span"
+        );
+    }
+
+    // /profilez exists; with LIGHTTS_PROF off it must be empty for the
+    // serve-driven paths, and the profiler tree must not have grown.
+    let (status, _) = get(addr, "/profilez");
+    assert_eq!(status, 200);
+    assert_eq!(
+        lightts_obs::prof::node_count(),
+        nodes_before,
+        "serving with LIGHTTS_PROF off must allocate no profiler nodes"
+    );
+
+    // /healthz flips to 503 once the scheduler is gone.
+    server.shutdown();
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"scheduler_alive\":false"), "{body}");
+
+    telemetry.shutdown();
+}
+
+#[test]
+fn telemetry_server_sheds_cleanly_and_survives_bad_clients() {
+    let model = build_model(33, 3);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("m", &model.save_bytes().unwrap()).unwrap();
+    let server = Server::start(registry, ServeConfig::default());
+    let telemetry = server.serve_telemetry("127.0.0.1:0").expect("bind telemetry");
+    let addr = telemetry.addr();
+
+    // A client that connects and hangs up mid-request must not wedge the
+    // workers.
+    for _ in 0..4 {
+        let mut s = TcpStream::connect(addr).unwrap();
+        let _ = s.write_all(b"GET /met");
+        drop(s);
+    }
+    // A garbage client gets a clean 400.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(b"\x01\x02\x03 garbage\r\n\r\n").unwrap();
+    let mut resp = String::new();
+    s.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    s.read_to_string(&mut resp).unwrap();
+    assert!(resp.starts_with("HTTP/1.1 400"), "{resp}");
+
+    // And the server still answers normal requests afterwards.
+    let (status, _) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+
+    telemetry.shutdown();
+    server.shutdown();
+}

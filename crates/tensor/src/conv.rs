@@ -278,6 +278,7 @@ fn conv1d_forward_direct_kernel(
     k: usize,
 ) {
     let _ = b;
+    let _prof = lightts_obs::prof::scope("conv.direct_fwd");
     let (pl, _pr) = same_padding(k);
     par::par_for_rows(y, l, cin * k * l, |row, y_row| {
         let (bi, co) = (row / cout, row % cout);
@@ -326,6 +327,7 @@ fn conv1d_forward_lowered_kernel(
     cout: usize,
     k: usize,
 ) {
+    let _prof = lightts_obs::prof::scope("conv.lowered_fwd");
     let (pl, _pr) = same_padding(k);
     let ck = cin * k;
     let mut xcol = pool::take_zeroed(ck * l);
@@ -468,6 +470,7 @@ fn conv1d_backward_input_lowered_kernel(
     cout: usize,
     k: usize,
 ) -> Result<Tensor> {
+    let _prof = lightts_obs::prof::scope("conv.lowered_bwd_input");
     let (pl, _pr) = same_padding(k);
     let dyd = dy.data();
     let wd = w.data();
@@ -619,6 +622,7 @@ fn conv1d_backward_weight_lowered_kernel(
     cout: usize,
     k: usize,
 ) -> Result<Tensor> {
+    let _prof = lightts_obs::prof::scope("conv.lowered_bwd_weight");
     let (pl, _pr) = same_padding(k);
     let dyd = dy.data();
     let xd = x.data();

@@ -72,6 +72,7 @@ pub fn gemm_panel_into(c: &mut [f32], a: &[f32], b: &[f32], rows: usize, k: usiz
     debug_assert_eq!(c.len(), rows * n);
     debug_assert_eq!(a.len(), rows * k);
     debug_assert_eq!(b.len(), k * n);
+    let _prof = lightts_obs::prof::scope("gemm.panel");
     let mut r = 0;
     while r + 4 <= rows {
         let (c01, c23) = c[r * n..(r + 4) * n].split_at_mut(2 * n);
@@ -100,6 +101,7 @@ pub fn matmul_into(c: &mut [f32], a: &[f32], b: &[f32], m: usize, k: usize, n: u
     if n == 0 {
         return;
     }
+    let _prof = lightts_obs::prof::scope("gemm.matmul");
     par::par_for_rows(c, n, 2 * k * n, |i, c_row| {
         gemm_row_into(c_row, &a[i * k..(i + 1) * k], b, k, n);
     });

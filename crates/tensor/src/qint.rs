@@ -266,6 +266,7 @@ pub fn qconv1d_same_into(
     if out.len() != w.rows() * l {
         return Err(TensorError::LengthMismatch { len: out.len(), expected: w.rows() * l });
     }
+    let _prof = lightts_obs::prof::scope("qconv.same");
     let (pl, _pr) = crate::conv::same_padding(kernel);
     patch.resize(l * cin * kernel, 0);
     qim2row(patch, qx, cin, l, kernel, pl, pad);
