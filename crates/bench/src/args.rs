@@ -11,6 +11,22 @@ pub struct Args {
     pub seed: u64,
     /// Optional dataset-count override (ranking experiments).
     pub datasets: Option<usize>,
+    /// Scheduler shard-count override for the serving benches, from the
+    /// `LIGHTTS_SERVE_SHARDS` environment variable (capped at
+    /// [`lightts_serve::MAX_SHARDS`]); `None` when unset or unparsable.
+    /// `bench_serve_cluster` sweeps only this count when set.
+    pub serve_shards: Option<usize>,
+}
+
+/// Parses `LIGHTTS_SERVE_SHARDS` from the environment: a positive integer,
+/// capped at [`lightts_serve::MAX_SHARDS`]; `None` when unset, empty, zero,
+/// or unparsable.
+pub fn serve_shards_from_env() -> Option<usize> {
+    std::env::var("LIGHTTS_SERVE_SHARDS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .map(|n| n.min(lightts_serve::MAX_SHARDS))
 }
 
 impl Args {
@@ -41,7 +57,12 @@ impl Args {
 
     /// Parses from an explicit iterator (testable).
     pub fn parse_from<I: IntoIterator<Item = String>>(args: I) -> Args {
-        let mut out = Args { scale: ExperimentScale::quick(), seed: 0x11C5, datasets: None };
+        let mut out = Args {
+            scale: ExperimentScale::quick(),
+            seed: 0x11C5,
+            datasets: None,
+            serve_shards: serve_shards_from_env(),
+        };
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
             match a.as_str() {
@@ -84,6 +105,25 @@ mod tests {
         assert_eq!(a.seed, 0x11C5);
         assert!(a.datasets.is_none());
         assert_eq!(a.scale.name, "quick");
+    }
+
+    #[test]
+    fn serve_shards_env_parses_and_caps() {
+        // Exercise the parser on explicit env states; restore afterwards so
+        // sibling tests observe the ambient environment.
+        let saved = std::env::var("LIGHTTS_SERVE_SHARDS").ok();
+        std::env::set_var("LIGHTTS_SERVE_SHARDS", "3");
+        assert_eq!(serve_shards_from_env(), Some(3));
+        std::env::set_var("LIGHTTS_SERVE_SHARDS", "100000");
+        assert_eq!(serve_shards_from_env(), Some(lightts_serve::MAX_SHARDS));
+        std::env::set_var("LIGHTTS_SERVE_SHARDS", "0");
+        assert_eq!(serve_shards_from_env(), None);
+        std::env::set_var("LIGHTTS_SERVE_SHARDS", "banana");
+        assert_eq!(serve_shards_from_env(), None);
+        match saved {
+            Some(v) => std::env::set_var("LIGHTTS_SERVE_SHARDS", v),
+            None => std::env::remove_var("LIGHTTS_SERVE_SHARDS"),
+        }
     }
 
     #[test]

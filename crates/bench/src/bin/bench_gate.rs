@@ -1,33 +1,40 @@
-//! Performance regression gate over the `BENCH_kernels.json` artifact.
+//! Performance regression gate over the benchmark artifacts.
 //!
 //! ```text
 //! bench_gate <baseline.json> <fresh.json> [--threshold <pct>]
+//! bench_gate --serve <baseline.json> <fresh.json> [--threshold <pct>]
 //! ```
 //!
-//! Joins the two files' rows on the full record key
-//! `(op, shape, threads, scale, backend)` and prints a per-key delta
-//! table. Exits non-zero if any joined row's fresh `median_ns` regressed
-//! by more than the threshold (default **25%**) over the baseline. Keys
-//! present on only one side are reported but never fatal — benches come
-//! and go; the gate only guards kernels both runs measured.
+//! Default mode gates `BENCH_kernels.json`: rows are joined on the full
+//! kernel record key `(op, shape, threads, scale, backend)` and the fresh
+//! `median_ns` must not regress more than the threshold (default **25%**)
+//! over the baseline. `--serve` gates `BENCH_serve.json` the same way:
+//! rows join on `(bench, shards, concurrency, scale)` and the gated
+//! quantity is the **p99 latency** (`p99_us`) of the closed-loop serving
+//! sweep. Keys present on only one side are reported but never fatal —
+//! benches come and go; the gate only guards cells both runs measured.
 //!
-//! CI runs the smoke benches, then gates the fresh artifact against the
-//! committed one. The generous threshold absorbs shared-runner noise
+//! CI runs the smoke benches, then gates the fresh artifacts against the
+//! committed ones. The generous threshold absorbs shared-runner noise
 //! while still catching the step-function regressions that matter (a
-//! dispatch falling back to scalar, a lowering losing its panel kernel).
+//! dispatch falling back to scalar, a scheduler serializing its shards).
 
-use lightts_bench::perf::{read_records, KernelRecord};
+use lightts_bench::perf::{read_records, read_serve_records, KernelRecord};
 use std::path::Path;
 use std::process::exit;
 
-fn key(r: &KernelRecord) -> (String, String, usize, String, String) {
-    (r.op.clone(), r.shape.clone(), r.threads, r.scale.clone(), r.backend.clone())
+/// One gated row: a label encoding the full record key plus the gated
+/// quantity (kernel `median_ns` or serving `p99_us`).
+struct Row {
+    label: String,
+    value: f64,
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut threshold_pct = 25.0f64;
+    let mut serve_mode = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == "--threshold" {
@@ -39,16 +46,39 @@ fn main() {
                     exit(2);
                 }
             }
+        } else if a == "--serve" {
+            serve_mode = true;
         } else {
             paths.push(a.clone());
         }
     }
     let [baseline_path, fresh_path] = paths.as_slice() else {
-        eprintln!("usage: bench_gate <baseline.json> <fresh.json> [--threshold <pct>]");
+        eprintln!("usage: bench_gate [--serve] <baseline.json> <fresh.json> [--threshold <pct>]");
         exit(2);
     };
-    let baseline = read_records(Path::new(baseline_path));
-    let fresh = read_records(Path::new(fresh_path));
+    let (baseline, fresh, header, unit) = if serve_mode {
+        let b = read_serve_records(Path::new(baseline_path));
+        let f = read_serve_records(Path::new(fresh_path));
+        (
+            b.iter().map(|r| Row { label: r.label(), value: r.p99_us }).collect::<Vec<_>>(),
+            f.iter().map(|r| Row { label: r.label(), value: r.p99_us }).collect::<Vec<_>>(),
+            "bench/shards/concurrency/scale",
+            "p99 us",
+        )
+    } else {
+        let b = read_records(Path::new(baseline_path));
+        let f = read_records(Path::new(fresh_path));
+        let row = |r: &KernelRecord| Row {
+            label: format!("{}/{}/t{}/{}/{}", r.op, r.shape, r.threads, r.scale, r.backend),
+            value: r.median_ns,
+        };
+        (
+            b.iter().map(row).collect::<Vec<_>>(),
+            f.iter().map(row).collect::<Vec<_>>(),
+            "op/shape/threads/scale/backend",
+            "ns",
+        )
+    };
     if baseline.is_empty() {
         eprintln!("bench_gate: {baseline_path}: no baseline records (missing or unparsable)");
         exit(2);
@@ -62,41 +92,43 @@ fn main() {
     let mut regressions = Vec::new();
     println!(
         "{:<40} {:>12} {:>12} {:>8}  verdict",
-        "op/shape/threads/scale/backend", "base ns", "fresh ns", "delta"
+        header,
+        format!("base {unit}"),
+        format!("fresh {unit}"),
+        "delta"
     );
     for f in &fresh {
-        let Some(b) = baseline.iter().find(|b| key(b) == key(f)) else {
+        let Some(b) = baseline.iter().find(|b| b.label == f.label) else {
             println!(
                 "{:<40} {:>12} {:>12} {:>8}  new (not gated)",
-                label(f),
+                f.label,
                 "-",
-                fmt(f.median_ns),
+                fmt(f.value),
                 "-"
             );
             continue;
         };
         joined += 1;
-        let delta_pct =
-            if b.median_ns > 0.0 { (f.median_ns - b.median_ns) / b.median_ns * 100.0 } else { 0.0 };
+        let delta_pct = if b.value > 0.0 { (f.value - b.value) / b.value * 100.0 } else { 0.0 };
         let regressed = delta_pct > threshold_pct;
         println!(
             "{:<40} {:>12} {:>12} {:>+7.1}%  {}",
-            label(f),
-            fmt(b.median_ns),
-            fmt(f.median_ns),
+            f.label,
+            fmt(b.value),
+            fmt(f.value),
             delta_pct,
             if regressed { "REGRESSION" } else { "ok" }
         );
         if regressed {
-            regressions.push((label(f), delta_pct));
+            regressions.push((f.label.clone(), delta_pct));
         }
     }
     for b in &baseline {
-        if !fresh.iter().any(|f| key(f) == key(b)) {
+        if !fresh.iter().any(|f| f.label == b.label) {
             println!(
                 "{:<40} {:>12} {:>12} {:>8}  gone (not gated)",
-                label(b),
-                fmt(b.median_ns),
+                b.label,
+                fmt(b.value),
                 "-",
                 "-"
             );
@@ -122,10 +154,6 @@ fn main() {
     }
 }
 
-fn label(r: &KernelRecord) -> String {
-    format!("{}/{}/t{}/{}/{}", r.op, r.shape, r.threads, r.scale, r.backend)
-}
-
-fn fmt(ns: f64) -> String {
-    format!("{ns:.0}")
+fn fmt(v: f64) -> String {
+    format!("{v:.0}")
 }

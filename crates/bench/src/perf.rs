@@ -150,6 +150,127 @@ pub fn write_records(path: &Path, records: &[KernelRecord]) -> std::io::Result<(
     Ok(())
 }
 
+// ------------------------------------------------------------- serving SLO --
+
+/// One closed-loop serving measurement destined for `BENCH_serve.json`.
+///
+/// Written by `bench_serve_cluster`, which sweeps scheduler shard counts
+/// and closed-loop client concurrency against the TCP front door and
+/// records the latency/throughput/shed curve; `bench_gate --serve` joins
+/// two files on `(bench, shards, concurrency, scale)` and gates `p99_us`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeRecord {
+    /// Benchmark lane, e.g. `tcp_closed_loop`.
+    pub bench: String,
+    /// Scheduler shard count the server ran with.
+    pub shards: usize,
+    /// Closed-loop client connections issuing blocking requests.
+    pub concurrency: usize,
+    /// Measurement scale: `smoke` or `full` (see [`current_scale`]).
+    pub scale: String,
+    /// Completed OK requests per second over the measurement window.
+    pub throughput_rps: f64,
+    /// Median request latency, microseconds (exact sorted percentile).
+    pub p50_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Fraction of requests shed (`OVERLOADED` + `DEADLINE`), 0.0–1.0.
+    pub shed_rate: f64,
+}
+
+impl ServeRecord {
+    fn key(&self) -> (String, usize, usize, String) {
+        (self.bench.clone(), self.shards, self.concurrency, self.scale.clone())
+    }
+
+    /// The merge key, `(bench, shards, concurrency, scale)` — everything
+    /// but the measured quantities.
+    pub fn label(&self) -> String {
+        format!("{}/shards{}/c{}/{}", self.bench, self.shards, self.concurrency, self.scale)
+    }
+
+    fn to_json_line(&self) -> String {
+        format!(
+            "{{\"bench\":{},\"shards\":{},\"concurrency\":{},\"scale\":{},\
+             \"throughput_rps\":{:.1},\"p50_us\":{:.1},\"p99_us\":{:.1},\"shed_rate\":{:.4}}}",
+            escape(&self.bench),
+            self.shards,
+            self.concurrency,
+            escape(&self.scale),
+            self.throughput_rps,
+            self.p50_us,
+            self.p99_us,
+            self.shed_rate
+        )
+    }
+}
+
+/// The serving artifact location: `BENCH_serve.json` at the repository root.
+pub fn default_serve_path() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_serve.json")
+}
+
+fn serve_record_from_json(v: &Json) -> Option<ServeRecord> {
+    let o = v.as_obj()?;
+    Some(ServeRecord {
+        bench: o.get("bench")?.as_str()?.to_string(),
+        shards: o.get("shards")?.as_num()? as usize,
+        concurrency: o.get("concurrency")?.as_num()? as usize,
+        scale: o.get("scale")?.as_str()?.to_string(),
+        throughput_rps: o.get("throughput_rps")?.as_num()?,
+        p50_us: o.get("p50_us")?.as_num()?,
+        p99_us: o.get("p99_us")?.as_num()?,
+        shed_rate: o.get("shed_rate")?.as_num()?,
+    })
+}
+
+/// Reads the serving records in `path` (empty on a missing or unparsable
+/// file — like the kernel artifact, it is regenerable, never load-bearing).
+pub fn read_serve_records(path: &Path) -> Vec<ServeRecord> {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Ok(Json::Arr(items)) = parse(&text) else {
+        return Vec::new();
+    };
+    items.iter().filter_map(serve_record_from_json).collect()
+}
+
+/// Merges `records` into the JSON array at `path`, keyed on
+/// `(bench, shards, concurrency, scale)` — same discipline as
+/// [`write_records`]: re-running a sweep updates its cells in place,
+/// other cells survive, output is sorted one object per line.
+pub fn write_serve_records(path: &Path, records: &[ServeRecord]) -> std::io::Result<()> {
+    let mut merged = read_serve_records(path);
+    for r in records {
+        if let Some(slot) = merged.iter_mut().find(|m| m.key() == r.key()) {
+            *slot = r.clone();
+        } else {
+            merged.push(r.clone());
+        }
+    }
+    merged.sort_by_key(|r| r.key());
+    let mut f = std::fs::File::create(path)?;
+    writeln!(f, "[")?;
+    for (i, r) in merged.iter().enumerate() {
+        let sep = if i + 1 == merged.len() { "" } else { "," };
+        writeln!(f, "  {}{}", r.to_json_line(), sep)?;
+    }
+    writeln!(f, "]")?;
+    Ok(())
+}
+
+/// Exact percentile over sorted latency samples: index
+/// `ceil(q·n) - 1` of the ascending order statistics (nearest-rank).
+/// Returns 0.0 on an empty slice.
+pub fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted_ns.len() as f64).ceil() as usize).clamp(1, sorted_ns.len());
+    sorted_ns[rank - 1] as f64 / 1_000.0
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +339,41 @@ mod tests {
         let parsed = parse(&line).unwrap();
         assert_eq!(parsed.as_obj().unwrap()["op"].as_str().unwrap(), "weird\"op\\name");
         assert_eq!(parsed.as_obj().unwrap()["backend"].as_str().unwrap(), "avx2");
+    }
+
+    fn srec(shards: usize, concurrency: usize, p99: f64) -> ServeRecord {
+        ServeRecord {
+            bench: "tcp_closed_loop".into(),
+            shards,
+            concurrency,
+            scale: "smoke".into(),
+            throughput_rps: 1000.0,
+            p50_us: 250.0,
+            p99_us: p99,
+            shed_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn serve_records_round_trip_and_merge_on_key() {
+        let p = temp_path("serve");
+        write_serve_records(&p, &[srec(1, 4, 900.0), srec(2, 4, 500.0)]).unwrap();
+        write_serve_records(&p, &[srec(2, 4, 450.0), srec(4, 8, 300.0)]).unwrap();
+        let back = read_serve_records(&p);
+        assert_eq!(back.len(), 3);
+        assert_eq!(back.iter().find(|r| r.shards == 2).unwrap().p99_us, 450.0);
+        assert_eq!(back.iter().find(|r| r.shards == 1).unwrap().p99_us, 900.0);
+        std::fs::remove_file(&p).unwrap();
+    }
+
+    #[test]
+    fn percentiles_are_exact_order_statistics() {
+        let ns: Vec<u64> = (1..=100).map(|i| i * 1_000).collect();
+        assert_eq!(percentile_us(&ns, 0.50), 50.0);
+        assert_eq!(percentile_us(&ns, 0.99), 99.0);
+        assert_eq!(percentile_us(&ns, 1.0), 100.0);
+        assert_eq!(percentile_us(&[5_000], 0.99), 5.0);
+        assert_eq!(percentile_us(&[], 0.5), 0.0);
     }
 
     #[test]

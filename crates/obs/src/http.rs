@@ -6,7 +6,7 @@
 //! | `GET /` | endpoint index | `text/plain` |
 //! | `GET /metrics` | [`Snapshot::render_prometheus`] (or `render_openmetrics` with exemplars when the `Accept` header asks for `application/openmetrics-text`) | `text/plain; version=0.0.4` / `application/openmetrics-text; version=1.0.0` |
 //! | `GET /metrics.json` | [`Snapshot::render_json`] | `application/json` |
-//! | `GET /healthz` | liveness JSON (`status`, `uptime_us`, `scheduler_alive`); `503` when the health callback reports dead | `application/json` |
+//! | `GET /healthz` | liveness JSON (`status`, `uptime_us`, `scheduler_alive`, plus any [`TelemetryBuilder::health_detail`] fields such as serving's `shards_alive`/`shards_total`); `503` when the health callback reports dead | `application/json` |
 //! | `GET /tracez` | the span ring's contents, one JSONL span per line | `application/x-ndjson` |
 //! | `GET /profilez` | [`prof::render_collapsed`](crate::prof::render_collapsed) collapsed stacks | `text/plain` |
 //!
@@ -179,11 +179,16 @@ impl From<&'static Registry> for RegistrySource {
     }
 }
 
+/// Extra `/healthz` body fields: `(name, value)` pairs rendered as
+/// numeric JSON members (e.g. `"shards_alive":3`).
+pub type HealthDetail = Vec<(String, i64)>;
+
 /// What the endpoints serve: the scrape registry, the optional health
-/// callback, and the start instant for uptime.
+/// callbacks, and the start instant for uptime.
 struct Telemetry {
     registry: RegistrySource,
     health: Option<Box<dyn Fn() -> bool + Send + Sync>>,
+    health_detail: Option<Box<dyn Fn() -> HealthDetail + Send + Sync>>,
     started: Instant,
 }
 
@@ -191,6 +196,7 @@ struct Telemetry {
 pub struct TelemetryBuilder {
     registry: RegistrySource,
     health: Option<Box<dyn Fn() -> bool + Send + Sync>>,
+    health_detail: Option<Box<dyn Fn() -> HealthDetail + Send + Sync>>,
     ring_capacity: usize,
 }
 
@@ -200,6 +206,7 @@ impl TelemetryBuilder {
         TelemetryBuilder {
             registry: registry.into(),
             health: None,
+            health_detail: None,
             ring_capacity: crate::trace::DEFAULT_RING_CAPACITY,
         }
     }
@@ -209,6 +216,22 @@ impl TelemetryBuilder {
     /// `/healthz` reports process liveness only (`"scheduler_alive":null`).
     pub fn health(mut self, f: impl Fn() -> bool + Send + Sync + 'static) -> TelemetryBuilder {
         self.health = Some(Box::new(f));
+        self
+    }
+
+    /// Attaches a detail callback: its `(name, value)` pairs are rendered
+    /// into the `/healthz` body as additional numeric JSON fields on every
+    /// scrape. The sharded serving runtime uses this to report
+    /// `shards_alive`/`shards_total` alongside the boolean liveness bit —
+    /// a partially degraded server stays `200` (only the [`health`]
+    /// callback controls the status code) but shows how degraded it is.
+    ///
+    /// [`health`]: Self::health
+    pub fn health_detail(
+        mut self,
+        f: impl Fn() -> HealthDetail + Send + Sync + 'static,
+    ) -> TelemetryBuilder {
+        self.health_detail = Some(Box::new(f));
         self
     }
 
@@ -227,6 +250,7 @@ impl TelemetryBuilder {
         let telemetry = Arc::new(Telemetry {
             registry: self.registry,
             health: self.health,
+            health_detail: self.health_detail,
             started: Instant::now(),
         });
         let stop = Arc::new(AtomicBool::new(false));
@@ -370,8 +394,14 @@ fn healthz_body(t: &Telemetry, alive: Option<bool>) -> String {
         Some(false) => "false",
         None => "null",
     };
+    let mut detail = String::new();
+    if let Some(f) = &t.health_detail {
+        for (name, value) in f() {
+            detail.push_str(&format!(",\"{name}\":{value}"));
+        }
+    }
     format!(
-        "{{\"status\":\"{status}\",\"uptime_us\":{},\"scheduler_alive\":{alive_json}}}\n",
+        "{{\"status\":\"{status}\",\"uptime_us\":{},\"scheduler_alive\":{alive_json}{detail}}}\n",
         t.started.elapsed().as_micros()
     )
 }
@@ -544,6 +574,7 @@ mod tests {
         let t = Telemetry {
             registry: Arc::new(Registry::new()).into(),
             health: None,
+            health_detail: None,
             started: Instant::now(),
         };
         let body = healthz_body(&t, None);
@@ -552,6 +583,22 @@ mod tests {
         let body = healthz_body(&t, Some(false));
         assert!(body.contains("\"status\":\"unhealthy\""), "{body}");
         crate::jsonl::parse(body.trim()).expect("healthz JSON parses");
+    }
+
+    #[test]
+    fn healthz_body_renders_detail_fields() {
+        let t = Telemetry {
+            registry: Arc::new(Registry::new()).into(),
+            health: None,
+            health_detail: Some(Box::new(|| {
+                vec![("shards_alive".to_string(), 3), ("shards_total".to_string(), 4)]
+            })),
+            started: Instant::now(),
+        };
+        let body = healthz_body(&t, Some(true));
+        assert!(body.contains("\"shards_alive\":3"), "{body}");
+        assert!(body.contains("\"shards_total\":4"), "{body}");
+        crate::jsonl::parse(body.trim()).expect("healthz JSON with detail parses");
     }
 
     #[test]

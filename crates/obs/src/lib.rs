@@ -107,6 +107,7 @@
 //! | `LIGHTTS_BENCH_SMOKE` | `lightts-bench` | `1` | shrinks every criterion bench to a CI-sized compile-rot check |
 //! | `LIGHTTS_PROF` | `lightts-obs` (`prof`) | unset/`0`/`off`/`false` (off), anything else (on) | hierarchical profiler behind the permanent kernel/serve hooks; `GET /profilez` renders collapsed stacks; never changes bits |
 //! | `LIGHTTS_TELEMETRY_ADDR` | `lightts-obs` (`http`) | `host:port`, e.g. `127.0.0.1:9464` | the experiment binaries spawn the telemetry HTTP server here at startup ([`http::spawn_from_env`]) |
+//! | `LIGHTTS_SERVE_SHARDS` | `lightts-serve`, `lightts-bench` | positive integer | scheduler shard count when `ServeConfig::shards` is 0 (read at each server start, capped at 64); without it the count defaults to available parallelism clamped to the model count; `bench_serve_cluster` sweeps only this count when set; never changes bits — routing is deterministic and every replica answers identically |
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

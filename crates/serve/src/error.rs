@@ -47,10 +47,17 @@ pub enum ServeError {
     Model(ModelError),
     /// The server is shutting down and no longer accepts requests.
     Shutdown,
-    /// The scheduler thread is gone without a clean shutdown (it died or
-    /// was killed) — distinct from [`Shutdown`](Self::Shutdown) so callers
-    /// can tell a drained server from a crashed one.
-    SchedulerDied,
+    /// A scheduler shard thread is gone without a clean shutdown (it died
+    /// or was killed) — distinct from [`Shutdown`](Self::Shutdown) so
+    /// callers can tell a drained server from a crashed one. Sibling
+    /// shards keep serving their own models; only requests routed to the
+    /// dead shard get this error.
+    SchedulerDied {
+        /// Which shard died, when known. `None` when the death was
+        /// observed only as a dropped reply channel (the caller side
+        /// cannot tell which shard held the request).
+        shard: Option<usize>,
+    },
 }
 
 impl fmt::Display for ServeError {
@@ -68,7 +75,12 @@ impl fmt::Display for ServeError {
             Self::Inference { what } => write!(f, "inference failed: {what}"),
             Self::Model(e) => write!(f, "model error: {e}"),
             Self::Shutdown => write!(f, "server is shut down"),
-            Self::SchedulerDied => write!(f, "scheduler thread died without replying"),
+            Self::SchedulerDied { shard: Some(s) } => {
+                write!(f, "scheduler shard {s} died without replying")
+            }
+            Self::SchedulerDied { shard: None } => {
+                write!(f, "scheduler thread died without replying")
+            }
         }
     }
 }

@@ -19,12 +19,24 @@
 //!   resident at once; a model that cannot support the requested kind
 //!   (e.g. 16/32-bit quantization metadata asked to serve i8) is refused
 //!   at registration with a typed error, never a panic.
-//! * [`Server`] — a request queue with **dynamic micro-batching**: requests
+//! * [`Server`] — request queues with **dynamic micro-batching**: requests
 //!   accumulate until either `max_batch` are waiting or the oldest has
 //!   waited `max_wait`, then one fused forward runs over the whole batch
-//!   and the rows are scattered back to their callers.
+//!   and the rows are scattered back to their callers. The scheduler is
+//!   **sharded** ([`ServeConfig::shards`]): each shard thread owns its own
+//!   queues, condvar, and plan clones, models are replicated across
+//!   [`ServeConfig::replicas`] shards, and requests are hash-routed by
+//!   request id ([`route_replica`]) — one hot model replicated across N
+//!   shards scales across cores with no shared lock on the hot path.
+//! * [`wire`] / [`net`] — the `LTSP` length-prefixed binary protocol and
+//!   its TCP / Unix-socket front door ([`Server::serve_net`],
+//!   [`Server::serve_unix`] + [`NetClient`]): remote callers get the same
+//!   admission, batching, deadline, and shed semantics as in-process ones,
+//!   rendered as typed status codes, with probability rows crossing the
+//!   wire bit-exactly.
 //! * [`ServeStats`] — per-request latency and per-batch throughput
-//!   counters, exposed as a consistent snapshot.
+//!   counters, exposed as a consistent snapshot (plus per-shard
+//!   `serve.shard{i}.*` series in [`Server::metrics`]).
 //!
 //! ## Robustness
 //!
@@ -47,20 +59,31 @@
 //!   `serve.batch` failpoint) fails only that batch's requests with
 //!   [`ServeError::Inference`]; the scheduler recovers — including from
 //!   poisoned mutexes — and keeps serving, with bitwise-identical results
-//!   for subsequent requests.
+//!   for subsequent requests. A panic escaping a shard's *loop* (the
+//!   `serve.shard` failpoint) kills only that shard: its queued requests
+//!   are answered with a shard-tagged [`ServeError::SchedulerDied`],
+//!   submissions routed to it fail fast, and sibling shards keep serving
+//!   bitwise-identically. `/healthz` stays `200` (reporting
+//!   `shards_alive`/`shards_total`) until the last shard dies.
 //! * **Observability** — sheds and contained panics are counted
 //!   (`serve.shed_overload`, `serve.shed_deadline`, `serve.batch_panics`)
-//!   in [`Server::metrics`].
+//!   in [`Server::metrics`], alongside per-shard queue-depth/batch/latency
+//!   series and `serve.shard.batch` trace spans.
 //!
 //! ## Threading model
 //!
-//! One dedicated scheduler thread owns every compiled plan (and its scratch
-//! buffers) — requests are handed over through a mutex-protected queue, so
-//! plans need no internal locking. The fused forward itself fans out over
-//! the `lightts_tensor::par` thread pool exactly like the training kernels
-//! do: the batched matrix-multiply and convolution kernels partition output
-//! rows across the pool's workers. Callers block on a one-shot channel (or
-//! poll a [`Pending`] handle for pipelined submission).
+//! N scheduler shard threads each own *clones* of the compiled plans
+//! placed on them (and their scratch buffers) — requests are handed over
+//! through the owning shard's mutex-protected queues, so plans need no
+//! internal locking and shards never contend on one lock. The shard count
+//! defaults to available parallelism clamped to the model count
+//! (overridable via [`ServeConfig::shards`] or `LIGHTTS_SERVE_SHARDS`).
+//! The fused forward itself fans out over the `lightts_tensor::par`
+//! thread pool exactly like the training kernels do: the batched
+//! matrix-multiply and convolution kernels partition output rows across
+//! the pool's workers. Callers block on a one-shot channel (or poll a
+//! [`Pending`] handle for pipelined submission); remote callers go
+//! through the [`net`] front door's per-connection reader/writer pair.
 //!
 //! ## Determinism contract
 //!
@@ -69,7 +92,11 @@
 //! sample alone, no matter which micro-batches the scheduler happens to
 //! form: every kernel in the inference path computes each output row with a
 //! batch-size-independent accumulation order (see
-//! [`lightts_models::inference`]). Batching is therefore purely a
+//! [`lightts_models::inference`]). Sharding preserves this whole-server:
+//! the route is a pure function of the request id, and every replica is a
+//! clone of the same compiled plan, so shard counts 1 and N answer
+//! bitwise identically — and so does the wire path, which moves `f32`
+//! bit patterns, never text. Batching is therefore purely a
 //! throughput optimization — it can never change a prediction. The i8 plan
 //! upholds the same batch-size invariance (activation quantizers are
 //! fitted per sample, and integer accumulation is exact), and is
@@ -96,14 +123,18 @@
 #![deny(unsafe_code)]
 
 mod error;
+pub mod net;
 mod registry;
 mod server;
 mod stats;
+pub mod wire;
 
 pub use error::ServeError;
+pub use net::{NetClient, NetError, NetServer};
 pub use registry::{ModelRegistry, PlanKind};
-pub use server::{Pending, ServeConfig, Server, ServerHandle};
+pub use server::{route_replica, Pending, ServeConfig, Server, ServerHandle, MAX_SHARDS};
 pub use stats::ServeStats;
+pub use wire::Status;
 
 /// Convenient result alias used throughout the crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

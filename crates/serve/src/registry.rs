@@ -35,7 +35,10 @@ impl PlanKind {
 }
 
 /// A compiled plan of either kind, dispatched per batch by the scheduler.
-#[derive(Debug)]
+/// `Clone` is what makes replica placement possible: each shard hosting a
+/// replica of a model owns its own clone of the compiled plan (weights and
+/// scratch), so shards never share mutable plan state.
+#[derive(Debug, Clone)]
 pub(crate) enum AnyPlan {
     F32(InferencePlan),
     I8(QuantizedPlan),

@@ -1,5 +1,24 @@
 //! The serving scheduler: request queues with dynamic micro-batching,
-//! admission control, deadlines, and panic isolation.
+//! admission control, deadlines, panic isolation — sharded N ways.
+//!
+//! ## Sharding
+//!
+//! The server runs [`ServeConfig::shards`] scheduler threads. Each shard
+//! owns its own bounded queues, condvar, and *clones* of the compiled
+//! plans placed on it, so shards share no mutable state and never contend
+//! on one lock. Models are placed on [`ServeConfig::replicas`] consecutive
+//! shards (round-robin from the model's index); a request is routed to one
+//! replica by hashing its request id ([`route_replica`]) — a pure function
+//! of the id, so the same request id always lands on the same shard and
+//! the per-shard determinism contract composes into a whole-server one:
+//! the route is deterministic, and every replica answers bitwise
+//! identically (clones of one plan), so *any* route answers bitwise
+//! identically.
+//!
+//! Fault isolation is shard-local: a panic escaping one shard's loop kills
+//! only that shard — its queued requests are drained with
+//! [`ServeError::SchedulerDied`] naming the shard, later submissions
+//! routed to it fail fast the same way, and sibling shards keep serving.
 
 use crate::registry::{AnyPlan, ModelRegistry, PlanKind};
 use crate::stats::{ServeStats, StatsInner};
@@ -14,6 +33,10 @@ use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Hard cap on the number of scheduler shards (a runaway-config backstop;
+/// each shard is an OS thread plus a plan-clone set).
+pub const MAX_SHARDS: usize = 64;
+
 /// Micro-batching and admission policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
@@ -22,7 +45,7 @@ pub struct ServeConfig {
     /// Run a partial batch once its oldest request has waited this long.
     pub max_wait: Duration,
     /// Admission control: at most this many requests may be queued per
-    /// model; further submissions are shed with
+    /// model replica; further submissions are shed with
     /// [`ServeError::Overloaded`] until the queue drains (a 0 is treated
     /// as 1). Bounding the queue keeps worst-case memory and queueing
     /// latency finite under overload — shedding early is cheaper than
@@ -36,6 +59,21 @@ pub struct ServeConfig {
     /// regardless of how the registry was built, so mixed registries stay
     /// observable.
     pub plan: PlanKind,
+    /// Number of scheduler shards (capped at [`MAX_SHARDS`]).
+    ///
+    /// `0` (the default) resolves at [`Server::start`]: the
+    /// `LIGHTTS_SERVE_SHARDS` environment variable if set, else the host's
+    /// available parallelism clamped to the registry's model count (one
+    /// model cannot use more shards than its replicas by default — see
+    /// [`replicas`](Self::replicas)). Explicit values (config or env) are
+    /// *not* clamped to the model count: replicating one hot model across
+    /// many shards is exactly the multi-core throughput play.
+    pub shards: usize,
+    /// Replicas per model: each model's compiled plan is cloned onto this
+    /// many consecutive shards and its requests hash-routed among them.
+    /// `0` (the default) replicates on every shard. Values are clamped to
+    /// the shard count.
+    pub replicas: usize,
 }
 
 impl Default for ServeConfig {
@@ -45,8 +83,76 @@ impl Default for ServeConfig {
             max_wait: Duration::from_millis(1),
             max_queue: 1024,
             plan: PlanKind::F32,
+            shards: 0,
+            replicas: 0,
         }
     }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Picks which of a model's `replicas` a request id routes to.
+///
+/// A pure, total function: any `request_id` maps to a replica index
+/// `< replicas.max(1)`, the same one every time, on every server with the
+/// same replica count — the property the routing proptest pins. The id is
+/// mixed through splitmix64 first so sequential ids (a counter-assigning
+/// client) still spread across replicas instead of all landing on
+/// `id % replicas`'s bias pattern.
+pub fn route_replica(request_id: u64, replicas: usize) -> usize {
+    (splitmix64(request_id) % replicas.max(1) as u64) as usize
+}
+
+/// Reads the `LIGHTTS_SERVE_SHARDS` override (ignored unless a positive
+/// integer).
+fn env_shards() -> Option<usize> {
+    std::env::var("LIGHTTS_SERVE_SHARDS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Resolves the shard count: explicit config wins, then the environment
+/// knob, then available parallelism clamped to the model count.
+fn resolve_shards(cfg_shards: usize, nmodels: usize) -> usize {
+    let n = if cfg_shards > 0 {
+        cfg_shards
+    } else if let Some(n) = env_shards() {
+        n
+    } else {
+        let par = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        par.min(nmodels.max(1))
+    };
+    n.clamp(1, MAX_SHARDS)
+}
+
+/// Computes replica placement: model `m` goes on shards
+/// `(m + k) % nshards` for `k in 0..replicas`.
+///
+/// Returns `(slots, routes)`: `slots[s]` lists the model index behind each
+/// of shard `s`'s local queue slots, and `routes[m]` lists model `m`'s
+/// `(shard, slot)` replicas in route order.
+#[allow(clippy::type_complexity)]
+fn placement(
+    nmodels: usize,
+    nshards: usize,
+    replicas: usize,
+) -> (Vec<Vec<usize>>, Vec<Vec<(usize, usize)>>) {
+    let mut slots: Vec<Vec<usize>> = vec![Vec::new(); nshards];
+    let mut routes: Vec<Vec<(usize, usize)>> = vec![Vec::new(); nmodels];
+    for (m, route) in routes.iter_mut().enumerate() {
+        for k in 0..replicas {
+            let s = (m + k) % nshards;
+            route.push((s, slots[s].len()));
+            slots[s].push(m);
+        }
+    }
+    (slots, routes)
 }
 
 /// One queued prediction request.
@@ -69,49 +175,65 @@ struct Request {
 struct ModelInfo {
     name: String,
     sample_len: usize,
+    /// The model's replicas, in route order: `(shard, slot)` pairs.
+    routes: Vec<(usize, usize)>,
 }
 
-/// Queue state guarded by the scheduler mutex.
-struct State {
-    /// One FIFO per registered model, indexed like `Shared::models`.
+/// Queue state guarded by one shard's mutex.
+struct ShardState {
+    /// One FIFO per local slot, indexed like `Shard::slot_models`.
     queues: Vec<VecDeque<Request>>,
     shutdown: bool,
+    /// Set by the shard's drop guard when its thread exits *without* a
+    /// clean shutdown: submissions fail fast with
+    /// [`ServeError::SchedulerDied`] instead of queueing forever.
+    dead: bool,
 }
 
-/// State shared between caller handles and the scheduler thread.
-struct Shared {
-    state: Mutex<State>,
+/// One scheduler shard: its queues, wakeup, and placement.
+struct Shard {
+    state: Mutex<ShardState>,
     cv: Condvar,
+    /// The model index behind each local queue slot.
+    slot_models: Vec<usize>,
+    /// `true` while the shard thread runs its loop; flipped by a drop
+    /// guard on any exit path.
+    alive: AtomicBool,
+}
+
+/// State shared between caller handles and the scheduler shards.
+struct Shared {
+    shards: Vec<Shard>,
     models: Vec<ModelInfo>,
     stats: StatsInner,
     cfg: ServeConfig,
-    /// `true` while the scheduler thread is running its loop; flipped to
-    /// `false` by a drop guard when the thread exits — cleanly (shutdown
-    /// drain) or by a panic escaping the loop. `/healthz` reports this as
-    /// `scheduler_alive`, so a scrape distinguishes "process up, scheduler
-    /// dead" from healthy.
-    scheduler_alive: AtomicBool,
 }
 
-/// Locks the scheduler state, recovering from mutex poisoning.
+/// Locks one shard's state, recovering from mutex poisoning.
 ///
 /// The queue invariants are simple enough (a `VecDeque` push/drain is
 /// never observable half-done) that a panic elsewhere while the lock was
 /// held cannot leave the state torn — so a poisoned mutex is recovered
 /// with [`PoisonError::into_inner`] rather than cascading the panic into
-/// every submitting thread and the scheduler.
-fn lock_state(shared: &Shared) -> MutexGuard<'_, State> {
-    shared.state.lock().unwrap_or_else(PoisonError::into_inner)
+/// every submitting thread and the shard.
+fn lock_state(shard: &Shard) -> MutexGuard<'_, ShardState> {
+    shard.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A running serving instance.
 ///
-/// Owns the scheduler thread; dropping (or calling
-/// [`shutdown`](Self::shutdown)) drains the queues — every already-accepted
-/// request is still answered — then stops the thread.
+/// Owns the scheduler shard threads; dropping (or calling
+/// [`shutdown`](Self::shutdown)) drains the queues — every
+/// already-accepted request is still answered — then stops the threads,
+/// and only then retires any attached network front doors
+/// ([`serve_net`](Self::serve_net)), so in-flight remote requests see
+/// their replies (or a typed `SHUTDOWN` status), never a closed socket.
 pub struct Server {
     shared: Arc<Shared>,
-    thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
+    /// Network front doors attached via [`serve_net`](Self::serve_net) /
+    /// `serve_unix`; retired *after* the shard drain on shutdown.
+    pub(crate) doors: Mutex<Vec<Arc<crate::net::DoorInner>>>,
 }
 
 /// A cloneable, `Send` handle for submitting requests to a [`Server`].
@@ -133,12 +255,12 @@ impl Pending {
     /// Blocks until the prediction is available.
     ///
     /// Returns the class-probability row for the submitted sample. If the
-    /// reply channel disconnects without an answer — the scheduler thread
-    /// died — this is [`ServeError::SchedulerDied`], *not* a clean
-    /// [`ServeError::Shutdown`] (shutdown drains and answers every
-    /// accepted request).
+    /// reply channel disconnects without an answer — the owning shard's
+    /// scheduler thread died — this is [`ServeError::SchedulerDied`],
+    /// *not* a clean [`ServeError::Shutdown`] (shutdown drains and answers
+    /// every accepted request).
     pub fn wait(self) -> Result<Vec<f32>> {
-        self.rx.recv().unwrap_or(Err(ServeError::SchedulerDied))
+        self.rx.recv().unwrap_or(Err(ServeError::SchedulerDied { shard: None }))
     }
 
     /// Blocks for at most `timeout` for the prediction.
@@ -150,7 +272,7 @@ impl Pending {
         match self.rx.recv_timeout(timeout) {
             Ok(reply) => reply,
             Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
-            Err(RecvTimeoutError::Disconnected) => Err(ServeError::SchedulerDied),
+            Err(RecvTimeoutError::Disconnected) => Err(ServeError::SchedulerDied { shard: None }),
         }
     }
 
@@ -163,35 +285,54 @@ impl Pending {
 
 impl Server {
     /// Starts a server over the given registry with the given batching
-    /// policy (a `max_batch` or `max_queue` of 0 is treated as 1).
+    /// policy (a `max_batch` or `max_queue` of 0 is treated as 1; see
+    /// [`ServeConfig::shards`] for how a 0 shard count resolves).
     pub fn start(registry: ModelRegistry, cfg: ServeConfig) -> Server {
-        let cfg =
-            ServeConfig { max_batch: cfg.max_batch.max(1), max_queue: cfg.max_queue.max(1), ..cfg };
-        let mut models = Vec::with_capacity(registry.entries.len());
-        let mut plans: Vec<AnyPlan> = Vec::with_capacity(registry.entries.len());
-        for e in registry.entries {
-            models.push(ModelInfo { name: e.name, sample_len: e.plan.sample_len() });
+        let nmodels = registry.entries.len();
+        let nshards = resolve_shards(cfg.shards, nmodels);
+        let cfg = ServeConfig {
+            max_batch: cfg.max_batch.max(1),
+            max_queue: cfg.max_queue.max(1),
+            shards: nshards,
+            replicas: if cfg.replicas == 0 { nshards } else { cfg.replicas.min(nshards) },
+            ..cfg
+        };
+        let (slots, routes) = placement(nmodels, nshards, cfg.replicas);
+        let mut models = Vec::with_capacity(nmodels);
+        let mut plans: Vec<AnyPlan> = Vec::with_capacity(nmodels);
+        for (e, routes) in registry.entries.into_iter().zip(routes) {
+            models.push(ModelInfo { name: e.name, sample_len: e.plan.sample_len(), routes });
             plans.push(e.plan);
         }
-        let shared = Arc::new(Shared {
-            state: Mutex::new(State {
-                queues: (0..models.len()).map(|_| VecDeque::new()).collect(),
-                shutdown: false,
-            }),
-            cv: Condvar::new(),
-            models,
-            stats: StatsInner::new(),
-            cfg,
-            scheduler_alive: AtomicBool::new(true),
-        });
-        let thread = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("lightts-serve".into())
-                .spawn(move || scheduler(&shared, plans))
-                .expect("spawn scheduler thread")
-        };
-        Server { shared, thread: Some(thread) }
+        let shards = slots
+            .iter()
+            .map(|slot_models| Shard {
+                state: Mutex::new(ShardState {
+                    queues: slot_models.iter().map(|_| VecDeque::new()).collect(),
+                    shutdown: false,
+                    dead: false,
+                }),
+                cv: Condvar::new(),
+                slot_models: slot_models.clone(),
+                alive: AtomicBool::new(true),
+            })
+            .collect();
+        let shared = Arc::new(Shared { shards, models, stats: StatsInner::new(nshards), cfg });
+        let threads = (0..nshards)
+            .map(|si| {
+                let shared = Arc::clone(&shared);
+                // Each shard owns *clones* of the plans placed on it —
+                // weights and scratch both — so shards never share
+                // mutable plan state.
+                let shard_plans: Vec<AnyPlan> =
+                    slots[si].iter().map(|&m| plans[m].clone()).collect();
+                std::thread::Builder::new()
+                    .name(format!("lightts-serve-{si}"))
+                    .spawn(move || shard_scheduler(&shared, si, shard_plans))
+                    .expect("spawn scheduler shard thread")
+            })
+            .collect();
+        Server { shared, threads, doors: Mutex::new(Vec::new()) }
     }
 
     /// A handle for submitting requests (cloneable, usable from any
@@ -207,8 +348,10 @@ impl Server {
 
     /// The per-server metrics registry backing [`stats`](Self::stats).
     ///
-    /// Besides the request/batch/latency series, the registry carries the
-    /// tensor buffer-pool gauges (`serve.pool_high_water_bytes`,
+    /// Besides the aggregate request/batch/latency series, the registry
+    /// carries the per-shard topology (`serve.shard{i}.queue_depth`,
+    /// `.requests`, `.batches`, `.latency_ns`, `.alive`), the tensor
+    /// buffer-pool gauges (`serve.pool_high_water_bytes`,
     /// `serve.pool_hits`, `serve.pool_misses`), refreshed after every fused
     /// batch — a deployment watches `pool_misses` stay flat to confirm the
     /// hot path is allocation-free and `pool_high_water_bytes` for its
@@ -228,22 +371,35 @@ impl Server {
         self.shared.stats.registry()
     }
 
-    /// Whether the scheduler thread is still running its loop (the
-    /// `/healthz` liveness signal).
+    /// Number of scheduler shards this server runs.
+    pub fn shards(&self) -> usize {
+        self.shared.shards.len()
+    }
+
+    /// Number of shards whose scheduler thread is still running its loop.
+    pub fn shards_alive(&self) -> usize {
+        self.shared.shards.iter().filter(|s| s.alive.load(Ordering::Relaxed)).count()
+    }
+
+    /// Whether any scheduler shard is still running (the `/healthz`
+    /// liveness signal — the server is down only when *all* shards are).
     pub fn scheduler_alive(&self) -> bool {
-        self.shared.scheduler_alive.load(Ordering::Relaxed)
+        self.shards_alive() > 0
     }
 
     /// Spawns the telemetry HTTP server ([`lightts_obs::http`]) over this
     /// server's metrics registry, bound to `addr`.
     ///
     /// `GET /metrics` scrapes the per-server `serve.*` series (including
-    /// the per-stage histograms with trace-id exemplars), `GET /healthz`
-    /// reports process liveness *and* [`scheduler_alive`](Self::scheduler_alive)
-    /// (answering `503` once the scheduler thread has exited), `GET /tracez`
-    /// serves the recent-span ring, and `GET /profilez` the collapsed
-    /// `LIGHTTS_PROF` call tree. The returned server stops when dropped —
-    /// keep the handle alive alongside the [`Server`]:
+    /// the per-shard `serve.shard{i}.*` topology and the per-stage
+    /// histograms with trace-id exemplars), `GET /healthz` reports process
+    /// liveness *and* shard liveness — the body carries
+    /// `shards_alive`/`shards_total`, and the status degrades to `503`
+    /// only once **all** shards are dead (one dead shard is a degraded
+    /// `200`, visible in the counts) — `GET /tracez` serves the
+    /// recent-span ring, and `GET /profilez` the collapsed `LIGHTTS_PROF`
+    /// call tree. The returned server stops when dropped — keep the handle
+    /// alive alongside the [`Server`]:
     ///
     /// ```ignore
     /// let server = Server::start(registry, ServeConfig::default());
@@ -254,24 +410,50 @@ impl Server {
         addr: impl std::net::ToSocketAddrs,
     ) -> std::io::Result<obs::http::TelemetryServer> {
         let shared = Arc::clone(&self.shared);
+        let detail = Arc::clone(&self.shared);
         obs::http::TelemetryBuilder::new(self.shared.stats.registry())
-            .health(move || shared.scheduler_alive.load(Ordering::Relaxed))
+            .health(move || shared.shards.iter().any(|s| s.alive.load(Ordering::Relaxed)))
+            .health_detail(move || {
+                let alive =
+                    detail.shards.iter().filter(|s| s.alive.load(Ordering::Relaxed)).count();
+                vec![
+                    ("shards_alive".to_string(), alive as i64),
+                    ("shards_total".to_string(), detail.shards.len() as i64),
+                ]
+            })
             .spawn(addr)
     }
 
-    /// Drains every accepted request, then stops the scheduler thread.
+    /// Drains every accepted request, stops the shard threads, then
+    /// retires any attached network front doors.
     pub fn shutdown(mut self) {
         self.stop();
     }
 
     fn stop(&mut self) {
-        {
-            let mut st = lock_state(&self.shared);
+        // 1. Flag every shard for shutdown. New submissions fail with
+        //    `ServeError::Shutdown` from here on (remote clients see a
+        //    typed SHUTDOWN status frame, not a closed socket — the front
+        //    doors are still up).
+        for shard in &self.shared.shards {
+            let mut st = lock_state(shard);
             st.shutdown = true;
+            drop(st);
+            shard.cv.notify_all();
         }
-        self.shared.cv.notify_all();
-        if let Some(t) = self.thread.take() {
+        // 2. Join the shard threads: the drain answers every request that
+        //    was accepted before the flag flipped.
+        for t in self.threads.drain(..) {
             let _ = t.join();
+        }
+        // 3. Only now retire the front doors: connection writers flush
+        //    whatever replies the drain produced before the sockets close.
+        let doors: Vec<_> = {
+            let mut guard = self.doors.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.drain(..).collect()
+        };
+        for d in doors {
+            d.shutdown();
         }
     }
 }
@@ -284,15 +466,18 @@ impl Drop for Server {
 
 impl ServerHandle {
     /// Enqueues one sample (length `in_dims · in_len` of the named model)
-    /// and returns a [`Pending`] redeemable for its probability row.
+    /// and returns a [`Pending`] redeemable for its probability row. The
+    /// request is routed by its freshly minted trace id; to control the
+    /// route (e.g. to replay a remote request id) use
+    /// [`submit_keyed`](Self::submit_keyed).
     ///
     /// Admission control happens here: unknown models, wrong shapes, and
     /// non-finite values are rejected with typed errors before touching
-    /// the queue, and a queue already holding
+    /// the queue, and a replica queue already holding
     /// [`max_queue`](ServeConfig::max_queue) requests sheds the submission
     /// with [`ServeError::Overloaded`].
     pub fn submit(&self, model: &str, input: Vec<f32>) -> Result<Pending> {
-        self.submit_inner(model, input, None)
+        self.submit_inner(model, input, None, None)
     }
 
     /// Like [`submit`](Self::submit), with a relative deadline: if the
@@ -307,7 +492,31 @@ impl ServerHandle {
         deadline: Duration,
     ) -> Result<Pending> {
         let dl = Instant::now() + deadline;
-        self.submit_inner(model, input, Some(dl))
+        self.submit_inner(model, input, Some(dl), None)
+    }
+
+    /// Enqueues one sample routed by an explicit request id (the network
+    /// front door's path: the client-supplied wire id picks the replica,
+    /// so a retried id deterministically lands on the same shard), with an
+    /// optional relative deadline.
+    pub fn submit_keyed(
+        &self,
+        model: &str,
+        input: Vec<f32>,
+        request_id: u64,
+        deadline: Option<Duration>,
+    ) -> Result<Pending> {
+        let dl = deadline.map(|d| Instant::now() + d);
+        self.submit_inner(model, input, dl, Some(request_id))
+    }
+
+    /// Which shard a request id routes to for `model` (`None` for an
+    /// unknown model). Pure in the id: the same id always reports — and
+    /// gets — the same shard.
+    pub fn route_of(&self, model: &str, request_id: u64) -> Option<usize> {
+        let mi = self.shared.models.iter().position(|m| m.name == model)?;
+        let routes = &self.shared.models[mi].routes;
+        Some(routes[route_replica(request_id, routes.len())].0)
     }
 
     fn submit_inner(
@@ -315,6 +524,7 @@ impl ServerHandle {
         model: &str,
         input: Vec<f32>,
         deadline: Option<Instant>,
+        route_key: Option<u64>,
     ) -> Result<Pending> {
         let mi = self
             .shared
@@ -334,13 +544,20 @@ impl ServerHandle {
         if let Some(index) = input.iter().position(|v| !v.is_finite()) {
             return Err(ServeError::NonFiniteInput { index });
         }
+        let trace = TraceCtx::mint();
+        let routes = &self.shared.models[mi].routes;
+        let (si, slot) = routes[route_replica(route_key.unwrap_or(trace.trace_id), routes.len())];
+        let shard = &self.shared.shards[si];
         let (tx, rx) = mpsc::channel();
         {
-            let mut st = lock_state(&self.shared);
+            let mut st = lock_state(shard);
             if st.shutdown {
                 return Err(ServeError::Shutdown);
             }
-            if st.queues[mi].len() >= self.shared.cfg.max_queue {
+            if st.dead {
+                return Err(ServeError::SchedulerDied { shard: Some(si) });
+            }
+            if st.queues[slot].len() >= self.shared.cfg.max_queue {
                 drop(st);
                 self.shared.stats.shed_overload();
                 return Err(ServeError::Overloaded {
@@ -348,10 +565,10 @@ impl ServerHandle {
                     max_queue: self.shared.cfg.max_queue,
                 });
             }
-            st.queues[mi].push_back(Request { input, trace: TraceCtx::mint(), deadline, tx });
+            st.queues[slot].push_back(Request { input, trace, deadline, tx });
         }
-        self.shared.stats.enqueued();
-        self.shared.cv.notify_all();
+        self.shared.stats.enqueued(si);
+        shard.cv.notify_all();
         Ok(Pending { rx })
     }
 
@@ -366,14 +583,15 @@ impl ServerHandle {
     }
 }
 
-/// Picks the next batch to run, blocking until one is ready.
+/// Picks shard `si`'s next batch to run, blocking until one is ready.
 ///
-/// A model is *ready* when its queue holds `max_batch` requests, when its
+/// A slot is *ready* when its queue holds `max_batch` requests, when its
 /// oldest request has waited `max_wait`, or when the server is shutting
 /// down (drain). Returns `None` once shut down with all queues empty.
-fn next_batch(shared: &Shared) -> Option<(usize, Vec<Request>)> {
+fn next_batch(shared: &Shared, si: usize) -> Option<(usize, Vec<Request>)> {
     let cfg = shared.cfg;
-    let mut st = lock_state(shared);
+    let shard = &shared.shards[si];
+    let mut st = lock_state(shard);
     loop {
         let now = Instant::now();
         let mut earliest: Option<Instant> = None;
@@ -391,7 +609,7 @@ fn next_batch(shared: &Shared) -> Option<(usize, Vec<Request>)> {
         if let Some(i) = pick {
             let q = &mut st.queues[i];
             let n = q.len().min(cfg.max_batch);
-            shared.stats.dequeued(n);
+            shared.stats.dequeued(si, n);
             return Some((i, q.drain(..n).collect()));
         }
         if st.shutdown {
@@ -400,36 +618,75 @@ fn next_batch(shared: &Shared) -> Option<(usize, Vec<Request>)> {
         st = match earliest {
             Some(deadline) => {
                 let wait = deadline.saturating_duration_since(Instant::now());
-                shared.cv.wait_timeout(st, wait).unwrap_or_else(PoisonError::into_inner).0
+                shard.cv.wait_timeout(st, wait).unwrap_or_else(PoisonError::into_inner).0
             }
-            None => shared.cv.wait(st).unwrap_or_else(PoisonError::into_inner),
+            None => shard.cv.wait(st).unwrap_or_else(PoisonError::into_inner),
         };
     }
 }
 
-/// The scheduler loop: owns every compiled plan and its scratch buffers.
+/// One shard's scheduler loop: owns clones of the plans placed on it plus
+/// their scratch buffers.
 ///
-/// Failure containment happens here. Requests whose deadline has already
-/// passed are shed *before* the forward pass (their compute would be
-/// wasted). The fused forward runs under `catch_unwind`: a panic — from a
-/// kernel bug, a poisoned model, or the `serve.batch` failpoint — fails
-/// only that batch's requests with [`ServeError::Inference`], and the loop
-/// continues, so one bad batch can never strand every other caller's
-/// `Pending` forever.
-fn scheduler(shared: &Shared, mut plans: Vec<AnyPlan>) {
-    /// Flips `scheduler_alive` off when the loop exits — including via a
-    /// panic escaping the loop itself (plan forwards are caught below, but
-    /// the guard makes `/healthz` truthful against any exit path).
-    struct AliveGuard<'a>(&'a Shared);
+/// Failure containment happens here, shard-locally. Requests whose
+/// deadline has already passed are shed *before* the forward pass (their
+/// compute would be wasted). The fused forward runs under `catch_unwind`:
+/// a panic — from a kernel bug, a poisoned model, or the `serve.batch`
+/// failpoint — fails only that batch's requests with
+/// [`ServeError::Inference`], and the loop continues. A panic escaping the
+/// loop *itself* (the `serve.shard` failpoint simulates one) kills only
+/// this shard: the drop guard drains its queues with
+/// [`ServeError::SchedulerDied`] naming the shard, and sibling shards keep
+/// serving untouched.
+fn shard_scheduler(shared: &Shared, si: usize, mut plans: Vec<AnyPlan>) {
+    /// Marks the shard dead when the loop exits — including via a panic
+    /// escaping the loop itself (plan forwards are caught below, but the
+    /// guard makes `/healthz` truthful against any exit path). On an
+    /// *unclean* exit it also drains the shard's queues, answering each
+    /// stranded request with a shard-tagged `SchedulerDied` instead of
+    /// leaving its caller blocked forever.
+    struct AliveGuard<'a> {
+        shared: &'a Shared,
+        si: usize,
+    }
     impl Drop for AliveGuard<'_> {
         fn drop(&mut self) {
-            self.0.scheduler_alive.store(false, Ordering::Relaxed);
+            let shard = &self.shared.shards[self.si];
+            let mut st = lock_state(shard);
+            let clean = st.shutdown;
+            st.dead = !clean;
+            let mut drained = 0usize;
+            if !clean {
+                for q in &mut st.queues {
+                    while let Some(r) = q.pop_front() {
+                        let _ = r.tx.send(Err(ServeError::SchedulerDied { shard: Some(self.si) }));
+                        drained += 1;
+                    }
+                }
+            }
+            drop(st);
+            if drained > 0 {
+                self.shared.stats.dequeued(self.si, drained);
+                for _ in 0..drained {
+                    self.shared.stats.record_error();
+                }
+                obs::event!("serve.shard.dead", { shard: self.si, drained: drained });
+            }
+            self.shared.stats.shard_dead(self.si);
+            shard.alive.store(false, Ordering::Relaxed);
         }
     }
-    let _alive = AliveGuard(shared);
+    let _alive = AliveGuard { shared, si };
     let mut inputs: Vec<f32> = Vec::new();
     let mut probs: Vec<f32> = Vec::new();
-    while let Some((mi, batch)) = next_batch(shared) {
+    while let Some((slot, batch)) = next_batch(shared, si) {
+        // The shard-death failpoint sits OUTSIDE the catch_unwind below:
+        // arming `serve.shard` kills this shard thread outright (either
+        // action), exercising the sibling-isolation contract the chaos
+        // test checks.
+        if let Err(what) = obs::failpoint::hit("serve.shard") {
+            panic!("failpoint serve.shard: {what}");
+        }
         // Shed expired requests pre-inference.
         let now = Instant::now();
         let mut live = Vec::with_capacity(batch.len());
@@ -447,7 +704,8 @@ fn scheduler(shared: &Shared, mut plans: Vec<AnyPlan>) {
             continue;
         }
         let batch = live;
-        let plan = &mut plans[mi];
+        let mi = shared.shards[si].slot_models[slot];
+        let plan = &mut plans[slot];
         let kind = plan.kind();
         let nc = plan.num_classes();
         // Stage 1: queue wait ends (and fusion starts) here.
@@ -483,12 +741,13 @@ fn scheduler(shared: &Shared, mut plans: Vec<AnyPlan>) {
                 // Counters before sends: a caller whose `wait` just returned
                 // must never read stale stats.
                 let done = Instant::now();
-                shared.stats.record_batch(batch.len(), service);
+                shared.stats.record_batch(si, batch.len(), service);
                 shared.stats.record_plan_requests(kind, batch.len());
                 shared.stats.record_forward(service, batch[0].trace.trace_id);
+                emit_shard_batch_span(shared, si, mi, &batch[0], batch.len(), fuse_start, done);
                 for (bi, r) in batch.iter().enumerate() {
                     let row = probs[bi * nc..(bi + 1) * nc].to_vec();
-                    shared.stats.record_latency(done.duration_since(r.trace.anchor()));
+                    shared.stats.record_latency(si, done.duration_since(r.trace.anchor()));
                     let reply_start = Instant::now();
                     let _ = r.tx.send(Ok(row));
                     let reply_end = Instant::now();
@@ -497,6 +756,7 @@ fn scheduler(shared: &Shared, mut plans: Vec<AnyPlan>) {
                         .record_reply(reply_end.duration_since(reply_start), r.trace.trace_id);
                     emit_request_spans(
                         shared,
+                        si,
                         mi,
                         r,
                         batch.len(),
@@ -513,12 +773,14 @@ fn scheduler(shared: &Shared, mut plans: Vec<AnyPlan>) {
                 obs::event!("serve.batch", {
                     model: shared.models[mi].name.as_str(),
                     plan: kind.name(),
+                    shard: si,
                     batch: batch.len(),
                     service_us: service.as_secs_f64() * 1e6,
                 });
             }
             Err(e) => {
                 let done = Instant::now();
+                emit_shard_batch_span(shared, si, mi, &batch[0], batch.len(), fuse_start, done);
                 for r in &batch {
                     shared.stats.record_error();
                     let reply_start = Instant::now();
@@ -526,6 +788,7 @@ fn scheduler(shared: &Shared, mut plans: Vec<AnyPlan>) {
                     let reply_end = Instant::now();
                     emit_request_spans(
                         shared,
+                        si,
                         mi,
                         r,
                         batch.len(),
@@ -541,6 +804,7 @@ fn scheduler(shared: &Shared, mut plans: Vec<AnyPlan>) {
                 }
                 obs::event!("serve.batch_failed", {
                     model: shared.models[mi].name.as_str(),
+                    shard: si,
                     batch: batch.len(),
                     error: e.to_string(),
                 });
@@ -559,6 +823,36 @@ struct Stages {
     reply_end: Instant,
 }
 
+/// Emits the per-batch `serve.shard.batch` span: which shard fused and
+/// ran this batch, carrying the first member request's trace id so the
+/// span links into that request's trace (its `[fuse, forward_end]` window
+/// nests inside the member's root window, satisfying
+/// `validate_trace_linkage`).
+fn emit_shard_batch_span(
+    shared: &Shared,
+    si: usize,
+    mi: usize,
+    first: &Request,
+    batch_len: usize,
+    fuse_start: Instant,
+    forward_end: Instant,
+) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::emit_span_at(
+        "serve.shard.batch",
+        vec![
+            ("trace_id", first.trace.trace_id.into()),
+            ("shard", si.into()),
+            ("model", shared.models[mi].name.as_str().into()),
+            ("batch", batch_len.into()),
+        ],
+        first.trace.ts_us_at(forward_end),
+        forward_end.duration_since(fuse_start).as_secs_f64() * 1e6,
+    );
+}
+
 /// Emits one request's stage spans plus its `serve.request` root span.
 ///
 /// Every timestamp is derived from the request's own [`TraceCtx`] anchor
@@ -569,6 +863,7 @@ struct Stages {
 /// telemetry `/tracez` ring).
 fn emit_request_spans(
     shared: &Shared,
+    si: usize,
     mi: usize,
     r: &Request,
     batch_len: usize,
@@ -596,6 +891,7 @@ fn emit_request_spans(
         vec![
             ("trace_id", r.trace.trace_id.into()),
             ("model", shared.models[mi].name.as_str().into()),
+            ("shard", si.into()),
             ("batch", batch_len.into()),
             ("outcome", outcome.into()),
         ],
@@ -610,10 +906,10 @@ mod tests {
 
     #[test]
     fn dropped_reply_channel_is_scheduler_death_not_shutdown() {
-        assert_eq!(Pending::disconnected().wait(), Err(ServeError::SchedulerDied));
+        assert_eq!(Pending::disconnected().wait(), Err(ServeError::SchedulerDied { shard: None }));
         assert_eq!(
             Pending::disconnected().wait_timeout(Duration::from_millis(1)),
-            Err(ServeError::SchedulerDied)
+            Err(ServeError::SchedulerDied { shard: None })
         );
     }
 
@@ -623,5 +919,49 @@ mod tests {
         let p = Pending { rx };
         assert_eq!(p.wait_timeout(Duration::from_millis(5)), Err(ServeError::DeadlineExceeded));
         drop(tx);
+    }
+
+    #[test]
+    fn route_replica_is_total_and_deterministic() {
+        for replicas in [1usize, 2, 3, 4, 7] {
+            for id in [0u64, 1, 42, u64::MAX, 0x9E37_79B9] {
+                let r = route_replica(id, replicas);
+                assert!(r < replicas);
+                assert_eq!(r, route_replica(id, replicas));
+            }
+        }
+        // Degenerate replica counts stay total.
+        assert_eq!(route_replica(123, 0), 0);
+    }
+
+    #[test]
+    fn placement_round_robins_replicas() {
+        let (slots, routes) = placement(3, 4, 2);
+        // Model m sits on shards (m + 0) % 4 and (m + 1) % 4.
+        assert_eq!(routes[0].iter().map(|&(s, _)| s).collect::<Vec<_>>(), vec![0, 1]);
+        assert_eq!(routes[1].iter().map(|&(s, _)| s).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(routes[2].iter().map(|&(s, _)| s).collect::<Vec<_>>(), vec![2, 3]);
+        // Slots are consistent with routes.
+        for (m, route) in routes.iter().enumerate() {
+            for &(s, slot) in route {
+                assert_eq!(slots[s][slot], m);
+            }
+        }
+        // Replicate-everywhere covers every shard exactly once per model.
+        let (slots, routes) = placement(2, 3, 3);
+        for route in &routes {
+            let mut shards: Vec<usize> = route.iter().map(|&(s, _)| s).collect();
+            shards.sort_unstable();
+            assert_eq!(shards, vec![0, 1, 2]);
+        }
+        assert!(slots.iter().all(|s| s.len() == 2));
+    }
+
+    #[test]
+    fn shard_resolution_clamps() {
+        // Explicit config wins and is not clamped to the model count.
+        assert_eq!(resolve_shards(4, 1), 4);
+        assert_eq!(resolve_shards(1, 100), 1);
+        assert_eq!(resolve_shards(MAX_SHARDS + 7, 1), MAX_SHARDS);
     }
 }

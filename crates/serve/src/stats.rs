@@ -14,13 +14,34 @@ use lightts_obs::{Counter, Gauge, Histogram, Registry};
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Shared metric handles, updated by the scheduler thread.
+/// Per-shard metric handles: the sharded topology rendered into
+/// `/metrics` as `serve.shard{i}.*` series alongside the aggregate
+/// `serve.*` ones, so a scrape shows queue skew, batch formation, and
+/// liveness per shard.
+#[derive(Debug)]
+pub(crate) struct ShardStats {
+    /// Requests currently queued on this shard (all its slots).
+    queue_depth: Arc<Gauge>,
+    /// Requests answered successfully by this shard.
+    requests: Arc<Counter>,
+    /// Fused batches this shard has executed.
+    batches: Arc<Counter>,
+    /// Per-request enqueue→reply latency on this shard, nanoseconds.
+    latency_ns: Arc<Histogram>,
+    /// 1 while the shard's scheduler thread runs its loop, 0 once it has
+    /// exited (cleanly or by a panic escaping the loop).
+    alive: Arc<Gauge>,
+}
+
+/// Shared metric handles, updated by the scheduler shard threads.
 ///
 /// Each server owns its own [`Registry`] (not the process-global one) so
 /// that concurrent servers — common in tests — never mix their counters.
 #[derive(Debug)]
 pub(crate) struct StatsInner {
     registry: Arc<Registry>,
+    /// One bundle per scheduler shard, indexed by shard id.
+    shards: Vec<ShardStats>,
     requests: Arc<Counter>,
     errors: Arc<Counter>,
     batches: Arc<Counter>,
@@ -70,9 +91,23 @@ pub(crate) struct StatsInner {
 }
 
 impl StatsInner {
-    pub(crate) fn new() -> StatsInner {
+    pub(crate) fn new(nshards: usize) -> StatsInner {
         let registry = Arc::new(Registry::new());
+        let shards = (0..nshards)
+            .map(|i| {
+                let alive = registry.gauge(&format!("serve.shard{i}.alive"));
+                alive.set(1);
+                ShardStats {
+                    queue_depth: registry.gauge(&format!("serve.shard{i}.queue_depth")),
+                    requests: registry.counter(&format!("serve.shard{i}.requests")),
+                    batches: registry.counter(&format!("serve.shard{i}.batches")),
+                    latency_ns: registry.histogram(&format!("serve.shard{i}.latency_ns")),
+                    alive,
+                }
+            })
+            .collect();
         StatsInner {
+            shards,
             requests: registry.counter("serve.requests"),
             errors: registry.counter("serve.errors"),
             batches: registry.counter("serve.batches"),
@@ -112,29 +147,39 @@ impl StatsInner {
         Arc::clone(&self.registry)
     }
 
-    /// A request entered a queue.
-    pub(crate) fn enqueued(&self) {
+    /// A request entered a queue on `shard`.
+    pub(crate) fn enqueued(&self, shard: usize) {
         self.queue_depth.add(1);
+        self.shards[shard].queue_depth.add(1);
     }
 
-    /// `n` requests left the queues to form a batch.
-    pub(crate) fn dequeued(&self, n: usize) {
+    /// `n` requests left `shard`'s queues (batch formation or drain).
+    pub(crate) fn dequeued(&self, shard: usize, n: usize) {
         self.queue_depth.sub(n as i64);
+        self.shards[shard].queue_depth.sub(n as i64);
     }
 
-    /// One fused batch completed successfully.
-    pub(crate) fn record_batch(&self, batch_size: usize, service: Duration) {
+    /// One fused batch completed successfully on `shard`.
+    pub(crate) fn record_batch(&self, shard: usize, batch_size: usize, service: Duration) {
         self.requests.add(batch_size as u64);
         self.batches.inc();
         self.batch_size.record(batch_size as u64);
         self.service_ns.record_duration(service);
         self.max_batch.record_max(batch_size as i64);
+        self.shards[shard].requests.add(batch_size as u64);
+        self.shards[shard].batches.inc();
         self.refresh_pool_gauges();
     }
 
-    /// One answered request's enqueue→reply latency.
-    pub(crate) fn record_latency(&self, latency: Duration) {
+    /// One answered request's enqueue→reply latency on `shard`.
+    pub(crate) fn record_latency(&self, shard: usize, latency: Duration) {
         self.latency_ns.record_duration(latency);
+        self.shards[shard].latency_ns.record_duration(latency);
+    }
+
+    /// `shard`'s scheduler thread exited (cleanly or not).
+    pub(crate) fn shard_dead(&self, shard: usize) {
+        self.shards[shard].alive.set(0);
     }
 
     /// One request's time queued before batch formation, with its trace id
@@ -191,6 +236,8 @@ impl StatsInner {
         let service = self.service_ns.snapshot();
         let q = |p: f64| Duration::from_nanos(latency.quantile(p) as u64);
         ServeStats {
+            shards: self.shards.len(),
+            shards_alive: self.shards.iter().filter(|s| s.alive.get() == 1).count(),
             requests: self.requests.get(),
             errors: self.errors.get(),
             batches: self.batches.get(),
@@ -218,6 +265,10 @@ impl StatsInner {
 /// (within a factor of two of the true order statistic).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeStats {
+    /// Number of scheduler shards the server runs.
+    pub shards: usize,
+    /// Shards whose scheduler thread is still running its loop.
+    pub shards_alive: usize,
     /// Requests answered successfully.
     pub requests: u64,
     /// Requests rejected with an error (failed forward).
@@ -286,7 +337,8 @@ impl std::fmt::Display for ServeStats {
         write!(
             f,
             "{} requests ({} errors, {} shed overload, {} shed deadline, \
-             {} batch panics) in {} batches (mean {:.2}, max {}), \
+             {} batch panics) in {} batches (mean {:.2}, max {}) \
+             on {}/{} shards, \
              mean latency {:?} (p50 {:?}, p90 {:?}, p99 {:?}), \
              {:.1} req/s service throughput",
             self.requests,
@@ -297,6 +349,8 @@ impl std::fmt::Display for ServeStats {
             self.batches,
             self.mean_batch_size(),
             self.max_batch,
+            self.shards_alive,
+            self.shards,
             self.mean_latency(),
             self.latency_p50,
             self.latency_p90,

@@ -1,0 +1,115 @@
+//! Replica routing properties: the hash route is **total** (never panics,
+//! any id × any replica count), **deterministic** (a pure function of the
+//! request id), in range, and actually spreads load; the server-level
+//! `route_of` upholds the same contract and agrees with where requests
+//! really land.
+
+use lightts_models::inception::{BlockSpec, InceptionConfig, InceptionTime};
+use lightts_serve::{route_replica, ModelRegistry, ServeConfig, Server};
+use lightts_tensor::rng::seeded;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::time::Duration;
+
+const IN_DIMS: usize = 2;
+const IN_LEN: usize = 16;
+
+fn build_model(seed: u64, classes: usize) -> InceptionTime {
+    let cfg = InceptionConfig {
+        blocks: vec![
+            BlockSpec { layers: 2, filter_len: 8, bits: 8 },
+            BlockSpec { layers: 2, filter_len: 4, bits: 4 },
+        ],
+        filters: 3,
+        in_dims: IN_DIMS,
+        in_len: IN_LEN,
+        num_classes: classes,
+    };
+    let mut rng = seeded(seed);
+    let mut model = InceptionTime::new(cfg, &mut rng).unwrap();
+    for (i, c) in model.bn_channel_counts().iter().enumerate() {
+        let mean: Vec<f32> = (0..*c).map(|j| 0.04 * j as f32 - 0.08).collect();
+        let var: Vec<f32> = (0..*c).map(|j| 0.6 + 0.02 * j as f32).collect();
+        model.set_bn_running_stats(i, &mean, &var).unwrap();
+    }
+    model
+}
+
+fn sample(i: usize) -> Vec<f32> {
+    (0..IN_DIMS * IN_LEN)
+        .map(|j| {
+            let h = (i as u64 * 1_000_003 + j as u64).wrapping_mul(2_654_435_761) % 2000;
+            h as f32 / 1000.0 - 1.0
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Total, deterministic, in range — for any id and any replica count
+    /// including the degenerate 0 (treated as 1).
+    #[test]
+    fn route_replica_total_deterministic_in_range(id in 0u64..u64::MAX, replicas in 0usize..65) {
+        let r = route_replica(id, replicas);
+        // Pure in the id: calling twice must agree.
+        prop_assert_eq!(r, route_replica(id, replicas));
+        prop_assert!(r < replicas.max(1), "route {r} out of range for {replicas} replicas");
+    }
+
+    /// Sequential ids — the realistic client pattern — spread across all
+    /// replicas: the splitmix64 finalizer decorrelates low bits, so no
+    /// replica starves even under strictly increasing ids.
+    #[test]
+    fn sequential_ids_reach_every_replica(start in 0u64..u64::MAX, replicas in 2usize..9) {
+        let hit: HashSet<usize> =
+            (0..64u64).map(|k| route_replica(start.wrapping_add(k), replicas)).collect();
+        // 64 sequential ids must not leave any replica idle.
+        prop_assert_eq!(hit.len(), replicas);
+    }
+}
+
+#[test]
+fn route_of_agrees_with_route_replica_and_is_pure() {
+    let model = build_model(31, 4);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("m", &model.save_bytes().unwrap()).unwrap();
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        shards: 4,
+        replicas: 0, // replicate onto all four shards
+        ..ServeConfig::default()
+    };
+    let server = Server::start(registry, cfg);
+    assert_eq!(server.shards(), 4);
+    let handle = server.handle();
+
+    assert_eq!(handle.route_of("nope", 1), None);
+    let mut hit = HashSet::new();
+    for id in 0..256u64 {
+        let s1 = handle.route_of("m", id).unwrap();
+        let s2 = handle.route_of("m", id).unwrap();
+        assert_eq!(s1, s2, "route_of must be pure in the id");
+        assert!(s1 < 4);
+        // With replicas on every shard in placement order, the route is
+        // exactly the public hash function.
+        assert_eq!(s1, route_replica(id, 4));
+        hit.insert(s1);
+    }
+    assert_eq!(hit.len(), 4, "256 ids left a shard idle");
+
+    // Keyed submissions land where route_of said they would: serve them
+    // and check the per-shard request counters moved only where promised.
+    let mut expected = [0u64; 4];
+    for id in 0..32u64 {
+        expected[handle.route_of("m", id).unwrap()] += 1;
+        handle.submit_keyed("m", sample(id as usize), id, None).unwrap().wait().unwrap();
+    }
+    let metrics = server.metrics().snapshot();
+    for (si, want) in expected.iter().enumerate() {
+        let got = metrics.counter(&format!("serve.shard{si}.requests")).unwrap_or(0);
+        assert_eq!(got, *want, "shard {si} served {got} requests, routing promised {want}");
+    }
+    server.shutdown();
+}

@@ -71,10 +71,13 @@ fn live_server_answers_all_endpoints_and_traces_reconstruct() {
         p.wait().unwrap();
     }
 
-    // /healthz: alive while the scheduler runs.
+    // /healthz: alive while the scheduler runs, and the body reports the
+    // shard topology (default config on one model resolves to one shard).
     let (status, body) = get(addr, "/healthz");
     assert_eq!(status, 200, "{body}");
     assert!(body.contains("\"scheduler_alive\":true"), "{body}");
+    assert!(body.contains("\"shards_alive\":1"), "{body}");
+    assert!(body.contains("\"shards_total\":1"), "{body}");
 
     // /metrics: stage histograms present with TYPE lines; request counter
     // reflects the traffic.
@@ -134,11 +137,13 @@ fn live_server_answers_all_endpoints_and_traces_reconstruct() {
         "serving with LIGHTTS_PROF off must allocate no profiler nodes"
     );
 
-    // /healthz flips to 503 once the scheduler is gone.
+    // /healthz flips to 503 once the *last* shard is gone.
     server.shutdown();
     let (status, body) = get(addr, "/healthz");
     assert_eq!(status, 503, "{body}");
     assert!(body.contains("\"scheduler_alive\":false"), "{body}");
+    assert!(body.contains("\"shards_alive\":0"), "{body}");
+    assert!(body.contains("\"shards_total\":1"), "{body}");
 
     telemetry.shutdown();
 }

@@ -6,6 +6,10 @@
 //!
 //! * a panic inside one serve batch fails only that batch, and requests
 //!   after it get **bitwise identical** answers to requests before it;
+//! * a panic escaping a whole scheduler *shard* (the `serve.shard`
+//!   failpoint) kills only that shard: its requests fail with a
+//!   shard-tagged `SchedulerDied`, sibling shards keep answering bitwise
+//!   identically, and the server still shuts down cleanly;
 //! * a distillation run killed at any epoch resumes from its checkpoint to
 //!   the exact (every f32 bit) weights of an uninterrupted run;
 //! * a MOBO search killed at any trial resumes to the exact trial sequence
@@ -139,6 +143,104 @@ fn batch_panic_fails_one_batch_and_later_answers_stay_bit_identical() {
     let stats = handle.stats(); // read after the join — counters are final
     assert_eq!(stats.batch_panics, 1, "exactly the armed batch panicked");
     assert_eq!(stats.requests, 8, "panicked batch answered errors, not rows");
+}
+
+/// A panic escaping a shard's scheduler loop (not just one batch's
+/// forward) must be contained to that shard: requests routed to it fail
+/// with a *shard-tagged* `SchedulerDied`, the sibling shard keeps serving
+/// bitwise-identical answers, liveness accounting reports the partial
+/// outage, and shutdown still joins cleanly.
+#[test]
+fn shard_death_is_isolated_to_its_models_and_siblings_stay_bit_identical() {
+    let _g = lock();
+    let model_a = build_model(81, 4);
+    let model_b = build_model(82, 3);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("a", &model_a.save_bytes().unwrap()).unwrap();
+    registry.load_packed("b", &model_b.save_bytes().unwrap()).unwrap();
+    let reference_b = InceptionTime::load_bytes(&model_b.save_bytes().unwrap()).unwrap();
+
+    // Two shards, one replica per model: each model lives alone on its own
+    // shard, so killing "a"'s shard cannot touch "b"'s.
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        shards: 2,
+        replicas: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(registry, cfg);
+    assert_eq!(server.shards(), 2);
+    let handle = server.handle();
+    let shard_a = handle.route_of("a", 0).unwrap();
+    let shard_b = handle.route_of("b", 0).unwrap();
+    assert_ne!(shard_a, shard_b, "one replica each on two shards must not collide");
+
+    // Pre-kill bits from the survivor shard.
+    let before: Vec<Vec<u32>> = (0..4)
+        .map(|i| handle.predict("b", sample(i)).unwrap().iter().map(|v| v.to_bits()).collect())
+        .collect();
+
+    // Kill shard_a: the failpoint fires on the next batch *it* forms, and
+    // only "a" gets traffic between arming and the kill.
+    failpoint::set_failpoints("serve.shard=panic@1").unwrap();
+    match handle.predict("a", sample(0)) {
+        Err(ServeError::SchedulerDied { .. }) => {}
+        other => panic!("request on the dying shard got {other:?}"),
+    }
+    failpoint::clear_failpoints();
+
+    // Submissions routed to the dead shard now fail fast, naming it.
+    match handle.submit("a", sample(1)) {
+        Err(ServeError::SchedulerDied { shard }) => assert_eq!(shard, Some(shard_a)),
+        Err(other) => panic!("submit to dead shard got {other:?}"),
+        Ok(_) => panic!("submit to dead shard was accepted"),
+    }
+
+    // The sibling keeps answering — and every bit agrees with before the
+    // kill and with the per-sample reference.
+    for (i, want) in before.iter().enumerate() {
+        let got: Vec<u32> =
+            handle.predict("b", sample(i)).unwrap().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(&got, want, "sample {i}: survivor shard drifted after sibling death");
+        let reference: Vec<u32> =
+            reference_row(&reference_b, &sample(i)).iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, reference, "sample {i}: survivor shard drifted from reference");
+    }
+
+    // Liveness accounting sees the partial outage.
+    assert_eq!(server.shards_alive(), 1, "exactly the killed shard is gone");
+    assert!(server.scheduler_alive(), "one live shard keeps the server healthy");
+    let metrics = server.metrics().snapshot();
+    assert_eq!(metrics.gauge(&format!("serve.shard{shard_a}.alive")), Some(0));
+    assert_eq!(metrics.gauge(&format!("serve.shard{shard_b}.alive")), Some(1));
+
+    // Over HTTP the same contract: one dead shard is a *degraded 200*
+    // whose body carries the counts — 503 is reserved for all-dead.
+    let telemetry = server.serve_telemetry("127.0.0.1:0").unwrap();
+    let (status, body) = http_get(telemetry.addr(), "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"shards_alive\":1"), "{body}");
+    assert!(body.contains("\"shards_total\":2"), "{body}");
+
+    server.shutdown(); // the dead shard's thread is already joined-able
+    let (status, body) = http_get(telemetry.addr(), "/healthz");
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("\"shards_alive\":0"), "{body}");
+    telemetry.shutdown();
+}
+
+/// Minimal blocking HTTP GET against the telemetry server.
+fn http_get(addr: std::net::SocketAddr, target: &str) -> (u16, String) {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").expect("send");
+    let mut buf = String::new();
+    stream.read_to_string(&mut buf).expect("read");
+    let status = buf.split_whitespace().nth(1).and_then(|s| s.parse().ok()).unwrap_or(0);
+    let body = buf.split_once("\r\n\r\n").map(|(_, b)| b.to_string()).unwrap_or_default();
+    (status, body)
 }
 
 // ------------------------------------------------------ distill: kill+resume
