@@ -19,9 +19,18 @@
 //!
 //! or programmatically (tests, embedders): [`set_failpoints`] /
 //! [`clear_failpoints`]. The spec grammar is
-//! `name=action[@n][,name=action[@n]…]` where `action` is `panic` or
-//! `err`, and `@n` (1-based) makes the point fire *once*, on its `n`-th
-//! hit; without `@n` the point fires on every hit.
+//! `name=action[@n|%p][,name=action[@n|%p]…]` where `action` is `panic`
+//! or `err`. The trigger suffix picks *when* the point fires:
+//!
+//! * no suffix — fire on every hit;
+//! * `@n` (1-based) — fire *once*, on the `n`-th hit;
+//! * `%p` (`0 < p ≤ 1`) — fire each hit independently with probability
+//!   `p`, **deterministically**: whether hit `k` fires is a pure function
+//!   of the seed ([`set_failpoint_seed`] / `LIGHTTS_FAILPOINT_SEED`, default
+//!   `0x5EED`), the point name, and `k`, so a chaos soak replays its exact
+//!   kill schedule under a fixed seed.
+//!
+//! The two suffixes are mutually exclusive per point.
 //!
 //! ## Using a failpoint in library code
 //!
@@ -38,7 +47,7 @@
 //! armed.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock, PoisonError};
 
 /// What an armed failpoint does when it fires.
@@ -50,23 +59,49 @@ pub enum FailAction {
     Err,
 }
 
+/// When an armed failpoint fires, parsed from the trigger suffix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Trigger {
+    /// No suffix: fire on every hit.
+    Every,
+    /// `@n`: fire once, on the `n`-th hit (1-based).
+    At(u64),
+    /// `%p`: fire each hit independently with probability `p`, derived
+    /// deterministically from (seed, point name, hit index).
+    Prob(f64),
+}
+
 #[derive(Debug)]
 struct Point {
     action: FailAction,
-    /// 1-based hit index to fire at; `None` = fire on every hit.
-    at: Option<u64>,
+    trigger: Trigger,
     hits: u64,
 }
 
 struct FpState {
     armed: AtomicBool,
+    /// Seed for `%p` probabilistic triggers (fixed in CI so a chaos soak
+    /// replays its kill schedule).
+    seed: AtomicU64,
     points: Mutex<HashMap<String, Point>>,
 }
+
+/// Default probabilistic-trigger seed when neither
+/// `LIGHTTS_FAILPOINT_SEED` nor [`set_failpoint_seed`] picked one.
+pub const DEFAULT_SEED: u64 = 0x5EED;
 
 fn state() -> &'static FpState {
     static STATE: OnceLock<FpState> = OnceLock::new();
     STATE.get_or_init(|| {
-        let st = FpState { armed: AtomicBool::new(false), points: Mutex::new(HashMap::new()) };
+        let seed = std::env::var("LIGHTTS_FAILPOINT_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .unwrap_or(DEFAULT_SEED);
+        let st = FpState {
+            armed: AtomicBool::new(false),
+            seed: AtomicU64::new(seed),
+            points: Mutex::new(HashMap::new()),
+        };
         if let Ok(spec) = std::env::var("LIGHTTS_FAILPOINTS") {
             if !spec.is_empty() {
                 match parse_spec(&spec) {
@@ -86,24 +121,67 @@ fn parse_spec(spec: &str) -> Result<HashMap<String, Point>, String> {
     let mut map = HashMap::new();
     for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
         let (name, rhs) = part.split_once('=').ok_or_else(|| format!("missing '=' in {part:?}"))?;
-        let (action_str, at) = match rhs.split_once('@') {
-            Some((a, n)) => {
-                let n: u64 = n.parse().map_err(|_| format!("bad hit index {n:?} in {part:?}"))?;
-                if n == 0 {
-                    return Err(format!("hit index in {part:?} is 1-based, got 0"));
-                }
-                (a, Some(n))
+        let (action_str, trigger) = if let Some((a, n)) = rhs.split_once('@') {
+            if a.contains('%') || n.contains('%') {
+                return Err(format!("{part:?} mixes '@n' and '%p' triggers"));
             }
-            None => (rhs, None),
+            let n: u64 = n.parse().map_err(|_| format!("bad hit index {n:?} in {part:?}"))?;
+            if n == 0 {
+                return Err(format!("hit index in {part:?} is 1-based, got 0"));
+            }
+            (a, Trigger::At(n))
+        } else if let Some((a, p)) = rhs.split_once('%') {
+            let p: f64 = p.parse().map_err(|_| format!("bad probability {p:?} in {part:?}"))?;
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(format!("probability in {part:?} must be in (0, 1], got {p}"));
+            }
+            (a, Trigger::Prob(p))
+        } else {
+            (rhs, Trigger::Every)
         };
         let action = match action_str {
             "panic" => FailAction::Panic,
             "err" => FailAction::Err,
             other => return Err(format!("unknown action {other:?} in {part:?}")),
         };
-        map.insert(name.trim().to_string(), Point { action, at, hits: 0 });
+        map.insert(name.trim().to_string(), Point { action, trigger, hits: 0 });
     }
     Ok(map)
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a, mixing a point's name into its probabilistic-trigger stream so
+/// two `%p` points armed together draw independent (but each
+/// deterministic) schedules.
+fn name_hash(name: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Whether a `%p` trigger fires on hit `k`: a pure function of (seed,
+/// name, k), so a fixed seed replays the exact same schedule.
+fn prob_fires(seed: u64, name: &str, k: u64, p: f64) -> bool {
+    let x = splitmix64(seed ^ name_hash(name) ^ k);
+    // Map the top 53 bits to a uniform fraction in [0, 1).
+    let frac = (x >> 11) as f64 / (1u64 << 53) as f64;
+    frac < p
+}
+
+/// Sets the seed for `%p` probabilistic triggers, overriding
+/// `LIGHTTS_FAILPOINT_SEED` (which is read once, at first use). Does not
+/// reset hit counts; re-arm via [`set_failpoints`] for a fresh schedule.
+pub fn set_failpoint_seed(seed: u64) {
+    state().seed.store(seed, Ordering::Relaxed);
 }
 
 /// Arms failpoints from a spec string, replacing any previous arming and
@@ -155,12 +233,15 @@ pub fn hit(name: &str) -> Result<(), String> {
 
 #[cold]
 fn hit_slow(name: &str) -> Result<(), String> {
-    let mut points = state().points.lock().unwrap_or_else(PoisonError::into_inner);
+    let st = state();
+    let seed = st.seed.load(Ordering::Relaxed);
+    let mut points = st.points.lock().unwrap_or_else(PoisonError::into_inner);
     let Some(p) = points.get_mut(name) else { return Ok(()) };
     p.hits += 1;
-    let fire = match p.at {
-        Some(n) => p.hits == n,
-        None => true,
+    let fire = match p.trigger {
+        Trigger::At(n) => p.hits == n,
+        Trigger::Prob(prob) => prob_fires(seed, name, p.hits, prob),
+        Trigger::Every => true,
     };
     if !fire {
         return Ok(());
@@ -249,8 +330,57 @@ mod tests {
         assert!(set_failpoints("a=explode").is_err());
         assert!(set_failpoints("a=err@zero").is_err());
         assert!(set_failpoints("a=err@0").is_err());
+        // probabilistic triggers: p must parse and sit in (0, 1]
+        assert!(set_failpoints("a=err%zero").is_err());
+        assert!(set_failpoints("a=err%0").is_err());
+        assert!(set_failpoints("a=err%-0.5").is_err());
+        assert!(set_failpoints("a=err%1.5").is_err());
+        assert!(set_failpoints("a=err%NaN").is_err());
+        // the two trigger suffixes are mutually exclusive
+        assert!(set_failpoints("a=err@2%0.5").is_err());
+        assert!(set_failpoints("a=err%0.5@2").is_err());
         // rejected specs must not arm anything
         assert!(!armed());
+    }
+
+    #[test]
+    fn probabilistic_spec_parses_and_is_deterministic_under_a_seed() {
+        let _g = guard();
+        set_failpoint_seed(42);
+        set_failpoints("p.q=err%0.5").unwrap();
+        assert!(armed());
+        let schedule: Vec<bool> = (0..64).map(|_| hit("p.q").is_err()).collect();
+        // A 50% point over 64 hits fires at least once and passes at least
+        // once (the seeded schedule is fixed, so this can never flake).
+        assert!(schedule.iter().any(|&f| f));
+        assert!(schedule.iter().any(|&f| !f));
+        // Re-arming under the same seed replays the exact schedule.
+        set_failpoints("p.q=err%0.5").unwrap();
+        let replay: Vec<bool> = (0..64).map(|_| hit("p.q").is_err()).collect();
+        assert_eq!(schedule, replay);
+        // A different seed draws a different schedule (for these seeds).
+        set_failpoint_seed(43);
+        set_failpoints("p.q=err%0.5").unwrap();
+        let other: Vec<bool> = (0..64).map(|_| hit("p.q").is_err()).collect();
+        assert_ne!(schedule, other);
+        // p = 1 fires on every hit.
+        set_failpoints("p.q=err%1.0").unwrap();
+        assert!(hit("p.q").is_err());
+        assert!(hit("p.q").is_err());
+        set_failpoint_seed(DEFAULT_SEED);
+        clear_failpoints();
+    }
+
+    #[test]
+    fn probabilistic_points_draw_independent_schedules_per_name() {
+        let _g = guard();
+        set_failpoint_seed(7);
+        set_failpoints("alpha=err%0.5,beta=err%0.5").unwrap();
+        let a: Vec<bool> = (0..64).map(|_| hit("alpha").is_err()).collect();
+        let b: Vec<bool> = (0..64).map(|_| hit("beta").is_err()).collect();
+        assert_ne!(a, b, "two %p points must not share one schedule");
+        set_failpoint_seed(DEFAULT_SEED);
+        clear_failpoints();
     }
 
     #[test]

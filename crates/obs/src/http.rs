@@ -188,6 +188,7 @@ pub type HealthDetail = Vec<(String, i64)>;
 struct Telemetry {
     registry: RegistrySource,
     health: Option<Box<dyn Fn() -> bool + Send + Sync>>,
+    health_status: Option<Box<dyn Fn() -> String + Send + Sync>>,
     health_detail: Option<Box<dyn Fn() -> HealthDetail + Send + Sync>>,
     started: Instant,
 }
@@ -196,6 +197,7 @@ struct Telemetry {
 pub struct TelemetryBuilder {
     registry: RegistrySource,
     health: Option<Box<dyn Fn() -> bool + Send + Sync>>,
+    health_status: Option<Box<dyn Fn() -> String + Send + Sync>>,
     health_detail: Option<Box<dyn Fn() -> HealthDetail + Send + Sync>>,
     ring_capacity: usize,
 }
@@ -206,6 +208,7 @@ impl TelemetryBuilder {
         TelemetryBuilder {
             registry: registry.into(),
             health: None,
+            health_status: None,
             health_detail: None,
             ring_capacity: crate::trace::DEFAULT_RING_CAPACITY,
         }
@@ -216,6 +219,21 @@ impl TelemetryBuilder {
     /// `/healthz` reports process liveness only (`"scheduler_alive":null`).
     pub fn health(mut self, f: impl Fn() -> bool + Send + Sync + 'static) -> TelemetryBuilder {
         self.health = Some(Box::new(f));
+        self
+    }
+
+    /// Attaches a status-string callback refining the `/healthz` `status`
+    /// field while the [`health`](Self::health) callback still reports
+    /// *alive*: the serving runtime reports `"recovering"` while a dead
+    /// shard is being respawned and `"degraded"` once a shard is
+    /// permanently failed. Ignored when the health callback reports dead
+    /// (the status is always `"unhealthy"` then), and the status *code*
+    /// stays `200` — only [`health`](Self::health) controls the code.
+    pub fn health_status(
+        mut self,
+        f: impl Fn() -> String + Send + Sync + 'static,
+    ) -> TelemetryBuilder {
+        self.health_status = Some(Box::new(f));
         self
     }
 
@@ -250,6 +268,7 @@ impl TelemetryBuilder {
         let telemetry = Arc::new(Telemetry {
             registry: self.registry,
             health: self.health,
+            health_status: self.health_status,
             health_detail: self.health_detail,
             started: Instant::now(),
         });
@@ -388,7 +407,11 @@ fn wants_openmetrics(head: &[u8]) -> bool {
 }
 
 fn healthz_body(t: &Telemetry, alive: Option<bool>) -> String {
-    let status = if alive == Some(false) { "unhealthy" } else { "ok" };
+    let status = if alive == Some(false) {
+        "unhealthy".to_string()
+    } else {
+        t.health_status.as_ref().map_or_else(|| "ok".to_string(), |f| f())
+    };
     let alive_json = match alive {
         Some(true) => "true",
         Some(false) => "false",
@@ -574,6 +597,7 @@ mod tests {
         let t = Telemetry {
             registry: Arc::new(Registry::new()).into(),
             health: None,
+            health_status: None,
             health_detail: None,
             started: Instant::now(),
         };
@@ -586,10 +610,28 @@ mod tests {
     }
 
     #[test]
+    fn healthz_status_callback_refines_status_only_while_alive() {
+        let t = Telemetry {
+            registry: Arc::new(Registry::new()).into(),
+            health: None,
+            health_status: Some(Box::new(|| "recovering".to_string())),
+            health_detail: None,
+            started: Instant::now(),
+        };
+        let body = healthz_body(&t, Some(true));
+        assert!(body.contains("\"status\":\"recovering\""), "{body}");
+        // A dead health callback always wins: unhealthy, not the refinement.
+        let body = healthz_body(&t, Some(false));
+        assert!(body.contains("\"status\":\"unhealthy\""), "{body}");
+        crate::jsonl::parse(body.trim()).expect("healthz JSON parses");
+    }
+
+    #[test]
     fn healthz_body_renders_detail_fields() {
         let t = Telemetry {
             registry: Arc::new(Registry::new()).into(),
             health: None,
+            health_status: None,
             health_detail: Some(Box::new(|| {
                 vec![("shards_alive".to_string(), 3), ("shards_total".to_string(), 4)]
             })),

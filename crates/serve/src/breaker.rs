@@ -1,0 +1,289 @@
+//! Per-model circuit breakers: stop burning scheduler time on a poisoned
+//! model.
+//!
+//! Each registered model owns one [`Breaker`] with the classic three-state
+//! machine:
+//!
+//! * **closed** (0) — requests flow normally. Every *failed* batch (an
+//!   [`Inference`](crate::ServeError::Inference)-class outcome: a contained
+//!   panic or a model error from the fused forward) bumps a
+//!   consecutive-failure counter; every successful batch resets it. When
+//!   the counter reaches [`ServeConfig::circuit_threshold`](crate::ServeConfig)
+//!   the breaker **opens**.
+//! * **open** (1) — submissions for the model are shed at admission with
+//!   [`ServeError::CircuitOpen`](crate::ServeError) (wire status
+//!   `CIRCUIT_OPEN`), without touching a queue, until
+//!   [`ServeConfig::circuit_cooldown`](crate::ServeConfig) elapses.
+//! * **half-open** (2) — after the cooldown, exactly *one* submission (the
+//!   CAS winner) is admitted as a probe; everything else keeps shedding.
+//!   The probe's batch outcome decides: success closes the breaker,
+//!   failure reopens it and restarts the cooldown.
+//!
+//! Everything is atomics — the closed-state admission check is one relaxed
+//! load (plus one branch for the disabled case), so the breaker adds
+//! nothing measurable to the no-fault hot path. Time is measured in
+//! microseconds since server start (a monotonic `Instant` anchor), so the
+//! breaker never consults the wall clock.
+//!
+//! Deliberately *per model*, not per shard: a poisoned model fails on
+//! every replica (the replicas run bitwise-identical plan clones), while a
+//! dead shard is the supervisor's problem ([`crate::supervisor`]) — the
+//! two failure domains stay independently observable
+//! (`serve.circuit{m}.state` vs `serve.shard{i}.alive`).
+
+use lightts_obs::{Counter, Gauge};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Breaker state: requests flow, consecutive failures are counted.
+pub(crate) const CIRCUIT_CLOSED: u8 = 0;
+/// Breaker state: submissions shed fast until the cooldown elapses.
+pub(crate) const CIRCUIT_OPEN: u8 = 1;
+/// Breaker state: one probe in flight; its outcome closes or reopens.
+pub(crate) const CIRCUIT_HALF_OPEN: u8 = 2;
+
+/// One model's circuit breaker. See the module docs for the state machine.
+pub(crate) struct Breaker {
+    /// Consecutive failed batches that open the circuit; 0 disables the
+    /// breaker (admission is then a single branch).
+    threshold: u32,
+    /// How long the circuit stays open before a half-open probe.
+    cooldown_us: u64,
+    state: AtomicU8,
+    /// Consecutive failed batches since the last success.
+    consecutive: AtomicU32,
+    /// When the circuit last opened, µs since server start.
+    opened_at_us: AtomicU64,
+    /// Mirror of `state` in the server registry
+    /// (`serve.circuit{m}.state`).
+    gauge: Arc<Gauge>,
+    /// `serve.circuit_opens`: closed/half-open → open transitions, summed
+    /// over all models.
+    opens: Arc<Counter>,
+}
+
+impl Breaker {
+    pub(crate) fn new(
+        threshold: usize,
+        cooldown: Duration,
+        gauge: Arc<Gauge>,
+        opens: Arc<Counter>,
+    ) -> Breaker {
+        gauge.set(i64::from(CIRCUIT_CLOSED));
+        Breaker {
+            threshold: threshold.min(u32::MAX as usize) as u32,
+            cooldown_us: cooldown.as_micros().min(u128::from(u64::MAX)) as u64,
+            state: AtomicU8::new(CIRCUIT_CLOSED),
+            consecutive: AtomicU32::new(0),
+            opened_at_us: AtomicU64::new(0),
+            gauge,
+            opens,
+        }
+    }
+
+    /// Admission check: `true` admits the request, `false` sheds it with
+    /// [`ServeError::CircuitOpen`](crate::ServeError). In the half-open
+    /// window exactly one caller (the CAS winner) is admitted as the
+    /// probe.
+    pub(crate) fn admit(&self, now_us: u64) -> bool {
+        if self.threshold == 0 {
+            return true;
+        }
+        match self.state.load(Ordering::Relaxed) {
+            CIRCUIT_CLOSED => true,
+            CIRCUIT_HALF_OPEN => false, // a probe is already in flight
+            _ => {
+                let opened = self.opened_at_us.load(Ordering::Relaxed);
+                if now_us.saturating_sub(opened) < self.cooldown_us {
+                    return false;
+                }
+                // Cooldown over: exactly one winner becomes the probe.
+                let won = self
+                    .state
+                    .compare_exchange(
+                        CIRCUIT_OPEN,
+                        CIRCUIT_HALF_OPEN,
+                        Ordering::Relaxed,
+                        Ordering::Relaxed,
+                    )
+                    .is_ok();
+                if won {
+                    self.gauge.set(i64::from(CIRCUIT_HALF_OPEN));
+                }
+                won
+            }
+        }
+    }
+
+    /// A batch for this model completed successfully: reset the failure
+    /// streak and close the circuit from any state.
+    pub(crate) fn record_success(&self) {
+        if self.threshold == 0 {
+            return;
+        }
+        self.consecutive.store(0, Ordering::Relaxed);
+        if self.state.swap(CIRCUIT_CLOSED, Ordering::Relaxed) != CIRCUIT_CLOSED {
+            self.gauge.set(i64::from(CIRCUIT_CLOSED));
+        }
+    }
+
+    /// A batch for this model failed (an `Inference`-class outcome).
+    /// Returns `true` when this failure *opened* the circuit (for the
+    /// caller's event log).
+    pub(crate) fn record_failure(&self, now_us: u64) -> bool {
+        if self.threshold == 0 {
+            return false;
+        }
+        if self.state.load(Ordering::Relaxed) == CIRCUIT_HALF_OPEN {
+            // Failed probe: reopen and restart the cooldown.
+            self.opened_at_us.store(now_us, Ordering::Relaxed);
+            self.state.store(CIRCUIT_OPEN, Ordering::Relaxed);
+            self.gauge.set(i64::from(CIRCUIT_OPEN));
+            self.opens.inc();
+            return true;
+        }
+        let streak = self.consecutive.fetch_add(1, Ordering::Relaxed).saturating_add(1);
+        if streak >= self.threshold {
+            // Timestamp before the state flip so no admitter ever sees an
+            // open circuit with a stale (already-elapsed) open instant.
+            self.opened_at_us.store(now_us, Ordering::Relaxed);
+            if self
+                .state
+                .compare_exchange(
+                    CIRCUIT_CLOSED,
+                    CIRCUIT_OPEN,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                )
+                .is_ok()
+            {
+                self.gauge.set(i64::from(CIRCUIT_OPEN));
+                self.opens.inc();
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The half-open probe was lost before its batch could run — shed at
+    /// enqueue (overload, dead replica) or pre-inference (expired deadline,
+    /// shard death drain). Reverts half-open to open with a fresh cooldown
+    /// so a later probe can still happen; without this the breaker would
+    /// stay half-open forever (nothing left in flight to record an
+    /// outcome). A no-op (one load + failed CAS at worst) in any other
+    /// state, so callers may invoke it conservatively without knowing
+    /// whether their request actually was the probe — the worst case is a
+    /// restarted cooldown, never a wedged breaker.
+    pub(crate) fn probe_aborted(&self, now_us: u64) {
+        if self.threshold == 0 {
+            return;
+        }
+        // Timestamp first, as in `record_failure`: an admitter must never
+        // see an open circuit with a stale open instant.
+        self.opened_at_us.store(now_us, Ordering::Relaxed);
+        if self
+            .state
+            .compare_exchange(CIRCUIT_HALF_OPEN, CIRCUIT_OPEN, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+        {
+            self.gauge.set(i64::from(CIRCUIT_OPEN));
+        }
+    }
+
+    /// Current state byte (0 closed / 1 open / 2 half-open).
+    #[cfg(test)]
+    pub(crate) fn state(&self) -> u8 {
+        self.state.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lightts_obs::Registry;
+
+    fn breaker(threshold: usize, cooldown_us: u64) -> (Breaker, Arc<Gauge>, Arc<Counter>) {
+        let reg = Registry::new();
+        let gauge = reg.gauge("serve.circuit0.state");
+        let opens = reg.counter("serve.circuit_opens");
+        let b = Breaker::new(
+            threshold,
+            Duration::from_micros(cooldown_us),
+            Arc::clone(&gauge),
+            Arc::clone(&opens),
+        );
+        (b, gauge, opens)
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures_only() {
+        let (b, gauge, opens) = breaker(3, 1_000);
+        // Two failures, a success, two more failures: never opens — the
+        // streak must be *consecutive*.
+        assert!(!b.record_failure(0));
+        assert!(!b.record_failure(1));
+        b.record_success();
+        assert!(!b.record_failure(2));
+        assert!(!b.record_failure(3));
+        assert_eq!(b.state(), CIRCUIT_CLOSED);
+        assert!(b.admit(10));
+        // The third consecutive failure trips it.
+        assert!(b.record_failure(4));
+        assert_eq!(b.state(), CIRCUIT_OPEN);
+        assert_eq!(gauge.get(), i64::from(CIRCUIT_OPEN));
+        assert_eq!(opens.get(), 1);
+        assert!(!b.admit(5));
+    }
+
+    #[test]
+    fn half_open_admits_one_probe_and_its_outcome_decides() {
+        let (b, gauge, opens) = breaker(1, 1_000);
+        assert!(b.record_failure(0));
+        // Inside the cooldown: everyone sheds.
+        assert!(!b.admit(999));
+        // Cooldown over: exactly one probe wins, the rest shed.
+        assert!(b.admit(1_000));
+        assert_eq!(b.state(), CIRCUIT_HALF_OPEN);
+        assert!(!b.admit(1_001));
+        // Failed probe reopens and restarts the cooldown.
+        assert!(b.record_failure(1_002));
+        assert_eq!(opens.get(), 2);
+        assert!(!b.admit(1_500));
+        // Next probe succeeds: closed, requests flow again.
+        assert!(b.admit(2_002));
+        b.record_success();
+        assert_eq!(b.state(), CIRCUIT_CLOSED);
+        assert_eq!(gauge.get(), i64::from(CIRCUIT_CLOSED));
+        assert!(b.admit(2_003));
+    }
+
+    #[test]
+    fn aborted_probe_reopens_instead_of_wedging() {
+        let (b, gauge, _) = breaker(1, 1_000);
+        assert!(b.record_failure(0));
+        assert!(b.admit(1_000)); // the probe wins the half-open CAS...
+                                 // ...but is lost before its batch runs (shed / drained): the
+                                 // breaker must reopen, not stay half-open forever.
+        b.probe_aborted(1_100);
+        assert_eq!(b.state(), CIRCUIT_OPEN);
+        assert_eq!(gauge.get(), i64::from(CIRCUIT_OPEN));
+        // The cooldown restarts from the abort instant; a later probe
+        // still gets its chance.
+        assert!(!b.admit(2_000));
+        assert!(b.admit(2_100));
+        b.record_success();
+        assert_eq!(b.state(), CIRCUIT_CLOSED);
+    }
+
+    #[test]
+    fn zero_threshold_disables_the_breaker() {
+        let (b, _, opens) = breaker(0, 1_000);
+        for t in 0..100 {
+            assert!(!b.record_failure(t));
+            assert!(b.admit(t));
+        }
+        assert_eq!(b.state(), CIRCUIT_CLOSED);
+        assert_eq!(opens.get(), 0);
+    }
+}

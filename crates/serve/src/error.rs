@@ -58,6 +58,28 @@ pub enum ServeError {
         /// cannot tell which shard held the request).
         shard: Option<usize>,
     },
+    /// The model's circuit breaker is open: its last
+    /// [`ServeConfig::circuit_threshold`](crate::ServeConfig) batches all
+    /// failed, so submissions are shed at admission — fast, without
+    /// queueing — until a half-open probe succeeds after the cooldown.
+    CircuitOpen {
+        /// The model whose breaker is open.
+        model: String,
+    },
+}
+
+impl ServeError {
+    /// Whether a client retry of the *same* request can reasonably
+    /// succeed: transient capacity/topology failures
+    /// ([`Overloaded`](Self::Overloaded), [`SchedulerDied`](Self::SchedulerDied)
+    /// — the wire's `OVERLOADED` and `UNAVAILABLE` statuses) qualify;
+    /// everything else is either permanent for this request (bad input,
+    /// unknown model), deterministic (a failed forward re-runs
+    /// identically), deadline-bounded, or a clean shutdown. This is the
+    /// class [`RetryPolicy`](crate::RetryPolicy) retries.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, Self::Overloaded { .. } | Self::SchedulerDied { .. })
+    }
 }
 
 impl fmt::Display for ServeError {
@@ -80,6 +102,12 @@ impl fmt::Display for ServeError {
             }
             Self::SchedulerDied { shard: None } => {
                 write!(f, "scheduler thread died without replying")
+            }
+            Self::CircuitOpen { model } => {
+                write!(
+                    f,
+                    "model {model:?} circuit breaker is open: shedding until a probe succeeds"
+                )
             }
         }
     }

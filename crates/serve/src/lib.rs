@@ -61,14 +61,36 @@
 //!   poisoned mutexes — and keeps serving, with bitwise-identical results
 //!   for subsequent requests. A panic escaping a shard's *loop* (the
 //!   `serve.shard` failpoint) kills only that shard: its queued requests
-//!   are answered with a shard-tagged [`ServeError::SchedulerDied`],
-//!   submissions routed to it fail fast, and sibling shards keep serving
-//!   bitwise-identically. `/healthz` stays `200` (reporting
-//!   `shards_alive`/`shards_total`) until the last shard dies.
-//! * **Observability** — sheds and contained panics are counted
-//!   (`serve.shed_overload`, `serve.shed_deadline`, `serve.batch_panics`)
-//!   in [`Server::metrics`], alongside per-shard queue-depth/batch/latency
-//!   series and `serve.shard.batch` trace spans.
+//!   are answered with a shard-tagged [`ServeError::SchedulerDied`], and
+//!   sibling shards keep serving bitwise-identically.
+//! * **Self-healing** — a supervisor thread detects shard death and
+//!   **respawns** the shard from pristine plan masters, after proving the
+//!   reborn shard answers a probe input bitwise identically to its
+//!   pre-death self — at most [`ServeConfig::restart_budget`] times per
+//!   rolling [`ServeConfig::restart_window`], after which the shard is
+//!   permanently failed and `/healthz` reports `degraded`. While a shard
+//!   is down, submissions **reroute deterministically** to surviving
+//!   replicas ([`route_replica_masked`]; counted in `serve.reroutes`).
+//! * **Retry with backoff** — [`RetryPolicy`] drives
+//!   [`ServerHandle::predict_with_retry`] and
+//!   [`NetClient::predict_with_retry`]: only the retryable status class
+//!   (`OVERLOADED`, `UNAVAILABLE`) is retried, with capped exponential
+//!   backoff, deterministic per-request jitter, and a hard overall
+//!   deadline budget that retries can never exceed.
+//! * **Circuit breakers** — per-model breakers ([`ServeConfig::circuit_threshold`],
+//!   [`ServeConfig::circuit_cooldown`]) open after K consecutive failed
+//!   batches and shed fast with [`ServeError::CircuitOpen`] (wire status
+//!   `CIRCUIT_OPEN`) until a half-open probe succeeds — a poisoned model
+//!   cannot keep burning scheduler time.
+//! * **Observability** — sheds, contained panics, reroutes, restarts, and
+//!   breaker state are counted (`serve.shed_overload`,
+//!   `serve.shed_deadline`, `serve.shed_circuit`, `serve.batch_panics`,
+//!   `serve.reroutes`, `serve.restarts`, `serve.shard{i}.restarts`,
+//!   `serve.shards_failed`, `serve.circuit{m}.state`,
+//!   `serve.circuit_opens`) in [`Server::metrics`], alongside per-shard
+//!   queue-depth/batch/latency series and `serve.shard.batch` trace
+//!   spans; `/healthz` reports `ok`/`recovering`/`degraded` with restart
+//!   counts and the last restart timestamp.
 //!
 //! ## Threading model
 //!
@@ -122,17 +144,24 @@
 #![warn(missing_docs)]
 #![deny(unsafe_code)]
 
+mod breaker;
 mod error;
 pub mod net;
 mod registry;
+mod retry;
 mod server;
 mod stats;
+mod supervisor;
 pub mod wire;
 
 pub use error::ServeError;
 pub use net::{NetClient, NetError, NetServer};
 pub use registry::{ModelRegistry, PlanKind};
-pub use server::{route_replica, Pending, ServeConfig, Server, ServerHandle, MAX_SHARDS};
+pub use retry::{RetryPolicy, MAX_BACKOFF};
+pub use server::{
+    route_replica, route_replica_masked, Pending, ServeConfig, Server, ServerHandle,
+    DEFAULT_RESTART_BUDGET, MAX_SHARDS,
+};
 pub use stats::ServeStats;
 pub use wire::Status;
 

@@ -527,6 +527,76 @@ impl<S: Read + Write> NetClient<S> {
             Reply::Err { error, .. } => Err(NetError::Serve(error)),
         }
     }
+
+    /// Like [`predict`](Self::predict), retrying retryable typed statuses
+    /// (`OVERLOADED`, `UNAVAILABLE` — see [`Status::is_retryable`]) under
+    /// `policy`, within an optional overall deadline.
+    ///
+    /// One request id is assigned up front and **re-sent verbatim** on
+    /// every attempt, so all attempts hash-route identically server-side
+    /// (to the same replica, or — while that replica's shard is down — to
+    /// the same deterministic surviving sibling). Each attempt's wire
+    /// deadline is the *remaining* budget, and a backoff sleep that would
+    /// cross the deadline is never taken, so retries can never make the
+    /// caller wait longer than `deadline`.
+    ///
+    /// Transport and protocol errors ([`NetError::Io`] /
+    /// [`NetError::Wire`]) are **not** retried: after one the stream may
+    /// no longer be frame-aligned, so resending on it is unsafe — callers
+    /// reconnect instead.
+    ///
+    /// [`Status::is_retryable`]: crate::wire::Status::is_retryable
+    pub fn predict_with_retry(
+        &mut self,
+        model: &str,
+        input: &[f32],
+        policy: crate::RetryPolicy,
+        deadline: Option<Duration>,
+    ) -> std::result::Result<Vec<f32>, NetError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let overall = deadline.map(|d| std::time::Instant::now() + d);
+        let mut last: Option<NetError> = None;
+        for attempt in 1..=policy.attempts() {
+            let left = match overall {
+                Some(dl) => {
+                    let left = dl.saturating_duration_since(std::time::Instant::now());
+                    if left.is_zero() {
+                        return Err(last.unwrap_or(NetError::Serve(ServeError::DeadlineExceeded)));
+                    }
+                    Some(left)
+                }
+                None => None,
+            };
+            self.send_with_id(id, model, input, left)?;
+            match self.recv()? {
+                Reply::Ok { request_id, probs } if request_id == id => return Ok(probs),
+                Reply::Ok { request_id, .. } => {
+                    return Err(NetError::Io(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("reply id {request_id} does not match request id {id}"),
+                    )))
+                }
+                Reply::Err { error, .. } => {
+                    if error.is_retryable() && attempt < policy.attempts() {
+                        let sleep = policy.backoff(attempt, id);
+                        if let Some(dl) = overall {
+                            if std::time::Instant::now() + sleep >= dl {
+                                return Err(NetError::Serve(error));
+                            }
+                        }
+                        if !sleep.is_zero() {
+                            std::thread::sleep(sleep);
+                        }
+                        last = Some(NetError::Serve(error));
+                    } else {
+                        return Err(NetError::Serve(error));
+                    }
+                }
+            }
+        }
+        Err(last.unwrap_or(NetError::Serve(ServeError::DeadlineExceeded)))
+    }
 }
 
 /// Convenience conversion for tests comparing remote vs in-process

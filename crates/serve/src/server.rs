@@ -18,24 +18,36 @@
 //! Fault isolation is shard-local: a panic escaping one shard's loop kills
 //! only that shard — its queued requests are drained with
 //! [`ServeError::SchedulerDied`] naming the shard, later submissions
-//! routed to it fail fast the same way, and sibling shards keep serving.
+//! routed to it reroute to live replicas ([`route_replica_masked`]) while
+//! the supervisor ([`crate::supervisor`]) respawns it, and sibling shards
+//! keep serving. Per-model circuit breakers ([`crate::breaker`]) shed
+//! requests for a model whose forwards keep failing, independent of shard
+//! liveness.
 
+use crate::breaker::Breaker;
 use crate::registry::{AnyPlan, ModelRegistry, PlanKind};
+use crate::retry::RetryPolicy;
 use crate::stats::{ServeStats, StatsInner};
+use crate::supervisor;
 use crate::{Result, ServeError};
 use lightts_obs as obs;
 use obs::TraceCtx;
 use std::collections::VecDeque;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 /// Hard cap on the number of scheduler shards (a runaway-config backstop;
 /// each shard is an OS thread plus a plan-clone set).
 pub const MAX_SHARDS: usize = 64;
+
+/// Default shard restart budget (respawns per rolling window) when
+/// neither [`ServeConfig::restart_budget`] nor `LIGHTTS_SERVE_RESTARTS`
+/// picks one.
+pub const DEFAULT_RESTART_BUDGET: usize = 3;
 
 /// Micro-batching and admission policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,6 +86,26 @@ pub struct ServeConfig {
     /// `0` (the default) replicates on every shard. Values are clamped to
     /// the shard count.
     pub replicas: usize,
+    /// How many times the supervisor may respawn one shard within
+    /// [`restart_window`](Self::restart_window) before marking it
+    /// **permanently failed** (no further respawns; submissions reroute to
+    /// surviving replicas and `/healthz` reports `degraded`).
+    ///
+    /// `None` (the default) resolves at [`Server::start`]: the
+    /// `LIGHTTS_SERVE_RESTARTS` environment variable if set, else
+    /// [`DEFAULT_RESTART_BUDGET`]. `Some(0)` disables respawn entirely —
+    /// a dead shard stays dead, as in the pre-supervisor behaviour.
+    pub restart_budget: Option<usize>,
+    /// The rolling window the restart budget is counted over.
+    pub restart_window: Duration,
+    /// Circuit breaker: consecutive *failed batches* (contained panics or
+    /// model errors from the fused forward) that open a model's circuit,
+    /// shedding its submissions with [`ServeError::CircuitOpen`] until a
+    /// half-open probe succeeds. `0` disables the breakers.
+    pub circuit_threshold: usize,
+    /// How long an open circuit sheds before admitting one half-open
+    /// probe.
+    pub circuit_cooldown: Duration,
 }
 
 impl Default for ServeConfig {
@@ -85,11 +117,15 @@ impl Default for ServeConfig {
             plan: PlanKind::F32,
             shards: 0,
             replicas: 0,
+            restart_budget: None,
+            restart_window: Duration::from_secs(60),
+            circuit_threshold: 8,
+            circuit_cooldown: Duration::from_millis(250),
         }
     }
 }
 
-fn splitmix64(mut z: u64) -> u64 {
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -108,6 +144,26 @@ pub fn route_replica(request_id: u64, replicas: usize) -> usize {
     (splitmix64(request_id) % replicas.max(1) as u64) as usize
 }
 
+/// Liveness-masked routing: picks which of a model's replicas a request
+/// id routes to, considering only replicas whose `live` flag is set.
+/// `None` when no replica is live.
+///
+/// Deterministic in `(request_id, live)`: the same id under the same mask
+/// always picks the same replica — so a *retry* of a request whose
+/// primary shard died lands on one deterministic sibling, not a random
+/// one. When every replica is live this agrees exactly with
+/// [`route_replica`] (the routing proptest pins both properties), so
+/// masked routing changes nothing — neither placement nor bits — on a
+/// healthy server.
+pub fn route_replica_masked(request_id: u64, live: &[bool]) -> Option<usize> {
+    let n = live.iter().filter(|&&l| l).count();
+    if n == 0 {
+        return None;
+    }
+    let k = (splitmix64(request_id) % n as u64) as usize;
+    live.iter().enumerate().filter(|&(_, &l)| l).nth(k).map(|(i, _)| i)
+}
+
 /// Reads the `LIGHTTS_SERVE_SHARDS` override (ignored unless a positive
 /// integer).
 fn env_shards() -> Option<usize> {
@@ -115,6 +171,19 @@ fn env_shards() -> Option<usize> {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .filter(|&n| n > 0)
+}
+
+/// Resolves the shard restart budget: explicit config wins, then the
+/// `LIGHTTS_SERVE_RESTARTS` environment knob, then
+/// [`DEFAULT_RESTART_BUDGET`]. A budget of 0 disables respawn.
+fn resolve_restart_budget(cfg_budget: Option<usize>) -> usize {
+    cfg_budget
+        .or_else(|| {
+            std::env::var("LIGHTTS_SERVE_RESTARTS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+        })
+        .unwrap_or(DEFAULT_RESTART_BUDGET)
 }
 
 /// Resolves the shard count: explicit config wins, then the environment
@@ -156,7 +225,7 @@ fn placement(
 }
 
 /// One queued prediction request.
-struct Request {
+pub(crate) struct Request {
     input: Vec<f32>,
     /// Trace context minted at submission: the request's process-unique
     /// `trace_id` plus its submit timestamp in both clock domains. The
@@ -172,41 +241,108 @@ struct Request {
 
 /// Submit-side metadata for one registered model.
 #[derive(Debug)]
-struct ModelInfo {
-    name: String,
-    sample_len: usize,
+pub(crate) struct ModelInfo {
+    pub(crate) name: String,
+    pub(crate) sample_len: usize,
     /// The model's replicas, in route order: `(shard, slot)` pairs.
-    routes: Vec<(usize, usize)>,
+    pub(crate) routes: Vec<(usize, usize)>,
 }
 
 /// Queue state guarded by one shard's mutex.
-struct ShardState {
+pub(crate) struct ShardState {
     /// One FIFO per local slot, indexed like `Shard::slot_models`.
-    queues: Vec<VecDeque<Request>>,
-    shutdown: bool,
+    pub(crate) queues: Vec<VecDeque<Request>>,
+    pub(crate) shutdown: bool,
     /// Set by the shard's drop guard when its thread exits *without* a
-    /// clean shutdown: submissions fail fast with
-    /// [`ServeError::SchedulerDied`] instead of queueing forever.
-    dead: bool,
+    /// clean shutdown: submissions reroute (or fail fast with
+    /// [`ServeError::SchedulerDied`]) instead of queueing forever.
+    /// Cleared by the supervisor when it respawns the shard.
+    pub(crate) dead: bool,
 }
+
+/// Routing phase of a shard, stored in [`Shard::phase`]. Distinct from
+/// the `alive` bit: `alive` answers "is the thread running its loop right
+/// now" (the `/healthz` signal), `phase` answers "should the router send
+/// requests here".
+pub(crate) const PHASE_LIVE: u8 = 0;
+/// The shard died uncleanly; the supervisor has been notified and a
+/// respawn is pending. Routing masks the shard out.
+pub(crate) const PHASE_RESTARTING: u8 = 1;
+/// The shard exhausted its restart budget (or a respawn failed
+/// verification) and is permanently failed. Routing masks it out forever;
+/// `/healthz` reports `degraded`.
+pub(crate) const PHASE_FAILED: u8 = 2;
 
 /// One scheduler shard: its queues, wakeup, and placement.
-struct Shard {
-    state: Mutex<ShardState>,
-    cv: Condvar,
+pub(crate) struct Shard {
+    pub(crate) state: Mutex<ShardState>,
+    pub(crate) cv: Condvar,
     /// The model index behind each local queue slot.
-    slot_models: Vec<usize>,
+    pub(crate) slot_models: Vec<usize>,
     /// `true` while the shard thread runs its loop; flipped by a drop
-    /// guard on any exit path.
-    alive: AtomicBool,
+    /// guard on any exit path, set back by the supervisor on respawn.
+    pub(crate) alive: AtomicBool,
+    /// Routing phase: one of [`PHASE_LIVE`] / [`PHASE_RESTARTING`] /
+    /// [`PHASE_FAILED`].
+    pub(crate) phase: AtomicU8,
 }
 
-/// State shared between caller handles and the scheduler shards.
-struct Shared {
-    shards: Vec<Shard>,
-    models: Vec<ModelInfo>,
-    stats: StatsInner,
-    cfg: ServeConfig,
+impl Shard {
+    /// Whether the router may send requests to this shard.
+    pub(crate) fn routable(&self) -> bool {
+        self.phase.load(Ordering::Relaxed) == PHASE_LIVE
+    }
+}
+
+/// State shared between caller handles, the scheduler shards, and the
+/// supervisor.
+pub(crate) struct Shared {
+    pub(crate) shards: Vec<Shard>,
+    pub(crate) models: Vec<ModelInfo>,
+    pub(crate) stats: StatsInner,
+    pub(crate) cfg: ServeConfig,
+    /// Per-model circuit breakers, indexed like `models`.
+    pub(crate) breakers: Vec<Breaker>,
+    /// Pristine master copies of every model's compiled plan, the
+    /// clone-source for shard respawn (indexed by model). Behind a mutex
+    /// only because the supervisor clones from it; the serving hot path
+    /// never touches it.
+    pub(crate) masters: Mutex<Vec<AnyPlan>>,
+    /// Per-model golden probe rows (`f32::to_bits` of the probability
+    /// row for [`supervisor::probe_input`]), computed once at start. A
+    /// respawned shard's plan clones must reproduce these **bitwise** or
+    /// the shard is failed instead of revived.
+    pub(crate) probe_golden: Vec<Vec<u32>>,
+    /// Shard thread handles, shared with the supervisor so it can join a
+    /// dead shard before respawning it. `None` while a slot has no
+    /// (living or joinable) thread.
+    pub(crate) threads: Mutex<Vec<Option<JoinHandle<()>>>>,
+    /// The supervisor's death-notice channel. `AliveGuard` sends the dying
+    /// shard's index here; dropped (→ `None`) at shutdown, which is what
+    /// stops the supervisor thread.
+    pub(crate) supervisor_tx: Mutex<Option<mpsc::Sender<usize>>>,
+    /// Resolved restart budget (see [`ServeConfig::restart_budget`]).
+    pub(crate) restart_budget: usize,
+    /// Monotonic anchor for breaker cooldowns and restart-window
+    /// arithmetic.
+    pub(crate) started: Instant,
+    /// Unix-epoch µs of the most recent successful shard respawn (0 =
+    /// never); surfaced in `/healthz` as `last_restart_us`.
+    pub(crate) last_restart_us: AtomicU64,
+}
+
+/// Microseconds since the server started (the monotonic clock every
+/// breaker/restart decision uses).
+pub(crate) fn elapsed_us(shared: &Shared) -> u64 {
+    shared.started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
+}
+
+/// Unix-epoch µs now (for the human-facing restart timestamp only; no
+/// scheduling decision reads the wall clock).
+pub(crate) fn epoch_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(0, |d| d.as_micros().min(u128::from(u64::MAX)) as u64)
 }
 
 /// Locks one shard's state, recovering from mutex poisoning.
@@ -216,7 +352,7 @@ struct Shared {
 /// held cannot leave the state torn — so a poisoned mutex is recovered
 /// with [`PoisonError::into_inner`] rather than cascading the panic into
 /// every submitting thread and the shard.
-fn lock_state(shard: &Shard) -> MutexGuard<'_, ShardState> {
+pub(crate) fn lock_state(shard: &Shard) -> MutexGuard<'_, ShardState> {
     shard.state.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -230,7 +366,10 @@ fn lock_state(shard: &Shard) -> MutexGuard<'_, ShardState> {
 /// their replies (or a typed `SHUTDOWN` status), never a closed socket.
 pub struct Server {
     shared: Arc<Shared>,
-    threads: Vec<JoinHandle<()>>,
+    /// The supervisor thread ([`crate::supervisor`]): respawns dead shards
+    /// until their restart budget runs out. Joined first on shutdown so no
+    /// respawn races the drain.
+    supervisor: Option<JoinHandle<()>>,
     /// Network front doors attached via [`serve_net`](Self::serve_net) /
     /// `serve_unix`; retired *after* the shard drain on shutdown.
     pub(crate) doors: Mutex<Vec<Arc<crate::net::DoorInner>>>,
@@ -249,37 +388,49 @@ pub struct ServerHandle {
 /// single-threaded client lets the scheduler form large fused batches.
 pub struct Pending {
     rx: mpsc::Receiver<Result<Vec<f32>>>,
+    /// The shard the request was enqueued on, so a disconnected reply
+    /// channel can still name the shard that died holding it.
+    shard: usize,
 }
 
 impl Pending {
+    /// The shard this request was enqueued on (after any liveness-masked
+    /// rerouting).
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
     /// Blocks until the prediction is available.
     ///
     /// Returns the class-probability row for the submitted sample. If the
     /// reply channel disconnects without an answer — the owning shard's
-    /// scheduler thread died — this is [`ServeError::SchedulerDied`],
-    /// *not* a clean [`ServeError::Shutdown`] (shutdown drains and answers
-    /// every accepted request).
+    /// scheduler thread died — this is [`ServeError::SchedulerDied`]
+    /// naming that shard, *not* a clean [`ServeError::Shutdown`] (shutdown
+    /// drains and answers every accepted request).
     pub fn wait(self) -> Result<Vec<f32>> {
-        self.rx.recv().unwrap_or(Err(ServeError::SchedulerDied { shard: None }))
+        self.rx.recv().unwrap_or(Err(ServeError::SchedulerDied { shard: Some(self.shard) }))
     }
 
     /// Blocks for at most `timeout` for the prediction.
     ///
     /// [`ServeError::DeadlineExceeded`] if no reply arrived in time (the
     /// request may still be answered later; the reply is discarded),
-    /// [`ServeError::SchedulerDied`] if the reply channel disconnected.
+    /// [`ServeError::SchedulerDied`] naming the owning shard if the reply
+    /// channel disconnected.
     pub fn wait_timeout(self, timeout: Duration) -> Result<Vec<f32>> {
         match self.rx.recv_timeout(timeout) {
             Ok(reply) => reply,
             Err(RecvTimeoutError::Timeout) => Err(ServeError::DeadlineExceeded),
-            Err(RecvTimeoutError::Disconnected) => Err(ServeError::SchedulerDied { shard: None }),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(ServeError::SchedulerDied { shard: Some(self.shard) })
+            }
         }
     }
 
     #[cfg(test)]
-    pub(crate) fn disconnected() -> Pending {
+    pub(crate) fn disconnected(shard: usize) -> Pending {
         let (_, rx) = mpsc::channel();
-        Pending { rx }
+        Pending { rx, shard }
     }
 }
 
@@ -290,11 +441,13 @@ impl Server {
     pub fn start(registry: ModelRegistry, cfg: ServeConfig) -> Server {
         let nmodels = registry.entries.len();
         let nshards = resolve_shards(cfg.shards, nmodels);
+        let restart_budget = resolve_restart_budget(cfg.restart_budget);
         let cfg = ServeConfig {
             max_batch: cfg.max_batch.max(1),
             max_queue: cfg.max_queue.max(1),
             shards: nshards,
             replicas: if cfg.replicas == 0 { nshards } else { cfg.replicas.min(nshards) },
+            restart_budget: Some(restart_budget),
             ..cfg
         };
         let (slots, routes) = placement(nmodels, nshards, cfg.replicas);
@@ -304,7 +457,15 @@ impl Server {
             models.push(ModelInfo { name: e.name, sample_len: e.plan.sample_len(), routes });
             plans.push(e.plan);
         }
-        let shards = slots
+        // Golden probe rows, computed on the master plans before any clone
+        // exists: the bitwise identity a respawned shard's clones must
+        // reproduce before the supervisor lets them serve.
+        let probe_golden: Vec<Vec<u32>> = plans
+            .iter_mut()
+            .enumerate()
+            .map(|(m, plan)| supervisor::probe_bits(plan, m).unwrap_or_default())
+            .collect();
+        let shards: Vec<Shard> = slots
             .iter()
             .map(|slot_models| Shard {
                 state: Mutex::new(ShardState {
@@ -315,24 +476,50 @@ impl Server {
                 cv: Condvar::new(),
                 slot_models: slot_models.clone(),
                 alive: AtomicBool::new(true),
+                phase: AtomicU8::new(PHASE_LIVE),
             })
             .collect();
-        let shared = Arc::new(Shared { shards, models, stats: StatsInner::new(nshards), cfg });
-        let threads = (0..nshards)
-            .map(|si| {
-                let shared = Arc::clone(&shared);
-                // Each shard owns *clones* of the plans placed on it —
-                // weights and scratch both — so shards never share
-                // mutable plan state.
-                let shard_plans: Vec<AnyPlan> =
-                    slots[si].iter().map(|&m| plans[m].clone()).collect();
-                std::thread::Builder::new()
-                    .name(format!("lightts-serve-{si}"))
-                    .spawn(move || shard_scheduler(&shared, si, shard_plans))
-                    .expect("spawn scheduler shard thread")
+        // Each shard owns *clones* of the plans placed on it — weights and
+        // scratch both — so shards never share mutable plan state; the
+        // pristine masters go into `Shared` as the respawn clone-source.
+        let shard_plans: Vec<Vec<AnyPlan>> = slots
+            .iter()
+            .map(|slot_models| slot_models.iter().map(|&m| plans[m].clone()).collect())
+            .collect();
+        let stats = StatsInner::new(nshards, nmodels);
+        let breakers = (0..nmodels)
+            .map(|m| {
+                Breaker::new(
+                    cfg.circuit_threshold,
+                    cfg.circuit_cooldown,
+                    stats.circuit_gauge(m),
+                    stats.circuit_opens(),
+                )
             })
             .collect();
-        Server { shared, threads, doors: Mutex::new(Vec::new()) }
+        let (sup_tx, sup_rx) = mpsc::channel();
+        let shared = Arc::new(Shared {
+            shards,
+            models,
+            stats,
+            cfg,
+            breakers,
+            masters: Mutex::new(plans),
+            probe_golden,
+            threads: Mutex::new((0..nshards).map(|_| None).collect()),
+            supervisor_tx: Mutex::new(Some(sup_tx)),
+            restart_budget,
+            started: Instant::now(),
+            last_restart_us: AtomicU64::new(0),
+        });
+        {
+            let mut threads = shared.threads.lock().unwrap_or_else(PoisonError::into_inner);
+            for (si, plans) in shard_plans.into_iter().enumerate() {
+                threads[si] = Some(spawn_shard(&shared, si, plans));
+            }
+        }
+        let supervisor = Some(supervisor::spawn(Arc::clone(&shared), sup_rx));
+        Server { shared, supervisor, doors: Mutex::new(Vec::new()) }
     }
 
     /// A handle for submitting requests (cloneable, usable from any
@@ -393,13 +580,15 @@ impl Server {
     /// `GET /metrics` scrapes the per-server `serve.*` series (including
     /// the per-shard `serve.shard{i}.*` topology and the per-stage
     /// histograms with trace-id exemplars), `GET /healthz` reports process
-    /// liveness *and* shard liveness — the body carries
-    /// `shards_alive`/`shards_total`, and the status degrades to `503`
-    /// only once **all** shards are dead (one dead shard is a degraded
-    /// `200`, visible in the counts) — `GET /tracez` serves the
-    /// recent-span ring, and `GET /profilez` the collapsed `LIGHTTS_PROF`
-    /// call tree. The returned server stops when dropped — keep the handle
-    /// alive alongside the [`Server`]:
+    /// liveness *and* recovery state — the body carries
+    /// `shards_alive`/`shards_total`/`restarts`/`shards_failed`/
+    /// `last_restart_us`, the `status` string refines to `"recovering"`
+    /// while a shard respawn is pending and `"degraded"` once any shard is
+    /// permanently failed, and the HTTP status degrades to `503` only once
+    /// **all** shards are dead — `GET /tracez` serves the recent-span
+    /// ring, and `GET /profilez` the collapsed `LIGHTTS_PROF` call tree.
+    /// The returned server stops when dropped — keep the handle alive
+    /// alongside the [`Server`]:
     ///
     /// ```ignore
     /// let server = Server::start(registry, ServeConfig::default());
@@ -411,14 +600,33 @@ impl Server {
     ) -> std::io::Result<obs::http::TelemetryServer> {
         let shared = Arc::clone(&self.shared);
         let detail = Arc::clone(&self.shared);
+        let status = Arc::clone(&self.shared);
         obs::http::TelemetryBuilder::new(self.shared.stats.registry())
             .health(move || shared.shards.iter().any(|s| s.alive.load(Ordering::Relaxed)))
+            .health_status(move || {
+                let phase =
+                    |p: u8| status.shards.iter().any(|s| s.phase.load(Ordering::Relaxed) == p);
+                if phase(PHASE_FAILED) {
+                    "degraded".to_string()
+                } else if phase(PHASE_RESTARTING) {
+                    "recovering".to_string()
+                } else {
+                    "ok".to_string()
+                }
+            })
             .health_detail(move || {
                 let alive =
                     detail.shards.iter().filter(|s| s.alive.load(Ordering::Relaxed)).count();
+                let stats = detail.stats.snapshot();
                 vec![
                     ("shards_alive".to_string(), alive as i64),
                     ("shards_total".to_string(), detail.shards.len() as i64),
+                    ("restarts".to_string(), stats.restarts.min(i64::MAX as u64) as i64),
+                    ("shards_failed".to_string(), stats.shards_failed as i64),
+                    (
+                        "last_restart_us".to_string(),
+                        detail.last_restart_us.load(Ordering::Relaxed).min(i64::MAX as u64) as i64,
+                    ),
                 ]
             })
             .spawn(addr)
@@ -431,7 +639,15 @@ impl Server {
     }
 
     fn stop(&mut self) {
-        // 1. Flag every shard for shutdown. New submissions fail with
+        // 1. Retire the supervisor first so no respawn races the drain:
+        //    dropping the death-notice sender ends its recv loop (any
+        //    respawn already in flight finishes and its thread handle
+        //    lands in `Shared::threads`, which step 3 joins).
+        drop(self.shared.supervisor_tx.lock().unwrap_or_else(PoisonError::into_inner).take());
+        if let Some(t) = self.supervisor.take() {
+            let _ = t.join();
+        }
+        // 2. Flag every shard for shutdown. New submissions fail with
         //    `ServeError::Shutdown` from here on (remote clients see a
         //    typed SHUTDOWN status frame, not a closed socket — the front
         //    doors are still up).
@@ -441,12 +657,16 @@ impl Server {
             drop(st);
             shard.cv.notify_all();
         }
-        // 2. Join the shard threads: the drain answers every request that
+        // 3. Join the shard threads: the drain answers every request that
         //    was accepted before the flag flipped.
-        for t in self.threads.drain(..) {
+        let handles: Vec<JoinHandle<()>> = {
+            let mut threads = self.shared.threads.lock().unwrap_or_else(PoisonError::into_inner);
+            threads.iter_mut().filter_map(Option::take).collect()
+        };
+        for t in handles {
             let _ = t.join();
         }
-        // 3. Only now retire the front doors: connection writers flush
+        // 4. Only now retire the front doors: connection writers flush
         //    whatever replies the drain produced before the sockets close.
         let doors: Vec<_> = {
             let mut guard = self.doors.lock().unwrap_or_else(PoisonError::into_inner);
@@ -544,37 +764,137 @@ impl ServerHandle {
         if let Some(index) = input.iter().position(|v| !v.is_finite()) {
             return Err(ServeError::NonFiniteInput { index });
         }
-        let trace = TraceCtx::mint();
-        let routes = &self.shared.models[mi].routes;
-        let (si, slot) = routes[route_replica(route_key.unwrap_or(trace.trace_id), routes.len())];
-        let shard = &self.shared.shards[si];
-        let (tx, rx) = mpsc::channel();
-        {
-            let mut st = lock_state(shard);
-            if st.shutdown {
-                return Err(ServeError::Shutdown);
-            }
-            if st.dead {
-                return Err(ServeError::SchedulerDied { shard: Some(si) });
-            }
-            if st.queues[slot].len() >= self.shared.cfg.max_queue {
-                drop(st);
-                self.shared.stats.shed_overload();
-                return Err(ServeError::Overloaded {
-                    model: model.to_string(),
-                    max_queue: self.shared.cfg.max_queue,
-                });
-            }
-            st.queues[slot].push_back(Request { input, trace, deadline, tx });
+        // Circuit breaker: a model whose forwards keep failing sheds at
+        // admission, before any routing or queueing.
+        if !self.shared.breakers[mi].admit(elapsed_us(&self.shared)) {
+            self.shared.stats.shed_circuit();
+            return Err(ServeError::CircuitOpen { model: model.to_string() });
         }
-        self.shared.stats.enqueued(si);
-        shard.cv.notify_all();
-        Ok(Pending { rx })
+        let trace = TraceCtx::mint();
+        let key = route_key.unwrap_or(trace.trace_id);
+        let routes = &self.shared.models[mi].routes;
+        let primary = routes[route_replica(key, routes.len())].0;
+        // Replicas additionally masked out after the shard lock showed them
+        // dead (the phase flag can lag the death by a beat).
+        let mut seen_dead = vec![false; routes.len()];
+        let (tx, rx) = mpsc::channel();
+        loop {
+            // Liveness-masked route: on a fully-live server this picks
+            // exactly what `route_replica` picks; with dead/restarting/
+            // failed replicas masked out, the same id still deterministically
+            // picks the same surviving sibling.
+            let live: Vec<bool> = routes
+                .iter()
+                .enumerate()
+                .map(|(k, &(s, _))| !seen_dead[k] && self.shared.shards[s].routable())
+                .collect();
+            let Some(k) = route_replica_masked(key, &live) else {
+                // Every replica of this model is down: fail fast, naming
+                // the primary route the caller would have used.
+                self.shared.breakers[mi].probe_aborted(elapsed_us(&self.shared));
+                return Err(ServeError::SchedulerDied { shard: Some(primary) });
+            };
+            let (si, slot) = routes[k];
+            let shard = &self.shared.shards[si];
+            {
+                let mut st = lock_state(shard);
+                if st.shutdown {
+                    return Err(ServeError::Shutdown);
+                }
+                if st.dead {
+                    // Died since the mask was built: mask it and re-route.
+                    drop(st);
+                    seen_dead[k] = true;
+                    continue;
+                }
+                if st.queues[slot].len() >= self.shared.cfg.max_queue {
+                    drop(st);
+                    self.shared.stats.shed_overload();
+                    // No overload spill to siblings: admission stays
+                    // replica-local (the admission proptest pins this).
+                    self.shared.breakers[mi].probe_aborted(elapsed_us(&self.shared));
+                    return Err(ServeError::Overloaded {
+                        model: model.to_string(),
+                        max_queue: self.shared.cfg.max_queue,
+                    });
+                }
+                st.queues[slot].push_back(Request { input, trace, deadline, tx });
+            }
+            if si != primary {
+                self.shared.stats.reroute();
+            }
+            self.shared.stats.enqueued(si);
+            shard.cv.notify_all();
+            return Ok(Pending { rx, shard: si });
+        }
     }
 
     /// Submits one sample and blocks for its probability row.
     pub fn predict(&self, model: &str, input: Vec<f32>) -> Result<Vec<f32>> {
         self.submit(model, input)?.wait()
+    }
+
+    /// Like [`predict`](Self::predict), retrying retryable failures
+    /// ([`ServeError::is_retryable`]: overload and dead-shard errors)
+    /// under `policy`, within an optional overall deadline.
+    ///
+    /// One request id is minted up front and reused across every attempt,
+    /// so all attempts route identically: while the primary shard is down
+    /// the liveness mask sends the retry to the same deterministic
+    /// surviving sibling, and once the supervisor respawns the primary the
+    /// retry lands back on it. Backoffs come from
+    /// [`RetryPolicy::backoff`] — exponential, capped, deterministically
+    /// jittered by the id.
+    ///
+    /// The deadline is a hard budget over *all* attempts: each submission
+    /// and wait inherits only the remaining slice, and a backoff sleep
+    /// that would cross the deadline is never taken — the last error
+    /// returns instead. [`ServeError::DeadlineExceeded`] itself is not
+    /// retryable.
+    pub fn predict_with_retry(
+        &self,
+        model: &str,
+        input: &[f32],
+        policy: RetryPolicy,
+        deadline: Option<Duration>,
+    ) -> Result<Vec<f32>> {
+        let key = TraceCtx::mint().trace_id;
+        let overall = deadline.map(|d| Instant::now() + d);
+        let mut last: Option<ServeError> = None;
+        for attempt in 1..=policy.attempts() {
+            let left = match overall {
+                Some(dl) => {
+                    let left = dl.saturating_duration_since(Instant::now());
+                    if left.is_zero() {
+                        return Err(last.unwrap_or(ServeError::DeadlineExceeded));
+                    }
+                    Some(left)
+                }
+                None => None,
+            };
+            let outcome =
+                self.submit_keyed(model, input.to_vec(), key, left).and_then(|p| match left {
+                    Some(l) => p.wait_timeout(l),
+                    None => p.wait(),
+                });
+            match outcome {
+                Ok(row) => return Ok(row),
+                Err(e) if e.is_retryable() && attempt < policy.attempts() => {
+                    let sleep = policy.backoff(attempt, key);
+                    if let Some(dl) = overall {
+                        if Instant::now() + sleep >= dl {
+                            return Err(e);
+                        }
+                    }
+                    if !sleep.is_zero() {
+                        std::thread::sleep(sleep);
+                    }
+                    last = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last.unwrap_or(ServeError::DeadlineExceeded))
     }
 
     /// Current counter snapshot.
@@ -625,6 +945,17 @@ fn next_batch(shared: &Shared, si: usize) -> Option<(usize, Vec<Request>)> {
     }
 }
 
+/// Spawns shard `si`'s scheduler thread over its plan clones — used both
+/// at [`Server::start`] and by the supervisor when it respawns a dead
+/// shard.
+pub(crate) fn spawn_shard(shared: &Arc<Shared>, si: usize, plans: Vec<AnyPlan>) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("lightts-serve-{si}"))
+        .spawn(move || shard_scheduler(&shared, si, plans))
+        .expect("spawn scheduler shard thread")
+}
+
 /// One shard's scheduler loop: owns clones of the plans placed on it plus
 /// their scratch buffers.
 ///
@@ -633,18 +964,21 @@ fn next_batch(shared: &Shared, si: usize) -> Option<(usize, Vec<Request>)> {
 /// compute would be wasted). The fused forward runs under `catch_unwind`:
 /// a panic — from a kernel bug, a poisoned model, or the `serve.batch`
 /// failpoint — fails only that batch's requests with
-/// [`ServeError::Inference`], and the loop continues. A panic escaping the
-/// loop *itself* (the `serve.shard` failpoint simulates one) kills only
-/// this shard: the drop guard drains its queues with
-/// [`ServeError::SchedulerDied`] naming the shard, and sibling shards keep
-/// serving untouched.
+/// [`ServeError::Inference`], and the loop continues (the model's circuit
+/// breaker counts the failure). A panic escaping the loop *itself* (the
+/// `serve.shard` failpoint simulates one) kills only this shard: the drop
+/// guard drains its queues with [`ServeError::SchedulerDied`] naming the
+/// shard, flips its routing phase to restarting, and notifies the
+/// supervisor — sibling shards keep serving untouched while the respawn
+/// happens.
 fn shard_scheduler(shared: &Shared, si: usize, mut plans: Vec<AnyPlan>) {
     /// Marks the shard dead when the loop exits — including via a panic
     /// escaping the loop itself (plan forwards are caught below, but the
     /// guard makes `/healthz` truthful against any exit path). On an
     /// *unclean* exit it also drains the shard's queues, answering each
     /// stranded request with a shard-tagged `SchedulerDied` instead of
-    /// leaving its caller blocked forever.
+    /// leaving its caller blocked forever, and sends the shard's index to
+    /// the supervisor for respawn.
     struct AliveGuard<'a> {
         shared: &'a Shared,
         si: usize,
@@ -655,10 +989,22 @@ fn shard_scheduler(shared: &Shared, si: usize, mut plans: Vec<AnyPlan>) {
             let mut st = lock_state(shard);
             let clean = st.shutdown;
             st.dead = !clean;
+            if !clean {
+                // Mask the shard out of routing while `st` is still held:
+                // a submit observing `dead == false` under this lock must
+                // also have seen a live phase.
+                shard.phase.store(PHASE_RESTARTING, Ordering::Relaxed);
+            }
             let mut drained = 0usize;
             if !clean {
-                for q in &mut st.queues {
+                let now_us = elapsed_us(self.shared);
+                for (slot, q) in st.queues.iter_mut().enumerate() {
+                    let mi = shard.slot_models[slot];
                     while let Some(r) = q.pop_front() {
+                        // A drained request may have been a breaker's
+                        // half-open probe; make sure the breaker reopens
+                        // rather than wedging half-open.
+                        self.shared.breakers[mi].probe_aborted(now_us);
                         let _ = r.tx.send(Err(ServeError::SchedulerDied { shard: Some(self.si) }));
                         drained += 1;
                     }
@@ -670,10 +1016,26 @@ fn shard_scheduler(shared: &Shared, si: usize, mut plans: Vec<AnyPlan>) {
                 for _ in 0..drained {
                     self.shared.stats.record_error();
                 }
+            }
+            if !clean {
                 obs::event!("serve.shard.dead", { shard: self.si, drained: drained });
             }
             self.shared.stats.shard_dead(self.si);
             shard.alive.store(false, Ordering::Relaxed);
+            if !clean {
+                // Last: hand the corpse to the supervisor. At shutdown the
+                // sender is already gone (or the send fails) — both mean
+                // "no respawn", which is what shutdown wants.
+                let tx = self
+                    .shared
+                    .supervisor_tx
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone();
+                if let Some(tx) = tx {
+                    let _ = tx.send(self.si);
+                }
+            }
         }
     }
     let _alive = AliveGuard { shared, si };
@@ -689,11 +1051,15 @@ fn shard_scheduler(shared: &Shared, si: usize, mut plans: Vec<AnyPlan>) {
         }
         // Shed expired requests pre-inference.
         let now = Instant::now();
+        let mi = shared.shards[si].slot_models[slot];
         let mut live = Vec::with_capacity(batch.len());
         for r in batch {
             if r.deadline.is_some_and(|d| now >= d) {
                 // Counter before send: a caller whose `wait` just returned
-                // must never read a stale counter.
+                // must never read a stale counter. A shed request may have
+                // been the model's half-open probe — reopen rather than
+                // wedge the breaker.
+                shared.breakers[mi].probe_aborted(elapsed_us(shared));
                 shared.stats.shed_deadline();
                 let _ = r.tx.send(Err(ServeError::DeadlineExceeded));
             } else {
@@ -704,7 +1070,6 @@ fn shard_scheduler(shared: &Shared, si: usize, mut plans: Vec<AnyPlan>) {
             continue;
         }
         let batch = live;
-        let mi = shared.shards[si].slot_models[slot];
         let plan = &mut plans[slot];
         let kind = plan.kind();
         let nc = plan.num_classes();
@@ -740,6 +1105,7 @@ fn shard_scheduler(shared: &Shared, si: usize, mut plans: Vec<AnyPlan>) {
             Ok(()) => {
                 // Counters before sends: a caller whose `wait` just returned
                 // must never read stale stats.
+                shared.breakers[mi].record_success();
                 let done = Instant::now();
                 shared.stats.record_batch(si, batch.len(), service);
                 shared.stats.record_plan_requests(kind, batch.len());
@@ -779,6 +1145,15 @@ fn shard_scheduler(shared: &Shared, si: usize, mut plans: Vec<AnyPlan>) {
                 });
             }
             Err(e) => {
+                // An `Inference`-class outcome (contained panic or model
+                // error): one failed batch = one breaker failure,
+                // regardless of how many requests rode in it.
+                if shared.breakers[mi].record_failure(elapsed_us(shared)) {
+                    obs::event!("serve.circuit_open", {
+                        model: shared.models[mi].name.as_str(),
+                        shard: si,
+                    });
+                }
                 let done = Instant::now();
                 emit_shard_batch_span(shared, si, mi, &batch[0], batch.len(), fuse_start, done);
                 for r in &batch {
@@ -905,20 +1280,69 @@ mod tests {
     use super::*;
 
     #[test]
-    fn dropped_reply_channel_is_scheduler_death_not_shutdown() {
-        assert_eq!(Pending::disconnected().wait(), Err(ServeError::SchedulerDied { shard: None }));
+    fn dropped_reply_channel_is_scheduler_death_naming_the_shard() {
         assert_eq!(
-            Pending::disconnected().wait_timeout(Duration::from_millis(1)),
-            Err(ServeError::SchedulerDied { shard: None })
+            Pending::disconnected(2).wait(),
+            Err(ServeError::SchedulerDied { shard: Some(2) })
+        );
+        assert_eq!(
+            Pending::disconnected(5).wait_timeout(Duration::from_millis(1)),
+            Err(ServeError::SchedulerDied { shard: Some(5) })
         );
     }
 
     #[test]
     fn wait_timeout_times_out_when_no_reply_arrives() {
         let (tx, rx) = mpsc::channel();
-        let p = Pending { rx };
+        let p = Pending { rx, shard: 0 };
         assert_eq!(p.wait_timeout(Duration::from_millis(5)), Err(ServeError::DeadlineExceeded));
         drop(tx);
+    }
+
+    #[test]
+    fn masked_routing_matches_unmasked_when_fully_live_and_is_total() {
+        for n in [1usize, 2, 3, 4, 7] {
+            let live = vec![true; n];
+            for id in [0u64, 1, 42, u64::MAX, 0x9E37_79B9] {
+                // All-live masked routing IS route_replica: masking changes
+                // nothing on a healthy server.
+                assert_eq!(route_replica_masked(id, &live), Some(route_replica(id, n)));
+            }
+        }
+        // No live replica: no route.
+        assert_eq!(route_replica_masked(7, &[false, false]), None);
+        assert_eq!(route_replica_masked(7, &[]), None);
+    }
+
+    #[test]
+    fn masked_routing_is_deterministic_and_lands_only_on_live_replicas() {
+        let masks: [&[bool]; 4] = [
+            &[true, false, true],
+            &[false, true, false],
+            &[true, true, false],
+            &[false, false, true],
+        ];
+        for mask in masks {
+            for id in 0u64..64 {
+                let got = route_replica_masked(id, mask).expect("some replica is live");
+                assert!(mask[got], "routed to a masked-out replica");
+                assert_eq!(route_replica_masked(id, mask), Some(got), "non-deterministic");
+            }
+        }
+        // Single survivor: every id routes to it.
+        for id in 0u64..64 {
+            assert_eq!(route_replica_masked(id, &[false, true, false]), Some(1));
+        }
+    }
+
+    #[test]
+    fn restart_budget_resolution_prefers_config() {
+        assert_eq!(resolve_restart_budget(Some(7)), 7);
+        assert_eq!(resolve_restart_budget(Some(0)), 0);
+        // No config, no env (tests don't set it): the default.
+        if std::env::var("LIGHTTS_SERVE_RESTARTS").is_err() {
+            assert_eq!(resolve_restart_budget(None), DEFAULT_RESTART_BUDGET);
+        }
     }
 
     #[test]

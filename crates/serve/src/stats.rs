@@ -29,8 +29,11 @@ pub(crate) struct ShardStats {
     /// Per-request enqueue→reply latency on this shard, nanoseconds.
     latency_ns: Arc<Histogram>,
     /// 1 while the shard's scheduler thread runs its loop, 0 once it has
-    /// exited (cleanly or by a panic escaping the loop).
+    /// exited (cleanly or by a panic escaping the loop). Set back to 1 by
+    /// the supervisor when it respawns the shard.
     alive: Arc<Gauge>,
+    /// Times the supervisor has respawned this shard.
+    restarts: Arc<Counter>,
 }
 
 /// Shared metric handles, updated by the scheduler shard threads.
@@ -79,6 +82,24 @@ pub(crate) struct StatsInner {
     /// Requests shed by the scheduler because their deadline had already
     /// passed when their batch was formed.
     shed_deadline: Arc<Counter>,
+    /// Requests shed at admission because the model's circuit breaker was
+    /// open (or half-open with a probe already in flight).
+    shed_circuit: Arc<Counter>,
+    /// Submissions that landed on a non-primary replica because the
+    /// liveness mask excluded their primary (dead/restarting/failed
+    /// shard).
+    reroutes: Arc<Counter>,
+    /// Shard respawns performed by the supervisor, summed over shards
+    /// (the per-shard split is `serve.shard{i}.restarts`).
+    restarts: Arc<Counter>,
+    /// Shards marked permanently failed (restart budget exhausted or a
+    /// respawn probe answered non-identically).
+    shards_failed: Arc<Gauge>,
+    /// Circuit-open transitions, summed over models.
+    circuit_opens: Arc<Counter>,
+    /// Per-model breaker state mirrors (`serve.circuit{m}.state`:
+    /// 0 closed / 1 open / 2 half-open), indexed by model.
+    circuits: Vec<Arc<Gauge>>,
     /// Fused forwards that panicked and were contained by the scheduler.
     batch_panics: Arc<Counter>,
     /// Requests answered by an f32 [`InferencePlan`]
@@ -91,7 +112,7 @@ pub(crate) struct StatsInner {
 }
 
 impl StatsInner {
-    pub(crate) fn new(nshards: usize) -> StatsInner {
+    pub(crate) fn new(nshards: usize, nmodels: usize) -> StatsInner {
         let registry = Arc::new(Registry::new());
         let shards = (0..nshards)
             .map(|i| {
@@ -103,7 +124,15 @@ impl StatsInner {
                     batches: registry.counter(&format!("serve.shard{i}.batches")),
                     latency_ns: registry.histogram(&format!("serve.shard{i}.latency_ns")),
                     alive,
+                    restarts: registry.counter(&format!("serve.shard{i}.restarts")),
                 }
+            })
+            .collect();
+        let circuits = (0..nmodels)
+            .map(|m| {
+                let g = registry.gauge(&format!("serve.circuit{m}.state"));
+                g.set(0);
+                g
             })
             .collect();
         StatsInner {
@@ -125,6 +154,12 @@ impl StatsInner {
             pool_misses: registry.gauge("serve.pool_misses"),
             shed_overload: registry.counter("serve.shed_overload"),
             shed_deadline: registry.counter("serve.shed_deadline"),
+            shed_circuit: registry.counter("serve.shed_circuit"),
+            reroutes: registry.counter("serve.reroutes"),
+            restarts: registry.counter("serve.restarts"),
+            shards_failed: registry.gauge("serve.shards_failed"),
+            circuit_opens: registry.counter("serve.circuit_opens"),
+            circuits,
             batch_panics: registry.counter("serve.batch_panics"),
             plan_f32_requests: registry.counter("serve.plan_f32_requests"),
             plan_i8_requests: registry.counter("serve.plan_i8_requests"),
@@ -180,6 +215,44 @@ impl StatsInner {
     /// `shard`'s scheduler thread exited (cleanly or not).
     pub(crate) fn shard_dead(&self, shard: usize) {
         self.shards[shard].alive.set(0);
+    }
+
+    /// The supervisor respawned `shard`: flip its liveness gauge back and
+    /// count the restart, per shard and in aggregate.
+    pub(crate) fn shard_reborn(&self, shard: usize) {
+        self.shards[shard].alive.set(1);
+        self.shards[shard].restarts.inc();
+        self.restarts.inc();
+    }
+
+    /// A shard was marked permanently failed (budget exhausted or a
+    /// respawn probe answered non-identically).
+    pub(crate) fn shard_failed(&self) {
+        self.shards_failed.add(1);
+    }
+
+    /// A submission landed on a non-primary replica because its primary
+    /// was masked out as not live.
+    pub(crate) fn reroute(&self) {
+        self.reroutes.inc();
+    }
+
+    /// A submission was shed at admission by an open circuit breaker.
+    pub(crate) fn shed_circuit(&self) {
+        self.shed_circuit.inc();
+    }
+
+    /// Model `m`'s `serve.circuit{m}.state` gauge, for its [`Breaker`]
+    /// to mirror state transitions into.
+    ///
+    /// [`Breaker`]: crate::breaker::Breaker
+    pub(crate) fn circuit_gauge(&self, m: usize) -> Arc<Gauge> {
+        Arc::clone(&self.circuits[m])
+    }
+
+    /// The shared `serve.circuit_opens` counter.
+    pub(crate) fn circuit_opens(&self) -> Arc<Counter> {
+        Arc::clone(&self.circuit_opens)
     }
 
     /// One request's time queued before batch formation, with its trace id
@@ -244,6 +317,11 @@ impl StatsInner {
             max_batch: self.max_batch.get().max(0) as usize,
             shed_overload: self.shed_overload.get(),
             shed_deadline: self.shed_deadline.get(),
+            shed_circuit: self.shed_circuit.get(),
+            reroutes: self.reroutes.get(),
+            restarts: self.restarts.get(),
+            shards_failed: self.shards_failed.get().max(0) as usize,
+            circuit_opens: self.circuit_opens.get(),
             batch_panics: self.batch_panics.get(),
             plan_f32_requests: self.plan_f32_requests.get(),
             plan_i8_requests: self.plan_i8_requests.get(),
@@ -283,6 +361,20 @@ pub struct ServeStats {
     /// Queued requests shed pre-inference with
     /// [`ServeError::DeadlineExceeded`](crate::ServeError::DeadlineExceeded).
     pub shed_deadline: u64,
+    /// Submissions shed at admission with
+    /// [`ServeError::CircuitOpen`](crate::ServeError::CircuitOpen) (open
+    /// breaker, or half-open with a probe already in flight).
+    pub shed_circuit: u64,
+    /// Submissions that landed on a non-primary replica because their
+    /// primary shard was dead, restarting, or failed.
+    pub reroutes: u64,
+    /// Shard respawns performed by the supervisor.
+    pub restarts: u64,
+    /// Shards marked permanently failed (restart budget exhausted or a
+    /// respawn probe answered non-identically).
+    pub shards_failed: usize,
+    /// Circuit-open transitions, summed over models.
+    pub circuit_opens: u64,
     /// Fused forwards that panicked; each failed only its own batch.
     pub batch_panics: u64,
     /// Requests answered by f32 plans.
@@ -337,20 +429,24 @@ impl std::fmt::Display for ServeStats {
         write!(
             f,
             "{} requests ({} errors, {} shed overload, {} shed deadline, \
-             {} batch panics) in {} batches (mean {:.2}, max {}) \
-             on {}/{} shards, \
+             {} shed circuit, {} batch panics) in {} batches (mean {:.2}, max {}) \
+             on {}/{} shards ({} restarts, {} failed, {} reroutes), \
              mean latency {:?} (p50 {:?}, p90 {:?}, p99 {:?}), \
              {:.1} req/s service throughput",
             self.requests,
             self.errors,
             self.shed_overload,
             self.shed_deadline,
+            self.shed_circuit,
             self.batch_panics,
             self.batches,
             self.mean_batch_size(),
             self.max_batch,
             self.shards_alive,
             self.shards,
+            self.restarts,
+            self.shards_failed,
+            self.reroutes,
             self.mean_latency(),
             self.latency_p50,
             self.latency_p90,

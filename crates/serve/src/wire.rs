@@ -55,6 +55,15 @@
 //! | `INFER_ERR` | 5 | [`Inference`](ServeError::Inference) / [`Model`](ServeError::Model) | 0 / 1 | what / error text |
 //! | `SHUTDOWN` | 6 | [`Shutdown`](ServeError::Shutdown) | 0 | empty |
 //! | `UNAVAILABLE` | 7 | [`SchedulerDied`](ServeError::SchedulerDied) | shard+1, 0 = unknown | empty |
+//! | `CIRCUIT_OPEN` | 8 | [`CircuitOpen`](ServeError::CircuitOpen) | 0 | model name |
+//!
+//! Of these, exactly `OVERLOADED` and `UNAVAILABLE` are **retryable**
+//! ([`Status::is_retryable`]): the failure is transient capacity or
+//! topology, so resending the *same* request (same id — it reroutes
+//! around dead shards) can succeed. `CIRCUIT_OPEN` is deliberately not:
+//! the breaker sheds precisely because retries against a poisoned model
+//! burn scheduler time; back off until the server's own half-open probe
+//! closes the circuit.
 //!
 //! The mapping is lossless except for [`ServeError::Model`], which decodes
 //! as [`ServeError::Inference`] carrying the model error's text (`aux` 1
@@ -97,11 +106,14 @@ pub enum Status {
     Shutdown = 6,
     /// The routed scheduler shard is dead (`aux` = shard+1 when known).
     Unavailable = 7,
+    /// The model's circuit breaker is open; the request was shed at
+    /// admission without queueing.
+    CircuitOpen = 8,
 }
 
 impl Status {
     /// All statuses, in code order (for exhaustive table tests).
-    pub const ALL: [Status; 8] = [
+    pub const ALL: [Status; 9] = [
         Status::Ok,
         Status::BadReq,
         Status::UnknownModel,
@@ -110,6 +122,7 @@ impl Status {
         Status::InferErr,
         Status::Shutdown,
         Status::Unavailable,
+        Status::CircuitOpen,
     ];
 
     /// Decodes a status byte.
@@ -128,7 +141,17 @@ impl Status {
             Status::InferErr => "INFER_ERR",
             Status::Shutdown => "SHUTDOWN",
             Status::Unavailable => "UNAVAILABLE",
+            Status::CircuitOpen => "CIRCUIT_OPEN",
         }
+    }
+
+    /// Whether a client retry of the same request can reasonably succeed
+    /// (see the module-level table): `OVERLOADED` (transient queue
+    /// pressure) and `UNAVAILABLE` (a dead shard that reroutes or
+    /// respawns). The wire-level counterpart of
+    /// [`ServeError::is_retryable`].
+    pub fn is_retryable(self) -> bool {
+        matches!(self, Status::Overloaded | Status::Unavailable)
     }
 }
 
@@ -142,6 +165,7 @@ pub fn status_of(e: &ServeError) -> Status {
         ServeError::Inference { .. } | ServeError::Model(_) => Status::InferErr,
         ServeError::Shutdown => Status::Shutdown,
         ServeError::SchedulerDied { .. } => Status::Unavailable,
+        ServeError::CircuitOpen { .. } => Status::CircuitOpen,
     }
 }
 
@@ -328,6 +352,7 @@ pub fn encode_reply_err(request_id: u64, e: &ServeError) -> Vec<u8> {
         ServeError::Model(me) => (1, me.to_string()),
         ServeError::Shutdown => (0, String::new()),
         ServeError::SchedulerDied { shard } => (shard.map_or(0, |s| s as u64 + 1), String::new()),
+        ServeError::CircuitOpen { model } => (0, model.clone()),
     };
     let mut out = Vec::with_capacity(1 + 8 + 8 + 4 + msg.len());
     out.push(status as u8);
@@ -374,6 +399,7 @@ pub fn decode_reply(payload: &[u8]) -> Result<Reply, WireError> {
         Status::Unavailable => {
             ServeError::SchedulerDied { shard: (aux > 0).then(|| (aux - 1) as usize) }
         }
+        Status::CircuitOpen => ServeError::CircuitOpen { model: msg },
     };
     Ok(Reply::Err { request_id, error })
 }
@@ -530,6 +556,7 @@ mod tests {
             (ServeError::SchedulerDied { shard: None }, Status::Unavailable),
             (ServeError::SchedulerDied { shard: Some(0) }, Status::Unavailable),
             (ServeError::SchedulerDied { shard: Some(3) }, Status::Unavailable),
+            (ServeError::CircuitOpen { model: "poisoned".into() }, Status::CircuitOpen),
         ];
         for (err, want_status) in &cases {
             assert_eq!(status_of(err), *want_status, "{err:?}");
@@ -563,7 +590,8 @@ mod tests {
             | ServeError::Inference { .. }
             | ServeError::Model(_)
             | ServeError::Shutdown
-            | ServeError::SchedulerDied { .. } => true,
+            | ServeError::SchedulerDied { .. }
+            | ServeError::CircuitOpen { .. } => true,
         };
         assert!(cases.iter().all(|(e, _)| covered(e)));
         // And every status byte decodes back to itself or rejects cleanly.
@@ -572,6 +600,33 @@ mod tests {
                 Some(s) => assert_eq!(s as u8, b),
                 None => assert!(b >= Status::ALL.len() as u8),
             }
+        }
+    }
+
+    /// The retryable class is exactly {OVERLOADED, UNAVAILABLE}, and the
+    /// wire- and error-level predicates agree on every table row.
+    #[test]
+    fn retryable_statuses_are_exactly_overloaded_and_unavailable() {
+        for s in Status::ALL {
+            assert_eq!(
+                s.is_retryable(),
+                matches!(s, Status::Overloaded | Status::Unavailable),
+                "{s:?}"
+            );
+        }
+        let errs = [
+            ServeError::UnknownModel { name: "g".into() },
+            ServeError::BadRequest { what: "w".into() },
+            ServeError::NonFiniteInput { index: 0 },
+            ServeError::Overloaded { model: "m".into(), max_queue: 8 },
+            ServeError::DeadlineExceeded,
+            ServeError::Inference { what: "boom".into() },
+            ServeError::Shutdown,
+            ServeError::SchedulerDied { shard: Some(1) },
+            ServeError::CircuitOpen { model: "m".into() },
+        ];
+        for e in &errs {
+            assert_eq!(e.is_retryable(), status_of(e).is_retryable(), "{e:?}");
         }
     }
 

@@ -1,11 +1,13 @@
 //! Replica routing properties: the hash route is **total** (never panics,
 //! any id × any replica count), **deterministic** (a pure function of the
-//! request id), in range, and actually spreads load; the server-level
-//! `route_of` upholds the same contract and agrees with where requests
-//! really land.
+//! request id), in range, and actually spreads load; the liveness-masked
+//! variant degrades to the unmasked route when everything is live, only
+//! ever lands on live replicas, and is just as deterministic; the
+//! server-level `route_of` upholds the same contract and agrees with
+//! where requests really land.
 
 use lightts_models::inception::{BlockSpec, InceptionConfig, InceptionTime};
-use lightts_serve::{route_replica, ModelRegistry, ServeConfig, Server};
+use lightts_serve::{route_replica, route_replica_masked, ModelRegistry, ServeConfig, Server};
 use lightts_tensor::rng::seeded;
 use proptest::prelude::*;
 use std::collections::HashSet;
@@ -66,6 +68,53 @@ proptest! {
             (0..64u64).map(|k| route_replica(start.wrapping_add(k), replicas)).collect();
         // 64 sequential ids must not leave any replica idle.
         prop_assert_eq!(hit.len(), replicas);
+    }
+
+    /// The liveness-masked route is total and deterministic, answers
+    /// `None` exactly when nothing is live, and otherwise only ever picks
+    /// a live index — for any id and any liveness mask.
+    #[test]
+    fn masked_route_is_deterministic_and_lands_only_on_live_replicas(
+        id in 0u64..u64::MAX,
+        mask in prop::collection::vec(0u8..2, 0..12),
+    ) {
+        let live: Vec<bool> = mask.iter().map(|&b| b == 1).collect();
+        let r = route_replica_masked(id, &live);
+        // Pure in (id, mask): calling twice must agree.
+        prop_assert_eq!(r, route_replica_masked(id, &live));
+        match r {
+            Some(k) => prop_assert!(live[k], "masked route landed on dead replica {k}"),
+            None => prop_assert!(
+                live.iter().all(|&a| !a),
+                "masked route gave up while replicas were live"
+            ),
+        }
+    }
+
+    /// With every replica live, the mask changes nothing: the masked route
+    /// *is* `route_replica` — so masking cannot reshuffle healthy traffic.
+    #[test]
+    fn fully_live_mask_is_the_identity_route(id in 0u64..u64::MAX, replicas in 1usize..12) {
+        let live = vec![true; replicas];
+        prop_assert_eq!(route_replica_masked(id, &live), Some(route_replica(id, replicas)));
+    }
+
+    /// The masked route keeps spreading load: sequential ids over a mask
+    /// with several live replicas must reach every live replica — a dead
+    /// sibling cannot starve a live one.
+    #[test]
+    fn sequential_ids_reach_every_live_replica_under_masking(
+        start in 0u64..u64::MAX,
+        mask in prop::collection::vec(0u8..2, 2..9),
+    ) {
+        let live: Vec<bool> = mask.iter().map(|&b| b == 1).collect();
+        prop_assume!(live.iter().filter(|&&a| a).count() >= 2);
+        let hit: HashSet<usize> = (0..64u64)
+            .filter_map(|k| route_replica_masked(start.wrapping_add(k), &live))
+            .collect();
+        let want: HashSet<usize> =
+            live.iter().enumerate().filter(|(_, &a)| a).map(|(i, _)| i).collect();
+        prop_assert_eq!(hit, want);
     }
 }
 

@@ -1,14 +1,25 @@
 //! Live-telemetry integration: a serving instance must answer all four
 //! observability endpoints over real TCP, one trace id must reconstruct a
 //! request's full stage breakdown from `/tracez`, `/healthz` must track
-//! scheduler liveness, and profiling must stay zero-allocation when off.
+//! scheduler liveness (including recovery telemetry after a shard death),
+//! and profiling must stay zero-allocation when off.
 
 use lightts_models::inception::{BlockSpec, InceptionConfig, InceptionTime};
-use lightts_serve::{ModelRegistry, Pending, ServeConfig, Server};
+use lightts_serve::{ModelRegistry, Pending, ServeConfig, ServeError, Server};
 use lightts_tensor::rng::seeded;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Failpoints are process-global: the recovery test arms one, so every
+/// test in this binary serializes on this lock to keep a stray armed
+/// failpoint from killing an innocent server.
+static FAILPOINT_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    FAILPOINT_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 const IN_DIMS: usize = 2;
 const IN_LEN: usize = 16;
@@ -53,6 +64,7 @@ fn get(addr: SocketAddr, target: &str) -> (u16, String) {
 
 #[test]
 fn live_server_answers_all_endpoints_and_traces_reconstruct() {
+    let _g = lock();
     // Profiling stays OFF here: the same serving path must allocate no
     // profiler tree nodes (the LIGHTTS_PROF=0 zero-overhead contract) —
     // checked at the end against a snapshot taken now.
@@ -148,8 +160,99 @@ fn live_server_answers_all_endpoints_and_traces_reconstruct() {
     telemetry.shutdown();
 }
 
+/// Recovery telemetry: a shard death and respawn must be visible end to
+/// end — `/healthz` transitions `ok → recovering/degraded-free ok` with
+/// restart counters and a last-restart timestamp, and `/metrics` carries
+/// the per-shard restart counter and the circuit-state gauges.
+#[test]
+fn shard_respawn_is_visible_in_healthz_and_metrics() {
+    let _g = lock();
+    let model_a = build_model(35, 4);
+    let model_b = build_model(36, 3);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("a", &model_a.save_bytes().unwrap()).unwrap();
+    registry.load_packed("b", &model_b.save_bytes().unwrap()).unwrap();
+    // One replica each on two shards: the sibling keeps `/healthz` at 200
+    // while the killed shard is being respawned.
+    let cfg = ServeConfig {
+        shards: 2,
+        replicas: 1,
+        max_wait: Duration::from_millis(1),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(registry, cfg);
+    let telemetry = server.serve_telemetry("127.0.0.1:0").expect("bind telemetry");
+    let addr = telemetry.addr();
+    let handle = server.handle();
+    let shard_a = handle.route_of("a", 0).unwrap();
+
+    // Healthy baseline: status ok, zero restarts, no failed shards, no
+    // restart timestamp yet — and the circuit gauge scrapes as closed.
+    let (status, body) = get(addr, "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+    assert!(body.contains("\"restarts\":0"), "{body}");
+    assert!(body.contains("\"shards_failed\":0"), "{body}");
+    assert!(body.contains("\"last_restart_us\":0"), "{body}");
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains("serve_circuit0_state 0"), "{body}");
+    assert!(body.contains(&format!("serve_shard{shard_a}_restarts_total 0")), "{body}");
+
+    // Kill "a"'s shard; the supervisor respawns it while "b"'s shard keeps
+    // the server healthy.
+    lightts_obs::failpoint::set_failpoints("serve.shard=panic@1").unwrap();
+    match handle.predict("a", sample(0)) {
+        Err(ServeError::SchedulerDied { shard }) => assert_eq!(shard, Some(shard_a)),
+        other => panic!("request on the dying shard got {other:?}"),
+    }
+    lightts_obs::failpoint::clear_failpoints();
+
+    // Poll healthz itself back to `ok`: in between it may legitimately
+    // report `recovering` (the shard is alive but the supervisor has not
+    // finished its bookkeeping), and that transient is itself part of the
+    // contract — never `degraded`, never a 503.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let body = loop {
+        let (status, body) = get(addr, "/healthz");
+        assert_eq!(status, 200, "mid-respawn healthz must stay 200: {body}");
+        assert!(!body.contains("\"status\":\"degraded\""), "{body}");
+        if body.contains("\"status\":\"ok\"") && body.contains("\"restarts\":1") {
+            break body;
+        }
+        assert!(Instant::now() < deadline, "healthz never recovered: {body}");
+        std::thread::sleep(Duration::from_millis(5));
+    };
+
+    // Recovered: healthz carries the recovery counters — one restart,
+    // nothing permanently failed, and a real (nonzero epoch µs)
+    // last-restart timestamp.
+    assert!(body.contains("\"restarts\":1"), "{body}");
+    assert!(body.contains("\"shards_failed\":0"), "{body}");
+    let ts: i64 = body
+        .split("\"last_restart_us\":")
+        .nth(1)
+        .and_then(|t| t.split(|c: char| !c.is_ascii_digit()).next())
+        .and_then(|t| t.parse().ok())
+        .unwrap_or_else(|| panic!("no last_restart_us in {body}"));
+    assert!(ts > 1_600_000_000_000_000, "last_restart_us should be epoch µs, got {ts}");
+
+    // The scrape sees the same story, per shard.
+    let (status, body) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(body.contains(&format!("serve_shard{shard_a}_restarts_total 1")), "{body}");
+    assert!(body.contains("serve_restarts_total 1"), "{body}");
+    assert!(body.contains("serve_circuit0_state 0"), "{body}");
+
+    // And the reborn shard actually serves.
+    handle.predict("a", sample(1)).unwrap();
+    server.shutdown();
+    telemetry.shutdown();
+}
+
 #[test]
 fn telemetry_server_sheds_cleanly_and_survives_bad_clients() {
+    let _g = lock();
     let model = build_model(33, 3);
     let mut registry = ModelRegistry::new();
     registry.load_packed("m", &model.save_bytes().unwrap()).unwrap();

@@ -10,6 +10,15 @@
 //!   failpoint) kills only that shard: its requests fail with a
 //!   shard-tagged `SchedulerDied`, sibling shards keep answering bitwise
 //!   identically, and the server still shuts down cleanly;
+//! * the supervisor **respawns** a killed shard and the reborn shard
+//!   answers bitwise identically to its pre-death self; a shard that
+//!   exhausts its restart budget is permanently failed and `/healthz`
+//!   degrades;
+//! * while a shard is down, keyed requests **reroute** deterministically
+//!   to the surviving sibling; per-model **circuit breakers** open after
+//!   consecutive batch failures and close on a successful probe; retries
+//!   never violate their deadline budget; and a randomized kill soak under
+//!   concurrent load heals back to full strength with oracle-exact bits;
 //! * a distillation run killed at any epoch resumes from its checkpoint to
 //!   the exact (every f32 bit) weights of an uninterrupted run;
 //! * a MOBO search killed at any trial resumes to the exact trial sequence
@@ -31,7 +40,7 @@ use lightts_obs::failpoint;
 use lightts_search::mobo::{run_mobo, run_mobo_resumable, MoboConfig, MoboOutcome, SpaceRepr};
 use lightts_search::space::SearchSpace;
 use lightts_search::SearchError;
-use lightts_serve::{ModelRegistry, ServeConfig, ServeError, Server};
+use lightts_serve::{ModelRegistry, RetryPolicy, ServeConfig, ServeError, Server};
 use lightts_tensor::rng::seeded;
 use lightts_tensor::Tensor;
 use proptest::prelude::*;
@@ -161,12 +170,15 @@ fn shard_death_is_isolated_to_its_models_and_siblings_stay_bit_identical() {
     let reference_b = InceptionTime::load_bytes(&model_b.save_bytes().unwrap()).unwrap();
 
     // Two shards, one replica per model: each model lives alone on its own
-    // shard, so killing "a"'s shard cannot touch "b"'s.
+    // shard, so killing "a"'s shard cannot touch "b"'s. Respawn is
+    // disabled (budget 0) — this test pins the *isolation* contract with
+    // the shard staying down; self-healing has its own tests below.
     let cfg = ServeConfig {
         max_batch: 4,
         max_wait: Duration::from_millis(1),
         shards: 2,
         replicas: 1,
+        restart_budget: Some(0),
         ..ServeConfig::default()
     };
     let server = Server::start(registry, cfg);
@@ -190,11 +202,23 @@ fn shard_death_is_isolated_to_its_models_and_siblings_stay_bit_identical() {
     }
     failpoint::clear_failpoints();
 
-    // Submissions routed to the dead shard now fail fast, naming it.
-    match handle.submit("a", sample(1)) {
-        Err(ServeError::SchedulerDied { shard }) => assert_eq!(shard, Some(shard_a)),
-        Err(other) => panic!("submit to dead shard got {other:?}"),
-        Ok(_) => panic!("submit to dead shard was accepted"),
+    // Submissions routed to the dead shard fail fast, naming it. One
+    // racing the unwind itself may still be accepted — the dying shard's
+    // drain answers it with the same typed error, so nothing hangs and
+    // the fast-fail settles in immediately after.
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    loop {
+        match handle.submit("a", sample(1)) {
+            Err(ServeError::SchedulerDied { shard }) => {
+                assert_eq!(shard, Some(shard_a));
+                break;
+            }
+            Ok(p) => {
+                assert!(matches!(p.wait(), Err(ServeError::SchedulerDied { .. })));
+                assert!(std::time::Instant::now() < deadline, "dead shard kept accepting");
+            }
+            Err(other) => panic!("submit to dead shard got {other:?}"),
+        }
     }
 
     // The sibling keeps answering — and every bit agrees with before the
@@ -228,6 +252,428 @@ fn shard_death_is_isolated_to_its_models_and_siblings_stay_bit_identical() {
     assert_eq!(status, 503, "{body}");
     assert!(body.contains("\"shards_alive\":0"), "{body}");
     telemetry.shutdown();
+}
+
+// ------------------------------------------------------------ self-healing --
+
+/// Polls until the server reports every shard alive again (the supervisor
+/// has finished its respawn), failing the test after a generous bound.
+fn wait_all_alive(server: &Server, total: usize) {
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while server.shards_alive() != total {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "supervisor did not respawn within 10s: {}/{} shards alive",
+            server.shards_alive(),
+            total
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+/// The supervisor must respawn a killed shard — and the reborn shard must
+/// answer **bitwise identically** to its pre-death self (the respawn is
+/// probe-verified against plan masters, so this is the contract it
+/// enforces, observed end to end).
+#[test]
+fn killed_shard_is_respawned_and_answers_bit_identically() {
+    let _g = lock();
+    let model_a = build_model(91, 4);
+    let model_b = build_model(92, 3);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("a", &model_a.save_bytes().unwrap()).unwrap();
+    registry.load_packed("b", &model_b.save_bytes().unwrap()).unwrap();
+
+    // One replica each on two shards: killing "a"'s shard leaves "b"
+    // untouched, and the default restart budget lets the supervisor act.
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        shards: 2,
+        replicas: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(registry, cfg);
+    let handle = server.handle();
+    let shard_a = handle.route_of("a", 0).unwrap();
+
+    // Pre-death bits from the shard we are about to kill.
+    let before: Vec<Vec<u32>> = (0..4)
+        .map(|i| handle.predict("a", sample(i)).unwrap().iter().map(|v| v.to_bits()).collect())
+        .collect();
+
+    failpoint::set_failpoints("serve.shard=panic@1").unwrap();
+    match handle.predict("a", sample(0)) {
+        Err(ServeError::SchedulerDied { shard }) => assert_eq!(shard, Some(shard_a)),
+        other => panic!("request on the dying shard got {other:?}"),
+    }
+    failpoint::clear_failpoints();
+
+    // The supervisor notices, verifies fresh plan clones against the
+    // golden probe, and brings the shard back.
+    wait_all_alive(&server, 2);
+
+    // The reborn shard answers every pre-death sample with the exact same
+    // bits — death and rebirth are invisible in the numbers.
+    for (i, want) in before.iter().enumerate() {
+        let got: Vec<u32> =
+            handle.predict("a", sample(i)).unwrap().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(&got, want, "sample {i}: reborn shard drifted from its pre-death self");
+    }
+
+    let stats = handle.stats();
+    assert_eq!(stats.restarts, 1, "exactly one respawn happened");
+    assert_eq!(stats.shards_failed, 0, "the budget was nowhere near exhausted");
+    let metrics = server.metrics().snapshot();
+    assert_eq!(metrics.counter(&format!("serve.shard{shard_a}.restarts")), Some(1));
+    assert_eq!(metrics.gauge(&format!("serve.shard{shard_a}.alive")), Some(1));
+    server.shutdown();
+}
+
+/// While a replica's shard is down, a keyed request reroutes
+/// **deterministically** to the surviving sibling and still answers with
+/// reference bits; the pure `route_of` keeps reporting the primary, and
+/// the reroute is counted.
+#[test]
+fn dead_primary_reroutes_keyed_requests_to_the_surviving_sibling() {
+    let _g = lock();
+    let model = build_model(93, 4);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("m", &model.save_bytes().unwrap()).unwrap();
+    let reference = InceptionTime::load_bytes(&model.save_bytes().unwrap()).unwrap();
+
+    // The model lives on both shards; respawn is disabled so the primary
+    // *stays* dead and the reroute is deterministic, not a race against
+    // the supervisor (respawn has its own test above).
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        shards: 2,
+        replicas: 2,
+        restart_budget: Some(0),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(registry, cfg);
+    let handle = server.handle();
+
+    let key = 7u64;
+    let primary = handle.route_of("m", key).unwrap();
+    let sibling = 1 - primary;
+
+    // Kill exactly the primary: the keyed request is the only traffic
+    // while the failpoint is armed, and it routes to `primary`.
+    failpoint::set_failpoints("serve.shard=panic@1").unwrap();
+    match handle.submit_keyed("m", sample(0), key, None).unwrap().wait() {
+        Err(ServeError::SchedulerDied { shard }) => assert_eq!(shard, Some(primary)),
+        other => panic!("request on the dying shard got {other:?}"),
+    }
+    failpoint::clear_failpoints();
+
+    // The same id now lands on the surviving sibling — accepted, answered,
+    // and bitwise identical to the single-sample reference. (A submission
+    // racing the unwind may land on the not-yet-flagged primary once; it
+    // is drained with the typed error and the next one reroutes.)
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let p = loop {
+        assert!(std::time::Instant::now() < deadline, "primary never flagged dead");
+        let p = match handle.submit_keyed("m", sample(1), key, None) {
+            Ok(p) => p,
+            Err(other) => panic!("keyed submit got {other:?}"),
+        };
+        if p.shard() != primary {
+            break p;
+        }
+        assert!(matches!(p.wait(), Err(ServeError::SchedulerDied { .. })));
+    };
+    assert_eq!(p.shard(), sibling, "reroute must pick the deterministic survivor");
+    let got: Vec<u32> = p.wait().unwrap().iter().map(|v| v.to_bits()).collect();
+    let want: Vec<u32> =
+        reference_row(&reference, &sample(1)).iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, want, "rerouted request drifted from the reference");
+
+    // The hash route itself never changed — `route_of` is pure in the id;
+    // only the liveness mask moved the request.
+    assert_eq!(handle.route_of("m", key), Some(primary));
+    assert!(handle.stats().reroutes >= 1, "the reroute must be counted");
+    server.shutdown();
+}
+
+/// A shard that keeps dying exhausts its restart budget and is marked
+/// **permanently failed**: no further respawns, `/healthz` reports
+/// `degraded`, and the sibling keeps serving.
+#[test]
+fn restart_budget_exhaustion_fails_the_shard_permanently_and_degrades_health() {
+    let _g = lock();
+    let model_a = build_model(94, 4);
+    let model_b = build_model(95, 3);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("a", &model_a.save_bytes().unwrap()).unwrap();
+    registry.load_packed("b", &model_b.save_bytes().unwrap()).unwrap();
+    let reference_b = InceptionTime::load_bytes(&model_b.save_bytes().unwrap()).unwrap();
+
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        shards: 2,
+        replicas: 1,
+        restart_budget: Some(1), // one respawn, then permanent failure
+        ..ServeConfig::default()
+    };
+    let server = Server::start(registry, cfg);
+    let handle = server.handle();
+    let shard_a = handle.route_of("a", 0).unwrap();
+
+    // First death: within budget, the supervisor brings the shard back.
+    failpoint::set_failpoints("serve.shard=panic@1").unwrap();
+    assert!(matches!(handle.predict("a", sample(0)), Err(ServeError::SchedulerDied { .. })));
+    failpoint::clear_failpoints();
+    wait_all_alive(&server, 2);
+    assert_eq!(handle.stats().restarts, 1);
+
+    // Second death inside the rolling window: budget exhausted — the
+    // supervisor gives up and marks the shard failed.
+    failpoint::set_failpoints("serve.shard=panic@1").unwrap();
+    assert!(matches!(handle.predict("a", sample(0)), Err(ServeError::SchedulerDied { .. })));
+    failpoint::clear_failpoints();
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while handle.stats().shards_failed != 1 {
+        assert!(std::time::Instant::now() < deadline, "shard was never marked failed");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+
+    // Permanently failed: no respawn, submissions fail fast naming the
+    // shard, and the restart counter did not move again.
+    std::thread::sleep(Duration::from_millis(30));
+    assert_eq!(server.shards_alive(), 1, "a failed shard must not be respawned");
+    assert_eq!(handle.stats().restarts, 1);
+    assert!(matches!(
+        handle.submit("a", sample(1)),
+        Err(ServeError::SchedulerDied { shard }) if shard == Some(shard_a)
+    ));
+
+    // The sibling still answers with reference bits.
+    let got: Vec<u32> =
+        handle.predict("b", sample(2)).unwrap().iter().map(|v| v.to_bits()).collect();
+    let want: Vec<u32> =
+        reference_row(&reference_b, &sample(2)).iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, want);
+
+    // `/healthz` renders the permanent failure as a degraded 200.
+    let telemetry = server.serve_telemetry("127.0.0.1:0").unwrap();
+    let (status, body) = http_get(telemetry.addr(), "/healthz");
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"degraded\""), "{body}");
+    assert!(body.contains("\"shards_failed\":1"), "{body}");
+    server.shutdown();
+    telemetry.shutdown();
+}
+
+/// The per-model circuit breaker: K consecutive failed batches open it
+/// (fast `CircuitOpen` sheds, no queue touched), the cooldown admits one
+/// probe, and a successful probe closes it — after which answers are
+/// bitwise identical to a never-tripped server.
+#[test]
+fn circuit_opens_after_consecutive_failures_and_a_probe_closes_it() {
+    let _g = lock();
+    let model = build_model(96, 4);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("m", &model.save_bytes().unwrap()).unwrap();
+    let reference = InceptionTime::load_bytes(&model.save_bytes().unwrap()).unwrap();
+
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        shards: 1,
+        circuit_threshold: 2,
+        circuit_cooldown: Duration::from_millis(200),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(registry, cfg);
+    let handle = server.handle();
+
+    // Every batch panics while armed: two consecutive Inference failures
+    // reach the threshold and open the circuit.
+    failpoint::set_failpoints("serve.batch=panic").unwrap();
+    for i in 0..2 {
+        assert!(matches!(handle.predict("m", sample(i)), Err(ServeError::Inference { .. })));
+    }
+    // Open: submissions shed fast with the typed error, without queueing.
+    match handle.predict("m", sample(2)) {
+        Err(ServeError::CircuitOpen { model }) => assert_eq!(model, "m"),
+        other => panic!("open circuit admitted a request: {other:?}"),
+    }
+    failpoint::clear_failpoints();
+
+    // Still inside the cooldown: even with the fault gone, the breaker
+    // sheds — that is the point (no scheduler time for a poisoned model).
+    assert!(matches!(handle.predict("m", sample(3)), Err(ServeError::CircuitOpen { .. })));
+
+    // After the cooldown one probe is admitted; it succeeds and closes the
+    // circuit, and the answer carries reference bits.
+    std::thread::sleep(Duration::from_millis(250));
+    let got: Vec<u32> =
+        handle.predict("m", sample(4)).unwrap().iter().map(|v| v.to_bits()).collect();
+    let want: Vec<u32> =
+        reference_row(&reference, &sample(4)).iter().map(|v| v.to_bits()).collect();
+    assert_eq!(got, want, "post-recovery answer drifted from the reference");
+    // Closed again: requests flow freely.
+    handle.predict("m", sample(5)).unwrap();
+
+    let stats = handle.stats();
+    assert_eq!(stats.circuit_opens, 1, "the circuit opened exactly once");
+    assert!(stats.shed_circuit >= 2, "open-circuit sheds must be counted");
+    assert_eq!(server.metrics().snapshot().gauge("serve.circuit0.state"), Some(0));
+    server.shutdown();
+}
+
+/// Retries must never violate the caller's deadline: against a hopelessly
+/// overloaded server, `predict_with_retry` returns a typed error within
+/// the deadline budget (plus scheduling slack) — it never sleeps through a
+/// backoff that would cross the deadline.
+#[test]
+fn retries_respect_the_overall_deadline_budget() {
+    let _g = lock();
+    let model = build_model(97, 3);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("m", &model.save_bytes().unwrap()).unwrap();
+
+    // Park the scheduler (unreachable batch, long wait) and make the queue
+    // one deep: one parked request keeps every later submission Overloaded.
+    let cfg = ServeConfig {
+        max_batch: 10_000,
+        max_wait: Duration::from_secs(10),
+        max_queue: 1,
+        shards: 1,
+        ..ServeConfig::default()
+    };
+    let server = Server::start(registry, cfg);
+    let handle = server.handle();
+    let parked = handle.submit("m", sample(0)).unwrap();
+
+    let policy =
+        RetryPolicy { max_attempts: 8, base_backoff: Duration::from_millis(40), jitter: 0 };
+    let deadline = Duration::from_millis(150);
+    let t0 = std::time::Instant::now();
+    let err = handle.predict_with_retry("m", &sample(1), policy, Some(deadline)).unwrap_err();
+    let elapsed = t0.elapsed();
+
+    // Overloaded is retryable, so some retries happened — but the backoff
+    // schedule (40, 80, 160, ... ms) crosses the 150 ms budget long before
+    // 8 attempts, and the call must give up with the *last real error*
+    // rather than sleep past the deadline.
+    assert!(
+        matches!(err, ServeError::Overloaded { .. } | ServeError::DeadlineExceeded),
+        "unexpected terminal error: {err:?}"
+    );
+    assert!(
+        elapsed < deadline + Duration::from_millis(350),
+        "retry loop overshot its deadline budget: {elapsed:?}"
+    );
+
+    server.shutdown(); // drains the parked request
+    parked.wait().unwrap();
+}
+
+/// Randomized chaos soak: with shard-kill failpoints firing
+/// *probabilistically* under concurrent retrying load, every request
+/// reaches a terminal outcome, every successful answer is **bitwise
+/// identical** to a never-killed oracle, no retry overshoots its deadline,
+/// and after the storm the supervisor has healed the server back to full
+/// strength — still answering with oracle bits.
+#[test]
+fn randomized_shard_kill_soak_heals_and_stays_bit_identical() {
+    let _g = lock();
+    let model = build_model(98, 4);
+    let mut registry = ModelRegistry::new();
+    registry.load_packed("m", &model.save_bytes().unwrap()).unwrap();
+    let reference = InceptionTime::load_bytes(&model.save_bytes().unwrap()).unwrap();
+
+    // The oracle: per-sample single-row predictions, computed before any
+    // fault is armed. Soak answers must match these bit for bit.
+    const SOAK_REQS: usize = 150; // per worker thread
+    let oracle: Vec<Vec<u32>> = (0..8)
+        .map(|i| reference_row(&reference, &sample(i)).iter().map(|v| v.to_bits()).collect())
+        .collect();
+
+    let cfg = ServeConfig {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        shards: 2,
+        replicas: 2,
+        restart_budget: Some(1_000), // the soak must never exhaust it
+        restart_window: Duration::from_secs(60),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(registry, cfg);
+    let handle = server.handle();
+
+    // Fixed seed: the kill schedule is reproducible run to run.
+    failpoint::set_failpoint_seed(0xC4A05);
+    failpoint::set_failpoints("serve.shard=panic%0.02").unwrap();
+
+    let deadline = Duration::from_secs(5);
+    let policy =
+        RetryPolicy { max_attempts: 6, base_backoff: Duration::from_millis(2), jitter: 1_000 };
+    let outcomes: Vec<(usize, Result<Vec<u32>, ServeError>, Duration)> =
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..2)
+                .map(|w| {
+                    let handle = handle.clone();
+                    scope.spawn(move || {
+                        (0..SOAK_REQS)
+                            .map(|r| {
+                                let i = (w * SOAK_REQS + r) % 8;
+                                let t0 = std::time::Instant::now();
+                                let out = handle
+                                    .predict_with_retry("m", &sample(i), policy, Some(deadline))
+                                    .map(|row| row.iter().map(|v| v.to_bits()).collect());
+                                (i, out, t0.elapsed())
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            workers.into_iter().flat_map(|w| w.join().unwrap()).collect()
+        });
+    failpoint::clear_failpoints();
+    failpoint::set_failpoint_seed(lightts_obs::failpoint::DEFAULT_SEED);
+
+    // Every request terminated — the scope join proves none hung — and
+    // every success is oracle-exact; failures are only the honest
+    // fault-class errors a kill storm can produce.
+    let mut ok = 0usize;
+    for (i, out, elapsed) in &outcomes {
+        assert!(
+            *elapsed <= deadline + Duration::from_secs(2),
+            "request overshot its deadline budget: {elapsed:?}"
+        );
+        match out {
+            Ok(bits) => {
+                ok += 1;
+                assert_eq!(bits, &oracle[*i], "sample {i}: soak answer drifted from oracle");
+            }
+            Err(
+                ServeError::SchedulerDied { .. }
+                | ServeError::Overloaded { .. }
+                | ServeError::DeadlineExceeded,
+            ) => {}
+            Err(other) => panic!("soak produced a non-fault error: {other:?}"),
+        }
+    }
+    assert!(ok * 2 >= SOAK_REQS, "retries should carry most requests through: {ok} ok");
+
+    // The storm is over: the supervisor heals the server back to full
+    // strength, and fresh answers still carry oracle bits.
+    wait_all_alive(&server, 2);
+    for i in 0..8 {
+        let got: Vec<u32> =
+            handle.predict("m", sample(i)).unwrap().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, oracle[i], "sample {i}: post-soak answer drifted from oracle");
+    }
+    let stats = handle.stats();
+    assert!(stats.restarts >= 1, "the fixed seed must kill at least one shard");
+    assert_eq!(stats.shards_failed, 0, "the soak must stay within its restart budget");
+    server.shutdown();
 }
 
 /// Minimal blocking HTTP GET against the telemetry server.
